@@ -1,0 +1,82 @@
+"""Figures 1-3: the paper's illustrative pipeline stages, as benchmarks.
+
+* Figure 1 — vertically partitioned relation -> dictionary encoding ->
+  trie: measures the index-build path on a real predicate table.
+* Figure 2 — GHD chosen for LUBM query 2: measures decomposition time
+  and asserts the published shape (triangle root, three type children,
+  fhw = 1.5).
+* Figure 3 — across-node selection pushdown on LUBM query 4: measures
+  the pushdown optimizer and asserts selections sink below every
+  unselected relation.
+"""
+
+import pytest
+
+from repro.core.config import OptimizationConfig
+from repro.core.ghd_optimizer import GHDOptimizer
+from repro.core.hypergraph import Hypergraph
+from repro.core.query import bind_constants, normalize
+from repro.sparql.parser import parse_sparql
+from repro.sparql.translate import sparql_to_query
+from repro.trie.trie import Trie
+
+
+def _normalized(queries, dataset, qid):
+    query = sparql_to_query(parse_sparql(queries[qid]), name=f"q{qid}")
+    bound = bind_constants(query, dataset.dictionary)
+    return normalize(bound)
+
+
+def test_figure1_trie_build(benchmark, dataset):
+    relation = dataset.store.tables["subOrganizationOf"]
+    benchmark.group = "Figure 1"
+    trie = benchmark(
+        lambda: Trie.from_relation(relation, ("subject", "object"))
+    )
+    assert trie.num_tuples == relation.distinct().num_rows
+
+
+def test_figure2_ghd_for_query2(benchmark, dataset, queries):
+    query = _normalized(queries, dataset, 2)
+    hypergraph = Hypergraph.from_query(query)
+    benchmark.group = "Figure 2"
+
+    def decompose():
+        return GHDOptimizer(OptimizationConfig.all_on()).decompose(
+            query, hypergraph
+        )
+
+    ghd = benchmark(decompose)
+    assert ghd.width(hypergraph) == pytest.approx(1.5)
+    root_relations = sorted(
+        query.atoms[i].relation for i in ghd.root_node.atom_indices
+    )
+    assert root_relations == [
+        "memberOf", "subOrganizationOf", "undergraduateDegreeFrom",
+    ]
+    assert len(ghd.root_node.children) == 3
+
+
+def test_figure3_pushdown_for_query4(benchmark, dataset, queries):
+    query = _normalized(queries, dataset, 4)
+    hypergraph = Hypergraph.from_query(query)
+    benchmark.group = "Figure 3"
+
+    def decompose():
+        return GHDOptimizer(OptimizationConfig.all_on()).decompose(
+            query, hypergraph
+        )
+
+    ghd = benchmark(decompose)
+    sel_vars = set(query.selections)
+    selected_depths = [
+        ghd.depth(n.node_id)
+        for n in ghd.nodes
+        if any(v in sel_vars for v in n.chi)
+    ]
+    unselected_depths = [
+        ghd.depth(n.node_id)
+        for n in ghd.nodes
+        if not any(v in sel_vars for v in n.chi)
+    ]
+    assert min(selected_depths) > max(unselected_depths)

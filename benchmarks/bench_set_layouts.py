@@ -1,0 +1,58 @@
+"""Section II-A2 claim: mixed set layouts speed up intersections.
+
+Sweeps set density across the 1/256 threshold and compares the bitset
+word-AND kernel with sorted-array intersection, plus the O(1)-vs-O(log n)
+membership probe the paper leans on for equality selections.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sets import SetLayout, build_set, intersect_values
+
+RNG = np.random.default_rng(42)
+UNIVERSE = 1 << 20
+
+
+def _random_set(density: float, layout: SetLayout):
+    size = max(4, int(UNIVERSE * density))
+    values = np.unique(
+        RNG.integers(0, UNIVERSE, size=size).astype(np.uint32)
+    )
+    return build_set(values, force_layout=layout)
+
+
+DENSITIES = (1 / 16, 1 / 256, 1 / 4096)
+
+
+@pytest.mark.parametrize("density", DENSITIES)
+@pytest.mark.parametrize("layout", (SetLayout.UINT_ARRAY, SetLayout.BITSET))
+def test_intersection_kernel(benchmark, density, layout):
+    a = _random_set(density, layout)
+    b = _random_set(density, layout)
+    benchmark.group = f"intersect density={density:.5f}"
+    result = benchmark(lambda: intersect_values(a, b))
+    benchmark.extra_info["layout"] = layout.value
+    benchmark.extra_info["result_size"] = int(result.size)
+
+
+@pytest.mark.parametrize("layout", (SetLayout.UINT_ARRAY, SetLayout.BITSET))
+def test_membership_probe(benchmark, layout):
+    """The paper's +Layout selling point: selections probe bitsets in
+    O(1) versus binary search on arrays (Section III-A)."""
+    s = _random_set(1 / 16, layout)
+    probes = RNG.integers(0, UNIVERSE, size=1024).astype(np.uint32)
+    benchmark.group = "equality probes"
+    benchmark(lambda: s.contains_many(probes))
+    benchmark.extra_info["layout"] = layout.value
+
+
+@pytest.mark.parametrize("layout", (SetLayout.UINT_ARRAY, SetLayout.BITSET))
+def test_layout_construction(benchmark, layout):
+    """Index-build cost per layout (paid once per trie node)."""
+    values = np.unique(
+        RNG.integers(0, UNIVERSE, size=1 << 15).astype(np.uint32)
+    )
+    benchmark.group = "set construction"
+    benchmark(lambda: build_set(values, force_layout=layout))
+    benchmark.extra_info["layout"] = layout.value

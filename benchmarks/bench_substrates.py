@@ -1,0 +1,60 @@
+"""Substrate ablations called out in DESIGN.md.
+
+* GHD plans versus a single-node generic join on an acyclic star query
+  (the design choice the +GHD machinery builds on);
+* dictionary-encoding throughput;
+* LUBM generation throughput;
+* trie construction on the largest predicate table.
+"""
+
+import pytest
+
+from repro.core.config import OptimizationConfig
+from repro.engines.emptyheaded import EmptyHeadedEngine
+from repro.lubm.generator import GeneratorConfig, generate_triples
+from repro.storage.dictionary import Dictionary
+from repro.trie.trie import Trie
+
+
+def test_ablation_ghd_vs_single_node(benchmark, dataset, queries):
+    """LUBM Q4 with GHD plans disabled: the whole star runs as one
+    generic join. Compare against bench_table1's `full` rows."""
+    engine = EmptyHeadedEngine(
+        dataset.store, OptimizationConfig.all_on().but(use_ghd=False)
+    )
+    engine.warm(queries[4])
+    benchmark.group = "ablation: single-node plan"
+    benchmark(lambda: engine.execute_sparql(queries[4]))
+
+
+def test_dictionary_encode_throughput(benchmark):
+    terms = [f"<http://www.example.org/entity/{i}>" for i in range(20_000)]
+    benchmark.group = "substrates"
+
+    def encode_all():
+        d = Dictionary()
+        d.encode_many(terms)
+        return d
+
+    d = benchmark(encode_all)
+    assert len(d) == len(terms)
+
+
+def test_lubm_generation_throughput(benchmark):
+    benchmark.group = "substrates"
+    config = GeneratorConfig(universities=1, seed=1)
+
+    def generate():
+        return sum(1 for _ in generate_triples(config))
+
+    count = benchmark(generate)
+    assert count > 50_000
+
+
+def test_trie_build_largest_table(benchmark, dataset):
+    relation = dataset.store.tables["takesCourse"]
+    benchmark.group = "substrates"
+    trie = benchmark(
+        lambda: Trie.from_relation(relation, ("subject", "object"))
+    )
+    assert trie.num_tuples > 0

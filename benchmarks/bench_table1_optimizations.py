@@ -1,0 +1,51 @@
+"""Table I: effect of each classic optimization on selected LUBM queries.
+
+The paper measures, per query, the speedup EmptyHeaded gains from
+(+Layout) mixed set layouts, (+Attribute) selection-first attribute
+orders, (+GHD) across-node selection pushdown, and (+Pipelining) root-
+child fusion. Each variant here is the full engine with exactly one
+optimization disabled (leave-one-out), plus the full engine itself —
+the ratio full/variant reproduces the table's columns. Assemble the
+table with ``python -m repro.bench.table1``.
+"""
+
+import pytest
+
+from repro.core.config import OptimizationConfig
+from repro.engines.emptyheaded import EmptyHeadedEngine
+
+TABLE1_QUERY_IDS = (1, 2, 4, 7, 8, 14)
+
+CONFIGS = {
+    "full": OptimizationConfig.all_on(),
+    "no_layout": OptimizationConfig.all_on().but(mixed_layouts=False),
+    "no_attribute": OptimizationConfig.all_on().but(reorder_selections=False),
+    "no_ghd": OptimizationConfig.all_on().but(ghd_selection_pushdown=False),
+    "no_pipelining": OptimizationConfig.all_on().but(pipelining=False),
+    "none": OptimizationConfig.baseline_with_ghd(),
+}
+
+
+@pytest.fixture(scope="module")
+def ablation_engines(dataset, queries):
+    engines = {
+        label: EmptyHeadedEngine(dataset.store, config)
+        for label, config in CONFIGS.items()
+    }
+    for engine in engines.values():
+        for qid in TABLE1_QUERY_IDS:
+            engine.warm(queries[qid])
+    return engines
+
+
+@pytest.mark.parametrize("query_id", TABLE1_QUERY_IDS)
+@pytest.mark.parametrize("label", list(CONFIGS))
+def test_optimization_ablation(
+    benchmark, ablation_engines, queries, label, query_id
+):
+    engine = ablation_engines[label]
+    text = queries[query_id]
+    benchmark.group = f"Table I Q{query_id}"
+    result = benchmark(lambda: engine.execute_sparql(text))
+    benchmark.extra_info["config"] = label
+    benchmark.extra_info["output_rows"] = result.num_rows

@@ -1,0 +1,52 @@
+"""Benchmark fixtures.
+
+One LUBM dataset is generated per session; scale defaults to one
+university (~120k triples) and can be raised via the
+``REPRO_BENCH_UNIVERSITIES`` environment variable. Engines are built and
+warmed once — the paper's protocol measures warm back-to-back runs with
+compilation absorbed by a discarded first execution.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import (
+    ColumnStoreEngine,
+    EmptyHeadedEngine,
+    LogicBloxLikeEngine,
+    RDF3XLikeEngine,
+    TripleBitLikeEngine,
+    generate_dataset,
+    lubm_queries,
+)
+
+BENCH_UNIVERSITIES = int(os.environ.get("REPRO_BENCH_UNIVERSITIES", "1"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
+
+
+@pytest.fixture(scope="session")
+def dataset():
+    return generate_dataset(universities=BENCH_UNIVERSITIES, seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def queries(dataset):
+    return lubm_queries(dataset.config)
+
+
+@pytest.fixture(scope="session")
+def engines(dataset, queries):
+    built = {
+        "emptyheaded": EmptyHeadedEngine(dataset.store),
+        "logicblox": LogicBloxLikeEngine(dataset.store),
+        "monetdb": ColumnStoreEngine(dataset.store),
+        "rdf3x": RDF3XLikeEngine(dataset.store),
+        "triplebit": TripleBitLikeEngine(dataset.store),
+    }
+    for engine in built.values():
+        for text in queries.values():
+            engine.warm(text)
+    return built

@@ -1,0 +1,91 @@
+"""Using the engines on your own RDF data (not LUBM).
+
+Builds a small social-network RDF graph by hand, loads it through the
+same vertical-partitioning path, and runs SPARQL over it — including a
+cyclic "mutual collaboration triangle" query where the WCOJ engine's
+plan differs structurally from a pairwise engine's.
+
+Run with::
+
+    python examples/custom_rdf_data.py
+"""
+
+from repro import ColumnStoreEngine, EmptyHeadedEngine
+from repro.rdf.model import Triple, iri, literal
+from repro.rdf.ntriples import parse_ntriples, to_ntriples
+from repro.storage.vertical import vertically_partition
+
+PEOPLE = ["alice", "bob", "carol", "dan", "erin"]
+COLLABS = [
+    ("alice", "bob"), ("bob", "alice"),
+    ("bob", "carol"), ("carol", "bob"),
+    ("carol", "alice"), ("alice", "carol"),
+    ("dan", "erin"), ("erin", "dan"),
+    ("dan", "alice"),
+]
+
+
+def build_triples() -> list[Triple]:
+    triples = []
+    for name in PEOPLE:
+        person = iri(f"http://example.org/{name}")
+        triples.append(
+            Triple(person, iri("http://example.org/ns#name"), literal(name))
+        )
+    for a, b in COLLABS:
+        triples.append(
+            Triple(
+                iri(f"http://example.org/{a}"),
+                iri("http://example.org/ns#collaboratesWith"),
+                iri(f"http://example.org/{b}"),
+            )
+        )
+    return triples
+
+
+def main() -> None:
+    triples = build_triples()
+
+    # Round-trip through N-Triples to show the IO path.
+    serialized = to_ntriples(triples)
+    parsed = list(parse_ntriples(serialized.splitlines()))
+    store = vertically_partition(parsed)
+    print(
+        f"loaded {store.num_triples} triples into tables "
+        f"{sorted(store.tables)}"
+    )
+
+    engine = EmptyHeadedEngine(store)
+    baseline = ColumnStoreEngine(store)
+
+    triangle = """
+    PREFIX ns: <http://example.org/ns#>
+    SELECT ?a ?b ?c WHERE {
+      ?a ns:collaboratesWith ?b .
+      ?b ns:collaboratesWith ?c .
+      ?c ns:collaboratesWith ?a
+    }
+    """
+    result = engine.execute_sparql(triangle)
+    check = baseline.execute_sparql(triangle)
+    assert result.to_set() == check.to_set()
+    print(f"\ncollaboration triangles ({result.num_rows} bindings):")
+    for row in engine.decode(result):
+        print("  ", " -> ".join(r.rsplit("/", 1)[1].rstrip(">") for r in row))
+
+    names = engine.execute_sparql(
+        """
+        PREFIX ns: <http://example.org/ns#>
+        SELECT ?who ?n WHERE {
+          ?who ns:collaboratesWith <http://example.org/alice> .
+          ?who ns:name ?n
+        }
+        """
+    )
+    print("\npeople collaborating with alice:")
+    for _, name in engine.decode(names):
+        print("  ", name)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Quickstart: generate LUBM data, run a SPARQL query, inspect the plan.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import EmptyHeadedEngine, generate_dataset, lubm_query
+
+
+def main() -> None:
+    # 1. Generate a LUBM dataset (1 university ~ 120k triples) and
+    #    vertically partition it into per-predicate tables.
+    dataset = generate_dataset(universities=1, seed=0)
+    print(
+        f"generated {dataset.num_triples} triples across "
+        f"{len(dataset.store.tables)} predicate tables"
+    )
+
+    # 2. Build the worst-case optimal engine over the store.
+    engine = EmptyHeadedEngine(dataset.store)
+
+    # 3. Run LUBM query 2 — the cyclic triangle query: graduate students
+    #    whose current department belongs to the university that granted
+    #    their undergraduate degree.
+    text = lubm_query(2, dataset.config)
+    result = engine.execute_sparql(text)
+    print(f"\nLUBM query 2 returned {result.num_rows} rows; first three:")
+    for row in list(engine.decode(result))[:3]:
+        print("  ", " | ".join(row))
+
+    # 4. Inspect the compiled plan: the GHD with the triangle at the
+    #    root and the three type selections as children (Figure 2 of
+    #    the paper), plus the global attribute order.
+    print("\nplan:")
+    print(engine.explain_sparql(text))
+
+    # 5. Ad-hoc SPARQL works too.
+    adhoc = engine.execute_sparql(
+        """
+        PREFIX ub: <http://www.lehigh.edu/~zhp2/2004/0401/univ-bench.owl#>
+        SELECT ?prof WHERE {
+          ?prof ub:worksFor <http://www.Department0.University0.edu> .
+          ?prof ub:emailAddress ?email
+        }
+        """
+    )
+    print(f"\nDepartment0 has {adhoc.num_rows} faculty with email addresses")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The environment has no ``wheel`` package (offline), so editable installs
+must use the legacy path: ``pip install -e . --no-build-isolation
+--no-use-pep517``, which requires this file to exist.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,17 @@
+"""Benchmark harness implementing the paper's measurement protocol.
+
+Section IV-A4: each query runs seven times; the best and worst runs are
+discarded; the reported number is the average of the remaining five.
+Compilation (plan) time is excluded by running queries back-to-back so
+only the first (discarded) run pays it.
+"""
+
+from repro.bench.harness import BenchmarkResult, measure, run_paper_protocol
+from repro.bench.report import format_table
+
+__all__ = [
+    "BenchmarkResult",
+    "format_table",
+    "measure",
+    "run_paper_protocol",
+]

@@ -1,0 +1,92 @@
+"""Regenerate Figures 1-3: the storage and planning artifacts.
+
+Usage::
+
+    python -m repro.bench.figures
+
+Prints (1) the Figure 1 trie over the paper's subOrganizationOf example,
+(2) the GHD chosen for LUBM query 2 with its width, and (3) the query 4
+GHD with and without across-node selection pushdown.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import OptimizationConfig
+from repro.core.ghd_optimizer import GHDOptimizer
+from repro.core.hypergraph import Hypergraph
+from repro.core.query import bind_constants, normalize
+from repro.lubm import generate_dataset, lubm_queries
+from repro.sparql.parser import parse_sparql
+from repro.sparql.translate import sparql_to_query
+from repro.storage.vertical import vertically_partition
+from repro.trie.trie import Trie
+
+FIGURE1_TRIPLES = [
+    ("University0", "subOrganizationOf", "Department0"),
+    ("University0", "subOrganizationOf", "Department1"),
+    ("Department0", "subOrganizationOf", "Department1"),
+    ("University1", "subOrganizationOf", "Department1"),
+]
+
+
+def figure1() -> str:
+    store = vertically_partition(FIGURE1_TRIPLES)
+    relation = store.tables["subOrganizationOf"]
+    trie = Trie.from_relation(relation, ("subject", "object"))
+    lines = ["Figure 1 — predicate relation -> dictionary -> trie", ""]
+    lines.append("dictionary encoding (key: value):")
+    for term, key in store.dictionary.items():
+        lines.append(f"  {key}: {term}")
+    lines.append("trie (level 1 -> level 2 sets):")
+    for value in trie.child_values(trie.root):
+        node = trie.descend(trie.root, int(value))
+        children = ", ".join(str(int(v)) for v in trie.child_values(node))
+        lines.append(f"  {int(value)} -> {{{children}}}")
+    return "\n".join(lines)
+
+
+def _normalized_query(dataset, queries, qid):
+    query = sparql_to_query(parse_sparql(queries[qid]), name=f"q{qid}")
+    return normalize(bind_constants(query, dataset.dictionary))
+
+
+def figure2(dataset, queries) -> str:
+    query = _normalized_query(dataset, queries, 2)
+    hypergraph = Hypergraph.from_query(query)
+    ghd = GHDOptimizer(OptimizationConfig.all_on()).decompose(
+        query, hypergraph
+    )
+    return (
+        "Figure 2 — GHD for LUBM query 2 "
+        f"(fhw = {ghd.width(hypergraph):.2f})\n{ghd!r}"
+    )
+
+
+def figure3(dataset, queries) -> str:
+    query = _normalized_query(dataset, queries, 4)
+    with_pushdown = GHDOptimizer(OptimizationConfig.all_on()).decompose(query)
+    without = GHDOptimizer(
+        OptimizationConfig.all_on().but(ghd_selection_pushdown=False)
+    ).decompose(query)
+    sel_vars = set(query.selections)
+    return (
+        "Figure 3 — LUBM query 4 GHD without / with selection pushdown\n"
+        f"without (+GHD off, selection depth "
+        f"{without.selection_depth(sel_vars)}):\n{without!r}\n"
+        f"with (+GHD on, selection depth "
+        f"{with_pushdown.selection_depth(sel_vars)}):\n{with_pushdown!r}"
+    )
+
+
+def main() -> None:
+    dataset = generate_dataset(universities=1, seed=0)
+    queries = lubm_queries(dataset.config)
+    print(figure1())
+    print()
+    print(figure2(dataset, queries))
+    print()
+    print(figure3(dataset, queries))
+
+
+if __name__ == "__main__":
+    main()

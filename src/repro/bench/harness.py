@@ -1,0 +1,80 @@
+"""Timing harness: the paper's seven-run protocol.
+
+"We run each query seven times, discarding the worst and best runtimes
+while reporting the average of the remaining times." The first run also
+absorbs plan compilation and index construction, and being the slowest
+it is discarded — matching the paper's treatment of EmptyHeaded's
+compilation costs.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+PAPER_RUNS = 7
+
+
+@dataclass
+class BenchmarkResult:
+    """Timings (seconds) for one (engine, query) cell."""
+
+    label: str
+    runs: list[float] = field(default_factory=list)
+    output_rows: int = 0
+
+    @property
+    def paper_average(self) -> float:
+        """Mean after discarding the best and worst run."""
+        if len(self.runs) <= 2:
+            return min(self.runs) if self.runs else float("nan")
+        trimmed = sorted(self.runs)[1:-1]
+        return sum(trimmed) / len(trimmed)
+
+    @property
+    def best(self) -> float:
+        return min(self.runs) if self.runs else float("nan")
+
+    @property
+    def milliseconds(self) -> float:
+        return self.paper_average * 1e3
+
+
+def measure(
+    run: Callable[[], object],
+    label: str = "query",
+    repetitions: int = PAPER_RUNS,
+) -> BenchmarkResult:
+    """Time ``run()`` with the paper's protocol."""
+    result = BenchmarkResult(label=label)
+    for _ in range(repetitions):
+        start = time.perf_counter()
+        out = run()
+        elapsed = time.perf_counter() - start
+        result.runs.append(elapsed)
+        rows = getattr(out, "num_rows", None)
+        if rows is not None:
+            result.output_rows = int(rows)
+    return result
+
+
+def run_paper_protocol(
+    engines: dict[str, object],
+    queries: dict[int, str],
+    repetitions: int = PAPER_RUNS,
+) -> dict[tuple[str, int], BenchmarkResult]:
+    """Run every engine on every query with the seven-run protocol.
+
+    ``engines`` maps display names to engine instances;
+    ``queries`` maps query ids to SPARQL text. Returns per-cell results.
+    """
+    cells: dict[tuple[str, int], BenchmarkResult] = {}
+    for query_id, text in queries.items():
+        for engine_name, engine in engines.items():
+            cells[(engine_name, query_id)] = measure(
+                lambda e=engine, t=text: e.execute_sparql(t),
+                label=f"{engine_name}/Q{query_id}",
+                repetitions=repetitions,
+            )
+    return cells

@@ -1,0 +1,94 @@
+"""Regenerate Table I: relative speedup of each classic optimization.
+
+Usage::
+
+    python -m repro.bench.table1 [--universities N] [--seed S] [--runs R]
+
+Each column reports how much faster the full EmptyHeaded engine runs
+than the engine with that single optimization disabled (the paper's
+"+Layout refers to EmptyHeaded when using multiple layouts versus solely
+an unsigned integer array" phrasing — a leave-one-out comparison).
+Speedups within noise of 1.0x print as '-' like the paper's
+"no effect" cells.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.bench.harness import PAPER_RUNS, measure
+from repro.bench.report import format_speedup, format_table
+from repro.core.config import OptimizationConfig
+from repro.engines.emptyheaded import EmptyHeadedEngine
+from repro.lubm import generate_dataset, lubm_queries
+
+TABLE1_QUERY_IDS = (1, 2, 4, 7, 8, 14)
+
+ABLATIONS = {
+    "+Layout": OptimizationConfig.all_on().but(mixed_layouts=False),
+    "+Attribute": OptimizationConfig.all_on().but(reorder_selections=False),
+    "+GHD": OptimizationConfig.all_on().but(ghd_selection_pushdown=False),
+    "+Pipelining": OptimizationConfig.all_on().but(pipelining=False),
+}
+
+NO_EFFECT_BAND = 0.10
+"""Speedups within 10% of 1.0x are printed as '-' (the paper's "no
+effect on the given query")."""
+
+
+def generate_table1(
+    universities: int = 1, seed: int = 0, runs: int = PAPER_RUNS
+) -> tuple[str, dict]:
+    dataset = generate_dataset(universities=universities, seed=seed)
+    queries = lubm_queries(dataset.config)
+
+    engines = {"full": EmptyHeadedEngine(dataset.store)}
+    for label, config in ABLATIONS.items():
+        engines[label] = EmptyHeadedEngine(dataset.store, config)
+
+    raw: dict[tuple[str, int], float] = {}
+    rows = []
+    for query_id in TABLE1_QUERY_IDS:
+        text = queries[query_id]
+        times = {}
+        for label, engine in engines.items():
+            cell = measure(
+                lambda e=engine, t=text: e.execute_sparql(t),
+                label=f"{label}/Q{query_id}",
+                repetitions=runs,
+            )
+            times[label] = cell.paper_average
+            raw[(label, query_id)] = cell.paper_average
+        row = [f"Q{query_id}"]
+        for label in ABLATIONS:
+            speedup = times[label] / times["full"]
+            row.append(
+                format_speedup(
+                    None if abs(speedup - 1.0) <= NO_EFFECT_BAND else speedup
+                )
+            )
+        rows.append(row)
+
+    table = format_table(
+        ["Query"] + list(ABLATIONS),
+        rows,
+        title=(
+            f"Table I — LUBM({universities}), seed {seed}: speedup from "
+            "each optimization (full engine vs engine without it)"
+        ),
+    )
+    return table, raw
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--universities", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--runs", type=int, default=PAPER_RUNS)
+    args = parser.parse_args(argv)
+    table, _ = generate_table1(args.universities, args.seed, args.runs)
+    print(table)
+
+
+if __name__ == "__main__":
+    main()

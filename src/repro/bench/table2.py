@@ -1,0 +1,85 @@
+"""Regenerate Table II: best runtime + relative runtime per engine.
+
+Usage::
+
+    python -m repro.bench.table2 [--universities N] [--seed S] [--runs R]
+
+Prints the paper's layout: per query, the best engine's milliseconds and
+each engine's runtime relative to that best.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.bench.harness import PAPER_RUNS, run_paper_protocol
+from repro.bench.report import format_relative, format_table
+from repro.engines import (
+    ColumnStoreEngine,
+    EmptyHeadedEngine,
+    LogicBloxLikeEngine,
+    RDF3XLikeEngine,
+    TripleBitLikeEngine,
+)
+from repro.lubm import generate_dataset, lubm_queries
+from repro.lubm.queries import PAPER_QUERY_IDS
+
+ENGINE_ORDER = ("EH", "TripleBit", "RDF-3X", "MonetDB", "LogicBlox")
+
+
+def build_engines(store) -> dict[str, object]:
+    """The five engines keyed by their Table II column names."""
+    return {
+        "EH": EmptyHeadedEngine(store),
+        "TripleBit": TripleBitLikeEngine(store),
+        "RDF-3X": RDF3XLikeEngine(store),
+        "MonetDB": ColumnStoreEngine(store),
+        "LogicBlox": LogicBloxLikeEngine(store),
+    }
+
+
+def generate_table2(
+    universities: int = 1, seed: int = 0, runs: int = PAPER_RUNS
+) -> tuple[str, dict]:
+    """Run the workload and return (formatted table, raw cells)."""
+    dataset = generate_dataset(universities=universities, seed=seed)
+    engines = build_engines(dataset.store)
+    queries = lubm_queries(dataset.config)
+    cells = run_paper_protocol(engines, queries, repetitions=runs)
+
+    rows = []
+    for query_id in PAPER_QUERY_IDS:
+        times = {
+            name: cells[(name, query_id)].paper_average
+            for name in ENGINE_ORDER
+        }
+        best = min(times.values())
+        row = [f"Q{query_id}", f"{best * 1e3:.2f}"]
+        for name in ENGINE_ORDER:
+            row.append(format_relative(times[name] / best))
+        rows.append(row)
+
+    table = format_table(
+        ["Query", "Best(ms)"] + list(ENGINE_ORDER),
+        rows,
+        title=(
+            f"Table II — LUBM({universities}), "
+            f"{dataset.num_triples} triples, seed {seed}: best runtime and "
+            "relative runtime per engine"
+        ),
+    )
+    return table, cells
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--universities", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--runs", type=int, default=PAPER_RUNS)
+    args = parser.parse_args(argv)
+    table, _ = generate_table2(args.universities, args.seed, args.runs)
+    print(table)
+
+
+if __name__ == "__main__":
+    main()

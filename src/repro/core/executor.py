@@ -1,0 +1,228 @@
+"""GHD plan execution (Section II-C, plus the Section III optimizations).
+
+Execution runs in two passes over the GHD, exactly as the paper
+describes:
+
+1. **Bottom-up**: Algorithm 1 (the generic worst-case optimal join) runs
+   inside each node; a node's participants are its own atoms *plus the
+   materialized results of its children* projected onto shared
+   attributes, so child selections semijoin-reduce their parents.
+2. **Top-down**: when the projection spans several nodes, a Yannakakis-
+   style pass joins node results downward from the root to materialize
+   the final answer.
+
+The +Pipelining optimization (Definition 2) fuses the root with one
+pipelineable child at execution time: the child's atoms and child-results
+join directly in the root's generic join, so the child's intermediate
+result is never materialized.
+"""
+
+from __future__ import annotations
+
+from repro.core.generic_join import Participant, generic_join
+from repro.core.planner import Plan
+from repro.core.query import Variable
+from repro.core.statistics import atom_relation
+from repro.errors import ExecutionError
+from repro.relalg.kernels import cross_product, natural_join
+from repro.storage.catalog import Catalog
+from repro.storage.relation import Relation
+from repro.trie.trie import Trie
+
+
+class GHDExecutor:
+    """Executes :class:`~repro.core.planner.Plan`s against a catalog."""
+
+    def __init__(self, catalog: Catalog) -> None:
+        self.catalog = catalog
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def execute(self, plan: Plan) -> Relation:
+        """Run the plan; returns the projected, distinct result."""
+        ghd = plan.ghd
+        results: dict[int, Relation] = {}
+        fused_child = plan.pipelined_child
+
+        names = [v.name for v in plan.query.projection]
+        for node in ghd.postorder():
+            node_id = node.node_id
+            if node_id == fused_child:
+                continue  # executed fused with the root
+            if node_id == ghd.root and fused_child is not None:
+                results[node_id] = self._execute_node(
+                    plan, node_id, results, fused=fused_child
+                )
+            else:
+                results[node_id] = self._execute_node(
+                    plan, node_id, results, fused=None
+                )
+            if results[node_id].num_rows == 0:
+                # Any empty node result empties the whole (inner) join.
+                return Relation.empty(plan.query.name, names)
+
+        final = self._materialize(plan, results)
+        return final.project(names).distinct().rename(name=plan.query.name)
+
+    # ------------------------------------------------------------------
+    # Bottom-up: one node = one generic worst-case optimal join
+    # ------------------------------------------------------------------
+    def _execute_node(
+        self,
+        plan: Plan,
+        node_id: int,
+        results: dict[int, Relation],
+        fused: int | None,
+    ) -> Relation:
+        ghd = plan.ghd
+        node = ghd.node(node_id)
+        member_nodes = [node]
+        if fused is not None:
+            member_nodes.append(ghd.node(fused))
+
+        # Attribute order: global order restricted to the (fused) chi.
+        chi: set[Variable] = set()
+        atom_indices: list[int] = []
+        child_ids: list[int] = []
+        for member in member_nodes:
+            chi.update(member.chi)
+            atom_indices.extend(member.atom_indices)
+            child_ids.extend(
+                c for c in member.children if c not in (fused,)
+            )
+        attrs = [v for v in plan.global_order if v in chi]
+
+        participants: list[Participant] = []
+        for atom_index in atom_indices:
+            participants.append(
+                self._atom_participant(plan, atom_index, attrs)
+            )
+        for child_id in child_ids:
+            participant = self._child_participant(
+                plan, child_id, attrs, results[child_id]
+            )
+            if participant is not None:
+                participants.append(participant)
+
+        selections = {
+            v: plan.query.selections[v]
+            for v in attrs
+            if v in plan.query.selections
+        }
+        output_attrs = [v for v in attrs if v not in selections]
+        return generic_join(
+            attrs,
+            participants,
+            selections,
+            output_attrs,
+            name=f"node{node_id}",
+        )
+
+    def _atom_participant(
+        self, plan: Plan, atom_index: int, attrs: list[Variable]
+    ) -> Participant:
+        atom = plan.query.atoms[atom_index]
+        relation = atom_relation(self.catalog, atom)
+        var_order = [v for v in attrs if v in set(atom.variables)]
+        # Map the variable order back to the *stored* relation's column
+        # names so the catalog's trie cache is shared across queries
+        # (the view returned by atom_relation renames columns to the
+        # query's variable names; the catalog keeps the original names).
+        stored = self.catalog.get(relation.name)
+        name_for = {
+            var_name: stored.attributes[i]
+            for i, var_name in enumerate(relation.attributes)
+        }
+        original_order = [name_for[v.name] for v in var_order]
+        trie = self.catalog.trie(
+            relation.name,
+            original_order,
+            force_layout=plan.config.force_layout,
+        )
+        return Participant(
+            trie=trie, attrs=tuple(var_order), label=repr(atom)
+        )
+
+    def _child_participant(
+        self,
+        plan: Plan,
+        child_id: int,
+        attrs: list[Variable],
+        child_result: Relation,
+    ) -> Participant | None:
+        """The child's result projected onto shared attributes, as a trie."""
+        attr_set = set(attrs)
+        shared = [
+            v
+            for v in attrs
+            if v in attr_set
+            and v.name in child_result.attributes
+        ]
+        shared = [v for v in shared if v in attr_set]
+        if not shared:
+            return None
+        names = [v.name for v in shared]
+        projected = child_result.project(names).distinct()
+        trie = Trie.from_relation(
+            projected, names, force_layout=plan.config.force_layout
+        )
+        return Participant(
+            trie=trie, attrs=tuple(shared), label=f"child{child_id}"
+        )
+
+    # ------------------------------------------------------------------
+    # Top-down: Yannakakis materialization across nodes
+    # ------------------------------------------------------------------
+    def _materialize(self, plan: Plan, results: dict[int, Relation]) -> Relation:
+        ghd = plan.ghd
+        root_result = results[ghd.root]
+        projection_names = {v.name for v in plan.query.projection}
+
+        # Which projection attributes live in each subtree?
+        needed_below: dict[int, set[str]] = {}
+
+        def collect(node_id: int) -> set[str]:
+            node = ghd.node(node_id)
+            if node_id in results:
+                own = set(results[node_id].attributes) & projection_names
+            else:  # the fused child: its attrs are already in the root
+                own = set()
+            for child in node.children:
+                own |= collect(child)
+            needed_below[node_id] = own
+            return own
+
+        collect(ghd.root)
+
+        acc = root_result
+        fused = plan.pipelined_child
+
+        def descend(node_id: int) -> None:
+            nonlocal acc
+            node = ghd.node(node_id)
+            for child_id in node.children:
+                if child_id == fused:
+                    # Fused child: its result is part of the root's; its
+                    # own children may still add projection attributes.
+                    descend(child_id)
+                    continue
+                missing = needed_below[child_id] - set(acc.attributes)
+                if not missing:
+                    continue
+                child_result = results[child_id]
+                if any(a in acc.attributes for a in child_result.attributes):
+                    acc = natural_join(acc, child_result)
+                else:
+                    acc = cross_product(acc, child_result)
+                descend(child_id)
+
+        descend(ghd.root)
+
+        missing = projection_names - set(acc.attributes)
+        if missing:  # pragma: no cover - defended against by the planner
+            raise ExecutionError(
+                f"projection attributes {sorted(missing)} were not "
+                "materialized by the plan"
+            )
+        return acc

@@ -1,0 +1,111 @@
+"""Query hypergraphs (Section II-B).
+
+"A hypergraph is a pair H = (V, E), consisting of a nonempty set V of
+vertices, and a set E of subsets of V. There is a vertex for each
+attribute of the query and a hyperedge for each relation."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.query import NormalizedQuery, Variable
+
+
+@dataclass(frozen=True)
+class Hyperedge:
+    """One hyperedge: the variables of one atom, tagged by atom index."""
+
+    atom_index: int
+    relation: str
+    vertices: frozenset[Variable]
+
+    def __repr__(self) -> str:
+        names = ",".join(sorted(v.name for v in self.vertices))
+        return f"e{self.atom_index}:{self.relation}({names})"
+
+
+@dataclass(frozen=True)
+class Hypergraph:
+    """The hypergraph of a normalized query."""
+
+    vertices: frozenset[Variable]
+    edges: tuple[Hyperedge, ...]
+
+    @classmethod
+    def from_query(cls, query: NormalizedQuery) -> "Hypergraph":
+        edges = tuple(
+            Hyperedge(
+                atom_index=i,
+                relation=atom.relation,
+                vertices=frozenset(atom.variables),
+            )
+            for i, atom in enumerate(query.atoms)
+        )
+        vertices: set[Variable] = set()
+        for edge in edges:
+            vertices.update(edge.vertices)
+        return cls(vertices=frozenset(vertices), edges=edges)
+
+    def edges_containing(self, vertex: Variable) -> list[Hyperedge]:
+        return [e for e in self.edges if vertex in e.vertices]
+
+    def is_connected(self) -> bool:
+        """Whether the hypergraph is connected (via shared vertices)."""
+        if not self.edges:
+            return True
+        seen = {0}
+        frontier = [0]
+        while frontier:
+            current = frontier.pop()
+            for i, edge in enumerate(self.edges):
+                if i not in seen and (
+                    self.edges[current].vertices & edge.vertices
+                ):
+                    seen.add(i)
+                    frontier.append(i)
+        return len(seen) == len(self.edges)
+
+    def connected_components(self) -> list[list[Hyperedge]]:
+        """Partition edges into connected components."""
+        remaining = set(range(len(self.edges)))
+        components: list[list[Hyperedge]] = []
+        while remaining:
+            start = remaining.pop()
+            component = {start}
+            frontier = [start]
+            while frontier:
+                current = frontier.pop()
+                for i in list(remaining):
+                    if self.edges[current].vertices & self.edges[i].vertices:
+                        remaining.discard(i)
+                        component.add(i)
+                        frontier.append(i)
+            components.append([self.edges[i] for i in sorted(component)])
+        return components
+
+    def has_cycle(self) -> bool:
+        """True when the hypergraph is cyclic (not alpha-acyclic).
+
+        Uses the GYO reduction: repeatedly remove *ear* edges (edges whose
+        vertices are covered by a single other edge after removing private
+        vertices). The hypergraph is alpha-acyclic iff the reduction
+        empties it. LUBM queries 2 and 9 are the cyclic ones.
+        """
+        edges = [set(e.vertices) for e in self.edges]
+        changed = True
+        while changed and len(edges) > 1:
+            changed = False
+            # Count vertex occurrences.
+            counts: dict[Variable, int] = {}
+            for edge in edges:
+                for v in edge:
+                    counts[v] = counts.get(v, 0) + 1
+            for i, edge in enumerate(edges):
+                shared = {v for v in edge if counts[v] > 1}
+                others = edges[:i] + edges[i + 1 :]
+                if not shared or any(shared <= other for other in others):
+                    edges.pop(i)
+                    changed = True
+                    break
+        return len(edges) > 1

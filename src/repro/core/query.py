@@ -1,0 +1,189 @@
+"""Conjunctive-query model shared by every engine.
+
+A query is a set of atoms over named relations plus a projection list.
+Atom terms are either variables or constants; :func:`normalize` rewrites
+constants into *selection variables* — fresh variables carrying an
+equality selection — which is exactly how the paper presents queries
+(e.g. ``type(x, a='GraduateStudent')`` in Section II-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.errors import PlanningError
+
+
+@dataclass(frozen=True, order=True)
+class Variable:
+    """A query variable, identified by name."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"?{self.name}"
+
+
+@dataclass(frozen=True)
+class Constant:
+    """A constant term. ``value`` is lexical (str) before dictionary
+    binding and an encoded ``int`` afterwards."""
+
+    value: Union[int, str]
+
+    def __repr__(self) -> str:
+        return f"={self.value!r}"
+
+
+Term = Union[Variable, Constant]
+
+
+@dataclass(frozen=True)
+class Atom:
+    """One relational atom ``relation(terms...)``."""
+
+    relation: str
+    terms: tuple[Term, ...]
+
+    def __post_init__(self) -> None:
+        if not self.terms:
+            raise PlanningError(f"atom over {self.relation!r} has no terms")
+
+    @property
+    def variables(self) -> tuple[Variable, ...]:
+        return tuple(t for t in self.terms if isinstance(t, Variable))
+
+    @property
+    def constants(self) -> tuple[Constant, ...]:
+        return tuple(t for t in self.terms if isinstance(t, Constant))
+
+    @property
+    def has_selection(self) -> bool:
+        """True when any term is a constant (an equality selection)."""
+        return any(isinstance(t, Constant) for t in self.terms)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(t) for t in self.terms)
+        return f"{self.relation}({inner})"
+
+
+@dataclass(frozen=True)
+class ConjunctiveQuery:
+    """``SELECT projection WHERE atoms`` with set semantics."""
+
+    atoms: tuple[Atom, ...]
+    projection: tuple[Variable, ...]
+    name: str = "query"
+
+    def __post_init__(self) -> None:
+        if not self.atoms:
+            raise PlanningError("query has no atoms")
+        known = self.variables()
+        for var in self.projection:
+            if var not in known:
+                raise PlanningError(
+                    f"projected variable {var!r} does not occur in any atom"
+                )
+
+    def variables(self) -> set[Variable]:
+        """All variables occurring in the body."""
+        result: set[Variable] = set()
+        for atom in self.atoms:
+            result.update(atom.variables)
+        return result
+
+    def is_full(self) -> bool:
+        """True when every body variable is projected."""
+        return set(self.projection) == self.variables()
+
+    def __repr__(self) -> str:
+        proj = ", ".join(repr(v) for v in self.projection)
+        body = " AND ".join(repr(a) for a in self.atoms)
+        return f"{self.name}: SELECT {proj} WHERE {body}"
+
+
+@dataclass(frozen=True)
+class NormalizedQuery:
+    """A query with constants factored into per-variable selections.
+
+    Every atom term is a variable; ``selections`` maps *selection
+    variables* (fresh, one per constant occurrence) to their encoded
+    constant value. This is the planner's working representation.
+    """
+
+    atoms: tuple[Atom, ...]
+    projection: tuple[Variable, ...]
+    selections: dict[Variable, int] = field(default_factory=dict)
+    name: str = "query"
+
+    @property
+    def selection_variables(self) -> set[Variable]:
+        return set(self.selections)
+
+    def variables(self) -> set[Variable]:
+        result: set[Variable] = set()
+        for atom in self.atoms:
+            result.update(atom.variables)
+        return result
+
+    def unselected_variables(self) -> set[Variable]:
+        return self.variables() - self.selection_variables
+
+
+def normalize(query: ConjunctiveQuery) -> NormalizedQuery:
+    """Rewrite constants into selection variables.
+
+    Constants must already be dictionary-encoded integers (see
+    :func:`bind_constants`). Each constant occurrence gets a fresh
+    variable named ``_selN`` carrying the equality selection.
+    """
+    selections: dict[Variable, int] = {}
+    atoms: list[Atom] = []
+    counter = 0
+    for atom in query.atoms:
+        terms: list[Term] = []
+        for term in atom.terms:
+            if isinstance(term, Constant):
+                if not isinstance(term.value, int):
+                    raise PlanningError(
+                        f"constant {term.value!r} is unbound; call "
+                        "bind_constants() with the dataset dictionary first"
+                    )
+                var = Variable(f"_sel{counter}")
+                counter += 1
+                selections[var] = term.value
+                terms.append(var)
+            else:
+                terms.append(term)
+        atoms.append(Atom(atom.relation, tuple(terms)))
+    return NormalizedQuery(
+        atoms=tuple(atoms),
+        projection=query.projection,
+        selections=selections,
+        name=query.name,
+    )
+
+
+def bind_constants(query: ConjunctiveQuery, dictionary) -> ConjunctiveQuery | None:
+    """Encode lexical constants through the dataset dictionary.
+
+    Returns ``None`` when some constant never occurs in the data — the
+    query is then provably empty and engines can skip execution (all of
+    them do, uniformly, so the comparison stays fair).
+    """
+    atoms: list[Atom] = []
+    for atom in query.atoms:
+        terms: list[Term] = []
+        for term in atom.terms:
+            if isinstance(term, Constant) and isinstance(term.value, str):
+                key = dictionary.lookup(term.value)
+                if key is None:
+                    return None
+                terms.append(Constant(key))
+            else:
+                terms.append(term)
+        atoms.append(Atom(atom.relation, tuple(terms)))
+    return ConjunctiveQuery(
+        atoms=tuple(atoms), projection=query.projection, name=query.name
+    )

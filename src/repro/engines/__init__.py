@@ -1,0 +1,43 @@
+"""The five engines benchmarked in the paper (Section IV-A2).
+
+* :class:`EmptyHeadedEngine` — worst-case optimal joins over GHD plans
+  with the three classic optimizations (the paper's contribution).
+* :class:`LogicBloxLikeEngine` — worst-case optimal joins without
+  optimized plans or indexes (single-node plans, uint-array tries only).
+* :class:`ColumnStoreEngine` — "MonetDB": vertically partitioned column
+  scans + Selinger-ordered pairwise hash/merge joins.
+* :class:`RDF3XLikeEngine` — specialized RDF engine with all six triple
+  permutation indexes and selectivity-driven pairwise join ordering.
+* :class:`TripleBitLikeEngine` — specialized RDF engine with compact
+  per-predicate dual-order matrices and greedy join ordering.
+
+All engines share one dictionary (via the
+:class:`~repro.storage.vertical.VerticallyPartitionedStore`), parse the
+same SPARQL subset, and return identical result relations — the
+integration suite asserts this on every LUBM query.
+"""
+
+from repro.engines.base import Engine
+from repro.engines.emptyheaded import EmptyHeadedEngine
+from repro.engines.logicblox import LogicBloxLikeEngine
+from repro.engines.pairwise import ColumnStoreEngine
+from repro.engines.rdf3x import RDF3XLikeEngine
+from repro.engines.triplebit import TripleBitLikeEngine
+
+ALL_ENGINES = (
+    EmptyHeadedEngine,
+    LogicBloxLikeEngine,
+    ColumnStoreEngine,
+    RDF3XLikeEngine,
+    TripleBitLikeEngine,
+)
+
+__all__ = [
+    "ALL_ENGINES",
+    "ColumnStoreEngine",
+    "EmptyHeadedEngine",
+    "Engine",
+    "LogicBloxLikeEngine",
+    "RDF3XLikeEngine",
+    "TripleBitLikeEngine",
+]

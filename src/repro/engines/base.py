@@ -1,0 +1,84 @@
+"""Common engine interface.
+
+Every engine is constructed over a
+:class:`~repro.storage.vertical.VerticallyPartitionedStore` and answers
+SPARQL (subset) strings or pre-built conjunctive queries with a
+:class:`~repro.storage.relation.Relation` of dictionary-encoded rows.
+
+Constants are bound through the shared dictionary before planning; a
+constant that never occurs in the data short-circuits to an empty result
+in *every* engine, keeping the comparison fair.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.core.query import ConjunctiveQuery, bind_constants
+from repro.sparql.parser import parse_sparql
+from repro.sparql.translate import sparql_to_query
+from repro.storage.relation import Relation
+from repro.storage.vertical import VerticallyPartitionedStore
+
+
+class Engine(ABC):
+    """Abstract query engine over a vertically partitioned RDF store."""
+
+    name: str = "engine"
+
+    def __init__(self, store: VerticallyPartitionedStore) -> None:
+        self.store = store
+        self.dictionary = store.dictionary
+        self._sparql_cache: dict[str, ConjunctiveQuery] = {}
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def execute_sparql(self, text: str, name: str = "query") -> Relation:
+        """Parse, translate, and execute a SPARQL (subset) query."""
+        query = self._sparql_cache.get(text)
+        if query is None:
+            query = sparql_to_query(parse_sparql(text), name=name)
+            self._sparql_cache[text] = query
+        # SPARQL semantics: a pattern over a predicate with no triples
+        # matches nothing (it is not a schema error).
+        if any(atom.relation not in self.store.tables for atom in query.atoms):
+            return Relation.empty(
+                query.name, [v.name for v in query.projection]
+            )
+        return self.execute(query)
+
+    def execute(self, query: ConjunctiveQuery) -> Relation:
+        """Execute a conjunctive query with lexical or encoded constants."""
+        bound = bind_constants(query, self.dictionary)
+        if bound is None:
+            return Relation.empty(
+                query.name, [v.name for v in query.projection]
+            )
+        return self._execute_bound(bound)
+
+    def decode(self, relation: Relation) -> list[tuple[str, ...]]:
+        """Decode a result relation back to lexical terms (row tuples)."""
+        decode = self.dictionary.decode
+        return [
+            tuple(decode(value) for value in row)
+            for row in relation.iter_rows()
+        ]
+
+    def warm(self, text: str) -> None:
+        """Run a query once to populate plan and index caches.
+
+        Mirrors the paper's methodology: queries run back-to-back and the
+        slowest (compilation-bearing) run is discarded.
+        """
+        self.execute_sparql(text)
+
+    # ------------------------------------------------------------------
+    # Engine-specific execution
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def _execute_bound(self, query: ConjunctiveQuery) -> Relation:
+        """Execute a query whose constants are dictionary-encoded."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} over {self.store.num_triples} triples>"

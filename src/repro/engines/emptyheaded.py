@@ -1,0 +1,69 @@
+"""The EmptyHeaded-style engine: WCOJ + GHD plans + classic optimizations.
+
+This is the paper's primary system. The engine compiles a conjunctive
+query into a GHD plan (cached, as EmptyHeaded caches compiled queries)
+and executes it with the generic worst-case optimal join per node.
+The :class:`~repro.core.config.OptimizationConfig` switches the paper's
+Table I optimizations on and off individually, which is how the ablation
+benchmarks drive this class.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import OptimizationConfig
+from repro.core.executor import GHDExecutor
+from repro.core.planner import Plan, Planner
+from repro.core.query import ConjunctiveQuery
+from repro.engines.base import Engine
+from repro.storage.relation import Relation
+from repro.storage.vertical import VerticallyPartitionedStore
+
+
+class EmptyHeadedEngine(Engine):
+    """Worst-case optimal engine with GHD plans (the paper's EH)."""
+
+    name = "emptyheaded"
+
+    def __init__(
+        self,
+        store: VerticallyPartitionedStore,
+        config: OptimizationConfig | None = None,
+    ) -> None:
+        super().__init__(store)
+        self.config = config if config is not None else OptimizationConfig.all_on()
+        self.catalog = self._build_catalog(store)
+        self.planner = Planner(self.catalog, self.config)
+        self.executor = GHDExecutor(self.catalog)
+        self._plan_cache: dict[ConjunctiveQuery, Plan] = {}
+
+    @staticmethod
+    def _build_catalog(store: VerticallyPartitionedStore):
+        from repro.storage.catalog import Catalog
+
+        catalog = Catalog()
+        catalog.register_all(store.relations())
+        return catalog
+
+    def plan_for(self, query: ConjunctiveQuery) -> Plan:
+        """The (cached) GHD plan for an encoded-constant query."""
+        plan = self._plan_cache.get(query)
+        if plan is None:
+            plan = self.planner.plan(query)
+            self._plan_cache[query] = plan
+        return plan
+
+    def explain_sparql(self, text: str) -> str:
+        """The plan description for a SPARQL query (see Plan.explain)."""
+        from repro.core.query import bind_constants
+        from repro.sparql.parser import parse_sparql
+        from repro.sparql.translate import sparql_to_query
+
+        query = sparql_to_query(parse_sparql(text))
+        bound = bind_constants(query, self.dictionary)
+        if bound is None:
+            return "empty result: some constant does not occur in the data"
+        return self.plan_for(bound).explain()
+
+    def _execute_bound(self, query: ConjunctiveQuery) -> Relation:
+        plan = self.plan_for(query)
+        return self.executor.execute(plan)

@@ -1,0 +1,30 @@
+"""LogicBlox-like engine: generic WCOJ without the classic optimizations.
+
+The paper characterizes LogicBlox as the first commercial WCOJ engine
+but notes it "does not come with fully optimized query plans or
+indexes" — it matches EmptyHeaded on cyclic queries (same asymptotics)
+yet trails by orders of magnitude on selective acyclic queries.
+
+We model that profile as the EmptyHeaded code path with every classic
+optimization disabled:
+
+* single-node plans (the whole query in one generic join — no GHD
+  decomposition, no pipelining),
+* sorted uint-array tries only (no bitset layout),
+* attribute order as written in the query (no selection-first reorder).
+"""
+
+from __future__ import annotations
+
+from repro.core.config import OptimizationConfig
+from repro.engines.emptyheaded import EmptyHeadedEngine
+from repro.storage.vertical import VerticallyPartitionedStore
+
+
+class LogicBloxLikeEngine(EmptyHeadedEngine):
+    """Generic worst-case optimal join baseline ("LogicBlox")."""
+
+    name = "logicblox-like"
+
+    def __init__(self, store: VerticallyPartitionedStore) -> None:
+        super().__init__(store, config=OptimizationConfig.all_off())

@@ -1,0 +1,181 @@
+"""Sorted triple-permutation indexes shared by the specialized engines.
+
+RDF-3X "creates a full set of subject-predicate-object indexes by
+building clustering B+ trees on all six permutations of the triples" and
+keeps aggregate indexes for selectivity estimation. In memory, a sorted
+column triple with hierarchical binary search provides the same access
+pattern: any bound prefix of a permutation resolves to a contiguous row
+range in O(log N).
+
+:class:`TripleIndex` implements one permutation; :class:`TripleTable`
+reconstructs the (deduplicated) encoded triple table from a vertically
+partitioned store and materializes the requested permutations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.storage.vertical import VerticallyPartitionedStore
+
+S, P, O = 0, 1, 2
+COMPONENT_NAMES = ("subject", "predicate", "object")
+ALL_PERMUTATIONS = ("spo", "sop", "pso", "pos", "osp", "ops")
+
+
+def _component(letter: str) -> int:
+    try:
+        return "spo".index(letter)
+    except ValueError:
+        raise StorageError(f"bad permutation component {letter!r}") from None
+
+
+class TripleIndex:
+    """One sorted permutation of the triple table."""
+
+    __slots__ = ("permutation", "columns")
+
+    def __init__(self, permutation: str, triple_columns) -> None:
+        if len(permutation) != 3 or set(permutation) != {"s", "p", "o"}:
+            raise StorageError(f"bad permutation {permutation!r}")
+        self.permutation = permutation
+        components = [_component(c) for c in permutation]
+        keys = [triple_columns[c] for c in components]
+        order = np.lexsort((keys[2], keys[1], keys[0]))
+        self.columns = tuple(k[order] for k in keys)
+
+    def __len__(self) -> int:
+        return int(self.columns[0].shape[0])
+
+    def range_for_prefix(self, *bound: int) -> tuple[int, int]:
+        """Row range matching a bound prefix of the permutation."""
+        if len(bound) > 3:
+            raise StorageError("prefix longer than a triple")
+        lo, hi = 0, len(self)
+        for level, value in enumerate(bound):
+            column = self.columns[level]
+            lo = lo + int(
+                np.searchsorted(column[lo:hi], value, side="left")
+            )
+            hi = lo + int(
+                np.searchsorted(column[lo:hi], value, side="right")
+            )
+        return lo, hi
+
+    def count_prefix(self, *bound: int) -> int:
+        """Aggregate-index lookup: matching triple count for a prefix."""
+        lo, hi = self.range_for_prefix(*bound)
+        return hi - lo
+
+    def slice_columns(
+        self, lo: int, hi: int, components: str
+    ) -> list[np.ndarray]:
+        """Columns (by permutation letters) for a row range."""
+        result = []
+        for letter in components:
+            level = self.permutation.index(letter)
+            result.append(self.columns[level][lo:hi])
+        return result
+
+
+class TripleTable:
+    """The encoded triple table plus its permutation indexes."""
+
+    def __init__(
+        self,
+        store: VerticallyPartitionedStore,
+        permutations: tuple[str, ...] = ALL_PERMUTATIONS,
+    ) -> None:
+        subjects: list[np.ndarray] = []
+        predicates: list[np.ndarray] = []
+        objects: list[np.ndarray] = []
+        dictionary = store.dictionary
+        for name, relation in sorted(store.tables.items()):
+            predicate_iri = store.predicate_iris[name]
+            predicate_key = dictionary.encode(predicate_iri)
+            n = relation.num_rows
+            subjects.append(relation.column("subject"))
+            predicates.append(np.full(n, predicate_key, dtype=np.uint32))
+            objects.append(relation.column("object"))
+        if subjects:
+            self.columns = (
+                np.concatenate(subjects),
+                np.concatenate(predicates),
+                np.concatenate(objects),
+            )
+        else:  # pragma: no cover - empty store
+            self.columns = (
+                np.empty(0, dtype=np.uint32),
+                np.empty(0, dtype=np.uint32),
+                np.empty(0, dtype=np.uint32),
+            )
+        self.indexes = {
+            perm: TripleIndex(perm, self.columns) for perm in permutations
+        }
+        # Aggregate indexes (RDF-3X keeps nine; we keep the per-predicate
+        # binary projections the planner consults): for each predicate,
+        # the triple count and the distinct subject/object counts.
+        self.predicate_stats: dict[int, tuple[int, int, int]] = {}
+        pso = self.indexes.get("pso") or TripleIndex("pso", self.columns)
+        predicates = pso.columns[0]
+        boundaries = np.flatnonzero(
+            np.concatenate(
+                [[True], predicates[1:] != predicates[:-1]]
+            )
+        ) if predicates.size else np.empty(0, dtype=np.int64)
+        ends = np.concatenate([boundaries[1:], [predicates.size]]).astype(
+            np.int64
+        ) if predicates.size else np.empty(0, dtype=np.int64)
+        for start, end in zip(boundaries, ends):
+            predicate = int(predicates[start])
+            subjects = pso.columns[1][start:end]
+            objects = pso.columns[2][start:end]
+            self.predicate_stats[predicate] = (
+                int(end - start),
+                int(np.unique(subjects).size),
+                int(np.unique(objects).size),
+            )
+
+    @property
+    def num_triples(self) -> int:
+        return int(self.columns[0].shape[0])
+
+    def index(self, permutation: str) -> TripleIndex:
+        try:
+            return self.indexes[permutation]
+        except KeyError:
+            raise StorageError(
+                f"permutation {permutation!r} was not materialized "
+                f"(have {sorted(self.indexes)})"
+            ) from None
+
+    def best_permutation(self, bound_s: bool, bound_p: bool, bound_o: bool) -> str:
+        """The permutation whose prefix covers the bound components.
+
+        Chosen so that bound components come first and, among free
+        components, subject precedes object (RDF-3X's default collation).
+        """
+        bound = [
+            letter
+            for letter, flag in (("s", bound_s), ("p", bound_p), ("o", bound_o))
+            if flag
+        ]
+        free = [
+            letter
+            for letter, flag in (("s", bound_s), ("p", bound_p), ("o", bound_o))
+            if not flag
+        ]
+        for permutation in self.indexes:
+            if list(permutation[: len(bound)]) == bound or (
+                set(permutation[: len(bound)]) == set(bound)
+            ):
+                if [c for c in permutation[len(bound) :]] == free:
+                    return permutation
+        # Fall back to any permutation with the bound set as a prefix.
+        for permutation in self.indexes:
+            if set(permutation[: len(bound)]) == set(bound):
+                return permutation
+        raise StorageError(
+            f"no permutation covers bound components {bound}"
+        )  # pragma: no cover - all six permutations cover everything

@@ -1,0 +1,64 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch one type at an engine boundary.
+The hierarchy mirrors the major subsystems: storage, query language,
+planning, and execution.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class StorageError(ReproError):
+    """Errors from the storage layer (relations, catalogs, dictionaries)."""
+
+
+class UnknownRelationError(StorageError):
+    """A query referenced a relation that is not in the catalog."""
+
+    def __init__(self, name: str, known: list[str] | None = None) -> None:
+        self.name = name
+        self.known = sorted(known) if known else []
+        hint = f" (known: {', '.join(self.known[:8])}...)" if self.known else ""
+        super().__init__(f"unknown relation {name!r}{hint}")
+
+
+class ArityMismatchError(StorageError):
+    """An atom used a relation with the wrong number of attributes."""
+
+    def __init__(self, name: str, expected: int, got: int) -> None:
+        self.name = name
+        self.expected = expected
+        self.got = got
+        super().__init__(
+            f"relation {name!r} has arity {expected}, atom supplied {got} terms"
+        )
+
+
+class DictionaryError(StorageError):
+    """A value could not be encoded or a key could not be decoded."""
+
+
+class ParseError(ReproError):
+    """The SPARQL (subset) parser rejected a query string."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        self.position = position
+        where = f" at offset {position}" if position is not None else ""
+        super().__init__(f"{message}{where}")
+
+
+class PlanningError(ReproError):
+    """The optimizer could not produce a plan (e.g., no valid GHD)."""
+
+
+class ExecutionError(ReproError):
+    """A plan failed during execution."""
+
+
+class ConfigError(ReproError):
+    """An invalid engine or optimizer configuration was supplied."""

@@ -1,0 +1,26 @@
+"""LUBM benchmark substrate: data generator and queries.
+
+The Lehigh University Benchmark (Guo et al., 2005) couples a synthetic
+university-domain data generator with 14 SPARQL queries. The paper runs
+queries 1-5, 7-9, and 11-14 (6 and 10 duplicate other queries once the
+inference step is removed) over 133M generated triples.
+
+This package reimplements the UBA generator's entity structure and
+cardinality ratios (:mod:`repro.lubm.generator`) and carries the paper's
+exact query texts (:mod:`repro.lubm.queries`), parameterized only where a
+constant references an entity that does not exist at small scale.
+"""
+
+from repro.lubm.generator import GeneratorConfig, LubmDataset, generate_dataset, generate_triples
+from repro.lubm.queries import PAPER_OUTPUT_CARDINALITIES, PAPER_QUERY_IDS, lubm_query, lubm_queries
+
+__all__ = [
+    "GeneratorConfig",
+    "LubmDataset",
+    "PAPER_OUTPUT_CARDINALITIES",
+    "PAPER_QUERY_IDS",
+    "generate_dataset",
+    "generate_triples",
+    "lubm_query",
+    "lubm_queries",
+]

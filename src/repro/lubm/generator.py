@@ -1,0 +1,277 @@
+"""Synthetic LUBM data generator (UBA reimplementation).
+
+Generates the university-domain RDF graph the LUBM queries run over:
+universities containing departments; faculty of four ranks with degrees,
+courses, and publications; undergraduate and graduate students with
+course loads and advisors; and research groups. Entity counts follow the
+UBA ranges in :mod:`repro.lubm.ontology`, so query selectivities scale
+the same way the paper's 133M-triple dataset does.
+
+Two details matter for query shapes and are preserved deliberately:
+
+* Degree-granting universities are sampled from a *pool* larger than the
+  generated universities (UBA references such universities by URI
+  without materializing their departments). This keeps LUBM query 2 — the
+  triangle query — selective even at 1-university scale: a graduate
+  student's undergraduate university only occasionally coincides with the
+  university their current department belongs to.
+* Research groups are ``subOrganizationOf`` their *department*, never the
+  university, so query 11 returns zero rows without ontology inference,
+  matching the paper (Table II runs LUBM "removing the inference step").
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from repro.lubm import ontology as onto
+from repro.rdf.model import Triple
+from repro.rdf.vocabulary import RDF_TYPE, UB
+from repro.storage.catalog import Catalog
+from repro.storage.vertical import VerticallyPartitionedStore, vertically_partition
+
+_FACULTY_RANKS = (
+    ("FullProfessor", UB.FullProfessor, onto.FULL_PROFESSORS,
+     onto.PUBLICATIONS_FULL_PROFESSOR),
+    ("AssociateProfessor", UB.AssociateProfessor, onto.ASSOCIATE_PROFESSORS,
+     onto.PUBLICATIONS_ASSOCIATE_PROFESSOR),
+    ("AssistantProfessor", UB.AssistantProfessor, onto.ASSISTANT_PROFESSORS,
+     onto.PUBLICATIONS_ASSISTANT_PROFESSOR),
+    ("Lecturer", UB.Lecturer, onto.LECTURERS, onto.PUBLICATIONS_LECTURER),
+)
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Knobs for the synthetic generator.
+
+    ``universities`` scales the dataset (LUBM(N) in benchmark parlance);
+    ``degree_pool`` is the number of universities that can appear as
+    degree grantors (see module docstring); ``seed`` fixes all sampling.
+    """
+
+    universities: int = 1
+    seed: int = 0
+    degree_pool: int = onto.DEFAULT_DEGREE_UNIVERSITY_POOL
+
+    def __post_init__(self) -> None:
+        if self.universities < 1:
+            raise ValueError("need at least one university")
+        if self.degree_pool < self.universities:
+            object.__setattr__(
+                self, "degree_pool", max(self.universities, 1)
+            )
+
+
+@dataclass
+class _Faculty:
+    uri: str
+    rank_class: str
+    courses: list[str] = field(default_factory=list)
+    graduate_courses: list[str] = field(default_factory=list)
+
+
+def generate_triples(config: GeneratorConfig) -> Iterator[Triple]:
+    """Stream the full LUBM graph for ``config`` as string triples."""
+    rng = random.Random(config.seed)
+    for univ_index in range(config.universities):
+        yield from _university(univ_index, config, rng)
+
+
+def _university(
+    univ_index: int, config: GeneratorConfig, rng: random.Random
+) -> Iterator[Triple]:
+    univ = onto.university_uri(univ_index)
+    yield Triple(univ, RDF_TYPE, UB.University)
+    n_departments = rng.randint(
+        onto.DEPARTMENTS_PER_UNIVERSITY.lo, onto.DEPARTMENTS_PER_UNIVERSITY.hi
+    )
+    for dept_index in range(n_departments):
+        yield from _department(univ_index, dept_index, univ, config, rng)
+
+
+def _department(
+    univ_index: int,
+    dept_index: int,
+    univ: str,
+    config: GeneratorConfig,
+    rng: random.Random,
+) -> Iterator[Triple]:
+    dept = onto.department_uri(univ_index, dept_index)
+    yield Triple(dept, RDF_TYPE, UB.Department)
+    yield Triple(dept, UB.subOrganizationOf, univ)
+
+    member = lambda kind, i: onto.department_member_uri(  # noqa: E731
+        univ_index, dept_index, kind, i
+    )
+
+    # ------------------------------------------------------------------
+    # Faculty: ranks, degrees, contact details, courses, publications.
+    # ------------------------------------------------------------------
+    faculty: list[_Faculty] = []
+    course_count = 0
+    graduate_course_count = 0
+    courses: list[str] = []
+    graduate_courses: list[str] = []
+    for kind, rank_class, count_range, pub_range in _FACULTY_RANKS:
+        n_rank = rng.randint(count_range.lo, count_range.hi)
+        for i in range(n_rank):
+            person = member(kind, i)
+            record = _Faculty(person, rank_class)
+            faculty.append(record)
+            yield Triple(person, RDF_TYPE, rank_class)
+            yield Triple(person, UB.worksFor, dept)
+            yield Triple(person, UB.name, onto.name_for(kind, i))
+            yield Triple(person, UB.emailAddress, onto.email_for(person))
+            yield Triple(person, UB.telephone, _telephone(rng))
+            for prop in (
+                UB.undergraduateDegreeFrom,
+                UB.mastersDegreeFrom,
+                UB.doctoralDegreeFrom,
+            ):
+                degree_univ = onto.university_uri(
+                    rng.randrange(config.degree_pool)
+                )
+                yield Triple(person, prop, degree_univ)
+            n_courses = rng.randint(
+                onto.COURSES_PER_FACULTY.lo, onto.COURSES_PER_FACULTY.hi
+            )
+            for _ in range(n_courses):
+                course = member("Course", course_count)
+                course_count += 1
+                courses.append(course)
+                record.courses.append(course)
+                yield Triple(course, RDF_TYPE, UB.Course)
+                yield Triple(person, UB.teacherOf, course)
+            n_grad_courses = rng.randint(
+                onto.GRADUATE_COURSES_PER_FACULTY.lo,
+                onto.GRADUATE_COURSES_PER_FACULTY.hi,
+            )
+            for _ in range(n_grad_courses):
+                course = member("GraduateCourse", graduate_course_count)
+                graduate_course_count += 1
+                graduate_courses.append(course)
+                record.graduate_courses.append(course)
+                yield Triple(course, RDF_TYPE, UB.GraduateCourse)
+                yield Triple(person, UB.teacherOf, course)
+            n_pubs = rng.randint(pub_range.lo, pub_range.hi)
+            for p in range(n_pubs):
+                publication = onto.publication_uri(person, p)
+                yield Triple(publication, RDF_TYPE, UB.Publication)
+                yield Triple(publication, UB.publicationAuthor, person)
+
+    # The department head is one full professor.
+    full_professors = [f for f in faculty if f.rank_class == UB.FullProfessor]
+    head = rng.choice(full_professors)
+    yield Triple(head.uri, UB.headOf, dept)
+
+    # ------------------------------------------------------------------
+    # Students.
+    # ------------------------------------------------------------------
+    n_faculty = len(faculty)
+    n_undergrads = n_faculty * rng.randint(
+        onto.UNDERGRADUATES_PER_FACULTY.lo, onto.UNDERGRADUATES_PER_FACULTY.hi
+    )
+    n_grads = n_faculty * rng.randint(
+        onto.GRADUATES_PER_FACULTY.lo, onto.GRADUATES_PER_FACULTY.hi
+    )
+
+    professors = [f for f in faculty if f.rank_class != UB.Lecturer]
+    for i in range(n_undergrads):
+        person = member("UndergraduateStudent", i)
+        yield Triple(person, RDF_TYPE, UB.UndergraduateStudent)
+        yield Triple(person, UB.memberOf, dept)
+        yield Triple(person, UB.name, onto.name_for("UndergraduateStudent", i))
+        yield Triple(person, UB.emailAddress, onto.email_for(person))
+        yield Triple(person, UB.telephone, _telephone(rng))
+        for course in rng.sample(
+            courses,
+            min(
+                len(courses),
+                rng.randint(
+                    onto.COURSES_PER_UNDERGRADUATE.lo,
+                    onto.COURSES_PER_UNDERGRADUATE.hi,
+                ),
+            ),
+        ):
+            yield Triple(person, UB.takesCourse, course)
+        if rng.randrange(onto.UNDERGRADUATE_ADVISOR_RATIO) == 0:
+            yield Triple(person, UB.advisor, rng.choice(professors).uri)
+
+    for i in range(n_grads):
+        person = member("GraduateStudent", i)
+        yield Triple(person, RDF_TYPE, UB.GraduateStudent)
+        yield Triple(person, UB.memberOf, dept)
+        yield Triple(person, UB.name, onto.name_for("GraduateStudent", i))
+        yield Triple(person, UB.emailAddress, onto.email_for(person))
+        yield Triple(person, UB.telephone, _telephone(rng))
+        degree_univ = onto.university_uri(rng.randrange(config.degree_pool))
+        yield Triple(person, UB.undergraduateDegreeFrom, degree_univ)
+        advisor = rng.choice(professors)
+        yield Triple(person, UB.advisor, advisor.uri)
+        n_courses = rng.randint(
+            onto.COURSES_PER_GRADUATE.lo, onto.COURSES_PER_GRADUATE.hi
+        )
+        taken = rng.sample(
+            graduate_courses, min(len(graduate_courses), n_courses)
+        )
+        for course in taken:
+            yield Triple(person, UB.takesCourse, course)
+        if rng.randrange(onto.GRADUATE_TA_RATIO) == 0 and courses:
+            yield Triple(person, RDF_TYPE, UB.TeachingAssistant)
+            yield Triple(person, UB.teachingAssistantOf, rng.choice(courses))
+        elif rng.randrange(onto.GRADUATE_RA_RATIO) == 0:
+            yield Triple(person, RDF_TYPE, UB.ResearchAssistant)
+
+    # ------------------------------------------------------------------
+    # Research groups (subOrganizationOf the *department*; see module doc).
+    # ------------------------------------------------------------------
+    n_groups = rng.randint(
+        onto.RESEARCH_GROUPS_PER_DEPARTMENT.lo,
+        onto.RESEARCH_GROUPS_PER_DEPARTMENT.hi,
+    )
+    for i in range(n_groups):
+        group = member("ResearchGroup", i)
+        yield Triple(group, RDF_TYPE, UB.ResearchGroup)
+        yield Triple(group, UB.subOrganizationOf, dept)
+
+
+def _telephone(rng: random.Random) -> str:
+    return f'"{rng.randint(100, 999)}-{rng.randint(100, 999)}-{rng.randint(1000, 9999)}"'
+
+
+@dataclass
+class LubmDataset:
+    """A generated dataset: the encoded store plus its generation config."""
+
+    store: VerticallyPartitionedStore
+    config: GeneratorConfig
+
+    @property
+    def num_triples(self) -> int:
+        return self.store.num_triples
+
+    @property
+    def dictionary(self):
+        return self.store.dictionary
+
+    def catalog(self) -> Catalog:
+        """A fresh :class:`Catalog` over the vertically partitioned tables."""
+        catalog = Catalog()
+        catalog.register_all(self.store.relations())
+        return catalog
+
+
+def generate_dataset(
+    universities: int = 1,
+    seed: int = 0,
+    degree_pool: int = onto.DEFAULT_DEGREE_UNIVERSITY_POOL,
+) -> LubmDataset:
+    """Generate, dictionary-encode, and vertically partition LUBM data."""
+    config = GeneratorConfig(
+        universities=universities, seed=seed, degree_pool=degree_pool
+    )
+    store = vertically_partition(generate_triples(config))
+    return LubmDataset(store=store, config=config)

@@ -1,0 +1,101 @@
+"""Univ-bench ontology structure: entity ratios and URI schemes.
+
+The ranges below follow the published UBA (Univ-Bench Artificial) data
+generator profile: departments per university, faculty per rank, student/
+faculty ratios, courses taught and taken, advising, publications, and
+research groups. They drive :mod:`repro.lubm.generator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Range:
+    """An inclusive integer range sampled uniformly by the generator."""
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi or self.lo < 0:
+            raise ValueError(f"invalid range [{self.lo}, {self.hi}]")
+
+
+# Organizational structure
+DEPARTMENTS_PER_UNIVERSITY = Range(15, 25)
+RESEARCH_GROUPS_PER_DEPARTMENT = Range(10, 20)
+
+# Faculty per department, by rank
+FULL_PROFESSORS = Range(7, 10)
+ASSOCIATE_PROFESSORS = Range(10, 14)
+ASSISTANT_PROFESSORS = Range(8, 11)
+LECTURERS = Range(5, 7)
+
+# Student-to-faculty ratios per department
+UNDERGRADUATES_PER_FACULTY = Range(8, 14)
+GRADUATES_PER_FACULTY = Range(3, 4)
+
+# Teaching load per faculty member
+COURSES_PER_FACULTY = Range(1, 2)
+GRADUATE_COURSES_PER_FACULTY = Range(1, 2)
+
+# Course load per student
+COURSES_PER_UNDERGRADUATE = Range(2, 4)
+COURSES_PER_GRADUATE = Range(1, 3)
+
+# Advising: every graduate student has an advisor; one in five
+# undergraduates does.
+UNDERGRADUATE_ADVISOR_RATIO = 5
+
+# Publications per faculty rank
+PUBLICATIONS_FULL_PROFESSOR = Range(15, 20)
+PUBLICATIONS_ASSOCIATE_PROFESSOR = Range(10, 18)
+PUBLICATIONS_ASSISTANT_PROFESSOR = Range(5, 10)
+PUBLICATIONS_LECTURER = Range(0, 5)
+
+# One in five graduate students is a TeachingAssistant; one in four is a
+# ResearchAssistant.
+GRADUATE_TA_RATIO = 5
+GRADUATE_RA_RATIO = 4
+
+# Faculty degrees are drawn from a pool of universities larger than the
+# number of *generated* universities — the UBA generator references
+# far-away universities by URI without materializing their contents.
+DEFAULT_DEGREE_UNIVERSITY_POOL = 100
+
+
+def university_uri(index: int) -> str:
+    """``<http://www.UniversityK.edu>``"""
+    return f"<http://www.University{index}.edu>"
+
+
+def department_uri(university: int, department: int) -> str:
+    """``<http://www.DepartmentJ.UniversityK.edu>``"""
+    return f"<http://www.Department{department}.University{university}.edu>"
+
+
+def department_member_uri(
+    university: int, department: int, kind: str, index: int
+) -> str:
+    """URI of an entity belonging to a department (person, course, group)."""
+    base = department_uri(university, department)[1:-1]
+    return f"<{base}/{kind}{index}>"
+
+
+def publication_uri(author_uri: str, index: int) -> str:
+    """Publications hang off their first author's URI."""
+    return f"<{author_uri[1:-1]}/Publication{index}>"
+
+
+def email_for(person_uri: str) -> str:
+    """A plain-literal email address derived from the person URI."""
+    path = person_uri[1:-1].removeprefix("http://www.")
+    host, _, who = path.partition("/")
+    return f'"{who}@{host}"'
+
+
+def name_for(kind: str, index: int) -> str:
+    """A plain-literal display name (``"FullProfessor3"`` etc.)."""
+    return f'"{kind}{index}"'

@@ -1,0 +1,162 @@
+"""The LUBM query texts used by the paper (Appendix B).
+
+Queries 6 and 10 are omitted: without the inference step they duplicate
+other queries, and the paper omits them too. Query 13's constant
+(``University567``) only exists at large scale; :func:`lubm_query`
+substitutes the largest degree-pool university available so the query
+keeps its shape (an equality selection on the object of
+``undergraduateDegreeFrom``) at any scale.
+"""
+
+from __future__ import annotations
+
+from repro.lubm.generator import GeneratorConfig
+from repro.lubm.ontology import university_uri
+
+PAPER_QUERY_IDS = (1, 2, 3, 4, 5, 7, 8, 9, 11, 12, 13, 14)
+
+#: Output cardinalities the paper reports at 133M triples (Appendix B).
+PAPER_OUTPUT_CARDINALITIES = {
+    1: 4,
+    2: 2528,
+    3: 6,
+    4: 14,
+    5: 532,
+    7: 59,
+    8: 5916,
+    9: 44021,
+    11: 0,
+    12: 125,
+    13: 2489,
+    14: 7924765,
+}
+
+_PREFIXES = """\
+PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+PREFIX ub: <http://www.lehigh.edu/~zhp2/2004/0401/univ-bench.owl#>
+"""
+
+_QUERY_TEMPLATES: dict[int, str] = {
+    1: """\
+SELECT ?X
+WHERE {
+  ?X rdf:type ub:GraduateStudent .
+  ?X ub:takesCourse <http://www.Department0.University0.edu/GraduateCourse0>
+}""",
+    2: """\
+SELECT ?X ?Y ?Z
+WHERE {
+  ?X rdf:type ub:GraduateStudent .
+  ?Y rdf:type ub:University .
+  ?Z rdf:type ub:Department .
+  ?X ub:memberOf ?Z .
+  ?Z ub:subOrganizationOf ?Y .
+  ?X ub:undergraduateDegreeFrom ?Y
+}""",
+    3: """\
+SELECT ?X
+WHERE {
+  ?X rdf:type ub:Publication .
+  ?X ub:publicationAuthor <http://www.Department0.University0.edu/AssistantProfessor0>
+}""",
+    4: """\
+SELECT ?X ?Y1 ?Y2 ?Y3
+WHERE {
+  ?X rdf:type ub:AssociateProfessor .
+  ?X ub:worksFor <http://www.Department0.University0.edu> .
+  ?X ub:name ?Y1 .
+  ?X ub:emailAddress ?Y2 .
+  ?X ub:telephone ?Y3
+}""",
+    5: """\
+SELECT ?X
+WHERE {
+  ?X rdf:type ub:UndergraduateStudent .
+  ?X ub:memberOf <http://www.Department0.University0.edu>
+}""",
+    7: """\
+SELECT ?X ?Y
+WHERE {
+  ?X rdf:type ub:UndergraduateStudent .
+  ?Y rdf:type ub:Course .
+  ?X ub:takesCourse ?Y .
+  <http://www.Department0.University0.edu/AssociateProfessor0> ub:teacherOf ?Y
+}""",
+    8: """\
+SELECT ?X ?Y ?Z
+WHERE {
+  ?X rdf:type ub:UndergraduateStudent .
+  ?Y rdf:type ub:Department .
+  ?X ub:memberOf ?Y .
+  ?Y ub:subOrganizationOf <http://www.University0.edu> .
+  ?X ub:emailAddress ?Z
+}""",
+    9: """\
+SELECT ?X ?Y ?Z
+WHERE {
+  ?X rdf:type ub:UndergraduateStudent .
+  ?Y rdf:type ub:Course .
+  ?Z rdf:type ub:AssistantProfessor .
+  ?X ub:advisor ?Z .
+  ?Z ub:teacherOf ?Y .
+  ?X ub:takesCourse ?Y
+}""",
+    11: """\
+SELECT ?X
+WHERE {
+  ?X rdf:type ub:ResearchGroup .
+  ?X ub:subOrganizationOf <http://www.University0.edu>
+}""",
+    12: """\
+SELECT ?X ?Y
+WHERE {
+  ?X rdf:type ub:FullProfessor .
+  ?Y rdf:type ub:Department .
+  ?X ub:worksFor ?Y .
+  ?Y ub:subOrganizationOf <http://www.University0.edu>
+}""",
+    13: """\
+SELECT ?X
+WHERE {
+  ?X rdf:type ub:GraduateStudent .
+  ?X ub:undergraduateDegreeFrom {DEGREE_UNIVERSITY}
+}""",
+    14: """\
+SELECT ?X
+WHERE {
+  ?X rdf:type ub:UndergraduateStudent
+}""",
+}
+
+#: The two cyclic queries: each contains a triangle join pattern.
+CYCLIC_QUERY_IDS = (2, 9)
+
+
+def _degree_university(config: GeneratorConfig | None) -> str:
+    """Pick Q13's constant: University567 when it exists, else the largest
+    university in the degree pool."""
+    if config is None or config.degree_pool > 567:
+        index = 567
+    else:
+        index = config.degree_pool - 1
+    return university_uri(index)
+
+
+def lubm_query(query_id: int, config: GeneratorConfig | None = None) -> str:
+    """The SPARQL text for one LUBM query (with prefixes)."""
+    try:
+        template = _QUERY_TEMPLATES[query_id]
+    except KeyError:
+        raise KeyError(
+            f"LUBM query {query_id} is not part of the paper's workload "
+            f"(available: {PAPER_QUERY_IDS})"
+        ) from None
+    body = template.replace(
+        "{DEGREE_UNIVERSITY}", _degree_university(config)
+    )
+    return _PREFIXES + body
+
+
+def lubm_queries(config: GeneratorConfig | None = None) -> dict[int, str]:
+    """All twelve benchmark queries keyed by query id."""
+    return {qid: lubm_query(qid, config) for qid in PAPER_QUERY_IDS}

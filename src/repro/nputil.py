@@ -1,0 +1,28 @@
+"""Small shared numpy utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def grouped_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenate ``range(start_i, start_i + count_i)`` per group.
+
+    Fully vectorized: builds a step array whose cumulative sum walks each
+    range, jumping to the next group's start at group boundaries.
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    counts = np.asarray(counts, dtype=np.int64)
+    nonempty = counts > 0
+    if not nonempty.all():
+        starts = starts[nonempty]
+        counts = counts[nonempty]
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    steps = np.ones(total, dtype=np.int64)
+    offsets = np.cumsum(counts)[:-1]
+    steps[0] = starts[0]
+    if offsets.size:
+        steps[offsets] = starts[1:] - (starts[:-1] + counts[:-1] - 1)
+    return np.cumsum(steps)

@@ -1,0 +1,23 @@
+"""Minimal RDF substrate: triples, N-Triples IO, vocabularies."""
+
+from repro.rdf.loader import load_ntriples, load_ntriples_text
+from repro.rdf.model import Triple, iri, is_iri, is_literal, literal, strip_iri
+from repro.rdf.ntriples import parse_ntriples, parse_ntriples_file, to_ntriples
+from repro.rdf.vocabulary import RDF_TYPE, UB, UB_PREFIX
+
+__all__ = [
+    "RDF_TYPE",
+    "Triple",
+    "UB",
+    "UB_PREFIX",
+    "iri",
+    "is_iri",
+    "is_literal",
+    "literal",
+    "load_ntriples",
+    "load_ntriples_text",
+    "parse_ntriples",
+    "parse_ntriples_file",
+    "strip_iri",
+    "to_ntriples",
+]

@@ -1,0 +1,31 @@
+"""Convenience loaders: N-Triples file/text -> vertically partitioned store.
+
+The inverse of ``repro-lubm generate``: load any N-Triples document and
+query it with any engine::
+
+    from repro.rdf.loader import load_ntriples
+    from repro import EmptyHeadedEngine
+
+    store = load_ntriples("lubm.nt")
+    engine = EmptyHeadedEngine(store)
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.rdf.ntriples import parse_ntriples, parse_ntriples_file
+from repro.storage.vertical import VerticallyPartitionedStore, vertically_partition
+
+
+def load_ntriples(path: str) -> VerticallyPartitionedStore:
+    """Parse an N-Triples file into an encoded, partitioned store."""
+    return vertically_partition(parse_ntriples_file(path))
+
+
+def load_ntriples_text(
+    text: str | Iterable[str],
+) -> VerticallyPartitionedStore:
+    """Like :func:`load_ntriples` but from a string or iterable of lines."""
+    lines = text.splitlines() if isinstance(text, str) else text
+    return vertically_partition(parse_ntriples(lines))

@@ -1,0 +1,53 @@
+"""RDF term and triple model.
+
+Terms are carried as N-Triples-lexical strings — IRIs as ``<...>`` and
+literals as ``"..."`` — because every engine in this library dictionary-
+encodes terms immediately; a richer object model would only be converted
+back and forth. Helper predicates classify and construct terms.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+
+class Triple(NamedTuple):
+    """A Subject-Predicate-Object triple in lexical form."""
+
+    subject: str
+    predicate: str
+    object: str
+
+
+def iri(value: str) -> str:
+    """Wrap a raw IRI string in angle brackets (idempotent)."""
+    if value.startswith("<") and value.endswith(">"):
+        return value
+    return f"<{value}>"
+
+
+def strip_iri(term: str) -> str:
+    """Remove angle brackets from an IRI term (idempotent)."""
+    if term.startswith("<") and term.endswith(">"):
+        return term[1:-1]
+    return term
+
+
+def literal(value: str) -> str:
+    """Wrap a string value as a plain RDF literal (idempotent)."""
+    if value.startswith('"') and value.endswith('"') and len(value) >= 2:
+        return value
+    escaped = (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+    return f'"{escaped}"'
+
+
+def is_iri(term: str) -> bool:
+    """True for ``<...>`` terms."""
+    return term.startswith("<") and term.endswith(">")
+
+
+def is_literal(term: str) -> bool:
+    """True for ``"..."`` terms."""
+    return term.startswith('"')

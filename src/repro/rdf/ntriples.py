@@ -1,0 +1,93 @@
+"""N-Triples reader and writer (simple subset).
+
+Supports IRIs, plain/escaped string literals, comments, and blank lines —
+the constructs the LUBM generator emits. Blank nodes and typed literals
+are parsed but carried verbatim as lexical strings.
+"""
+
+from __future__ import annotations
+
+import io
+from collections.abc import Iterable, Iterator
+
+from repro.errors import ParseError
+from repro.rdf.model import Triple
+
+
+def _scan_term(line: str, pos: int) -> tuple[str, int]:
+    """Scan one term starting at ``pos``; returns (term, next position)."""
+    n = len(line)
+    while pos < n and line[pos] in " \t":
+        pos += 1
+    if pos >= n:
+        raise ParseError("unexpected end of line while reading term", pos)
+    ch = line[pos]
+    if ch == "<":
+        end = line.find(">", pos + 1)
+        if end == -1:
+            raise ParseError("unterminated IRI", pos)
+        return line[pos : end + 1], end + 1
+    if ch == '"':
+        i = pos + 1
+        while i < n:
+            if line[i] == "\\":
+                i += 2
+                continue
+            if line[i] == '"':
+                break
+            i += 1
+        if i >= n:
+            raise ParseError("unterminated literal", pos)
+        end = i + 1
+        # Optional language tag or datatype suffix.
+        if end < n and line[end] == "@":
+            while end < n and line[end] not in " \t":
+                end += 1
+        elif end + 1 < n and line[end : end + 2] == "^^":
+            end += 2
+            term, end = _scan_term(line, end)
+            return line[pos:end], end
+        return line[pos:end], end
+    if ch == "_" and pos + 1 < n and line[pos + 1] == ":":
+        end = pos
+        while end < n and line[end] not in " \t":
+            end += 1
+        return line[pos:end], end
+    raise ParseError(f"unexpected character {ch!r} in triple", pos)
+
+
+def parse_ntriples(lines: Iterable[str]) -> Iterator[Triple]:
+    """Parse an iterable of N-Triples lines into :class:`Triple`s."""
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            subject, pos = _scan_term(line, 0)
+            predicate, pos = _scan_term(line, pos)
+            obj, pos = _scan_term(line, pos)
+        except ParseError as exc:
+            raise ParseError(f"line {lineno}: {exc}") from None
+        rest = line[pos:].strip()
+        if rest not in (".", ""):
+            raise ParseError(
+                f"line {lineno}: trailing content {rest!r} after triple"
+            )
+        yield Triple(subject, predicate, obj)
+
+
+def parse_ntriples_file(path: str) -> Iterator[Triple]:
+    """Stream triples from an N-Triples file."""
+    with open(path, encoding="utf-8") as handle:
+        yield from parse_ntriples(handle)
+
+
+def to_ntriples(triples: Iterable[Triple], out: io.TextIOBase | None = None) -> str | None:
+    """Serialize triples as N-Triples; returns a string if ``out`` is None."""
+    if out is None:
+        buffer = io.StringIO()
+        to_ntriples(triples, buffer)
+        return buffer.getvalue()
+    for triple in triples:
+        out.write(f"{triple.subject} {triple.predicate} {triple.object} .\n")
+    return None

@@ -1,0 +1,50 @@
+"""Vocabulary constants: rdf:type and the LUBM univ-bench ontology.
+
+The prefix IRIs match the ones used in the paper's appendix so the
+SPARQL texts there parse unchanged.
+"""
+
+from __future__ import annotations
+
+RDF_PREFIX = "http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+UB_PREFIX = "http://www.lehigh.edu/~zhp2/2004/0401/univ-bench.owl#"
+
+RDF_TYPE = f"<{RDF_PREFIX}type>"
+
+
+class UB:
+    """Univ-bench ontology terms as ``<...>`` IRIs (classes & properties)."""
+
+    # Classes
+    University = f"<{UB_PREFIX}University>"
+    Department = f"<{UB_PREFIX}Department>"
+    ResearchGroup = f"<{UB_PREFIX}ResearchGroup>"
+    FullProfessor = f"<{UB_PREFIX}FullProfessor>"
+    AssociateProfessor = f"<{UB_PREFIX}AssociateProfessor>"
+    AssistantProfessor = f"<{UB_PREFIX}AssistantProfessor>"
+    Lecturer = f"<{UB_PREFIX}Lecturer>"
+    UndergraduateStudent = f"<{UB_PREFIX}UndergraduateStudent>"
+    GraduateStudent = f"<{UB_PREFIX}GraduateStudent>"
+    Course = f"<{UB_PREFIX}Course>"
+    GraduateCourse = f"<{UB_PREFIX}GraduateCourse>"
+    Publication = f"<{UB_PREFIX}Publication>"
+    TeachingAssistant = f"<{UB_PREFIX}TeachingAssistant>"
+    ResearchAssistant = f"<{UB_PREFIX}ResearchAssistant>"
+
+    # Properties
+    worksFor = f"<{UB_PREFIX}worksFor>"
+    memberOf = f"<{UB_PREFIX}memberOf>"
+    subOrganizationOf = f"<{UB_PREFIX}subOrganizationOf>"
+    undergraduateDegreeFrom = f"<{UB_PREFIX}undergraduateDegreeFrom>"
+    mastersDegreeFrom = f"<{UB_PREFIX}mastersDegreeFrom>"
+    doctoralDegreeFrom = f"<{UB_PREFIX}doctoralDegreeFrom>"
+    takesCourse = f"<{UB_PREFIX}takesCourse>"
+    teacherOf = f"<{UB_PREFIX}teacherOf>"
+    teachingAssistantOf = f"<{UB_PREFIX}teachingAssistantOf>"
+    advisor = f"<{UB_PREFIX}advisor>"
+    publicationAuthor = f"<{UB_PREFIX}publicationAuthor>"
+    headOf = f"<{UB_PREFIX}headOf>"
+    researchInterest = f"<{UB_PREFIX}researchInterest>"
+    name = f"<{UB_PREFIX}name>"
+    emailAddress = f"<{UB_PREFIX}emailAddress>"
+    telephone = f"<{UB_PREFIX}telephone>"

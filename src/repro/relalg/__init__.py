@@ -1,0 +1,22 @@
+"""Vectorized relational-algebra kernels and pairwise join planning.
+
+Shared by (a) the GHD executor's top-down materialization pass and
+(b) the pairwise baseline engines (MonetDB-, RDF-3X-, TripleBit-like),
+so every engine pays the same per-operator constants and comparisons
+reflect algorithmic differences, not implementation skew.
+"""
+
+from repro.relalg.estimates import RelationStatistics, estimate_join_size
+from repro.relalg.kernels import natural_join, semijoin
+from repro.relalg.selinger import JoinTree, selinger_join_order
+from repro.relalg.greedy import greedy_join_order
+
+__all__ = [
+    "JoinTree",
+    "RelationStatistics",
+    "estimate_join_size",
+    "greedy_join_order",
+    "natural_join",
+    "selinger_join_order",
+    "semijoin",
+]

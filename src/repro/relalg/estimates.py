@@ -1,0 +1,102 @@
+"""Textbook cardinality estimation for pairwise join planners.
+
+Uses exact base statistics (row counts and per-column distinct counts —
+the moral equivalent of MonetDB's ``ANALYZE`` or RDF-3X's aggregate
+indexes) combined with the classic System R uniformity/independence
+assumptions for joins:
+
+    |R join S| ~= |R| * |S| / prod_keys max(V(R, k), V(S, k))
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.storage.relation import Relation
+
+
+class RelationStatistics:
+    """Cached row and distinct counts for one relation."""
+
+    def __init__(self, relation: Relation) -> None:
+        self.relation = relation
+        self.num_rows = relation.num_rows
+        self._distinct: dict[str, int] = {}
+
+    def distinct(self, attribute: str) -> int:
+        """Number of distinct values in ``attribute`` (cached, exact)."""
+        cached = self._distinct.get(attribute)
+        if cached is None:
+            column = self.relation.column(attribute)
+            cached = int(np.unique(column).size) if column.size else 0
+            self._distinct[attribute] = cached
+        return cached
+
+    def selectivity_equals(self, attribute: str) -> float:
+        """Estimated fraction of rows surviving ``attribute = const``."""
+        distinct = self.distinct(attribute)
+        if distinct == 0:
+            return 0.0
+        return 1.0 / distinct
+
+
+def estimate_join_size(
+    left_rows: float,
+    right_rows: float,
+    key_distincts: list[tuple[int, int]],
+) -> float:
+    """System R join-size estimate over any number of key columns."""
+    size = left_rows * right_rows
+    for left_distinct, right_distinct in key_distincts:
+        denom = max(left_distinct, right_distinct, 1)
+        size /= denom
+    return size
+
+
+class EstimatedRelation:
+    """A planner-side handle: estimated size plus per-attribute distincts.
+
+    Used for intermediate results during plan search, where only
+    estimates (never data) exist.
+    """
+
+    def __init__(
+        self, attributes: tuple[str, ...], rows: float, distincts: dict[str, float]
+    ) -> None:
+        self.attributes = attributes
+        self.rows = rows
+        self.distincts = distincts
+
+    @classmethod
+    def from_stats(cls, stats: RelationStatistics) -> "EstimatedRelation":
+        return cls(
+            attributes=stats.relation.attributes,
+            rows=float(stats.num_rows),
+            distincts={
+                a: float(stats.distinct(a)) for a in stats.relation.attributes
+            },
+        )
+
+    def join(self, other: "EstimatedRelation") -> "EstimatedRelation":
+        keys = [a for a in self.attributes if a in other.attributes]
+        size = estimate_join_size(
+            self.rows,
+            other.rows,
+            [
+                (int(self.distincts.get(k, 1)), int(other.distincts.get(k, 1)))
+                for k in keys
+            ],
+        )
+        attributes = tuple(self.attributes) + tuple(
+            a for a in other.attributes if a not in self.attributes
+        )
+        distincts: dict[str, float] = {}
+        for attr in attributes:
+            mine = self.distincts.get(attr)
+            theirs = other.distincts.get(attr)
+            if mine is not None and theirs is not None:
+                base = min(mine, theirs)
+            else:
+                base = mine if mine is not None else (theirs or 1.0)
+            distincts[attr] = min(base, size) if size > 0 else 0.0
+        return EstimatedRelation(attributes, size, distincts)

@@ -1,0 +1,39 @@
+"""Greedy selectivity-first join ordering (TripleBit-style).
+
+TripleBit generates its query plan greedily from selectivity estimates
+rather than running a full dynamic program. We start from the most
+selective input and repeatedly append the connected input minimizing the
+estimated intermediate size.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PlanningError
+from repro.relalg.estimates import EstimatedRelation
+from repro.relalg.selinger import JoinTree
+
+
+def greedy_join_order(inputs: list[EstimatedRelation]) -> JoinTree:
+    """Selectivity-greedy left-deep order."""
+    n = len(inputs)
+    if n == 0:
+        raise PlanningError("no relations to order")
+    remaining = set(range(n))
+    start = min(remaining, key=lambda i: inputs[i].rows)
+    remaining.discard(start)
+    order = [start]
+    estimate = inputs[start]
+    cost = 0.0
+    while remaining:
+        connected = [
+            j
+            for j in remaining
+            if any(a in estimate.attributes for a in inputs[j].attributes)
+        ]
+        pool = connected if connected else sorted(remaining)
+        best = min(pool, key=lambda j: estimate.join(inputs[j]).rows)
+        estimate = estimate.join(inputs[best])
+        cost += estimate.rows
+        order.append(best)
+        remaining.discard(best)
+    return JoinTree(tuple(order), cost, estimate.rows)

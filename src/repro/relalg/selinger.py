@@ -1,0 +1,70 @@
+"""Selinger-style dynamic-programming join ordering.
+
+This is the optimizer the paper calls out as asymptotically suboptimal on
+cyclic queries: it only considers *pairwise* plans. We implement the
+classic left-deep dynamic program over relation subsets with the
+System R cost model (sum of estimated intermediate result sizes),
+avoiding cross products whenever a connected order exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PlanningError
+from repro.relalg.estimates import EstimatedRelation
+
+
+@dataclass(frozen=True)
+class JoinTree:
+    """A left-deep join order: leaf index or (left subtree, leaf index)."""
+
+    order: tuple[int, ...]
+    estimated_cost: float
+    estimated_rows: float
+
+
+def selinger_join_order(inputs: list[EstimatedRelation]) -> JoinTree:
+    """Optimal left-deep order under the estimate model.
+
+    ``inputs`` are the (already selection-filtered) estimated relations.
+    Returns the join order as input indices, cheapest first.
+    """
+    n = len(inputs)
+    if n == 0:
+        raise PlanningError("no relations to order")
+    if n == 1:
+        return JoinTree((0,), 0.0, inputs[0].rows)
+
+    # dp maps a frozenset of input indices to (cost, order, estimate).
+    dp: dict[frozenset[int], tuple[float, tuple[int, ...], EstimatedRelation]] = {}
+    for i, rel in enumerate(inputs):
+        dp[frozenset([i])] = (0.0, (i,), rel)
+
+    def connected(est: EstimatedRelation, other: EstimatedRelation) -> bool:
+        return any(a in other.attributes for a in est.attributes)
+
+    for size in range(2, n + 1):
+        layer: dict[
+            frozenset[int], tuple[float, tuple[int, ...], EstimatedRelation]
+        ] = {}
+        for subset, (cost, order, estimate) in dp.items():
+            if len(subset) != size - 1:
+                continue
+            for j in range(n):
+                if j in subset:
+                    continue
+                joined = estimate.join(inputs[j])
+                is_connected = connected(estimate, inputs[j])
+                # Penalize cross products so they are only chosen when
+                # no connected extension exists.
+                step_cost = joined.rows if is_connected else joined.rows * 1e6
+                new_cost = cost + step_cost
+                key = subset | {j}
+                existing = layer.get(key)
+                if existing is None or new_cost < existing[0]:
+                    layer[key] = (new_cost, order + (j,), joined)
+        dp.update(layer)
+
+    cost, order, estimate = dp[frozenset(range(n))]
+    return JoinTree(order, cost, estimate.rows)

@@ -1,0 +1,63 @@
+"""The set-layout optimizer (Section II-A2 of the paper).
+
+EmptyHeaded "chooses the layout for each set in isolation based on its
+cardinality and range. The optimizer chooses the bitset layout when more
+than one out of every 256 values appears in the set. It otherwise defaults
+to the unsigned integer array layout."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sets.base import EMPTY_SET, OrderedSet, SetLayout, as_value_array
+from repro.sets.bitset import BitSet
+from repro.sets.uint_array import UintArraySet
+
+DENSITY_THRESHOLD = 1.0 / 256.0
+"""Bitset is chosen when density exceeds this (1/256; an AVX register)."""
+
+
+def choose_layout(values: np.ndarray) -> SetLayout:
+    """Pick the layout for a sorted unique value array.
+
+    The rule from the paper: use a bitset when more than one out of every
+    256 values in the covered range [min, max] appears in the set.
+    """
+    n = int(values.size)
+    if n == 0:
+        return SetLayout.UINT_ARRAY
+    span = int(values[-1]) - int(values[0]) + 1
+    if n / span > DENSITY_THRESHOLD:
+        return SetLayout.BITSET
+    return SetLayout.UINT_ARRAY
+
+
+def build_set(
+    values: object, *, force_layout: SetLayout | None = None
+) -> OrderedSet:
+    """Build an :class:`OrderedSet`, delegating layout to the optimizer.
+
+    ``force_layout`` overrides the optimizer — engines use it to model a
+    system without the mixed-layout optimization (the paper's ``+Layout``
+    ablation uses ``SetLayout.UINT_ARRAY`` everywhere).
+    """
+    arr = as_value_array(values)
+    if arr.size == 0:
+        return EMPTY_SET
+    layout = force_layout if force_layout is not None else choose_layout(arr)
+    if layout is SetLayout.BITSET:
+        return BitSet(arr)
+    return UintArraySet.from_sorted(arr)
+
+
+def build_set_from_sorted(
+    arr: np.ndarray, *, force_layout: SetLayout | None = None
+) -> OrderedSet:
+    """Like :func:`build_set` but trusts ``arr`` to be sorted unique uint32."""
+    if arr.size == 0:
+        return EMPTY_SET
+    layout = force_layout if force_layout is not None else choose_layout(arr)
+    if layout is SetLayout.BITSET:
+        return BitSet.from_sorted(arr)
+    return UintArraySet.from_sorted(arr)

@@ -1,0 +1,83 @@
+"""Sorted unsigned-integer-array set layout.
+
+This is the default layout in the paper: a sorted array of 32-bit values.
+Equality selections probe it with a binary search in O(log n)
+(Section III-A), and intersections run in time proportional to the smaller
+input (galloping) or the sum of sizes (merge), whichever is cheaper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sets.base import VALUE_DTYPE, OrderedSet, SetLayout, as_value_array
+
+
+class UintArraySet(OrderedSet):
+    """A set stored as a sorted, duplicate-free ``uint32`` numpy array."""
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values: object, *, _trusted: bool = False) -> None:
+        """Build from any iterable of integers.
+
+        ``_trusted`` skips sorting/deduplication when the caller guarantees
+        the input is already a sorted unique ``uint32`` array (used on hot
+        paths such as intersection results).
+        """
+        if _trusted:
+            self._values = np.asarray(values, dtype=VALUE_DTYPE)
+        else:
+            self._values = as_value_array(values)
+
+    @classmethod
+    def from_sorted(cls, values: np.ndarray) -> "UintArraySet":
+        """Wrap an array that is already sorted, unique, and ``uint32``."""
+        return cls(values, _trusted=True)
+
+    @property
+    def layout(self) -> SetLayout:
+        return SetLayout.UINT_ARRAY
+
+    @property
+    def values(self) -> np.ndarray:
+        """The underlying sorted array (do not mutate)."""
+        return self._values
+
+    @property
+    def cardinality(self) -> int:
+        return int(self._values.size)
+
+    @property
+    def min_value(self) -> int:
+        if self._values.size == 0:
+            raise ValueError("empty set has no minimum")
+        return int(self._values[0])
+
+    @property
+    def max_value(self) -> int:
+        if self._values.size == 0:
+            raise ValueError("empty set has no maximum")
+        return int(self._values[-1])
+
+    def contains(self, value: int) -> bool:
+        idx = int(np.searchsorted(self._values, value))
+        return idx < self._values.size and int(self._values[idx]) == value
+
+    def contains_many(self, values: np.ndarray) -> np.ndarray:
+        if self._values.size == 0:
+            return np.zeros(len(values), dtype=bool)
+        values = np.asarray(values, dtype=VALUE_DTYPE)
+        idx = np.searchsorted(self._values, values)
+        idx = np.minimum(idx, self._values.size - 1)
+        return self._values[idx] == values
+
+    def rank(self, value: int) -> int:
+        """Position of ``value`` in the sorted order (must be present)."""
+        idx = int(np.searchsorted(self._values, value))
+        if idx >= self._values.size or int(self._values[idx]) != value:
+            raise KeyError(f"value {value} not in set")
+        return idx
+
+    def to_array(self) -> np.ndarray:
+        return self._values

@@ -1,0 +1,24 @@
+"""SPARQL subset: enough of the language to run the LUBM benchmark.
+
+Supported: ``PREFIX`` declarations, ``SELECT`` with a variable list or
+``*``, optional ``DISTINCT``, and a ``WHERE`` block containing a basic
+graph pattern (triple patterns separated by ``.``). Terms may be IRIs,
+prefixed names, plain literals, or variables.
+
+Queries translate onto the vertically partitioned relational schema:
+each predicate is a binary ``(subject, object)`` relation, so a triple
+pattern becomes one atom — e.g. ``?X ub:memberOf ?Z`` becomes
+``memberOf(X, Z)`` and constants become equality selections, matching
+how the paper writes LUBM queries as join queries (Section II-B).
+"""
+
+from repro.sparql.ast import SelectQuery, TriplePattern
+from repro.sparql.parser import parse_sparql
+from repro.sparql.translate import sparql_to_query
+
+__all__ = [
+    "SelectQuery",
+    "TriplePattern",
+    "parse_sparql",
+    "sparql_to_query",
+]

@@ -1,0 +1,39 @@
+"""AST for the SPARQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class SparqlVariable:
+    """``?name`` in query syntax."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class SparqlTerm:
+    """A concrete term: an IRI ``<...>`` or a literal ``"..."``."""
+
+    lexical: str
+
+
+@dataclass(frozen=True)
+class TriplePattern:
+    """One ``subject predicate object`` pattern inside WHERE."""
+
+    subject: SparqlVariable | SparqlTerm
+    predicate: SparqlVariable | SparqlTerm
+    object: SparqlVariable | SparqlTerm
+
+
+@dataclass(frozen=True)
+class SelectQuery:
+    """A parsed SELECT query."""
+
+    variables: tuple[str, ...]
+    patterns: tuple[TriplePattern, ...]
+    prefixes: dict[str, str] = field(default_factory=dict)
+    distinct: bool = False
+    select_all: bool = False

@@ -1,0 +1,215 @@
+"""Recursive-descent parser for the SPARQL subset.
+
+Grammar::
+
+    Query        := Prefix* Select
+    Prefix       := 'PREFIX' PNAME_NS IRIREF
+    Select       := 'SELECT' 'DISTINCT'? ( Var+ | '*' ) 'WHERE'? Group
+    Group        := '{' Pattern ( '.' Pattern )* '.'? '}'
+    Pattern      := Term Term Term
+    Term         := Var | IRIREF | PrefixedName | Literal
+
+Errors raise :class:`~repro.errors.ParseError` with a character offset.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+from repro.sparql.ast import (
+    SelectQuery,
+    SparqlTerm,
+    SparqlVariable,
+    TriplePattern,
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>\#[^\n]*)
+  | (?P<iri><[^<>\s]*>)
+  | (?P<literal>"(?:[^"\\]|\\.)*")
+  | (?P<var>\?[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<pname>[A-Za-z_][A-Za-z0-9_\-]*:[A-Za-z_][A-Za-z0-9_\-]*)
+  | (?P<ns>[A-Za-z_][A-Za-z0-9_\-]*:)
+  | (?P<keyword>[A-Za-z]+)
+  | (?P<punct>[{}.*])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    position: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    n = len(text)
+    while position < n:
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ParseError(
+                f"unexpected character {text[position]!r}", position
+            )
+        kind = match.lastgroup or ""
+        if kind not in ("ws", "comment"):
+            tokens.append(_Token(kind, match.group(), position))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[_Token]) -> None:
+        self.tokens = tokens
+        self.index = 0
+
+    # ------------------------------------------------------------------
+    def peek(self) -> _Token | None:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def next(self, expected: str | None = None) -> _Token:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of query")
+        if expected is not None and token.text.upper() != expected:
+            raise ParseError(
+                f"expected {expected!r}, found {token.text!r}", token.position
+            )
+        self.index += 1
+        return token
+
+    # ------------------------------------------------------------------
+    def parse(self) -> SelectQuery:
+        prefixes: dict[str, str] = {}
+        while True:
+            token = self.peek()
+            if token is None:
+                raise ParseError("query has no SELECT clause")
+            if token.kind == "keyword" and token.text.upper() == "PREFIX":
+                self.next()
+                ns_token = self.next()
+                if ns_token.kind not in ("ns", "pname"):
+                    raise ParseError(
+                        f"expected prefix name, found {ns_token.text!r}",
+                        ns_token.position,
+                    )
+                iri_token = self.next()
+                if iri_token.kind != "iri":
+                    raise ParseError(
+                        f"expected IRI for prefix, found {iri_token.text!r}",
+                        iri_token.position,
+                    )
+                namespace = ns_token.text.rstrip(":").split(":")[0]
+                prefixes[namespace] = iri_token.text[1:-1]
+                continue
+            break
+
+        self.next("SELECT")
+        distinct = False
+        token = self.peek()
+        if (
+            token is not None
+            and token.kind == "keyword"
+            and token.text.upper() == "DISTINCT"
+        ):
+            distinct = True
+            self.next()
+
+        variables: list[str] = []
+        select_all = False
+        while True:
+            token = self.peek()
+            if token is None:
+                raise ParseError("unexpected end of query in SELECT list")
+            if token.kind == "var":
+                variables.append(token.text[1:])
+                self.next()
+            elif token.text == "*":
+                select_all = True
+                self.next()
+                break
+            else:
+                break
+        if not variables and not select_all:
+            raise ParseError(
+                "SELECT list is empty", token.position if token else None
+            )
+
+        token = self.peek()
+        if (
+            token is not None
+            and token.kind == "keyword"
+            and token.text.upper() == "WHERE"
+        ):
+            self.next()
+        self.next("{")
+
+        patterns: list[TriplePattern] = []
+        while True:
+            token = self.peek()
+            if token is None:
+                raise ParseError("unterminated WHERE block")
+            if token.text == "}":
+                self.next()
+                break
+            pattern = self._parse_pattern(prefixes)
+            patterns.append(pattern)
+            token = self.peek()
+            if token is not None and token.text == ".":
+                self.next()
+        if not patterns:
+            raise ParseError("WHERE block has no triple patterns")
+
+        token = self.peek()
+        if token is not None:
+            raise ParseError(
+                f"unexpected trailing token {token.text!r}", token.position
+            )
+
+        return SelectQuery(
+            variables=tuple(variables),
+            patterns=tuple(patterns),
+            prefixes=prefixes,
+            distinct=distinct,
+            select_all=select_all,
+        )
+
+    def _parse_pattern(self, prefixes: dict[str, str]) -> TriplePattern:
+        terms = [self._parse_term(prefixes) for _ in range(3)]
+        return TriplePattern(terms[0], terms[1], terms[2])
+
+    def _parse_term(
+        self, prefixes: dict[str, str]
+    ) -> SparqlVariable | SparqlTerm:
+        token = self.next()
+        if token.kind == "var":
+            return SparqlVariable(token.text[1:])
+        if token.kind == "iri":
+            return SparqlTerm(token.text)
+        if token.kind == "literal":
+            return SparqlTerm(token.text)
+        if token.kind == "pname":
+            namespace, _, local = token.text.partition(":")
+            base = prefixes.get(namespace)
+            if base is None:
+                raise ParseError(
+                    f"unknown prefix {namespace!r}", token.position
+                )
+            return SparqlTerm(f"<{base}{local}>")
+        raise ParseError(
+            f"expected a term, found {token.text!r}", token.position
+        )
+
+
+def parse_sparql(text: str) -> SelectQuery:
+    """Parse a query string into a :class:`SelectQuery`."""
+    return _Parser(_tokenize(text)).parse()

@@ -1,0 +1,59 @@
+"""Translate a parsed basic graph pattern onto the vertically
+partitioned schema.
+
+Each triple pattern ``s p o`` with a concrete predicate ``p`` becomes an
+atom ``local_name(p)(s, o)`` over the predicate's two-column table.
+Variables map to query variables; concrete subjects/objects become
+constants (equality selections after normalization). Variable predicates
+are rejected — the paper's workload never uses them, and vertical
+partitioning would require a union over all predicate tables.
+"""
+
+from __future__ import annotations
+
+from repro.core.query import Atom, ConjunctiveQuery, Constant, Variable
+from repro.errors import ParseError
+from repro.sparql.ast import SelectQuery, SparqlTerm, SparqlVariable
+from repro.storage.vertical import local_name
+
+
+def sparql_to_query(
+    parsed: SelectQuery, name: str = "query"
+) -> ConjunctiveQuery:
+    """Build the conjunctive query for a parsed SELECT."""
+    atoms: list[Atom] = []
+    seen_vars: list[Variable] = []
+    seen_names: set[str] = set()
+    for pattern in parsed.patterns:
+        if isinstance(pattern.predicate, SparqlVariable):
+            raise ParseError(
+                "variable predicates are not supported over a vertically "
+                f"partitioned store (pattern with ?{pattern.predicate.name})"
+            )
+        relation = local_name(pattern.predicate.lexical)
+        terms = []
+        for part in (pattern.subject, pattern.object):
+            if isinstance(part, SparqlVariable):
+                var = Variable(part.name)
+                terms.append(var)
+                if part.name not in seen_names:
+                    seen_names.add(part.name)
+                    seen_vars.append(var)
+            else:
+                assert isinstance(part, SparqlTerm)
+                terms.append(Constant(part.lexical))
+        atoms.append(Atom(relation, tuple(terms)))
+
+    if parsed.select_all:
+        projection = tuple(seen_vars)
+    else:
+        projection = tuple(Variable(v) for v in parsed.variables)
+        for var in projection:
+            if var.name not in seen_names:
+                raise ParseError(
+                    f"selected variable ?{var.name} does not appear in the "
+                    "WHERE block"
+                )
+    return ConjunctiveQuery(
+        atoms=tuple(atoms), projection=projection, name=name
+    )

@@ -1,0 +1,26 @@
+"""Storage substrate: dictionary encoding, relations, catalogs.
+
+The paper stores RDF data the way Abadi et al. proposed for relational
+engines: *vertically partitioned* two-column tables, one per predicate,
+with all values *dictionary encoded* to unsigned 32-bit integers
+(Section II-A1, Figure 1). This package provides those pieces plus a
+catalog that caches trie indexes per (relation, attribute order, layout).
+"""
+
+from repro.storage.catalog import Catalog
+from repro.storage.dictionary import Dictionary
+from repro.storage.relation import Relation
+from repro.storage.vertical import (
+    VerticallyPartitionedStore,
+    local_name,
+    vertically_partition,
+)
+
+__all__ = [
+    "Catalog",
+    "Dictionary",
+    "Relation",
+    "VerticallyPartitionedStore",
+    "local_name",
+    "vertically_partition",
+]

@@ -1,0 +1,99 @@
+"""Catalog of relations with a trie-index cache.
+
+Engines resolve atom names against a :class:`Catalog`. WCOJ engines also
+ask it for trie indexes over specific attribute orders; builds are cached
+per (relation, order, layout mode) the way EmptyHeaded reuses indexes
+across back-to-back queries.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.errors import ArityMismatchError, StorageError, UnknownRelationError
+from repro.sets.base import SetLayout
+from repro.storage.relation import Relation
+from repro.trie.trie import Trie
+
+
+class Catalog:
+    """A named collection of relations plus cached trie indexes."""
+
+    def __init__(self) -> None:
+        self._relations: dict[str, Relation] = {}
+        self._trie_cache: dict[
+            tuple[str, tuple[str, ...], SetLayout | None], Trie
+        ] = {}
+
+    # ------------------------------------------------------------------
+    # Relation management
+    # ------------------------------------------------------------------
+    def register(self, relation: Relation, *, replace: bool = False) -> None:
+        """Add ``relation`` under its name."""
+        if relation.name in self._relations and not replace:
+            raise StorageError(
+                f"relation {relation.name!r} already registered"
+            )
+        self._relations[relation.name] = relation
+        # Invalidate any cached indexes for the replaced relation.
+        stale = [k for k in self._trie_cache if k[0] == relation.name]
+        for key in stale:
+            del self._trie_cache[key]
+
+    def register_all(self, relations: Iterable[Relation]) -> None:
+        for relation in relations:
+            self.register(relation)
+
+    def get(self, name: str) -> Relation:
+        """Look up a relation; raises :class:`UnknownRelationError`."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise UnknownRelationError(
+                name, list(self._relations)
+            ) from None
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._relations
+
+    def __iter__(self):
+        return iter(self._relations.values())
+
+    def names(self) -> list[str]:
+        return sorted(self._relations)
+
+    def check_arity(self, name: str, arity: int) -> Relation:
+        """Fetch a relation and validate the arity an atom expects."""
+        relation = self.get(name)
+        if relation.arity != arity:
+            raise ArityMismatchError(name, relation.arity, arity)
+        return relation
+
+    # ------------------------------------------------------------------
+    # Index management
+    # ------------------------------------------------------------------
+    def trie(
+        self,
+        name: str,
+        attribute_order: Sequence[str],
+        *,
+        force_layout: SetLayout | None = None,
+    ) -> Trie:
+        """A trie over ``name`` with the given level order (cached)."""
+        key = (name, tuple(attribute_order), force_layout)
+        cached = self._trie_cache.get(key)
+        if cached is None:
+            relation = self.get(name)
+            cached = Trie.from_relation(
+                relation, attribute_order, force_layout=force_layout
+            )
+            self._trie_cache[key] = cached
+        return cached
+
+    def total_rows(self) -> int:
+        """Sum of rows across all relations (dataset size metric)."""
+        return sum(r.num_rows for r in self._relations.values())
+
+    def stats(self) -> dict[str, int]:
+        """Per-relation row counts (planner input and debug aid)."""
+        return {name: r.num_rows for name, r in self._relations.items()}

@@ -1,0 +1,88 @@
+"""Dictionary encoding of RDF terms to ``uint32`` keys.
+
+"Prior to building a trie, EmptyHeaded performs dictionary encoding to
+encode relations of arbitrary types into 32-bit values" (Section II-A1).
+RDF-3X and TripleBit use the same technique, so a single
+:class:`Dictionary` instance is shared by every engine over a dataset —
+this also guarantees result sets are comparable across engines without
+re-decoding.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.errors import DictionaryError
+
+_UINT32_MAX = np.iinfo(np.uint32).max
+
+
+class Dictionary:
+    """A bidirectional string <-> ``uint32`` mapping.
+
+    Keys are handed out densely in first-seen order, which keeps the
+    encoded value space compact — important for the bitset layout, whose
+    footprint is proportional to the value *range*.
+    """
+
+    __slots__ = ("_key_for", "_term_for")
+
+    def __init__(self) -> None:
+        self._key_for: dict[str, int] = {}
+        self._term_for: list[str] = []
+
+    def __len__(self) -> int:
+        return len(self._term_for)
+
+    def __contains__(self, term: object) -> bool:
+        return term in self._key_for
+
+    def encode(self, term: str) -> int:
+        """Return the key for ``term``, assigning a fresh one if needed."""
+        key = self._key_for.get(term)
+        if key is None:
+            key = len(self._term_for)
+            if key > _UINT32_MAX:
+                raise DictionaryError("dictionary exceeded uint32 key space")
+            self._key_for[term] = key
+            self._term_for.append(term)
+        return key
+
+    def encode_many(self, terms: Iterable[str]) -> np.ndarray:
+        """Encode an iterable of terms into a ``uint32`` array."""
+        encode = self.encode
+        return np.fromiter(
+            (encode(t) for t in terms), dtype=np.uint32, count=-1
+        )
+
+    def lookup(self, term: str) -> int | None:
+        """Return the key for ``term`` or ``None`` if it was never seen."""
+        return self._key_for.get(term)
+
+    def require(self, term: str) -> int:
+        """Return the key for ``term``; raise if it was never encoded."""
+        key = self._key_for.get(term)
+        if key is None:
+            raise DictionaryError(f"term not in dictionary: {term!r}")
+        return key
+
+    def decode(self, key: int) -> str:
+        """Return the term for ``key``."""
+        try:
+            return self._term_for[key]
+        except IndexError:
+            raise DictionaryError(f"key {key} not in dictionary") from None
+
+    def decode_many(self, keys: Iterable[int]) -> list[str]:
+        """Decode an iterable of keys to their terms."""
+        terms = self._term_for
+        try:
+            return [terms[int(k)] for k in keys]
+        except IndexError as exc:
+            raise DictionaryError(f"key out of range: {exc}") from None
+
+    def items(self) -> Iterable[tuple[str, int]]:
+        """Iterate (term, key) pairs in key order."""
+        return ((term, key) for key, term in enumerate(self._term_for))

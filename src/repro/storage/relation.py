@@ -1,0 +1,196 @@
+"""Columnar relations over dictionary-encoded ``uint32`` columns.
+
+A :class:`Relation` is the unit every engine consumes and produces:
+a named tuple of equally long ``uint32`` numpy columns. All bulk
+operations (selection, projection, dedup, sort, semijoin) are vectorized.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import StorageError
+
+VALUE_DTYPE = np.uint32
+
+
+class Relation:
+    """An immutable named relation with ``uint32`` columns."""
+
+    __slots__ = ("name", "attributes", "columns")
+
+    def __init__(
+        self,
+        name: str,
+        attributes: Sequence[str],
+        columns: Sequence[np.ndarray],
+    ) -> None:
+        if len(attributes) != len(columns):
+            raise StorageError(
+                f"relation {name!r}: {len(attributes)} attributes but "
+                f"{len(columns)} columns"
+            )
+        if len(set(attributes)) != len(attributes):
+            raise StorageError(f"relation {name!r}: duplicate attribute names")
+        cols = tuple(np.asarray(c, dtype=VALUE_DTYPE) for c in columns)
+        lengths = {c.shape[0] for c in cols}
+        if len(lengths) > 1:
+            raise StorageError(
+                f"relation {name!r}: ragged columns with lengths {lengths}"
+            )
+        self.name = name
+        self.attributes = tuple(attributes)
+        self.columns = cols
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rows(
+        cls,
+        name: str,
+        attributes: Sequence[str],
+        rows: Iterable[Sequence[int]],
+    ) -> "Relation":
+        """Build from an iterable of row tuples."""
+        rows = list(rows)
+        arity = len(attributes)
+        for row in rows:
+            if len(row) != arity:
+                raise StorageError(
+                    f"relation {name!r}: row {row!r} does not match arity {arity}"
+                )
+        if not rows:
+            cols = [np.empty(0, dtype=VALUE_DTYPE) for _ in range(arity)]
+        else:
+            matrix = np.asarray(rows, dtype=VALUE_DTYPE)
+            cols = [matrix[:, i] for i in range(arity)]
+        return cls(name, attributes, cols)
+
+    @classmethod
+    def empty(cls, name: str, attributes: Sequence[str]) -> "Relation":
+        """An empty relation with the given schema."""
+        return cls(
+            name,
+            attributes,
+            [np.empty(0, dtype=VALUE_DTYPE) for _ in attributes],
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def arity(self) -> int:
+        return len(self.attributes)
+
+    @property
+    def num_rows(self) -> int:
+        if not self.columns:
+            return 0
+        return int(self.columns[0].shape[0])
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def column(self, attribute: str) -> np.ndarray:
+        """The column for ``attribute``."""
+        try:
+            idx = self.attributes.index(attribute)
+        except ValueError:
+            raise StorageError(
+                f"relation {self.name!r} has no attribute {attribute!r} "
+                f"(has {self.attributes})"
+            ) from None
+        return self.columns[idx]
+
+    def iter_rows(self) -> Iterator[tuple[int, ...]]:
+        """Iterate rows as Python int tuples (test/debug helper)."""
+        if self.num_rows == 0:
+            return iter(())
+        stacked = np.stack(self.columns, axis=1)
+        return (tuple(int(v) for v in row) for row in stacked)
+
+    def to_set(self) -> frozenset[tuple[int, ...]]:
+        """The relation's rows as a frozenset of tuples (order-free compare)."""
+        return frozenset(self.iter_rows())
+
+    def __repr__(self) -> str:
+        return (
+            f"Relation({self.name!r}, attrs={list(self.attributes)}, "
+            f"rows={self.num_rows})"
+        )
+
+    # ------------------------------------------------------------------
+    # Vectorized relational operators
+    # ------------------------------------------------------------------
+    def rename(
+        self, name: str | None = None, attributes: Sequence[str] | None = None
+    ) -> "Relation":
+        """A view with a new name and/or attribute names."""
+        return Relation(
+            name if name is not None else self.name,
+            attributes if attributes is not None else self.attributes,
+            self.columns,
+        )
+
+    def project(self, attributes: Sequence[str]) -> "Relation":
+        """Projection (without dedup; compose with :meth:`distinct`)."""
+        cols = [self.column(a) for a in attributes]
+        return Relation(self.name, attributes, cols)
+
+    def select_equals(self, attribute: str, value: int) -> "Relation":
+        """Equality selection via a full-column vectorized scan."""
+        mask = self.column(attribute) == VALUE_DTYPE(value)
+        return self.filter(mask)
+
+    def filter(self, mask: np.ndarray) -> "Relation":
+        """Keep rows where ``mask`` is True."""
+        return Relation(self.name, self.attributes, [c[mask] for c in self.columns])
+
+    def take(self, indices: np.ndarray) -> "Relation":
+        """Keep rows at ``indices`` (with repetition allowed)."""
+        return Relation(
+            self.name, self.attributes, [c[indices] for c in self.columns]
+        )
+
+    def distinct(self) -> "Relation":
+        """Remove duplicate rows (sorts as a side effect)."""
+        if self.num_rows == 0 or self.arity == 0:
+            return self
+        order = np.lexsort(tuple(reversed(self.columns)))
+        sorted_cols = [c[order] for c in self.columns]
+        keep = np.zeros(self.num_rows, dtype=bool)
+        keep[0] = True
+        for col in sorted_cols:
+            keep[1:] |= col[1:] != col[:-1]
+        return Relation(self.name, self.attributes, [c[keep] for c in sorted_cols])
+
+    def sort_by(self, attributes: Sequence[str]) -> "Relation":
+        """Rows sorted lexicographically by ``attributes``."""
+        keys = [self.column(a) for a in attributes]
+        order = np.lexsort(tuple(reversed(keys)))
+        return self.take(order)
+
+    def concat(self, other: "Relation") -> "Relation":
+        """Union-all with another relation over the same attributes."""
+        if other.attributes != self.attributes:
+            raise StorageError(
+                f"cannot concat {self.name!r} and {other.name!r}: "
+                f"schemas differ ({self.attributes} vs {other.attributes})"
+            )
+        cols = [
+            np.concatenate([a, b])
+            for a, b in zip(self.columns, other.columns)
+        ]
+        return Relation(self.name, self.attributes, cols)
+
+    def equals_content(self, other: "Relation") -> bool:
+        """True when both relations hold the same set of rows.
+
+        Attribute *positions* matter, names do not; duplicates do not.
+        """
+        if self.arity != other.arity:
+            return False
+        return self.to_set() == other.to_set()

@@ -1,0 +1,107 @@
+"""Vertical partitioning of RDF triples (Abadi et al., VLDB '07).
+
+"Vertical partitioning is the process of grouping the triples by their
+predicate name, with all triples sharing the same predicate name being
+stored under a table denoted by the predicate name" (Section IV-A2).
+The paper stores RDF this way for *all* relational engines, including
+EmptyHeaded; this module produces those per-predicate two-column tables
+from a stream of raw string triples, dictionary-encoding subjects and
+objects along the way.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.storage.dictionary import Dictionary
+from repro.storage.relation import Relation
+
+SUBJECT = "subject"
+OBJECT = "object"
+
+_LOCAL_NAME_RE = re.compile(r"[^A-Za-z0-9_]")
+
+
+def local_name(predicate_iri: str) -> str:
+    """Derive a relation name from a predicate IRI.
+
+    ``http://...#memberOf`` and ``http://.../22-rdf-syntax-ns#type`` map to
+    ``memberOf`` and ``type`` — matching the relation names the paper uses
+    in its query hypergraphs (e.g. ``type(x, a='GraduateStudent')``).
+    """
+    iri = predicate_iri.strip()
+    if iri.startswith("<") and iri.endswith(">"):
+        iri = iri[1:-1]
+    for separator in ("#", "/", ":"):
+        if separator in iri:
+            candidate = iri.rsplit(separator, 1)[1]
+            if candidate:
+                iri = candidate
+                break
+    name = _LOCAL_NAME_RE.sub("_", iri)
+    return name or "predicate"
+
+
+@dataclass
+class VerticallyPartitionedStore:
+    """A dictionary-encoded, vertically partitioned triple store."""
+
+    dictionary: Dictionary = field(default_factory=Dictionary)
+    tables: dict[str, Relation] = field(default_factory=dict)
+    predicate_iris: dict[str, str] = field(default_factory=dict)
+    num_triples: int = 0
+
+    def relation_for_predicate(self, predicate_iri: str) -> Relation | None:
+        """The table for a predicate IRI, or ``None`` if never seen."""
+        return self.tables.get(local_name(predicate_iri))
+
+    def relations(self) -> list[Relation]:
+        return list(self.tables.values())
+
+
+def vertically_partition(
+    triples: Iterable[tuple[str, str, str]],
+    dictionary: Dictionary | None = None,
+) -> VerticallyPartitionedStore:
+    """Group string triples into per-predicate encoded tables.
+
+    ``triples`` yields (subject, predicate, object) strings. Subjects and
+    objects are dictionary-encoded; predicates become table names. Tables
+    are deduplicated (RDF graphs are sets of triples).
+    """
+    dictionary = dictionary if dictionary is not None else Dictionary()
+    buffers: dict[str, tuple[list[int], list[int]]] = {}
+    predicate_iris: dict[str, str] = {}
+    encode = dictionary.encode
+    count = 0
+    for subject, predicate, obj in triples:
+        count += 1
+        name = local_name(predicate)
+        buffer = buffers.get(name)
+        if buffer is None:
+            buffer = ([], [])
+            buffers[name] = buffer
+            predicate_iris[name] = predicate
+        buffer[0].append(encode(subject))
+        buffer[1].append(encode(obj))
+    tables: dict[str, Relation] = {}
+    for name, (subjects, objects) in buffers.items():
+        relation = Relation(
+            name,
+            (SUBJECT, OBJECT),
+            (
+                np.asarray(subjects, dtype=np.uint32),
+                np.asarray(objects, dtype=np.uint32),
+            ),
+        ).distinct()
+        tables[name] = relation
+    return VerticallyPartitionedStore(
+        dictionary=dictionary,
+        tables=tables,
+        predicate_iris=predicate_iris,
+        num_triples=count,
+    )

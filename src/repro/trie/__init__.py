@@ -1,0 +1,12 @@
+"""Trie indexes over dictionary-encoded relations.
+
+"EmptyHeaded stores all relations (input and output) using tries, which
+are multi-level data structures common in column stores and graph
+engines" (Section II-A). One trie over a relation corresponds to one
+index in a standard database; the level order is the relation's slice of
+the *global attribute order* chosen by the query planner.
+"""
+
+from repro.trie.trie import Trie, TrieNode
+
+__all__ = ["Trie", "TrieNode"]

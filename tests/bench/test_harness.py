@@ -1,0 +1,66 @@
+"""The paper's seven-run measurement protocol."""
+
+import pytest
+
+from repro.bench.harness import BenchmarkResult, measure, run_paper_protocol
+from repro.bench.report import format_relative, format_speedup, format_table
+
+
+def test_measure_runs_n_times():
+    calls = []
+    result = measure(lambda: calls.append(1), repetitions=7)
+    assert len(calls) == 7
+    assert len(result.runs) == 7
+
+
+def test_paper_average_discards_best_and_worst():
+    result = BenchmarkResult("q", runs=[5.0, 1.0, 2.0, 3.0, 100.0])
+    # Discard 1.0 and 100.0; mean of 2, 3, 5.
+    assert result.paper_average == pytest.approx(10.0 / 3)
+    assert result.best == 1.0
+    assert result.milliseconds == pytest.approx(10.0 / 3 * 1e3)
+
+
+def test_paper_average_small_sample():
+    assert BenchmarkResult("q", runs=[2.0]).paper_average == 2.0
+    assert BenchmarkResult("q", runs=[2.0, 4.0]).paper_average == 2.0
+
+
+def test_measure_captures_output_rows():
+    class FakeResult:
+        num_rows = 42
+
+    result = measure(lambda: FakeResult(), repetitions=3)
+    assert result.output_rows == 42
+
+
+def test_run_paper_protocol_shape():
+    class FakeEngine:
+        def execute_sparql(self, text):
+            class R:
+                num_rows = 1
+            return R()
+
+    cells = run_paper_protocol(
+        {"e1": FakeEngine(), "e2": FakeEngine()},
+        {1: "SELECT", 2: "SELECT"},
+        repetitions=3,
+    )
+    assert set(cells) == {("e1", 1), ("e1", 2), ("e2", 1), ("e2", 2)}
+    assert all(len(c.runs) == 3 for c in cells.values())
+
+
+def test_format_table_aligned():
+    text = format_table(
+        ["Query", "EH"], [["Q1", "1.00x"], ["Q14", "325.02x"]], title="T"
+    )
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "Query" in lines[1]
+    assert len(lines) == 5
+
+
+def test_format_helpers():
+    assert format_relative(1.0) == "1.00x"
+    assert format_speedup(None) == "-"
+    assert format_speedup(234.49) == "234.49x"

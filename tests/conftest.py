@@ -1,0 +1,63 @@
+"""Shared fixtures: one generated LUBM dataset per test session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    ColumnStoreEngine,
+    EmptyHeadedEngine,
+    LogicBloxLikeEngine,
+    RDF3XLikeEngine,
+    TripleBitLikeEngine,
+    generate_dataset,
+    lubm_queries,
+)
+
+
+@pytest.fixture(scope="session")
+def dataset():
+    """LUBM(1), fixed seed — about 120k triples."""
+    return generate_dataset(universities=1, seed=0)
+
+
+@pytest.fixture(scope="session")
+def queries(dataset):
+    """The twelve benchmark queries, parameterized for this dataset."""
+    return lubm_queries(dataset.config)
+
+
+@pytest.fixture(scope="session")
+def emptyheaded(dataset):
+    return EmptyHeadedEngine(dataset.store)
+
+
+@pytest.fixture(scope="session")
+def logicblox(dataset):
+    return LogicBloxLikeEngine(dataset.store)
+
+
+@pytest.fixture(scope="session")
+def monetdb(dataset):
+    return ColumnStoreEngine(dataset.store)
+
+
+@pytest.fixture(scope="session")
+def rdf3x(dataset):
+    return RDF3XLikeEngine(dataset.store)
+
+
+@pytest.fixture(scope="session")
+def triplebit(dataset):
+    return TripleBitLikeEngine(dataset.store)
+
+
+@pytest.fixture(scope="session")
+def all_engines(emptyheaded, logicblox, monetdb, rdf3x, triplebit):
+    return {
+        "emptyheaded": emptyheaded,
+        "logicblox": logicblox,
+        "monetdb": monetdb,
+        "rdf3x": rdf3x,
+        "triplebit": triplebit,
+    }

@@ -1,0 +1,129 @@
+"""Global attribute order heuristics (Sections II-C, III-B1)."""
+
+from repro.core.attribute_order import (
+    appearance_order,
+    global_attribute_order,
+    node_attribute_order,
+)
+from repro.core.config import OptimizationConfig
+from repro.core.ghd_optimizer import GHDOptimizer
+from repro.core.query import (
+    Atom,
+    ConjunctiveQuery,
+    Constant,
+    Variable,
+    normalize,
+)
+
+X, A = Variable("x"), Variable("a")
+
+
+def _example1_query():
+    """LUBM query 14: select x from R where a = 'University'."""
+    return normalize(
+        ConjunctiveQuery((Atom("type", (X, Constant(42))),), (X,))
+    )
+
+
+def test_example1_baseline_order_is_x_then_a():
+    """Example 1 of the paper: without the heuristic the trie order is
+    [x, a] — probing the second level for every x."""
+    query = _example1_query()
+    ghd = GHDOptimizer(OptimizationConfig.all_off()).decompose(query)
+    order = global_attribute_order(query, ghd, reorder_selections=False)
+    assert [v.name for v in order] == ["x", "_sel0"]
+
+
+def test_example1_optimized_order_is_a_then_x():
+    """With +Attribute the selection comes first: [a, x]."""
+    query = _example1_query()
+    ghd = GHDOptimizer(OptimizationConfig.all_on()).decompose(query)
+    order = global_attribute_order(query, ghd, reorder_selections=True)
+    assert [v.name for v in order] == ["_sel0", "x"]
+
+
+def test_appearance_order_follows_bfs():
+    y, z = Variable("y"), Variable("z")
+    query = normalize(
+        ConjunctiveQuery(
+            (Atom("r", (X, y)), Atom("s", (y, z))), (X, y, z)
+        )
+    )
+    ghd = GHDOptimizer().decompose(query)
+    order = appearance_order(query, ghd)
+    assert set(order) == {X, y, z}
+    # The root node's attributes come first.
+    root_vars = ghd.root_node.chi
+    assert set(order[: len(root_vars)]) == root_vars
+
+
+def test_small_cardinality_promotion():
+    y = Variable("y")
+    query = normalize(
+        ConjunctiveQuery((Atom("r", (X, y)),), (X, y))
+    )
+    ghd = GHDOptimizer().decompose(query)
+    order = global_attribute_order(
+        query,
+        ghd,
+        reorder_selections=True,
+        cardinalities={X: 100_000, y: 3},
+    )
+    assert order[0] == y
+
+
+def test_promotion_respects_threshold():
+    y = Variable("y")
+    query = normalize(
+        ConjunctiveQuery((Atom("r", (X, y)),), (X, y))
+    )
+    ghd = GHDOptimizer().decompose(query)
+    order = global_attribute_order(
+        query,
+        ghd,
+        reorder_selections=True,
+        cardinalities={X: 100, y: 50},  # both above the threshold
+    )
+    assert order[0] == X  # appearance order preserved
+
+
+def test_node_attribute_order_restricts_global():
+    y, z = Variable("y"), Variable("z")
+    global_order = [z, X, y]
+    assert node_attribute_order(frozenset({X, y}), global_order) == [X, y]
+
+
+def test_lubm_query2_order_selections_first():
+    """Section III-B1: the order chosen for LUBM query 2 puts the three
+    type selections before x, y, z."""
+    from repro.core.planner import Planner
+    from repro.storage.catalog import Catalog
+    from repro.storage.relation import Relation
+
+    catalog = Catalog()
+    catalog.register(
+        Relation.from_rows("type", ("s", "o"), [(1, 10), (2, 11), (3, 12)])
+    )
+    catalog.register(
+        Relation.from_rows("udf", ("s", "o"), [(1, 2)])
+    )
+    catalog.register(Relation.from_rows("mem", ("s", "o"), [(1, 3)]))
+    catalog.register(Relation.from_rows("sub", ("s", "o"), [(3, 2)]))
+    x, y, z = Variable("x"), Variable("y"), Variable("z")
+    query = ConjunctiveQuery(
+        (
+            Atom("type", (x, Constant(10))),
+            Atom("type", (y, Constant(11))),
+            Atom("type", (z, Constant(12))),
+            Atom("mem", (x, z)),
+            Atom("sub", (z, y)),
+            Atom("udf", (x, y)),
+        ),
+        (x, y, z),
+    )
+    plan = Planner(catalog, OptimizationConfig.all_on()).plan(query)
+    names = [v.name for v in plan.global_order]
+    # All three selection variables precede all of x, y, z.
+    sel_positions = [i for i, n in enumerate(names) if n.startswith("_sel")]
+    var_positions = [i for i, n in enumerate(names) if n in "xyz"]
+    assert max(sel_positions) < min(var_positions)

@@ -1,0 +1,176 @@
+"""GHD executor: end-to-end correctness on hand-built catalogs."""
+
+import pytest
+
+from repro.core.config import OptimizationConfig
+from repro.core.query import (
+    Atom,
+    ConjunctiveQuery,
+    Constant,
+    Variable,
+)
+from tests.util import brute_force, catalog_of, run_query
+
+X, Y, Z, W = (Variable(n) for n in "xyzw")
+
+ALL_CONFIGS = [
+    OptimizationConfig.all_on(),
+    OptimizationConfig.all_off(),
+    OptimizationConfig.baseline_with_ghd(),
+    OptimizationConfig.all_on().but(pipelining=False),
+    OptimizationConfig.all_on().but(ghd_selection_pushdown=False),
+    OptimizationConfig.all_on().but(mixed_layouts=False),
+    OptimizationConfig.all_on().but(reorder_selections=False),
+]
+
+
+@pytest.mark.parametrize("config", ALL_CONFIGS)
+def test_triangle_query(config):
+    catalog = catalog_of(
+        {
+            "r": [(0, 1), (1, 2), (0, 3), (3, 4)],
+            "s": [(1, 2), (2, 0), (3, 4), (4, 0)],
+            "t": [(0, 2), (1, 0), (3, 0), (0, 4)],
+        }
+    )
+    query = ConjunctiveQuery(
+        (Atom("r", (X, Y)), Atom("s", (Y, Z)), Atom("t", (X, Z))),
+        (X, Y, Z),
+    )
+    assert run_query(catalog, query, config) == brute_force(catalog, query)
+
+
+@pytest.mark.parametrize("config", ALL_CONFIGS)
+def test_star_with_selections(config):
+    catalog = catalog_of(
+        {
+            "r": [(0, 1), (1, 2), (2, 3)],
+            "s": [(0, 9), (1, 9), (2, 8)],
+            "t": [(0, 7), (2, 7)],
+        }
+    )
+    query = ConjunctiveQuery(
+        (
+            Atom("r", (X, Y)),
+            Atom("s", (X, Constant(9))),
+            Atom("t", (X, Constant(7))),
+        ),
+        (X, Y),
+    )
+    assert run_query(catalog, query, config) == brute_force(catalog, query)
+
+
+@pytest.mark.parametrize("config", ALL_CONFIGS)
+def test_path_query_projection(config):
+    catalog = catalog_of(
+        {
+            "r": [(0, 1), (1, 2), (2, 2)],
+            "s": [(1, 5), (2, 6), (2, 7)],
+        }
+    )
+    query = ConjunctiveQuery(
+        (Atom("r", (X, Y)), Atom("s", (Y, Z))), (X, Z)
+    )
+    assert run_query(catalog, query, config) == brute_force(catalog, query)
+
+
+@pytest.mark.parametrize("config", ALL_CONFIGS)
+def test_projection_spans_multiple_nodes(config):
+    """Top-down Yannakakis pass must materialize attributes from leaves."""
+    catalog = catalog_of(
+        {
+            "r": [(0, 1), (0, 2), (1, 3)],
+            "s": [(0, 5), (1, 6)],
+            "t": [(5, 9), (6, 8)],
+        }
+    )
+    query = ConjunctiveQuery(
+        (Atom("r", (X, Y)), Atom("s", (X, Z)), Atom("t", (Z, W))),
+        (Y, W),
+    )
+    assert run_query(catalog, query, config) == brute_force(catalog, query)
+
+
+@pytest.mark.parametrize("config", ALL_CONFIGS)
+def test_empty_relation_short_circuits(config):
+    catalog = catalog_of({"r": [(0, 1)], "s": []})
+    query = ConjunctiveQuery(
+        (Atom("r", (X, Y)), Atom("s", (Y, Z))), (X,)
+    )
+    assert run_query(catalog, query, config) == frozenset()
+
+
+@pytest.mark.parametrize("config", ALL_CONFIGS)
+def test_repeated_variable_atom(config):
+    catalog = catalog_of({"r": [(0, 0), (1, 2), (3, 3)], "s": [(0, 5), (3, 7)]})
+    query = ConjunctiveQuery(
+        (Atom("r", (X, X)), Atom("s", (X, Y))), (X, Y)
+    )
+    assert run_query(catalog, query, config) == brute_force(catalog, query)
+
+
+@pytest.mark.parametrize("config", ALL_CONFIGS)
+def test_disconnected_cross_product(config):
+    catalog = catalog_of({"r": [(0, 1), (2, 3)], "s": [(5, 6)]})
+    query = ConjunctiveQuery(
+        (Atom("r", (X, Y)), Atom("s", (Z, W))), (X, Z)
+    )
+    assert run_query(catalog, query, config) == brute_force(catalog, query)
+
+
+@pytest.mark.parametrize("config", ALL_CONFIGS)
+def test_four_cycle(config):
+    catalog = catalog_of(
+        {
+            "r": [(0, 1), (1, 2)],
+            "s": [(1, 2), (2, 3)],
+            "t": [(2, 3), (3, 0)],
+            "u": [(3, 0), (0, 1)],
+        }
+    )
+    query = ConjunctiveQuery(
+        (
+            Atom("r", (X, Y)),
+            Atom("s", (Y, Z)),
+            Atom("t", (Z, W)),
+            Atom("u", (W, X)),
+        ),
+        (X, Y, Z, W),
+    )
+    assert run_query(catalog, query, config) == brute_force(catalog, query)
+
+
+@pytest.mark.parametrize("config", ALL_CONFIGS)
+def test_fully_constant_atom_satisfied(config):
+    catalog = catalog_of({"r": [(0, 1)], "s": [(5, 6)]})
+    query = ConjunctiveQuery(
+        (Atom("r", (X, Y)), Atom("s", (Constant(5), Constant(6)))),
+        (X, Y),
+    )
+    assert run_query(catalog, query, config) == {(0, 1)}
+
+
+@pytest.mark.parametrize("config", ALL_CONFIGS)
+def test_fully_constant_atom_unsatisfied(config):
+    catalog = catalog_of({"r": [(0, 1)], "s": [(5, 6)]})
+    query = ConjunctiveQuery(
+        (Atom("r", (X, Y)), Atom("s", (Constant(5), Constant(7)))),
+        (X, Y),
+    )
+    assert run_query(catalog, query, config) == frozenset()
+
+
+@pytest.mark.parametrize("config", ALL_CONFIGS)
+def test_shared_variable_three_ways(config):
+    catalog = catalog_of(
+        {
+            "r": [(0, 1), (1, 1), (2, 2)],
+            "s": [(0, 2), (1, 3), (2, 2)],
+            "t": [(0, 4), (2, 5)],
+        }
+    )
+    query = ConjunctiveQuery(
+        (Atom("r", (X, Y)), Atom("s", (X, Z)), Atom("t", (X, W))),
+        (X, Y, Z, W),
+    )
+    assert run_query(catalog, query, config) == brute_force(catalog, query)

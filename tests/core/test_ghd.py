@@ -1,0 +1,113 @@
+"""GHD structure and Definition 1 validity checks."""
+
+import pytest
+
+from repro.core.ghd import GHD, GHDNode
+from repro.core.hypergraph import Hypergraph
+from repro.core.query import Atom, ConjunctiveQuery, Variable, normalize
+from repro.errors import PlanningError
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+
+def _query(*atoms):
+    return normalize(
+        ConjunctiveQuery(
+            tuple(atoms),
+            tuple(sorted({v for a in atoms for v in a.variables},
+                         key=lambda v: v.name)),
+        )
+    )
+
+
+def _path_query():
+    return _query(Atom("r", (X, Y)), Atom("s", (Y, Z)))
+
+
+def _path_ghd():
+    root = GHDNode(0, frozenset({X, Y}), (0,), children=[1])
+    child = GHDNode(1, frozenset({Y, Z}), (1,), parent=0)
+    return GHD(nodes=[root, child], root=0)
+
+
+def test_valid_path_decomposition():
+    ghd = _path_ghd()
+    hypergraph = Hypergraph.from_query(_path_query())
+    ghd.check_valid(hypergraph)  # does not raise
+
+
+def test_depth_height_traversals():
+    ghd = _path_ghd()
+    assert ghd.depth(0) == 0
+    assert ghd.depth(1) == 1
+    assert ghd.height == 1
+    assert [n.node_id for n in ghd.preorder()] == [0, 1]
+    assert [n.node_id for n in ghd.postorder()] == [1, 0]
+    assert [n.node_id for n in ghd.bfs_order()] == [0, 1]
+
+
+def test_edge_not_covered_fails():
+    # Child chi misses z, so edge s(y,z) is not covered anywhere.
+    root = GHDNode(0, frozenset({X, Y}), (0,), children=[1])
+    child = GHDNode(1, frozenset({Y}), (1,), parent=0)
+    ghd = GHD(nodes=[root, child], root=0)
+    with pytest.raises(PlanningError):
+        ghd.check_valid(Hypergraph.from_query(_path_query()))
+
+
+def test_running_intersection_violation_fails():
+    # y appears in two non-adjacent nodes of a 3-node path.
+    query = _query(Atom("r", (X, Y)), Atom("s", (X, Z)), Atom("t", (Y, Z)))
+    a = GHDNode(0, frozenset({X, Y}), (0,), children=[1])
+    b = GHDNode(1, frozenset({X, Z}), (1,), parent=0, children=[2])
+    c = GHDNode(2, frozenset({Y, Z}), (2,), parent=1)
+    ghd = GHD(nodes=[a, b, c], root=0)
+    with pytest.raises(PlanningError):
+        ghd.check_valid(Hypergraph.from_query(query))
+
+
+def test_chi_not_covered_by_lambda_fails():
+    root = GHDNode(0, frozenset({X, Y, Z}), (0,), children=[1])
+    child = GHDNode(1, frozenset({Y, Z}), (1,), parent=0)
+    ghd = GHD(nodes=[root, child], root=0)
+    with pytest.raises(PlanningError):
+        ghd.check_valid(Hypergraph.from_query(_path_query()))
+
+
+def test_broken_tree_links_fail():
+    root = GHDNode(0, frozenset({X, Y}), (0,), children=[1])
+    child = GHDNode(1, frozenset({Y, Z}), (1,), parent=None)  # wrong parent
+    ghd = GHD(nodes=[root, child], root=0)
+    with pytest.raises(PlanningError):
+        ghd.check_valid(Hypergraph.from_query(_path_query()))
+
+
+def test_width_of_single_triangle_node():
+    query = _query(
+        Atom("r", (X, Y)), Atom("s", (Y, Z)), Atom("t", (Z, X))
+    )
+    node = GHDNode(0, frozenset({X, Y, Z}), (0, 1, 2))
+    ghd = GHD(nodes=[node], root=0)
+    hypergraph = Hypergraph.from_query(query)
+    ghd.check_valid(hypergraph)
+    assert ghd.width(hypergraph) == pytest.approx(1.5)
+
+
+def test_width_with_cover_restriction():
+    query = _query(Atom("r", (X, Y)), Atom("s", (Y, Z)))
+    node = GHDNode(0, frozenset({X, Y, Z}), (0, 1))
+    ghd = GHD(nodes=[node], root=0)
+    hypergraph = Hypergraph.from_query(query)
+    assert ghd.width(hypergraph) == pytest.approx(2.0)
+    assert ghd.width(hypergraph, frozenset({Y})) == pytest.approx(1.0)
+
+
+def test_selection_depth_counts_deepest_holder():
+    a = Variable("a")
+    root = GHDNode(0, frozenset({X}), (0,), children=[1])
+    mid = GHDNode(1, frozenset({X, a}), (1,), parent=0, children=[2])
+    leaf = GHDNode(2, frozenset({X, a}), (2,), parent=1)
+    ghd = GHD(nodes=[root, mid, leaf], root=0)
+    assert ghd.selection_depth({a}) == 2
+    assert ghd.selection_depth(set()) == 0
+    assert ghd.selection_depth({Variable("missing")}) == 0

@@ -1,0 +1,79 @@
+"""Query hypergraphs: structure, connectivity, acyclicity."""
+
+from repro.core.hypergraph import Hypergraph
+from repro.core.query import Atom, ConjunctiveQuery, Variable, normalize
+
+X, Y, Z, W = (Variable(n) for n in "xyzw")
+
+
+def _hypergraph(*atoms, projection=None):
+    projection = projection or tuple(
+        sorted({v for a in atoms for v in a.variables}, key=lambda v: v.name)
+    )
+    return Hypergraph.from_query(
+        normalize(ConjunctiveQuery(tuple(atoms), projection))
+    )
+
+
+def test_vertex_and_edge_construction():
+    h = _hypergraph(Atom("r", (X, Y)), Atom("s", (Y, Z)))
+    assert h.vertices == frozenset({X, Y, Z})
+    assert len(h.edges) == 2
+    assert h.edges[0].relation == "r"
+
+
+def test_edges_containing():
+    h = _hypergraph(Atom("r", (X, Y)), Atom("s", (Y, Z)))
+    assert len(h.edges_containing(Y)) == 2
+    assert len(h.edges_containing(X)) == 1
+
+
+def test_connected_and_components():
+    h = _hypergraph(Atom("r", (X, Y)), Atom("s", (Z, W)))
+    assert not h.is_connected()
+    assert len(h.connected_components()) == 2
+    h2 = _hypergraph(Atom("r", (X, Y)), Atom("s", (Y, Z)))
+    assert h2.is_connected()
+
+
+def test_triangle_is_cyclic():
+    h = _hypergraph(
+        Atom("r", (X, Y)), Atom("s", (Y, Z)), Atom("t", (Z, X))
+    )
+    assert h.has_cycle()
+
+
+def test_path_is_acyclic():
+    h = _hypergraph(Atom("r", (X, Y)), Atom("s", (Y, Z)))
+    assert not h.has_cycle()
+
+
+def test_star_is_acyclic():
+    h = _hypergraph(
+        Atom("r", (X, Y)), Atom("s", (X, Z)), Atom("t", (X, W))
+    )
+    assert not h.has_cycle()
+
+
+def test_single_edge_acyclic():
+    assert not _hypergraph(Atom("r", (X, Y))).has_cycle()
+
+
+def test_four_cycle_is_cyclic():
+    h = _hypergraph(
+        Atom("r", (X, Y)),
+        Atom("s", (Y, Z)),
+        Atom("t", (Z, W)),
+        Atom("u", (W, X)),
+    )
+    assert h.has_cycle()
+
+
+def test_triangle_with_pendant_edges_still_cyclic():
+    h = _hypergraph(
+        Atom("r", (X, Y)),
+        Atom("s", (Y, Z)),
+        Atom("t", (Z, X)),
+        Atom("u", (X, W)),
+    )
+    assert h.has_cycle()

@@ -1,0 +1,97 @@
+"""Conjunctive-query model: atoms, normalization, constant binding."""
+
+import pytest
+
+from repro.core.query import (
+    Atom,
+    ConjunctiveQuery,
+    Constant,
+    Variable,
+    bind_constants,
+    normalize,
+)
+from repro.errors import PlanningError
+from repro.storage.dictionary import Dictionary
+
+X, Y = Variable("x"), Variable("y")
+
+
+def test_atom_variables_and_constants():
+    atom = Atom("r", (X, Constant(5)))
+    assert atom.variables == (X,)
+    assert atom.constants == (Constant(5),)
+    assert atom.has_selection
+
+
+def test_atom_requires_terms():
+    with pytest.raises(PlanningError):
+        Atom("r", ())
+
+
+def test_query_validates_projection():
+    with pytest.raises(PlanningError):
+        ConjunctiveQuery((Atom("r", (X,)),), (Y,))
+
+
+def test_query_requires_atoms():
+    with pytest.raises(PlanningError):
+        ConjunctiveQuery((), (X,))
+
+
+def test_query_variables_and_is_full():
+    q = ConjunctiveQuery((Atom("r", (X, Y)),), (X,))
+    assert q.variables() == {X, Y}
+    assert not q.is_full()
+    assert ConjunctiveQuery((Atom("r", (X, Y)),), (X, Y)).is_full()
+
+
+def test_normalize_extracts_selections():
+    q = ConjunctiveQuery(
+        (Atom("r", (X, Constant(7))), Atom("s", (Constant(3), Y))),
+        (X, Y),
+    )
+    n = normalize(q)
+    assert len(n.selections) == 2
+    assert set(n.selections.values()) == {7, 3}
+    # Every atom term is now a variable.
+    for atom in n.atoms:
+        assert all(isinstance(t, Variable) for t in atom.terms)
+    assert n.unselected_variables() == {X, Y}
+
+
+def test_normalize_gives_fresh_variable_per_occurrence():
+    q = ConjunctiveQuery(
+        (Atom("r", (X, Constant(7))), Atom("s", (X, Constant(7)))),
+        (X,),
+    )
+    n = normalize(q)
+    sel_vars = list(n.selections)
+    assert len(sel_vars) == 2
+    assert sel_vars[0] != sel_vars[1]
+
+
+def test_normalize_rejects_unbound_string_constants():
+    q = ConjunctiveQuery((Atom("r", (X, Constant("<iri>"))),), (X,))
+    with pytest.raises(PlanningError):
+        normalize(q)
+
+
+def test_bind_constants_encodes_known_terms():
+    d = Dictionary()
+    d.encode("<iri>")
+    q = ConjunctiveQuery((Atom("r", (X, Constant("<iri>"))),), (X,))
+    bound = bind_constants(q, d)
+    assert bound is not None
+    assert bound.atoms[0].terms[1] == Constant(0)
+
+
+def test_bind_constants_returns_none_for_unknown_terms():
+    q = ConjunctiveQuery((Atom("r", (X, Constant("<never-seen>"))),), (X,))
+    assert bind_constants(q, Dictionary()) is None
+
+
+def test_bind_constants_keeps_integer_constants():
+    d = Dictionary()
+    q = ConjunctiveQuery((Atom("r", (X, Constant(9))),), (X,))
+    bound = bind_constants(q, d)
+    assert bound.atoms[0].terms[1] == Constant(9)

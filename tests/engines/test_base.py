@@ -1,0 +1,85 @@
+"""Engine base behavior shared by all five implementations."""
+
+import pytest
+
+from repro.engines import ALL_ENGINES
+from tests.util import build_store
+
+TRIPLES = [
+    ("<a>", "<http://x#knows>", "<b>"),
+    ("<b>", "<http://x#knows>", "<c>"),
+    ("<a>", "<http://x#type>", "<Person>"),
+    ("<b>", "<http://x#type>", "<Person>"),
+    ("<c>", "<http://x#type>", "<Robot>"),
+]
+
+
+@pytest.fixture(scope="module")
+def store():
+    return build_store(TRIPLES)
+
+
+@pytest.mark.parametrize("engine_cls", ALL_ENGINES)
+def test_basic_pattern(engine_cls, store):
+    engine = engine_cls(store)
+    result = engine.execute_sparql(
+        "SELECT ?x WHERE { ?x <http://x#knows> <b> }"
+    )
+    assert engine.decode(result) == [("<a>",)]
+
+
+@pytest.mark.parametrize("engine_cls", ALL_ENGINES)
+def test_join_two_patterns(engine_cls, store):
+    engine = engine_cls(store)
+    result = engine.execute_sparql(
+        """
+        SELECT ?x ?y WHERE {
+          ?x <http://x#knows> ?y .
+          ?y <http://x#type> <Person>
+        }
+        """
+    )
+    assert set(engine.decode(result)) == {("<a>", "<b>")}
+
+
+@pytest.mark.parametrize("engine_cls", ALL_ENGINES)
+def test_unknown_constant_returns_empty(engine_cls, store):
+    engine = engine_cls(store)
+    result = engine.execute_sparql(
+        "SELECT ?x WHERE { ?x <http://x#knows> <never-seen> }"
+    )
+    assert result.num_rows == 0
+    assert result.attributes == ("x",)
+
+
+@pytest.mark.parametrize("engine_cls", ALL_ENGINES)
+def test_unknown_predicate_raises_or_empty(engine_cls, store):
+    """An unknown predicate cannot bind: the constant IRI was never
+    dictionary-encoded, so every engine short-circuits to empty."""
+    engine = engine_cls(store)
+    result = engine.execute_sparql(
+        "SELECT ?x WHERE { ?x <http://x#neverUsed> ?y }"
+    )
+    assert result.num_rows == 0
+
+
+@pytest.mark.parametrize("engine_cls", ALL_ENGINES)
+def test_sparql_cache_reuses_translation(engine_cls, store):
+    engine = engine_cls(store)
+    text = "SELECT ?x WHERE { ?x <http://x#knows> ?y }"
+    engine.execute_sparql(text)
+    assert text in engine._sparql_cache
+    first = engine._sparql_cache[text]
+    engine.execute_sparql(text)
+    assert engine._sparql_cache[text] is first
+
+
+@pytest.mark.parametrize("engine_cls", ALL_ENGINES)
+def test_warm_executes(engine_cls, store):
+    engine = engine_cls(store)
+    engine.warm("SELECT ?x WHERE { ?x <http://x#knows> ?y }")
+
+
+@pytest.mark.parametrize("engine_cls", ALL_ENGINES)
+def test_repr_mentions_triple_count(engine_cls, store):
+    assert str(len(TRIPLES)) in repr(engine_cls(store))

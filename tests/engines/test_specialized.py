@@ -1,0 +1,127 @@
+"""RDF-3X-like and TripleBit-like internals."""
+
+import numpy as np
+import pytest
+
+from repro.engines.rdf3x import RDF3XLikeEngine
+from repro.engines.triple_index import ALL_PERMUTATIONS, TripleTable
+from repro.engines.triplebit import TripleBitLikeEngine, _PredicateMatrix
+from repro.errors import StorageError
+from repro.storage.relation import Relation
+from tests.util import build_store
+
+TRIPLES = [
+    ("<s1>", "<p:a>", "<o1>"),
+    ("<s1>", "<p:a>", "<o2>"),
+    ("<s2>", "<p:a>", "<o1>"),
+    ("<s1>", "<p:b>", "<o3>"),
+]
+
+
+@pytest.fixture(scope="module")
+def store():
+    return build_store(TRIPLES)
+
+
+@pytest.fixture(scope="module")
+def table(store):
+    return TripleTable(store)
+
+
+def test_all_six_permutations_built(table):
+    assert set(table.indexes) == set(ALL_PERMUTATIONS)
+    assert table.num_triples == 4
+
+
+def test_every_permutation_is_sorted(table):
+    for index in table.indexes.values():
+        keys = list(zip(*(c.tolist() for c in index.columns)))
+        assert keys == sorted(keys)
+
+
+def test_range_for_prefix(table, store):
+    d = store.dictionary
+    p_a = d.require("<p:a>")
+    pso = table.index("pso")
+    lo, hi = pso.range_for_prefix(p_a)
+    assert hi - lo == 3
+    s1 = d.require("<s1>")
+    lo, hi = pso.range_for_prefix(p_a, s1)
+    assert hi - lo == 2
+
+
+def test_count_prefix_aggregate(table, store):
+    p_b = store.dictionary.require("<p:b>")
+    assert table.index("pso").count_prefix(p_b) == 1
+    assert table.index("pso").count_prefix(p_b, 99999) == 0
+
+
+def test_predicate_stats(table, store):
+    d = store.dictionary
+    p_a = d.require("<p:a>")
+    count, distinct_s, distinct_o = table.predicate_stats[p_a]
+    assert count == 3
+    assert distinct_s == 2
+    assert distinct_o == 2
+
+
+def test_best_permutation_selection(table):
+    assert table.best_permutation(False, True, False) in ("pso", "pos")
+    perm = table.best_permutation(True, True, False)
+    assert set(perm[:2]) == {"s", "p"}
+    perm = table.best_permutation(True, True, True)
+    assert set(perm) == {"s", "p", "o"}
+
+
+def test_bad_permutation_rejected(store):
+    with pytest.raises(StorageError):
+        TripleTable(store, permutations=("sp",))
+    with pytest.raises(StorageError):
+        TripleTable(store, permutations=("sss",))
+
+
+def test_unmaterialized_permutation_raises(store):
+    table = TripleTable(store, permutations=("spo", "pso"))
+    with pytest.raises(StorageError):
+        table.index("ops")
+
+
+def test_predicate_matrix_scan_modes():
+    rel = Relation.from_rows(
+        "p", ("subject", "object"), [(1, 10), (1, 11), (2, 10)]
+    )
+    matrix = _PredicateMatrix(rel)
+    assert matrix.num_pairs == 3
+    assert matrix.distinct_subjects == 2
+    assert matrix.distinct_objects == 2
+    s, o = matrix.scan(1, None)
+    assert list(zip(s.tolist(), o.tolist())) == [(1, 10), (1, 11)]
+    s, o = matrix.scan(None, 10)
+    assert sorted(zip(s.tolist(), o.tolist())) == [(1, 10), (2, 10)]
+    s, o = matrix.scan(1, 11)
+    assert list(zip(s.tolist(), o.tolist())) == [(1, 11)]
+    s, o = matrix.scan(None, None)
+    assert len(s) == 3
+
+
+def test_engines_answer_bound_subject_pattern(store):
+    for engine_cls in (RDF3XLikeEngine, TripleBitLikeEngine):
+        engine = engine_cls(store)
+        result = engine.execute_sparql(
+            "SELECT ?o WHERE { <s1> <p:a> ?o }"
+        )
+        assert set(engine.decode(result)) == {("<o1>",), ("<o2>",)}
+
+
+def test_engines_answer_fully_bound_pattern(store):
+    for engine_cls in (RDF3XLikeEngine, TripleBitLikeEngine):
+        engine = engine_cls(store)
+        result = engine.execute_sparql(
+            "SELECT ?x WHERE { ?x <p:b> <o3> . <s1> <p:a> <o1> }"
+        )
+        assert set(engine.decode(result)) == {("<s1>",)}
+        # Unsatisfied existence check empties the result.
+        result = engine.execute_sparql(
+            "SELECT ?x WHERE { ?x <p:b> <o3> . <s2> <p:a> <o2> }"
+        )
+        assert result.num_rows == 0

@@ -1,0 +1,66 @@
+"""Failure injection: malformed queries, schema misuse, bad configs."""
+
+import pytest
+
+from repro.core.query import Atom, ConjunctiveQuery, Variable
+from repro.errors import (
+    ArityMismatchError,
+    ParseError,
+    ReproError,
+    UnknownRelationError,
+)
+
+X, Y = Variable("x"), Variable("y")
+
+
+@pytest.mark.parametrize(
+    "bad_query",
+    [
+        "",                                           # empty
+        "SELECT",                                     # no variables
+        "SELECT ?x",                                  # no where
+        "SELECT ?x WHERE { }",                        # empty pattern
+        "SELECT ?x WHERE { ?x <p> }",                 # incomplete triple
+        "SELECT ?x WHERE { ?x <p> ?y",                # unterminated block
+        "SELECT ?x WHERE { ?x nope:p ?y }",           # unknown prefix
+        "SELECT ?z WHERE { ?x <p:q> ?y }",            # unbound projection
+        "SELECT ?x WHERE { ?x ?p ?y }",               # variable predicate
+        "FOO ?x WHERE { ?x <p:q> ?y }",               # bad keyword
+    ],
+)
+def test_bad_sparql_raises_parse_error(emptyheaded, bad_query):
+    with pytest.raises(ParseError):
+        emptyheaded.execute_sparql(bad_query)
+
+
+def test_parse_errors_are_repro_errors(emptyheaded):
+    with pytest.raises(ReproError):
+        emptyheaded.execute_sparql("SELECT")
+
+
+def test_unknown_relation_in_direct_cq(emptyheaded):
+    query = ConjunctiveQuery((Atom("noSuchTable", (X, Y)),), (X,))
+    with pytest.raises(UnknownRelationError):
+        emptyheaded.execute(query)
+
+
+def test_arity_mismatch_in_direct_cq(emptyheaded):
+    query = ConjunctiveQuery((Atom("type", (X, Y, Variable("z"))),), (X,))
+    with pytest.raises(ArityMismatchError):
+        emptyheaded.execute(query)
+
+
+def test_error_messages_name_the_problem(emptyheaded):
+    query = ConjunctiveQuery((Atom("noSuchTable", (X, Y)),), (X,))
+    with pytest.raises(UnknownRelationError) as excinfo:
+        emptyheaded.execute(query)
+    assert "noSuchTable" in str(excinfo.value)
+
+
+def test_engines_survive_queries_after_errors(all_engines, queries):
+    """An error must not corrupt engine state for later queries."""
+    for engine in all_engines.values():
+        with pytest.raises(ParseError):
+            engine.execute_sparql("SELECT")
+        result = engine.execute_sparql(queries[14])
+        assert result.num_rows > 0

@@ -1,0 +1,83 @@
+"""Property test of the whole stack: random conjunctive queries through
+the planner and GHD executor, under every optimization configuration,
+against the brute-force evaluator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import OptimizationConfig
+from repro.core.query import Atom, ConjunctiveQuery, Constant, Variable
+from tests.util import brute_force, catalog_of, run_query
+
+VARS = [Variable(n) for n in "wxyz"]
+
+# Random join shapes over up to four binary relations.
+SHAPES = [
+    [("r", 0, 1), ("s", 1, 2)],
+    [("r", 0, 1), ("s", 1, 2), ("t", 2, 0)],
+    [("r", 0, 1), ("s", 0, 2), ("t", 0, 3)],
+    [("r", 0, 1), ("s", 1, 2), ("t", 2, 3)],
+    [("r", 0, 1), ("s", 1, 2), ("t", 2, 3), ("u", 3, 0)],
+]
+
+CONFIGS = [
+    OptimizationConfig.all_on(),
+    OptimizationConfig.all_off(),
+    OptimizationConfig.baseline_with_ghd(),
+]
+
+rows = st.lists(
+    st.tuples(st.integers(0, 5), st.integers(0, 5)), max_size=25
+)
+
+
+@given(
+    shape=st.sampled_from(SHAPES),
+    tables=st.lists(rows, min_size=4, max_size=4),
+    selected_position=st.integers(0, 3),
+    use_selection=st.booleans(),
+    project_all=st.booleans(),
+)
+@settings(max_examples=40, deadline=None)
+def test_planner_executor_matches_brute_force(
+    shape, tables, selected_position, use_selection, project_all
+):
+    catalog = catalog_of(
+        {
+            name: tables[i]
+            for i, (name, _, _) in enumerate(shape)
+        }
+    )
+    atoms = []
+    for i, (name, a, b) in enumerate(shape):
+        terms = [VARS[a], VARS[b]]
+        if use_selection and i == 0:
+            terms[selected_position % 2] = Constant(3)
+        atoms.append(Atom(name, tuple(terms)))
+    body_vars = sorted(
+        {t for atom in atoms for t in atom.variables},
+        key=lambda v: v.name,
+    )
+    projection = tuple(body_vars) if project_all else tuple(body_vars[:1])
+    query = ConjunctiveQuery(tuple(atoms), projection)
+
+    expected = brute_force(catalog, query)
+    for config in CONFIGS:
+        assert run_query(catalog, query, config) == expected, config
+
+
+@given(
+    tables=st.lists(rows, min_size=3, max_size=3),
+)
+@settings(max_examples=25, deadline=None)
+def test_triangle_all_configs(tables):
+    catalog = catalog_of({"r": tables[0], "s": tables[1], "t": tables[2]})
+    x, y, z = VARS[1], VARS[2], VARS[3]
+    query = ConjunctiveQuery(
+        (Atom("r", (x, y)), Atom("s", (y, z)), Atom("t", (x, z))),
+        (x, y, z),
+    )
+    expected = brute_force(catalog, query)
+    for config in CONFIGS:
+        assert run_query(catalog, query, config) == expected

@@ -1,0 +1,58 @@
+"""Every optimization configuration returns identical LUBM results.
+
+Table I's ablations are only meaningful if toggling an optimization
+never changes answers — this locks that invariant across all 2^5 flag
+combinations on representative queries (the full 12-query sweep runs on
+a subset of configs to keep the suite fast).
+"""
+
+from itertools import product
+
+import pytest
+
+from repro.core.config import OptimizationConfig
+from repro.engines.emptyheaded import EmptyHeadedEngine
+from repro.lubm.queries import PAPER_QUERY_IDS
+
+FLAG_NAMES = (
+    "mixed_layouts",
+    "reorder_selections",
+    "ghd_selection_pushdown",
+    "pipelining",
+    "use_ghd",
+)
+
+ALL_CONFIGS = [
+    OptimizationConfig(**dict(zip(FLAG_NAMES, flags)))
+    for flags in product([False, True], repeat=len(FLAG_NAMES))
+]
+
+REPRESENTATIVE_QUERIES = (2, 4, 8, 14)  # cyclic, star, pipeline, scan
+
+
+@pytest.mark.parametrize("query_id", REPRESENTATIVE_QUERIES)
+def test_all_32_configs_agree(query_id, dataset, queries, emptyheaded):
+    text = queries[query_id]
+    reference = emptyheaded.execute_sparql(text).to_set()
+    for config in ALL_CONFIGS:
+        engine = EmptyHeadedEngine(dataset.store, config)
+        assert engine.execute_sparql(text).to_set() == reference, config
+
+
+SPOT_CONFIGS = [
+    OptimizationConfig.all_on(),
+    OptimizationConfig.all_off(),
+    OptimizationConfig.baseline_with_ghd(),
+    OptimizationConfig.all_on().but(pipelining=False),
+]
+
+
+@pytest.mark.parametrize("query_id", PAPER_QUERY_IDS)
+def test_spot_configs_agree_on_all_queries(
+    query_id, dataset, queries, emptyheaded
+):
+    text = queries[query_id]
+    reference = emptyheaded.execute_sparql(text).to_set()
+    for config in SPOT_CONFIGS:
+        engine = EmptyHeadedEngine(dataset.store, config)
+        assert engine.execute_sparql(text).to_set() == reference, config

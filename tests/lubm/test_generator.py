@@ -1,0 +1,109 @@
+"""LUBM generator: structure, determinism, ontology invariants."""
+
+import pytest
+
+from repro.lubm.generator import GeneratorConfig, generate_dataset, generate_triples
+from repro.rdf.vocabulary import RDF_TYPE, UB
+
+
+def test_determinism_same_seed(dataset):
+    again = generate_dataset(universities=1, seed=0)
+    assert again.num_triples == dataset.num_triples
+    for name, table in dataset.store.tables.items():
+        assert again.store.tables[name].num_rows == table.num_rows
+
+
+def test_different_seed_differs():
+    a = generate_dataset(universities=1, seed=0)
+    b = generate_dataset(universities=1, seed=1)
+    assert a.num_triples != b.num_triples
+
+
+def test_scale_is_roughly_100k_per_university(dataset):
+    # Real UBA produces ~100k triples per university.
+    assert 80_000 <= dataset.num_triples <= 160_000
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        GeneratorConfig(universities=0)
+
+
+def test_degree_pool_at_least_universities():
+    config = GeneratorConfig(universities=50, degree_pool=10)
+    assert config.degree_pool == 50
+
+
+def test_department_count_in_range(dataset):
+    suborg = dataset.store.tables["subOrganizationOf"]
+    d = dataset.dictionary
+    departments = {
+        d.decode(int(s))
+        for s, o in suborg.iter_rows()
+        if d.decode(int(o)).startswith("<http://www.University")
+    }
+    assert 15 <= len(departments) <= 25
+
+
+def test_research_groups_are_suborgs_of_departments(dataset):
+    """Query 11 returns zero rows without inference because research
+    groups hang off departments, never universities."""
+    d = dataset.dictionary
+    suborg = dataset.store.tables["subOrganizationOf"]
+    for s, o in suborg.iter_rows():
+        subject = d.decode(int(s))
+        target = d.decode(int(o))
+        if "ResearchGroup" in subject:
+            assert "Department" in target
+
+
+def test_every_graduate_student_has_advisor_and_degree(dataset):
+    d = dataset.dictionary
+    type_table = dataset.store.tables["type"]
+    grad_key = d.lookup(UB.GraduateStudent)
+    grads = {
+        int(s) for s, o in type_table.iter_rows() if int(o) == grad_key
+    }
+    advisors = {int(s) for s, _ in dataset.store.tables["advisor"].iter_rows()}
+    degrees = {
+        int(s)
+        for s, _ in dataset.store.tables[
+            "undergraduateDegreeFrom"
+        ].iter_rows()
+    }
+    assert grads <= advisors
+    assert grads <= degrees
+
+
+def test_well_known_entities_exist(dataset):
+    d = dataset.dictionary
+    for term in (
+        "<http://www.University0.edu>",
+        "<http://www.Department0.University0.edu>",
+        "<http://www.Department0.University0.edu/GraduateCourse0>",
+        "<http://www.Department0.University0.edu/AssistantProfessor0>",
+        "<http://www.Department0.University0.edu/AssociateProfessor0>",
+    ):
+        assert d.lookup(term) is not None, term
+
+
+def test_all_lubm_predicates_present(dataset):
+    expected = {
+        "type", "memberOf", "subOrganizationOf", "takesCourse",
+        "teacherOf", "advisor", "worksFor", "undergraduateDegreeFrom",
+        "name", "emailAddress", "telephone", "publicationAuthor", "headOf",
+    }
+    assert expected <= set(dataset.store.tables)
+
+
+def test_triples_stream_matches_dataset(dataset):
+    config = GeneratorConfig(universities=1, seed=0)
+    count = sum(1 for _ in generate_triples(config))
+    assert count == dataset.num_triples
+
+
+def test_type_triples_use_rdf_type_predicate():
+    config = GeneratorConfig(universities=1, seed=3)
+    stream = generate_triples(config)
+    first = next(stream)
+    assert first.predicate == RDF_TYPE

@@ -1,0 +1,83 @@
+"""LUBM query texts."""
+
+import pytest
+
+from repro.lubm.generator import GeneratorConfig
+from repro.lubm.queries import (
+    CYCLIC_QUERY_IDS,
+    PAPER_OUTPUT_CARDINALITIES,
+    PAPER_QUERY_IDS,
+    lubm_queries,
+    lubm_query,
+)
+
+
+def test_paper_workload_is_twelve_queries():
+    # 14 LUBM queries minus 6 and 10 (duplicates without inference).
+    assert len(PAPER_QUERY_IDS) == 12
+    assert 6 not in PAPER_QUERY_IDS
+    assert 10 not in PAPER_QUERY_IDS
+
+
+def test_all_queries_have_prefixes():
+    for text in lubm_queries().values():
+        assert "PREFIX ub:" in text
+        assert "SELECT" in text
+
+
+def test_unknown_query_id_raises():
+    with pytest.raises(KeyError):
+        lubm_query(6)
+
+
+def test_query13_constant_adapts_to_scale():
+    small = lubm_query(13, GeneratorConfig(universities=1, degree_pool=100))
+    assert "University99.edu" in small
+    large = lubm_query(13, GeneratorConfig(universities=1, degree_pool=1000))
+    assert "University567.edu" in large
+    default = lubm_query(13)
+    assert "University567.edu" in default
+
+
+def test_cyclic_queries_marked():
+    assert CYCLIC_QUERY_IDS == (2, 9)
+
+
+def test_paper_cardinalities_recorded_for_all_queries():
+    assert set(PAPER_OUTPUT_CARDINALITIES) == set(PAPER_QUERY_IDS)
+    assert PAPER_OUTPUT_CARDINALITIES[11] == 0
+    assert PAPER_OUTPUT_CARDINALITIES[14] == 7_924_765
+
+
+def test_queries_parse_and_translate():
+    from repro.sparql.parser import parse_sparql
+    from repro.sparql.translate import sparql_to_query
+
+    for qid, text in lubm_queries().items():
+        query = sparql_to_query(parse_sparql(text), name=f"q{qid}")
+        assert query.atoms, qid
+
+
+def test_cyclic_queries_have_cyclic_hypergraphs():
+    from repro.core.hypergraph import Hypergraph
+    from repro.core.query import normalize
+    from repro.sparql.parser import parse_sparql
+    from repro.sparql.translate import sparql_to_query
+
+    for qid, text in lubm_queries().items():
+        query = sparql_to_query(parse_sparql(text), name=f"q{qid}")
+        # Bind constants to dummy keys so normalize() accepts the query.
+        from repro.core.query import Atom, Constant, Variable
+
+        atoms = []
+        for atom in query.atoms:
+            terms = tuple(
+                Constant(0) if isinstance(t, Constant) else t
+                for t in atom.terms
+            )
+            atoms.append(Atom(atom.relation, terms))
+        from repro.core.query import ConjunctiveQuery
+
+        bound = ConjunctiveQuery(tuple(atoms), query.projection, query.name)
+        hypergraph = Hypergraph.from_query(normalize(bound))
+        assert hypergraph.has_cycle() == (qid in CYCLIC_QUERY_IDS), qid

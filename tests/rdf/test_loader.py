@@ -1,0 +1,46 @@
+"""N-Triples loading into engines."""
+
+from repro.engines.emptyheaded import EmptyHeadedEngine
+from repro.rdf.loader import load_ntriples, load_ntriples_text
+
+DOC = """\
+<http://x/a> <http://ns#knows> <http://x/b> .
+<http://x/b> <http://ns#knows> <http://x/a> .
+# a comment
+<http://x/a> <http://ns#name> "Alice" .
+"""
+
+
+def test_load_from_text():
+    store = load_ntriples_text(DOC)
+    assert store.num_triples == 3
+    assert set(store.tables) == {"knows", "name"}
+
+
+def test_load_from_file(tmp_path):
+    path = tmp_path / "doc.nt"
+    path.write_text(DOC, encoding="utf-8")
+    store = load_ntriples(str(path))
+    assert store.num_triples == 3
+
+
+def test_loaded_store_is_queryable():
+    store = load_ntriples_text(DOC)
+    engine = EmptyHeadedEngine(store)
+    result = engine.execute_sparql(
+        "SELECT ?n WHERE { ?x <http://ns#knows> <http://x/b> . "
+        "?x <http://ns#name> ?n }"
+    )
+    assert engine.decode(result) == [('"Alice"',)]
+
+
+def test_generator_roundtrip_through_ntriples(tmp_path):
+    """repro-lubm generate output loads back to an identical store."""
+    from repro.lubm.generator import GeneratorConfig, generate_triples
+    from repro.rdf.ntriples import to_ntriples
+
+    config = GeneratorConfig(universities=1, seed=5)
+    triples = list(generate_triples(config))[:5000]
+    text = to_ntriples(triples)
+    store = load_ntriples_text(text)
+    assert store.num_triples == 5000

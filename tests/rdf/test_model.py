@@ -1,0 +1,27 @@
+"""RDF term helpers."""
+
+from repro.rdf.model import iri, is_iri, is_literal, literal, strip_iri
+
+
+def test_iri_wraps():
+    assert iri("http://x") == "<http://x>"
+    assert iri("<http://x>") == "<http://x>"  # idempotent
+
+
+def test_strip_iri():
+    assert strip_iri("<http://x>") == "http://x"
+    assert strip_iri("http://x") == "http://x"
+
+
+def test_literal_wraps_and_escapes():
+    assert literal("hi") == '"hi"'
+    assert literal('say "hi"') == '"say \\"hi\\""'
+    assert literal("line\nbreak") == '"line\\nbreak"'
+    assert literal('"done"') == '"done"'  # idempotent
+
+
+def test_is_iri_is_literal():
+    assert is_iri("<http://x>")
+    assert not is_iri('"x"')
+    assert is_literal('"x"')
+    assert not is_literal("<http://x>")

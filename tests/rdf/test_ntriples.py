@@ -1,0 +1,74 @@
+"""N-Triples reader/writer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.rdf.model import Triple
+from repro.rdf.ntriples import parse_ntriples, to_ntriples
+
+
+def test_parse_basic_triple():
+    [t] = parse_ntriples(['<http://s> <http://p> <http://o> .'])
+    assert t == Triple("<http://s>", "<http://p>", "<http://o>")
+
+
+def test_parse_literal_object():
+    [t] = parse_ntriples(['<http://s> <http://p> "hello world" .'])
+    assert t.object == '"hello world"'
+
+
+def test_parse_escaped_literal():
+    [t] = parse_ntriples(['<http://s> <http://p> "say \\"hi\\"" .'])
+    assert t.object == '"say \\"hi\\""'
+
+
+def test_parse_language_tag_kept_verbatim():
+    [t] = parse_ntriples(['<http://s> <http://p> "bonjour"@fr .'])
+    assert t.object == '"bonjour"@fr'
+
+
+def test_parse_typed_literal_kept_verbatim():
+    line = '<http://s> <http://p> "5"^^<http://www.w3.org/2001/XMLSchema#int> .'
+    [t] = parse_ntriples([line])
+    assert t.object.startswith('"5"^^<')
+
+
+def test_parse_blank_node():
+    [t] = parse_ntriples(["_:b1 <http://p> _:b2 ."])
+    assert t.subject == "_:b1"
+    assert t.object == "_:b2"
+
+
+def test_skips_comments_and_blanks():
+    lines = ["# comment", "", "<a> <b> <c> ."]
+    assert len(list(parse_ntriples(lines))) == 1
+
+
+def test_unterminated_iri_raises():
+    with pytest.raises(ParseError):
+        list(parse_ntriples(["<http://s <http://p> <http://o> ."]))
+
+
+def test_unterminated_literal_raises():
+    with pytest.raises(ParseError):
+        list(parse_ntriples(['<s> <p> "oops .']))
+
+
+def test_trailing_garbage_raises():
+    with pytest.raises(ParseError):
+        list(parse_ntriples(["<s> <p> <o> . extra"]))
+
+
+def test_error_reports_line_number():
+    with pytest.raises(ParseError) as excinfo:
+        list(parse_ntriples(["<a> <b> <c> .", "junk line here"]))
+    assert "line 2" in str(excinfo.value)
+
+
+def test_serialize_roundtrip():
+    triples = [
+        Triple("<s>", "<p>", "<o>"),
+        Triple("<s>", "<p>", '"lit"'),
+    ]
+    text = to_ntriples(triples)
+    assert list(parse_ntriples(text.splitlines())) == triples

@@ -1,0 +1,64 @@
+"""Cardinality estimation for pairwise planners."""
+
+import pytest
+
+from repro.relalg.estimates import (
+    EstimatedRelation,
+    RelationStatistics,
+    estimate_join_size,
+)
+from repro.storage.relation import Relation
+
+
+def test_statistics_distinct_counts():
+    rel = Relation.from_rows(
+        "r", ("a", "b"), [(1, 1), (1, 2), (2, 2), (2, 2)]
+    )
+    stats = RelationStatistics(rel)
+    assert stats.num_rows == 4
+    assert stats.distinct("a") == 2
+    assert stats.distinct("b") == 2
+    # Cached: same object on second call path.
+    assert stats.distinct("a") == 2
+
+
+def test_selectivity_equals():
+    rel = Relation.from_rows("r", ("a",), [(1,), (2,), (3,), (4,)])
+    stats = RelationStatistics(rel)
+    assert stats.selectivity_equals("a") == pytest.approx(0.25)
+    empty = RelationStatistics(Relation.empty("e", ("a",)))
+    assert empty.selectivity_equals("a") == 0.0
+
+
+def test_join_size_system_r_formula():
+    # |R|=100, |S|=200, V(R,k)=10, V(S,k)=20 -> 100*200/20 = 1000.
+    assert estimate_join_size(100, 200, [(10, 20)]) == pytest.approx(1000)
+
+
+def test_join_size_multiple_keys():
+    size = estimate_join_size(100, 100, [(10, 10), (5, 2)])
+    assert size == pytest.approx(100 * 100 / 10 / 5)
+
+
+def test_estimated_relation_join_schema():
+    r = EstimatedRelation(("x", "k"), 100.0, {"x": 100, "k": 10})
+    s = EstimatedRelation(("k", "y"), 50.0, {"k": 25, "y": 50})
+    joined = r.join(s)
+    assert joined.attributes == ("x", "k", "y")
+    assert joined.rows == pytest.approx(100 * 50 / 25)
+
+
+def test_estimated_join_caps_distincts_by_size():
+    r = EstimatedRelation(("x", "k"), 10.0, {"x": 10, "k": 10})
+    s = EstimatedRelation(("k", "y"), 2.0, {"k": 2, "y": 2})
+    joined = r.join(s)
+    assert joined.rows == pytest.approx(2.0)
+    for distinct in joined.distincts.values():
+        assert distinct <= joined.rows
+
+
+def test_from_stats():
+    rel = Relation.from_rows("r", ("a", "b"), [(1, 5), (2, 5)])
+    est = EstimatedRelation.from_stats(RelationStatistics(rel))
+    assert est.rows == 2.0
+    assert est.distincts == {"a": 2.0, "b": 1.0}

@@ -1,0 +1,45 @@
+"""Greedy (TripleBit-style) join ordering."""
+
+import pytest
+
+from repro.errors import PlanningError
+from repro.relalg.estimates import EstimatedRelation
+from repro.relalg.greedy import greedy_join_order
+
+
+def _est(attrs, rows):
+    return EstimatedRelation(
+        tuple(attrs), float(rows), {a: rows for a in attrs}
+    )
+
+
+def test_starts_with_most_selective():
+    inputs = [
+        _est(("x", "y"), 500),
+        _est(("y", "z"), 5),
+        _est(("z", "w"), 100),
+    ]
+    tree = greedy_join_order(inputs)
+    assert tree.order[0] == 1
+
+
+def test_empty_raises():
+    with pytest.raises(PlanningError):
+        greedy_join_order([])
+
+
+def test_prefers_connected_extensions():
+    inputs = [
+        _est(("x", "y"), 10),
+        _est(("a", "b"), 1),   # smallest: starts
+        _est(("b", "x"), 20),  # connects a,b to x,y
+    ]
+    tree = greedy_join_order(inputs)
+    assert tree.order[0] == 1
+    assert tree.order[1] == 2  # connected, not the cross product
+
+
+def test_covers_all_inputs_once():
+    inputs = [_est((f"v{i}", f"v{i+1}"), 10 * (i + 1)) for i in range(5)]
+    tree = greedy_join_order(inputs)
+    assert sorted(tree.order) == list(range(5))

@@ -1,0 +1,113 @@
+"""Unit tests for the bitset layout."""
+
+import numpy as np
+import pytest
+
+from repro.sets.base import SetLayout
+from repro.sets.bitset import BitSet, popcount
+
+
+def test_roundtrip():
+    values = [3, 64, 65, 1000]
+    s = BitSet(values)
+    assert list(s.to_array()) == values
+    assert s.cardinality == 4
+
+
+def test_layout_tag():
+    assert BitSet([1]).layout is SetLayout.BITSET
+
+
+def test_base_is_word_aligned():
+    s = BitSet([100])
+    assert s.base % 64 == 0
+    assert s.base <= 100
+
+
+def test_contains_constant_time_probe():
+    s = BitSet([0, 63, 64, 127])
+    for present in (0, 63, 64, 127):
+        assert s.contains(present)
+    for absent in (1, 62, 65, 126, 128):
+        assert not s.contains(absent)
+
+
+def test_contains_out_of_range():
+    s = BitSet([100, 200])
+    assert not s.contains(0)
+    assert not s.contains(300)
+
+
+def test_contains_many():
+    s = BitSet([10, 20, 30])
+    probe = np.array([5, 10, 15, 20, 25, 30, 35], dtype=np.uint32)
+    expected = [False, True, False, True, False, True, False]
+    assert list(s.contains_many(probe)) == expected
+
+
+def test_contains_many_empty_bitset():
+    s = BitSet([])
+    assert not s.contains_many(np.array([1], dtype=np.uint32)).any()
+
+
+def test_min_max():
+    s = BitSet([77, 5, 1000])
+    assert s.min_value == 5
+    assert s.max_value == 1000
+
+
+def test_empty_bitset():
+    s = BitSet([])
+    assert s.cardinality == 0
+    assert list(s.to_array()) == []
+    with pytest.raises(ValueError):
+        _ = s.min_value
+
+
+def test_from_words_trims_and_counts():
+    words = np.zeros(4, dtype=np.uint64)
+    words[1] = np.uint64(0b1011)  # values base+64, base+65, base+67
+    s = BitSet.from_words(128, words)
+    assert s.cardinality == 3
+    assert list(s.to_array()) == [192, 193, 195]
+    assert s.min_value == 192
+    assert s.max_value == 195
+
+
+def test_from_words_requires_aligned_base():
+    with pytest.raises(ValueError):
+        BitSet.from_words(3, np.zeros(1, dtype=np.uint64))
+
+
+def test_from_words_all_zero():
+    s = BitSet.from_words(0, np.zeros(5, dtype=np.uint64))
+    assert s.cardinality == 0
+
+
+def test_from_sorted_matches_general_constructor():
+    values = np.array([1, 2, 300], dtype=np.uint32)
+    assert BitSet.from_sorted(values) == BitSet(values)
+
+
+def test_popcount_swar():
+    assert popcount(np.array([], dtype=np.uint64)) == 0
+    assert popcount(np.array([0], dtype=np.uint64)) == 0
+    assert popcount(np.array([0xFFFFFFFFFFFFFFFF], dtype=np.uint64)) == 64
+    rng = np.random.default_rng(7)
+    words = rng.integers(0, 1 << 63, 100, dtype=np.uint64)
+    expected = sum(int(w).bit_count() for w in words)
+    assert popcount(words) == expected
+
+
+def test_dense_range_roundtrip():
+    values = np.arange(1000, 2000, dtype=np.uint32)
+    s = BitSet(values)
+    assert s.cardinality == 1000
+    assert np.array_equal(s.to_array(), values)
+
+
+def test_single_value():
+    s = BitSet([12345])
+    assert s.cardinality == 1
+    assert s.min_value == s.max_value == 12345
+    assert s.contains(12345)

@@ -1,0 +1,75 @@
+"""The set-layout optimizer: the paper's 1-in-256 density rule."""
+
+import numpy as np
+import pytest
+
+from repro.sets import (
+    DENSITY_THRESHOLD,
+    EMPTY_SET,
+    SetLayout,
+    build_set,
+    choose_layout,
+)
+from repro.sets.bitset import BitSet
+from repro.sets.layout import build_set_from_sorted
+from repro.sets.uint_array import UintArraySet
+
+
+def test_threshold_value_from_paper():
+    # "The optimizer chooses the bitset layout when more than one out of
+    # every 256 values appears in the set" (256 = AVX register size).
+    assert DENSITY_THRESHOLD == pytest.approx(1 / 256)
+
+
+def test_dense_set_gets_bitset():
+    values = np.arange(0, 100, dtype=np.uint32)  # density 1.0
+    assert choose_layout(values) is SetLayout.BITSET
+    assert isinstance(build_set(values), BitSet)
+
+
+def test_sparse_set_gets_uint_array():
+    values = np.arange(0, 100 * 300, 300, dtype=np.uint32)  # density 1/300
+    assert choose_layout(values) is SetLayout.UINT_ARRAY
+    assert isinstance(build_set(values), UintArraySet)
+
+
+def test_exact_threshold_is_uint_array():
+    # Exactly 1/256 is NOT "more than one out of every 256".
+    values = np.array([0, 255], dtype=np.uint32)  # 2/256 = 1/128 > 1/256
+    assert choose_layout(values) is SetLayout.BITSET
+    values = np.array([0, 511], dtype=np.uint32)  # 2/512 = 1/256, not more
+    assert choose_layout(values) is SetLayout.UINT_ARRAY
+
+
+def test_single_value_is_bitset():
+    # density 1/1 — maximally dense.
+    assert choose_layout(np.array([42], dtype=np.uint32)) is SetLayout.BITSET
+
+
+def test_empty_set_singleton():
+    assert build_set([]) is EMPTY_SET
+    assert choose_layout(np.empty(0, dtype=np.uint32)) is SetLayout.UINT_ARRAY
+
+
+def test_force_layout_override():
+    dense = np.arange(100, dtype=np.uint32)
+    forced = build_set(dense, force_layout=SetLayout.UINT_ARRAY)
+    assert isinstance(forced, UintArraySet)
+    sparse = np.arange(0, 100_000, 1000, dtype=np.uint32)
+    forced = build_set(sparse, force_layout=SetLayout.BITSET)
+    assert isinstance(forced, BitSet)
+
+
+def test_build_set_from_sorted_same_content():
+    values = np.array([1, 5, 6, 7], dtype=np.uint32)
+    a = build_set(values)
+    b = build_set_from_sorted(values)
+    assert a == b
+
+
+def test_layout_content_equivalence():
+    values = np.array([2, 3, 5, 8, 13], dtype=np.uint32)
+    as_bits = build_set(values, force_layout=SetLayout.BITSET)
+    as_array = build_set(values, force_layout=SetLayout.UINT_ARRAY)
+    assert as_bits == as_array
+    assert np.array_equal(as_bits.to_array(), as_array.to_array())

@@ -1,0 +1,106 @@
+"""Unit tests for the sorted uint-array set layout."""
+
+import numpy as np
+import pytest
+
+from repro.sets.base import SetLayout
+from repro.sets.uint_array import UintArraySet
+
+
+def test_builds_sorted_unique():
+    s = UintArraySet([5, 1, 3, 3, 1])
+    assert list(s.to_array()) == [1, 3, 5]
+    assert s.cardinality == 3
+
+
+def test_layout_tag():
+    assert UintArraySet([1]).layout is SetLayout.UINT_ARRAY
+
+
+def test_min_max():
+    s = UintArraySet([10, 2, 7])
+    assert s.min_value == 2
+    assert s.max_value == 10
+
+
+def test_empty_min_max_raises():
+    s = UintArraySet([])
+    with pytest.raises(ValueError):
+        _ = s.min_value
+    with pytest.raises(ValueError):
+        _ = s.max_value
+
+
+def test_contains_binary_search():
+    s = UintArraySet([2, 4, 8, 16])
+    assert s.contains(8)
+    assert not s.contains(7)
+    assert not s.contains(0)
+    assert not s.contains(17)
+
+
+def test_contains_dunder_rejects_non_integers():
+    s = UintArraySet([1, 2])
+    assert 1 in s
+    assert "1" not in s
+    assert -1 not in s
+    assert (1 << 40) not in s
+
+
+def test_contains_many_mask():
+    s = UintArraySet([1, 5, 9])
+    probe = np.array([0, 1, 5, 6, 9, 10], dtype=np.uint32)
+    assert list(s.contains_many(probe)) == [
+        False, True, True, False, True, False,
+    ]
+
+
+def test_contains_many_on_empty_set():
+    s = UintArraySet([])
+    assert not s.contains_many(np.array([1, 2], dtype=np.uint32)).any()
+
+
+def test_rank():
+    s = UintArraySet([10, 20, 30])
+    assert s.rank(20) == 1
+    with pytest.raises(KeyError):
+        s.rank(25)
+
+
+def test_from_sorted_trusts_input():
+    arr = np.array([1, 2, 3], dtype=np.uint32)
+    s = UintArraySet.from_sorted(arr)
+    assert s.to_array() is arr
+
+
+def test_iteration_and_len():
+    s = UintArraySet([3, 1, 2])
+    assert list(s) == [1, 2, 3]
+    assert len(s) == 3
+    assert bool(s)
+    assert not bool(UintArraySet([]))
+
+
+def test_equality_across_layouts():
+    from repro.sets.bitset import BitSet
+
+    assert UintArraySet([1, 2, 3]) == BitSet([1, 2, 3])
+    assert UintArraySet([1, 2]) != BitSet([1, 2, 3])
+
+
+def test_density_and_span():
+    s = UintArraySet([0, 255])
+    assert s.span == 256
+    assert s.density == pytest.approx(2 / 256)
+
+
+def test_rejects_values_out_of_uint32_range():
+    with pytest.raises(ValueError):
+        UintArraySet([-1])
+    with pytest.raises(ValueError):
+        UintArraySet([1 << 40])
+
+
+def test_rejects_non_integer_dtype():
+    with pytest.raises(ValueError):
+        UintArraySet(np.array([1.5, 2.5]))

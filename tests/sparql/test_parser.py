@@ -1,0 +1,121 @@
+"""SPARQL subset parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sparql.ast import SparqlTerm, SparqlVariable
+from repro.sparql.parser import parse_sparql
+
+
+def test_basic_select():
+    q = parse_sparql("SELECT ?x WHERE { ?x <http://p> <http://o> }")
+    assert q.variables == ("x",)
+    assert len(q.patterns) == 1
+    assert q.patterns[0].subject == SparqlVariable("x")
+    assert q.patterns[0].predicate == SparqlTerm("<http://p>")
+
+
+def test_prefix_expansion():
+    q = parse_sparql(
+        """
+        PREFIX ub: <http://example.org/ub#>
+        SELECT ?x WHERE { ?x ub:memberOf ?y }
+        """
+    )
+    assert q.prefixes["ub"] == "http://example.org/ub#"
+    assert q.patterns[0].predicate == SparqlTerm("<http://example.org/ub#memberOf>")
+
+
+def test_unknown_prefix_raises():
+    with pytest.raises(ParseError):
+        parse_sparql("SELECT ?x WHERE { ?x nope:p ?y }")
+
+
+def test_multiple_patterns_dot_separated():
+    q = parse_sparql(
+        "SELECT ?x ?y WHERE { ?x <p:a> ?y . ?y <p:b> ?x . }"
+    )
+    assert len(q.patterns) == 2
+
+
+def test_trailing_dot_optional():
+    q1 = parse_sparql("SELECT ?x WHERE { ?x <p:a> ?y }")
+    q2 = parse_sparql("SELECT ?x WHERE { ?x <p:a> ?y . }")
+    assert q1.patterns == q2.patterns
+
+
+def test_where_keyword_optional():
+    q = parse_sparql("SELECT ?x { ?x <p:a> ?y }")
+    assert len(q.patterns) == 1
+
+
+def test_select_star():
+    q = parse_sparql("SELECT * WHERE { ?a <p:x> ?b }")
+    assert q.select_all
+    assert q.variables == ()
+
+
+def test_distinct_flag():
+    q = parse_sparql("SELECT DISTINCT ?x WHERE { ?x <p:a> ?y }")
+    assert q.distinct
+
+
+def test_literal_object():
+    q = parse_sparql('SELECT ?x WHERE { ?x <p:name> "Alice" }')
+    assert q.patterns[0].object == SparqlTerm('"Alice"')
+
+
+def test_comments_ignored():
+    q = parse_sparql(
+        """
+        # leading comment
+        SELECT ?x WHERE {
+          ?x <p:a> ?y  # trailing comment
+        }
+        """
+    )
+    assert len(q.patterns) == 1
+
+
+def test_empty_select_list_raises():
+    with pytest.raises(ParseError):
+        parse_sparql("SELECT WHERE { ?x <p:a> ?y }")
+
+
+def test_empty_where_raises():
+    with pytest.raises(ParseError):
+        parse_sparql("SELECT ?x WHERE { }")
+
+
+def test_unterminated_where_raises():
+    with pytest.raises(ParseError):
+        parse_sparql("SELECT ?x WHERE { ?x <p:a> ?y")
+
+
+def test_trailing_tokens_raise():
+    with pytest.raises(ParseError):
+        parse_sparql("SELECT ?x WHERE { ?x <p:a> ?y } garbage")
+
+
+def test_missing_select_raises():
+    with pytest.raises(ParseError):
+        parse_sparql("PREFIX x: <http://x#>")
+
+
+def test_bad_character_reports_offset():
+    with pytest.raises(ParseError) as excinfo:
+        parse_sparql("SELECT ?x WHERE { ?x <p:a> ?y } @@@")
+    assert excinfo.value.position is not None
+
+
+def test_incomplete_pattern_raises():
+    with pytest.raises(ParseError):
+        parse_sparql("SELECT ?x WHERE { ?x <p:a> }")
+
+
+def test_paper_query_2_parses():
+    from repro.lubm.queries import lubm_query
+
+    q = parse_sparql(lubm_query(2))
+    assert len(q.patterns) == 6
+    assert q.variables == ("X", "Y", "Z")

@@ -1,0 +1,80 @@
+"""BGP -> conjunctive-query translation over the VP schema."""
+
+import pytest
+
+from repro.core.query import Constant, Variable
+from repro.errors import ParseError
+from repro.sparql.parser import parse_sparql
+from repro.sparql.translate import sparql_to_query
+
+
+def _translate(text):
+    return sparql_to_query(parse_sparql(text))
+
+
+def test_pattern_becomes_atom():
+    q = _translate("SELECT ?x WHERE { ?x <http://ns#memberOf> ?y }")
+    assert len(q.atoms) == 1
+    atom = q.atoms[0]
+    assert atom.relation == "memberOf"
+    assert atom.terms == (Variable("x"), Variable("y"))
+
+
+def test_constants_become_constant_terms():
+    q = _translate(
+        'SELECT ?x WHERE { ?x <http://ns#worksFor> <http://www.Dept0.edu> }'
+    )
+    assert q.atoms[0].terms[1] == Constant("<http://www.Dept0.edu>")
+
+
+def test_rdf_type_maps_to_type_relation():
+    q = _translate(
+        """
+        PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+        SELECT ?x WHERE { ?x rdf:type <http://ns#Student> }
+        """
+    )
+    assert q.atoms[0].relation == "type"
+
+
+def test_projection_follows_select_list():
+    q = _translate(
+        "SELECT ?b ?a WHERE { ?a <http://ns#p> ?b }"
+    )
+    assert q.projection == (Variable("b"), Variable("a"))
+
+
+def test_select_star_projects_in_appearance_order():
+    q = _translate("SELECT * WHERE { ?b <http://ns#p> ?a . ?a <http://ns#q> ?c }")
+    assert q.projection == (Variable("b"), Variable("a"), Variable("c"))
+
+
+def test_variable_predicate_rejected():
+    with pytest.raises(ParseError):
+        _translate("SELECT ?x WHERE { ?x ?p ?y }")
+
+
+def test_unknown_projection_variable_rejected():
+    with pytest.raises(ParseError):
+        _translate("SELECT ?z WHERE { ?x <http://ns#p> ?y }")
+
+
+def test_literal_subject_constant():
+    q = _translate('SELECT ?x WHERE { <http://me> <http://ns#says> ?x }')
+    assert q.atoms[0].terms[0] == Constant("<http://me>")
+
+
+def test_paper_query_2_shape():
+    from repro.lubm.queries import lubm_query
+
+    q = sparql_to_query(parse_sparql(lubm_query(2)))
+    assert len(q.atoms) == 6
+    relations = sorted(a.relation for a in q.atoms)
+    assert relations == [
+        "memberOf",
+        "subOrganizationOf",
+        "type",
+        "type",
+        "type",
+        "undergraduateDegreeFrom",
+    ]

@@ -1,0 +1,73 @@
+"""Catalog: registration, lookup, trie caching."""
+
+import pytest
+
+from repro.errors import (
+    ArityMismatchError,
+    StorageError,
+    UnknownRelationError,
+)
+from repro.sets.base import SetLayout
+from repro.storage.catalog import Catalog
+from repro.storage.relation import Relation
+
+
+@pytest.fixture()
+def catalog():
+    c = Catalog()
+    c.register(Relation.from_rows("r", ("a", "b"), [(1, 2), (3, 4)]))
+    c.register(Relation.from_rows("s", ("x",), [(5,)]))
+    return c
+
+
+def test_get_known(catalog):
+    assert catalog.get("r").num_rows == 2
+
+
+def test_get_unknown_raises_with_hint(catalog):
+    with pytest.raises(UnknownRelationError) as excinfo:
+        catalog.get("missing")
+    assert "missing" in str(excinfo.value)
+    assert "r" in excinfo.value.known
+
+
+def test_double_register_rejected(catalog):
+    with pytest.raises(StorageError):
+        catalog.register(Relation.empty("r", ("a", "b")))
+
+
+def test_replace_invalidates_trie_cache(catalog):
+    t1 = catalog.trie("r", ("a", "b"))
+    catalog.register(
+        Relation.from_rows("r", ("a", "b"), [(9, 9)]), replace=True
+    )
+    t2 = catalog.trie("r", ("a", "b"))
+    assert t1 is not t2
+    assert list(t2.iter_tuples()) == [(9, 9)]
+
+
+def test_check_arity(catalog):
+    assert catalog.check_arity("r", 2).name == "r"
+    with pytest.raises(ArityMismatchError):
+        catalog.check_arity("r", 3)
+
+
+def test_trie_cache_by_order_and_layout(catalog):
+    a = catalog.trie("r", ("a", "b"))
+    b = catalog.trie("r", ("a", "b"))
+    c = catalog.trie("r", ("b", "a"))
+    d = catalog.trie("r", ("a", "b"), force_layout=SetLayout.UINT_ARRAY)
+    assert a is b
+    assert a is not c
+    assert a is not d
+
+
+def test_names_and_iteration(catalog):
+    assert catalog.names() == ["r", "s"]
+    assert {rel.name for rel in catalog} == {"r", "s"}
+    assert "r" in catalog
+
+
+def test_stats(catalog):
+    assert catalog.stats() == {"r": 2, "s": 1}
+    assert catalog.total_rows() == 3

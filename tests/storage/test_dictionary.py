@@ -1,0 +1,70 @@
+"""Dictionary encoding tests."""
+
+import pytest
+
+from repro.errors import DictionaryError
+from repro.storage.dictionary import Dictionary
+
+
+def test_encode_assigns_dense_keys():
+    d = Dictionary()
+    assert d.encode("a") == 0
+    assert d.encode("b") == 1
+    assert d.encode("a") == 0  # idempotent
+    assert len(d) == 2
+
+
+def test_decode_roundtrip():
+    d = Dictionary()
+    terms = [f"term{i}" for i in range(100)]
+    keys = [d.encode(t) for t in terms]
+    assert [d.decode(k) for k in keys] == terms
+
+
+def test_encode_many_returns_uint32():
+    d = Dictionary()
+    arr = d.encode_many(["x", "y", "x"])
+    assert arr.dtype.name == "uint32"
+    assert list(arr) == [0, 1, 0]
+
+
+def test_lookup_returns_none_for_unknown():
+    d = Dictionary()
+    d.encode("known")
+    assert d.lookup("known") == 0
+    assert d.lookup("unknown") is None
+
+
+def test_require_raises_for_unknown():
+    d = Dictionary()
+    with pytest.raises(DictionaryError):
+        d.require("nope")
+
+
+def test_decode_out_of_range_raises():
+    d = Dictionary()
+    d.encode("only")
+    with pytest.raises(DictionaryError):
+        d.decode(5)
+
+
+def test_decode_many():
+    d = Dictionary()
+    d.encode("a"), d.encode("b")
+    assert d.decode_many([1, 0]) == ["b", "a"]
+    with pytest.raises(DictionaryError):
+        d.decode_many([7])
+
+
+def test_contains():
+    d = Dictionary()
+    d.encode("here")
+    assert "here" in d
+    assert "gone" not in d
+
+
+def test_items_in_key_order():
+    d = Dictionary()
+    for term in ("z", "a", "m"):
+        d.encode(term)
+    assert list(d.items()) == [("z", 0), ("a", 1), ("m", 2)]

@@ -1,0 +1,67 @@
+"""Vertical partitioning of triples into per-predicate tables."""
+
+from repro.storage.vertical import local_name, vertically_partition
+
+
+def test_local_name_hash_iri():
+    assert local_name("<http://example.org/ns#memberOf>") == "memberOf"
+
+
+def test_local_name_slash_iri():
+    assert local_name("<http://example.org/vocab/worksFor>") == "worksFor"
+
+
+def test_local_name_rdf_type():
+    assert (
+        local_name("<http://www.w3.org/1999/02/22-rdf-syntax-ns#type>")
+        == "type"
+    )
+
+
+def test_local_name_sanitizes():
+    assert local_name("<http://x.org/a-b.c>") == "a_b_c"
+
+
+def test_local_name_bare_string():
+    assert local_name("plainName") == "plainName"
+
+
+def test_partition_groups_by_predicate():
+    store = vertically_partition(
+        [
+            ("s1", "p1", "o1"),
+            ("s2", "p2", "o2"),
+            ("s3", "p1", "o3"),
+        ]
+    )
+    assert set(store.tables) == {"p1", "p2"}
+    assert store.tables["p1"].num_rows == 2
+    assert store.num_triples == 3
+
+
+def test_partition_deduplicates_triples():
+    store = vertically_partition([("s", "p", "o")] * 5)
+    assert store.tables["p"].num_rows == 1
+
+
+def test_partition_shares_dictionary_across_tables():
+    store = vertically_partition(
+        [("alice", "knows", "bob"), ("bob", "likes", "alice")]
+    )
+    d = store.dictionary
+    knows = store.tables["knows"]
+    likes = store.tables["likes"]
+    assert d.decode(int(knows.column("subject")[0])) == "alice"
+    assert d.decode(int(likes.column("object")[0])) == "alice"
+
+
+def test_predicate_iris_preserved():
+    store = vertically_partition([("s", "<http://x#p>", "o")])
+    assert store.predicate_iris["p"] == "<http://x#p>"
+    assert store.relation_for_predicate("<http://x#p>").num_rows == 1
+    assert store.relation_for_predicate("<http://x#q>") is None
+
+
+def test_table_schema_is_subject_object():
+    store = vertically_partition([("s", "p", "o")])
+    assert store.tables["p"].attributes == ("subject", "object")

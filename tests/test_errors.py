@@ -1,0 +1,36 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in dir(errors):
+        obj = getattr(errors, name)
+        if isinstance(obj, type) and issubclass(obj, Exception):
+            assert issubclass(obj, errors.ReproError)
+
+
+def test_unknown_relation_error_hint():
+    err = errors.UnknownRelationError("x", ["a", "b"])
+    assert err.known == ["a", "b"]
+    assert "x" in str(err)
+
+
+def test_arity_mismatch_error_fields():
+    err = errors.ArityMismatchError("r", 2, 3)
+    assert (err.expected, err.got) == (2, 3)
+    assert "arity 2" in str(err)
+
+
+def test_parse_error_position():
+    err = errors.ParseError("bad token", 17)
+    assert err.position == 17
+    assert "offset 17" in str(err)
+    assert errors.ParseError("no position").position is None
+
+
+def test_catchable_at_boundary():
+    with pytest.raises(errors.ReproError):
+        raise errors.PlanningError("nope")

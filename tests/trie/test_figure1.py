@@ -1,0 +1,58 @@
+"""Figure 1 of the paper: vertically partitioned relation -> dictionary
+encoding -> trie.
+
+The paper's example: a ``subOrganizationOf`` predicate relation
+
+    subject       object
+    University0   Department0
+    University0   Department1
+    Department0   Department1
+    University1   Department1
+
+dictionary-encodes to keys (first-seen order) University0=0,
+Department0=1, Department1=2, University1=3 and groups into a two-level
+trie: {0 -> {1, 2}, 1 -> {2}, 3 -> {2}}.
+"""
+
+from repro.storage.vertical import vertically_partition
+from repro.trie.trie import Trie
+
+FIGURE1_TRIPLES = [
+    ("University0", "subOrganizationOf", "Department0"),
+    ("University0", "subOrganizationOf", "Department1"),
+    ("Department0", "subOrganizationOf", "Department1"),
+    ("University1", "subOrganizationOf", "Department1"),
+]
+
+
+def test_figure1_transformation():
+    store = vertically_partition(FIGURE1_TRIPLES)
+    relation = store.tables["subOrganizationOf"]
+    assert relation.attributes == ("subject", "object")
+    assert relation.num_rows == 4
+
+    dictionary = store.dictionary
+    assert dictionary.encode("University0") == 0
+    assert dictionary.encode("Department0") == 1
+    assert dictionary.encode("Department1") == 2
+    assert dictionary.encode("University1") == 3
+
+    trie = Trie.from_relation(relation, ("subject", "object"))
+    assert list(trie.child_values(trie.root)) == [0, 1, 3]
+
+    uni0 = trie.descend(trie.root, 0)
+    assert list(trie.child_values(uni0)) == [1, 2]
+    dept0 = trie.descend(trie.root, 1)
+    assert list(trie.child_values(dept0)) == [2]
+    uni1 = trie.descend(trie.root, 3)
+    assert list(trie.child_values(uni1)) == [2]
+
+
+def test_figure1_decodes_back():
+    store = vertically_partition(FIGURE1_TRIPLES)
+    relation = store.tables["subOrganizationOf"]
+    decoded = {
+        (store.dictionary.decode(s), store.dictionary.decode(o))
+        for s, o in relation.iter_rows()
+    }
+    assert decoded == {(s, o) for s, _, o in FIGURE1_TRIPLES}

@@ -1,0 +1,115 @@
+"""Trie construction: sorting, dedup, CSR structure."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.sets.base import SetLayout
+from repro.storage.relation import Relation
+from repro.trie.trie import Trie
+
+
+def _trie(rows, attrs=("a", "b")):
+    cols = (
+        [np.array([r[i] for r in rows], dtype=np.uint32) for i in range(len(attrs))]
+        if rows
+        else [np.empty(0, dtype=np.uint32) for _ in attrs]
+    )
+    return Trie.build(cols, attrs)
+
+
+def test_tuples_roundtrip_sorted():
+    rows = [(3, 1), (1, 2), (1, 1), (2, 9)]
+    t = _trie(rows)
+    assert list(t.iter_tuples()) == sorted(rows)
+
+
+def test_duplicates_removed():
+    t = _trie([(1, 1), (1, 1), (2, 2)])
+    assert t.num_tuples == 2
+    assert list(t.iter_tuples()) == [(1, 1), (2, 2)]
+
+
+def test_single_level_trie():
+    t = Trie.build([np.array([3, 1, 3], dtype=np.uint32)], ("x",))
+    assert t.num_levels == 1
+    assert list(t.iter_tuples()) == [(1,), (3,)]
+
+
+def test_three_level_trie():
+    rows = [(1, 1, 1), (1, 1, 2), (1, 2, 1), (2, 1, 1)]
+    cols = [np.array([r[i] for r in rows], dtype=np.uint32) for i in range(3)]
+    t = Trie.build(cols, ("a", "b", "c"))
+    assert t.num_levels == 3
+    assert list(t.iter_tuples()) == rows
+
+
+def test_empty_trie():
+    t = _trie([])
+    assert t.num_tuples == 0
+    assert list(t.iter_tuples()) == []
+    assert t.child_values(t.root).size == 0
+
+
+def test_build_rejects_mismatched_columns():
+    with pytest.raises(StorageError):
+        Trie.build([np.array([1], dtype=np.uint32)], ("a", "b"))
+
+
+def test_build_rejects_zero_attributes():
+    with pytest.raises(StorageError):
+        Trie.build([], ())
+
+
+def test_build_rejects_ragged_columns():
+    with pytest.raises(StorageError):
+        Trie.build(
+            [
+                np.array([1, 2], dtype=np.uint32),
+                np.array([1], dtype=np.uint32),
+            ],
+            ("a", "b"),
+        )
+
+
+def test_from_relation_permutes_columns():
+    rel = Relation.from_rows("r", ("s", "o"), [(1, 10), (2, 20)])
+    t = Trie.from_relation(rel, ("o", "s"))
+    assert list(t.iter_tuples()) == [(10, 1), (20, 2)]
+    assert t.attributes == ("o", "s")
+
+
+def test_from_relation_rejects_non_permutation():
+    rel = Relation.from_rows("r", ("s", "o"), [(1, 10)])
+    with pytest.raises(StorageError):
+        Trie.from_relation(rel, ("s", "x"))
+
+
+def test_to_columns_expands_back():
+    rows = [(1, 1), (1, 2), (3, 1), (3, 9), (3, 12)]
+    t = _trie(rows)
+    cols = t.to_columns()
+    recovered = sorted(zip(*(c.tolist() for c in cols)))
+    assert recovered == sorted(rows)
+
+
+def test_forced_layout_propagates_to_sets():
+    rows = [(1, i) for i in range(100)]
+    dense = _trie(rows)
+    # Dense child set: the optimizer would pick a bitset.
+    assert dense.child_set(dense.descend(dense.root, 1)).layout is SetLayout.BITSET
+    cols = [
+        np.array([r[i] for r in rows], dtype=np.uint32) for i in range(2)
+    ]
+    forced = Trie.build(cols, ("a", "b"), force_layout=SetLayout.UINT_ARRAY)
+    node = forced.descend(forced.root, 1)
+    assert forced.child_set(node).layout is SetLayout.UINT_ARRAY
+
+
+def test_memory_profile_reports_bytes():
+    t = _trie([(1, 2), (3, 4)])
+    profile = t.memory_profile()
+    assert profile["total_bytes"] == (
+        profile["values_bytes"] + profile["offsets_bytes"]
+    )
+    assert profile["values_bytes"] > 0

@@ -1,0 +1,56 @@
+"""Trie navigation: descend, child sets, prefix membership."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.trie.trie import Trie
+
+
+@pytest.fixture()
+def trie():
+    rows = [(1, 10), (1, 20), (2, 10), (4, 7), (4, 8), (4, 9)]
+    cols = [np.array([r[i] for r in rows], dtype=np.uint32) for i in range(2)]
+    return Trie.build(cols, ("x", "y"))
+
+
+def test_root_children(trie):
+    assert list(trie.child_values(trie.root)) == [1, 2, 4]
+
+
+def test_descend_exists(trie):
+    node = trie.descend(trie.root, 4)
+    assert node is not None
+    assert list(trie.child_values(node)) == [7, 8, 9]
+
+
+def test_descend_missing_returns_none(trie):
+    assert trie.descend(trie.root, 3) is None
+
+
+def test_descend_on_leaf_raises(trie):
+    node = trie.descend(trie.root, 1)
+    leaf = trie.descend(node, 10)
+    with pytest.raises(StorageError):
+        trie.child_values(leaf)
+
+
+def test_child_set_cached(trie):
+    a = trie.child_set(trie.root)
+    b = trie.child_set(trie.root)
+    assert a is b
+
+
+def test_descend_many_filters_missing(trie):
+    values = np.array([1, 3, 4], dtype=np.uint32)
+    found, idx = trie.descend_many(trie.root, values)
+    assert list(found) == [1, 4]
+    assert len(idx) == 2
+
+
+def test_contains_prefix(trie):
+    assert trie.contains_prefix([1])
+    assert trie.contains_prefix([1, 20])
+    assert not trie.contains_prefix([1, 30])
+    assert not trie.contains_prefix([9])
+    assert trie.contains_prefix([])  # empty prefix always present

@@ -1,0 +1,89 @@
+"""Vectorized row-wise trie kernels used by the frontier executor."""
+
+import numpy as np
+import pytest
+
+from repro.trie.trie import Trie
+
+
+@pytest.fixture()
+def trie():
+    rows = [
+        (1, 10), (1, 20),
+        (2, 10),
+        (4, 7), (4, 8), (4, 9),
+        (5, 100),
+    ]
+    cols = [np.array([r[i] for r in rows], dtype=np.uint32) for i in range(2)]
+    return Trie.build(cols, ("x", "y"))
+
+
+def test_packed_level_zero_is_root_values(trie):
+    packed = trie._packed_level(0)
+    assert list(packed) == [1, 2, 4, 5]
+
+
+def test_packed_level_one_sorted(trie):
+    packed = trie._packed_level(1)
+    assert list(packed) == sorted(packed)
+
+
+def test_descend_rows_mixed_hits(trie):
+    # Parents: positions of x values [1, 2, 4, 4] = [0, 1, 2, 2].
+    parents = np.array([0, 1, 2, 2], dtype=np.int64)
+    values = np.array([20, 10, 8, 99], dtype=np.uint32)
+    found, child_pos = trie.descend_rows(0, parents, values)
+    assert list(found) == [True, True, True, False]
+    # Verify the found children point at the right level-1 values.
+    level1 = trie.level_values(1)
+    assert [int(level1[p]) for p, f in zip(child_pos, found) if f] == [
+        20, 10, 8,
+    ]
+
+
+def test_descend_rows_root_level(trie):
+    found, pos = trie.descend_rows(
+        -1,
+        np.zeros(3, dtype=np.int64),
+        np.array([1, 3, 5], dtype=np.uint32),
+    )
+    assert list(found) == [True, False, True]
+
+
+def test_probe_rows_constant(trie):
+    parents = np.array([0, 1, 2], dtype=np.int64)  # x = 1, 2, 4
+    found, _ = trie.probe_rows(0, parents, 10)
+    assert list(found) == [True, True, False]
+
+
+def test_child_counts(trie):
+    parents = np.array([0, 1, 2, 3], dtype=np.int64)
+    assert list(trie.child_counts(0, parents)) == [2, 1, 3, 1]
+
+
+def test_expand_children(trie):
+    parents = np.array([2, 0], dtype=np.int64)  # x = 4 then x = 1
+    counts, values, positions = trie.expand_children(0, parents)
+    assert list(counts) == [3, 2]
+    assert list(values) == [7, 8, 9, 10, 20]
+    level1 = trie.level_values(1)
+    assert [int(level1[p]) for p in positions] == [7, 8, 9, 10, 20]
+
+
+def test_root_positions(trie):
+    values = np.array([2, 5], dtype=np.uint32)
+    assert list(trie.root_positions(values)) == [1, 3]
+
+
+def test_three_level_descend_rows():
+    rows = [(1, 1, 5), (1, 2, 6), (2, 1, 7)]
+    cols = [np.array([r[i] for r in rows], dtype=np.uint32) for i in range(3)]
+    t = Trie.build(cols, ("a", "b", "c"))
+    # Descend a=1 (pos 0), then b=2: level-1 position should be 1.
+    found, pos = t.descend_rows(
+        0, np.array([0], dtype=np.int64), np.array([2], dtype=np.uint32)
+    )
+    assert found[0]
+    # Now c under (1, 2) must be [6].
+    counts, values, _ = t.expand_children(1, pos)
+    assert list(values) == [6]

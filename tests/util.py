@@ -1,0 +1,101 @@
+"""Test helpers: tiny hand-built stores and a brute-force CQ evaluator."""
+
+from __future__ import annotations
+
+from itertools import product
+
+from repro.core.query import (
+    Atom,
+    ConjunctiveQuery,
+    Constant,
+    NormalizedQuery,
+    Variable,
+    normalize,
+)
+from repro.storage.catalog import Catalog
+from repro.storage.relation import Relation
+from repro.storage.vertical import vertically_partition
+
+
+def build_store(triples):
+    """A VerticallyPartitionedStore from (s, p, o) string triples."""
+    return vertically_partition(triples)
+
+
+def catalog_of(relations: dict[str, list[tuple[int, ...]]]) -> Catalog:
+    """A catalog from {name: [rows]} over integer-encoded values.
+
+    Column names are ``c0, c1, ...`` per relation.
+    """
+    catalog = Catalog()
+    for name, rows in relations.items():
+        arity = len(rows[0]) if rows else 2
+        attrs = [f"c{i}" for i in range(arity)]
+        catalog.register(Relation.from_rows(name, attrs, rows))
+    return catalog
+
+
+def brute_force(
+    catalog: Catalog, query: ConjunctiveQuery | NormalizedQuery
+) -> frozenset[tuple[int, ...]]:
+    """Evaluate a conjunctive query by exhaustive enumeration.
+
+    The executable specification every engine is checked against. Atom
+    rows are matched via nested loops with a binding dictionary —
+    obviously correct, exponentially slow, only for tiny inputs.
+    """
+    if isinstance(query, ConjunctiveQuery):
+        atoms = query.atoms
+        projection = query.projection
+    else:
+        # Re-substitute selections back into the atoms as constants.
+        atoms = []
+        for atom in query.atoms:
+            terms = []
+            for term in atom.terms:
+                if isinstance(term, Variable) and term in query.selections:
+                    terms.append(Constant(query.selections[term]))
+                else:
+                    terms.append(term)
+            atoms.append(Atom(atom.relation, tuple(terms)))
+        projection = query.projection
+
+    rows_per_atom = [
+        list(catalog.get(atom.relation).iter_rows()) for atom in atoms
+    ]
+    results: set[tuple[int, ...]] = set()
+    for combo in product(*rows_per_atom):
+        binding: dict[str, int] = {}
+        ok = True
+        for atom, row in zip(atoms, combo):
+            for term, value in zip(atom.terms, row):
+                if isinstance(term, Constant):
+                    if term.value != value:
+                        ok = False
+                        break
+                else:
+                    bound = binding.get(term.name)
+                    if bound is None:
+                        binding[term.name] = value
+                    elif bound != value:
+                        ok = False
+                        break
+            if not ok:
+                break
+        if ok:
+            results.add(tuple(binding[v.name] for v in projection))
+    return frozenset(results)
+
+
+def run_query(
+    catalog: Catalog, query: ConjunctiveQuery, config=None
+) -> frozenset[tuple[int, ...]]:
+    """Plan and execute a CQ with the GHD machinery; rows as a frozenset."""
+    from repro.core.config import OptimizationConfig
+    from repro.core.executor import GHDExecutor
+    from repro.core.planner import Planner
+
+    config = config if config is not None else OptimizationConfig()
+    planner = Planner(catalog, config)
+    plan = planner.plan(normalize(query))
+    return GHDExecutor(catalog).execute(plan).to_set()
