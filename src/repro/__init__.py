@@ -12,6 +12,8 @@ The package provides:
   plans, and the paper's three classic optimizations;
 * :mod:`repro.engines` — the five engines the paper benchmarks
   (EmptyHeaded, LogicBlox-, MonetDB-, RDF-3X-, TripleBit-like);
+* :mod:`repro.service` — the serving layer: a plan-cached, warmable
+  :class:`~repro.service.QueryService` for repeated query traffic;
 * :mod:`repro.lubm` — the LUBM data generator and query workload;
 * :mod:`repro.sparql` / :mod:`repro.rdf` / :mod:`repro.storage` /
   :mod:`repro.sets` / :mod:`repro.trie` — the substrates;
@@ -46,6 +48,7 @@ from repro.lubm import (
     lubm_queries,
     lubm_query,
 )
+from repro.service import QueryService
 from repro.storage.relation import Relation
 
 __version__ = "1.0.0"
@@ -62,6 +65,7 @@ __all__ = [
     "LogicBloxLikeEngine",
     "LubmDataset",
     "OptimizationConfig",
+    "QueryService",
     "RDF3XLikeEngine",
     "Relation",
     "TripleBitLikeEngine",

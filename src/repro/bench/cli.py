@@ -7,6 +7,12 @@ Subcommands::
     repro-lubm table1                                    # regenerate Table I
     repro-lubm table2                                    # regenerate Table II
     repro-lubm figures                                   # Figures 1-3
+    repro-lubm smoke                                     # correctness gate
+
+``smoke`` runs every engine over a tiny LUBM instance and exits
+non-zero on any cross-engine disagreement or golden-count regression —
+a benchmark-shaped test with no timing assertions (see
+:mod:`repro.bench.smoke`).
 """
 
 from __future__ import annotations
@@ -72,6 +78,15 @@ def _cmd_figures(args) -> None:
     figures.main()
 
 
+def _cmd_smoke(args) -> None:
+    from repro.bench.smoke import run_smoke
+
+    report = run_smoke(universities=args.universities, seed=args.seed)
+    print(report.render())
+    if not report.ok:
+        sys.exit(1)
+
+
 def main(argv: list[str] | None = None) -> None:
     parser = argparse.ArgumentParser(
         prog="repro-lubm",
@@ -100,6 +115,9 @@ def main(argv: list[str] | None = None) -> None:
 
     figures_cmd = sub.add_parser("figures")
     figures_cmd.set_defaults(func=_cmd_figures)
+
+    smoke = sub.add_parser("smoke", parents=[common])
+    smoke.set_defaults(func=_cmd_smoke)
 
     args = parser.parse_args(argv)
     args.func(args)

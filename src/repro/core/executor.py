@@ -20,6 +20,7 @@ result is never materialized.
 from __future__ import annotations
 
 from repro.core.generic_join import Participant, generic_join
+from repro.core.modifiers import finalize_result
 from repro.core.planner import Plan
 from repro.core.query import Variable
 from repro.core.statistics import atom_relation
@@ -62,8 +63,33 @@ class GHDExecutor:
                 # Any empty node result empties the whole (inner) join.
                 return Relation.empty(plan.query.name, names)
 
-        final = self._materialize(plan, results)
-        return final.project(names).distinct().rename(name=plan.query.name)
+        return finalize_result(self._materialize(plan, results), plan.query)
+
+    # ------------------------------------------------------------------
+    # Index warming
+    # ------------------------------------------------------------------
+    def warm(self, plan: Plan) -> int:
+        """Build (and cache) every trie the plan will probe, without
+        executing it. Returns the number of atom participants warmed.
+
+        This is the serving-layer warm-up path: a
+        :class:`~repro.service.QueryService` can warm the catalog's trie
+        cache for its hot queries before traffic arrives, so the first
+        real execution pays for joins only.
+        """
+        ghd = plan.ghd
+        fused_child = plan.pipelined_child
+        warmed = 0
+        for node in ghd.postorder():
+            node_id = node.node_id
+            if node_id == fused_child:
+                continue
+            fused = fused_child if node_id == ghd.root else None
+            attrs, atom_indices, _ = self._node_members(plan, node_id, fused)
+            for atom_index in atom_indices:
+                self._atom_participant(plan, atom_index, attrs)
+                warmed += 1
+        return warmed
 
     # ------------------------------------------------------------------
     # Bottom-up: one node = one generic worst-case optimal join
@@ -75,23 +101,9 @@ class GHDExecutor:
         results: dict[int, Relation],
         fused: int | None,
     ) -> Relation:
-        ghd = plan.ghd
-        node = ghd.node(node_id)
-        member_nodes = [node]
-        if fused is not None:
-            member_nodes.append(ghd.node(fused))
-
-        # Attribute order: global order restricted to the (fused) chi.
-        chi: set[Variable] = set()
-        atom_indices: list[int] = []
-        child_ids: list[int] = []
-        for member in member_nodes:
-            chi.update(member.chi)
-            atom_indices.extend(member.atom_indices)
-            child_ids.extend(
-                c for c in member.children if c not in (fused,)
-            )
-        attrs = [v for v in plan.global_order if v in chi]
+        attrs, atom_indices, child_ids = self._node_members(
+            plan, node_id, fused
+        )
 
         participants: list[Participant] = []
         for atom_index in atom_indices:
@@ -118,6 +130,28 @@ class GHDExecutor:
             output_attrs,
             name=f"node{node_id}",
         )
+
+    def _node_members(
+        self, plan: Plan, node_id: int, fused: int | None
+    ) -> tuple[list[Variable], list[int], list[int]]:
+        """A node's attribute order, atoms, and children (fused-aware)."""
+        ghd = plan.ghd
+        member_nodes = [ghd.node(node_id)]
+        if fused is not None:
+            member_nodes.append(ghd.node(fused))
+
+        # Attribute order: global order restricted to the (fused) chi.
+        chi: set[Variable] = set()
+        atom_indices: list[int] = []
+        child_ids: list[int] = []
+        for member in member_nodes:
+            chi.update(member.chi)
+            atom_indices.extend(member.atom_indices)
+            child_ids.extend(
+                c for c in member.children if c not in (fused,)
+            )
+        attrs = [v for v in plan.global_order if v in chi]
+        return attrs, atom_indices, child_ids
 
     def _atom_participant(
         self, plan: Plan, atom_index: int, attrs: list[Variable]
@@ -152,14 +186,7 @@ class GHDExecutor:
         child_result: Relation,
     ) -> Participant | None:
         """The child's result projected onto shared attributes, as a trie."""
-        attr_set = set(attrs)
-        shared = [
-            v
-            for v in attrs
-            if v in attr_set
-            and v.name in child_result.attributes
-        ]
-        shared = [v for v in shared if v in attr_set]
+        shared = [v for v in attrs if v.name in child_result.attributes]
         if not shared:
             return None
         names = [v.name for v in shared]

@@ -1,0 +1,269 @@
+"""Post-join solution modifiers: FILTER, ORDER BY, LIMIT/OFFSET.
+
+Engines execute dictionary-encoded joins; the remaining SPARQL semantics
+live here and are applied uniformly by the engine layer
+(:meth:`repro.engines.base.Engine.execute`), so every engine agrees on
+filtered, ordered, and sliced results by construction.
+
+Comparison semantics
+--------------------
+Equality (``=`` / ``!=``) against a *quoted* IRI/literal constant is
+decided on dictionary keys — the dictionary is injective, so key
+identity is lexical identity. Equality involving a *bare number* or
+between two variables is decided on decoded terms: two numeric literals
+compare by value (``"42"`` equals ``"42.0"``, matching the
+variable-vs-``42`` rule), two non-numeric terms by full lexical
+identity, an IRI and a number are definitively unequal (``!=`` keeps
+the row), and a non-numeric *literal* against a number is a SPARQL type
+error that excludes the row under both operators.
+
+Ordering operators (``< <= > >=``) compare decoded values: numeric
+content numerically, other terms as strings, mixed-kind rows excluded
+as type errors. Numbers sort before strings under ``ORDER BY``,
+mirroring SPARQL's ordering of numerics before other RDF terms.
+
+Each variable column is decoded once per distinct key, so filtering and
+ordering cost O(distinct) dictionary decodes plus vectorized compares.
+"""
+
+from __future__ import annotations
+
+import operator
+import re
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.query import Comparison, Constant, OrderKey, Variable
+from repro.errors import ExecutionError
+from repro.storage.relation import Relation
+
+_OPS = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+_LITERAL_RE = re.compile(
+    r'^"(?P<content>(?:[^"\\]|\\.)*)"(?:@[A-Za-z0-9\-]+|\^\^.*)?$'
+)
+
+_NUM, _STR = 0, 1
+
+
+def term_value(lexical: str) -> tuple[int, float | str]:
+    """The comparable value of a stored lexical term.
+
+    Literals compare by content (numeric when the content parses as a
+    number); IRIs and any other term compare by their full lexical form.
+    The returned ``(kind, value)`` tuples are totally ordered with
+    numbers first, so they double as ORDER BY sort keys.
+    """
+    match = _LITERAL_RE.match(lexical)
+    if match:
+        content = match.group("content")
+        try:
+            return (_NUM, float(content))
+        except ValueError:
+            return (_STR, content)
+    return (_STR, lexical)
+
+
+def _constant_value(constant: Constant) -> tuple[int, float | str]:
+    if isinstance(constant.value, str):
+        return term_value(constant.value)
+    return (_NUM, float(constant.value))
+
+
+@dataclass
+class _OperandData:
+    """Per-row decoded views of one comparison operand."""
+
+    is_num: np.ndarray  # bool: content parses as a number
+    numbers: np.ndarray  # float64: numeric value (0.0 where not numeric)
+    content: np.ndarray  # str: comparable content (quotes/tags stripped)
+    raw: np.ndarray  # str: full lexical form (identity comparisons)
+    is_iri: np.ndarray  # bool: the term is an IRI
+
+
+def _operand_data(term, relation: Relation, dictionary, n: int) -> _OperandData:
+    if isinstance(term, Variable):
+        column = relation.column(term.name)
+        uniq, inverse = np.unique(column, return_inverse=True)
+        is_num = np.empty(uniq.shape[0], dtype=bool)
+        numbers = np.zeros(uniq.shape[0], dtype=np.float64)
+        content: list[str] = []
+        raw: list[str] = []
+        is_iri = np.empty(uniq.shape[0], dtype=bool)
+        for i, key in enumerate(uniq):
+            lexical = dictionary.decode(int(key))
+            kind, value = term_value(lexical)
+            is_num[i] = kind == _NUM
+            if kind == _NUM:
+                numbers[i] = value
+                content.append("")
+            else:
+                content.append(value)
+            raw.append(lexical)
+            is_iri[i] = lexical.startswith("<")
+        return _OperandData(
+            is_num[inverse],
+            numbers[inverse],
+            np.asarray(content, dtype=str)[inverse],
+            np.asarray(raw, dtype=str)[inverse],
+            is_iri[inverse],
+        )
+    assert isinstance(term, Constant)
+    if isinstance(term.value, str):
+        lexical = term.value
+        kind, value = term_value(lexical)
+        numeric = kind == _NUM
+        return _OperandData(
+            np.full(n, numeric, dtype=bool),
+            np.full(n, value if numeric else 0.0, dtype=np.float64),
+            np.full(n, "" if numeric else value),
+            np.full(n, lexical),
+            np.full(n, lexical.startswith("<"), dtype=bool),
+        )
+    return _OperandData(
+        np.full(n, True, dtype=bool),
+        np.full(n, float(term.value), dtype=np.float64),
+        np.full(n, "", dtype=str),
+        np.full(n, "", dtype=str),
+        np.full(n, False, dtype=bool),
+    )
+
+
+def _comparison_mask(
+    relation: Relation, comparison: Comparison, dictionary
+) -> np.ndarray:
+    n = relation.num_rows
+    lhs, op, rhs = comparison.lhs, comparison.op, comparison.rhs
+    compare = _OPS.get(op)
+    if compare is None:
+        raise ExecutionError(f"unsupported filter operator {op!r}")
+
+    # Constant-only predicates evaluate statically.
+    if isinstance(lhs, Constant) and isinstance(rhs, Constant):
+        verdict = compare(_constant_value(lhs), _constant_value(rhs))
+        return np.full(n, bool(verdict), dtype=bool)
+
+    # Variable vs quoted IRI/literal constant (in)equality: lexical
+    # identity, i.e. one dictionary lookup.
+    if op in ("=", "!=") and not (
+        isinstance(lhs, Variable) and isinstance(rhs, Variable)
+    ):
+        variable, constant = (
+            (lhs, rhs) if isinstance(lhs, Variable) else (rhs, lhs)
+        )
+        assert isinstance(constant, Constant)
+        if isinstance(constant.value, str):
+            key = dictionary.lookup(constant.value)
+            if key is None:
+                return np.full(n, op == "!=", dtype=bool)
+            return compare(
+                relation.column(variable.name), np.uint32(key)
+            )
+        # Bare-number (in)equality falls through to value comparison so
+        # that 42 matches "42" by value, whatever its lexical form.
+
+    left = _operand_data(lhs, relation, dictionary, n)
+    right = _operand_data(rhs, relation, dictionary, n)
+
+    if op in ("=", "!="):
+        # Value equality: numbers by value, non-numbers by full lexical
+        # identity. An IRI and a number are definitively unequal; a
+        # non-numeric *literal* against a number is a SPARQL type error
+        # (row excluded under both operators).
+        numeric_eq = left.is_num & right.is_num & (
+            left.numbers == right.numbers
+        )
+        lexical_eq = (
+            ~left.is_num & ~right.is_num & (left.raw == right.raw)
+        )
+        equal = numeric_eq | lexical_eq
+        if op == "=":
+            return equal
+        type_error = (
+            left.is_num & ~right.is_num & ~right.is_iri
+        ) | (right.is_num & ~left.is_num & ~left.is_iri)
+        return ~equal & ~type_error
+
+    numeric = left.is_num & right.is_num
+    textual = ~left.is_num & ~right.is_num
+    mask = np.zeros(n, dtype=bool)
+    if numeric.any():
+        mask |= numeric & compare(left.numbers, right.numbers)
+    if textual.any():
+        mask |= textual & compare(left.content, right.content)
+    # Mixed-kind rows are SPARQL type errors under ordering operators.
+    return mask
+
+
+def apply_filters(
+    relation: Relation, comparisons, dictionary
+) -> Relation:
+    """Keep rows satisfying every comparison."""
+    if not comparisons or relation.num_rows == 0:
+        return relation
+    mask = np.ones(relation.num_rows, dtype=bool)
+    for comparison in comparisons:
+        mask &= _comparison_mask(relation, comparison, dictionary)
+        if not mask.any():
+            break
+    return relation.filter(mask)
+
+
+def apply_order(relation: Relation, order_by, dictionary) -> Relation:
+    """Sort rows by decoded term values (stable, multi-key)."""
+    if not order_by or relation.num_rows <= 1:
+        return relation
+    indices = list(range(relation.num_rows))
+    for key in reversed(list(order_by)):
+        assert isinstance(key, OrderKey)
+        column = relation.column(key.variable.name)
+        uniq, inverse = np.unique(column, return_inverse=True)
+        values = [term_value(dictionary.decode(int(k))) for k in uniq]
+        indices.sort(
+            key=lambda i: values[inverse[i]], reverse=key.descending
+        )
+    return relation.take(np.asarray(indices, dtype=np.int64))
+
+
+def apply_slice(
+    relation: Relation, offset: int, limit: int | None
+) -> Relation:
+    """OFFSET/LIMIT row slicing (row order is preserved)."""
+    if offset == 0 and limit is None:
+        return relation
+    stop = None if limit is None else offset + limit
+    return relation.slice_rows(offset, stop)
+
+
+def finalize_result(relation: Relation, query) -> Relation:
+    """Project, deduplicate, pre-truncate, and rename an engine result.
+
+    The shared tail of every engine's ``_execute_bound``. ``distinct()``
+    sorts, so when a LIMIT is present the first ``offset + limit`` rows
+    are canonical: every engine truncates identically and the engine
+    layer's final :func:`apply_slice` agrees with the pre-truncation.
+    ``query`` is any object with ``projection``/``limit``/``offset``/
+    ``name`` (a :class:`~repro.core.query.NormalizedQuery`).
+    """
+    names = [v.name for v in query.projection]
+    relation = relation.project(names).distinct()
+    if query.limit is not None:
+        relation = relation.head(query.offset + query.limit)
+    return relation.rename(name=query.name)
+
+
+__all__ = [
+    "apply_filters",
+    "apply_order",
+    "apply_slice",
+    "finalize_result",
+    "term_value",
+]

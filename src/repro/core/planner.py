@@ -58,6 +58,9 @@ class Plan:
             + "]"
         )
         lines.append(f"width: {self.width:.2f}")
+        if self.query.limit is not None or self.query.offset:
+            limit = "-" if self.query.limit is None else self.query.limit
+            lines.append(f"limit: {limit} offset: {self.query.offset}")
         if self.pipelined_child is not None:
             lines.append(f"pipelined child: node {self.pipelined_child}")
 

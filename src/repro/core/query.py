@@ -27,16 +27,53 @@ class Variable:
 
 @dataclass(frozen=True)
 class Constant:
-    """A constant term. ``value`` is lexical (str) before dictionary
-    binding and an encoded ``int`` afterwards."""
+    """A constant term.
 
-    value: Union[int, str]
+    In atoms, ``value`` is lexical (str) before dictionary binding and an
+    encoded ``int`` afterwards. In :class:`Comparison` filters a float
+    value denotes a numeric literal compared by value, not by lexical
+    identity.
+    """
+
+    value: Union[int, float, str]
 
     def __repr__(self) -> str:
         return f"={self.value!r}"
 
 
 Term = Union[Variable, Constant]
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One ``FILTER`` predicate ``lhs op rhs``.
+
+    Operands are :class:`Variable` or :class:`Constant`. Filter constants
+    are *never* dictionary-bound: equality on IRI/literal constants is
+    pushed into atom selections by the SPARQL translator when possible,
+    and the remaining comparisons are evaluated post-join on decoded
+    terms (see :mod:`repro.core.modifiers`).
+    """
+
+    lhs: Term
+    op: str  # one of =, !=, <, <=, >, >=
+    rhs: Term
+
+    def variables(self) -> tuple[Variable, ...]:
+        return tuple(
+            t for t in (self.lhs, self.rhs) if isinstance(t, Variable)
+        )
+
+    def __repr__(self) -> str:
+        return f"FILTER({self.lhs!r} {self.op} {self.rhs!r})"
+
+
+@dataclass(frozen=True)
+class OrderKey:
+    """One ``ORDER BY`` key over a projected variable."""
+
+    variable: Variable
+    descending: bool = False
 
 
 @dataclass(frozen=True)
@@ -70,11 +107,22 @@ class Atom:
 
 @dataclass(frozen=True)
 class ConjunctiveQuery:
-    """``SELECT projection WHERE atoms`` with set semantics."""
+    """``SELECT projection WHERE atoms`` with set semantics.
+
+    ``filters`` are post-join comparison predicates, ``order_by`` /
+    ``limit`` / ``offset`` the SPARQL solution modifiers. Engines receive
+    queries with filters and ordering already stripped (the
+    :class:`~repro.engines.base.Engine` layer applies them uniformly);
+    ``limit``/``offset`` flow through so executors can truncate early.
+    """
 
     atoms: tuple[Atom, ...]
     projection: tuple[Variable, ...]
     name: str = "query"
+    filters: tuple[Comparison, ...] = ()
+    order_by: tuple[OrderKey, ...] = ()
+    limit: int | None = None
+    offset: int = 0
 
     def __post_init__(self) -> None:
         if not self.atoms:
@@ -85,6 +133,22 @@ class ConjunctiveQuery:
                 raise PlanningError(
                     f"projected variable {var!r} does not occur in any atom"
                 )
+        for comparison in self.filters:
+            for var in comparison.variables():
+                if var not in known:
+                    raise PlanningError(
+                        f"filter variable {var!r} does not occur in any atom"
+                    )
+        projected = set(self.projection)
+        for key in self.order_by:
+            if key.variable not in projected:
+                raise PlanningError(
+                    f"ORDER BY variable {key.variable!r} is not projected"
+                )
+        if self.limit is not None and self.limit < 0:
+            raise PlanningError("LIMIT must be non-negative")
+        if self.offset < 0:
+            raise PlanningError("OFFSET must be non-negative")
 
     def variables(self) -> set[Variable]:
         """All variables occurring in the body."""
@@ -116,6 +180,8 @@ class NormalizedQuery:
     projection: tuple[Variable, ...]
     selections: dict[Variable, int] = field(default_factory=dict)
     name: str = "query"
+    limit: int | None = None
+    offset: int = 0
 
     @property
     def selection_variables(self) -> set[Variable]:
@@ -137,7 +203,17 @@ def normalize(query: ConjunctiveQuery) -> NormalizedQuery:
     Constants must already be dictionary-encoded integers (see
     :func:`bind_constants`). Each constant occurrence gets a fresh
     variable named ``_selN`` carrying the equality selection.
+
+    Filters and ordering must have been stripped by the engine layer
+    (:meth:`repro.engines.base.Engine.execute` applies them uniformly on
+    decoded terms); ``limit``/``offset`` are carried through so executors
+    can truncate their deduplicated output early.
     """
+    if query.filters or query.order_by:
+        raise PlanningError(
+            "normalize() received a query with filters or ORDER BY; "
+            "solution modifiers are applied by the engine layer"
+        )
     selections: dict[Variable, int] = {}
     atoms: list[Atom] = []
     counter = 0
@@ -162,15 +238,20 @@ def normalize(query: ConjunctiveQuery) -> NormalizedQuery:
         projection=query.projection,
         selections=selections,
         name=query.name,
+        limit=query.limit,
+        offset=query.offset,
     )
 
 
 def bind_constants(query: ConjunctiveQuery, dictionary) -> ConjunctiveQuery | None:
     """Encode lexical constants through the dataset dictionary.
 
-    Returns ``None`` when some constant never occurs in the data — the
-    query is then provably empty and engines can skip execution (all of
-    them do, uniformly, so the comparison stays fair).
+    Returns ``None`` when some atom constant never occurs in the data —
+    the query is then provably empty and engines can skip execution (all
+    of them do, uniformly, so the comparison stays fair). Filter
+    constants are left unbound: they are compared against decoded terms,
+    so a value absent from the data is still meaningful (e.g.
+    ``FILTER(?x != "never-seen")`` keeps every row).
     """
     atoms: list[Atom] = []
     for atom in query.atoms:
@@ -185,5 +266,11 @@ def bind_constants(query: ConjunctiveQuery, dictionary) -> ConjunctiveQuery | No
                 terms.append(term)
         atoms.append(Atom(atom.relation, tuple(terms)))
     return ConjunctiveQuery(
-        atoms=tuple(atoms), projection=query.projection, name=query.name
+        atoms=tuple(atoms),
+        projection=query.projection,
+        name=query.name,
+        filters=query.filters,
+        order_by=query.order_by,
+        limit=query.limit,
+        offset=query.offset,
     )

@@ -8,13 +8,24 @@ SPARQL (subset) strings or pre-built conjunctive queries with a
 Constants are bound through the shared dictionary before planning; a
 constant that never occurs in the data short-circuits to an empty result
 in *every* engine, keeping the comparison fair.
+
+Solution modifiers are applied here, uniformly for all engines: FILTER
+comparisons that survived the translator's selection pushdown run as
+post-join predicates over decoded terms, then projection + dedup, then
+ORDER BY over decoded terms, then OFFSET/LIMIT slicing (see
+:mod:`repro.core.modifiers`). Engine subclasses therefore only ever see
+filter-free, unordered queries, and all of them return identical rows on
+the full SPARQL subset by construction of this layer.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from collections import OrderedDict
+from dataclasses import replace
 
-from repro.core.query import ConjunctiveQuery, bind_constants
+from repro.core.modifiers import apply_filters, apply_order, apply_slice
+from repro.core.query import ConjunctiveQuery, Variable, bind_constants
 from repro.sparql.parser import parse_sparql
 from repro.sparql.translate import sparql_to_query
 from repro.storage.relation import Relation
@@ -26,20 +37,34 @@ class Engine(ABC):
 
     name: str = "engine"
 
+    #: Bound on the parse/translate cache so long-tail traffic (e.g.
+    #: generated query texts) cannot grow process memory without limit —
+    #: the serving layer's LRU relies on this staying bounded too.
+    sparql_cache_size: int = 512
+
     def __init__(self, store: VerticallyPartitionedStore) -> None:
         self.store = store
         self.dictionary = store.dictionary
-        self._sparql_cache: dict[str, ConjunctiveQuery] = {}
+        self._sparql_cache: OrderedDict[str, ConjunctiveQuery] = OrderedDict()
 
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
-    def execute_sparql(self, text: str, name: str = "query") -> Relation:
-        """Parse, translate, and execute a SPARQL (subset) query."""
+    def prepare_sparql(self, text: str, name: str = "query") -> ConjunctiveQuery:
+        """Parse and translate a SPARQL string (LRU-cached per text)."""
         query = self._sparql_cache.get(text)
         if query is None:
             query = sparql_to_query(parse_sparql(text), name=name)
             self._sparql_cache[text] = query
+            if len(self._sparql_cache) > self.sparql_cache_size:
+                self._sparql_cache.popitem(last=False)
+        else:
+            self._sparql_cache.move_to_end(text)
+        return query
+
+    def execute_sparql(self, text: str, name: str = "query") -> Relation:
+        """Parse, translate, and execute a SPARQL (subset) query."""
+        query = self.prepare_sparql(text, name=name)
         # SPARQL semantics: a pattern over a predicate with no triples
         # matches nothing (it is not a schema error).
         if any(atom.relation not in self.store.tables for atom in query.atoms):
@@ -55,7 +80,58 @@ class Engine(ABC):
             return Relation.empty(
                 query.name, [v.name for v in query.projection]
             )
-        return self._execute_bound(bound)
+        return self.execute_bound(bound)
+
+    def execute_bound(self, bound: ConjunctiveQuery) -> Relation:
+        """Execute a dictionary-bound query, applying solution modifiers.
+
+        Public so a serving layer (:class:`repro.service.QueryService`)
+        that caches bound queries can skip re-parsing and re-binding.
+        """
+        inner, has_modifiers = self.split_modifiers(bound)
+        result = self._execute_bound(inner)
+        if not has_modifiers:
+            # Engines deduplicate via a sort, so row order is canonical
+            # and any engine-side LIMIT pre-truncation agrees with this
+            # final slice.
+            return apply_slice(result, bound.offset, bound.limit)
+        result = apply_filters(result, bound.filters, self.dictionary)
+        names = [v.name for v in bound.projection]
+        result = result.project(names).distinct()
+        result = apply_order(result, bound.order_by, self.dictionary)
+        result = apply_slice(result, bound.offset, bound.limit)
+        return result.rename(name=bound.name)
+
+    @staticmethod
+    def split_modifiers(
+        bound: ConjunctiveQuery,
+    ) -> tuple[ConjunctiveQuery, bool]:
+        """The filter-free query an engine executes, plus whether the
+        engine layer must post-process its result.
+
+        When filters or ORDER BY are present the inner query's projection
+        is widened with the filter variables (they must be materialized
+        to evaluate the predicates) and LIMIT/OFFSET are withheld — rows
+        can only be sliced after filtering and ordering.
+        """
+        if not bound.filters and not bound.order_by:
+            return bound, False
+        extra: list[Variable] = []
+        names = {v.name for v in bound.projection}
+        for comparison in bound.filters:
+            for var in comparison.variables():
+                if var.name not in names:
+                    names.add(var.name)
+                    extra.append(var)
+        inner = replace(
+            bound,
+            projection=bound.projection + tuple(extra),
+            filters=(),
+            order_by=(),
+            limit=None,
+            offset=0,
+        )
+        return inner, True
 
     def decode(self, relation: Relation) -> list[tuple[str, ...]]:
         """Decode a result relation back to lexical terms (row tuples)."""
@@ -78,7 +154,7 @@ class Engine(ABC):
     # ------------------------------------------------------------------
     @abstractmethod
     def _execute_bound(self, query: ConjunctiveQuery) -> Relation:
-        """Execute a query whose constants are dictionary-encoded."""
+        """Execute a filter-free query whose constants are encoded."""
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} over {self.store.num_triples} triples>"

@@ -55,14 +55,20 @@ class EmptyHeadedEngine(Engine):
     def explain_sparql(self, text: str) -> str:
         """The plan description for a SPARQL query (see Plan.explain)."""
         from repro.core.query import bind_constants
-        from repro.sparql.parser import parse_sparql
-        from repro.sparql.translate import sparql_to_query
 
-        query = sparql_to_query(parse_sparql(text))
+        query = self.prepare_sparql(text)
         bound = bind_constants(query, self.dictionary)
         if bound is None:
             return "empty result: some constant does not occur in the data"
-        return self.plan_for(bound).explain()
+        inner, _ = self.split_modifiers(bound)
+        return self.plan_for(inner).explain()
+
+    def warm_indexes(self, query: ConjunctiveQuery) -> int:
+        """Plan a bound query and build every trie it will probe,
+        without executing it (the QueryService warm-up path)."""
+        inner, _ = self.split_modifiers(query)
+        plan = self.plan_for(inner)
+        return self.executor.warm(plan)
 
     def _execute_bound(self, query: ConjunctiveQuery) -> Relation:
         plan = self.plan_for(query)

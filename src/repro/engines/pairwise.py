@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.modifiers import finalize_result
 from repro.core.query import (
     Atom,
     ConjunctiveQuery,
@@ -125,4 +126,4 @@ class ColumnStoreEngine(Engine):
         missing = [n for n in names if n not in result.attributes]
         if missing:  # pragma: no cover - every projected var is in an atom
             raise ExecutionError(f"missing projection attributes {missing}")
-        return result.project(names).distinct().rename(name=normalized.name)
+        return finalize_result(result, normalized)

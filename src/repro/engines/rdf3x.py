@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.modifiers import finalize_result
 from repro.core.query import Atom, ConjunctiveQuery, NormalizedQuery, normalize
 from repro.engines.base import Engine
 from repro.engines.triple_index import ALL_PERMUTATIONS, TripleTable
@@ -142,5 +143,4 @@ class RDF3XLikeEngine(Engine):
             else:
                 result = cross_product(result, right)
 
-        names = [v.name for v in normalized.projection]
-        return result.project(names).distinct().rename(name=normalized.name)
+        return finalize_result(result, normalized)

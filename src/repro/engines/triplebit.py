@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.modifiers import finalize_result
 from repro.core.query import Atom, ConjunctiveQuery, NormalizedQuery, normalize
 from repro.engines.base import Engine
 from repro.errors import ExecutionError, UnknownRelationError
@@ -168,5 +169,4 @@ class TripleBitLikeEngine(Engine):
             else:
                 result = cross_product(result, right)
 
-        names = [v.name for v in normalized.projection]
-        return result.project(names).distinct().rename(name=normalized.name)
+        return finalize_result(result, normalized)

@@ -1,0 +1,19 @@
+"""Serving layer: plan-cached, warmable query service over any engine.
+
+See :mod:`repro.service.query_service` for the full API. The subsystem
+exists so repeated query traffic — the dominant production pattern the
+RDF-store literature optimizes for — skips the SPARQL front-end and
+planner entirely after the first request.
+"""
+
+from repro.service.query_service import (
+    PreparedQuery,
+    QueryService,
+    ServiceStats,
+)
+
+__all__ = [
+    "PreparedQuery",
+    "QueryService",
+    "ServiceStats",
+]

@@ -1,9 +1,27 @@
-"""SPARQL subset: enough of the language to run the LUBM benchmark.
+"""SPARQL subset: the LUBM benchmark language plus common real-world
+constructs.
 
-Supported: ``PREFIX`` declarations, ``SELECT`` with a variable list or
-``*``, optional ``DISTINCT``, and a ``WHERE`` block containing a basic
-graph pattern (triple patterns separated by ``.``). Terms may be IRIs,
-prefixed names, plain literals, or variables.
+Supported grammar
+-----------------
+* ``PREFIX`` declarations; ``SELECT`` with a variable list or ``*``;
+  optional ``DISTINCT`` (engines return set semantics regardless).
+* A ``WHERE`` block of triple patterns separated by ``.``, including the
+  ``;`` predicate-object-list and ``,`` object-list shorthands and the
+  ``a`` keyword for ``rdf:type``.
+* Terms: variables, IRIs, prefixed names, string literals (optionally
+  language-tagged ``"chat"@fr`` or datatyped ``"5"^^xsd:int``), and bare
+  numeric literals (``42``, ``-3.5``).
+* ``FILTER (lhs op rhs)`` with ``= != < <= > >=`` over variables and
+  constants; equality against IRIs/strings is pushed into index-probe
+  selections when possible, the rest run as post-join predicates over
+  decoded terms (:mod:`repro.core.modifiers`).
+* Solution modifiers: ``ORDER BY`` (``ASC``/``DESC``) over projected
+  variables, ``LIMIT``, and ``OFFSET``.
+
+Known gaps (tracked in ROADMAP.md): ``OPTIONAL``, ``UNION``, variable
+predicates (a union over all predicate tables under vertical
+partitioning), ``GROUP BY``/aggregates, property paths, and boolean
+``FILTER`` connectives (``&&``/``||``).
 
 Queries translate onto the vertically partitioned relational schema:
 each predicate is a binary ``(subject, object)`` relation, so a triple

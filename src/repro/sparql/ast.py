@@ -1,8 +1,27 @@
-"""AST for the SPARQL subset."""
+"""AST for the SPARQL subset.
+
+Terms
+-----
+:class:`SparqlVariable` is ``?name``; :class:`SparqlTerm` carries the
+lexical form of a concrete IRI or literal (including language-tagged and
+datatyped literals, verbatim); :class:`SparqlNumber` is a bare numeric
+literal (``42``, ``-3.5``) whose value participates in numeric ``FILTER``
+comparisons and whose canonical quoted form (``"42"``) is matched against
+the dictionary when used inside a triple pattern.
+
+Solution modifiers
+------------------
+:class:`FilterComparison` is one ``FILTER (lhs op rhs)`` constraint;
+:class:`OrderCondition` is one ``ORDER BY`` key. ``limit``/``offset``
+mirror the SPARQL clauses of the same name.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+#: Comparison operators accepted inside ``FILTER``.
+COMPARISON_OPS = ("=", "!=", "<=", ">=", "<", ">")
 
 
 @dataclass(frozen=True)
@@ -14,26 +33,71 @@ class SparqlVariable:
 
 @dataclass(frozen=True)
 class SparqlTerm:
-    """A concrete term: an IRI ``<...>`` or a literal ``"..."``."""
+    """A concrete term: an IRI ``<...>`` or a literal ``"..."``.
+
+    Language-tagged (``"chat"@fr``) and datatyped (``"5"^^xsd:int``)
+    literals keep their full lexical form — dictionary encoding matches
+    terms by exact lexical identity.
+    """
 
     lexical: str
+
+
+@dataclass(frozen=True)
+class SparqlNumber:
+    """A bare numeric literal (integer or decimal) in query syntax."""
+
+    lexical: str
+
+    @property
+    def value(self) -> float:
+        return float(self.lexical)
+
+    @property
+    def quoted(self) -> str:
+        """The canonical quoted form matched against stored terms."""
+        return f'"{self.lexical}"'
+
+
+SparqlTermLike = SparqlVariable | SparqlTerm | SparqlNumber
 
 
 @dataclass(frozen=True)
 class TriplePattern:
     """One ``subject predicate object`` pattern inside WHERE."""
 
-    subject: SparqlVariable | SparqlTerm
-    predicate: SparqlVariable | SparqlTerm
-    object: SparqlVariable | SparqlTerm
+    subject: SparqlTermLike
+    predicate: SparqlTermLike
+    object: SparqlTermLike
+
+
+@dataclass(frozen=True)
+class FilterComparison:
+    """``FILTER (lhs op rhs)`` with ``op`` one of :data:`COMPARISON_OPS`."""
+
+    lhs: SparqlTermLike
+    op: str
+    rhs: SparqlTermLike
+
+
+@dataclass(frozen=True)
+class OrderCondition:
+    """One ``ORDER BY`` key: a variable, optionally ``DESC``-wrapped."""
+
+    variable: str
+    descending: bool = False
 
 
 @dataclass(frozen=True)
 class SelectQuery:
-    """A parsed SELECT query."""
+    """A parsed SELECT query with its solution modifiers."""
 
     variables: tuple[str, ...]
     patterns: tuple[TriplePattern, ...]
     prefixes: dict[str, str] = field(default_factory=dict)
     distinct: bool = False
     select_all: bool = False
+    filters: tuple[FilterComparison, ...] = ()
+    order_by: tuple[OrderCondition, ...] = ()
+    limit: int | None = None
+    offset: int = 0

@@ -5,11 +5,22 @@ Grammar::
     Query        := Prefix* Select
     Prefix       := 'PREFIX' PNAME_NS IRIREF
     Select       := 'SELECT' 'DISTINCT'? ( Var+ | '*' ) 'WHERE'? Group
-    Group        := '{' Pattern ( '.' Pattern )* '.'? '}'
-    Pattern      := Term Term Term
-    Term         := Var | IRIREF | PrefixedName | Literal
+                    Modifiers
+    Group        := '{' ( Triples | Filter )* '}'
+    Triples      := Term PropertyList '.'?
+    PropertyList := Verb ObjectList ( ';' Verb ObjectList )*
+    ObjectList   := Term ( ',' Term )*
+    Verb         := 'a' | Term                  -- 'a' is rdf:type
+    Filter       := 'FILTER' '(' Operand CmpOp Operand ')'
+    CmpOp        := '=' | '!=' | '<' | '<=' | '>' | '>='
+    Modifiers    := ( 'ORDER' 'BY' OrderKey+ )?
+                    ( 'LIMIT' INTEGER | 'OFFSET' INTEGER )*
+    OrderKey     := Var | 'ASC' '(' Var ')' | 'DESC' '(' Var ')'
+    Term         := Var | IRIREF | PrefixedName | Literal | Number
 
-Errors raise :class:`~repro.errors.ParseError` with a character offset.
+Literals may carry a language tag (``"chat"@fr``) or a datatype
+(``"5"^^xsd:int``); numbers are bare integers or decimals. Errors raise
+:class:`~repro.errors.ParseError` with a character offset.
 """
 
 from __future__ import annotations
@@ -18,8 +29,13 @@ import re
 from dataclasses import dataclass
 
 from repro.errors import ParseError
+from repro.rdf.vocabulary import RDF_TYPE
 from repro.sparql.ast import (
+    COMPARISON_OPS,
+    FilterComparison,
+    OrderCondition,
     SelectQuery,
+    SparqlNumber,
     SparqlTerm,
     SparqlVariable,
     TriplePattern,
@@ -30,14 +46,25 @@ _TOKEN_RE = re.compile(
     (?P<ws>\s+)
   | (?P<comment>\#[^\n]*)
   | (?P<iri><[^<>\s]*>)
-  | (?P<literal>"(?:[^"\\]|\\.)*")
+  | (?P<literal>"(?:[^"\\]|\\.)*"
+        (?: @[A-Za-z]+(?:-[A-Za-z0-9]+)*
+          | \^\^<[^<>\s]*>
+          | \^\^[A-Za-z_][A-Za-z0-9_\-]*:[A-Za-z_][A-Za-z0-9_\-]*
+        )?)
+  | (?P<number>-?[0-9]+(?:\.[0-9]+)?)
   | (?P<var>\?[A-Za-z_][A-Za-z0-9_]*)
   | (?P<pname>[A-Za-z_][A-Za-z0-9_\-]*:[A-Za-z_][A-Za-z0-9_\-]*)
   | (?P<ns>[A-Za-z_][A-Za-z0-9_\-]*:)
   | (?P<keyword>[A-Za-z]+)
-  | (?P<punct>[{}.*])
+  | (?P<op>!=|<=|>=|=|<|>)
+  | (?P<punct>[{}.*;,()])
     """,
     re.VERBOSE,
+)
+
+
+_LITERAL_PARTS_RE = re.compile(
+    r'^(?P<body>"(?:[^"\\]|\\.)*")(?P<suffix>.*)$', re.DOTALL
 )
 
 
@@ -86,6 +113,14 @@ class _Parser:
             )
         self.index += 1
         return token
+
+    def _at_keyword(self, word: str) -> bool:
+        token = self.peek()
+        return (
+            token is not None
+            and token.kind == "keyword"
+            and token.text.upper() == word
+        )
 
     # ------------------------------------------------------------------
     def parse(self) -> SelectQuery:
@@ -154,6 +189,7 @@ class _Parser:
         self.next("{")
 
         patterns: list[TriplePattern] = []
+        filters: list[FilterComparison] = []
         while True:
             token = self.peek()
             if token is None:
@@ -161,13 +197,18 @@ class _Parser:
             if token.text == "}":
                 self.next()
                 break
-            pattern = self._parse_pattern(prefixes)
-            patterns.append(pattern)
+            if self._at_keyword("FILTER"):
+                filters.append(self._parse_filter(prefixes))
+            else:
+                patterns.extend(self._parse_triples(prefixes))
             token = self.peek()
             if token is not None and token.text == ".":
                 self.next()
         if not patterns:
             raise ParseError("WHERE block has no triple patterns")
+
+        order_by = self._parse_order_by()
+        limit, offset = self._parse_limit_offset()
 
         token = self.peek()
         if token is not None:
@@ -181,22 +222,178 @@ class _Parser:
             prefixes=prefixes,
             distinct=distinct,
             select_all=select_all,
+            filters=tuple(filters),
+            order_by=order_by,
+            limit=limit,
+            offset=offset,
         )
 
-    def _parse_pattern(self, prefixes: dict[str, str]) -> TriplePattern:
-        terms = [self._parse_term(prefixes) for _ in range(3)]
-        return TriplePattern(terms[0], terms[1], terms[2])
+    # ------------------------------------------------------------------
+    # WHERE-block productions
+    # ------------------------------------------------------------------
+    def _parse_triples(
+        self, prefixes: dict[str, str]
+    ) -> list[TriplePattern]:
+        """One subject with its ``;``/``,`` predicate-object list."""
+        subject = self._parse_term(prefixes)
+        patterns: list[TriplePattern] = []
+        while True:
+            predicate = self._parse_verb(prefixes)
+            while True:
+                obj = self._parse_term(prefixes)
+                patterns.append(TriplePattern(subject, predicate, obj))
+                token = self.peek()
+                if token is not None and token.text == ",":
+                    self.next()
+                    continue
+                break
+            token = self.peek()
+            if token is not None and token.text == ";":
+                self.next()
+                # Empty items (';;') and a trailing ';' before '.' or
+                # '}' are legal SPARQL.
+                while True:
+                    token = self.peek()
+                    if token is None or token.text != ";":
+                        break
+                    self.next()
+                if token is None or token.text in (".", "}"):
+                    break
+                continue
+            break
+        return patterns
 
+    def _parse_verb(self, prefixes: dict[str, str]):
+        token = self.peek()
+        if (
+            token is not None
+            and token.kind == "keyword"
+            and token.text == "a"
+        ):
+            self.next()
+            return SparqlTerm(RDF_TYPE)
+        return self._parse_term(prefixes)
+
+    def _parse_filter(self, prefixes: dict[str, str]) -> FilterComparison:
+        self.next()  # FILTER
+        self.next("(")
+        lhs = self._parse_operand(prefixes)
+        op_token = self.next()
+        if op_token.kind != "op" or op_token.text not in COMPARISON_OPS:
+            raise ParseError(
+                f"expected a comparison operator, found {op_token.text!r}",
+                op_token.position,
+            )
+        rhs = self._parse_operand(prefixes)
+        self.next(")")
+        return FilterComparison(lhs, op_token.text, rhs)
+
+    def _parse_operand(self, prefixes: dict[str, str]):
+        return self._parse_term(prefixes)
+
+    # ------------------------------------------------------------------
+    # Solution modifiers
+    # ------------------------------------------------------------------
+    def _parse_order_by(self) -> tuple[OrderCondition, ...]:
+        if not self._at_keyword("ORDER"):
+            return ()
+        self.next()
+        self.next("BY")
+        keys: list[OrderCondition] = []
+        while True:
+            token = self.peek()
+            if token is None:
+                break
+            if token.kind == "var":
+                self.next()
+                keys.append(OrderCondition(token.text[1:]))
+                continue
+            if token.kind == "keyword" and token.text.upper() in (
+                "ASC",
+                "DESC",
+            ):
+                descending = token.text.upper() == "DESC"
+                self.next()
+                self.next("(")
+                var_token = self.next()
+                if var_token.kind != "var":
+                    raise ParseError(
+                        f"expected a variable, found {var_token.text!r}",
+                        var_token.position,
+                    )
+                self.next(")")
+                keys.append(
+                    OrderCondition(var_token.text[1:], descending)
+                )
+                continue
+            break
+        if not keys:
+            token = self.peek()
+            raise ParseError(
+                "ORDER BY has no sort keys",
+                token.position if token else None,
+            )
+        return tuple(keys)
+
+    def _parse_limit_offset(self) -> tuple[int | None, int]:
+        limit: int | None = None
+        offset = 0
+        seen: set[str] = set()
+        while True:
+            token = self.peek()
+            if token is None or token.kind != "keyword":
+                break
+            word = token.text.upper()
+            if word not in ("LIMIT", "OFFSET") or word in seen:
+                break
+            self.next()
+            seen.add(word)
+            value = self._parse_nonnegative_int(word)
+            if word == "LIMIT":
+                limit = value
+            else:
+                offset = value
+        return limit, offset
+
+    def _parse_nonnegative_int(self, clause: str) -> int:
+        token = self.next()
+        if token.kind != "number" or not token.text.isdigit():
+            raise ParseError(
+                f"{clause} expects a non-negative integer, found "
+                f"{token.text!r}",
+                token.position,
+            )
+        return int(token.text)
+
+    # ------------------------------------------------------------------
     def _parse_term(
         self, prefixes: dict[str, str]
-    ) -> SparqlVariable | SparqlTerm:
+    ) -> SparqlVariable | SparqlTerm | SparqlNumber:
         token = self.next()
         if token.kind == "var":
             return SparqlVariable(token.text[1:])
         if token.kind == "iri":
             return SparqlTerm(token.text)
         if token.kind == "literal":
-            return SparqlTerm(token.text)
+            # Expand a prefixed-name datatype ("5"^^xsd:int) to its full
+            # IRI form — dictionary matching is by exact lexical
+            # identity and N-Triples data always carries the full IRI.
+            text = token.text
+            match = _LITERAL_PARTS_RE.match(text)
+            assert match is not None  # the tokenizer produced this
+            body, suffix = match.group("body"), match.group("suffix")
+            if suffix.startswith("^^") and not suffix.endswith(">"):
+                namespace, _, local = suffix[2:].partition(":")
+                base = prefixes.get(namespace)
+                if base is None:
+                    raise ParseError(
+                        f"unknown prefix {namespace!r} in literal datatype",
+                        token.position,
+                    )
+                text = f"{body}^^<{base}{local}>"
+            return SparqlTerm(text)
+        if token.kind == "number":
+            return SparqlNumber(token.text)
         if token.kind == "pname":
             namespace, _, local = token.text.partition(":")
             base = prefixes.get(namespace)

@@ -4,17 +4,78 @@ partitioned schema.
 Each triple pattern ``s p o`` with a concrete predicate ``p`` becomes an
 atom ``local_name(p)(s, o)`` over the predicate's two-column table.
 Variables map to query variables; concrete subjects/objects become
-constants (equality selections after normalization). Variable predicates
-are rejected — the paper's workload never uses them, and vertical
+constants (equality selections after normalization). Bare numeric
+literals in pattern position are matched through their canonical quoted
+form (``42`` matches the stored term ``"42"``). Variable predicates are
+rejected — the paper's workload never uses them, and vertical
 partitioning would require a union over all predicate tables.
+
+``FILTER`` comparisons translate to :class:`~repro.core.query.Comparison`
+predicates; an equality filter against an IRI or string literal whose
+variable is neither projected, ordered, nor referenced by another filter
+is *pushed down* into the atoms as a constant, so it executes as an
+index-probe selection instead of a post-join scan. Numeric comparisons
+(including ``=``) always stay post-join because they compare by value,
+not lexical identity (``42`` must match ``"42.0"``-style variants by
+value semantics, never by dictionary key).
+
+``ORDER BY`` / ``LIMIT`` / ``OFFSET`` carry through onto the
+:class:`~repro.core.query.ConjunctiveQuery` unchanged. ``DISTINCT`` is
+accepted and ignored: every engine already returns set semantics.
 """
 
 from __future__ import annotations
 
-from repro.core.query import Atom, ConjunctiveQuery, Constant, Variable
+from repro.core.query import (
+    Atom,
+    Comparison,
+    ConjunctiveQuery,
+    Constant,
+    OrderKey,
+    Variable,
+)
 from repro.errors import ParseError
-from repro.sparql.ast import SelectQuery, SparqlTerm, SparqlVariable
+from repro.sparql.ast import (
+    SelectQuery,
+    SparqlNumber,
+    SparqlTerm,
+    SparqlVariable,
+)
 from repro.storage.vertical import local_name
+
+
+def _pattern_term(part) -> Variable | Constant:
+    if isinstance(part, SparqlVariable):
+        return Variable(part.name)
+    if isinstance(part, SparqlNumber):
+        return Constant(part.quoted)
+    assert isinstance(part, SparqlTerm)
+    return Constant(part.lexical)
+
+
+def _filter_operand(part) -> Variable | Constant:
+    if isinstance(part, SparqlVariable):
+        return Variable(part.name)
+    if isinstance(part, SparqlNumber):
+        return Constant(part.value)
+    assert isinstance(part, SparqlTerm)
+    return Constant(part.lexical)
+
+
+def _pushdown_candidate(
+    comparison: Comparison,
+) -> tuple[Variable, Constant] | None:
+    """The (variable, lexical constant) pair of a pushable equality."""
+    if comparison.op != "=":
+        return None
+    lhs, rhs = comparison.lhs, comparison.rhs
+    if isinstance(lhs, Constant):
+        lhs, rhs = rhs, lhs
+    if not isinstance(lhs, Variable) or not isinstance(rhs, Constant):
+        return None
+    if not isinstance(rhs.value, str):
+        return None  # numeric equality compares by value, not lexically
+    return lhs, rhs
 
 
 def sparql_to_query(
@@ -30,18 +91,19 @@ def sparql_to_query(
                 "variable predicates are not supported over a vertically "
                 f"partitioned store (pattern with ?{pattern.predicate.name})"
             )
+        if isinstance(pattern.predicate, SparqlNumber):
+            raise ParseError(
+                f"a number ({pattern.predicate.lexical}) cannot be a "
+                "predicate"
+            )
         relation = local_name(pattern.predicate.lexical)
         terms = []
         for part in (pattern.subject, pattern.object):
-            if isinstance(part, SparqlVariable):
-                var = Variable(part.name)
-                terms.append(var)
-                if part.name not in seen_names:
-                    seen_names.add(part.name)
-                    seen_vars.append(var)
-            else:
-                assert isinstance(part, SparqlTerm)
-                terms.append(Constant(part.lexical))
+            term = _pattern_term(part)
+            terms.append(term)
+            if isinstance(term, Variable) and term.name not in seen_names:
+                seen_names.add(term.name)
+                seen_vars.append(term)
         atoms.append(Atom(relation, tuple(terms)))
 
     if parsed.select_all:
@@ -54,6 +116,67 @@ def sparql_to_query(
                     f"selected variable ?{var.name} does not appear in the "
                     "WHERE block"
                 )
+
+    filters = [
+        Comparison(
+            _filter_operand(f.lhs), f.op, _filter_operand(f.rhs)
+        )
+        for f in parsed.filters
+    ]
+    for comparison in filters:
+        for var in comparison.variables():
+            if var.name not in seen_names:
+                raise ParseError(
+                    f"filter variable ?{var.name} does not appear in the "
+                    "WHERE block"
+                )
+
+    order_by = tuple(
+        OrderKey(Variable(key.variable), key.descending)
+        for key in parsed.order_by
+    )
+    projected = set(projection)
+    for key in order_by:
+        if key.variable not in projected:
+            raise ParseError(
+                f"ORDER BY variable ?{key.variable.name} must be in the "
+                "SELECT list"
+            )
+
+    # Selection pushdown: rewrite `?x = <const>` equality filters into
+    # atom constants when nothing else observes ?x.
+    ordered_names = {key.variable for key in order_by}
+    kept_filters: list[Comparison] = []
+    for index, comparison in enumerate(filters):
+        candidate = _pushdown_candidate(comparison)
+        if candidate is not None:
+            var, constant = candidate
+            others = filters[:index] + filters[index + 1 :]
+            observed = (
+                var in projected
+                or var in ordered_names
+                or any(var in f.variables() for f in others)
+            )
+            if not observed:
+                atoms = [
+                    Atom(
+                        atom.relation,
+                        tuple(
+                            constant if term == var else term
+                            for term in atom.terms
+                        ),
+                    )
+                    for atom in atoms
+                ]
+                continue
+        kept_filters.append(comparison)
+
     return ConjunctiveQuery(
-        atoms=tuple(atoms), projection=projection, name=name
+        atoms=tuple(atoms),
+        projection=projection,
+        name=name,
+        filters=tuple(kept_filters),
+        order_by=order_by,
+        limit=parsed.limit,
+        offset=parsed.offset,
     )

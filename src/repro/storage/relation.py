@@ -155,6 +155,18 @@ class Relation:
             self.name, self.attributes, [c[indices] for c in self.columns]
         )
 
+    def slice_rows(self, start: int, stop: int | None = None) -> "Relation":
+        """Rows ``[start:stop]`` in current order (LIMIT/OFFSET support)."""
+        return Relation(
+            self.name,
+            self.attributes,
+            [c[start:stop] for c in self.columns],
+        )
+
+    def head(self, n: int) -> "Relation":
+        """The first ``n`` rows in current order."""
+        return self.slice_rows(0, n)
+
     def distinct(self) -> "Relation":
         """Remove duplicate rows (sorts as a side effect)."""
         if self.num_rows == 0 or self.arity == 0:

@@ -1,0 +1,32 @@
+"""The benchmark smoke gate: exercised by tier-1, no timing assertions."""
+
+from repro.bench.cli import main
+from repro.bench.smoke import GOLDEN_COUNTS_U1_SEED0, run_smoke
+
+
+def test_run_smoke_passes_on_reference_dataset(dataset):
+    report = run_smoke(dataset=dataset)
+    assert report.ok, report.failures
+    assert report.counts == GOLDEN_COUNTS_U1_SEED0
+    assert report.probe_counts  # the expanded-grammar probes ran
+    assert report.warmed_tries > 0
+    assert report.service_speedup > 0  # reported, never gated
+    rendered = report.render()
+    assert "smoke: OK" in rendered
+    assert "speedup" in rendered
+
+
+def test_run_smoke_detects_count_regression(dataset, monkeypatch):
+    import repro.bench.smoke as smoke
+
+    monkeypatch.setitem(smoke.GOLDEN_COUNTS_U1_SEED0, 1, 999)
+    report = smoke.run_smoke(dataset=dataset)
+    assert not report.ok
+    assert any("regression" in failure for failure in report.failures)
+    assert "FAILURES" in report.render()
+
+
+def test_smoke_cli_subcommand(capsys):
+    main(["smoke"])
+    out = capsys.readouterr().out
+    assert "smoke: OK" in out

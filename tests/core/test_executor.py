@@ -174,3 +174,58 @@ def test_shared_variable_three_ways(config):
         (X, Y, Z, W),
     )
     assert run_query(catalog, query, config) == brute_force(catalog, query)
+
+
+# ---------------------------------------------------------------------------
+# Child semijoin participants (regression for a dead-code refilter bug)
+# ---------------------------------------------------------------------------
+def test_child_participant_projects_shared_attributes_in_order():
+    """Regression: `_child_participant` once refiltered `shared` by
+    `attr_set` twice; the participant must be exactly the node attrs
+    that appear in the child result, in node-attribute order."""
+    from repro.core.executor import GHDExecutor
+    from repro.core.planner import Planner
+    from repro.storage.relation import Relation
+
+    catalog = catalog_of({"r": [(0, 1)], "s": [(1, 2)]})
+    planner = Planner(catalog, OptimizationConfig.all_on())
+    plan = planner.plan(
+        ConjunctiveQuery((Atom("r", (X, Y)), Atom("s", (Y, Z))), (X, Z))
+    )
+    executor = GHDExecutor(catalog)
+
+    # Child materialized (y, x, w); node attrs order [Y, X]: the shared
+    # attributes follow the node order and drop the private `w`.
+    child_result = Relation.from_rows(
+        "child", ["y", "x", "w"], [(1, 0, 5), (2, 0, 6), (2, 0, 7)]
+    )
+    participant = executor._child_participant(
+        plan, 1, [Y, X], child_result
+    )
+    assert participant is not None
+    assert participant.attrs == (Y, X)
+    assert participant.trie.num_levels == 2
+    # Projection is deduplicated: (2, 0) appears once.
+    assert participant.trie.num_tuples == 2
+
+    # No shared attributes -> no participant (pure cross-product child).
+    assert (
+        executor._child_participant(
+            plan, 1, [Variable("q")], child_result
+        )
+        is None
+    )
+
+
+def test_limit_truncates_after_distinct():
+    """LIMIT flows through the plan and truncates deterministically."""
+    catalog = catalog_of({"r": [(0, 1), (1, 2), (2, 3), (3, 4)]})
+    query = ConjunctiveQuery((Atom("r", (X, Y)),), (X, Y), limit=2)
+    result = run_query(catalog, query, OptimizationConfig.all_on())
+    full = brute_force(
+        catalog, ConjunctiveQuery((Atom("r", (X, Y)),), (X, Y))
+    )
+    assert len(result) == 2
+    assert result <= full
+    # distinct() sorts, so the first two rows are the smallest.
+    assert result == frozenset(sorted(full)[:2])

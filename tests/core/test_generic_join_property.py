@@ -133,3 +133,40 @@ def test_triangle_output_within_agm_bound(all_rows):
     )
     bound = (max(sizes[0], 1) * max(sizes[1], 1) * max(sizes[2], 1)) ** 0.5
     assert result.num_rows <= bound + 1e-9
+
+
+@given(
+    st.sampled_from(SHAPES),
+    st.lists(rows_strategy, min_size=9, max_size=9),
+    st.integers(0, 3),
+    st.booleans(),
+)
+@settings(max_examples=60, deadline=None)
+def test_truncated_attributes_under_selections(
+    shape, all_rows, selection_slot, with_selection
+):
+    """Both implementations agree with brute force when trailing
+    attributes are truncated (projected away) while a selection is
+    active — the plan_attribute_list interaction the GHD executor
+    relies on for selective queries."""
+    participants, tables = _build_participants(shape, all_rows)
+    all_attrs = sorted({a for attrs in shape for a in attrs})
+    attr_vars = [V[a] for a in all_attrs]
+
+    selections = {}
+    if with_selection:
+        selections[all_attrs[selection_slot % len(all_attrs)]] = 3
+    # Project only the first unselected attribute: every trailing
+    # attribute becomes a truncation candidate.
+    out_attrs = [a for a in all_attrs if a not in selections][:1]
+    output = [V[a] for a in out_attrs]
+    sel_vars = {V[a]: v for a, v in selections.items()}
+
+    expected_full = _brute_force(shape, tables, all_attrs, selections)
+    keep = [all_attrs.index(a) for a in out_attrs]
+    expected = {tuple(row[i] for i in keep) for row in expected_full}
+
+    fast = generic_join(attr_vars, participants, sel_vars, output)
+    slow = generic_join_recursive(attr_vars, participants, sel_vars, output)
+    assert fast.to_set() == expected
+    assert slow.to_set() == expected

@@ -1,0 +1,271 @@
+"""Post-join FILTER / ORDER BY / LIMIT semantics over decoded terms."""
+
+import numpy as np
+import pytest
+
+from repro.core.modifiers import (
+    apply_filters,
+    apply_order,
+    apply_slice,
+    term_value,
+)
+from repro.core.query import Comparison, Constant, OrderKey, Variable
+from repro.storage.dictionary import Dictionary
+from repro.storage.relation import Relation
+
+X, Y = Variable("x"), Variable("y")
+
+
+@pytest.fixture()
+def dictionary():
+    return Dictionary()
+
+
+def encoded(dictionary, attrs, lexical_rows):
+    """A Relation from rows of lexical terms, encoded on the fly."""
+    rows = [
+        tuple(dictionary.encode(term) for term in row)
+        for row in lexical_rows
+    ]
+    return Relation.from_rows("t", attrs, rows)
+
+
+def decoded(dictionary, relation):
+    return {
+        tuple(dictionary.decode(v) for v in row)
+        for row in relation.iter_rows()
+    }
+
+
+# ---------------------------------------------------------------------------
+# term_value
+# ---------------------------------------------------------------------------
+def test_term_value_numeric_literal():
+    assert term_value('"42"') == (0, 42.0)
+    assert term_value('"-3.5"') == (0, -3.5)
+
+
+def test_term_value_string_literal_strips_quotes():
+    assert term_value('"Alice"') == (1, "Alice")
+
+
+def test_term_value_language_tag_ignored_for_comparison():
+    assert term_value('"chat"@fr') == (1, "chat")
+
+
+def test_term_value_iri_is_full_lexical():
+    assert term_value("<http://x>") == (1, "<http://x>")
+
+
+def test_numbers_sort_before_strings():
+    assert term_value('"9"') < term_value('"Alice"')
+
+
+# ---------------------------------------------------------------------------
+# apply_filters
+# ---------------------------------------------------------------------------
+def test_string_equality_is_lexical_identity(dictionary):
+    rel = encoded(
+        dictionary, ["x"], [('"Alice"',), ('"Alice"@en',), ('"Bob"',)]
+    )
+    out = apply_filters(
+        rel, [Comparison(X, "=", Constant('"Alice"'))], dictionary
+    )
+    assert decoded(dictionary, out) == {('"Alice"',)}
+
+
+def test_numeric_equality_matches_by_value(dictionary):
+    rel = encoded(
+        dictionary, ["x"], [('"42"',), ('"42.0"',), ('"7"',), ('"n/a"',)]
+    )
+    out = apply_filters(rel, [Comparison(X, "=", Constant(42.0))], dictionary)
+    assert decoded(dictionary, out) == {('"42"',), ('"42.0"',)}
+
+
+def test_numeric_inequality_excludes_non_numeric_rows(dictionary):
+    rel = encoded(dictionary, ["x"], [('"1"',), ('"10"',), ('"abc"',)])
+    out = apply_filters(rel, [Comparison(X, "<", Constant(5.0))], dictionary)
+    assert decoded(dictionary, out) == {('"1"',)}
+
+
+def test_not_equals_unknown_constant_keeps_all(dictionary):
+    rel = encoded(dictionary, ["x"], [('"a"',), ('"b"',)])
+    out = apply_filters(
+        rel, [Comparison(X, "!=", Constant('"never-seen"'))], dictionary
+    )
+    assert out.num_rows == 2
+
+
+def test_equals_unknown_constant_drops_all(dictionary):
+    rel = encoded(dictionary, ["x"], [('"a"',), ('"b"',)])
+    out = apply_filters(
+        rel, [Comparison(X, "=", Constant('"never-seen"'))], dictionary
+    )
+    assert out.num_rows == 0
+
+
+def test_variable_variable_equality_on_keys(dictionary):
+    rel = encoded(
+        dictionary,
+        ["x", "y"],
+        [('"a"', '"a"'), ('"a"', '"b"'), ('"c"', '"c"')],
+    )
+    eq = apply_filters(rel, [Comparison(X, "=", Y)], dictionary)
+    ne = apply_filters(rel, [Comparison(X, "!=", Y)], dictionary)
+    assert decoded(dictionary, eq) == {('"a"', '"a"'), ('"c"', '"c"')}
+    assert decoded(dictionary, ne) == {('"a"', '"b"')}
+
+
+def test_variable_variable_ordering_by_value(dictionary):
+    rel = encoded(
+        dictionary,
+        ["x", "y"],
+        [('"2"', '"10"'), ('"10"', '"2"'), ('"2"', '"abc"')],
+    )
+    out = apply_filters(rel, [Comparison(X, "<", Y)], dictionary)
+    # "2" < "10" numerically; the mixed numeric/string row is excluded.
+    assert decoded(dictionary, out) == {('"2"', '"10"')}
+
+
+def test_string_ordering_lexicographic(dictionary):
+    rel = encoded(dictionary, ["x"], [('"apple"',), ('"pear"',)])
+    out = apply_filters(
+        rel, [Comparison(X, "<", Constant('"m"'))], dictionary
+    )
+    assert decoded(dictionary, out) == {('"apple"',)}
+
+
+def test_constant_constant_static_evaluation(dictionary):
+    rel = encoded(dictionary, ["x"], [('"a"',), ('"b"',)])
+    kept = apply_filters(
+        rel, [Comparison(Constant(1.0), "<", Constant(2.0))], dictionary
+    )
+    dropped = apply_filters(
+        rel, [Comparison(Constant(2.0), "<", Constant(1.0))], dictionary
+    )
+    assert kept.num_rows == 2
+    assert dropped.num_rows == 0
+
+
+def test_conjunction_of_filters(dictionary):
+    rel = encoded(dictionary, ["x"], [('"1"',), ('"5"',), ('"9"',)])
+    out = apply_filters(
+        rel,
+        [
+            Comparison(X, ">", Constant(2.0)),
+            Comparison(X, "<", Constant(8.0)),
+        ],
+        dictionary,
+    )
+    assert decoded(dictionary, out) == {('"5"',)}
+
+
+# ---------------------------------------------------------------------------
+# apply_order / apply_slice
+# ---------------------------------------------------------------------------
+def test_order_numbers_before_strings(dictionary):
+    rel = encoded(
+        dictionary, ["x"], [('"beta"',), ('"10"',), ('"2"',), ('"alpha"',)]
+    )
+    out = apply_order(rel, [OrderKey(X)], dictionary)
+    ordered = [
+        dictionary.decode(v) for (v,) in out.iter_rows()
+    ]
+    assert ordered == ['"2"', '"10"', '"alpha"', '"beta"']
+
+
+def test_order_descending(dictionary):
+    rel = encoded(dictionary, ["x"], [('"1"',), ('"3"',), ('"2"',)])
+    out = apply_order(rel, [OrderKey(X, descending=True)], dictionary)
+    assert [dictionary.decode(v) for (v,) in out.iter_rows()] == [
+        '"3"',
+        '"2"',
+        '"1"',
+    ]
+
+
+def test_order_multi_key_stable(dictionary):
+    rel = encoded(
+        dictionary,
+        ["x", "y"],
+        [('"b"', '"1"'), ('"a"', '"2"'), ('"a"', '"1"')],
+    )
+    out = apply_order(rel, [OrderKey(X), OrderKey(Y)], dictionary)
+    rows = [
+        tuple(dictionary.decode(v) for v in row) for row in out.iter_rows()
+    ]
+    assert rows == [('"a"', '"1"'), ('"a"', '"2"'), ('"b"', '"1"')]
+
+
+def test_slice_offset_and_limit(dictionary):
+    rel = Relation.from_rows("t", ["x"], [(i,) for i in range(10)])
+    out = apply_slice(rel, 3, 4)
+    assert list(out.column("x")) == [3, 4, 5, 6]
+    assert apply_slice(rel, 0, None) is rel
+    assert apply_slice(rel, 8, 5).num_rows == 2
+
+
+# ---------------------------------------------------------------------------
+# Unified (in)equality semantics: values for numbers, lexical identity
+# otherwise, IRI-vs-number definitively unequal
+# ---------------------------------------------------------------------------
+def test_variable_variable_numeric_equality_by_value(dictionary):
+    rel = encoded(
+        dictionary,
+        ["x", "y"],
+        [('"42"', '"42.0"'), ('"42"', '"7"'), ('"a"', '"a"')],
+    )
+    eq = apply_filters(rel, [Comparison(X, "=", Y)], dictionary)
+    # "42" = "42.0" numerically, consistent with FILTER(?x = 42).
+    assert decoded(dictionary, eq) == {
+        ('"42"', '"42.0"'),
+        ('"a"', '"a"'),
+    }
+    ne = apply_filters(rel, [Comparison(X, "!=", Y)], dictionary)
+    assert decoded(dictionary, ne) == {('"42"', '"7"')}
+
+
+def test_not_equals_number_keeps_iri_rows(dictionary):
+    """An IRI and a number are unequal, not a type error (SPARQL
+    RDFterm-equal): FILTER(?x != 42) must keep IRI bindings."""
+    rel = encoded(
+        dictionary, ["x"], [("<http://o1>",), ('"42"',), ('"7"',)]
+    )
+    out = apply_filters(
+        rel, [Comparison(X, "!=", Constant(42.0))], dictionary
+    )
+    assert decoded(dictionary, out) == {("<http://o1>",), ('"7"',)}
+
+
+def test_equals_number_excludes_iri_rows(dictionary):
+    rel = encoded(dictionary, ["x"], [("<http://o1>",), ('"42"',)])
+    out = apply_filters(
+        rel, [Comparison(X, "=", Constant(42.0))], dictionary
+    )
+    assert decoded(dictionary, out) == {('"42"',)}
+
+
+def test_not_equals_number_excludes_non_numeric_literals(dictionary):
+    """A non-numeric *literal* against a number is a type error: the
+    row is excluded under both = and !=."""
+    rel = encoded(dictionary, ["x"], [('"abc"',), ('"7"',)])
+    ne = apply_filters(
+        rel, [Comparison(X, "!=", Constant(42.0))], dictionary
+    )
+    assert decoded(dictionary, ne) == {('"7"',)}
+    eq = apply_filters(
+        rel, [Comparison(X, "=", Constant(7.0))], dictionary
+    )
+    assert decoded(dictionary, eq) == {('"7"',)}
+
+
+def test_variable_variable_iri_vs_number_not_equal(dictionary):
+    rel = encoded(
+        dictionary,
+        ["x", "y"],
+        [("<http://o1>", '"42"'), ('"42"', '"42"'), ('"abc"', '"42"')],
+    )
+    ne = apply_filters(rel, [Comparison(X, "!=", Y)], dictionary)
+    # IRI vs number: unequal (kept); literal "abc" vs number: type
+    # error (excluded); "42" vs "42": equal (excluded).
+    assert decoded(dictionary, ne) == {("<http://o1>", '"42"')}

@@ -70,24 +70,14 @@ def test_query4_matches_dept0_associate_professors(counts, dataset):
 def test_golden_counts_seed0(counts):
     """Exact counts for (universities=1, seed=0) — regression lock.
 
-    If the generator changes these must be re-derived; engine agreement
-    (test_engine_agreement) distinguishes generator drift from engine
-    bugs.
+    The table lives in :mod:`repro.bench.smoke` so this test and the
+    ``smoke`` CLI gate can never drift apart. If the generator changes
+    it must be re-derived; engine agreement (test_engine_agreement)
+    distinguishes generator drift from engine bugs.
     """
-    assert counts == {
-        1: 5,
-        2: 25,
-        3: 6,
-        4: 11,
-        5: 504,
-        7: 29,
-        8: 7929,
-        9: 49,
-        11: 0,
-        12: 179,
-        13: 26,
-        14: 7929,
-    }
+    from repro.bench.smoke import GOLDEN_COUNTS_U1_SEED0
+
+    assert counts == GOLDEN_COUNTS_U1_SEED0
 
 
 def test_paper_cardinality_shapes(counts):

@@ -1,0 +1,141 @@
+"""QueryService: plan caching, warming, batching, and correctness."""
+
+import pytest
+
+from repro.engines import ALL_ENGINES
+from repro.engines.emptyheaded import EmptyHeadedEngine
+from repro.engines.pairwise import ColumnStoreEngine
+from repro.errors import ConfigError
+from repro.rdf.vocabulary import RDF_TYPE
+from repro.service import QueryService
+from repro.storage.vertical import vertically_partition
+
+EX = "http://ex/"
+PERSON = f"<{EX}Person>"
+
+TRIPLES = [
+    (f"<{EX}alice>", RDF_TYPE, PERSON),
+    (f"<{EX}bob>", RDF_TYPE, PERSON),
+    (f"<{EX}alice>", f"<{EX}knows>", f"<{EX}bob>"),
+    (f"<{EX}bob>", f"<{EX}knows>", f"<{EX}alice>"),
+    (f"<{EX}alice>", f"<{EX}age>", '"34"'),
+    (f"<{EX}bob>", f"<{EX}age>", '"25"'),
+]
+
+Q_PEOPLE = f"SELECT ?x WHERE {{ ?x a {PERSON} }}"
+Q_KNOWS = f"SELECT ?x ?y WHERE {{ ?x <{EX}knows> ?y }}"
+Q_FILTER = f"SELECT ?x WHERE {{ ?x <{EX}age> ?a . FILTER(?a > 30) }}"
+Q_UNKNOWN_PREDICATE = f"SELECT ?x WHERE {{ ?x <{EX}nosuch> ?y }}"
+Q_UNKNOWN_CONSTANT = (
+    f"SELECT ?x WHERE {{ ?x <{EX}knows> <{EX}nobody> }}"
+)
+
+
+@pytest.fixture()
+def store():
+    return vertically_partition(TRIPLES)
+
+
+@pytest.fixture()
+def service(store):
+    return QueryService(EmptyHeadedEngine(store))
+
+
+def test_results_match_direct_engine_execution(store):
+    for engine_cls in ALL_ENGINES:
+        engine = engine_cls(store)
+        service = QueryService(engine_cls(store))
+        for text in (Q_PEOPLE, Q_KNOWS, Q_FILTER):
+            assert (
+                service.execute(text).to_set()
+                == engine.execute_sparql(text).to_set()
+            ), engine_cls.name
+
+
+def test_repeat_query_hits_cache(service):
+    service.execute(Q_PEOPLE)
+    assert (service.stats.hits, service.stats.misses) == (0, 1)
+    first = service.execute(Q_PEOPLE)
+    second = service.execute(Q_PEOPLE)
+    assert (service.stats.hits, service.stats.misses) == (2, 1)
+    assert first.to_set() == second.to_set()
+    assert service.stats.hit_rate == pytest.approx(2 / 3)
+
+
+def test_cache_hit_skips_parse_and_plan(service, monkeypatch):
+    """After the first execution, the SPARQL front-end is never invoked
+    again for the same text — the definition of a plan-cache hit."""
+    service.execute(Q_PEOPLE)
+
+    def boom(*args, **kwargs):  # pragma: no cover - must not run
+        raise AssertionError("cache hit must not re-parse")
+
+    monkeypatch.setattr(service.engine, "prepare_sparql", boom)
+    result = service.execute(Q_PEOPLE)
+    assert result.num_rows == 2
+
+
+def test_lru_eviction(store):
+    service = QueryService(EmptyHeadedEngine(store), cache_size=2)
+    service.execute(Q_PEOPLE)
+    service.execute(Q_KNOWS)
+    service.execute(Q_FILTER)  # evicts Q_PEOPLE
+    assert service.stats.evictions == 1
+    assert service.cached_texts() == [Q_KNOWS, Q_FILTER]
+    # Recently-used entries survive: touch Q_KNOWS, then add another.
+    service.execute(Q_KNOWS)
+    service.execute(Q_PEOPLE)
+    assert Q_KNOWS in service.cached_texts()
+    assert Q_FILTER not in service.cached_texts()
+
+
+def test_cache_size_must_be_positive(store):
+    with pytest.raises(ConfigError):
+        QueryService(EmptyHeadedEngine(store), cache_size=0)
+
+
+def test_execute_many_deduplicates_batch(service):
+    results = service.execute_many([Q_PEOPLE, Q_KNOWS, Q_PEOPLE, Q_PEOPLE])
+    assert len(results) == 4
+    assert results[0] is results[2] is results[3]  # one execution shared
+    assert results[0].to_set() != results[1].to_set()
+    assert service.stats.executions == 2
+
+
+def test_warm_builds_tries_without_executing(store):
+    service = QueryService(EmptyHeadedEngine(store))
+    warmed = service.warm([Q_PEOPLE, Q_KNOWS])
+    assert warmed > 0
+    # Warming counts as preparation: the next execute is a cache hit.
+    before = service.stats.hits
+    service.execute(Q_PEOPLE)
+    assert service.stats.hits == before + 1
+
+
+def test_warm_is_a_noop_for_load_time_indexed_engines(store):
+    service = QueryService(ColumnStoreEngine(store))
+    assert service.warm([Q_PEOPLE]) == 0
+    assert service.execute(Q_PEOPLE).num_rows == 2
+
+
+def test_provably_empty_queries_are_cached(service):
+    for text in (Q_UNKNOWN_PREDICATE, Q_UNKNOWN_CONSTANT):
+        result = service.execute(text)
+        assert result.num_rows == 0
+        again = service.execute(text)
+        assert again.num_rows == 0
+    assert service.stats.hits == 2
+
+
+def test_execute_decoded(service):
+    rows = set(service.execute_decoded(Q_PEOPLE))
+    assert rows == {(f"<{EX}alice>",), (f"<{EX}bob>",)}
+
+
+def test_clear_preserves_stats(service):
+    service.execute(Q_PEOPLE)
+    service.clear()
+    assert service.cached_texts() == []
+    assert service.stats.misses == 1
+    service.execute(Q_PEOPLE)
+    assert service.stats.misses == 2

@@ -119,3 +119,169 @@ def test_paper_query_2_parses():
     q = parse_sparql(lubm_query(2))
     assert len(q.patterns) == 6
     assert q.variables == ("X", "Y", "Z")
+
+
+# ---------------------------------------------------------------------------
+# Expanded grammar: numeric literals, ';'/',' lists, 'a', FILTER, modifiers
+# ---------------------------------------------------------------------------
+def test_numeric_literal_object_regression():
+    """Regression: `?x <p> 42` used to raise "unexpected character '4'"."""
+    from repro.sparql.ast import SparqlNumber
+
+    q = parse_sparql("SELECT ?x WHERE { ?x <p> 42 }")
+    assert q.patterns[0].object == SparqlNumber("42")
+
+
+def test_decimal_and_negative_numbers():
+    from repro.sparql.ast import SparqlNumber
+
+    q = parse_sparql("SELECT ?x WHERE { ?x <p> -3.25 }")
+    assert q.patterns[0].object == SparqlNumber("-3.25")
+    assert q.patterns[0].object.value == -3.25
+
+
+def test_predicate_object_list_semicolon_regression():
+    """Regression: the ';' shorthand used to raise
+    "unexpected character ';'"."""
+    q = parse_sparql("SELECT ?x WHERE { ?x <p> ?y ; <q> ?z . }")
+    assert len(q.patterns) == 2
+    assert q.patterns[0].subject == q.patterns[1].subject
+    assert q.patterns[0].predicate == SparqlTerm("<p>")
+    assert q.patterns[1].predicate == SparqlTerm("<q>")
+
+
+def test_object_list_comma():
+    q = parse_sparql("SELECT ?x WHERE { ?x <p> ?y , ?z , <o> }")
+    assert len(q.patterns) == 3
+    assert all(p.predicate == SparqlTerm("<p>") for p in q.patterns)
+    assert q.patterns[2].object == SparqlTerm("<o>")
+
+
+def test_combined_semicolon_and_comma_lists():
+    q = parse_sparql(
+        "SELECT ?s WHERE { ?s <p> ?a , ?b ; <q> ?c . ?t <r> ?d }"
+    )
+    assert [
+        (p.predicate.lexical, getattr(p.object, "name", None))
+        for p in q.patterns
+    ] == [("<p>", "a"), ("<p>", "b"), ("<q>", "c"), ("<r>", "d")]
+
+
+def test_trailing_semicolon_is_legal():
+    q1 = parse_sparql("SELECT ?x WHERE { ?x <p> ?y ; . }")
+    q2 = parse_sparql("SELECT ?x WHERE { ?x <p> ?y ; }")
+    assert q1.patterns == q2.patterns
+
+
+def test_a_shorthand_is_rdf_type():
+    from repro.rdf.vocabulary import RDF_TYPE
+
+    q = parse_sparql("SELECT ?x WHERE { ?x a <http://ns#Student> }")
+    assert q.patterns[0].predicate == SparqlTerm(RDF_TYPE)
+
+
+def test_language_tagged_literal():
+    q = parse_sparql('SELECT ?x WHERE { ?x <p> "chat"@fr }')
+    assert q.patterns[0].object == SparqlTerm('"chat"@fr')
+
+
+def test_datatyped_literal():
+    q = parse_sparql(
+        'SELECT ?x WHERE { ?x <p> "5"^^<http://www.w3.org/2001/XMLSchema#int> }'
+    )
+    assert q.patterns[0].object == SparqlTerm(
+        '"5"^^<http://www.w3.org/2001/XMLSchema#int>'
+    )
+
+
+def test_filter_comparison_parses():
+    from repro.sparql.ast import FilterComparison, SparqlNumber, SparqlVariable
+
+    q = parse_sparql("SELECT ?x WHERE { ?x <p> ?y . FILTER(?y > 3) }")
+    assert q.filters == (
+        FilterComparison(SparqlVariable("y"), ">", SparqlNumber("3")),
+    )
+
+
+@pytest.mark.parametrize("op", ["=", "!=", "<", "<=", ">", ">="])
+def test_all_comparison_operators(op):
+    q = parse_sparql(
+        f"SELECT ?x WHERE {{ ?x <p> ?y . FILTER(?y {op} 7) }}"
+    )
+    assert q.filters[0].op == op
+
+
+def test_filter_requires_parentheses():
+    with pytest.raises(ParseError):
+        parse_sparql("SELECT ?x WHERE { ?x <p> ?y . FILTER ?y > 3 }")
+
+
+def test_filter_requires_comparison_operator():
+    with pytest.raises(ParseError):
+        parse_sparql("SELECT ?x WHERE { ?x <p> ?y . FILTER(?y ?z) }")
+
+
+def test_limit_and_offset():
+    q = parse_sparql("SELECT ?x WHERE { ?x <p> ?y } LIMIT 10 OFFSET 3")
+    assert q.limit == 10
+    assert q.offset == 3
+
+
+def test_offset_before_limit():
+    q = parse_sparql("SELECT ?x WHERE { ?x <p> ?y } OFFSET 3 LIMIT 10")
+    assert (q.limit, q.offset) == (10, 3)
+
+
+def test_limit_rejects_non_integer():
+    with pytest.raises(ParseError):
+        parse_sparql("SELECT ?x WHERE { ?x <p> ?y } LIMIT 2.5")
+    with pytest.raises(ParseError):
+        parse_sparql("SELECT ?x WHERE { ?x <p> ?y } LIMIT -1")
+
+
+def test_order_by_keys():
+    from repro.sparql.ast import OrderCondition
+
+    q = parse_sparql(
+        "SELECT ?x ?y WHERE { ?x <p> ?y } ORDER BY DESC(?y) ?x LIMIT 4"
+    )
+    assert q.order_by == (
+        OrderCondition("y", descending=True),
+        OrderCondition("x", descending=False),
+    )
+    assert q.limit == 4
+
+
+def test_order_by_without_keys_raises():
+    with pytest.raises(ParseError):
+        parse_sparql("SELECT ?x WHERE { ?x <p> ?y } ORDER BY LIMIT 2")
+
+
+def test_filter_between_patterns():
+    q = parse_sparql(
+        "SELECT ?x WHERE { ?x <p> ?y . FILTER(?y != 0) . ?y <q> ?z }"
+    )
+    assert len(q.patterns) == 2
+    assert len(q.filters) == 1
+
+
+def test_prefixed_datatype_is_expanded():
+    q = parse_sparql(
+        """
+        PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
+        SELECT ?x WHERE { ?x <p> "5"^^xsd:int }
+        """
+    )
+    assert q.patterns[0].object == SparqlTerm(
+        '"5"^^<http://www.w3.org/2001/XMLSchema#int>'
+    )
+
+
+def test_prefixed_datatype_unknown_prefix_raises():
+    with pytest.raises(ParseError):
+        parse_sparql('SELECT ?x WHERE { ?x <p> "5"^^nope:int }')
+
+
+def test_carets_inside_literal_body_are_not_a_datatype():
+    q = parse_sparql('SELECT ?x WHERE { ?x <p> "a^^b" }')
+    assert q.patterns[0].object == SparqlTerm('"a^^b"')

@@ -78,3 +78,84 @@ def test_paper_query_2_shape():
         "type",
         "undergraduateDegreeFrom",
     ]
+
+
+# ---------------------------------------------------------------------------
+# Expanded constructs: numbers, filters + pushdown, modifiers
+# ---------------------------------------------------------------------------
+def test_numeric_pattern_literal_uses_quoted_form():
+    """`?x <p> 42` matches the stored plain-literal term `"42"`."""
+    q = _translate("SELECT ?x WHERE { ?x <http://ns#age> 42 }")
+    assert q.atoms[0].terms[1] == Constant('"42"')
+
+
+def test_shorthand_lists_share_subject():
+    q = _translate(
+        "SELECT ?n WHERE { ?x a <http://ns#T> ; <http://ns#name> ?n . }"
+    )
+    assert [a.relation for a in q.atoms] == ["type", "name"]
+    assert q.atoms[0].terms[0] == q.atoms[1].terms[0] == Variable("x")
+
+
+def test_equality_filter_pushed_down_to_selection():
+    q = _translate(
+        "SELECT ?x WHERE { ?x <http://ns#p> ?y . FILTER(?y = <http://o>) }"
+    )
+    assert q.filters == ()
+    assert q.atoms[0].terms[1] == Constant("<http://o>")
+
+
+def test_equality_filter_pushdown_reversed_operands():
+    q = _translate(
+        'SELECT ?x WHERE { ?x <http://ns#p> ?y . FILTER("v" = ?y) }'
+    )
+    assert q.filters == ()
+    assert q.atoms[0].terms[1] == Constant('"v"')
+
+
+def test_projected_equality_filter_stays_post_join():
+    q = _translate(
+        "SELECT ?x ?y WHERE { ?x <http://ns#p> ?y . "
+        "FILTER(?y = <http://o>) }"
+    )
+    assert len(q.filters) == 1
+    assert q.atoms[0].terms[1] == Variable("y")
+
+
+def test_numeric_equality_filter_stays_post_join():
+    """Numeric = compares by value (42 matches "42.0"), never by key."""
+    q = _translate(
+        "SELECT ?x WHERE { ?x <http://ns#p> ?y . FILTER(?y = 42) }"
+    )
+    assert len(q.filters) == 1
+    assert q.atoms[0].terms[1] == Variable("y")
+
+
+def test_filter_variable_must_occur_in_where():
+    with pytest.raises(ParseError):
+        _translate(
+            "SELECT ?x WHERE { ?x <http://ns#p> ?y . FILTER(?zz > 1) }"
+        )
+
+
+def test_order_by_variable_must_be_projected():
+    with pytest.raises(ParseError):
+        _translate(
+            "SELECT ?x WHERE { ?x <http://ns#p> ?y } ORDER BY ?y"
+        )
+
+
+def test_numeric_predicate_rejected():
+    with pytest.raises(ParseError):
+        _translate("SELECT ?x WHERE { ?x 5 ?y }")
+
+
+def test_modifiers_carry_through():
+    q = _translate(
+        "SELECT ?x WHERE { ?x <http://ns#p> ?y } "
+        "ORDER BY DESC(?x) LIMIT 7 OFFSET 2"
+    )
+    assert q.limit == 7
+    assert q.offset == 2
+    assert q.order_by[0].variable == Variable("x")
+    assert q.order_by[0].descending
