@@ -31,7 +31,13 @@ Quickstart::
 """
 
 from repro.core.config import OptimizationConfig
-from repro.core.query import Atom, ConjunctiveQuery, Constant, Variable
+from repro.core.query import (
+    Atom,
+    ConjunctiveQuery,
+    Constant,
+    UnionQuery,
+    Variable,
+)
 from repro.engines import (
     ALL_ENGINES,
     ColumnStoreEngine,
@@ -69,6 +75,7 @@ __all__ = [
     "RDF3XLikeEngine",
     "Relation",
     "TripleBitLikeEngine",
+    "UnionQuery",
     "Variable",
     "generate_dataset",
     "lubm_queries",

@@ -81,7 +81,9 @@ def _cmd_figures(args) -> None:
 def _cmd_smoke(args) -> None:
     from repro.bench.smoke import run_smoke
 
-    report = run_smoke(universities=args.universities, seed=args.seed)
+    report = run_smoke(
+        universities=args.universities, seed=args.seed, scale=args.scale
+    )
     print(report.render())
     if not report.ok:
         sys.exit(1)
@@ -117,6 +119,13 @@ def main(argv: list[str] | None = None) -> None:
     figures_cmd.set_defaults(func=_cmd_figures)
 
     smoke = sub.add_parser("smoke", parents=[common])
+    smoke.add_argument(
+        "--scale",
+        type=int,
+        default=1,
+        help="multiply --universities to smoke-test a larger instance "
+        "(golden counts gate only the default size)",
+    )
     smoke.set_defaults(func=_cmd_smoke)
 
     args = parser.parse_args(argv)

@@ -42,8 +42,11 @@ GOLDEN_COUNTS_U1_SEED0 = {
     14: 7929,
 }
 
-#: Agreement-only probes of the expanded grammar (no locked counts —
-#: they exercise ';'/','-lists, 'a', FILTER, ORDER BY, LIMIT/OFFSET).
+#: Probes of the expanded grammar: ';'/','-lists, 'a', FILTER, ORDER BY,
+#: LIMIT/OFFSET, and the multi-block constructs (UNION, OPTIONAL,
+#: variable predicates). All engines must agree on each probe; the
+#: default instance additionally gates their counts (see
+#: GOLDEN_PROBE_COUNTS_U1_SEED0).
 _PREFIX = (
     "PREFIX ub: "
     "<http://www.lehigh.edu/~zhp2/2004/0401/univ-bench.owl#>\n"
@@ -55,6 +58,33 @@ CONSTRUCT_PROBES: dict[str, str] = {
     + 'SELECT ?x WHERE { ?x ub:name ?n . FILTER(?n != "nobody") } LIMIT 50',
     "order-limit-offset": _PREFIX
     + "SELECT ?x WHERE { ?x a ub:Department } ORDER BY ?x LIMIT 5 OFFSET 2",
+    "union-professors": _PREFIX
+    + "SELECT ?x WHERE { { ?x a ub:FullProfessor } UNION "
+    "{ ?x a ub:AssociateProfessor } }",
+    "optional-email": _PREFIX
+    + "SELECT ?x ?e WHERE { ?x a ub:FullProfessor . "
+    "OPTIONAL { ?x ub:emailAddress ?e } }",
+    "variable-predicate": _PREFIX
+    + "SELECT ?p WHERE { ?x ?p <http://www.Department0.University0.edu> }",
+    "union-optional-varpred": _PREFIX
+    + "SELECT ?x ?e ?p WHERE { "
+    "{ ?x a ub:FullProfessor } UNION { ?x a ub:AssociateProfessor } "
+    "OPTIONAL { ?x ub:emailAddress ?e } "
+    "?x ?p <http://www.Department0.University0.edu> . } "
+    "ORDER BY ?x ?p",
+}
+
+#: Exact probe row counts for the default (universities=1, seed=0)
+#: instance — the golden gate for the multi-block SPARQL constructs.
+#: Re-derive (run the smoke target) if the generator ever changes.
+GOLDEN_PROBE_COUNTS_U1_SEED0: dict[str, int] = {
+    "shorthand-lists": 179,
+    "filter-inequality": 50,
+    "order-limit-offset": 5,
+    "union-professors": 433,
+    "optional-email": 179,
+    "variable-predicate": 4,
+    "union-optional-varpred": 22,
 }
 
 
@@ -112,12 +142,19 @@ def run_smoke(
     seed: int = 0,
     dataset=None,
     service_rounds: int = 3,
+    scale: int = 1,
 ) -> SmokeReport:
-    """Run the smoke workload; see the module docstring for the gates."""
+    """Run the smoke workload; see the module docstring for the gates.
+
+    ``scale`` multiplies ``universities`` (the CLI's ``--scale`` knob):
+    larger instances exercise the same agreement gates on more data —
+    golden counts only gate the default (universities=1, seed=0) size.
+    """
     from repro.engines import ALL_ENGINES
     from repro.lubm import generate_dataset, lubm_queries
     from repro.service import QueryService
 
+    universities = universities * max(int(scale), 1)
     if dataset is None:
         dataset = generate_dataset(universities=universities, seed=seed)
     report = SmokeReport(universities=universities, seed=seed)
@@ -153,6 +190,13 @@ def run_smoke(
             if actual != expected:
                 report.failures.append(
                     f"Q{qid}: count regression — expected {expected}, "
+                    f"got {actual}"
+                )
+        for label, expected in GOLDEN_PROBE_COUNTS_U1_SEED0.items():
+            actual = report.probe_counts.get(label)
+            if actual != expected:
+                report.failures.append(
+                    f"{label}: count regression — expected {expected}, "
                     f"got {actual}"
                 )
 

@@ -24,13 +24,31 @@ from repro.core.generic_join import generic_join
 from repro.core.ghd import GHD, GHDNode
 from repro.core.ghd_optimizer import GHDOptimizer
 from repro.core.hypergraph import Hyperedge, Hypergraph
+from repro.core.blocks import execute_union
 from repro.core.planner import Plan, Planner
-from repro.core.query import Atom, ConjunctiveQuery, Constant, Term, Variable
+from repro.core.query import (
+    Atom,
+    BoundUnion,
+    ConjunctiveQuery,
+    Constant,
+    NumericLiteral,
+    OptionalBlock,
+    QueryBlock,
+    Term,
+    UnionQuery,
+    Variable,
+)
 
 __all__ = [
     "Atom",
+    "BoundUnion",
     "ConjunctiveQuery",
     "Constant",
+    "NumericLiteral",
+    "OptionalBlock",
+    "QueryBlock",
+    "UnionQuery",
+    "execute_union",
     "GHD",
     "GHDExecutor",
     "GHDNode",

@@ -1,0 +1,298 @@
+"""Block-wise execution of multi-block queries (UNION / OPTIONAL).
+
+Engines only ever execute *conjunctive* queries; this module assembles
+their results into the semantics of a :class:`~repro.core.query.BoundUnion`:
+
+* each :class:`~repro.core.query.BoundBlock`'s required pattern runs as
+  one conjunctive query, projected onto exactly the variables later
+  stages observe (projection, optional join keys, filter operands);
+* each :class:`~repro.core.query.BoundOptional` extension runs as a
+  conjunctive query per bound variant, the variants are unioned, and the
+  block rows are *left-outer extended*: rows with a (filter-surviving)
+  match gain the optional bindings, rows without keep
+  :data:`~repro.storage.relation.NULL_KEY` in the optional-only columns;
+* block filters then run NULL-aware, branch rows are aligned onto the
+  query projection (padding variables the branch never binds), and the
+  branches merge under sort-dedup semantics before ORDER BY and
+  OFFSET/LIMIT apply to the union.
+
+Because this layer is shared by every engine, the five physical designs
+agree on UNION/OPTIONAL results by construction — exactly the guarantee
+the engine layer already gives for filters and solution modifiers.
+
+:func:`block_queries` enumerates the conjunctive queries a bound union
+will execute; plan-caching engines use it to warm plans and tries
+without executing (the ``QueryService.warm`` path), and its output is
+deterministic so warmed plans are the ones execution later looks up.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+
+import numpy as np
+
+from repro.core.modifiers import apply_order, apply_slice, comparison_mask
+from repro.core.query import (
+    BoundBlock,
+    BoundOptional,
+    BoundUnion,
+    Comparison,
+    ConjunctiveQuery,
+    Variable,
+)
+from repro.relalg.kernels import join_indices
+from repro.storage.relation import NULL_KEY, Relation
+
+ExecuteFn = Callable[[ConjunctiveQuery], Relation]
+
+
+# ---------------------------------------------------------------------------
+# Per-block conjunctive queries (shared by execution and warming)
+# ---------------------------------------------------------------------------
+def _ordered_subset(
+    wanted: set[Variable], appearance: Iterable[Variable]
+) -> tuple[Variable, ...]:
+    """``wanted`` in first-appearance order (deterministic projections
+    keep engine plan caches hitting across warm-up and execution)."""
+    out: list[Variable] = []
+    seen: set[Variable] = set()
+    for var in appearance:
+        if var in wanted and var not in seen:
+            seen.add(var)
+            out.append(var)
+    return tuple(out)
+
+
+def _filter_variables(filters: Iterable[Comparison]) -> set[Variable]:
+    return {v for f in filters for v in f.variables()}
+
+
+def required_query(
+    bound: BoundUnion, block: BoundBlock, index: int
+) -> ConjunctiveQuery:
+    """The conjunctive query evaluating a block's required pattern."""
+    req_vars = block.required_variables()
+    needed = set(bound.projection) & req_vars
+    needed |= req_vars & _filter_variables(block.filters)
+    for optional in block.optionals:
+        needed |= req_vars & optional.variables()
+        needed |= req_vars & _filter_variables(optional.filters)
+    if not needed:
+        # The block binds nothing downstream observes; project one
+        # witness variable so row existence survives (a zero-attribute
+        # relation cannot carry a row count).
+        needed = {min(req_vars)}
+    appearance = list(bound.projection) + [
+        v for atom in block.atoms for v in atom.variables
+    ]
+    return ConjunctiveQuery(
+        atoms=block.atoms,
+        projection=_ordered_subset(needed, appearance),
+        name=f"{bound.name}#b{index}",
+    )
+
+
+def optional_queries(
+    bound: BoundUnion,
+    block: BoundBlock,
+    optional: BoundOptional,
+    block_index: int,
+    optional_index: int,
+) -> list[ConjunctiveQuery]:
+    """The conjunctive queries (one per variant) of one extension."""
+    opt_vars = optional.variables()
+    req_vars = block.required_variables()
+    needed = set(bound.projection) & opt_vars
+    needed |= opt_vars & req_vars  # left-outer join keys
+    needed |= opt_vars & _filter_variables(optional.filters)
+    needed |= opt_vars & _filter_variables(block.filters)
+    if not needed:
+        needed = {min(opt_vars)}
+    queries: list[ConjunctiveQuery] = []
+    for k, atoms in enumerate(optional.variants):
+        appearance = list(bound.projection) + [
+            v for atom in atoms for v in atom.variables
+        ]
+        queries.append(
+            ConjunctiveQuery(
+                atoms=atoms,
+                projection=_ordered_subset(needed, appearance),
+                name=f"{bound.name}#b{block_index}o{optional_index}v{k}",
+            )
+        )
+    return queries
+
+
+def block_queries(bound: BoundUnion) -> list[ConjunctiveQuery]:
+    """Every conjunctive query :func:`execute_union` will run."""
+    queries: list[ConjunctiveQuery] = []
+    for i, block in enumerate(bound.blocks):
+        queries.append(required_query(bound, block, i))
+        for j, optional in enumerate(block.optionals):
+            queries.extend(optional_queries(bound, block, optional, i, j))
+    return queries
+
+
+# ---------------------------------------------------------------------------
+# Left-outer extension
+# ---------------------------------------------------------------------------
+def _pad_columns(n: int, count: int) -> list[np.ndarray]:
+    return [
+        np.full(n, NULL_KEY, dtype=np.uint32) for _ in range(count)
+    ]
+
+
+def _filter_mask(
+    relation: Relation, filters: tuple[Comparison, ...], dictionary
+) -> np.ndarray | None:
+    """Conjunction of filter masks; ``None`` when a filter references a
+    variable the relation never binds (a SPARQL type error on every
+    row, so nothing survives)."""
+    for comparison in filters:
+        for var in comparison.variables():
+            if var.name not in relation.attributes:
+                return None
+    mask = np.ones(relation.num_rows, dtype=bool)
+    for comparison in filters:
+        mask &= comparison_mask(relation, comparison, dictionary)
+        if not mask.any():
+            break
+    return mask
+
+
+def left_outer_extend(
+    left: Relation,
+    parts: list[Relation],
+    filters: tuple[Comparison, ...],
+    dictionary,
+) -> Relation:
+    """Left-outer join ``left`` with the union of ``parts``.
+
+    ``filters`` are the OPTIONAL group's own FILTERs: evaluated on the
+    *extended* rows (they may reference left variables, per SPARQL);
+    rows whose every extension fails them fall back to NULL padding. A
+    NULL join key on the left (from an earlier extension) matches
+    nothing, so such rows stay padded.
+    """
+    right = parts[0]
+    for part in parts[1:]:
+        right = right.concat(part)
+    if len(parts) > 1:
+        right = right.distinct()
+    right_only = [
+        a for a in right.attributes if a not in left.attributes
+    ]
+    if not right_only:
+        # The extension binds no new variable: it can never remove rows
+        # (left joins only extend), so the block rows are unchanged.
+        return left
+    out_attrs = list(left.attributes) + right_only
+    if left.num_rows == 0 or right.num_rows == 0:
+        return Relation(
+            left.name,
+            out_attrs,
+            list(left.columns) + _pad_columns(left.num_rows, len(right_only)),
+        )
+    keys = [a for a in left.attributes if a in right.attributes]
+    if keys:
+        left_idx, right_idx = join_indices(left, right, keys)
+    else:
+        left_idx = np.repeat(
+            np.arange(left.num_rows, dtype=np.int64), right.num_rows
+        )
+        right_idx = np.tile(
+            np.arange(right.num_rows, dtype=np.int64), left.num_rows
+        )
+    joined = Relation(
+        left.name,
+        out_attrs,
+        [left.column(a)[left_idx] for a in left.attributes]
+        + [right.column(a)[right_idx] for a in right_only],
+    )
+    if filters:
+        mask = _filter_mask(joined, filters, dictionary)
+        if mask is None:
+            mask = np.zeros(joined.num_rows, dtype=bool)
+        joined = joined.filter(mask)
+        left_idx = left_idx[mask]
+    matched = np.zeros(left.num_rows, dtype=bool)
+    matched[left_idx] = True
+    unmatched = left.filter(~matched)
+    padded = Relation(
+        left.name,
+        out_attrs,
+        list(unmatched.columns)
+        + _pad_columns(unmatched.num_rows, len(right_only)),
+    )
+    return joined.concat(padded)
+
+
+# ---------------------------------------------------------------------------
+# Union assembly
+# ---------------------------------------------------------------------------
+def _align(relation: Relation, names: list[str], name: str) -> Relation:
+    """Project onto ``names``, padding never-bound columns with NULL."""
+    columns = [
+        relation.column(n)
+        if n in relation.attributes
+        else np.full(relation.num_rows, NULL_KEY, dtype=np.uint32)
+        for n in names
+    ]
+    return Relation(name, names, columns)
+
+
+def execute_block(
+    bound: BoundUnion,
+    block: BoundBlock,
+    index: int,
+    execute: ExecuteFn,
+    dictionary,
+) -> Relation:
+    """One branch's rows, aligned onto the union's projection."""
+    names = [v.name for v in bound.projection]
+    result = execute(required_query(bound, block, index))
+    for j, optional in enumerate(block.optionals):
+        parts = [
+            execute(query)
+            for query in optional_queries(bound, block, optional, index, j)
+        ]
+        result = left_outer_extend(
+            result, parts, optional.filters, dictionary
+        )
+    if block.filters:
+        mask = _filter_mask(result, block.filters, dictionary)
+        if mask is None:
+            return Relation.empty(bound.name, names)
+        result = result.filter(mask)
+    return _align(result, names, bound.name)
+
+
+def execute_union(
+    bound: BoundUnion, execute: ExecuteFn, dictionary
+) -> Relation:
+    """Evaluate a bound multi-block query through a conjunctive executor.
+
+    ``execute`` is an engine's ``_execute_bound``: it receives
+    filter-free, modifier-free conjunctive queries with encoded
+    constants and returns deduplicated projected rows.
+    """
+    result: Relation | None = None
+    for index, block in enumerate(bound.blocks):
+        branch = execute_block(bound, block, index, execute, dictionary)
+        result = branch if result is None else result.concat(branch)
+    assert result is not None  # BoundUnion guarantees >= 1 block
+    result = result.distinct()
+    result = apply_order(result, bound.order_by, dictionary)
+    result = apply_slice(result, bound.offset, bound.limit)
+    return result.rename(name=bound.name)
+
+
+__all__ = [
+    "block_queries",
+    "execute_block",
+    "execute_union",
+    "left_outer_extend",
+    "optional_queries",
+    "required_query",
+]

@@ -335,6 +335,18 @@ class GHDOptimizer:
         augmented = [
             self._attach_selected(query, base, selected) for base in bases
         ]
+        # Attaching can break the running-intersection property when a
+        # selected atom's unselected variables (two of them for ternary
+        # __triples__ atoms) are covered only across *different* nodes.
+        # Keep the valid candidates; with none, pushdown is impossible
+        # for this shape and the baseline decomposition applies.
+        augmented = [
+            ghd for ghd in augmented if self._is_valid(ghd, hypergraph)
+        ]
+        if not augmented:
+            return self._best_over(
+                query, list(range(len(query.atoms))), cover_restriction=None
+            )
         return min(
             augmented,
             key=lambda g: (
@@ -344,6 +356,14 @@ class GHDOptimizer:
                 _canonical_key(g),
             ),
         )
+
+    @staticmethod
+    def _is_valid(ghd: GHD, hypergraph: Hypergraph) -> bool:
+        try:
+            ghd.check_valid(hypergraph)
+        except PlanningError:
+            return False
+        return True
 
     def _attach_selected(
         self, query: NormalizedQuery, base: GHD, selected: list[int]

@@ -22,6 +22,12 @@ content numerically, other terms as strings, mixed-kind rows excluded
 as type errors. Numbers sort before strings under ``ORDER BY``,
 mirroring SPARQL's ordering of numerics before other RDF terms.
 
+Unbound variables (``OPTIONAL`` rows padded with
+:data:`~repro.storage.relation.NULL_KEY`) follow SPARQL's evaluation
+rules: any comparison touching an unbound operand is a type error that
+excludes the row (under *every* operator, including ``!=``), while
+``ORDER BY`` sorts unbound before every bound term.
+
 Each variable column is decoded once per distinct key, so filtering and
 ordering cost O(distinct) dictionary decodes plus vectorized compares.
 """
@@ -36,7 +42,7 @@ import numpy as np
 
 from repro.core.query import Comparison, Constant, OrderKey, Variable
 from repro.errors import ExecutionError
-from repro.storage.relation import Relation
+from repro.storage.relation import NULL_KEY, Relation
 
 _OPS = {
     "=": operator.eq,
@@ -87,6 +93,7 @@ class _OperandData:
     content: np.ndarray  # str: comparable content (quotes/tags stripped)
     raw: np.ndarray  # str: full lexical form (identity comparisons)
     is_iri: np.ndarray  # bool: the term is an IRI
+    is_null: np.ndarray  # bool: the variable is unbound (OPTIONAL pad)
 
 
 def _operand_data(term, relation: Relation, dictionary, n: int) -> _OperandData:
@@ -98,7 +105,16 @@ def _operand_data(term, relation: Relation, dictionary, n: int) -> _OperandData:
         content: list[str] = []
         raw: list[str] = []
         is_iri = np.empty(uniq.shape[0], dtype=bool)
+        is_null = np.empty(uniq.shape[0], dtype=bool)
         for i, key in enumerate(uniq):
+            if int(key) == NULL_KEY:
+                is_null[i] = True
+                is_num[i] = False
+                is_iri[i] = False
+                content.append("")
+                raw.append("")
+                continue
+            is_null[i] = False
             lexical = dictionary.decode(int(key))
             kind, value = term_value(lexical)
             is_num[i] = kind == _NUM
@@ -115,6 +131,7 @@ def _operand_data(term, relation: Relation, dictionary, n: int) -> _OperandData:
             np.asarray(content, dtype=str)[inverse],
             np.asarray(raw, dtype=str)[inverse],
             is_iri[inverse],
+            is_null[inverse],
         )
     assert isinstance(term, Constant)
     if isinstance(term.value, str):
@@ -127,6 +144,7 @@ def _operand_data(term, relation: Relation, dictionary, n: int) -> _OperandData:
             np.full(n, "" if numeric else value),
             np.full(n, lexical),
             np.full(n, lexical.startswith("<"), dtype=bool),
+            np.full(n, False, dtype=bool),
         )
     return _OperandData(
         np.full(n, True, dtype=bool),
@@ -134,12 +152,14 @@ def _operand_data(term, relation: Relation, dictionary, n: int) -> _OperandData:
         np.full(n, "", dtype=str),
         np.full(n, "", dtype=str),
         np.full(n, False, dtype=bool),
+        np.full(n, False, dtype=bool),
     )
 
 
-def _comparison_mask(
+def comparison_mask(
     relation: Relation, comparison: Comparison, dictionary
 ) -> np.ndarray:
+    """Boolean keep-mask of one comparison over a relation's rows."""
     n = relation.num_rows
     lhs, op, rhs = comparison.lhs, comparison.op, comparison.rhs
     compare = _OPS.get(op)
@@ -161,17 +181,20 @@ def _comparison_mask(
         )
         assert isinstance(constant, Constant)
         if isinstance(constant.value, str):
+            column = relation.column(variable.name)
+            bound = column != np.uint32(NULL_KEY)
             key = dictionary.lookup(constant.value)
             if key is None:
-                return np.full(n, op == "!=", dtype=bool)
-            return compare(
-                relation.column(variable.name), np.uint32(key)
-            )
+                # Comparing an unbound variable is a type error even
+                # against a never-seen term: only bound rows survive !=.
+                return bound if op == "!=" else np.zeros(n, dtype=bool)
+            return compare(column, np.uint32(key)) & bound
         # Bare-number (in)equality falls through to value comparison so
         # that 42 matches "42" by value, whatever its lexical form.
 
     left = _operand_data(lhs, relation, dictionary, n)
     right = _operand_data(rhs, relation, dictionary, n)
+    both_bound = ~left.is_null & ~right.is_null
 
     if op in ("=", "!="):
         # Value equality: numbers by value, non-numbers by full lexical
@@ -186,20 +209,21 @@ def _comparison_mask(
         )
         equal = numeric_eq | lexical_eq
         if op == "=":
-            return equal
+            return equal & both_bound
         type_error = (
             left.is_num & ~right.is_num & ~right.is_iri
         ) | (right.is_num & ~left.is_num & ~left.is_iri)
-        return ~equal & ~type_error
+        return ~equal & ~type_error & both_bound
 
     numeric = left.is_num & right.is_num
-    textual = ~left.is_num & ~right.is_num
+    textual = ~left.is_num & ~right.is_num & both_bound
     mask = np.zeros(n, dtype=bool)
     if numeric.any():
         mask |= numeric & compare(left.numbers, right.numbers)
     if textual.any():
         mask |= textual & compare(left.content, right.content)
-    # Mixed-kind rows are SPARQL type errors under ordering operators.
+    # Mixed-kind and unbound rows are SPARQL type errors under ordering
+    # operators.
     return mask
 
 
@@ -211,7 +235,7 @@ def apply_filters(
         return relation
     mask = np.ones(relation.num_rows, dtype=bool)
     for comparison in comparisons:
-        mask &= _comparison_mask(relation, comparison, dictionary)
+        mask &= comparison_mask(relation, comparison, dictionary)
         if not mask.any():
             break
     return relation.filter(mask)
@@ -226,7 +250,12 @@ def apply_order(relation: Relation, order_by, dictionary) -> Relation:
         assert isinstance(key, OrderKey)
         column = relation.column(key.variable.name)
         uniq, inverse = np.unique(column, return_inverse=True)
-        values = [term_value(dictionary.decode(int(k))) for k in uniq]
+        # Unbound sorts before every bound term (SPARQL ordering).
+        values = [
+            (-1, "") if int(k) == NULL_KEY
+            else term_value(dictionary.decode(int(k)))
+            for k in uniq
+        ]
         indices.sort(
             key=lambda i: values[inverse[i]], reverse=key.descending
         )
@@ -264,6 +293,7 @@ __all__ = [
     "apply_filters",
     "apply_order",
     "apply_slice",
+    "comparison_mask",
     "finalize_result",
     "term_value",
 ]

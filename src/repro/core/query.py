@@ -1,18 +1,35 @@
-"""Conjunctive-query model shared by every engine.
+"""Query model shared by every engine: conjunctive blocks and trees.
 
-A query is a set of atoms over named relations plus a projection list.
-Atom terms are either variables or constants; :func:`normalize` rewrites
-constants into *selection variables* — fresh variables carrying an
-equality selection — which is exactly how the paper presents queries
-(e.g. ``type(x, a='GraduateStudent')`` in Section II-B).
+A :class:`ConjunctiveQuery` is a set of atoms over named relations plus
+a projection list. Atom terms are either variables or constants;
+:func:`normalize` rewrites constants into *selection variables* — fresh
+variables carrying an equality selection — which is exactly how the
+paper presents queries (e.g. ``type(x, a='GraduateStudent')`` in
+Section II-B).
+
+SPARQL's ``UNION`` and ``OPTIONAL`` lift this to a *tree of conjunctive
+blocks*: a :class:`UnionQuery` is a union of :class:`QueryBlock`\\ s,
+each a required conjunctive pattern plus zero or more
+:class:`OptionalBlock` left-outer extensions and post-join filters.
+Every engine still only executes conjunctive queries; the engine layer
+(:mod:`repro.core.blocks`) assembles block results, padding variables a
+block never binds with :data:`~repro.storage.relation.NULL_KEY`.
+
+:func:`bind_union` dictionary-encodes a tree's constants into a
+:class:`BoundUnion`. Binding is where bare numeric pattern literals
+(:class:`NumericLiteral`) fan out over their stored lexical forms
+(``42`` matches both ``"42"`` and ``"42"^^xsd:integer``), so one
+written block can bind to several executable variants.
 """
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import Union
 
 from repro.errors import PlanningError
+from repro.rdf.vocabulary import XSD_DECIMAL, XSD_INTEGER
 
 
 @dataclass(frozen=True, order=True)
@@ -26,16 +43,39 @@ class Variable:
 
 
 @dataclass(frozen=True)
+class NumericLiteral:
+    """A bare numeric pattern literal before dictionary binding.
+
+    ``42`` in pattern position matches every stored lexical form of the
+    value the subset knows: the plain literal ``"42"`` and the datatyped
+    form ``"42"^^xsd:integer`` (``xsd:decimal`` for decimals). Binding
+    fans a block out over whichever candidate forms the dictionary holds.
+    """
+
+    lexical: str
+
+    def candidate_forms(self) -> tuple[str, ...]:
+        datatype = XSD_DECIMAL if "." in self.lexical else XSD_INTEGER
+        return (
+            f'"{self.lexical}"',
+            f'"{self.lexical}"^^<{datatype}>',
+        )
+
+    def __repr__(self) -> str:
+        return f"#{self.lexical}"
+
+
+@dataclass(frozen=True)
 class Constant:
     """A constant term.
 
-    In atoms, ``value`` is lexical (str) before dictionary binding and an
-    encoded ``int`` afterwards. In :class:`Comparison` filters a float
-    value denotes a numeric literal compared by value, not by lexical
-    identity.
+    In atoms, ``value`` is lexical (str, or :class:`NumericLiteral` for
+    bare numbers) before dictionary binding and an encoded ``int``
+    afterwards. In :class:`Comparison` filters a float value denotes a
+    numeric literal compared by value, not by lexical identity.
     """
 
-    value: Union[int, float, str]
+    value: Union[int, float, str, NumericLiteral]
 
     def __repr__(self) -> str:
         return f"={self.value!r}"
@@ -243,6 +283,52 @@ def normalize(query: ConjunctiveQuery) -> NormalizedQuery:
     )
 
 
+def bind_atoms(
+    atoms: tuple[Atom, ...], dictionary
+) -> list[tuple[Atom, ...]]:
+    """Dictionary-encode the constants of one conjunctive pattern.
+
+    Returns every executable variant of the pattern: usually one, zero
+    when some constant provably never occurs in the data, and several
+    when a :class:`NumericLiteral` matches more than one stored lexical
+    form (each variant picks one form per occurrence).
+    """
+    variants: list[list[Atom]] = [[]]
+    for atom in atoms:
+        per_term_choices: list[tuple[Term, ...]] = []
+        for term in atom.terms:
+            if isinstance(term, Constant) and isinstance(term.value, str):
+                key = dictionary.lookup(term.value)
+                if key is None:
+                    return []
+                per_term_choices.append((Constant(key),))
+            elif isinstance(term, Constant) and isinstance(
+                term.value, NumericLiteral
+            ):
+                keys = [
+                    key
+                    for form in term.value.candidate_forms()
+                    if (key := dictionary.lookup(form)) is not None
+                ]
+                if not keys:
+                    return []
+                per_term_choices.append(
+                    tuple(Constant(key) for key in keys)
+                )
+            else:
+                per_term_choices.append((term,))
+        atom_choices = [
+            Atom(atom.relation, terms)
+            for terms in itertools.product(*per_term_choices)
+        ]
+        variants = [
+            prefix + [choice]
+            for prefix in variants
+            for choice in atom_choices
+        ]
+    return [tuple(variant) for variant in variants]
+
+
 def bind_constants(query: ConjunctiveQuery, dictionary) -> ConjunctiveQuery | None:
     """Encode lexical constants through the dataset dictionary.
 
@@ -252,25 +338,255 @@ def bind_constants(query: ConjunctiveQuery, dictionary) -> ConjunctiveQuery | No
     constants are left unbound: they are compared against decoded terms,
     so a value absent from the data is still meaningful (e.g.
     ``FILTER(?x != "never-seen")`` keeps every row).
+
+    A query whose :class:`NumericLiteral` constants match several stored
+    forms has no single bound form — engines route such queries through
+    :func:`bind_union`, and this legacy single-query entry point raises.
     """
-    atoms: list[Atom] = []
-    for atom in query.atoms:
-        terms: list[Term] = []
-        for term in atom.terms:
-            if isinstance(term, Constant) and isinstance(term.value, str):
-                key = dictionary.lookup(term.value)
-                if key is None:
-                    return None
-                terms.append(Constant(key))
-            else:
-                terms.append(term)
-        atoms.append(Atom(atom.relation, tuple(terms)))
+    variants = bind_atoms(query.atoms, dictionary)
+    if not variants:
+        return None
+    if len(variants) > 1:
+        raise PlanningError(
+            "numeric pattern literal matches multiple stored forms; "
+            "bind through bind_union()"
+        )
     return ConjunctiveQuery(
-        atoms=tuple(atoms),
+        atoms=variants[0],
         projection=query.projection,
         name=query.name,
         filters=query.filters,
         order_by=query.order_by,
         limit=query.limit,
         offset=query.offset,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Multi-block queries: UNION branches with OPTIONAL extensions
+# ---------------------------------------------------------------------------
+def atom_variables(atoms: tuple[Atom, ...]) -> set[Variable]:
+    """Every variable occurring in a tuple of atoms."""
+    result: set[Variable] = set()
+    for atom in atoms:
+        result.update(atom.variables)
+    return result
+
+
+@dataclass(frozen=True)
+class OptionalBlock:
+    """One ``OPTIONAL { ... }`` extension: a conjunctive pattern plus
+    filters evaluated on the extended rows during the left-outer join."""
+
+    atoms: tuple[Atom, ...]
+    filters: tuple[Comparison, ...] = ()
+
+    def variables(self) -> set[Variable]:
+        return atom_variables(self.atoms)
+
+
+@dataclass(frozen=True)
+class QueryBlock:
+    """One UNION branch: required atoms, optional extensions, filters."""
+
+    atoms: tuple[Atom, ...]
+    optionals: tuple[OptionalBlock, ...] = ()
+    filters: tuple[Comparison, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.atoms:
+            raise PlanningError("query block has no required atoms")
+
+    def required_variables(self) -> set[Variable]:
+        return atom_variables(self.atoms)
+
+    def variables(self) -> set[Variable]:
+        result = self.required_variables()
+        for optional in self.optionals:
+            result.update(optional.variables())
+        return result
+
+
+@dataclass(frozen=True)
+class UnionQuery:
+    """A tree of conjunctive blocks under sort-dedup (set) semantics.
+
+    Solution modifiers apply to the merged result. A projected variable
+    some block never binds is padded with
+    :data:`~repro.storage.relation.NULL_KEY` in that block's rows.
+    """
+
+    blocks: tuple[QueryBlock, ...]
+    projection: tuple[Variable, ...]
+    name: str = "query"
+    order_by: tuple[OrderKey, ...] = ()
+    limit: int | None = None
+    offset: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.blocks:
+            raise PlanningError("union query has no blocks")
+        known = self.variables()
+        for var in self.projection:
+            if var not in known:
+                raise PlanningError(
+                    f"projected variable {var!r} does not occur in any block"
+                )
+        projected = set(self.projection)
+        for key in self.order_by:
+            if key.variable not in projected:
+                raise PlanningError(
+                    f"ORDER BY variable {key.variable!r} is not projected"
+                )
+        if self.limit is not None and self.limit < 0:
+            raise PlanningError("LIMIT must be non-negative")
+        if self.offset < 0:
+            raise PlanningError("OFFSET must be non-negative")
+
+    def variables(self) -> set[Variable]:
+        result: set[Variable] = set()
+        for block in self.blocks:
+            result.update(block.variables())
+        return result
+
+
+def as_union(query: ConjunctiveQuery | UnionQuery) -> UnionQuery:
+    """View any query as a (possibly single-block) union tree."""
+    if isinstance(query, UnionQuery):
+        return query
+    return UnionQuery(
+        blocks=(
+            QueryBlock(atoms=query.atoms, filters=query.filters),
+        ),
+        projection=query.projection,
+        name=query.name,
+        order_by=query.order_by,
+        limit=query.limit,
+        offset=query.offset,
+    )
+
+
+@dataclass(frozen=True)
+class BoundOptional:
+    """A dictionary-bound optional extension.
+
+    ``variants`` are the executable forms of the written pattern (several
+    when a numeric literal matches multiple stored forms); the optional
+    part's matches are the union of the variants' results.
+    """
+
+    variants: tuple[tuple[Atom, ...], ...]
+    filters: tuple[Comparison, ...] = ()
+
+    def variables(self) -> set[Variable]:
+        return atom_variables(self.variants[0])
+
+
+@dataclass(frozen=True)
+class BoundBlock:
+    """A dictionary-bound union branch (one numeric-form variant)."""
+
+    atoms: tuple[Atom, ...]
+    optionals: tuple[BoundOptional, ...] = ()
+    filters: tuple[Comparison, ...] = ()
+
+    def required_variables(self) -> set[Variable]:
+        return atom_variables(self.atoms)
+
+
+@dataclass(frozen=True)
+class BoundUnion:
+    """A fully bound multi-block query, ready for block-wise execution."""
+
+    blocks: tuple[BoundBlock, ...]
+    projection: tuple[Variable, ...]
+    name: str = "query"
+    order_by: tuple[OrderKey, ...] = ()
+    limit: int | None = None
+    offset: int = 0
+
+    def as_conjunctive(self) -> ConjunctiveQuery | None:
+        """The equivalent plain conjunctive query, when one exists
+        (single block, no optional extensions) — engines prefer it: it
+        keeps their plan caches and LIMIT pre-truncation on the fast
+        path."""
+        if len(self.blocks) != 1 or self.blocks[0].optionals:
+            return None
+        block = self.blocks[0]
+        required = block.required_variables()
+        filter_vars = {
+            v for f in block.filters for v in f.variables()
+        }
+        if not (set(self.projection) | filter_vars) <= required:
+            # A projected or filtered variable the block never binds
+            # (e.g. a sibling UNION branch or an OPTIONAL dropped at
+            # bind time) needs NULL semantics — padding for projection,
+            # type-error-empties-branch for filters — which only
+            # block-wise execution provides.
+            return None
+        return ConjunctiveQuery(
+            atoms=block.atoms,
+            projection=self.projection,
+            name=self.name,
+            filters=block.filters,
+            order_by=self.order_by,
+            limit=self.limit,
+            offset=self.offset,
+        )
+
+
+def bind_union(
+    tree: UnionQuery, dictionary, tables: set[str]
+) -> BoundUnion | None:
+    """Bind a union tree against a dataset dictionary and its tables.
+
+    Blocks whose required pattern mentions a missing predicate table or
+    a constant absent from the data are dropped (they match nothing);
+    optional extensions in the same situation are dropped too (they
+    *extend* nothing — every row keeps NULL for their variables). Returns
+    ``None`` when every block drops: the query is provably empty.
+    """
+    blocks: list[BoundBlock] = []
+    for block in tree.blocks:
+        if any(atom.relation not in tables for atom in block.atoms):
+            continue
+        optionals: list[BoundOptional] = []
+        for optional in block.optionals:
+            if any(
+                atom.relation not in tables for atom in optional.atoms
+            ):
+                continue
+            variants = bind_atoms(optional.atoms, dictionary)
+            if not variants:
+                continue
+            optionals.append(
+                BoundOptional(tuple(variants), optional.filters)
+            )
+        for required in bind_atoms(block.atoms, dictionary):
+            blocks.append(
+                BoundBlock(
+                    atoms=required,
+                    optionals=tuple(optionals),
+                    filters=block.filters,
+                )
+            )
+    if not blocks:
+        return None
+    return BoundUnion(
+        blocks=tuple(blocks),
+        projection=tree.projection,
+        name=tree.name,
+        order_by=tree.order_by,
+        limit=tree.limit,
+        offset=tree.offset,
+    )
+
+
+def has_numeric_literals(query: ConjunctiveQuery) -> bool:
+    """True when any atom constant is a :class:`NumericLiteral`."""
+    return any(
+        isinstance(term, Constant)
+        and isinstance(term.value, NumericLiteral)
+        for atom in query.atoms
+        for term in atom.terms
     )

@@ -2,20 +2,23 @@
 
 Every engine is constructed over a
 :class:`~repro.storage.vertical.VerticallyPartitionedStore` and answers
-SPARQL (subset) strings or pre-built conjunctive queries with a
+SPARQL (subset) strings or pre-built queries with a
 :class:`~repro.storage.relation.Relation` of dictionary-encoded rows.
+
+Queries come in two shapes: a plain
+:class:`~repro.core.query.ConjunctiveQuery` (one basic graph pattern) or
+a :class:`~repro.core.query.UnionQuery` tree of conjunctive blocks
+(``UNION`` branches with ``OPTIONAL`` extensions). Engine subclasses
+only ever implement conjunctive execution (:meth:`Engine._execute_bound`
+over filter-free, modifier-free, encoded-constant queries); everything
+above — dictionary binding, numeric-literal fan-out, block assembly with
+NULL padding, FILTER / ORDER BY / OFFSET / LIMIT — happens here,
+uniformly, so all five engines return identical rows on the full SPARQL
+subset by construction of this layer.
 
 Constants are bound through the shared dictionary before planning; a
 constant that never occurs in the data short-circuits to an empty result
 in *every* engine, keeping the comparison fair.
-
-Solution modifiers are applied here, uniformly for all engines: FILTER
-comparisons that survived the translator's selection pushdown run as
-post-join predicates over decoded terms, then projection + dedup, then
-ORDER BY over decoded terms, then OFFSET/LIMIT slicing (see
-:mod:`repro.core.modifiers`). Engine subclasses therefore only ever see
-filter-free, unordered queries, and all of them return identical rows on
-the full SPARQL subset by construction of this layer.
 """
 
 from __future__ import annotations
@@ -24,12 +27,25 @@ from abc import ABC, abstractmethod
 from collections import OrderedDict
 from dataclasses import replace
 
+from repro.core.blocks import execute_union
 from repro.core.modifiers import apply_filters, apply_order, apply_slice
-from repro.core.query import ConjunctiveQuery, Variable, bind_constants
+from repro.core.query import (
+    BoundUnion,
+    ConjunctiveQuery,
+    UnionQuery,
+    Variable,
+    as_union,
+    bind_constants,
+    bind_union,
+    has_numeric_literals,
+)
 from repro.sparql.parser import parse_sparql
 from repro.sparql.translate import sparql_to_query
-from repro.storage.relation import Relation
+from repro.storage.relation import NULL_KEY, Relation
 from repro.storage.vertical import VerticallyPartitionedStore
+
+#: Either prepared query shape the SPARQL front-end produces.
+PreparedSparql = ConjunctiveQuery | UnionQuery
 
 
 class Engine(ABC):
@@ -45,12 +61,12 @@ class Engine(ABC):
     def __init__(self, store: VerticallyPartitionedStore) -> None:
         self.store = store
         self.dictionary = store.dictionary
-        self._sparql_cache: OrderedDict[str, ConjunctiveQuery] = OrderedDict()
+        self._sparql_cache: OrderedDict[str, PreparedSparql] = OrderedDict()
 
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
-    def prepare_sparql(self, text: str, name: str = "query") -> ConjunctiveQuery:
+    def prepare_sparql(self, text: str, name: str = "query") -> PreparedSparql:
         """Parse and translate a SPARQL string (LRU-cached per text)."""
         query = self._sparql_cache.get(text)
         if query is None:
@@ -66,21 +82,57 @@ class Engine(ABC):
         """Parse, translate, and execute a SPARQL (subset) query."""
         query = self.prepare_sparql(text, name=name)
         # SPARQL semantics: a pattern over a predicate with no triples
-        # matches nothing (it is not a schema error).
-        if any(atom.relation not in self.store.tables for atom in query.atoms):
-            return Relation.empty(
-                query.name, [v.name for v in query.projection]
-            )
+        # matches nothing (it is not a schema error). Union trees handle
+        # missing tables block-wise during binding instead.
+        if isinstance(query, ConjunctiveQuery):
+            available = self.store.table_names()
+            if any(atom.relation not in available for atom in query.atoms):
+                return Relation.empty(
+                    query.name, [v.name for v in query.projection]
+                )
         return self.execute(query)
 
-    def execute(self, query: ConjunctiveQuery) -> Relation:
-        """Execute a conjunctive query with lexical or encoded constants."""
-        bound = bind_constants(query, self.dictionary)
-        if bound is None:
+    def execute(self, query: PreparedSparql) -> Relation:
+        """Execute a query with lexical or encoded constants."""
+        if isinstance(query, ConjunctiveQuery) and not has_numeric_literals(
+            query
+        ):
+            bound = bind_constants(query, self.dictionary)
+            if bound is None:
+                return Relation.empty(
+                    query.name, [v.name for v in query.projection]
+                )
+            return self.execute_bound(bound)
+        tree_bound = bind_union(
+            as_union(query), self.dictionary, self.store.table_names()
+        )
+        if tree_bound is None:
             return Relation.empty(
                 query.name, [v.name for v in query.projection]
             )
-        return self.execute_bound(bound)
+        return self.execute_bound_union(tree_bound)
+
+    def bind(self, query: PreparedSparql):
+        """Dictionary-bind a prepared query for repeated execution.
+
+        Returns a :class:`ConjunctiveQuery` (encoded constants), a
+        :class:`BoundUnion`, or ``None`` when the query provably matches
+        nothing on this dataset (missing predicate table or constant).
+        The serving layer caches this result per query text.
+        """
+        if isinstance(query, ConjunctiveQuery) and not has_numeric_literals(
+            query
+        ):
+            available = self.store.table_names()
+            if any(atom.relation not in available for atom in query.atoms):
+                return None
+            return bind_constants(query, self.dictionary)
+        bound = bind_union(
+            as_union(query), self.dictionary, self.store.table_names()
+        )
+        if bound is None:
+            return None
+        return bound.as_conjunctive() or bound
 
     def execute_bound(self, bound: ConjunctiveQuery) -> Relation:
         """Execute a dictionary-bound query, applying solution modifiers.
@@ -101,6 +153,13 @@ class Engine(ABC):
         result = apply_order(result, bound.order_by, self.dictionary)
         result = apply_slice(result, bound.offset, bound.limit)
         return result.rename(name=bound.name)
+
+    def execute_bound_union(self, bound: BoundUnion) -> Relation:
+        """Execute a bound multi-block query (UNION / OPTIONAL tree)."""
+        simple = bound.as_conjunctive()
+        if simple is not None:
+            return self.execute_bound(simple)
+        return execute_union(bound, self._execute_bound, self.dictionary)
 
     @staticmethod
     def split_modifiers(
@@ -133,11 +192,17 @@ class Engine(ABC):
         )
         return inner, True
 
-    def decode(self, relation: Relation) -> list[tuple[str, ...]]:
-        """Decode a result relation back to lexical terms (row tuples)."""
+    def decode(self, relation: Relation) -> list[tuple[str | None, ...]]:
+        """Decode a result relation back to lexical terms (row tuples).
+
+        Variables an ``OPTIONAL`` row never bound decode to ``None``.
+        """
         decode = self.dictionary.decode
         return [
-            tuple(decode(value) for value in row)
+            tuple(
+                None if value == NULL_KEY else decode(value)
+                for value in row
+            )
             for row in relation.iter_rows()
         ]
 

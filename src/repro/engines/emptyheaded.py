@@ -1,28 +1,39 @@
 """The EmptyHeaded-style engine: WCOJ + GHD plans + classic optimizations.
 
 This is the paper's primary system. The engine compiles a conjunctive
-query into a GHD plan (cached, as EmptyHeaded caches compiled queries)
-and executes it with the generic worst-case optimal join per node.
-The :class:`~repro.core.config.OptimizationConfig` switches the paper's
+query into a GHD plan (cached with the same LRU policy as the SPARQL
+text cache, as EmptyHeaded caches compiled queries) and executes it with
+the generic worst-case optimal join per node. Multi-block queries
+(UNION/OPTIONAL) execute block-wise through the same plan cache, so each
+branch's conjunctive plan is compiled once. The
+:class:`~repro.core.config.OptimizationConfig` switches the paper's
 Table I optimizations on and off individually, which is how the ablation
 benchmarks drive this class.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
+from repro.core.blocks import block_queries
 from repro.core.config import OptimizationConfig
 from repro.core.executor import GHDExecutor
 from repro.core.planner import Plan, Planner
-from repro.core.query import ConjunctiveQuery
+from repro.core.query import BoundUnion, ConjunctiveQuery
 from repro.engines.base import Engine
 from repro.storage.relation import Relation
-from repro.storage.vertical import VerticallyPartitionedStore
+from repro.storage.vertical import TRIPLES_RELATION, VerticallyPartitionedStore
 
 
 class EmptyHeadedEngine(Engine):
     """Worst-case optimal engine with GHD plans (the paper's EH)."""
 
     name = "emptyheaded"
+
+    #: Bound on the compiled-plan cache, evicted least-recently-used —
+    #: the same policy (and default size) as the SPARQL text cache, so
+    #: long-tail query traffic cannot grow process memory without limit.
+    plan_cache_size: int = 512
 
     def __init__(
         self,
@@ -34,7 +45,7 @@ class EmptyHeadedEngine(Engine):
         self.catalog = self._build_catalog(store)
         self.planner = Planner(self.catalog, self.config)
         self.executor = GHDExecutor(self.catalog)
-        self._plan_cache: dict[ConjunctiveQuery, Plan] = {}
+        self._plan_cache: OrderedDict[ConjunctiveQuery, Plan] = OrderedDict()
 
     @staticmethod
     def _build_catalog(store: VerticallyPartitionedStore):
@@ -44,28 +55,49 @@ class EmptyHeadedEngine(Engine):
         catalog.register_all(store.relations())
         return catalog
 
+    def _ensure_triples_view(self, query: ConjunctiveQuery) -> None:
+        """Register the ``__triples__`` union view on first use (it is
+        built lazily: only variable-predicate queries pay for it)."""
+        if TRIPLES_RELATION in self.catalog:
+            return
+        if any(atom.relation == TRIPLES_RELATION for atom in query.atoms):
+            self.catalog.register(self.store.triples_relation())
+
     def plan_for(self, query: ConjunctiveQuery) -> Plan:
-        """The (cached) GHD plan for an encoded-constant query."""
+        """The (LRU-cached) GHD plan for an encoded-constant query."""
         plan = self._plan_cache.get(query)
         if plan is None:
+            self._ensure_triples_view(query)
             plan = self.planner.plan(query)
             self._plan_cache[query] = plan
+            if len(self._plan_cache) > self.plan_cache_size:
+                self._plan_cache.popitem(last=False)
+        else:
+            self._plan_cache.move_to_end(query)
         return plan
 
     def explain_sparql(self, text: str) -> str:
         """The plan description for a SPARQL query (see Plan.explain)."""
-        from repro.core.query import bind_constants
-
         query = self.prepare_sparql(text)
-        bound = bind_constants(query, self.dictionary)
+        bound = self.bind(query)
         if bound is None:
             return "empty result: some constant does not occur in the data"
+        if isinstance(bound, BoundUnion):
+            parts = [f"union of {len(bound.blocks)} block(s)"]
+            for block_query in block_queries(bound):
+                parts.append(self.plan_for(block_query).explain())
+            return "\n".join(parts)
         inner, _ = self.split_modifiers(bound)
         return self.plan_for(inner).explain()
 
-    def warm_indexes(self, query: ConjunctiveQuery) -> int:
+    def warm_indexes(self, query: ConjunctiveQuery | BoundUnion) -> int:
         """Plan a bound query and build every trie it will probe,
         without executing it (the QueryService warm-up path)."""
+        if isinstance(query, BoundUnion):
+            return sum(
+                self.executor.warm(self.plan_for(block_query))
+                for block_query in block_queries(query)
+            )
         inner, _ = self.split_modifiers(query)
         plan = self.plan_for(inner)
         return self.executor.warm(plan)

@@ -1,0 +1,89 @@
+"""Shared leaf-construction helpers for the pairwise-join engines.
+
+The column-store, RDF-3X-like, and TripleBit-like engines all resolve
+triple patterns into materialized leaf relations before ordering their
+pairwise joins. Two idioms recur across them and live here once:
+
+* **existence leaves** — a fully bound pattern carries no columns, but a
+  zero-attribute relation cannot carry a row count, so it becomes a
+  one/zero-row dummy relation over ``__exists__``;
+* **repeated-variable dedup** — a pattern like ``?x ?p ?x`` materializes
+  one column per position; rows where repeated positions disagree are
+  filtered and duplicate columns dropped.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.relalg.estimates import EstimatedRelation
+from repro.storage.relation import Relation
+
+EXISTS_ATTRIBUTE = "__exists__"
+
+
+def existence_leaf(
+    name: str, nonempty: bool
+) -> tuple[Relation, EstimatedRelation]:
+    """A dummy leaf for a fully bound pattern (an existence check)."""
+    exists = np.zeros(1 if nonempty else 0, dtype=np.uint32)
+    relation = Relation(name, [EXISTS_ATTRIBUTE], [exists])
+    estimate = EstimatedRelation(
+        (EXISTS_ATTRIBUTE,),
+        float(relation.num_rows),
+        {EXISTS_ATTRIBUTE: 1.0},
+    )
+    return relation, estimate
+
+
+def dedup_repeated_variables(
+    pairs: list[tuple[str, np.ndarray]]
+) -> tuple[list[str], list[np.ndarray]]:
+    """Keep rows where repeated variable positions agree, drop dups.
+
+    ``pairs`` are (variable name, column) in pattern-position order.
+    """
+    names: list[str] = []
+    kept: list[np.ndarray] = []
+    first_for: dict[str, int] = {}
+    mask: np.ndarray | None = None
+    for name, column in pairs:
+        position = first_for.get(name)
+        if position is None:
+            first_for[name] = len(kept)
+            names.append(name)
+            kept.append(column)
+        else:
+            condition = kept[position] == column
+            mask = condition if mask is None else (mask & condition)
+    if mask is not None:
+        kept = [column[mask] for column in kept]
+    return names, kept
+
+
+def materialized_leaf(
+    name: str, pairs: list[tuple[str, np.ndarray]]
+) -> tuple[Relation, EstimatedRelation]:
+    """A leaf relation from materialized columns, with exact distinct
+    counts (the columns are already in memory, so exact stats are
+    cheap relative to the joins they will order)."""
+    names, columns = dedup_repeated_variables(pairs)
+    relation = Relation(name, names, columns)
+    distincts = {
+        attr: float(int(np.unique(column).size) if column.size else 0)
+        for attr, column in zip(names, columns)
+    }
+    estimate = EstimatedRelation(
+        attributes=tuple(names),
+        rows=float(relation.num_rows),
+        distincts=distincts,
+    )
+    return relation, estimate
+
+
+__all__ = [
+    "EXISTS_ATTRIBUTE",
+    "dedup_repeated_variables",
+    "existence_leaf",
+    "materialized_leaf",
+]

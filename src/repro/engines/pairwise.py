@@ -29,13 +29,14 @@ from repro.core.query import (
     normalize,
 )
 from repro.engines.base import Engine
+from repro.engines.leaves import existence_leaf
 from repro.errors import ExecutionError
 from repro.relalg.estimates import EstimatedRelation
 from repro.relalg.kernels import cross_product, natural_join
 from repro.relalg.selinger import selinger_join_order
 from repro.storage.catalog import Catalog
 from repro.storage.relation import Relation
-from repro.storage.vertical import VerticallyPartitionedStore
+from repro.storage.vertical import TRIPLES_RELATION, VerticallyPartitionedStore
 
 
 class ColumnStoreEngine(Engine):
@@ -78,6 +79,13 @@ class ColumnStoreEngine(Engine):
             condition = base.columns[i] == np.uint32(value)
             mask = condition if mask is None else (mask & condition)
         filtered = base.filter(mask) if mask is not None else base
+        if not keep:
+            # Fully bound pattern: an existence check. A one/zero-row
+            # dummy relation keeps the pairwise pipeline uniform (a
+            # zero-attribute relation cannot carry a row count).
+            return existence_leaf(
+                f"{atom.relation}_exists", filtered.num_rows > 0
+            )
         # Drop the now-constant selection columns.
         attrs = [filtered.attributes[i] for i in keep]
         scanned = filtered.project(attrs)
@@ -98,6 +106,13 @@ class ColumnStoreEngine(Engine):
 
     # ------------------------------------------------------------------
     def _execute_bound(self, query: ConjunctiveQuery) -> Relation:
+        # Variable-predicate patterns scan the (lazily built) union of
+        # all predicate tables — in a column store that is just one more
+        # vertically partitioned table to scan.
+        if TRIPLES_RELATION not in self.catalog and any(
+            atom.relation == TRIPLES_RELATION for atom in query.atoms
+        ):
+            self.catalog.register(self.store.triples_relation())
         normalized = normalize(query)
         leaves: list[Relation] = []
         estimates: list[EstimatedRelation] = []

@@ -16,13 +16,18 @@ import numpy as np
 from repro.core.modifiers import finalize_result
 from repro.core.query import Atom, ConjunctiveQuery, NormalizedQuery, normalize
 from repro.engines.base import Engine
+from repro.engines.leaves import existence_leaf, materialized_leaf
 from repro.engines.triple_index import ALL_PERMUTATIONS, TripleTable
 from repro.errors import ExecutionError, UnknownRelationError
 from repro.relalg.estimates import EstimatedRelation
 from repro.relalg.kernels import cross_product, natural_join
 from repro.relalg.selinger import selinger_join_order
 from repro.storage.relation import Relation
-from repro.storage.vertical import VerticallyPartitionedStore, local_name
+from repro.storage.vertical import (
+    TRIPLES_RELATION,
+    VerticallyPartitionedStore,
+    local_name,
+)
 
 
 class RDF3XLikeEngine(Engine):
@@ -43,10 +48,58 @@ class RDF3XLikeEngine(Engine):
     # ------------------------------------------------------------------
     # Leaf access paths
     # ------------------------------------------------------------------
+    def _triples_leaf(
+        self, query: NormalizedQuery, atom: Atom
+    ) -> tuple[Relation, EstimatedRelation]:
+        """Resolve a variable-predicate pattern: a ``__triples__`` atom
+        over (subject, predicate, object), any subset bound.
+
+        This is where RDF-3X's design shines — the six permutation
+        indexes cover every bound/free combination including a free
+        predicate, so no per-predicate union is materialized.
+        """
+        if len(atom.terms) != 3:
+            raise ExecutionError(
+                f"{TRIPLES_RELATION} patterns have exactly three terms"
+            )
+        letter_vars = list(zip("spo", atom.terms))
+        bound_for: dict[str, int] = {}
+        for letter, var in letter_vars:
+            value = query.selections.get(var)
+            if value is not None:
+                bound_for[letter] = value
+        permutation = self.triples.best_permutation(
+            "s" in bound_for, "p" in bound_for, "o" in bound_for
+        )
+        index = self.triples.index(permutation)
+        prefix: list[int] = []
+        for letter in permutation:
+            if letter not in bound_for:
+                break
+            prefix.append(bound_for[letter])
+        lo, hi = index.range_for_prefix(*prefix)
+
+        free = [
+            (letter, var)
+            for letter, var in letter_vars
+            if var not in query.selections
+        ]
+        if not free:
+            return existence_leaf(f"{TRIPLES_RELATION}_exists", hi > lo)
+        columns = index.slice_columns(
+            lo, hi, "".join(letter for letter, _ in free)
+        )
+        return materialized_leaf(
+            f"{TRIPLES_RELATION}_scan",
+            [(var.name, column) for (_, var), column in zip(free, columns)],
+        )
+
     def _pattern_leaf(
         self, query: NormalizedQuery, atom: Atom
     ) -> tuple[Relation, EstimatedRelation]:
         """Resolve one triple pattern via the best permutation index."""
+        if atom.relation == TRIPLES_RELATION:
+            return self._triples_leaf(query, atom)
         predicate_key = self._predicate_key.get(atom.relation)
         if predicate_key is None:
             raise UnknownRelationError(
@@ -85,12 +138,7 @@ class RDF3XLikeEngine(Engine):
         if not names:
             # Fully bound pattern: an existence check. A one/zero-row
             # dummy relation keeps the pairwise pipeline uniform.
-            exists = np.zeros(1 if hi > lo else 0, dtype=np.uint32)
-            relation = Relation(f"{atom.relation}_exists", ["__exists__"], [exists])
-            estimate = EstimatedRelation(
-                ("__exists__",), float(relation.num_rows), {"__exists__": 1.0}
-            )
-            return relation, estimate
+            return existence_leaf(f"{atom.relation}_exists", hi > lo)
         columns = index.slice_columns(lo, hi, free_letters)
 
         # Repeated variable (?x p ?x): filter for equality, single column.

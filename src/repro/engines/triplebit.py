@@ -19,12 +19,13 @@ import numpy as np
 from repro.core.modifiers import finalize_result
 from repro.core.query import Atom, ConjunctiveQuery, NormalizedQuery, normalize
 from repro.engines.base import Engine
+from repro.engines.leaves import existence_leaf, materialized_leaf
 from repro.errors import ExecutionError, UnknownRelationError
 from repro.relalg.estimates import EstimatedRelation
 from repro.relalg.greedy import greedy_join_order
 from repro.relalg.kernels import cross_product, natural_join
 from repro.storage.relation import Relation
-from repro.storage.vertical import VerticallyPartitionedStore
+from repro.storage.vertical import TRIPLES_RELATION, VerticallyPartitionedStore
 
 
 class _PredicateMatrix:
@@ -87,11 +88,78 @@ class TripleBitLikeEngine(Engine):
             name: _PredicateMatrix(relation)
             for name, relation in store.tables.items()
         }
+        # Predicate dictionary keys, for variable-predicate patterns: a
+        # free predicate scans every matrix, a bound one picks its matrix
+        # directly (TripleBit's predicate-first organization).
+        self._predicate_key = {
+            name: store.predicate_key(name) for name in store.tables
+        }
+        self._matrix_name_for_key = {
+            key: name for name, key in self._predicate_key.items()
+        }
 
     # ------------------------------------------------------------------
+    def _triples_leaf(
+        self, query: NormalizedQuery, atom: Atom
+    ) -> tuple[Relation, EstimatedRelation]:
+        """Resolve a ``__triples__`` atom: a bound predicate picks its
+        matrix, a free predicate unions the scans of every matrix with
+        the predicate's dictionary key bound into the rows."""
+        if len(atom.terms) != 3:
+            raise ExecutionError(
+                f"{TRIPLES_RELATION} patterns have exactly three terms"
+            )
+        s_var, p_var, o_var = atom.terms
+        bound_s = query.selections.get(s_var)
+        bound_p = query.selections.get(p_var)
+        bound_o = query.selections.get(o_var)
+
+        if bound_s is None and bound_p is None and bound_o is None:
+            # Everything free: reuse the store's cached union view
+            # instead of re-concatenating every matrix per execution.
+            view = self.store.triples_relation()
+            triple_columns = view.columns
+        else:
+            if bound_p is not None:
+                name = self._matrix_name_for_key.get(bound_p)
+                scanned = (
+                    [] if name is None else [(bound_p, self.matrices[name])]
+                )
+            else:
+                scanned = [
+                    (self._predicate_key[name], self.matrices[name])
+                    for name in sorted(self.matrices)
+                ]
+            parts: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+            for key, matrix in scanned:
+                subjects, objects = matrix.scan(bound_s, bound_o)
+                predicates = np.full(
+                    subjects.shape[0], key, dtype=np.uint32
+                )
+                parts.append((subjects, predicates, objects))
+            empty = np.empty(0, dtype=np.uint32)
+            triple_columns = (
+                np.concatenate([p[0] for p in parts]) if parts else empty,
+                np.concatenate([p[1] for p in parts]) if parts else empty,
+                np.concatenate([p[2] for p in parts]) if parts else empty,
+            )
+
+        free = [
+            (var.name, column)
+            for column, var in zip(triple_columns, (s_var, p_var, o_var))
+            if var not in query.selections
+        ]
+        if not free:
+            return existence_leaf(
+                f"{TRIPLES_RELATION}_exists", triple_columns[0].size > 0
+            )
+        return materialized_leaf(f"{TRIPLES_RELATION}_matrix", free)
+
     def _pattern_leaf(
         self, query: NormalizedQuery, atom: Atom
     ) -> tuple[Relation, EstimatedRelation]:
+        if atom.relation == TRIPLES_RELATION:
+            return self._triples_leaf(query, atom)
         matrix = self.matrices.get(atom.relation)
         if matrix is None:
             raise UnknownRelationError(atom.relation, sorted(self.matrices))
@@ -114,14 +182,9 @@ class TripleBitLikeEngine(Engine):
             columns.append(objects)
         if not names:
             # Fully bound pattern: existence check via a dummy relation.
-            exists = np.zeros(1 if subjects.size > 0 else 0, dtype=np.uint32)
-            relation = Relation(
-                f"{atom.relation}_exists", ["__exists__"], [exists]
+            return existence_leaf(
+                f"{atom.relation}_exists", subjects.size > 0
             )
-            estimate = EstimatedRelation(
-                ("__exists__",), float(relation.num_rows), {"__exists__": 1.0}
-            )
-            return relation, estimate
         if (
             bound_subject is None
             and bound_object is None

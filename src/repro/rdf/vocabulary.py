@@ -8,8 +8,11 @@ from __future__ import annotations
 
 RDF_PREFIX = "http://www.w3.org/1999/02/22-rdf-syntax-ns#"
 UB_PREFIX = "http://www.lehigh.edu/~zhp2/2004/0401/univ-bench.owl#"
+XSD_PREFIX = "http://www.w3.org/2001/XMLSchema#"
 
 RDF_TYPE = f"<{RDF_PREFIX}type>"
+XSD_INTEGER = f"{XSD_PREFIX}integer"
+XSD_DECIMAL = f"{XSD_PREFIX}decimal"
 
 
 class UB:

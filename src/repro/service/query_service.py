@@ -38,7 +38,7 @@ from collections import OrderedDict
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 
-from repro.core.query import ConjunctiveQuery, bind_constants
+from repro.core.query import BoundUnion, ConjunctiveQuery, UnionQuery
 from repro.engines.base import Engine
 from repro.errors import ConfigError
 from repro.storage.relation import Relation
@@ -63,13 +63,16 @@ class ServiceStats:
 class PreparedQuery:
     """A cache entry: the translated query and its dictionary binding.
 
-    ``bound`` is ``None`` when the query is provably empty on this
-    dataset (a constant or predicate that never occurs), in which case
-    ``empty_schema`` carries the projection attribute names.
+    ``query`` is either form the front-end produces (a plain conjunctive
+    query or a UNION/OPTIONAL tree); ``bound`` is its encoded form (a
+    :class:`ConjunctiveQuery` or :class:`BoundUnion`), or ``None`` when
+    the query is provably empty on this dataset (a constant or predicate
+    that never occurs), in which case ``empty_schema`` carries the
+    projection attribute names.
     """
 
-    query: ConjunctiveQuery
-    bound: ConjunctiveQuery | None
+    query: ConjunctiveQuery | UnionQuery
+    bound: ConjunctiveQuery | BoundUnion | None
     empty_schema: tuple[str, ...] = field(default=())
 
 
@@ -97,15 +100,10 @@ class QueryService:
         self.stats.misses += 1
         query = self.engine.prepare_sparql(text, name=name)
         schema = tuple(v.name for v in query.projection)
-        if any(
-            atom.relation not in self.engine.store.tables
-            for atom in query.atoms
-        ):
-            # A pattern over a predicate with no triples matches nothing.
-            entry = PreparedQuery(query, None, schema)
-        else:
-            bound = bind_constants(query, self.engine.dictionary)
-            entry = PreparedQuery(query, bound, schema)
+        # Engine.bind handles both query shapes: missing predicate
+        # tables and never-seen constants short-circuit to None (a
+        # pattern over a predicate with no triples matches nothing).
+        entry = PreparedQuery(query, self.engine.bind(query), schema)
         self._cache[text] = entry
         if len(self._cache) > self.cache_size:
             self._cache.popitem(last=False)
@@ -121,12 +119,15 @@ class QueryService:
         self.stats.executions += 1
         if entry.bound is None:
             return Relation.empty(entry.query.name, list(entry.empty_schema))
+        if isinstance(entry.bound, BoundUnion):
+            return self.engine.execute_bound_union(entry.bound)
         return self.engine.execute_bound(entry.bound)
 
     def execute_decoded(
         self, text: str, name: str = "query"
-    ) -> list[tuple[str, ...]]:
-        """:meth:`execute`, decoded back to lexical terms."""
+    ) -> list[tuple[str | None, ...]]:
+        """:meth:`execute`, decoded back to lexical terms (``None`` for
+        variables an OPTIONAL row never bound)."""
         return self.engine.decode(self.execute(text, name=name))
 
     def execute_many(

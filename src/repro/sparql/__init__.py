@@ -10,24 +10,62 @@ Supported grammar
   ``a`` keyword for ``rdf:type``.
 * Terms: variables, IRIs, prefixed names, string literals (optionally
   language-tagged ``"chat"@fr`` or datatyped ``"5"^^xsd:int``), and bare
-  numeric literals (``42``, ``-3.5``).
+  numeric literals (``42``, ``-3.5``). A bare number in pattern
+  position matches every stored lexical form the subset knows: ``42``
+  matches both ``"42"`` and ``"42"^^xsd:integer`` (``xsd:decimal`` for
+  decimals).
+* **Variable predicates**: ``?s ?p ?o`` scans the union of all
+  predicate tables with the predicate's dictionary value bound to
+  ``?p`` (the classic vertical-partitioning escape hatch). Example::
+
+      SELECT ?p ?o WHERE { <http://www.University0.edu> ?p ?o }
+
+* **UNION** of graph patterns, merged under sort-dedup semantics;
+  variables a branch never binds come back unbound (``None`` after
+  decoding). Branches may nest further groups and UNIONs. Example::
+
+      SELECT ?x WHERE {
+        { ?x a ub:FullProfessor } UNION { ?x a ub:AssociateProfessor }
+      }
+
+* **OPTIONAL** graph patterns: left-outer extensions of the required
+  pattern; rows without a match keep the optional variables unbound.
+  An OPTIONAL group may contain triple patterns and FILTERs (evaluated
+  on the extended rows — failing them pads instead of dropping), but no
+  nested OPTIONAL/UNION, and a variable shared between two OPTIONALs
+  must be bound by the required pattern. Example::
+
+      SELECT ?x ?email WHERE {
+        ?x a ub:FullProfessor .
+        OPTIONAL { ?x ub:emailAddress ?email }
+      }
+
 * ``FILTER (lhs op rhs)`` with ``= != < <= > >=`` over variables and
   constants; equality against IRIs/strings is pushed into index-probe
   selections when possible, the rest run as post-join predicates over
-  decoded terms (:mod:`repro.core.modifiers`).
+  decoded terms (:mod:`repro.core.modifiers`). Comparing an unbound
+  (OPTIONAL-padded) variable is a SPARQL type error: the row is
+  excluded under every operator.
 * Solution modifiers: ``ORDER BY`` (``ASC``/``DESC``) over projected
-  variables, ``LIMIT``, and ``OFFSET``.
+  variables (unbound sorts first, ``DESC`` reverses), ``LIMIT``, and
+  ``OFFSET`` — applied after the UNION merge.
 
-Known gaps (tracked in ROADMAP.md): ``OPTIONAL``, ``UNION``, variable
-predicates (a union over all predicate tables under vertical
-partitioning), ``GROUP BY``/aggregates, property paths, and boolean
-``FILTER`` connectives (``&&``/``||``).
+Known gaps (tracked in ROADMAP.md): ``GROUP BY``/aggregates, property
+paths, and boolean ``FILTER`` connectives (``&&``/``||``) with
+functions (``regex``, ``bound``).
 
 Queries translate onto the vertically partitioned relational schema:
 each predicate is a binary ``(subject, object)`` relation, so a triple
 pattern becomes one atom — e.g. ``?X ub:memberOf ?Z`` becomes
 ``memberOf(X, Z)`` and constants become equality selections, matching
 how the paper writes LUBM queries as join queries (Section II-B).
+Multi-block queries (UNION/OPTIONAL) become trees of conjunctive blocks
+(:class:`~repro.core.query.UnionQuery`) that every engine executes
+block-wise through its own conjunctive machinery — cross-engine
+agreement on the new constructs holds by construction and is enforced
+by a randomized differential harness
+(``tests/integration/test_differential_random.py``) plus golden smoke
+counts (``python -m repro.bench.cli smoke``).
 """
 
 from repro.sparql.ast import SelectQuery, TriplePattern

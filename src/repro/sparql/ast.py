@@ -6,8 +6,17 @@ Terms
 lexical form of a concrete IRI or literal (including language-tagged and
 datatyped literals, verbatim); :class:`SparqlNumber` is a bare numeric
 literal (``42``, ``-3.5``) whose value participates in numeric ``FILTER``
-comparisons and whose canonical quoted form (``"42"``) is matched against
-the dictionary when used inside a triple pattern.
+comparisons and which, inside a triple pattern, matches every stored
+lexical form of the value (``"42"`` and ``"42"^^xsd:integer`` — see
+:class:`repro.core.query.NumericLiteral`).
+
+Graph patterns
+--------------
+A WHERE block is a :class:`GroupGraphPattern`: its own triple patterns
+and filters, plus ``OPTIONAL`` sub-groups (``optionals``) and embedded
+``{ A } UNION { B }`` chains (``unions``). :class:`SelectQuery` exposes
+the *top-level* group's patterns/filters directly (``query.patterns``)
+alongside its optionals and unions.
 
 Solution modifiers
 ------------------
@@ -53,11 +62,6 @@ class SparqlNumber:
     def value(self) -> float:
         return float(self.lexical)
 
-    @property
-    def quoted(self) -> str:
-        """The canonical quoted form matched against stored terms."""
-        return f'"{self.lexical}"'
-
 
 SparqlTermLike = SparqlVariable | SparqlTerm | SparqlNumber
 
@@ -89,8 +93,30 @@ class OrderCondition:
 
 
 @dataclass(frozen=True)
+class GroupGraphPattern:
+    """One ``{ ... }`` group: triples, filters, OPTIONALs, UNION chains."""
+
+    patterns: tuple[TriplePattern, ...] = ()
+    filters: tuple[FilterComparison, ...] = ()
+    optionals: tuple["GroupGraphPattern", ...] = ()
+    unions: tuple["UnionGraphPattern", ...] = ()
+
+
+@dataclass(frozen=True)
+class UnionGraphPattern:
+    """A ``{ A } UNION { B } UNION ...`` chain (two or more branches)."""
+
+    branches: tuple[GroupGraphPattern, ...]
+
+
+@dataclass(frozen=True)
 class SelectQuery:
-    """A parsed SELECT query with its solution modifiers."""
+    """A parsed SELECT query with its solution modifiers.
+
+    ``patterns`` / ``filters`` / ``optionals`` / ``unions`` are the
+    top-level WHERE group's elements (flattened for convenience — most
+    queries are a single basic graph pattern).
+    """
 
     variables: tuple[str, ...]
     patterns: tuple[TriplePattern, ...]
@@ -98,6 +124,18 @@ class SelectQuery:
     distinct: bool = False
     select_all: bool = False
     filters: tuple[FilterComparison, ...] = ()
+    optionals: tuple[GroupGraphPattern, ...] = ()
+    unions: tuple[UnionGraphPattern, ...] = ()
     order_by: tuple[OrderCondition, ...] = ()
     limit: int | None = None
     offset: int = 0
+
+    @property
+    def where(self) -> GroupGraphPattern:
+        """The top-level WHERE group as a :class:`GroupGraphPattern`."""
+        return GroupGraphPattern(
+            patterns=self.patterns,
+            filters=self.filters,
+            optionals=self.optionals,
+            unions=self.unions,
+        )

@@ -6,11 +6,13 @@ Grammar::
     Prefix       := 'PREFIX' PNAME_NS IRIREF
     Select       := 'SELECT' 'DISTINCT'? ( Var+ | '*' ) 'WHERE'? Group
                     Modifiers
-    Group        := '{' ( Triples | Filter )* '}'
+    Group        := '{' ( Triples | Filter | Optional | GroupOrUnion )* '}'
+    Optional     := 'OPTIONAL' Group
+    GroupOrUnion := Group ( 'UNION' Group )*
     Triples      := Term PropertyList '.'?
     PropertyList := Verb ObjectList ( ';' Verb ObjectList )*
     ObjectList   := Term ( ',' Term )*
-    Verb         := 'a' | Term                  -- 'a' is rdf:type
+    Verb         := 'a' | Var | Term            -- 'a' is rdf:type
     Filter       := 'FILTER' '(' Operand CmpOp Operand ')'
     CmpOp        := '=' | '!=' | '<' | '<=' | '>' | '>='
     Modifiers    := ( 'ORDER' 'BY' OrderKey+ )?
@@ -18,6 +20,9 @@ Grammar::
     OrderKey     := Var | 'ASC' '(' Var ')' | 'DESC' '(' Var ')'
     Term         := Var | IRIREF | PrefixedName | Literal | Number
 
+A braced sub-group without ``UNION`` merges into its parent (join
+semantics); ``UNION`` chains keep their branches. Predicates may be
+variables (translated to a scan over the union of all predicate tables).
 Literals may carry a language tag (``"chat"@fr``) or a datatype
 (``"5"^^xsd:int``); numbers are bare integers or decimals. Errors raise
 :class:`~repro.errors.ParseError` with a character offset.
@@ -33,12 +38,14 @@ from repro.rdf.vocabulary import RDF_TYPE
 from repro.sparql.ast import (
     COMPARISON_OPS,
     FilterComparison,
+    GroupGraphPattern,
     OrderCondition,
     SelectQuery,
     SparqlNumber,
     SparqlTerm,
     SparqlVariable,
     TriplePattern,
+    UnionGraphPattern,
 )
 
 _TOKEN_RE = re.compile(
@@ -186,25 +193,8 @@ class _Parser:
             and token.text.upper() == "WHERE"
         ):
             self.next()
-        self.next("{")
-
-        patterns: list[TriplePattern] = []
-        filters: list[FilterComparison] = []
-        while True:
-            token = self.peek()
-            if token is None:
-                raise ParseError("unterminated WHERE block")
-            if token.text == "}":
-                self.next()
-                break
-            if self._at_keyword("FILTER"):
-                filters.append(self._parse_filter(prefixes))
-            else:
-                patterns.extend(self._parse_triples(prefixes))
-            token = self.peek()
-            if token is not None and token.text == ".":
-                self.next()
-        if not patterns:
+        group = self._parse_group(prefixes)
+        if not group.patterns and not group.unions:
             raise ParseError("WHERE block has no triple patterns")
 
         order_by = self._parse_order_by()
@@ -218,11 +208,13 @@ class _Parser:
 
         return SelectQuery(
             variables=tuple(variables),
-            patterns=tuple(patterns),
+            patterns=group.patterns,
             prefixes=prefixes,
             distinct=distinct,
             select_all=select_all,
-            filters=tuple(filters),
+            filters=group.filters,
+            optionals=group.optionals,
+            unions=group.unions,
             order_by=order_by,
             limit=limit,
             offset=offset,
@@ -231,6 +223,51 @@ class _Parser:
     # ------------------------------------------------------------------
     # WHERE-block productions
     # ------------------------------------------------------------------
+    def _parse_group(self, prefixes: dict[str, str]) -> GroupGraphPattern:
+        """One ``{ ... }`` group, including OPTIONAL and UNION elements."""
+        self.next("{")
+        patterns: list[TriplePattern] = []
+        filters: list[FilterComparison] = []
+        optionals: list[GroupGraphPattern] = []
+        unions: list[UnionGraphPattern] = []
+        while True:
+            token = self.peek()
+            if token is None:
+                raise ParseError("unterminated group (missing '}')")
+            if token.text == "}":
+                self.next()
+                break
+            if self._at_keyword("FILTER"):
+                filters.append(self._parse_filter(prefixes))
+            elif self._at_keyword("OPTIONAL"):
+                self.next()
+                optionals.append(self._parse_group(prefixes))
+            elif token.text == "{":
+                branches = [self._parse_group(prefixes)]
+                while self._at_keyword("UNION"):
+                    self.next()
+                    branches.append(self._parse_group(prefixes))
+                if len(branches) == 1:
+                    # A lone braced sub-group joins with its parent.
+                    sub = branches[0]
+                    patterns.extend(sub.patterns)
+                    filters.extend(sub.filters)
+                    optionals.extend(sub.optionals)
+                    unions.extend(sub.unions)
+                else:
+                    unions.append(UnionGraphPattern(tuple(branches)))
+            else:
+                patterns.extend(self._parse_triples(prefixes))
+            token = self.peek()
+            if token is not None and token.text == ".":
+                self.next()
+        return GroupGraphPattern(
+            patterns=tuple(patterns),
+            filters=tuple(filters),
+            optionals=tuple(optionals),
+            unions=tuple(unions),
+        )
+
     def _parse_triples(
         self, prefixes: dict[str, str]
     ) -> list[TriplePattern]:

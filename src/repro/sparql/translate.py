@@ -1,54 +1,81 @@
-"""Translate a parsed basic graph pattern onto the vertically
-partitioned schema.
+"""Translate parsed graph patterns onto the vertically partitioned schema.
 
 Each triple pattern ``s p o`` with a concrete predicate ``p`` becomes an
-atom ``local_name(p)(s, o)`` over the predicate's two-column table.
-Variables map to query variables; concrete subjects/objects become
-constants (equality selections after normalization). Bare numeric
-literals in pattern position are matched through their canonical quoted
-form (``42`` matches the stored term ``"42"``). Variable predicates are
-rejected — the paper's workload never uses them, and vertical
-partitioning would require a union over all predicate tables.
+atom ``local_name(p)(s, o)`` over the predicate's two-column table. A
+pattern with a *variable* predicate becomes a ternary atom over the
+reserved ``__triples__`` relation — the union of all predicate tables
+with the predicate's dictionary key bound into each row (the classic
+escape hatch of vertical partitioning). Variables map to query
+variables; concrete subjects/objects become constants (equality
+selections after normalization). Bare numeric literals in pattern
+position are matched through every stored lexical form the subset knows
+(``42`` matches ``"42"`` and ``"42"^^xsd:integer``), fanning out over
+union blocks at dictionary-binding time.
+
+``UNION`` chains distribute into a :class:`~repro.core.query.UnionQuery`
+of conjunctive blocks (the cartesian product of branch choices across
+chains, merged with the enclosing group); ``OPTIONAL`` groups become
+:class:`~repro.core.query.OptionalBlock` left-outer extensions of their
+block. Two restrictions keep the subset's semantics crisp and are
+rejected at translation:
+
+* an ``OPTIONAL`` group may contain only triple patterns and ``FILTER``
+  s (no nested ``OPTIONAL``/``UNION``), and
+* a variable shared between two ``OPTIONAL`` groups must also occur in
+  the block's required pattern (so left-outer join keys are never
+  unbound).
 
 ``FILTER`` comparisons translate to :class:`~repro.core.query.Comparison`
 predicates; an equality filter against an IRI or string literal whose
 variable is neither projected, ordered, nor referenced by another filter
-is *pushed down* into the atoms as a constant, so it executes as an
-index-probe selection instead of a post-join scan. Numeric comparisons
-(including ``=``) always stay post-join because they compare by value,
-not lexical identity (``42`` must match ``"42.0"``-style variants by
-value semantics, never by dictionary key).
+or an OPTIONAL is *pushed down* into the block's required atoms as a
+constant, so it executes as an index-probe selection instead of a
+post-join scan. Numeric comparisons (including ``=``) always stay
+post-join because they compare by value, not lexical identity (``42``
+must match ``"42.0"``-style variants by value semantics).
 
-``ORDER BY`` / ``LIMIT`` / ``OFFSET`` carry through onto the
-:class:`~repro.core.query.ConjunctiveQuery` unchanged. ``DISTINCT`` is
-accepted and ignored: every engine already returns set semantics.
+``ORDER BY`` / ``LIMIT`` / ``OFFSET`` carry through onto the query
+unchanged. ``DISTINCT`` is accepted and ignored: every engine already
+returns set semantics, and ``UNION`` merges branches under sort-dedup.
+Single-block queries without OPTIONALs translate to a plain
+:class:`~repro.core.query.ConjunctiveQuery` (the engines' fast path).
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass, field
 
 from repro.core.query import (
     Atom,
     Comparison,
     ConjunctiveQuery,
     Constant,
+    NumericLiteral,
+    OptionalBlock,
     OrderKey,
+    QueryBlock,
+    UnionQuery,
     Variable,
+    atom_variables,
 )
 from repro.errors import ParseError
 from repro.sparql.ast import (
+    FilterComparison,
+    GroupGraphPattern,
     SelectQuery,
     SparqlNumber,
     SparqlTerm,
     SparqlVariable,
+    TriplePattern,
 )
-from repro.storage.vertical import local_name
+from repro.storage.vertical import TRIPLES_RELATION, local_name
 
 
 def _pattern_term(part) -> Variable | Constant:
     if isinstance(part, SparqlVariable):
         return Variable(part.name)
     if isinstance(part, SparqlNumber):
-        return Constant(part.quoted)
+        return Constant(NumericLiteral(part.lexical))
     assert isinstance(part, SparqlTerm)
     return Constant(part.lexical)
 
@@ -60,6 +87,159 @@ def _filter_operand(part) -> Variable | Constant:
         return Constant(part.value)
     assert isinstance(part, SparqlTerm)
     return Constant(part.lexical)
+
+
+def _translate_patterns(
+    patterns: tuple[TriplePattern, ...]
+) -> tuple[Atom, ...]:
+    """Triple patterns -> atoms over the vertically partitioned schema."""
+    atoms: list[Atom] = []
+    for pattern in patterns:
+        subject = _pattern_term(pattern.subject)
+        obj = _pattern_term(pattern.object)
+        if isinstance(pattern.predicate, SparqlVariable):
+            atoms.append(
+                Atom(
+                    TRIPLES_RELATION,
+                    (subject, Variable(pattern.predicate.name), obj),
+                )
+            )
+            continue
+        if isinstance(pattern.predicate, SparqlNumber):
+            raise ParseError(
+                f"a number ({pattern.predicate.lexical}) cannot be a "
+                "predicate"
+            )
+        relation = local_name(pattern.predicate.lexical)
+        atoms.append(Atom(relation, (subject, obj)))
+    return tuple(atoms)
+
+
+def _translate_filters(
+    filters: tuple[FilterComparison, ...]
+) -> tuple[Comparison, ...]:
+    return tuple(
+        Comparison(_filter_operand(f.lhs), f.op, _filter_operand(f.rhs))
+        for f in filters
+    )
+
+
+# ---------------------------------------------------------------------------
+# Group flattening: distribute UNION chains into conjunctive blocks
+# ---------------------------------------------------------------------------
+@dataclass
+class _FlatBlock:
+    """One UNION branch before translation to the query model."""
+
+    patterns: list[TriplePattern] = field(default_factory=list)
+    filters: list[FilterComparison] = field(default_factory=list)
+    optionals: list[GroupGraphPattern] = field(default_factory=list)
+
+    def merged(self, other: "_FlatBlock") -> "_FlatBlock":
+        return _FlatBlock(
+            self.patterns + other.patterns,
+            self.filters + other.filters,
+            self.optionals + other.optionals,
+        )
+
+
+def _check_optional_group(group: GroupGraphPattern) -> None:
+    if group.optionals or group.unions:
+        raise ParseError(
+            "OPTIONAL groups may contain only triple patterns and FILTERs "
+            "(no nested OPTIONAL or UNION)"
+        )
+    if not group.patterns:
+        raise ParseError("OPTIONAL group has no triple patterns")
+
+
+def _expand_group(group: GroupGraphPattern) -> list[_FlatBlock]:
+    """All conjunctive branches of a group (cartesian over UNION chains)."""
+    for optional in group.optionals:
+        _check_optional_group(optional)
+    blocks = [
+        _FlatBlock(
+            list(group.patterns),
+            list(group.filters),
+            list(group.optionals),
+        )
+    ]
+    for union in group.unions:
+        branch_blocks = [
+            flat
+            for branch in union.branches
+            for flat in _expand_group(branch)
+        ]
+        blocks = [
+            block.merged(branch) for block in blocks for branch in branch_blocks
+        ]
+    return blocks
+
+
+# ---------------------------------------------------------------------------
+# Block translation and validation
+# ---------------------------------------------------------------------------
+def _translate_block(flat: _FlatBlock) -> QueryBlock:
+    if not flat.patterns:
+        raise ParseError("a union branch has no triple patterns")
+    atoms = _translate_patterns(tuple(flat.patterns))
+    required_vars = atom_variables(atoms)
+    if not required_vars:
+        raise ParseError(
+            "a graph pattern must contain at least one variable"
+        )
+    optionals: list[OptionalBlock] = []
+    for group in flat.optionals:
+        opt_atoms = _translate_patterns(group.patterns)
+        opt_vars = atom_variables(opt_atoms)
+        if not opt_vars:
+            raise ParseError(
+                "an OPTIONAL pattern must contain at least one variable"
+            )
+        opt_filters = _translate_filters(group.filters)
+        scope = required_vars | opt_vars
+        for comparison in opt_filters:
+            for var in comparison.variables():
+                if var not in scope:
+                    raise ParseError(
+                        f"filter variable ?{var.name} does not appear in "
+                        "the OPTIONAL group or its required pattern"
+                    )
+        optionals.append(OptionalBlock(opt_atoms, opt_filters))
+    # Left-outer join keys must be bound by the required pattern: a
+    # variable two OPTIONALs share without the required pattern binding
+    # it would need SPARQL's full compatibility-join semantics.
+    for i, left in enumerate(optionals):
+        left_vars = left.variables()
+        for right in optionals[i + 1 :]:
+            for var in (left_vars & right.variables()) - required_vars:
+                raise ParseError(
+                    f"variable ?{var.name} is shared between OPTIONAL "
+                    "patterns but not bound by the required pattern "
+                    "(unsupported)"
+                )
+    return QueryBlock(
+        atoms=atoms,
+        optionals=tuple(optionals),
+        filters=_translate_filters(tuple(flat.filters)),
+    )
+
+
+def _appearance_variables(blocks: list[QueryBlock]) -> list[Variable]:
+    """Every variable, in first-appearance order (SELECT * projection)."""
+    seen: set[Variable] = set()
+    ordered: list[Variable] = []
+    for block in blocks:
+        atom_groups = [block.atoms] + [
+            optional.atoms for optional in block.optionals
+        ]
+        for atoms in atom_groups:
+            for atom in atoms:
+                for var in atom.variables:
+                    if var not in seen:
+                        seen.add(var)
+                        ordered.append(var)
+    return ordered
 
 
 def _pushdown_candidate(
@@ -78,75 +258,22 @@ def _pushdown_candidate(
     return lhs, rhs
 
 
-def sparql_to_query(
-    parsed: SelectQuery, name: str = "query"
-) -> ConjunctiveQuery:
-    """Build the conjunctive query for a parsed SELECT."""
-    atoms: list[Atom] = []
-    seen_vars: list[Variable] = []
-    seen_names: set[str] = set()
-    for pattern in parsed.patterns:
-        if isinstance(pattern.predicate, SparqlVariable):
-            raise ParseError(
-                "variable predicates are not supported over a vertically "
-                f"partitioned store (pattern with ?{pattern.predicate.name})"
-            )
-        if isinstance(pattern.predicate, SparqlNumber):
-            raise ParseError(
-                f"a number ({pattern.predicate.lexical}) cannot be a "
-                "predicate"
-            )
-        relation = local_name(pattern.predicate.lexical)
-        terms = []
-        for part in (pattern.subject, pattern.object):
-            term = _pattern_term(part)
-            terms.append(term)
-            if isinstance(term, Variable) and term.name not in seen_names:
-                seen_names.add(term.name)
-                seen_vars.append(term)
-        atoms.append(Atom(relation, tuple(terms)))
-
-    if parsed.select_all:
-        projection = tuple(seen_vars)
-    else:
-        projection = tuple(Variable(v) for v in parsed.variables)
-        for var in projection:
-            if var.name not in seen_names:
-                raise ParseError(
-                    f"selected variable ?{var.name} does not appear in the "
-                    "WHERE block"
-                )
-
-    filters = [
-        Comparison(
-            _filter_operand(f.lhs), f.op, _filter_operand(f.rhs)
-        )
-        for f in parsed.filters
-    ]
-    for comparison in filters:
-        for var in comparison.variables():
-            if var.name not in seen_names:
-                raise ParseError(
-                    f"filter variable ?{var.name} does not appear in the "
-                    "WHERE block"
-                )
-
-    order_by = tuple(
-        OrderKey(Variable(key.variable), key.descending)
-        for key in parsed.order_by
-    )
-    projected = set(projection)
-    for key in order_by:
-        if key.variable not in projected:
-            raise ParseError(
-                f"ORDER BY variable ?{key.variable.name} must be in the "
-                "SELECT list"
-            )
-
-    # Selection pushdown: rewrite `?x = <const>` equality filters into
-    # atom constants when nothing else observes ?x.
-    ordered_names = {key.variable for key in order_by}
-    kept_filters: list[Comparison] = []
+def _pushdown_block(
+    block: QueryBlock,
+    projected: set[Variable],
+    ordered_vars: set[Variable],
+) -> QueryBlock:
+    """Rewrite ``?x = <const>`` equality filters into atom constants when
+    nothing else in the block observes ``?x``."""
+    required_vars = atom_variables(block.atoms)
+    optional_vars: set[Variable] = set()
+    for optional in block.optionals:
+        optional_vars |= optional.variables()
+        for comparison in optional.filters:
+            optional_vars.update(comparison.variables())
+    atoms = list(block.atoms)
+    kept: list[Comparison] = []
+    filters = list(block.filters)
     for index, comparison in enumerate(filters):
         candidate = _pushdown_candidate(comparison)
         if candidate is not None:
@@ -154,7 +281,9 @@ def sparql_to_query(
             others = filters[:index] + filters[index + 1 :]
             observed = (
                 var in projected
-                or var in ordered_names
+                or var in ordered_vars
+                or var in optional_vars
+                or var not in required_vars
                 or any(var in f.variables() for f in others)
             )
             if not observed:
@@ -169,13 +298,90 @@ def sparql_to_query(
                     for atom in atoms
                 ]
                 continue
-        kept_filters.append(comparison)
-
-    return ConjunctiveQuery(
+        kept.append(comparison)
+    if len(kept) == len(filters):
+        return block
+    return QueryBlock(
         atoms=tuple(atoms),
+        optionals=block.optionals,
+        filters=tuple(kept),
+    )
+
+
+def sparql_to_query(
+    parsed: SelectQuery, name: str = "query"
+) -> ConjunctiveQuery | UnionQuery:
+    """Build the query-model form of a parsed SELECT.
+
+    Returns a plain :class:`ConjunctiveQuery` for single-block queries
+    without OPTIONALs (the engines' fast path) and a
+    :class:`UnionQuery` tree otherwise.
+    """
+    blocks = [_translate_block(flat) for flat in _expand_group(parsed.where)]
+    known_vars = set().union(*(block.variables() for block in blocks))
+
+    appearance = _appearance_variables(blocks)
+    if parsed.select_all:
+        projection = tuple(appearance)
+    else:
+        projection = tuple(Variable(v) for v in parsed.variables)
+        for var in projection:
+            if var not in known_vars:
+                raise ParseError(
+                    f"selected variable ?{var.name} does not appear in the "
+                    "WHERE block"
+                )
+
+    for block in blocks:
+        block_vars = block.variables()
+        for comparison in block.filters:
+            for var in comparison.variables():
+                if var not in known_vars:
+                    raise ParseError(
+                        f"filter variable ?{var.name} does not appear in "
+                        "the WHERE block"
+                    )
+                # Referencing another branch's variable is legal (the
+                # filter is then a type error that empties this branch),
+                # but only when a UNION makes that possible.
+                if len(blocks) == 1 and var not in block_vars:
+                    raise ParseError(
+                        f"filter variable ?{var.name} does not appear in "
+                        "the WHERE block"
+                    )
+
+    order_by = tuple(
+        OrderKey(Variable(key.variable), key.descending)
+        for key in parsed.order_by
+    )
+    projected = set(projection)
+    for key in order_by:
+        if key.variable not in projected:
+            raise ParseError(
+                f"ORDER BY variable ?{key.variable.name} must be in the "
+                "SELECT list"
+            )
+
+    ordered_vars = {key.variable for key in order_by}
+    blocks = [
+        _pushdown_block(block, projected, ordered_vars) for block in blocks
+    ]
+
+    if len(blocks) == 1 and not blocks[0].optionals:
+        block = blocks[0]
+        return ConjunctiveQuery(
+            atoms=block.atoms,
+            projection=projection,
+            name=name,
+            filters=block.filters,
+            order_by=order_by,
+            limit=parsed.limit,
+            offset=parsed.offset,
+        )
+    return UnionQuery(
+        blocks=tuple(blocks),
         projection=projection,
         name=name,
-        filters=tuple(kept_filters),
         order_by=order_by,
         limit=parsed.limit,
         offset=parsed.offset,

@@ -15,6 +15,12 @@ from repro.errors import StorageError
 
 VALUE_DTYPE = np.uint32
 
+#: Sentinel key for an *unbound* variable (SPARQL OPTIONAL semantics).
+#: The dictionary hands out keys densely from zero, so the maximum
+#: ``uint32`` value can never collide with a real term key in practice
+#: (a dataset would need 2^32 - 1 distinct terms first).
+NULL_KEY = int(np.iinfo(VALUE_DTYPE).max)
+
 
 class Relation:
     """An immutable named relation with ``uint32`` columns."""

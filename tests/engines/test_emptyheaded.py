@@ -43,6 +43,41 @@ def test_plan_cache(store):
     assert len(engine._plan_cache) == 1
 
 
+def test_plan_cache_evicts_least_recently_used(store, monkeypatch):
+    """The plan cache is LRU-bounded like the SPARQL text cache."""
+    engine = EmptyHeadedEngine(store)
+    monkeypatch.setattr(engine, "plan_cache_size", 2)
+    queries = [
+        f"SELECT ?x WHERE {{ ?x <p:knows> ?y }} LIMIT {n}"
+        for n in (1, 2, 3)
+    ]
+    engine.execute_sparql(queries[0])
+    engine.execute_sparql(queries[1])
+    assert len(engine._plan_cache) == 2
+    first = next(iter(engine._plan_cache))
+    # Touch the first plan so the *second* becomes least recently used.
+    engine.execute_sparql(queries[0])
+    engine.execute_sparql(queries[2])
+    assert len(engine._plan_cache) == 2
+    assert first in engine._plan_cache
+
+
+def test_plan_cache_eviction_keeps_results_correct(store, monkeypatch):
+    engine = EmptyHeadedEngine(store)
+    monkeypatch.setattr(engine, "plan_cache_size", 1)
+    reference = EmptyHeadedEngine(store)
+    queries = [
+        TRIANGLE,
+        "SELECT ?x WHERE { ?x <p:type> <T> }",
+        TRIANGLE,
+    ]
+    for text in queries:
+        assert engine.execute_sparql(text).to_set() == (
+            reference.execute_sparql(text).to_set()
+        )
+        assert len(engine._plan_cache) == 1
+
+
 def test_explain_sparql(store):
     engine = EmptyHeadedEngine(store)
     text = engine.explain_sparql(TRIANGLE)

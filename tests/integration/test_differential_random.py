@@ -1,0 +1,414 @@
+"""Randomized differential harness: random graphs, random queries,
+five engines plus an independent reference evaluator must all agree.
+
+Each seed deterministically generates a small RDF graph and a batch of
+queries mixing UNION, OPTIONAL, variable predicates, FILTER, ORDER BY,
+and LIMIT/OFFSET. The generator emits each query twice: as SPARQL text
+(fed to the engines' full parse->translate->bind->execute pipeline) and
+as a structured spec (fed to a naive bindings-based evaluator written
+directly against the subset's documented semantics — matching by
+lexical identity, numeric literals by candidate forms, unbound
+comparisons as type errors, left-outer OPTIONAL with in-group filters,
+sort-dedup UNION). Every query must return identical rows on all five
+engines (including row order — engine output is canonically sorted) and
+match the reference evaluator's row set. Any disagreement fails with
+the offending seed + query text, so failures reproduce exactly.
+"""
+
+import random
+
+import pytest
+
+from repro.engines import ALL_ENGINES
+from repro.rdf.vocabulary import XSD_INTEGER
+from repro.storage.vertical import vertically_partition
+
+EX = "http://ex/"
+
+
+# ---------------------------------------------------------------------------
+# Random graph generation
+# ---------------------------------------------------------------------------
+def _make_graph(rng: random.Random) -> list[tuple[str, str, str]]:
+    subjects = [f"<{EX}s{i}>" for i in range(rng.randint(4, 7))]
+    predicates = [f"<{EX}p{i}>" for i in range(rng.randint(3, 5))]
+    literals = ['"alpha"', '"beta"', '"gamma"', '"x y"@en']
+    numbers = [
+        '"3"', f'"3"^^<{XSD_INTEGER}>', '"7"', f'"5"^^<{XSD_INTEGER}>',
+        '"4.5"',
+    ]
+    objects = subjects + literals + numbers
+    triples = set()
+    for _ in range(rng.randint(18, 45)):
+        triples.add(
+            (
+                rng.choice(subjects),
+                rng.choice(predicates),
+                rng.choice(objects),
+            )
+        )
+    return sorted(triples)
+
+
+# ---------------------------------------------------------------------------
+# Random query generation (text + structured spec)
+#
+# A spec is:
+#   {"branches": [branch...], "filters": [(lhs, op, rhs)...],
+#    "projection": [var...], "order": (var, desc) | None,
+#    "limit": int | None, "offset": int}
+# and a branch is:
+#   {"patterns": [(s, p, o)...],
+#    "optionals": [{"pattern": (s, p, o), "filters": [...]}, ...]}
+# where every token is SPARQL surface syntax (?var, <iri>, "lit", 42).
+# ---------------------------------------------------------------------------
+class _QueryGen:
+    def __init__(self, rng: random.Random, graph) -> None:
+        self.rng = rng
+        self.subjects = sorted({s for s, _, _ in graph})
+        self.predicates = sorted({p for _, p, _ in graph})
+        self.literals = sorted(
+            {o for _, _, o in graph if not o.startswith("<")}
+        )
+
+    def _branch(self, node_vars: list[str]) -> dict:
+        """One conjunctive branch: patterns chained over node variables."""
+        rng = self.rng
+        patterns = []
+        introduced = [node_vars[0]]
+        for i in range(rng.randint(1, 3)):
+            subject = (
+                introduced[0]
+                if i == 0
+                else rng.choice(introduced + self.subjects[:1])
+            )
+            if rng.random() < 0.25:
+                predicate = rng.choice(["?q0", "?q1"])
+            else:
+                predicate = rng.choice(self.predicates)
+            roll = rng.random()
+            if roll < 0.45 and len(introduced) < len(node_vars):
+                obj = node_vars[len(introduced)]
+                introduced.append(obj)
+            elif roll < 0.6:
+                obj = rng.choice(self.subjects)
+            elif roll < 0.8 and self.literals:
+                obj = rng.choice(self.literals)
+            else:
+                obj = rng.choice(["3", "7", "5"])
+            patterns.append((subject, predicate, obj))
+        optionals = []
+        if rng.random() < 0.5:
+            opt_var = f"?o{rng.randint(0, 1)}"
+            predicate = (
+                "?q2" if rng.random() < 0.2 else rng.choice(self.predicates)
+            )
+            filters = []
+            if rng.random() < 0.3:
+                filters.append((opt_var, ">", str(rng.randint(1, 4))))
+            optionals.append(
+                {
+                    "pattern": (introduced[0], predicate, opt_var),
+                    "filters": filters,
+                }
+            )
+        return {"patterns": patterns, "optionals": optionals}
+
+    @staticmethod
+    def _branch_vars(branch: dict) -> set[str]:
+        out = set()
+        for pattern in branch["patterns"]:
+            out.update(t for t in pattern if t.startswith("?"))
+        for optional in branch["optionals"]:
+            out.update(
+                t for t in optional["pattern"] if t.startswith("?")
+            )
+        return out
+
+    def spec(self) -> dict:
+        rng = self.rng
+        node_vars = ["?v0", "?v1", "?v2"]
+        branches = [self._branch(node_vars)]
+        if rng.random() < 0.5:
+            other = (
+                node_vars if rng.random() < 0.6 else ["?w0", "?w1", "?w2"]
+            )
+            branches.append(self._branch(other))
+
+        variables = sorted(
+            set().union(*(self._branch_vars(b) for b in branches))
+        )
+        filters = []
+        if rng.random() < 0.4:
+            var = rng.choice(variables)
+            kind = rng.random()
+            if kind < 0.4:
+                filters.append((var, ">", str(rng.randint(1, 6))))
+            elif kind < 0.7:
+                filters.append((var, "!=", rng.choice(self.subjects)))
+            elif self.literals:
+                literal = rng.choice(self.literals)
+                filters.append((var, "=", literal))
+
+        count = rng.randint(1, min(3, len(variables)))
+        projection = sorted(rng.sample(variables, count))
+        order = None
+        limit = None
+        offset = 0
+        if rng.random() < 0.4:
+            order = (rng.choice(projection), rng.random() < 0.3)
+            if rng.random() < 0.6:
+                limit = rng.randint(1, 5)
+                if rng.random() < 0.4:
+                    offset = rng.randint(0, 3)
+        return {
+            "branches": branches,
+            "filters": filters,
+            "projection": projection,
+            "order": order,
+            "limit": limit,
+            "offset": offset,
+        }
+
+    @staticmethod
+    def text(spec: dict) -> str:
+        def branch_text(branch: dict) -> str:
+            parts = [" . ".join(" ".join(p) for p in branch["patterns"])]
+            for optional in branch["optionals"]:
+                inner = " ".join(optional["pattern"])
+                for lhs, op, rhs in optional["filters"]:
+                    inner += f" . FILTER({lhs} {op} {rhs})"
+                parts.append(f"OPTIONAL {{ {inner} }}")
+            return " ".join(parts)
+
+        if len(spec["branches"]) == 2:
+            first, second = spec["branches"]
+            body = (
+                f"{{ {branch_text(first)} }} UNION "
+                f"{{ {branch_text(second)} }}"
+            )
+        else:
+            body = branch_text(spec["branches"][0])
+        for lhs, op, rhs in spec["filters"]:
+            body += f" FILTER({lhs} {op} {rhs})"
+        text = (
+            f"SELECT {' '.join(spec['projection'])} WHERE {{ {body} }}"
+        )
+        if spec["order"] is not None:
+            key, descending = spec["order"]
+            text += (
+                f" ORDER BY DESC({key})" if descending
+                else f" ORDER BY {key}"
+            )
+        if spec["limit"] is not None:
+            text += f" LIMIT {spec['limit']}"
+        if spec["offset"]:
+            text += f" OFFSET {spec['offset']}"
+        return text
+
+
+# ---------------------------------------------------------------------------
+# Independent reference evaluator (naive, bindings-based)
+# ---------------------------------------------------------------------------
+def _numeric_content(lexical: str):
+    if lexical.startswith('"'):
+        content = lexical[1 : lexical.rfind('"')]
+        try:
+            return float(content)
+        except ValueError:
+            return None
+    return None
+
+
+def _term_forms(token: str) -> list[str]:
+    """Stored lexical forms a concrete query term matches."""
+    if token.startswith("<") or token.startswith('"'):
+        return [token]
+    datatype = "decimal" if "." in token else "integer"
+    return [
+        f'"{token}"',
+        f'"{token}"^^<http://www.w3.org/2001/XMLSchema#{datatype}>',
+    ]
+
+
+def _match(pattern, triple, binding):
+    out = dict(binding)
+    for token, value in zip(pattern, triple):
+        if token.startswith("?"):
+            if out.get(token, value) != value:
+                return None
+            out[token] = value
+        elif value not in _term_forms(token):
+            return None
+    return out
+
+
+def _filter_true(binding, lhs, op, rhs) -> bool:
+    """One comparison under the subset's semantics; unbound => False."""
+    value = binding.get(lhs)
+    if value is None:
+        return False
+    if rhs.startswith("?"):
+        other = binding.get(rhs)
+        if other is None:
+            return False
+        lnum, rnum = _numeric_content(value), _numeric_content(other)
+        if op == "=":
+            if lnum is not None and rnum is not None:
+                return lnum == rnum
+            return value == other
+        # op == "!=": a numeric literal against a non-numeric *literal*
+        # is a type error (excluded); against an IRI, definitively
+        # unequal (kept).
+        one_numeric = (lnum is None) != (rnum is None)
+        if one_numeric:
+            non_numeric = value if lnum is None else other
+            return non_numeric.startswith("<")
+        if lnum is not None:
+            return lnum != rnum
+        return value != other
+    if rhs.startswith("<") or rhs.startswith('"'):
+        return (value == rhs) if op == "=" else (value != rhs)
+    number = float(rhs)
+    num = _numeric_content(value)
+    if op == ">":
+        return num is not None and num > number
+    if op == "=":
+        return num is not None and num == number
+    if num is not None:
+        return num != number
+    return value.startswith("<")  # IRI != number: kept; literal: error
+
+
+def _eval_branch(graph, branch: dict):
+    solutions = [dict()]
+    for pattern in branch["patterns"]:
+        solutions = [
+            extended
+            for binding in solutions
+            for triple in graph
+            if (extended := _match(pattern, triple, binding)) is not None
+        ]
+    for optional in branch["optionals"]:
+        extended_solutions = []
+        for binding in solutions:
+            matches = []
+            for triple in graph:
+                extended = _match(optional["pattern"], triple, binding)
+                if extended is not None and all(
+                    _filter_true(extended, *f)
+                    for f in optional["filters"]
+                ):
+                    matches.append(extended)
+            extended_solutions.extend(matches if matches else [binding])
+        solutions = extended_solutions
+    return solutions
+
+
+def _reference_rows(graph, spec: dict) -> set[tuple]:
+    rows = set()
+    for branch in spec["branches"]:
+        for binding in _eval_branch(graph, branch):
+            if all(_filter_true(binding, *f) for f in spec["filters"]):
+                rows.add(
+                    tuple(binding.get(v) for v in spec["projection"])
+                )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# The harness
+# ---------------------------------------------------------------------------
+QUERIES_PER_SEED = 8
+
+
+@pytest.mark.parametrize("seed", range(16))
+def test_engines_agree_on_random_queries(seed):
+    rng = random.Random(seed)
+    graph = _make_graph(rng)
+    store = vertically_partition(graph)
+    engines = {cls.name: cls(store) for cls in ALL_ENGINES}
+    gen = _QueryGen(rng, graph)
+    for _ in range(QUERIES_PER_SEED):
+        spec = gen.spec()
+        text = gen.text(spec)
+        context = f"seed={seed} query={text!r}"
+
+        decoded = {}
+        for name, engine in engines.items():
+            result = engine.execute_sparql(text)
+            decoded[name] = engine.decode(result)
+        reference = decoded["emptyheaded"]
+        for name, rows in decoded.items():
+            assert rows == reference, (
+                f"{context}: engine {name} returned {rows!r}, "
+                f"emptyheaded returned {reference!r}"
+            )
+
+        expected = _reference_rows(graph, spec)
+        if spec["limit"] is not None or spec["offset"]:
+            remaining = max(0, len(expected) - spec["offset"])
+            expected_count = (
+                remaining
+                if spec["limit"] is None
+                else min(spec["limit"], remaining)
+            )
+            assert len(reference) == expected_count, (
+                f"{context}: got {len(reference)} rows, expected "
+                f"{expected_count} of {len(expected)} total"
+            )
+            assert set(reference) <= expected, context
+        else:
+            assert set(reference) == expected, (
+                f"{context}: engines returned {set(reference)!r}, "
+                f"reference evaluator {expected!r}"
+            )
+
+
+def test_harness_is_deterministic():
+    """Same seed => same graph and same query batch (reproducibility)."""
+    rng1, rng2 = random.Random(3), random.Random(3)
+    graph1, graph2 = _make_graph(rng1), _make_graph(rng2)
+    assert graph1 == graph2
+    gen1, gen2 = _QueryGen(rng1, graph1), _QueryGen(rng2, graph2)
+    assert [gen1.text(gen1.spec()) for _ in range(5)] == [
+        gen2.text(gen2.spec()) for _ in range(5)
+    ]
+
+
+def test_generator_covers_all_constructs():
+    """The random mix actually exercises every construct under test."""
+    seen = {
+        "union": False,
+        "optional": False,
+        "varpred": False,
+        "filter": False,
+        "order": False,
+        "number": False,
+        "optional_filter": False,
+    }
+    for seed in range(16):
+        rng = random.Random(seed)
+        graph = _make_graph(rng)
+        gen = _QueryGen(rng, graph)
+        for _ in range(QUERIES_PER_SEED):
+            spec = gen.spec()
+            text = gen.text(spec)
+            seen["union"] |= len(spec["branches"]) == 2
+            seen["optional"] |= any(
+                b["optionals"] for b in spec["branches"]
+            )
+            seen["varpred"] |= "?q" in text
+            seen["filter"] |= bool(spec["filters"])
+            seen["order"] |= spec["order"] is not None
+            seen["number"] |= any(
+                p[2] in ("3", "7", "5")
+                for b in spec["branches"]
+                for p in b["patterns"]
+            )
+            seen["optional_filter"] |= any(
+                o["filters"]
+                for b in spec["branches"]
+                for o in b["optionals"]
+            )
+    assert all(seen.values()), seen

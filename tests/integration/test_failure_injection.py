@@ -24,8 +24,12 @@ X, Y = Variable("x"), Variable("y")
         "SELECT ?x WHERE { ?x <p> ?y",                # unterminated block
         "SELECT ?x WHERE { ?x nope:p ?y }",           # unknown prefix
         "SELECT ?z WHERE { ?x <p:q> ?y }",            # unbound projection
-        "SELECT ?x WHERE { ?x ?p ?y }",               # variable predicate
+        "SELECT ?x WHERE { ?x 5 ?y }",                # numeric predicate
         "FOO ?x WHERE { ?x <p:q> ?y }",               # bad keyword
+        "SELECT ?x WHERE { { ?x <p:q> ?y } UNION }",  # dangling UNION
+        "SELECT ?x WHERE { OPTIONAL { ?x <p:q> ?y } }",  # OPTIONAL only
+        # nested OPTIONAL inside OPTIONAL is outside the subset
+        "SELECT ?x WHERE { ?x <p:q> ?y OPTIONAL { OPTIONAL { ?x <p:r> ?z } } }",
     ],
 )
 def test_bad_sparql_raises_parse_error(emptyheaded, bad_query):

@@ -1,0 +1,217 @@
+"""Differential tests for UNION / OPTIONAL / variable predicates.
+
+Five radically different physical designs (WCOJ+GHD, plain WCOJ, column
+store, six-permutation indexes, per-predicate matrices) answer the same
+multi-block queries; identical decoded results across all of them is the
+acceptance gate for the expanded grammar. Expected rows are written out
+explicitly, so these also pin the *semantics* (NULL padding, filter
+scope, sort-dedup union), not just cross-engine agreement.
+"""
+
+import pytest
+
+from repro.engines import ALL_ENGINES
+from repro.rdf.vocabulary import RDF_TYPE, XSD_INTEGER
+from repro.service import QueryService
+from repro.storage.vertical import vertically_partition
+
+EX = "http://ex/"
+PERSON = f"<{EX}Person>"
+ROBOT = f"<{EX}Robot>"
+
+
+def _iri(name):
+    return f"<{EX}{name}>"
+
+
+TRIPLES = [
+    (_iri("alice"), RDF_TYPE, PERSON),
+    (_iri("bob"), RDF_TYPE, PERSON),
+    (_iri("carol"), RDF_TYPE, ROBOT),
+    # ages: one plain literal, one typed, one junk
+    (_iri("alice"), _iri("age"), '"34"'),
+    (_iri("bob"), _iri("age"), f'"25"^^<{XSD_INTEGER}>'),
+    (_iri("carol"), _iri("age"), '"n/a"'),
+    # names: only alice and carol have one
+    (_iri("alice"), _iri("name"), '"Alice"'),
+    (_iri("carol"), _iri("name"), '"Carol"'),
+    # knows graph
+    (_iri("alice"), _iri("knows"), _iri("bob")),
+    (_iri("bob"), _iri("knows"), _iri("carol")),
+]
+
+A, B, C = _iri("alice"), _iri("bob"), _iri("carol")
+
+
+@pytest.fixture(scope="module")
+def engines():
+    store = vertically_partition(TRIPLES)
+    return {cls.name: cls(store) for cls in ALL_ENGINES}
+
+
+QUERIES = {
+    "union-of-types": (
+        f"SELECT ?x WHERE {{ {{ ?x a {PERSON} }} UNION {{ ?x a {ROBOT} }} }}",
+        {(A,), (B,), (C,)},
+    ),
+    "union-dedups-overlap": (
+        f"SELECT ?x WHERE {{ {{ ?x a {PERSON} }} UNION "
+        f"{{ ?x <{EX}age> ?a }} }}",
+        {(A,), (B,), (C,)},
+    ),
+    "union-unbound-branch-var": (
+        f"SELECT ?x ?n WHERE {{ {{ ?x a {ROBOT} }} UNION "
+        f"{{ ?x <{EX}name> ?n }} }}",
+        {(C, None), (A, '"Alice"'), (C, '"Carol"')},
+    ),
+    "optional-name": (
+        f"SELECT ?x ?n WHERE {{ ?x a {PERSON} . "
+        f"OPTIONAL {{ ?x <{EX}name> ?n }} }}",
+        {(A, '"Alice"'), (B, None)},
+    ),
+    "optional-chained": (
+        f"SELECT ?x ?n ?a WHERE {{ ?x <{EX}knows> ?y . "
+        f"OPTIONAL {{ ?x <{EX}name> ?n }} "
+        f"OPTIONAL {{ ?x <{EX}age> ?a }} }}",
+        {(A, '"Alice"', '"34"'), (B, None, '"25"^^<' + XSD_INTEGER + ">")},
+    ),
+    "optional-filter-inside": (
+        # The filter lives inside OPTIONAL: failing it pads, never drops.
+        f"SELECT ?x ?a WHERE {{ ?x a {PERSON} . "
+        f"OPTIONAL {{ ?x <{EX}age> ?a . FILTER(?a > 30) }} }}",
+        {(A, '"34"'), (B, None)},
+    ),
+    "filter-after-optional-drops-null": (
+        # The filter lives outside: comparing unbound is a type error.
+        f"SELECT ?x WHERE {{ ?x a {PERSON} . "
+        f"OPTIONAL {{ ?x <{EX}name> ?n }} FILTER(?n = \"Alice\") }}",
+        {(A,)},
+    ),
+    "optional-over-missing-predicate": (
+        f"SELECT ?x ?z WHERE {{ ?x a {ROBOT} . "
+        f"OPTIONAL {{ ?x <{EX}neverUsed> ?z }} }}",
+        {(C, None)},
+    ),
+    "variable-predicate-all": (
+        f"SELECT ?p WHERE {{ {A} ?p ?o }}",
+        {(RDF_TYPE,), (f"<{EX}age>",), (f"<{EX}name>",), (f"<{EX}knows>",)},
+    ),
+    "variable-predicate-join": (
+        f"SELECT ?x ?p ?z WHERE {{ ?x ?p ?y . ?y ?p ?z }}",
+        {(A, f"<{EX}knows>", C)},
+    ),
+    "variable-predicate-object-bound": (
+        f"SELECT ?x ?p WHERE {{ ?x ?p {C} }}",
+        {(B, f"<{EX}knows>")},
+    ),
+    "variable-predicate-filter-pushdown": (
+        f"SELECT ?x ?o WHERE {{ ?x ?p ?o . FILTER(?p = <{EX}name>) }}",
+        {(A, '"Alice"'), (C, '"Carol"')},
+    ),
+    "typed-numeric-matches-typed-form": (
+        f"SELECT ?x WHERE {{ ?x <{EX}age> 25 }}",
+        {(B,)},
+    ),
+    "typed-numeric-matches-plain-form": (
+        f"SELECT ?x WHERE {{ ?x <{EX}age> 34 }}",
+        {(A,)},
+    ),
+    "union-with-variable-predicate-branch": (
+        f"SELECT ?x WHERE {{ {{ ?x ?p {C} }} UNION {{ ?x a {ROBOT} }} }}",
+        {(B,), (C,)},
+    ),
+}
+
+
+@pytest.mark.parametrize("label", sorted(QUERIES))
+def test_all_engines_agree_and_match_expected(label, engines):
+    text, expected = QUERIES[label]
+    for name, engine in engines.items():
+        rows = set(engine.decode(engine.execute_sparql(text)))
+        assert rows == expected, (
+            f"{label}: engine {name} returned {rows!r}, "
+            f"expected {expected!r}"
+        )
+
+
+ORDERED = {
+    "union-order-null-first": (
+        f"SELECT ?x ?n WHERE {{ {{ ?x a {PERSON} }} UNION {{ ?x a {ROBOT} }} "
+        f"OPTIONAL {{ ?x <{EX}name> ?n }} }} ORDER BY ?n ?x",
+        [(B, None), (A, '"Alice"'), (C, '"Carol"')],
+    ),
+    "union-limit-offset": (
+        f"SELECT ?x WHERE {{ {{ ?x a {PERSON} }} UNION {{ ?x a {ROBOT} }} }} "
+        "ORDER BY ?x LIMIT 2 OFFSET 1",
+        [(B,), (C,)],
+    ),
+}
+
+
+@pytest.mark.parametrize("label", sorted(ORDERED))
+def test_ordered_multiblock_results(label, engines):
+    text, expected = ORDERED[label]
+    for name, engine in engines.items():
+        rows = engine.decode(engine.execute_sparql(text))
+        assert rows == expected, f"{label}: engine {name} returned {rows!r}"
+
+
+def test_union_branch_dropped_at_bind_with_cross_branch_filter(engines):
+    """A filter over a variable whose only branch drops at bind time
+    (missing predicate table) empties the surviving branch (unbound
+    comparison = type error) — it must not crash the conjunctive fast
+    path."""
+    text = (
+        f"SELECT ?x WHERE {{ {{ ?x a {PERSON} }} UNION "
+        f'{{ ?x <{EX}noSuchPredicate> ?y }} FILTER(?y != "z") }}'
+    )
+    for name, engine in engines.items():
+        assert engine.decode(engine.execute_sparql(text)) == [], name
+
+
+def test_plain_limit_on_union_is_canonical(engines):
+    text = (
+        f"SELECT ?x WHERE {{ {{ ?x a {PERSON} }} UNION {{ ?x a {ROBOT} }} }} "
+        "LIMIT 2"
+    )
+    reference = None
+    for engine in engines.values():
+        rows = engine.decode(engine.execute_sparql(text))
+        assert len(rows) == 2
+        if reference is None:
+            reference = rows
+        assert rows == reference
+
+
+def test_query_service_caches_multiblock_queries(engines):
+    engine = engines["emptyheaded"]
+    service = QueryService(engine)
+    text = QUERIES["union-of-types"][0]
+    expected = QUERIES["union-of-types"][1]
+    assert set(service.execute_decoded(text)) == expected
+    assert set(service.execute_decoded(text)) == expected
+    assert service.stats.hits == 1
+    assert service.warm([QUERIES["optional-name"][0]]) > 0
+
+
+def test_lubm_union_optional_varpred_agree(all_engines, queries):
+    """LUBM-style acceptance: UNION + OPTIONAL + variable predicate in
+    one query parses, plans, and agrees on all five engines."""
+    prefix = (
+        "PREFIX ub: "
+        "<http://www.lehigh.edu/~zhp2/2004/0401/univ-bench.owl#>\n"
+    )
+    text = prefix + (
+        "SELECT ?x ?e ?p WHERE {"
+        " { ?x a ub:FullProfessor } UNION { ?x a ub:AssociateProfessor }"
+        " OPTIONAL { ?x ub:emailAddress ?e }"
+        " ?x ?p <http://www.Department0.University0.edu> ."
+        "} ORDER BY ?x ?p LIMIT 25"
+    )
+    reference = None
+    for name, engine in all_engines.items():
+        rows = engine.decode(engine.execute_sparql(text))
+        if reference is None:
+            reference = rows
+            assert rows, "expected non-empty LUBM result"
+        assert rows == reference, name

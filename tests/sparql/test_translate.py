@@ -2,10 +2,11 @@
 
 import pytest
 
-from repro.core.query import Constant, Variable
+from repro.core.query import Constant, NumericLiteral, Variable
 from repro.errors import ParseError
 from repro.sparql.parser import parse_sparql
 from repro.sparql.translate import sparql_to_query
+from repro.storage.vertical import TRIPLES_RELATION
 
 
 def _translate(text):
@@ -49,9 +50,12 @@ def test_select_star_projects_in_appearance_order():
     assert q.projection == (Variable("b"), Variable("a"), Variable("c"))
 
 
-def test_variable_predicate_rejected():
-    with pytest.raises(ParseError):
-        _translate("SELECT ?x WHERE { ?x ?p ?y }")
+def test_variable_predicate_scans_triples_view():
+    q = _translate("SELECT ?x WHERE { ?x ?p ?y }")
+    assert len(q.atoms) == 1
+    atom = q.atoms[0]
+    assert atom.relation == TRIPLES_RELATION
+    assert atom.terms == (Variable("x"), Variable("p"), Variable("y"))
 
 
 def test_unknown_projection_variable_rejected():
@@ -83,10 +87,15 @@ def test_paper_query_2_shape():
 # ---------------------------------------------------------------------------
 # Expanded constructs: numbers, filters + pushdown, modifiers
 # ---------------------------------------------------------------------------
-def test_numeric_pattern_literal_uses_quoted_form():
-    """`?x <p> 42` matches the stored plain-literal term `"42"`."""
+def test_numeric_pattern_literal_matches_all_stored_forms():
+    """`?x <p> 42` matches `"42"` and `"42"^^xsd:integer` at bind time."""
     q = _translate("SELECT ?x WHERE { ?x <http://ns#age> 42 }")
-    assert q.atoms[0].terms[1] == Constant('"42"')
+    term = q.atoms[0].terms[1]
+    assert term == Constant(NumericLiteral("42"))
+    assert term.value.candidate_forms() == (
+        '"42"',
+        '"42"^^<http://www.w3.org/2001/XMLSchema#integer>',
+    )
 
 
 def test_shorthand_lists_share_subject():

@@ -1,0 +1,313 @@
+"""Parsing and translation of UNION, OPTIONAL, and variable predicates."""
+
+import pytest
+
+from repro.core.query import (
+    Atom,
+    ConjunctiveQuery,
+    Constant,
+    UnionQuery,
+    Variable,
+)
+from repro.errors import ParseError
+from repro.sparql.ast import GroupGraphPattern, UnionGraphPattern
+from repro.sparql.parser import parse_sparql
+from repro.sparql.translate import sparql_to_query
+from repro.storage.vertical import TRIPLES_RELATION
+
+
+def _translate(text):
+    return sparql_to_query(parse_sparql(text))
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+def test_parse_union_two_branches():
+    q = parse_sparql(
+        "SELECT ?x WHERE { { ?x <p:a> ?y } UNION { ?x <p:b> ?y } }"
+    )
+    assert q.patterns == ()
+    assert len(q.unions) == 1
+    assert isinstance(q.unions[0], UnionGraphPattern)
+    assert len(q.unions[0].branches) == 2
+
+
+def test_parse_union_three_branches():
+    q = parse_sparql(
+        "SELECT ?x WHERE { { ?x <p:a> ?y } UNION { ?x <p:b> ?y } "
+        "UNION { ?x <p:c> ?y } }"
+    )
+    assert len(q.unions[0].branches) == 3
+
+
+def test_parse_optional():
+    q = parse_sparql(
+        "SELECT ?x ?n WHERE { ?x <p:a> ?y . OPTIONAL { ?x <p:n> ?n } }"
+    )
+    assert len(q.patterns) == 1
+    assert len(q.optionals) == 1
+    assert isinstance(q.optionals[0], GroupGraphPattern)
+    assert len(q.optionals[0].patterns) == 1
+
+
+def test_parse_optional_with_filter():
+    q = parse_sparql(
+        "SELECT ?x WHERE { ?x <p:a> ?y . "
+        "OPTIONAL { ?x <p:n> ?n . FILTER(?n > 3) } }"
+    )
+    assert len(q.optionals[0].filters) == 1
+
+
+def test_parse_lone_braced_group_merges_into_parent():
+    q1 = parse_sparql("SELECT ?x WHERE { { ?x <p:a> ?y } ?y <p:b> ?z }")
+    q2 = parse_sparql("SELECT ?x WHERE { ?x <p:a> ?y . ?y <p:b> ?z }")
+    assert q1.patterns == q2.patterns
+    assert q1.unions == ()
+
+
+def test_parse_variable_predicate():
+    q = parse_sparql("SELECT ?p WHERE { ?x ?p ?y }")
+    assert q.patterns[0].predicate.name == "p"
+
+
+def test_parse_unterminated_union_branch():
+    with pytest.raises(ParseError):
+        parse_sparql("SELECT ?x WHERE { { ?x <p:a> ?y } UNION { ?x <p:b> ?y }")
+
+
+def test_parse_union_without_second_branch():
+    with pytest.raises(ParseError):
+        parse_sparql("SELECT ?x WHERE { { ?x <p:a> ?y } UNION }")
+
+
+# ---------------------------------------------------------------------------
+# Translation: UNION
+# ---------------------------------------------------------------------------
+def test_union_translates_to_two_blocks():
+    q = _translate(
+        "SELECT ?x WHERE { { ?x <p:a> ?y } UNION { ?x <p:b> ?y } }"
+    )
+    assert isinstance(q, UnionQuery)
+    assert len(q.blocks) == 2
+    assert [block.atoms[0].relation for block in q.blocks] == ["a", "b"]
+
+
+def test_union_distributes_shared_patterns():
+    q = _translate(
+        "SELECT ?x WHERE { ?x <p:t> ?t . "
+        "{ ?x <p:a> ?y } UNION { ?x <p:b> ?y } }"
+    )
+    assert isinstance(q, UnionQuery)
+    assert len(q.blocks) == 2
+    for block in q.blocks:
+        assert block.atoms[0].relation == "t"
+        assert len(block.atoms) == 2
+
+
+def test_nested_unions_expand_cartesian():
+    q = _translate(
+        "SELECT ?x WHERE {"
+        " { ?x <p:a> ?y } UNION { ?x <p:b> ?y } ."
+        " { ?x <p:c> ?z } UNION { ?x <p:d> ?z } }"
+    )
+    assert isinstance(q, UnionQuery)
+    relations = sorted(
+        tuple(atom.relation for atom in block.atoms) for block in q.blocks
+    )
+    assert relations == [("a", "c"), ("a", "d"), ("b", "c"), ("b", "d")]
+
+
+def test_union_branch_variable_is_projectable():
+    q = _translate(
+        "SELECT ?y ?z WHERE { { ?x <p:a> ?y } UNION { ?x <p:b> ?z } }"
+    )
+    assert isinstance(q, UnionQuery)
+    assert q.projection == (Variable("y"), Variable("z"))
+
+
+def test_union_select_star_spans_branches():
+    q = _translate(
+        "SELECT * WHERE { { ?a <p:a> ?b } UNION { ?c <p:b> ?d } }"
+    )
+    assert q.projection == tuple(Variable(v) for v in "abcd")
+
+
+def test_empty_union_branch_rejected():
+    with pytest.raises(ParseError):
+        _translate("SELECT ?x WHERE { { ?x <p:a> ?y } UNION { } }")
+
+
+# ---------------------------------------------------------------------------
+# Translation: OPTIONAL
+# ---------------------------------------------------------------------------
+def test_optional_translates_to_optional_block():
+    q = _translate(
+        "SELECT ?x ?n WHERE { ?x <p:a> ?y . OPTIONAL { ?x <p:n> ?n } }"
+    )
+    assert isinstance(q, UnionQuery)
+    assert len(q.blocks) == 1
+    block = q.blocks[0]
+    assert len(block.optionals) == 1
+    assert block.optionals[0].atoms[0].relation == "n"
+
+
+def test_optional_only_variable_is_projectable():
+    q = _translate(
+        "SELECT ?n WHERE { ?x <p:a> ?y . OPTIONAL { ?x <p:n> ?n } }"
+    )
+    assert q.projection == (Variable("n"),)
+
+
+def test_optional_without_required_pattern_rejected():
+    with pytest.raises(ParseError):
+        _translate("SELECT ?n WHERE { OPTIONAL { ?x <p:n> ?n } }")
+
+
+def test_nested_optional_rejected():
+    with pytest.raises(ParseError):
+        _translate(
+            "SELECT ?x WHERE { ?x <p:a> ?y . "
+            "OPTIONAL { OPTIONAL { ?x <p:n> ?n } } }"
+        )
+
+
+def test_union_inside_optional_rejected():
+    with pytest.raises(ParseError):
+        _translate(
+            "SELECT ?x WHERE { ?x <p:a> ?y . "
+            "OPTIONAL { { ?x <p:n> ?n } UNION { ?x <p:m> ?n } } }"
+        )
+
+
+def test_optionals_sharing_unrequired_variable_rejected():
+    with pytest.raises(ParseError):
+        _translate(
+            "SELECT ?x WHERE { ?x <p:a> ?y . "
+            "OPTIONAL { ?x <p:n> ?n } OPTIONAL { ?n <p:m> ?z } }"
+        )
+
+
+def test_optional_filter_variable_must_be_in_scope():
+    with pytest.raises(ParseError):
+        _translate(
+            "SELECT ?x WHERE { ?x <p:a> ?y . "
+            "OPTIONAL { ?x <p:n> ?n . FILTER(?zz > 3) } }"
+        )
+
+
+def test_union_with_optional_in_branch():
+    q = _translate(
+        "SELECT ?x WHERE {"
+        " { ?x <p:a> ?y . OPTIONAL { ?x <p:n> ?n } }"
+        " UNION { ?x <p:b> ?y } }"
+    )
+    assert isinstance(q, UnionQuery)
+    assert len(q.blocks) == 2
+    assert len(q.blocks[0].optionals) == 1
+    assert q.blocks[1].optionals == ()
+
+
+# ---------------------------------------------------------------------------
+# Translation: variable predicates
+# ---------------------------------------------------------------------------
+def test_variable_predicate_with_constant_subject():
+    q = _translate("SELECT ?p ?o WHERE { <http://me> ?p ?o }")
+    assert isinstance(q, ConjunctiveQuery)
+    atom = q.atoms[0]
+    assert atom.relation == TRIPLES_RELATION
+    assert atom.terms == (
+        Constant("<http://me>"),
+        Variable("p"),
+        Variable("o"),
+    )
+
+
+def test_variable_predicate_mixes_with_concrete_predicates():
+    q = _translate("SELECT ?x ?p WHERE { ?x <p:t> ?y . ?y ?p ?z }")
+    assert [a.relation for a in q.atoms] == ["t", TRIPLES_RELATION]
+
+
+def test_repeated_variable_predicate_joins_across_patterns():
+    q = _translate("SELECT ?p WHERE { ?x ?p ?y . ?y ?p ?z }")
+    assert isinstance(q, ConjunctiveQuery)
+    assert q.atoms[0].terms[1] == q.atoms[1].terms[1] == Variable("p")
+
+
+def test_predicate_equality_filter_pushes_into_triples_atom():
+    q = _translate(
+        "SELECT ?x WHERE { ?x ?p ?y . FILTER(?p = <http://only>) }"
+    )
+    assert isinstance(q, ConjunctiveQuery)
+    assert q.filters == ()
+    assert q.atoms[0].terms[1] == Constant("<http://only>")
+
+
+# ---------------------------------------------------------------------------
+# Interaction with modifiers and pushdown
+# ---------------------------------------------------------------------------
+def test_union_keeps_modifiers():
+    q = _translate(
+        "SELECT ?x WHERE { { ?x <p:a> ?y } UNION { ?x <p:b> ?y } } "
+        "ORDER BY DESC(?x) LIMIT 4 OFFSET 1"
+    )
+    assert isinstance(q, UnionQuery)
+    assert q.limit == 4
+    assert q.offset == 1
+    assert q.order_by[0].descending
+
+
+def test_filter_distributes_into_every_block():
+    q = _translate(
+        "SELECT ?x ?y WHERE { { ?x <p:a> ?y } UNION { ?x <p:b> ?y } "
+        "FILTER(?y > 3) }"
+    )
+    assert isinstance(q, UnionQuery)
+    for block in q.blocks:
+        assert len(block.filters) == 1
+
+
+def test_filter_variable_from_sibling_branch_is_allowed():
+    """A filter var bound in only one branch empties the other branch at
+    runtime (unbound comparison = type error), it is not a parse error."""
+    q = _translate(
+        "SELECT ?x WHERE { { ?x <p:a> ?y } UNION { ?x <p:b> ?z } "
+        "FILTER(?y > 3) }"
+    )
+    assert isinstance(q, UnionQuery)
+
+
+def test_filter_variable_unknown_everywhere_rejected():
+    with pytest.raises(ParseError):
+        _translate(
+            "SELECT ?x WHERE { { ?x <p:a> ?y } UNION { ?x <p:b> ?z } "
+            "FILTER(?zz > 3) }"
+        )
+
+
+def test_pushdown_blocked_by_optional_use():
+    """An equality on a variable an OPTIONAL joins on must stay a filter
+    (pushing it down would change the left-outer join keys)."""
+    q = _translate(
+        "SELECT ?x WHERE { ?x <p:a> ?y . OPTIONAL { ?y <p:n> ?n } "
+        "FILTER(?y = <http://o>) }"
+    )
+    assert isinstance(q, UnionQuery)
+    assert len(q.blocks[0].filters) == 1
+    assert q.blocks[0].atoms[0].terms[1] == Variable("y")
+
+
+def test_pushdown_applies_per_union_block():
+    q = _translate(
+        "SELECT ?x WHERE { { ?x <p:a> ?y } UNION { ?x <p:b> ?y } "
+        'FILTER(?y = "v") }'
+    )
+    assert isinstance(q, UnionQuery)
+    for block in q.blocks:
+        assert block.filters == ()
+        assert block.atoms[0].terms[1] == Constant('"v"')
+
+
+def test_single_block_without_optional_stays_conjunctive():
+    q = _translate("SELECT ?x WHERE { ?x <p:a> ?y }")
+    assert isinstance(q, ConjunctiveQuery)
