@@ -12,8 +12,10 @@ The package provides:
   plans, and the paper's three classic optimizations;
 * :mod:`repro.engines` — the five engines the paper benchmarks
   (EmptyHeaded, LogicBlox-, MonetDB-, RDF-3X-, TripleBit-like);
-* :mod:`repro.service` — the serving layer: a plan-cached, warmable
-  :class:`~repro.service.QueryService` for repeated query traffic;
+* :mod:`repro.service` — the serving layer: a plan-cached, warmable,
+  update-aware :class:`~repro.service.QueryService` whose
+  :class:`~repro.service.PreparedStatement`\\ s serve parameterized
+  query templates (``$name`` placeholders) and concurrent traffic;
 * :mod:`repro.lubm` — the LUBM data generator and query workload;
 * :mod:`repro.sparql` / :mod:`repro.rdf` / :mod:`repro.storage` /
   :mod:`repro.sets` / :mod:`repro.trie` — the substrates;
@@ -54,7 +56,7 @@ from repro.lubm import (
     lubm_queries,
     lubm_query,
 )
-from repro.service import QueryService
+from repro.service import PreparedStatement, QueryService
 from repro.storage.relation import Relation
 
 __version__ = "1.0.0"
@@ -71,6 +73,7 @@ __all__ = [
     "LogicBloxLikeEngine",
     "LubmDataset",
     "OptimizationConfig",
+    "PreparedStatement",
     "QueryService",
     "RDF3XLikeEngine",
     "Relation",

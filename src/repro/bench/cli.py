@@ -8,11 +8,19 @@ Subcommands::
     repro-lubm table2                                    # regenerate Table II
     repro-lubm figures                                   # Figures 1-3
     repro-lubm smoke                                     # correctness gate
+    repro-lubm service --out BENCH_service.json          # serving bench
 
 ``smoke`` runs every engine over a tiny LUBM instance and exits
 non-zero on any cross-engine disagreement or golden-count regression —
 a benchmark-shaped test with no timing assertions (see
 :mod:`repro.bench.smoke`).
+
+``service`` benchmarks the prepared-statement serving tier against
+per-text ``execute_sparql`` on a parameterized template family and
+writes a machine-readable report (p50/p95 latency, cache hit rates,
+template-vs-reparse speedup, concurrent-vs-serial agreement, update
+safety); it exits non-zero if any correctness probe fails (see
+:mod:`repro.bench.service_bench`).
 """
 
 from __future__ import annotations
@@ -89,6 +97,24 @@ def _cmd_smoke(args) -> None:
         sys.exit(1)
 
 
+def _cmd_service(args) -> None:
+    from repro.bench.service_bench import render, run_service_bench, write_report
+
+    report = run_service_bench(
+        universities=args.universities,
+        seed=args.seed,
+        family=args.family,
+        rounds=args.rounds,
+        workers=args.workers,
+    )
+    print(render(report))
+    if args.out:
+        write_report(report, args.out)
+        print(f"wrote {args.out}")
+    if not report["ok"]:
+        sys.exit(1)
+
+
 def main(argv: list[str] | None = None) -> None:
     parser = argparse.ArgumentParser(
         prog="repro-lubm",
@@ -127,6 +153,30 @@ def main(argv: list[str] | None = None) -> None:
         "(golden counts gate only the default size)",
     )
     smoke.set_defaults(func=_cmd_smoke)
+
+    service = sub.add_parser("service", parents=[common])
+    service.add_argument(
+        "--family",
+        type=int,
+        default=100,
+        help="number of distinct parameter values in the template family",
+    )
+    service.add_argument(
+        "--rounds",
+        type=int,
+        default=8,
+        help="passes over the family (round 1 is cold; later rounds "
+        "measure the steady state)",
+    )
+    service.add_argument(
+        "--workers", type=int, default=4, help="concurrent thread count"
+    )
+    service.add_argument(
+        "--out",
+        default="",
+        help="write the machine-readable JSON report to this path",
+    )
+    service.set_defaults(func=_cmd_service)
 
     args = parser.parse_args(argv)
     args.func(args)

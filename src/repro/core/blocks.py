@@ -32,13 +32,18 @@ from collections.abc import Callable, Iterable
 
 import numpy as np
 
-from repro.core.modifiers import apply_order, apply_slice, comparison_mask
+from repro.core.modifiers import (
+    apply_order,
+    apply_slice,
+    comparison_mask,
+    filter_mask,
+)
 from repro.core.query import (
     BoundBlock,
     BoundOptional,
     BoundUnion,
-    Comparison,
     ConjunctiveQuery,
+    FilterExpr,
     Variable,
 )
 from repro.relalg.kernels import join_indices
@@ -64,8 +69,24 @@ def _ordered_subset(
     return tuple(out)
 
 
-def _filter_variables(filters: Iterable[Comparison]) -> set[Variable]:
+def _filter_variables(filters: Iterable[FilterExpr]) -> set[Variable]:
     return {v for f in filters for v in f.variables()}
+
+
+def branch_row_cap(bound: BoundUnion) -> int | None:
+    """Rows each branch must contribute before the sort-dedup merge.
+
+    With a LIMIT and no ORDER BY the merged result is the first
+    ``offset + limit`` rows in canonical (lexicographic key) order, and
+    a row in that prefix is necessarily within the first
+    ``offset + limit`` canonical rows *of its own branch* (deduping
+    other branches only removes rows ahead of it). So each branch needs
+    at most that many rows. ORDER BY sorts by decoded term values —
+    a different order — so no cap applies.
+    """
+    if bound.limit is None or bound.order_by:
+        return None
+    return bound.offset + bound.limit
 
 
 def required_query(
@@ -86,10 +107,21 @@ def required_query(
     appearance = list(bound.projection) + [
         v for atom in block.atoms for v in atom.variables
     ]
+    # Per-branch LIMIT pushdown: when nothing downstream can drop or
+    # reorder this block's rows (no filters, no optionals) the engine
+    # itself may stop at the cap. The engine's canonical sort is by its
+    # projection — a subsequence of the union projection here (padded
+    # columns are constant within a branch), so its first-k prefix
+    # agrees with the merge's.
+    limit = None
+    cap = branch_row_cap(bound)
+    if cap is not None and not block.filters and not block.optionals:
+        limit = cap
     return ConjunctiveQuery(
         atoms=block.atoms,
         projection=_ordered_subset(needed, appearance),
         name=f"{bound.name}#b{index}",
+        limit=limit,
     )
 
 
@@ -143,19 +175,31 @@ def _pad_columns(n: int, count: int) -> list[np.ndarray]:
     ]
 
 
+def _absence_aware_leaf(
+    relation: Relation, comparison, dictionary
+) -> np.ndarray:
+    """A comparison referencing a variable the relation never binds (a
+    sibling UNION branch's variable, or an OPTIONAL dropped at bind
+    time) is a SPARQL type error on every row — all-``False`` — but
+    only for that *leaf*: under ``||`` another arm can still keep the
+    row."""
+    if any(
+        var.name not in relation.attributes
+        for var in comparison.variables()
+    ):
+        return np.zeros(relation.num_rows, dtype=bool)
+    return comparison_mask(relation, comparison, dictionary)
+
+
 def _filter_mask(
-    relation: Relation, filters: tuple[Comparison, ...], dictionary
-) -> np.ndarray | None:
-    """Conjunction of filter masks; ``None`` when a filter references a
-    variable the relation never binds (a SPARQL type error on every
-    row, so nothing survives)."""
-    for comparison in filters:
-        for var in comparison.variables():
-            if var.name not in relation.attributes:
-                return None
+    relation: Relation, filters: tuple[FilterExpr, ...], dictionary
+) -> np.ndarray:
+    """Conjunction of the filters' absence-aware keep-masks."""
     mask = np.ones(relation.num_rows, dtype=bool)
-    for comparison in filters:
-        mask &= comparison_mask(relation, comparison, dictionary)
+    for expression in filters:
+        mask &= filter_mask(
+            relation, expression, dictionary, _absence_aware_leaf
+        )
         if not mask.any():
             break
     return mask
@@ -164,7 +208,7 @@ def _filter_mask(
 def left_outer_extend(
     left: Relation,
     parts: list[Relation],
-    filters: tuple[Comparison, ...],
+    filters: tuple[FilterExpr, ...],
     dictionary,
 ) -> Relation:
     """Left-outer join ``left`` with the union of ``parts``.
@@ -212,8 +256,6 @@ def left_outer_extend(
     )
     if filters:
         mask = _filter_mask(joined, filters, dictionary)
-        if mask is None:
-            mask = np.zeros(joined.num_rows, dtype=bool)
         joined = joined.filter(mask)
         left_idx = left_idx[mask]
     matched = np.zeros(left.num_rows, dtype=bool)
@@ -262,8 +304,6 @@ def execute_block(
         )
     if block.filters:
         mask = _filter_mask(result, block.filters, dictionary)
-        if mask is None:
-            return Relation.empty(bound.name, names)
         result = result.filter(mask)
     return _align(result, names, bound.name)
 
@@ -277,9 +317,14 @@ def execute_union(
     filter-free, modifier-free conjunctive queries with encoded
     constants and returns deduplicated projected rows.
     """
+    cap = branch_row_cap(bound)
     result: Relation | None = None
     for index, block in enumerate(bound.blocks):
         branch = execute_block(bound, block, index, execute, dictionary)
+        if cap is not None and branch.num_rows > cap:
+            # Per-branch LIMIT pushdown: only a branch's first `cap`
+            # canonical rows can survive the merge's final slice.
+            branch = branch.distinct().head(cap)
         result = branch if result is None else result.concat(branch)
     assert result is not None  # BoundUnion guarantees >= 1 block
     result = result.distinct()
@@ -290,6 +335,7 @@ def execute_union(
 
 __all__ = [
     "block_queries",
+    "branch_row_cap",
     "execute_block",
     "execute_union",
     "left_outer_extend",

@@ -40,7 +40,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.query import Comparison, Constant, OrderKey, Variable
+from repro.core.query import (
+    Comparison,
+    Conjunction,
+    Constant,
+    Disjunction,
+    OrderKey,
+    Parameter,
+    Variable,
+)
 from repro.errors import ExecutionError
 from repro.storage.relation import NULL_KEY, Relation
 
@@ -162,6 +170,11 @@ def comparison_mask(
     """Boolean keep-mask of one comparison over a relation's rows."""
     n = relation.num_rows
     lhs, op, rhs = comparison.lhs, comparison.op, comparison.rhs
+    if isinstance(lhs, Parameter) or isinstance(rhs, Parameter):
+        raise ExecutionError(
+            "filter references an unsubstituted parameter; call "
+            "substitute_parameters() before execution"
+        )
     compare = _OPS.get(op)
     if compare is None:
         raise ExecutionError(f"unsupported filter operator {op!r}")
@@ -227,15 +240,48 @@ def comparison_mask(
     return mask
 
 
+def filter_mask(
+    relation: Relation, expression, dictionary, leaf=None
+) -> np.ndarray:
+    """Boolean keep-mask of one FILTER expression tree.
+
+    Masks encode SPARQL's three-valued logic with type errors as
+    ``False``: under ``&&`` an erroring arm drops the row either way,
+    and under ``||`` a row survives when any arm is definitively true —
+    both matching the spec's error-propagation table.
+
+    ``leaf`` evaluates one :class:`Comparison` (default
+    :func:`comparison_mask`); block-wise execution passes a variant
+    that treats *absent* variables as per-leaf type errors.
+    """
+    if leaf is None:
+        leaf = comparison_mask
+    if isinstance(expression, Conjunction):
+        mask = np.ones(relation.num_rows, dtype=bool)
+        for part in expression.parts:
+            mask &= filter_mask(relation, part, dictionary, leaf)
+            if not mask.any():
+                break
+        return mask
+    if isinstance(expression, Disjunction):
+        mask = np.zeros(relation.num_rows, dtype=bool)
+        for part in expression.parts:
+            mask |= filter_mask(relation, part, dictionary, leaf)
+            if mask.all():
+                break
+        return mask
+    return leaf(relation, expression, dictionary)
+
+
 def apply_filters(
-    relation: Relation, comparisons, dictionary
+    relation: Relation, expressions, dictionary
 ) -> Relation:
-    """Keep rows satisfying every comparison."""
-    if not comparisons or relation.num_rows == 0:
+    """Keep rows satisfying every filter expression."""
+    if not expressions or relation.num_rows == 0:
         return relation
     mask = np.ones(relation.num_rows, dtype=bool)
-    for comparison in comparisons:
-        mask &= comparison_mask(relation, comparison, dictionary)
+    for expression in expressions:
+        mask &= filter_mask(relation, expression, dictionary)
         if not mask.any():
             break
     return relation.filter(mask)
@@ -294,6 +340,7 @@ __all__ = [
     "apply_order",
     "apply_slice",
     "comparison_mask",
+    "filter_mask",
     "finalize_result",
     "term_value",
 ]

@@ -20,12 +20,30 @@ block never binds with :data:`~repro.storage.relation.NULL_KEY`.
 (:class:`NumericLiteral`) fan out over their stored lexical forms
 (``42`` matches both ``"42"`` and ``"42"^^xsd:integer``), so one
 written block can bind to several executable variants.
+
+Prepared statements add a third term kind: a :class:`Parameter` is a
+named placeholder (``$name`` in SPARQL syntax) standing for a constant
+supplied at execution time. A query containing parameters cannot be
+bound or planned directly — :func:`substitute_parameters` is the *late
+binding* step that turns a translated template into a concrete query by
+replacing every placeholder with a :class:`Constant`, after which the
+ordinary dictionary-binding pipeline applies. One parse + translate
+therefore serves the whole template family
+(:class:`repro.service.PreparedStatement`).
+
+``FILTER`` predicates are trees: a :class:`Comparison` leaf, or the
+boolean connectives :class:`Conjunction` (``&&``) and
+:class:`Disjunction` (``||``) over sub-expressions. The engine layer
+evaluates them as boolean keep-masks where a SPARQL type error is
+``False`` — which makes ``error || true`` keep the row and
+``error && x`` drop it, matching SPARQL's three-valued rules.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from collections.abc import Mapping
+from dataclasses import dataclass, field, replace
 from typing import Union
 
 from repro.errors import PlanningError
@@ -81,18 +99,35 @@ class Constant:
         return f"={self.value!r}"
 
 
-Term = Union[Variable, Constant]
+@dataclass(frozen=True, order=True)
+class Parameter:
+    """A named placeholder (``$name``) for an execution-time constant.
+
+    Parameters appear in pattern term position and in ``FILTER``
+    operands of a *prepared template*. They are erased by
+    :func:`substitute_parameters` before binding/planning; a query that
+    still carries one cannot execute (``bind``/``normalize`` raise).
+    """
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"${self.name}"
+
+
+Term = Union[Variable, Constant, Parameter]
 
 
 @dataclass(frozen=True)
 class Comparison:
     """One ``FILTER`` predicate ``lhs op rhs``.
 
-    Operands are :class:`Variable` or :class:`Constant`. Filter constants
-    are *never* dictionary-bound: equality on IRI/literal constants is
-    pushed into atom selections by the SPARQL translator when possible,
-    and the remaining comparisons are evaluated post-join on decoded
-    terms (see :mod:`repro.core.modifiers`).
+    Operands are :class:`Variable`, :class:`Constant`, or (in prepared
+    templates) :class:`Parameter`. Filter constants are *never*
+    dictionary-bound: equality on IRI/literal constants is pushed into
+    atom selections by the SPARQL translator when possible, and the
+    remaining comparisons are evaluated post-join on decoded terms (see
+    :mod:`repro.core.modifiers`).
     """
 
     lhs: Term
@@ -104,8 +139,49 @@ class Comparison:
             t for t in (self.lhs, self.rhs) if isinstance(t, Variable)
         )
 
+    def parameters(self) -> tuple[Parameter, ...]:
+        return tuple(
+            t for t in (self.lhs, self.rhs) if isinstance(t, Parameter)
+        )
+
     def __repr__(self) -> str:
         return f"FILTER({self.lhs!r} {self.op} {self.rhs!r})"
+
+
+@dataclass(frozen=True)
+class Conjunction:
+    """``a && b [&& c ...]`` over filter sub-expressions."""
+
+    parts: tuple["FilterExpr", ...]
+
+    def variables(self) -> tuple[Variable, ...]:
+        return tuple(v for part in self.parts for v in part.variables())
+
+    def parameters(self) -> tuple[Parameter, ...]:
+        return tuple(p for part in self.parts for p in part.parameters())
+
+    def __repr__(self) -> str:
+        return "(" + " && ".join(repr(p) for p in self.parts) + ")"
+
+
+@dataclass(frozen=True)
+class Disjunction:
+    """``a || b [|| c ...]`` over filter sub-expressions."""
+
+    parts: tuple["FilterExpr", ...]
+
+    def variables(self) -> tuple[Variable, ...]:
+        return tuple(v for part in self.parts for v in part.variables())
+
+    def parameters(self) -> tuple[Parameter, ...]:
+        return tuple(p for part in self.parts for p in part.parameters())
+
+    def __repr__(self) -> str:
+        return "(" + " || ".join(repr(p) for p in self.parts) + ")"
+
+
+#: One node of a FILTER expression tree.
+FilterExpr = Union[Comparison, Conjunction, Disjunction]
 
 
 @dataclass(frozen=True)
@@ -136,6 +212,10 @@ class Atom:
         return tuple(t for t in self.terms if isinstance(t, Constant))
 
     @property
+    def parameters(self) -> tuple[Parameter, ...]:
+        return tuple(t for t in self.terms if isinstance(t, Parameter))
+
+    @property
     def has_selection(self) -> bool:
         """True when any term is a constant (an equality selection)."""
         return any(isinstance(t, Constant) for t in self.terms)
@@ -159,7 +239,7 @@ class ConjunctiveQuery:
     atoms: tuple[Atom, ...]
     projection: tuple[Variable, ...]
     name: str = "query"
-    filters: tuple[Comparison, ...] = ()
+    filters: tuple[FilterExpr, ...] = ()
     order_by: tuple[OrderKey, ...] = ()
     limit: int | None = None
     offset: int = 0
@@ -270,6 +350,11 @@ def normalize(query: ConjunctiveQuery) -> NormalizedQuery:
                 counter += 1
                 selections[var] = term.value
                 terms.append(var)
+            elif isinstance(term, Parameter):
+                raise PlanningError(
+                    f"parameter ${term.name} is unsubstituted; call "
+                    "substitute_parameters() with its value first"
+                )
             else:
                 terms.append(term)
         atoms.append(Atom(atom.relation, tuple(terms)))
@@ -314,6 +399,11 @@ def bind_atoms(
                     return []
                 per_term_choices.append(
                     tuple(Constant(key) for key in keys)
+                )
+            elif isinstance(term, Parameter):
+                raise PlanningError(
+                    f"parameter ${term.name} is unsubstituted; call "
+                    "substitute_parameters() with its value first"
                 )
             else:
                 per_term_choices.append((term,))
@@ -379,7 +469,7 @@ class OptionalBlock:
     filters evaluated on the extended rows during the left-outer join."""
 
     atoms: tuple[Atom, ...]
-    filters: tuple[Comparison, ...] = ()
+    filters: tuple[FilterExpr, ...] = ()
 
     def variables(self) -> set[Variable]:
         return atom_variables(self.atoms)
@@ -391,7 +481,7 @@ class QueryBlock:
 
     atoms: tuple[Atom, ...]
     optionals: tuple[OptionalBlock, ...] = ()
-    filters: tuple[Comparison, ...] = ()
+    filters: tuple[FilterExpr, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.atoms:
@@ -476,7 +566,7 @@ class BoundOptional:
     """
 
     variants: tuple[tuple[Atom, ...], ...]
-    filters: tuple[Comparison, ...] = ()
+    filters: tuple[FilterExpr, ...] = ()
 
     def variables(self) -> set[Variable]:
         return atom_variables(self.variants[0])
@@ -488,7 +578,7 @@ class BoundBlock:
 
     atoms: tuple[Atom, ...]
     optionals: tuple[BoundOptional, ...] = ()
-    filters: tuple[Comparison, ...] = ()
+    filters: tuple[FilterExpr, ...] = ()
 
     def required_variables(self) -> set[Variable]:
         return atom_variables(self.atoms)
@@ -590,3 +680,171 @@ def has_numeric_literals(query: ConjunctiveQuery) -> bool:
         for atom in query.atoms
         for term in atom.terms
     )
+
+
+# ---------------------------------------------------------------------------
+# Prepared templates: parameter discovery and late binding
+# ---------------------------------------------------------------------------
+#: A value supplied for a parameter: a lexical term string (``<iri>`` or
+#: ``"literal"``) or a Python number (matched by value like a bare
+#: SPARQL numeric literal).
+ParameterValue = Union[int, float, str]
+
+
+def _block_filter_exprs(block: QueryBlock) -> list[FilterExpr]:
+    exprs = list(block.filters)
+    for optional in block.optionals:
+        exprs.extend(optional.filters)
+    return exprs
+
+
+def query_parameters(query: ConjunctiveQuery | UnionQuery) -> frozenset[str]:
+    """Names of every ``$parameter`` a template mentions."""
+    names: set[str] = set()
+    if isinstance(query, ConjunctiveQuery):
+        atom_groups: list[tuple[Atom, ...]] = [query.atoms]
+        filter_exprs: list[FilterExpr] = list(query.filters)
+    else:
+        atom_groups = []
+        filter_exprs = []
+        for block in query.blocks:
+            atom_groups.append(block.atoms)
+            atom_groups.extend(opt.atoms for opt in block.optionals)
+            filter_exprs.extend(_block_filter_exprs(block))
+    for atoms in atom_groups:
+        for atom in atoms:
+            names.update(p.name for p in atom.parameters)
+    for expr in filter_exprs:
+        names.update(p.name for p in expr.parameters())
+    return frozenset(names)
+
+
+def parameter_binding_mismatch(
+    wanted: frozenset[str], supplied: frozenset[str]
+) -> str | None:
+    """Human-readable diff when supplied values don't match a template's
+    parameters, or ``None`` when they do (shared by the query model and
+    the serving layer so both report mismatches identically)."""
+    if supplied == wanted:
+        return None
+    detail = []
+    if wanted - supplied:
+        detail.append(f"missing: {', '.join(sorted(wanted - supplied))}")
+    if supplied - wanted:
+        detail.append(f"unknown: {', '.join(sorted(supplied - wanted))}")
+    return "; ".join(detail)
+
+
+def _checked_value(name: str, value: ParameterValue) -> ParameterValue:
+    if isinstance(value, bool) or not isinstance(value, (int, float, str)):
+        raise PlanningError(
+            f"parameter ${name}: values must be lexical term strings or "
+            f"numbers, got {value!r}"
+        )
+    return value
+
+
+def _pattern_value(name: str, value: ParameterValue) -> Constant:
+    """The pattern-position constant a parameter value denotes."""
+    value = _checked_value(name, value)
+    if isinstance(value, (int, float)):
+        # Like a bare numeric literal in query text: matched through
+        # every stored lexical form of the value.
+        return Constant(NumericLiteral(repr(value)))
+    return Constant(value)
+
+
+def _filter_value(name: str, value: ParameterValue) -> Constant:
+    """The filter-operand constant a parameter value denotes."""
+    value = _checked_value(name, value)
+    if isinstance(value, (int, float)):
+        return Constant(float(value))
+    return Constant(value)
+
+
+def _substitute_terms(
+    terms: tuple[Term, ...], values: Mapping[str, ParameterValue]
+) -> tuple[Term, ...]:
+    return tuple(
+        _pattern_value(t.name, values[t.name])
+        if isinstance(t, Parameter)
+        else t
+        for t in terms
+    )
+
+
+def _substitute_atoms(
+    atoms: tuple[Atom, ...], values: Mapping[str, ParameterValue]
+) -> tuple[Atom, ...]:
+    return tuple(
+        Atom(atom.relation, _substitute_terms(atom.terms, values))
+        if atom.parameters
+        else atom
+        for atom in atoms
+    )
+
+
+def _substitute_filter(
+    expr: FilterExpr, values: Mapping[str, ParameterValue]
+) -> FilterExpr:
+    if isinstance(expr, Comparison):
+        lhs, rhs = expr.lhs, expr.rhs
+        if isinstance(lhs, Parameter):
+            lhs = _filter_value(lhs.name, values[lhs.name])
+        if isinstance(rhs, Parameter):
+            rhs = _filter_value(rhs.name, values[rhs.name])
+        if lhs is expr.lhs and rhs is expr.rhs:
+            return expr
+        return Comparison(lhs, expr.op, rhs)
+    parts = tuple(_substitute_filter(p, values) for p in expr.parts)
+    return type(expr)(parts)
+
+
+def substitute_parameters(
+    query: ConjunctiveQuery | UnionQuery,
+    values: Mapping[str, ParameterValue],
+) -> ConjunctiveQuery | UnionQuery:
+    """Late-bind a prepared template: placeholders become constants.
+
+    ``values`` must supply *exactly* the template's parameters — a
+    missing or unknown name raises :class:`~repro.errors.PlanningError`
+    (catching typos beats silently executing the wrong query). The
+    returned query is parameter-free and flows through the ordinary
+    dictionary-binding pipeline; the parse/translate work embodied in
+    ``query`` is reused untouched.
+    """
+    wanted = query_parameters(query)
+    mismatch = parameter_binding_mismatch(wanted, frozenset(values))
+    if mismatch is not None:
+        raise PlanningError(
+            f"parameter values do not match template ({mismatch})"
+        )
+    if not wanted:
+        return query
+    if isinstance(query, ConjunctiveQuery):
+        return replace(
+            query,
+            atoms=_substitute_atoms(query.atoms, values),
+            filters=tuple(
+                _substitute_filter(f, values) for f in query.filters
+            ),
+        )
+    blocks = tuple(
+        QueryBlock(
+            atoms=_substitute_atoms(block.atoms, values),
+            optionals=tuple(
+                OptionalBlock(
+                    atoms=_substitute_atoms(opt.atoms, values),
+                    filters=tuple(
+                        _substitute_filter(f, values) for f in opt.filters
+                    ),
+                )
+                for opt in block.optionals
+            ),
+            filters=tuple(
+                _substitute_filter(f, values) for f in block.filters
+            ),
+        )
+        for block in query.blocks
+    )
+    return replace(query, blocks=blocks)

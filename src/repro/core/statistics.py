@@ -49,8 +49,8 @@ def atom_relation(catalog: Catalog, atom: Atom) -> Relation:
         keep_attrs.append(name)
         keep_cols.append(first)
     derived = Relation(derived_name, keep_attrs, keep_cols).filter(mask)
-    catalog.register(derived)
-    return derived
+    # get_or_register: another thread may have derived it concurrently.
+    return catalog.get_or_register(derived)
 
 
 def estimate_variable_cardinalities(

@@ -19,10 +19,21 @@ subset by construction of this layer.
 Constants are bound through the shared dictionary before planning; a
 constant that never occurs in the data short-circuits to an empty result
 in *every* engine, keeping the comparison fair.
+
+Engines are **update-aware**: every public entry point compares the
+engine's recorded data-version epoch against
+``store.data_version`` and, on mismatch, calls the subclass's
+``_on_data_update`` hook to rebuild its data-dependent structures
+(indexes, catalogs, plan caches) before answering — so a store mutated
+through ``add_triples``/``remove_triples`` never serves a stale plan.
+They are also safe for concurrent read traffic: the parse cache and
+refresh path are lock-protected, and execution reads immutable numpy
+snapshots.
 """
 
 from __future__ import annotations
 
+import threading
 from abc import ABC, abstractmethod
 from collections import OrderedDict
 from dataclasses import replace
@@ -62,20 +73,58 @@ class Engine(ABC):
         self.store = store
         self.dictionary = store.dictionary
         self._sparql_cache: OrderedDict[str, PreparedSparql] = OrderedDict()
+        self._cache_lock = threading.RLock()
+        self._data_version = store.data_version
+
+    # ------------------------------------------------------------------
+    # Data-version epoch
+    # ------------------------------------------------------------------
+    def check_data_version(self) -> None:
+        """Rebuild data-dependent caches if the store was mutated.
+
+        Cheap (one int compare) on the hot path; on an epoch mismatch
+        the refresh is serialized so concurrent readers rebuild once.
+        The rebuild runs under the *store's* write lock too, so an
+        update cannot mutate the tables mid-rebuild; the epoch recorded
+        is the one observed before rebuilding, so an update landing
+        right after simply triggers the next rebuild.
+        """
+        if self._data_version == self.store.data_version:
+            return
+        with self._cache_lock:
+            if self._data_version == self.store.data_version:
+                return
+            with self.store._write_lock:
+                target = self.store.data_version
+                self._on_data_update()
+            self._data_version = target
+
+    def _on_data_update(self) -> None:
+        """Hook: rebuild engine-specific indexes/caches after an update.
+
+        The base layer keeps nothing data-dependent — the parse cache is
+        pure syntax and the dictionary only ever grows (removal keeps
+        keys), so bound constants stay valid.
+        """
 
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
     def prepare_sparql(self, text: str, name: str = "query") -> PreparedSparql:
         """Parse and translate a SPARQL string (LRU-cached per text)."""
-        query = self._sparql_cache.get(text)
-        if query is None:
-            query = sparql_to_query(parse_sparql(text), name=name)
+        with self._cache_lock:
+            query = self._sparql_cache.get(text)
+            if query is not None:
+                self._sparql_cache.move_to_end(text)
+                return query
+        query = sparql_to_query(parse_sparql(text), name=name)
+        with self._cache_lock:
+            existing = self._sparql_cache.get(text)
+            if existing is not None:  # a concurrent parse won the race
+                return existing
             self._sparql_cache[text] = query
             if len(self._sparql_cache) > self.sparql_cache_size:
                 self._sparql_cache.popitem(last=False)
-        else:
-            self._sparql_cache.move_to_end(text)
         return query
 
     def execute_sparql(self, text: str, name: str = "query") -> Relation:
@@ -94,6 +143,7 @@ class Engine(ABC):
 
     def execute(self, query: PreparedSparql) -> Relation:
         """Execute a query with lexical or encoded constants."""
+        self.check_data_version()
         if isinstance(query, ConjunctiveQuery) and not has_numeric_literals(
             query
         ):
@@ -120,6 +170,7 @@ class Engine(ABC):
         nothing on this dataset (missing predicate table or constant).
         The serving layer caches this result per query text.
         """
+        self.check_data_version()
         if isinstance(query, ConjunctiveQuery) and not has_numeric_literals(
             query
         ):
@@ -140,6 +191,7 @@ class Engine(ABC):
         Public so a serving layer (:class:`repro.service.QueryService`)
         that caches bound queries can skip re-parsing and re-binding.
         """
+        self.check_data_version()
         inner, has_modifiers = self.split_modifiers(bound)
         result = self._execute_bound(inner)
         if not has_modifiers:
@@ -156,6 +208,7 @@ class Engine(ABC):
 
     def execute_bound_union(self, bound: BoundUnion) -> Relation:
         """Execute a bound multi-block query (UNION / OPTIONAL tree)."""
+        self.check_data_version()
         simple = bound.as_conjunctive()
         if simple is not None:
             return self.execute_bound(simple)

@@ -1,28 +1,53 @@
 """The EmptyHeaded-style engine: WCOJ + GHD plans + classic optimizations.
 
 This is the paper's primary system. The engine compiles a conjunctive
-query into a GHD plan (cached with the same LRU policy as the SPARQL
-text cache, as EmptyHeaded caches compiled queries) and executes it with
-the generic worst-case optimal join per node. Multi-block queries
-(UNION/OPTIONAL) execute block-wise through the same plan cache, so each
-branch's conjunctive plan is compiled once. The
+query into a GHD plan and executes it with the generic worst-case
+optimal join per node. Multi-block queries (UNION/OPTIONAL) execute
+block-wise through the same plan cache, so each branch's conjunctive
+plan is compiled once. The
 :class:`~repro.core.config.OptimizationConfig` switches the paper's
 Table I optimizations on and off individually, which is how the ablation
 benchmarks drive this class.
+
+Plan caching is **structural**: the LRU key strips the concrete values
+of equality selections (after :func:`~repro.core.query.normalize`
+every constant is a selection variable, so two queries that differ only
+in constants — e.g. a prepared template executed with two different
+parameters — share one GHD, attribute order, and pipelining decision).
+A hit swaps the cached plan's selection values for the current ones,
+which is exactly the *late binding* a prepared statement needs:
+re-executing a template with new parameters re-binds constants without
+re-planning. (Cardinality estimates are computed for the first value
+seen and reused — the classic prepared-statement trade of per-value
+optimality for compilation cost.)
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
+from dataclasses import replace
 
 from repro.core.blocks import block_queries
 from repro.core.config import OptimizationConfig
 from repro.core.executor import GHDExecutor
 from repro.core.planner import Plan, Planner
-from repro.core.query import BoundUnion, ConjunctiveQuery
+from repro.core.query import (
+    BoundUnion,
+    ConjunctiveQuery,
+    NormalizedQuery,
+    Variable,
+    normalize,
+)
 from repro.engines.base import Engine
 from repro.storage.relation import Relation
 from repro.storage.vertical import TRIPLES_RELATION, VerticallyPartitionedStore
+
+#: A plan cache key: everything planning depends on except the concrete
+#: selection values (and the query name, which only labels results).
+PlanKey = tuple[
+    tuple, tuple[Variable, ...], tuple[Variable, ...], int | None, int
+]
 
 
 class EmptyHeadedEngine(Engine):
@@ -42,10 +67,22 @@ class EmptyHeadedEngine(Engine):
     ) -> None:
         super().__init__(store)
         self.config = config if config is not None else OptimizationConfig.all_on()
-        self.catalog = self._build_catalog(store)
+        self._plan_cache: OrderedDict[PlanKey, Plan] = OrderedDict()
+        self._plan_lock = threading.RLock()
+        self._build_structures()
+
+    def _build_structures(self) -> None:
+        self.catalog = self._build_catalog(self.store)
         self.planner = Planner(self.catalog, self.config)
         self.executor = GHDExecutor(self.catalog)
-        self._plan_cache: OrderedDict[ConjunctiveQuery, Plan] = OrderedDict()
+
+    def _on_data_update(self) -> None:
+        """Rebuild the catalog (and with it every trie index) and drop
+        compiled plans — their cardinality estimates and the tries their
+        execution probes reflect the old data."""
+        with self._plan_lock:
+            self._build_structures()
+            self._plan_cache.clear()
 
     @staticmethod
     def _build_catalog(store: VerticallyPartitionedStore):
@@ -55,25 +92,50 @@ class EmptyHeadedEngine(Engine):
         catalog.register_all(store.relations())
         return catalog
 
-    def _ensure_triples_view(self, query: ConjunctiveQuery) -> None:
+    def _ensure_triples_view(self, query: NormalizedQuery) -> None:
         """Register the ``__triples__`` union view on first use (it is
         built lazily: only variable-predicate queries pay for it)."""
         if TRIPLES_RELATION in self.catalog:
             return
         if any(atom.relation == TRIPLES_RELATION for atom in query.atoms):
-            self.catalog.register(self.store.triples_relation())
+            self.catalog.get_or_register(self.store.triples_relation())
 
-    def plan_for(self, query: ConjunctiveQuery) -> Plan:
-        """The (LRU-cached) GHD plan for an encoded-constant query."""
-        plan = self._plan_cache.get(query)
+    @staticmethod
+    def _plan_key(normalized: NormalizedQuery) -> PlanKey:
+        return (
+            normalized.atoms,
+            normalized.projection,
+            tuple(normalized.selections),
+            normalized.limit,
+            normalized.offset,
+        )
+
+    def plan_for(self, query: ConjunctiveQuery | NormalizedQuery) -> Plan:
+        """The (LRU-cached) GHD plan for an encoded-constant query.
+
+        Cache keys are structural (selection *positions*, not values):
+        a prepared template's parameter family compiles once, and each
+        execution only swaps the selection values into the plan.
+        """
+        normalized = (
+            normalize(query) if isinstance(query, ConjunctiveQuery) else query
+        )
+        key = self._plan_key(normalized)
+        with self._plan_lock:
+            plan = self._plan_cache.get(key)
+            if plan is not None:
+                self._plan_cache.move_to_end(key)
         if plan is None:
-            self._ensure_triples_view(query)
-            plan = self.planner.plan(query)
-            self._plan_cache[query] = plan
-            if len(self._plan_cache) > self.plan_cache_size:
-                self._plan_cache.popitem(last=False)
-        else:
-            self._plan_cache.move_to_end(query)
+            self._ensure_triples_view(normalized)
+            plan = self.planner.plan(normalized)
+            with self._plan_lock:
+                plan = self._plan_cache.setdefault(key, plan)
+                if len(self._plan_cache) > self.plan_cache_size:
+                    self._plan_cache.popitem(last=False)
+        if plan.query is not normalized:
+            # Late binding: reuse the compiled structure, carry the
+            # current selection values (and result name).
+            plan = replace(plan, query=normalized)
         return plan
 
     def explain_sparql(self, text: str) -> str:
@@ -93,6 +155,7 @@ class EmptyHeadedEngine(Engine):
     def warm_indexes(self, query: ConjunctiveQuery | BoundUnion) -> int:
         """Plan a bound query and build every trie it will probe,
         without executing it (the QueryService warm-up path)."""
+        self.check_data_version()
         if isinstance(query, BoundUnion):
             return sum(
                 self.executor.warm(self.plan_for(block_query))

@@ -46,9 +46,16 @@ class ColumnStoreEngine(Engine):
 
     def __init__(self, store: VerticallyPartitionedStore) -> None:
         super().__init__(store)
+        self._build_structures()
+
+    def _build_structures(self) -> None:
         self.catalog = Catalog()
-        self.catalog.register_all(store.relations())
+        self.catalog.register_all(self.store.relations())
         self._distinct_cache: dict[tuple[str, int], int] = {}
+
+    def _on_data_update(self) -> None:
+        """Re-register the mutated tables and drop stale statistics."""
+        self._build_structures()
 
     # ------------------------------------------------------------------
     def _column_distinct(self, relation: Relation, position: int) -> int:
@@ -112,7 +119,7 @@ class ColumnStoreEngine(Engine):
         if TRIPLES_RELATION not in self.catalog and any(
             atom.relation == TRIPLES_RELATION for atom in query.atoms
         ):
-            self.catalog.register(self.store.triples_relation())
+            self.catalog.get_or_register(self.store.triples_relation())
         normalized = normalize(query)
         leaves: list[Relation] = []
         estimates: list[EstimatedRelation] = []

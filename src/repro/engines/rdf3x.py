@@ -38,12 +38,23 @@ class RDF3XLikeEngine(Engine):
 
     def __init__(self, store: VerticallyPartitionedStore) -> None:
         super().__init__(store)
-        self.triples = TripleTable(store, self.permutations)
-        # Predicate lookup: relation-name -> encoded predicate id.
+        self._build_structures()
+
+    def _build_structures(self) -> None:
+        self.triples = TripleTable(self.store, self.permutations)
+        # Predicate lookup: relation-name -> encoded predicate id. Only
+        # predicates with a live table resolve (a predicate emptied by
+        # remove_triples short-circuits at the engine layer anyway).
         self._predicate_key = {
-            name: store.dictionary.require(iri)
-            for name, iri in store.predicate_iris.items()
+            name: self.store.dictionary.require(
+                self.store.predicate_iris[name]
+            )
+            for name in self.store.tables
         }
+
+    def _on_data_update(self) -> None:
+        """Rebuild the six permutation indexes and aggregate stats."""
+        self._build_structures()
 
     # ------------------------------------------------------------------
     # Leaf access paths

@@ -84,19 +84,26 @@ class TripleBitLikeEngine(Engine):
 
     def __init__(self, store: VerticallyPartitionedStore) -> None:
         super().__init__(store)
+        self._build_structures()
+
+    def _build_structures(self) -> None:
         self.matrices = {
             name: _PredicateMatrix(relation)
-            for name, relation in store.tables.items()
+            for name, relation in self.store.tables.items()
         }
         # Predicate dictionary keys, for variable-predicate patterns: a
         # free predicate scans every matrix, a bound one picks its matrix
         # directly (TripleBit's predicate-first organization).
         self._predicate_key = {
-            name: store.predicate_key(name) for name in store.tables
+            name: self.store.predicate_key(name) for name in self.store.tables
         }
         self._matrix_name_for_key = {
             key: name for name, key in self._predicate_key.items()
         }
+
+    def _on_data_update(self) -> None:
+        """Rebuild the per-predicate dual-order matrices."""
+        self._build_structures()
 
     # ------------------------------------------------------------------
     def _triples_leaf(

@@ -1,19 +1,20 @@
-"""Serving layer: plan-cached, warmable query service over any engine.
+"""Serving layer: prepared statements over any engine.
 
-See :mod:`repro.service.query_service` for the full API. The subsystem
-exists so repeated query traffic — the dominant production pattern the
-RDF-store literature optimizes for — skips the SPARQL front-end and
-planner entirely after the first request.
+See :mod:`repro.service.query_service` for the service tier and
+:mod:`repro.service.prepared` for :class:`PreparedStatement`. The
+subsystem exists so repeated query traffic — the dominant production
+pattern the RDF-store literature optimizes for — skips the SPARQL
+front-end and planner entirely after the first request, runs
+concurrently over read-only catalogs, and invalidates itself when the
+underlying store is updated.
 """
 
-from repro.service.query_service import (
-    PreparedQuery,
-    QueryService,
-    ServiceStats,
-)
+from repro.service.prepared import PreparedStatement, StatementStats
+from repro.service.query_service import QueryService, ServiceStats
 
 __all__ = [
-    "PreparedQuery",
+    "PreparedStatement",
     "QueryService",
     "ServiceStats",
+    "StatementStats",
 ]

@@ -1,4 +1,5 @@
-"""A serving layer over any engine: plan caching, warming, batching.
+"""A serving layer over any engine: prepared statements, concurrency,
+warming, batching, and update-safe invalidation.
 
 Production RDF stores pair their join algorithms with a query-service
 tier that amortizes compilation over repeated traffic (the RDF-store
@@ -6,19 +7,27 @@ survey's "query processing" layer; EmptyHeaded itself caches compiled
 queries across back-to-back benchmark runs). :class:`QueryService`
 provides that tier for every engine in this library:
 
-* **LRU plan cache** — parse → translate → dictionary-bind is performed
-  once per query *text* and cached (bounded, least-recently-used
-  eviction). A cache hit skips the SPARQL front-end entirely and hands
-  the engine a pre-bound query, which for plan-caching engines
-  (EmptyHeaded/LogicBlox) also hits their compiled-plan cache, so a hot
-  query pays for join execution only.
-* **Catalog warming** — :meth:`warm` plans each query and pre-builds
-  every trie index the plan will probe (without executing), so the first
-  live request after a deploy does not pay index-construction latency.
+* **Prepared-statement cache** — :meth:`prepare` turns a query text
+  (optionally a ``$parameter`` template) into a
+  :class:`~repro.service.prepared.PreparedStatement`, LRU-cached per
+  text. A hit skips the SPARQL front-end entirely; the statement's own
+  caches skip binding and planning for repeated parameter values.
+* **Concurrent execution** — :meth:`execute_concurrent` answers a batch
+  of requests on a thread pool over the engine's read-only catalogs.
+  Every cache on the path (statement cache, bound-plan caches, engine
+  plan cache, trie cache) is thread-safe, and results are identical to
+  serial execution.
+* **Update safety** — the store's
+  :meth:`~repro.storage.vertical.VerticallyPartitionedStore.add_triples`
+  / ``remove_triples`` bump a data-version epoch; statements, engine
+  plan caches, trie caches, and the ``__triples__`` view all check it,
+  so a mutated store never serves a stale bound plan.
+* **Catalog warming** — :meth:`warm` prepares queries and pre-builds
+  every trie index their plans will probe (without executing), so the
+  first live request after a deploy does not pay index construction.
 * **Batched execution** — :meth:`execute_many` answers a batch of query
   texts, executing each *distinct* text once and fanning the result out
-  to duplicate positions, which is how repeated-query traffic is served
-  without repeated joins.
+  to duplicate positions.
 
 Example::
 
@@ -27,6 +36,12 @@ Example::
 
     dataset = generate_dataset(universities=1, seed=0)
     service = QueryService(EmptyHeadedEngine(dataset.store))
+
+    stmt = service.prepare(
+        "SELECT ?x WHERE { ?x <...advisor> $prof }"
+    )
+    rows = stmt.execute(prof="<http://...AssistantProfessor0>")
+
     service.warm([query_text])
     rows = service.execute(query_text)        # joins only, no parse/plan
     print(service.stats)                      # hits/misses/evictions
@@ -34,14 +49,21 @@ Example::
 
 from __future__ import annotations
 
+import threading
+from collections.abc import Iterable, Mapping, Sequence
+from concurrent.futures import ThreadPoolExecutor
 from collections import OrderedDict
-from collections.abc import Iterable, Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from repro.core.query import BoundUnion, ConjunctiveQuery, UnionQuery
+from repro.core.query import ParameterValue
 from repro.engines.base import Engine
 from repro.errors import ConfigError
+from repro.service.prepared import PreparedStatement
 from repro.storage.relation import Relation
+
+#: One request for :meth:`QueryService.execute_concurrent`: a bare query
+#: text, or ``(text, {param: value, ...})`` for a template.
+Request = str | tuple[str, Mapping[str, ParameterValue]]
 
 
 @dataclass
@@ -52,28 +74,12 @@ class ServiceStats:
     misses: int = 0
     evictions: int = 0
     executions: int = 0
+    invalidations: int = 0
 
     @property
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
-
-
-@dataclass(frozen=True)
-class PreparedQuery:
-    """A cache entry: the translated query and its dictionary binding.
-
-    ``query`` is either form the front-end produces (a plain conjunctive
-    query or a UNION/OPTIONAL tree); ``bound`` is its encoded form (a
-    :class:`ConjunctiveQuery` or :class:`BoundUnion`), or ``None`` when
-    the query is provably empty on this dataset (a constant or predicate
-    that never occurs), in which case ``empty_schema`` carries the
-    projection attribute names.
-    """
-
-    query: ConjunctiveQuery | UnionQuery
-    bound: ConjunctiveQuery | BoundUnion | None
-    empty_schema: tuple[str, ...] = field(default=())
 
 
 class QueryService:
@@ -85,54 +91,90 @@ class QueryService:
         self.engine = engine
         self.cache_size = cache_size
         self.stats = ServiceStats()
-        self._cache: OrderedDict[str, PreparedQuery] = OrderedDict()
+        self._cache: OrderedDict[str, PreparedStatement] = OrderedDict()
+        self._lock = threading.RLock()
+        self._data_version = engine.store.data_version
 
     # ------------------------------------------------------------------
-    # Preparation (the cached parse -> translate -> bind pipeline)
+    # Preparation (the cached parse -> translate pipeline)
     # ------------------------------------------------------------------
-    def prepare(self, text: str, name: str = "query") -> PreparedQuery:
-        """The cached prepared form of a query text (LRU-tracked)."""
-        entry = self._cache.get(text)
-        if entry is not None:
-            self.stats.hits += 1
-            self._cache.move_to_end(text)
-            return entry
-        self.stats.misses += 1
-        query = self.engine.prepare_sparql(text, name=name)
-        schema = tuple(v.name for v in query.projection)
-        # Engine.bind handles both query shapes: missing predicate
-        # tables and never-seen constants short-circuit to None (a
-        # pattern over a predicate with no triples matches nothing).
-        entry = PreparedQuery(query, self.engine.bind(query), schema)
-        self._cache[text] = entry
-        if len(self._cache) > self.cache_size:
-            self._cache.popitem(last=False)
-            self.stats.evictions += 1
-        return entry
+    def prepare(self, text: str, name: str = "query") -> PreparedStatement:
+        """The cached prepared statement for a query text (LRU-tracked).
+
+        Works for plain queries and ``$parameter`` templates alike; a
+        plain query is simply a statement with no parameters.
+        """
+        with self._lock:
+            if self._data_version != self.engine.store.data_version:
+                # Statements re-bind lazily via their own epoch check;
+                # the service only surfaces the event in its stats.
+                self.stats.invalidations += 1
+                self._data_version = self.engine.store.data_version
+            statement = self._cache.get(text)
+            if statement is not None:
+                self.stats.hits += 1
+                self._cache.move_to_end(text)
+                return statement
+            self.stats.misses += 1
+        # Parse + translate outside the lock so concurrent misses on
+        # *different* texts don't serialize; a race on the same text is
+        # resolved below (first insert wins, like Engine.prepare_sparql).
+        statement = PreparedStatement(self.engine, text, name=name)
+        with self._lock:
+            existing = self._cache.get(text)
+            if existing is not None:
+                return existing
+            self._cache[text] = statement
+            if len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+                self.stats.evictions += 1
+            return statement
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def execute(self, text: str, name: str = "query") -> Relation:
-        """Answer one query; repeat texts skip parsing and planning."""
-        entry = self.prepare(text, name=name)
-        self.stats.executions += 1
-        if entry.bound is None:
-            return Relation.empty(entry.query.name, list(entry.empty_schema))
-        if isinstance(entry.bound, BoundUnion):
-            return self.engine.execute_bound_union(entry.bound)
-        return self.engine.execute_bound(entry.bound)
+    def execute(
+        self,
+        text: str,
+        name: str = "query",
+        parameters: Mapping[str, ParameterValue] | None = None,
+    ) -> Relation:
+        """Answer one query; repeat texts skip parsing and planning.
+
+        ``parameters`` supplies values for a ``$parameter`` template
+        (exactly the template's placeholders; a plain query takes none).
+        """
+        statement = self.prepare(text, name=name)
+        result = statement.execute(**(parameters or {}))
+        with self._lock:
+            self.stats.executions += 1
+        return result
 
     def execute_decoded(
-        self, text: str, name: str = "query"
+        self,
+        text: str,
+        name: str = "query",
+        parameters: Mapping[str, ParameterValue] | None = None,
     ) -> list[tuple[str | None, ...]]:
         """:meth:`execute`, decoded back to lexical terms (``None`` for
         variables an OPTIONAL row never bound)."""
-        return self.engine.decode(self.execute(text, name=name))
+        return self.engine.decode(
+            self.execute(text, name=name, parameters=parameters)
+        )
 
-    def execute_many(
-        self, texts: Sequence[str]
+    def executemany(
+        self,
+        text: str,
+        param_rows: Iterable[Mapping[str, ParameterValue]],
     ) -> list[Relation]:
+        """Answer one template for a batch of parameter rows (in order)."""
+        statement = self.prepare(text)
+        results = statement.executemany(param_rows)
+        with self._lock:
+            self.stats.executions += len(results)
+        return results
+
+    def execute_many(self, texts: Sequence[str]) -> list[Relation]:
         """Answer a batch; each distinct text is executed exactly once.
 
         Results are returned in input order; duplicate texts within the
@@ -148,6 +190,34 @@ class QueryService:
             out.append(result)
         return out
 
+    def execute_concurrent(
+        self,
+        requests: Sequence[Request],
+        max_workers: int = 4,
+    ) -> list[Relation]:
+        """Answer a batch of requests on a thread pool, in input order.
+
+        Each request is a query text or ``(text, parameters)``. The
+        engine's catalogs are read-only for the whole batch and every
+        cache on the path is thread-safe, so the returned rows are
+        identical to serial execution of the same batch.
+        """
+        if max_workers < 1:
+            raise ConfigError(
+                "execute_concurrent max_workers must be >= 1"
+            )
+
+        def run(request: Request) -> Relation:
+            if isinstance(request, str):
+                return self.execute(request)
+            text, parameters = request
+            return self.execute(text, parameters=parameters)
+
+        if len(requests) <= 1 or max_workers == 1:
+            return [run(request) for request in requests]
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            return list(pool.map(run, requests))
+
     # ------------------------------------------------------------------
     # Warming
     # ------------------------------------------------------------------
@@ -155,27 +225,34 @@ class QueryService:
         """Prepare queries and pre-build the indexes their plans probe.
 
         For engines with a planner/trie-cache (the EmptyHeaded family)
-        each query is planned and every trie the plan touches is built
-        into the catalog cache without executing the join. Returns the
-        number of tries warmed (0 for engines whose indexes are fully
-        built at load time).
+        each parameterless query is planned and every trie the plan
+        touches is built into the catalog cache without executing the
+        join; templates are prepared (parse + translate) only — their
+        plans depend on parameter values. Returns the number of tries
+        warmed (0 for engines whose indexes are fully built at load
+        time).
         """
         warmed = 0
         warm_indexes = getattr(self.engine, "warm_indexes", None)
         for text in texts:
-            entry = self.prepare(text)
-            if entry.bound is not None and warm_indexes is not None:
-                warmed += warm_indexes(entry.bound)
+            statement = self.prepare(text)
+            if statement.parameters or warm_indexes is None:
+                continue
+            bound = statement.bind()
+            if bound is not None:
+                warmed += warm_indexes(bound)
         return warmed
 
     # ------------------------------------------------------------------
     def cached_texts(self) -> list[str]:
         """Cached query texts, least- to most-recently used."""
-        return list(self._cache)
+        with self._lock:
+            return list(self._cache)
 
     def clear(self) -> None:
-        """Drop all cached plans (stats are preserved)."""
-        self._cache.clear()
+        """Drop all cached statements (stats are preserved)."""
+        with self._lock:
+            self._cache.clear()
 
     def __repr__(self) -> str:
         return (

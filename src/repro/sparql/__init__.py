@@ -40,19 +40,36 @@ Supported grammar
         OPTIONAL { ?x ub:emailAddress ?email }
       }
 
-* ``FILTER (lhs op rhs)`` with ``= != < <= > >=`` over variables and
-  constants; equality against IRIs/strings is pushed into index-probe
-  selections when possible, the rest run as post-join predicates over
-  decoded terms (:mod:`repro.core.modifiers`). Comparing an unbound
-  (OPTIONAL-padded) variable is a SPARQL type error: the row is
-  excluded under every operator.
+* ``FILTER`` expressions over comparisons ``= != < <= > >=`` combined
+  with the boolean connectives ``&&`` and ``||`` (parenthesized
+  nesting allowed); equality against IRIs/strings is pushed into
+  index-probe selections when possible, the rest run as post-join
+  predicates over decoded terms (:mod:`repro.core.modifiers`).
+  Comparing an unbound (OPTIONAL-padded) variable is a SPARQL type
+  error — the row is excluded for that comparison, but an ``||`` arm
+  that errors does not stop another arm from keeping the row. Example::
+
+      SELECT ?x WHERE { ?x ub:age ?a
+                        FILTER(?a < 20 || (?a > 30 && ?a != 42)) }
+
+* **Parameters**: ``$name`` is a prepared-statement placeholder for a
+  constant supplied at execution time, allowed in any triple-pattern
+  position (a parameterized *predicate* selects on the ``__triples__``
+  union view) and in FILTER operands. One parse + translate + plan
+  serves the whole template family; see
+  :class:`repro.service.PreparedStatement`. Example::
+
+      stmt = service.prepare("SELECT ?x WHERE { ?x ub:advisor $prof }")
+      rows = stmt.execute(prof="<http://...AssistantProfessor0>")
+
 * Solution modifiers: ``ORDER BY`` (``ASC``/``DESC``) over projected
   variables (unbound sorts first, ``DESC`` reverses), ``LIMIT``, and
-  ``OFFSET`` — applied after the UNION merge.
+  ``OFFSET`` — applied after the UNION merge. Without ``ORDER BY``,
+  ``LIMIT`` is pushed into each UNION branch (a branch contributes at
+  most ``offset + limit`` rows to the merge).
 
 Known gaps (tracked in ROADMAP.md): ``GROUP BY``/aggregates, property
-paths, and boolean ``FILTER`` connectives (``&&``/``||``) with
-functions (``regex``, ``bound``).
+paths, and ``FILTER`` functions (``regex``, ``bound``).
 
 Queries translate onto the vertically partitioned relational schema:
 each predicate is a binary ``(subject, object)`` relation, so a triple

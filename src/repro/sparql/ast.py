@@ -8,7 +8,9 @@ datatyped literals, verbatim); :class:`SparqlNumber` is a bare numeric
 literal (``42``, ``-3.5``) whose value participates in numeric ``FILTER``
 comparisons and which, inside a triple pattern, matches every stored
 lexical form of the value (``"42"`` and ``"42"^^xsd:integer`` — see
-:class:`repro.core.query.NumericLiteral`).
+:class:`repro.core.query.NumericLiteral`). :class:`SparqlParameter` is
+``$name``, a prepared-statement placeholder for an execution-time
+constant.
 
 Graph patterns
 --------------
@@ -63,7 +65,20 @@ class SparqlNumber:
         return float(self.lexical)
 
 
-SparqlTermLike = SparqlVariable | SparqlTerm | SparqlNumber
+@dataclass(frozen=True)
+class SparqlParameter:
+    """``$name`` in query syntax: a prepared-statement placeholder.
+
+    Unlike a variable, a parameter stands for a *constant* supplied at
+    execution time (:meth:`repro.service.PreparedStatement.execute`);
+    it may appear in any triple-pattern position (including the
+    predicate) and in FILTER operands, but never in the SELECT list.
+    """
+
+    name: str
+
+
+SparqlTermLike = SparqlVariable | SparqlTerm | SparqlNumber | SparqlParameter
 
 
 @dataclass(frozen=True)
@@ -77,11 +92,29 @@ class TriplePattern:
 
 @dataclass(frozen=True)
 class FilterComparison:
-    """``FILTER (lhs op rhs)`` with ``op`` one of :data:`COMPARISON_OPS`."""
+    """``lhs op rhs`` with ``op`` one of :data:`COMPARISON_OPS`."""
 
     lhs: SparqlTermLike
     op: str
     rhs: SparqlTermLike
+
+
+@dataclass(frozen=True)
+class FilterAnd:
+    """``a && b [&& c ...]`` inside a FILTER expression."""
+
+    parts: tuple["FilterExpression", ...]
+
+
+@dataclass(frozen=True)
+class FilterOr:
+    """``a || b [|| c ...]`` inside a FILTER expression."""
+
+    parts: tuple["FilterExpression", ...]
+
+
+#: One FILTER constraint: a comparison or a boolean combination.
+FilterExpression = FilterComparison | FilterAnd | FilterOr
 
 
 @dataclass(frozen=True)
@@ -97,7 +130,7 @@ class GroupGraphPattern:
     """One ``{ ... }`` group: triples, filters, OPTIONALs, UNION chains."""
 
     patterns: tuple[TriplePattern, ...] = ()
-    filters: tuple[FilterComparison, ...] = ()
+    filters: tuple[FilterExpression, ...] = ()
     optionals: tuple["GroupGraphPattern", ...] = ()
     unions: tuple["UnionGraphPattern", ...] = ()
 
@@ -123,7 +156,7 @@ class SelectQuery:
     prefixes: dict[str, str] = field(default_factory=dict)
     distinct: bool = False
     select_all: bool = False
-    filters: tuple[FilterComparison, ...] = ()
+    filters: tuple[FilterExpression, ...] = ()
     optionals: tuple[GroupGraphPattern, ...] = ()
     unions: tuple[UnionGraphPattern, ...] = ()
     order_by: tuple[OrderCondition, ...] = ()

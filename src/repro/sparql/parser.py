@@ -12,20 +12,26 @@ Grammar::
     Triples      := Term PropertyList '.'?
     PropertyList := Verb ObjectList ( ';' Verb ObjectList )*
     ObjectList   := Term ( ',' Term )*
-    Verb         := 'a' | Var | Term            -- 'a' is rdf:type
-    Filter       := 'FILTER' '(' Operand CmpOp Operand ')'
+    Verb         := 'a' | Var | Param | Term    -- 'a' is rdf:type
+    Filter       := 'FILTER' '(' OrExpr ')'
+    OrExpr       := AndExpr ( '||' AndExpr )*
+    AndExpr      := Constraint ( '&&' Constraint )*
+    Constraint   := '(' OrExpr ')' | Operand CmpOp Operand
     CmpOp        := '=' | '!=' | '<' | '<=' | '>' | '>='
     Modifiers    := ( 'ORDER' 'BY' OrderKey+ )?
                     ( 'LIMIT' INTEGER | 'OFFSET' INTEGER )*
     OrderKey     := Var | 'ASC' '(' Var ')' | 'DESC' '(' Var ')'
-    Term         := Var | IRIREF | PrefixedName | Literal | Number
+    Term         := Var | Param | IRIREF | PrefixedName | Literal | Number
+    Param        := '$' NAME
 
 A braced sub-group without ``UNION`` merges into its parent (join
 semantics); ``UNION`` chains keep their branches. Predicates may be
 variables (translated to a scan over the union of all predicate tables).
 Literals may carry a language tag (``"chat"@fr``) or a datatype
-(``"5"^^xsd:int``); numbers are bare integers or decimals. Errors raise
-:class:`~repro.errors.ParseError` with a character offset.
+(``"5"^^xsd:int``); numbers are bare integers or decimals.
+``$name`` parameters are prepared-statement placeholders for constants
+supplied at execution time (any pattern position or FILTER operand).
+Errors raise :class:`~repro.errors.ParseError` with a character offset.
 """
 
 from __future__ import annotations
@@ -37,11 +43,15 @@ from repro.errors import ParseError
 from repro.rdf.vocabulary import RDF_TYPE
 from repro.sparql.ast import (
     COMPARISON_OPS,
+    FilterAnd,
     FilterComparison,
+    FilterExpression,
+    FilterOr,
     GroupGraphPattern,
     OrderCondition,
     SelectQuery,
     SparqlNumber,
+    SparqlParameter,
     SparqlTerm,
     SparqlVariable,
     TriplePattern,
@@ -60,9 +70,11 @@ _TOKEN_RE = re.compile(
         )?)
   | (?P<number>-?[0-9]+(?:\.[0-9]+)?)
   | (?P<var>\?[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<param>\$[A-Za-z_][A-Za-z0-9_]*)
   | (?P<pname>[A-Za-z_][A-Za-z0-9_\-]*:[A-Za-z_][A-Za-z0-9_\-]*)
   | (?P<ns>[A-Za-z_][A-Za-z0-9_\-]*:)
   | (?P<keyword>[A-Za-z]+)
+  | (?P<logic>&&|\|\|)
   | (?P<op>!=|<=|>=|=|<|>)
   | (?P<punct>[{}.*;,()])
     """,
@@ -311,9 +323,53 @@ class _Parser:
             return SparqlTerm(RDF_TYPE)
         return self._parse_term(prefixes)
 
-    def _parse_filter(self, prefixes: dict[str, str]) -> FilterComparison:
+    def _parse_filter(self, prefixes: dict[str, str]) -> FilterExpression:
         self.next()  # FILTER
         self.next("(")
+        expression = self._parse_or_expression(prefixes)
+        self.next(")")
+        return expression
+
+    def _at_logic(self, symbol: str) -> bool:
+        token = self.peek()
+        return (
+            token is not None
+            and token.kind == "logic"
+            and token.text == symbol
+        )
+
+    def _parse_or_expression(
+        self, prefixes: dict[str, str]
+    ) -> FilterExpression:
+        parts = [self._parse_and_expression(prefixes)]
+        while self._at_logic("||"):
+            self.next()
+            parts.append(self._parse_and_expression(prefixes))
+        if len(parts) == 1:
+            return parts[0]
+        return FilterOr(tuple(parts))
+
+    def _parse_and_expression(
+        self, prefixes: dict[str, str]
+    ) -> FilterExpression:
+        parts = [self._parse_constraint(prefixes)]
+        while self._at_logic("&&"):
+            self.next()
+            parts.append(self._parse_constraint(prefixes))
+        if len(parts) == 1:
+            return parts[0]
+        return FilterAnd(tuple(parts))
+
+    def _parse_constraint(
+        self, prefixes: dict[str, str]
+    ) -> FilterExpression:
+        token = self.peek()
+        if token is not None and token.text == "(":
+            # Operands never start with '(' so this is a nested group.
+            self.next()
+            expression = self._parse_or_expression(prefixes)
+            self.next(")")
+            return expression
         lhs = self._parse_operand(prefixes)
         op_token = self.next()
         if op_token.kind != "op" or op_token.text not in COMPARISON_OPS:
@@ -322,7 +378,6 @@ class _Parser:
                 op_token.position,
             )
         rhs = self._parse_operand(prefixes)
-        self.next(")")
         return FilterComparison(lhs, op_token.text, rhs)
 
     def _parse_operand(self, prefixes: dict[str, str]):
@@ -405,10 +460,12 @@ class _Parser:
     # ------------------------------------------------------------------
     def _parse_term(
         self, prefixes: dict[str, str]
-    ) -> SparqlVariable | SparqlTerm | SparqlNumber:
+    ) -> SparqlVariable | SparqlTerm | SparqlNumber | SparqlParameter:
         token = self.next()
         if token.kind == "var":
             return SparqlVariable(token.text[1:])
+        if token.kind == "param":
+            return SparqlParameter(token.text[1:])
         if token.kind == "iri":
             return SparqlTerm(token.text)
         if token.kind == "literal":

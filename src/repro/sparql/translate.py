@@ -48,11 +48,15 @@ from dataclasses import dataclass, field
 from repro.core.query import (
     Atom,
     Comparison,
+    Conjunction,
     ConjunctiveQuery,
     Constant,
+    Disjunction,
+    FilterExpr,
     NumericLiteral,
     OptionalBlock,
     OrderKey,
+    Parameter,
     QueryBlock,
     UnionQuery,
     Variable,
@@ -60,10 +64,14 @@ from repro.core.query import (
 )
 from repro.errors import ParseError
 from repro.sparql.ast import (
+    FilterAnd,
     FilterComparison,
+    FilterExpression,
+    FilterOr,
     GroupGraphPattern,
     SelectQuery,
     SparqlNumber,
+    SparqlParameter,
     SparqlTerm,
     SparqlVariable,
     TriplePattern,
@@ -71,18 +79,22 @@ from repro.sparql.ast import (
 from repro.storage.vertical import TRIPLES_RELATION, local_name
 
 
-def _pattern_term(part) -> Variable | Constant:
+def _pattern_term(part) -> Variable | Constant | Parameter:
     if isinstance(part, SparqlVariable):
         return Variable(part.name)
+    if isinstance(part, SparqlParameter):
+        return Parameter(part.name)
     if isinstance(part, SparqlNumber):
         return Constant(NumericLiteral(part.lexical))
     assert isinstance(part, SparqlTerm)
     return Constant(part.lexical)
 
 
-def _filter_operand(part) -> Variable | Constant:
+def _filter_operand(part) -> Variable | Constant | Parameter:
     if isinstance(part, SparqlVariable):
         return Variable(part.name)
+    if isinstance(part, SparqlParameter):
+        return Parameter(part.name)
     if isinstance(part, SparqlNumber):
         return Constant(part.value)
     assert isinstance(part, SparqlTerm)
@@ -105,6 +117,18 @@ def _translate_patterns(
                 )
             )
             continue
+        if isinstance(pattern.predicate, SparqlParameter):
+            # A parameterized predicate cannot pick its two-column table
+            # at translation time, so it selects on the predicate column
+            # of the `__triples__` union view instead — the relation the
+            # atom targets stays fixed across the template family.
+            atoms.append(
+                Atom(
+                    TRIPLES_RELATION,
+                    (subject, Parameter(pattern.predicate.name), obj),
+                )
+            )
+            continue
         if isinstance(pattern.predicate, SparqlNumber):
             raise ParseError(
                 f"a number ({pattern.predicate.lexical}) cannot be a "
@@ -115,13 +139,40 @@ def _translate_patterns(
     return tuple(atoms)
 
 
+def _translate_filter_expr(expression: FilterExpression) -> FilterExpr:
+    if isinstance(expression, FilterComparison):
+        return Comparison(
+            _filter_operand(expression.lhs),
+            expression.op,
+            _filter_operand(expression.rhs),
+        )
+    parts = tuple(_translate_filter_expr(p) for p in expression.parts)
+    if isinstance(expression, FilterAnd):
+        return Conjunction(parts)
+    assert isinstance(expression, FilterOr)
+    return Disjunction(parts)
+
+
 def _translate_filters(
-    filters: tuple[FilterComparison, ...]
-) -> tuple[Comparison, ...]:
-    return tuple(
-        Comparison(_filter_operand(f.lhs), f.op, _filter_operand(f.rhs))
-        for f in filters
-    )
+    filters: tuple[FilterExpression, ...]
+) -> tuple[FilterExpr, ...]:
+    """Translate FILTER trees, flattening top-level ``&&`` chains.
+
+    ``FILTER(a && b)`` and ``FILTER(a) FILTER(b)`` are equivalent, and
+    the flat form lets equality pushdown and the engine layer's
+    short-circuiting see each conjunct individually.
+    """
+    out: list[FilterExpr] = []
+    for expression in filters:
+        translated = _translate_filter_expr(expression)
+        queue = [translated]
+        while queue:
+            expr = queue.pop(0)
+            if isinstance(expr, Conjunction):
+                queue[0:0] = list(expr.parts)
+            else:
+                out.append(expr)
+    return tuple(out)
 
 
 # ---------------------------------------------------------------------------
@@ -243,10 +294,12 @@ def _appearance_variables(blocks: list[QueryBlock]) -> list[Variable]:
 
 
 def _pushdown_candidate(
-    comparison: Comparison,
+    comparison: FilterExpr,
 ) -> tuple[Variable, Constant] | None:
     """The (variable, lexical constant) pair of a pushable equality."""
-    if comparison.op != "=":
+    if not isinstance(comparison, Comparison) or comparison.op != "=":
+        # Disjunctions never push down: each arm constrains rows only
+        # when the other arms fail, so no single equality is implied.
         return None
     lhs, rhs = comparison.lhs, comparison.rhs
     if isinstance(lhs, Constant):

@@ -4,10 +4,17 @@ Engines resolve atom names against a :class:`Catalog`. WCOJ engines also
 ask it for trie indexes over specific attribute orders; builds are cached
 per (relation, order, layout mode) the way EmptyHeaded reuses indexes
 across back-to-back queries.
+
+The catalog is safe for concurrent readers (the serving layer's
+``execute_concurrent`` runs many queries over one read-only catalog):
+registration and trie-cache insertion are serialized by an internal
+lock, and concurrent trie builds for the same key race benignly — both
+build, one wins the cache, both results are equivalent.
 """
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Iterable, Sequence
 
 from repro.errors import ArityMismatchError, StorageError, UnknownRelationError
@@ -24,21 +31,34 @@ class Catalog:
         self._trie_cache: dict[
             tuple[str, tuple[str, ...], SetLayout | None], Trie
         ] = {}
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Relation management
     # ------------------------------------------------------------------
     def register(self, relation: Relation, *, replace: bool = False) -> None:
         """Add ``relation`` under its name."""
-        if relation.name in self._relations and not replace:
-            raise StorageError(
-                f"relation {relation.name!r} already registered"
-            )
-        self._relations[relation.name] = relation
-        # Invalidate any cached indexes for the replaced relation.
-        stale = [k for k in self._trie_cache if k[0] == relation.name]
-        for key in stale:
-            del self._trie_cache[key]
+        with self._lock:
+            if relation.name in self._relations and not replace:
+                raise StorageError(
+                    f"relation {relation.name!r} already registered"
+                )
+            self._relations[relation.name] = relation
+            # Invalidate any cached indexes for the replaced relation.
+            stale = [k for k in self._trie_cache if k[0] == relation.name]
+            for key in stale:
+                del self._trie_cache[key]
+
+    def get_or_register(self, relation: Relation) -> Relation:
+        """Register ``relation`` unless its name is taken; return the
+        catalog's copy either way (the concurrency-safe form of
+        ``if name not in catalog: register``)."""
+        with self._lock:
+            existing = self._relations.get(relation.name)
+            if existing is not None:
+                return existing
+            self._relations[relation.name] = relation
+            return relation
 
     def register_all(self, relations: Iterable[Relation]) -> None:
         for relation in relations:
@@ -84,10 +104,13 @@ class Catalog:
         cached = self._trie_cache.get(key)
         if cached is None:
             relation = self.get(name)
-            cached = Trie.from_relation(
+            built = Trie.from_relation(
                 relation, attribute_order, force_layout=force_layout
             )
-            self._trie_cache[key] = cached
+            # Concurrent builders race benignly; first insert wins so
+            # every thread probes the same object afterwards.
+            with self._lock:
+                cached = self._trie_cache.setdefault(key, built)
         return cached
 
     def total_rows(self) -> int:

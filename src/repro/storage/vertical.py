@@ -7,11 +7,22 @@ The paper stores RDF this way for *all* relational engines, including
 EmptyHeaded; this module produces those per-predicate two-column tables
 from a stream of raw string triples, dictionary-encoding subjects and
 objects along the way.
+
+The store is also the system's unit of mutability: :meth:`add_triples`
+and :meth:`remove_triples` update the per-predicate tables in place and
+bump a **data-version epoch** (``data_version``). Everything derived
+from the tables — engine indexes, compiled plans, trie caches, the
+lazily built ``__triples__`` union view, and the serving layer's bound
+plans — records the epoch it was built at and rebuilds on mismatch, so
+a mutated store never serves a stale answer. Updates replace whole
+numpy columns (never mutate them), so an execution racing an update
+sees immutable snapshots.
 """
 
 from __future__ import annotations
 
 import re
+import threading
 from collections.abc import Iterable
 from dataclasses import dataclass, field
 
@@ -56,13 +67,23 @@ def local_name(predicate_iri: str) -> str:
 
 @dataclass
 class VerticallyPartitionedStore:
-    """A dictionary-encoded, vertically partitioned triple store."""
+    """A dictionary-encoded, vertically partitioned triple store.
+
+    ``data_version`` is the update epoch: it starts at 0 and is bumped
+    by every :meth:`add_triples` / :meth:`remove_triples` call. Derived
+    caches (engine indexes, plan caches, the serving layer) compare it
+    against the epoch they were built at and rebuild on mismatch.
+    """
 
     dictionary: Dictionary = field(default_factory=Dictionary)
     tables: dict[str, Relation] = field(default_factory=dict)
     predicate_iris: dict[str, str] = field(default_factory=dict)
     num_triples: int = 0
+    data_version: int = 0
     _triples_view: Relation | None = field(default=None, repr=False)
+    _write_lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
 
     def relation_for_predicate(self, predicate_iri: str) -> Relation | None:
         """The table for a predicate IRI, or ``None`` if never seen."""
@@ -79,29 +100,32 @@ class VerticallyPartitionedStore:
         """The ``__triples__`` view: all predicate tables unioned into one
         three-column relation, the predicate dictionary key bound into
         each row. Built lazily, cached, shared by every engine over this
-        store (variable-predicate patterns resolve against it)."""
-        if self._triples_view is None:
-            subjects: list[np.ndarray] = []
-            predicates: list[np.ndarray] = []
-            objects: list[np.ndarray] = []
-            for name, relation in sorted(self.tables.items()):
-                key = self.predicate_key(name)
-                subjects.append(relation.column(SUBJECT))
-                predicates.append(
-                    np.full(relation.num_rows, key, dtype=np.uint32)
+        store (variable-predicate patterns resolve against it). Built
+        under the write lock so an interleaved update can neither tear
+        the snapshot nor be overwritten by a stale build."""
+        with self._write_lock:
+            if self._triples_view is None:
+                subjects: list[np.ndarray] = []
+                predicates: list[np.ndarray] = []
+                objects: list[np.ndarray] = []
+                for name, relation in sorted(self.tables.items()):
+                    key = self.predicate_key(name)
+                    subjects.append(relation.column(SUBJECT))
+                    predicates.append(
+                        np.full(relation.num_rows, key, dtype=np.uint32)
+                    )
+                    objects.append(relation.column(OBJECT))
+                empty = np.empty(0, dtype=np.uint32)
+                self._triples_view = Relation(
+                    TRIPLES_RELATION,
+                    (SUBJECT, PREDICATE, OBJECT),
+                    (
+                        np.concatenate(subjects) if subjects else empty,
+                        np.concatenate(predicates) if predicates else empty,
+                        np.concatenate(objects) if objects else empty,
+                    ),
                 )
-                objects.append(relation.column(OBJECT))
-            empty = np.empty(0, dtype=np.uint32)
-            self._triples_view = Relation(
-                TRIPLES_RELATION,
-                (SUBJECT, PREDICATE, OBJECT),
-                (
-                    np.concatenate(subjects) if subjects else empty,
-                    np.concatenate(predicates) if predicates else empty,
-                    np.concatenate(objects) if objects else empty,
-                ),
-            )
-        return self._triples_view
+            return self._triples_view
 
     def table_names(self) -> set[str]:
         """Names an atom may resolve against (incl. the triples view)."""
@@ -109,6 +133,118 @@ class VerticallyPartitionedStore:
         if names:
             names.add(TRIPLES_RELATION)
         return names
+
+    # ------------------------------------------------------------------
+    # Updates (the data-version epoch)
+    # ------------------------------------------------------------------
+    def _group_pairs(
+        self, triples: Iterable[tuple[str, str, str]], *, encode: bool
+    ) -> dict[str, tuple[list[int], list[int], str]]:
+        """Per-predicate (subject keys, object keys, predicate IRI).
+
+        With ``encode=False`` (removal) unseen terms map to no key and
+        the triple is skipped — it cannot be stored under any key.
+        """
+        grouped: dict[str, tuple[list[int], list[int], str]] = {}
+        for subject, predicate, obj in triples:
+            if encode:
+                s_key = self.dictionary.encode(subject)
+                o_key = self.dictionary.encode(obj)
+            else:
+                s_lookup = self.dictionary.lookup(subject)
+                o_lookup = self.dictionary.lookup(obj)
+                if s_lookup is None or o_lookup is None:
+                    continue
+                s_key, o_key = s_lookup, o_lookup
+            name = local_name(predicate)
+            bucket = grouped.get(name)
+            if bucket is None:
+                bucket = ([], [], predicate)
+                grouped[name] = bucket
+            bucket[0].append(s_key)
+            bucket[1].append(o_key)
+        return grouped
+
+    def _commit_update(self) -> None:
+        """Bump the epoch and drop derived in-store state."""
+        self._triples_view = None
+        self.num_triples = sum(r.num_rows for r in self.tables.values())
+        self.data_version += 1
+
+    def add_triples(self, triples: Iterable[tuple[str, str, str]]) -> int:
+        """Insert string triples; returns the number of *new* triples.
+
+        New predicates create new tables; duplicates of stored triples
+        are ignored (RDF graphs are sets). Bumps ``data_version`` so
+        every derived cache rebuilds before the next answer, and resets
+        ``num_triples`` to the deduplicated total.
+        """
+        with self._write_lock:
+            grouped = self._group_pairs(triples, encode=True)
+            if not grouped:
+                return 0
+            added = 0
+            for name, (subjects, objects, predicate_iri) in grouped.items():
+                fresh = Relation(
+                    name,
+                    (SUBJECT, OBJECT),
+                    (
+                        np.asarray(subjects, dtype=np.uint32),
+                        np.asarray(objects, dtype=np.uint32),
+                    ),
+                )
+                existing = self.tables.get(name)
+                if existing is not None:
+                    merged = existing.concat(fresh).distinct()
+                    if merged.num_rows == existing.num_rows:
+                        continue  # every pair was already stored
+                    added += merged.num_rows - existing.num_rows
+                else:
+                    merged = fresh.distinct()
+                    added += merged.num_rows
+                    self.predicate_iris[name] = predicate_iri
+                    self.dictionary.encode(predicate_iri)
+                self.tables[name] = merged
+            if added:
+                # A pure-duplicate batch leaves the epoch alone: no
+                # derived cache needs rebuilding for unchanged data.
+                self._commit_update()
+            return added
+
+    def remove_triples(self, triples: Iterable[tuple[str, str, str]]) -> int:
+        """Delete string triples; returns the number actually removed.
+
+        Triples that are not stored (including ones whose terms were
+        never seen) are ignored. A table left empty is dropped, so
+        patterns over its predicate match nothing afterwards. Bumps
+        ``data_version`` like :meth:`add_triples`.
+        """
+        with self._write_lock:
+            grouped = self._group_pairs(triples, encode=False)
+            removed = 0
+            for name, (subjects, objects, _) in grouped.items():
+                existing = self.tables.get(name)
+                if existing is None:
+                    continue
+                # Pack (subject, object) pairs into uint64 keys so the
+                # membership test is one vectorized isin().
+                stored = (
+                    existing.column(SUBJECT).astype(np.uint64) << np.uint64(32)
+                ) | existing.column(OBJECT).astype(np.uint64)
+                doomed = (
+                    np.asarray(subjects, dtype=np.uint64) << np.uint64(32)
+                ) | np.asarray(objects, dtype=np.uint64)
+                keep = ~np.isin(stored, doomed)
+                removed += existing.num_rows - int(keep.sum())
+                if keep.all():
+                    continue
+                if not keep.any():
+                    del self.tables[name]
+                else:
+                    self.tables[name] = existing.filter(keep)
+            if removed:
+                self._commit_update()
+            return removed
 
 
 def vertically_partition(

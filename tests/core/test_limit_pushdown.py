@@ -1,0 +1,107 @@
+"""Per-branch LIMIT pushdown for UNION queries."""
+
+import pytest
+
+from repro.core.blocks import branch_row_cap, required_query
+from repro.core.query import bind_union
+from repro.engines import ALL_ENGINES
+from repro.rdf.vocabulary import RDF_TYPE
+from repro.sparql.parser import parse_sparql
+from repro.sparql.translate import sparql_to_query
+from repro.storage.vertical import vertically_partition
+
+EX = "http://ex/"
+
+
+def _graph():
+    triples = []
+    for i in range(30):
+        triples.append((f"<{EX}s{i:02}>", RDF_TYPE, f"<{EX}A>"))
+        triples.append((f"<{EX}t{i:02}>", RDF_TYPE, f"<{EX}B>"))
+        if i % 3 == 0:
+            triples.append(
+                (f"<{EX}s{i:02}>", f"<{EX}age>", f'"{i}"')
+            )
+    return triples
+
+
+@pytest.fixture()
+def store():
+    return vertically_partition(_graph())
+
+
+def _bound(store, text):
+    tree = sparql_to_query(parse_sparql(text))
+    return bind_union(tree, store.dictionary, store.table_names())
+
+
+UNION_TEXT = (
+    f"SELECT ?x WHERE {{ {{ ?x a <{EX}A> }} UNION {{ ?x a <{EX}B> }} }}"
+)
+
+
+def test_cap_is_offset_plus_limit(store):
+    bound = _bound(store, UNION_TEXT + " LIMIT 5 OFFSET 2")
+    assert branch_row_cap(bound) == 7
+
+
+def test_no_cap_without_limit_or_with_order_by(store):
+    assert branch_row_cap(_bound(store, UNION_TEXT)) is None
+    ordered = _bound(store, UNION_TEXT + " ORDER BY ?x LIMIT 5")
+    assert branch_row_cap(ordered) is None
+
+
+def test_simple_blocks_carry_the_engine_level_limit(store):
+    bound = _bound(store, UNION_TEXT + " LIMIT 5")
+    for index, block in enumerate(bound.blocks):
+        assert required_query(bound, block, index).limit == 5
+
+
+def test_blocks_with_filters_or_optionals_get_no_engine_limit(store):
+    text = (
+        f"SELECT ?x WHERE {{ "
+        f"{{ ?x a <{EX}A> . ?x <{EX}age> ?a FILTER(?a > 3) }} UNION "
+        f"{{ ?x a <{EX}B> . OPTIONAL {{ ?x <{EX}age> ?b }} }} }} LIMIT 4"
+    )
+    bound = _bound(store, text)
+    for index, block in enumerate(bound.blocks):
+        assert required_query(bound, block, index).limit is None
+
+
+def test_order_by_queries_keep_unlimited_branches(store):
+    bound = _bound(store, UNION_TEXT + " ORDER BY ?x LIMIT 5")
+    for index, block in enumerate(bound.blocks):
+        assert required_query(bound, block, index).limit is None
+
+
+@pytest.mark.parametrize("engine_cls", ALL_ENGINES, ids=lambda c: c.name)
+@pytest.mark.parametrize(
+    "modifiers",
+    ["LIMIT 5", "LIMIT 5 OFFSET 3", "LIMIT 100", "OFFSET 2 LIMIT 1"],
+)
+def test_pushdown_preserves_answers(engine_cls, store, modifiers):
+    """The capped union returns exactly the uncapped union's slice."""
+    engine = engine_cls(store)
+    full = engine.execute_sparql(UNION_TEXT)
+    limited = engine.execute_sparql(f"{UNION_TEXT} {modifiers}")
+    tokens = modifiers.split()
+    values = {
+        tokens[i]: int(tokens[i + 1]) for i in range(0, len(tokens), 2)
+    }
+    offset = values.get("OFFSET", 0)
+    limit = values["LIMIT"]
+    expected = list(full.iter_rows())[offset : offset + limit]
+    assert list(limited.iter_rows()) == expected
+
+
+@pytest.mark.parametrize("engine_cls", ALL_ENGINES, ids=lambda c: c.name)
+def test_pushdown_with_filtered_branches(engine_cls, store):
+    engine = engine_cls(store)
+    text = (
+        f"SELECT ?x WHERE {{ "
+        f"{{ ?x a <{EX}A> . ?x <{EX}age> ?a FILTER(?a > 3) }} UNION "
+        f"{{ ?x a <{EX}B> }} }}"
+    )
+    full = engine.execute_sparql(text)
+    limited = engine.execute_sparql(text + " LIMIT 6 OFFSET 1")
+    assert list(limited.iter_rows()) == list(full.iter_rows())[1:7]

@@ -114,6 +114,19 @@ class _QueryGen:
             )
         return {"patterns": patterns, "optionals": optionals}
 
+    def _comparison(self, variables: list[str]) -> tuple:
+        """One random ``(lhs, op, rhs)`` comparison over ``variables``."""
+        rng = self.rng
+        var = rng.choice(variables)
+        kind = rng.random()
+        if kind < 0.4:
+            return (var, ">", str(rng.randint(1, 6)))
+        if kind < 0.7:
+            return (var, "!=", rng.choice(self.subjects))
+        if self.literals:
+            return (var, "=", rng.choice(self.literals))
+        return (var, ">", str(rng.randint(1, 6)))
+
     @staticmethod
     def _branch_vars(branch: dict) -> set[str]:
         out = set()
@@ -140,15 +153,15 @@ class _QueryGen:
         )
         filters = []
         if rng.random() < 0.4:
-            var = rng.choice(variables)
-            kind = rng.random()
-            if kind < 0.4:
-                filters.append((var, ">", str(rng.randint(1, 6))))
-            elif kind < 0.7:
-                filters.append((var, "!=", rng.choice(self.subjects)))
-            elif self.literals:
-                literal = rng.choice(self.literals)
-                filters.append((var, "=", literal))
+            comparison = self._comparison(variables)
+            if rng.random() < 0.45:
+                # Boolean connectives: two comparisons under && or ||.
+                connective = "or" if rng.random() < 0.6 else "and"
+                filters.append(
+                    (connective, comparison, self._comparison(variables))
+                )
+            else:
+                filters.append(comparison)
 
         count = rng.randint(1, min(3, len(variables)))
         projection = sorted(rng.sample(variables, count))
@@ -171,7 +184,17 @@ class _QueryGen:
         }
 
     @staticmethod
-    def text(spec: dict) -> str:
+    def filter_text(spec_filter: tuple) -> str:
+        """SPARQL surface syntax of one (possibly connective) filter."""
+        if spec_filter[0] in ("or", "and"):
+            symbol = "||" if spec_filter[0] == "or" else "&&"
+            (l1, o1, r1), (l2, o2, r2) = spec_filter[1], spec_filter[2]
+            return f"{l1} {o1} {r1} {symbol} {l2} {o2} {r2}"
+        lhs, op, rhs = spec_filter
+        return f"{lhs} {op} {rhs}"
+
+    @classmethod
+    def text(cls, spec: dict) -> str:
         def branch_text(branch: dict) -> str:
             parts = [" . ".join(" ".join(p) for p in branch["patterns"])]
             for optional in branch["optionals"]:
@@ -189,8 +212,8 @@ class _QueryGen:
             )
         else:
             body = branch_text(spec["branches"][0])
-        for lhs, op, rhs in spec["filters"]:
-            body += f" FILTER({lhs} {op} {rhs})"
+        for spec_filter in spec["filters"]:
+            body += f" FILTER({cls.filter_text(spec_filter)})"
         text = (
             f"SELECT {' '.join(spec['projection'])} WHERE {{ {body} }}"
         )
@@ -280,6 +303,19 @@ def _filter_true(binding, lhs, op, rhs) -> bool:
     return value.startswith("<")  # IRI != number: kept; literal: error
 
 
+def _filter_holds(binding, spec_filter: tuple) -> bool:
+    """One (possibly connective) filter; arms error independently."""
+    if spec_filter[0] == "or":
+        return _filter_holds(binding, spec_filter[1]) or _filter_holds(
+            binding, spec_filter[2]
+        )
+    if spec_filter[0] == "and":
+        return _filter_holds(binding, spec_filter[1]) and _filter_holds(
+            binding, spec_filter[2]
+        )
+    return _filter_true(binding, *spec_filter)
+
+
 def _eval_branch(graph, branch: dict):
     solutions = [dict()]
     for pattern in branch["patterns"]:
@@ -309,7 +345,7 @@ def _reference_rows(graph, spec: dict) -> set[tuple]:
     rows = set()
     for branch in spec["branches"]:
         for binding in _eval_branch(graph, branch):
-            if all(_filter_true(binding, *f) for f in spec["filters"]):
+            if all(_filter_holds(binding, f) for f in spec["filters"]):
                 rows.add(
                     tuple(binding.get(v) for v in spec["projection"])
                 )
@@ -365,6 +401,66 @@ def test_engines_agree_on_random_queries(seed):
             )
 
 
+@pytest.mark.parametrize("seed", range(6))
+def test_updates_interleaved_with_cached_execution(seed):
+    """add/remove_triples between cached executions: every engine's
+    QueryService must track the mutated graph exactly (reference
+    evaluator re-run over the evolving triple list)."""
+    from repro.service import QueryService
+
+    rng = random.Random(1000 + seed)
+    graph = list(_make_graph(rng))
+    store = vertically_partition(graph)
+    services = {
+        cls.name: QueryService(cls(store)) for cls in ALL_ENGINES
+    }
+    gen = _QueryGen(rng, graph)
+    specs = [gen.spec() for _ in range(3)]
+    # Queries without LIMIT/OFFSET compare exactly against the
+    # reference evaluator after every mutation.
+    for spec in specs:
+        spec["limit"] = None
+        spec["offset"] = 0
+    texts = [gen.text(spec) for spec in specs]
+
+    subjects = sorted({s for s, _, _ in graph})
+    predicates = sorted({p for _, p, _ in graph})
+
+    def check(step: str) -> None:
+        for spec, text in zip(specs, texts):
+            expected = _reference_rows(graph, spec)
+            for name, service in services.items():
+                rows = set(
+                    service.engine.decode(service.execute(text))
+                )
+                assert rows == expected, (
+                    f"seed={seed} step={step} engine={name} "
+                    f"query={text!r}: got {rows!r}, expected "
+                    f"{expected!r}"
+                )
+
+    check("initial")  # caches are now warm for every text
+    for step in range(3):
+        additions = [
+            (
+                rng.choice(subjects),
+                rng.choice(predicates),
+                rng.choice(subjects),
+            )
+            for _ in range(rng.randint(1, 4))
+        ]
+        store.add_triples(additions)
+        graph = sorted(set(graph) | set(additions))
+        check(f"add{step}")
+        removals = [
+            graph[rng.randrange(len(graph))]
+            for _ in range(rng.randint(1, 3))
+        ]
+        store.remove_triples(removals)
+        graph = sorted(set(graph) - set(removals))
+        check(f"remove{step}")
+
+
 def test_harness_is_deterministic():
     """Same seed => same graph and same query batch (reproducibility)."""
     rng1, rng2 = random.Random(3), random.Random(3)
@@ -383,6 +479,7 @@ def test_generator_covers_all_constructs():
         "optional": False,
         "varpred": False,
         "filter": False,
+        "connective": False,
         "order": False,
         "number": False,
         "optional_filter": False,
@@ -400,6 +497,9 @@ def test_generator_covers_all_constructs():
             )
             seen["varpred"] |= "?q" in text
             seen["filter"] |= bool(spec["filters"])
+            seen["connective"] |= any(
+                f[0] in ("or", "and") for f in spec["filters"]
+            )
             seen["order"] |= spec["order"] is not None
             seen["number"] |= any(
                 p[2] in ("3", "7", "5")

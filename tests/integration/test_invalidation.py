@@ -1,0 +1,111 @@
+"""Update-safety across every engine and the serving tier.
+
+After ``add_triples``/``remove_triples`` the next answer from any path
+— direct ``execute_sparql``, cached ``QueryService`` execution, or a
+bound ``PreparedStatement`` — must reflect the new data: no stale plan,
+index, trie, ``__triples__`` view, or cached result may be served.
+"""
+
+import pytest
+
+from repro.engines import ALL_ENGINES
+from repro.rdf.vocabulary import RDF_TYPE
+from repro.service import QueryService
+from repro.storage.vertical import vertically_partition
+
+EX = "http://ex/"
+
+BASE = [
+    (f"<{EX}a>", RDF_TYPE, f"<{EX}T>"),
+    (f"<{EX}b>", RDF_TYPE, f"<{EX}T>"),
+    (f"<{EX}a>", f"<{EX}knows>", f"<{EX}b>"),
+    (f"<{EX}b>", f"<{EX}knows>", f"<{EX}a>"),
+]
+
+Q_TYPE = f"SELECT ?x WHERE {{ ?x a <{EX}T> }}"
+Q_JOIN = (
+    f"SELECT ?x ?y WHERE {{ ?x <{EX}knows> ?y . ?y a <{EX}T> }}"
+)
+Q_VARPRED = f"SELECT ?p ?o WHERE {{ <{EX}a> ?p ?o }}"
+TEMPLATE = f"SELECT ?x WHERE {{ ?x <{EX}knows> $who }}"
+
+
+@pytest.mark.parametrize("engine_cls", ALL_ENGINES, ids=lambda c: c.name)
+def test_every_engine_sees_updates_through_cached_paths(engine_cls):
+    store = vertically_partition(BASE)
+    engine = engine_cls(store)
+    # Warm every cache: plans, tries, permutation indexes, matrices,
+    # and the __triples__ view.
+    assert engine.execute_sparql(Q_TYPE).num_rows == 2
+    assert engine.execute_sparql(Q_JOIN).num_rows == 2
+    assert engine.execute_sparql(Q_VARPRED).num_rows == 2
+
+    store.add_triples(
+        [
+            (f"<{EX}c>", RDF_TYPE, f"<{EX}T>"),
+            (f"<{EX}a>", f"<{EX}knows>", f"<{EX}c>"),
+            (f"<{EX}a>", f"<{EX}likes>", f"<{EX}b>"),  # new predicate
+        ]
+    )
+    assert engine.execute_sparql(Q_TYPE).num_rows == 3
+    assert engine.execute_sparql(Q_JOIN).num_rows == 3
+    assert engine.execute_sparql(Q_VARPRED).num_rows == 4
+    assert (
+        engine.execute_sparql(
+            f"SELECT ?x WHERE {{ ?x <{EX}likes> ?y }}"
+        ).num_rows
+        == 1
+    )
+
+    store.remove_triples([(f"<{EX}c>", RDF_TYPE, f"<{EX}T>")])
+    assert engine.execute_sparql(Q_TYPE).num_rows == 2
+    assert engine.execute_sparql(Q_JOIN).num_rows == 2
+
+
+@pytest.mark.parametrize("engine_cls", ALL_ENGINES, ids=lambda c: c.name)
+def test_service_and_statement_never_serve_stale_answers(engine_cls):
+    store = vertically_partition(BASE)
+    service = QueryService(engine_cls(store))
+    statement = service.prepare(TEMPLATE)
+
+    assert service.execute(Q_TYPE).num_rows == 2
+    assert statement.execute(who=f"<{EX}b>").num_rows == 1
+
+    store.add_triples(
+        [
+            (f"<{EX}c>", RDF_TYPE, f"<{EX}T>"),
+            (f"<{EX}c>", f"<{EX}knows>", f"<{EX}b>"),
+        ]
+    )
+    # Both the text-cached query and the bound template re-bind.
+    assert service.execute(Q_TYPE).num_rows == 3
+    assert sorted(statement.execute_decoded(who=f"<{EX}b>")) == [
+        (f"<{EX}a>",),
+        (f"<{EX}c>",),
+    ]
+
+    store.remove_triples([(f"<{EX}c>", f"<{EX}knows>", f"<{EX}b>")])
+    assert statement.execute_decoded(who=f"<{EX}b>") == [(f"<{EX}a>",)]
+
+
+@pytest.mark.parametrize("engine_cls", ALL_ENGINES, ids=lambda c: c.name)
+def test_provably_empty_becomes_nonempty_after_add(engine_cls):
+    """A query over a predicate with no triples is cached as provably
+    empty — adding the first triple of that predicate must revive it."""
+    store = vertically_partition(BASE)
+    service = QueryService(engine_cls(store))
+    text = f"SELECT ?x WHERE {{ ?x <{EX}likes> ?y }}"
+    assert service.execute(text).num_rows == 0
+    store.add_triples([(f"<{EX}a>", f"<{EX}likes>", f"<{EX}b>")])
+    assert service.execute(text).num_rows == 1
+
+
+def test_warm_then_update_then_execute():
+    """Warmed tries must not shadow the post-update data."""
+    from repro.engines.emptyheaded import EmptyHeadedEngine
+
+    store = vertically_partition(BASE)
+    service = QueryService(EmptyHeadedEngine(store))
+    service.warm([Q_TYPE, Q_JOIN])
+    store.add_triples([(f"<{EX}c>", RDF_TYPE, f"<{EX}T>")])
+    assert service.execute(Q_TYPE).num_rows == 3

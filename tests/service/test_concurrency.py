@@ -1,0 +1,123 @@
+"""Concurrent serving: thread-pool traffic must equal serial traffic.
+
+Hammers the Engine and QueryService LRU caches from many threads
+(including cold caches, so parse/plan/trie builds race), asserts the
+returned rows are identical to serial execution, and checks the stats
+counters stay consistent.
+"""
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.engines import ALL_ENGINES
+from repro.engines.emptyheaded import EmptyHeadedEngine
+from repro.rdf.vocabulary import RDF_TYPE
+from repro.service import QueryService
+from repro.storage.vertical import vertically_partition
+
+EX = "http://ex/"
+
+
+def _graph():
+    triples = []
+    for i in range(40):
+        triples.append((f"<{EX}s{i}>", RDF_TYPE, f"<{EX}T{i % 4}>"))
+        triples.append(
+            (f"<{EX}s{i}>", f"<{EX}knows>", f"<{EX}s{(i * 7) % 40}>")
+        )
+        triples.append((f"<{EX}s{i}>", f"<{EX}age>", f'"{i}"'))
+    return triples
+
+
+QUERIES = [
+    f"SELECT ?x WHERE {{ ?x a <{EX}T0> }}",
+    f"SELECT ?x ?y WHERE {{ ?x <{EX}knows> ?y }}",
+    f"SELECT ?x WHERE {{ ?x <{EX}age> ?a FILTER(?a > 10 && ?a < 30) }}",
+    f"SELECT ?x WHERE {{ {{ ?x a <{EX}T1> }} UNION {{ ?x a <{EX}T2> }} }}",
+    f"SELECT ?x ?p WHERE {{ ?x ?p <{EX}s0> }}",
+    f"SELECT ?x ?y WHERE {{ ?x <{EX}knows> ?y . "
+    f"OPTIONAL {{ ?y <{EX}age> ?a FILTER(?a > 20) }} }}",
+]
+
+TEMPLATE = f"SELECT ?x WHERE {{ ?x <{EX}knows> $who }}"
+
+
+@pytest.fixture()
+def store():
+    return vertically_partition(_graph())
+
+
+@pytest.mark.parametrize("engine_cls", ALL_ENGINES, ids=lambda c: c.name)
+def test_engine_execute_sparql_is_thread_safe(engine_cls, store):
+    serial_engine = engine_cls(store)
+    expected = [
+        serial_engine.execute_sparql(text).to_set() for text in QUERIES
+    ]
+    # Fresh engine => cold parse/plan/trie caches race across threads.
+    engine = engine_cls(store)
+    batch = QUERIES * 6
+    with ThreadPoolExecutor(max_workers=8) as pool:
+        results = list(pool.map(engine.execute_sparql, batch))
+    for text, result in zip(batch, results):
+        assert result.to_set() == expected[QUERIES.index(text)], text
+
+
+def test_execute_concurrent_equals_serial(store):
+    service = QueryService(EmptyHeadedEngine(store))
+    requests = []
+    for i in range(10):
+        requests.extend(QUERIES)
+        requests.append((TEMPLATE, {"who": f"<{EX}s{i}>"}))
+    serial = [
+        r.to_set()
+        for r in QueryService(EmptyHeadedEngine(store)).execute_concurrent(
+            requests, max_workers=1
+        )
+    ]
+    concurrent = [
+        r.to_set()
+        for r in service.execute_concurrent(requests, max_workers=8)
+    ]
+    assert concurrent == serial
+
+
+def test_stats_stay_consistent_under_concurrency(store):
+    service = QueryService(EmptyHeadedEngine(store))
+    requests = (QUERIES * 8)[:40]
+    service.execute_concurrent(requests, max_workers=8)
+    stats = service.stats
+    # Every request is one prepare() and one execution; counters must
+    # not be lost to races.
+    assert stats.hits + stats.misses == len(requests)
+    assert stats.executions == len(requests)
+    assert stats.misses >= len(set(requests))
+    assert stats.evictions == 0
+
+
+def test_statement_hammered_from_threads(store):
+    service = QueryService(EmptyHeadedEngine(store))
+    statement = service.prepare(TEMPLATE)
+    values = [f"<{EX}s{i}>" for i in range(20)]
+    expected = {
+        who: statement.execute(who=who).to_set() for who in values
+    }
+    statement.clear()
+    executions_before = statement.stats.executions
+
+    def run(who):
+        return who, statement.execute(who=who).to_set()
+
+    with ThreadPoolExecutor(max_workers=8) as pool:
+        for who, rows in pool.map(run, values * 5):
+            assert rows == expected[who]
+    assert (
+        statement.stats.executions - executions_before == len(values) * 5
+    )
+
+
+def test_small_batches_run_inline(store):
+    service = QueryService(EmptyHeadedEngine(store))
+    assert service.execute_concurrent([], max_workers=4) == []
+    (only,) = service.execute_concurrent([QUERIES[0]], max_workers=4)
+    assert only.num_rows == 10

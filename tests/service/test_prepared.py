@@ -1,0 +1,193 @@
+"""PreparedStatement: templates, late binding, caches, invalidation."""
+
+import pytest
+
+from repro.engines import ALL_ENGINES
+from repro.engines.emptyheaded import EmptyHeadedEngine
+from repro.errors import ConfigError
+from repro.rdf.vocabulary import RDF_TYPE
+from repro.service import PreparedStatement, QueryService
+from repro.storage.vertical import vertically_partition
+
+EX = "http://ex/"
+PERSON = f"<{EX}Person>"
+
+TRIPLES = [
+    (f"<{EX}alice>", RDF_TYPE, PERSON),
+    (f"<{EX}bob>", RDF_TYPE, PERSON),
+    (f"<{EX}alice>", f"<{EX}knows>", f"<{EX}bob>"),
+    (f"<{EX}bob>", f"<{EX}knows>", f"<{EX}carol>"),
+    (f"<{EX}alice>", f"<{EX}age>", '"34"'),
+    (f"<{EX}bob>", f"<{EX}age>", '"25"'),
+]
+
+TEMPLATE = f"SELECT ?x WHERE {{ ?x <{EX}knows> $who }}"
+
+
+@pytest.fixture()
+def store():
+    return vertically_partition(TRIPLES)
+
+
+@pytest.fixture()
+def service(store):
+    return QueryService(EmptyHeadedEngine(store))
+
+
+@pytest.mark.parametrize("engine_cls", ALL_ENGINES, ids=lambda c: c.name)
+def test_template_matches_inlined_constant(engine_cls, store):
+    engine = engine_cls(store)
+    statement = PreparedStatement(engine, TEMPLATE)
+    for who in (f"<{EX}bob>", f"<{EX}carol>", f"<{EX}nobody>"):
+        inlined = TEMPLATE.replace("$who", who)
+        assert (
+            statement.execute(who=who).to_set()
+            == engine.execute_sparql(inlined).to_set()
+        ), who
+
+
+def test_one_parse_serves_the_family(service, monkeypatch):
+    statement = service.prepare(TEMPLATE)
+
+    def boom(*args, **kwargs):  # pragma: no cover - must not run
+        raise AssertionError("template execution must not re-parse")
+
+    monkeypatch.setattr(service.engine, "prepare_sparql", boom)
+    assert statement.execute(who=f"<{EX}bob>").num_rows == 1
+    assert statement.execute(who=f"<{EX}carol>").num_rows == 1
+    # And the service hands back the same statement without parsing.
+    assert service.prepare(TEMPLATE) is statement
+
+
+def test_new_values_skip_planning(service, monkeypatch):
+    """Re-executing with new parameters only re-binds constants: the
+    engine's planner is never consulted after the first value."""
+    statement = service.prepare(TEMPLATE)
+    statement.execute(who=f"<{EX}bob>")
+
+    def boom(*args, **kwargs):  # pragma: no cover - must not run
+        raise AssertionError("new parameter values must not re-plan")
+
+    monkeypatch.setattr(service.engine.planner, "plan", boom)
+    assert statement.execute(who=f"<{EX}carol>").num_rows == 1
+
+
+def test_repeat_values_hit_bound_and_result_caches(service):
+    statement = service.prepare(TEMPLATE)
+    first = statement.execute(who=f"<{EX}bob>")
+    again = statement.execute(who=f"<{EX}bob>")
+    assert first is again  # served from the result cache
+    assert statement.stats.result_hits == 1
+    assert statement.stats.bind_misses == 1
+    assert statement.stats.executions == 2
+
+
+def test_result_cache_can_be_disabled(store):
+    statement = PreparedStatement(
+        EmptyHeadedEngine(store), TEMPLATE, result_cache_size=0
+    )
+    first = statement.execute(who=f"<{EX}bob>")
+    again = statement.execute(who=f"<{EX}bob>")
+    assert first is not again
+    assert first.to_set() == again.to_set()
+    assert statement.stats.bind_hits == 1  # bound plan still reused
+
+
+def test_wrong_parameters_are_rejected(service):
+    statement = service.prepare(TEMPLATE)
+    with pytest.raises(ConfigError, match="missing: who"):
+        statement.execute()
+    with pytest.raises(ConfigError, match="unknown: extra"):
+        statement.execute(who=f"<{EX}bob>", extra="x")
+
+
+def test_plain_query_is_a_parameterless_statement(service):
+    statement = service.prepare(
+        f"SELECT ?x WHERE {{ ?x a {PERSON} }}"
+    )
+    assert statement.parameters == frozenset()
+    assert statement.execute().num_rows == 2
+
+
+def test_numeric_parameter_matches_by_value(service):
+    statement = service.prepare(
+        f"SELECT ?x WHERE {{ ?x <{EX}age> $age }}"
+    )
+    assert statement.execute_decoded(age=34) == [(f"<{EX}alice>",)]
+    assert statement.execute_decoded(age=25) == [(f"<{EX}bob>",)]
+    assert statement.execute_decoded(age=99) == []
+
+
+def test_filter_parameter(service):
+    statement = service.prepare(
+        f"SELECT ?x WHERE {{ ?x <{EX}age> ?a FILTER(?a > $min) }}"
+    )
+    assert statement.execute_decoded(min=30) == [(f"<{EX}alice>",)]
+    assert len(statement.execute_decoded(min=20)) == 2
+
+
+def test_predicate_parameter(service):
+    statement = service.prepare(
+        f"SELECT ?x ?y WHERE {{ ?x $p ?y }}"
+    )
+    rows = statement.execute_decoded(p=f"<{EX}knows>")
+    assert sorted(rows) == [
+        (f"<{EX}alice>", f"<{EX}bob>"),
+        (f"<{EX}bob>", f"<{EX}carol>"),
+    ]
+
+
+def test_executemany_in_order(service):
+    statement = service.prepare(TEMPLATE)
+    results = statement.executemany(
+        [{"who": f"<{EX}bob>"}, {"who": f"<{EX}nobody>"},
+         {"who": f"<{EX}bob>"}]
+    )
+    assert [r.num_rows for r in results] == [1, 0, 1]
+    assert results[0] is results[2]
+
+
+def test_add_triples_invalidates_bound_plans_and_results(service, store):
+    statement = service.prepare(TEMPLATE)
+    assert statement.execute_decoded(who=f"<{EX}dave>") == []
+    store.add_triples([(f"<{EX}carol>", f"<{EX}knows>", f"<{EX}dave>")])
+    assert statement.execute_decoded(who=f"<{EX}dave>") == [
+        (f"<{EX}carol>",)
+    ]
+    assert statement.stats.invalidations == 1
+
+
+def test_remove_triples_invalidates_too(service, store):
+    statement = service.prepare(TEMPLATE)
+    assert statement.execute(who=f"<{EX}bob>").num_rows == 1
+    store.remove_triples(
+        [(f"<{EX}alice>", f"<{EX}knows>", f"<{EX}bob>")]
+    )
+    assert statement.execute(who=f"<{EX}bob>").num_rows == 0
+
+
+def test_provably_empty_binding_is_cached(service):
+    statement = service.prepare(TEMPLATE)
+    empty = statement.execute(who=f"<{EX}nobody>")
+    assert empty.num_rows == 0
+    assert empty.attributes == ("x",)
+    statement.execute(who=f"<{EX}nobody>")
+    assert statement.stats.bind_misses == 1
+
+
+def test_service_execute_with_parameters(service):
+    rows = service.execute_decoded(
+        TEMPLATE, parameters={"who": f"<{EX}bob>"}
+    )
+    assert rows == [(f"<{EX}alice>",)]
+    assert service.executemany(
+        TEMPLATE, [{"who": f"<{EX}bob>"}, {"who": f"<{EX}carol>"}]
+    )[1].num_rows == 1
+
+
+def test_statement_cache_size_validation(store):
+    engine = EmptyHeadedEngine(store)
+    with pytest.raises(ConfigError):
+        PreparedStatement(engine, TEMPLATE, bound_cache_size=0)
+    with pytest.raises(ConfigError):
+        PreparedStatement(engine, TEMPLATE, result_cache_size=-1)

@@ -1,0 +1,147 @@
+"""Boolean FILTER connectives: grammar, translation, and semantics."""
+
+import pytest
+
+from repro.core.query import Comparison, Conjunction, Disjunction
+from repro.engines import ALL_ENGINES
+from repro.errors import ParseError
+from repro.sparql.ast import FilterAnd, FilterComparison, FilterOr
+from repro.sparql.parser import parse_sparql
+from repro.sparql.translate import sparql_to_query
+from repro.storage.vertical import vertically_partition
+
+EX = "http://ex/"
+
+
+def test_parse_and_chain():
+    parsed = parse_sparql(
+        "SELECT ?x WHERE { ?x <http://p> ?a FILTER(?a > 1 && ?a < 5) }"
+    )
+    (expr,) = parsed.filters
+    assert isinstance(expr, FilterAnd)
+    assert all(isinstance(p, FilterComparison) for p in expr.parts)
+
+
+def test_parse_or_of_nested_and():
+    parsed = parse_sparql(
+        "SELECT ?x WHERE { ?x <http://p> ?a "
+        'FILTER(?a = "q" || (?a > 1 && ?a < 5)) }'
+    )
+    (expr,) = parsed.filters
+    assert isinstance(expr, FilterOr)
+    assert isinstance(expr.parts[0], FilterComparison)
+    assert isinstance(expr.parts[1], FilterAnd)
+
+
+def test_precedence_and_binds_tighter_than_or():
+    parsed = parse_sparql(
+        "SELECT ?x WHERE { ?x <http://p> ?a "
+        "FILTER(?a = 1 || ?a = 2 && ?a = 3) }"
+    )
+    (expr,) = parsed.filters
+    assert isinstance(expr, FilterOr)
+    assert isinstance(expr.parts[1], FilterAnd)
+
+
+def test_dangling_connective_is_rejected():
+    with pytest.raises(ParseError):
+        parse_sparql(
+            "SELECT ?x WHERE { ?x <http://p> ?a FILTER(?a > 1 &&) }"
+        )
+
+
+def test_translation_flattens_top_level_and():
+    query = sparql_to_query(
+        parse_sparql(
+            "SELECT ?x ?a WHERE { ?x <http://ex/p> ?a "
+            "FILTER(?a > 1 && ?a < 5) }"
+        )
+    )
+    assert len(query.filters) == 2
+    assert all(isinstance(f, Comparison) for f in query.filters)
+
+
+def test_translation_keeps_disjunction_structure():
+    query = sparql_to_query(
+        parse_sparql(
+            "SELECT ?x ?a WHERE { ?x <http://ex/p> ?a "
+            "FILTER(?a = 1 || (?a > 3 && ?a < 5)) }"
+        )
+    )
+    (expr,) = query.filters
+    assert isinstance(expr, Disjunction)
+    assert isinstance(expr.parts[1], Conjunction)
+
+
+@pytest.fixture()
+def store():
+    return vertically_partition(
+        [
+            (f"<{EX}a>", f"<{EX}age>", '"15"'),
+            (f"<{EX}b>", f"<{EX}age>", '"25"'),
+            (f"<{EX}c>", f"<{EX}age>", '"35"'),
+            (f"<{EX}d>", f"<{EX}age>", '"42"'),
+            (f"<{EX}e>", f"<{EX}age>", '"word"'),
+            (f"<{EX}a>", f"<{EX}likes>", f"<{EX}b>"),
+        ]
+    )
+
+
+def _rows(engine, text):
+    return sorted(engine.decode(engine.execute_sparql(text)))
+
+
+@pytest.mark.parametrize("engine_cls", ALL_ENGINES, ids=lambda c: c.name)
+def test_connective_semantics_across_engines(engine_cls, store):
+    engine = engine_cls(store)
+    q_or = (
+        f"SELECT ?x WHERE {{ ?x <{EX}age> ?a "
+        "FILTER(?a < 20 || ?a > 30) }"
+    )
+    assert _rows(engine, q_or) == [
+        (f"<{EX}a>",),
+        (f"<{EX}c>",),
+        (f"<{EX}d>",),
+    ]
+    q_and_or = (
+        f"SELECT ?x WHERE {{ ?x <{EX}age> ?a "
+        "FILTER(?a < 20 || (?a > 30 && ?a != 42)) }"
+    )
+    assert _rows(engine, q_and_or) == [(f"<{EX}a>",), (f"<{EX}c>",)]
+    # A type-erroring arm (string vs number) doesn't block the other arm.
+    q_error_arm = (
+        f"SELECT ?x WHERE {{ ?x <{EX}age> ?a "
+        'FILTER(?a > 30 || ?a = "word") }'
+    )
+    assert _rows(engine, q_error_arm) == [
+        (f"<{EX}c>",),
+        (f"<{EX}d>",),
+        (f"<{EX}e>",),
+    ]
+
+
+@pytest.mark.parametrize("engine_cls", ALL_ENGINES, ids=lambda c: c.name)
+def test_disjunction_over_optional_unbound_is_per_arm(engine_cls, store):
+    """An unbound (OPTIONAL-padded) operand errors only its own arm."""
+    engine = engine_cls(store)
+    text = (
+        f"SELECT ?x ?y WHERE {{ ?x <{EX}age> ?a . "
+        f"OPTIONAL {{ ?x <{EX}likes> ?y }} "
+        f"FILTER(?y = <{EX}b> || ?a > 40) }}"
+    )
+    assert _rows(engine, text) == [
+        (f"<{EX}a>", f"<{EX}b>"),
+        (f"<{EX}d>", None),
+    ]
+
+
+@pytest.mark.parametrize("engine_cls", ALL_ENGINES, ids=lambda c: c.name)
+def test_disjunction_referencing_sibling_branch_variable(engine_cls, store):
+    """An arm over a variable this branch never binds errors per-arm."""
+    engine = engine_cls(store)
+    text = (
+        f"SELECT ?x WHERE {{ "
+        f"{{ ?x <{EX}age> ?a FILTER(?b = <{EX}b> || ?a > 40) }} UNION "
+        f"{{ ?x <{EX}likes> ?b }} }}"
+    )
+    assert _rows(engine, text) == [(f"<{EX}a>",), (f"<{EX}d>",)]

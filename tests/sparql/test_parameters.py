@@ -1,0 +1,113 @@
+"""$name placeholders: parsing, translation, and late binding."""
+
+import pytest
+
+from repro.core.query import (
+    Atom,
+    Constant,
+    NumericLiteral,
+    Parameter,
+    Variable,
+    normalize,
+    query_parameters,
+    substitute_parameters,
+)
+from repro.errors import ParseError, PlanningError
+from repro.sparql.ast import SparqlParameter
+from repro.sparql.parser import parse_sparql
+from repro.sparql.translate import sparql_to_query
+from repro.storage.vertical import TRIPLES_RELATION
+
+
+def _query(text):
+    return sparql_to_query(parse_sparql(text))
+
+
+def test_parameter_parses_in_every_pattern_position():
+    parsed = parse_sparql("SELECT ?x WHERE { $s <http://p> ?x . ?x $p $o }")
+    (first, second) = parsed.patterns
+    assert first.subject == SparqlParameter("s")
+    assert second.predicate == SparqlParameter("p")
+    assert second.object == SparqlParameter("o")
+
+
+def test_subject_and_object_parameters_translate_to_parameter_terms():
+    query = _query("SELECT ?x WHERE { $s <http://ex/p> ?x }")
+    assert query.atoms[0].terms[0] == Parameter("s")
+    assert query.atoms[0].parameters == (Parameter("s"),)
+
+
+def test_predicate_parameter_targets_the_triples_view():
+    query = _query("SELECT ?x ?y WHERE { ?x $p ?y }")
+    atom = query.atoms[0]
+    assert atom.relation == TRIPLES_RELATION
+    assert atom.terms == (Variable("x"), Parameter("p"), Variable("y"))
+
+
+def test_parameter_in_filter_operand():
+    query = _query(
+        "SELECT ?x WHERE { ?x <http://ex/age> ?a FILTER(?a > $min) }"
+    )
+    assert query.filters[0].rhs == Parameter("min")
+    assert query_parameters(query) == frozenset({"min"})
+
+
+def test_query_parameters_collects_across_union_and_optional():
+    query = _query(
+        "SELECT ?x WHERE { { ?x <http://ex/p> $a } UNION "
+        "{ ?x <http://ex/q> $b . OPTIONAL { ?x <http://ex/r> ?y "
+        "FILTER(?y > $c) } } }"
+    )
+    assert query_parameters(query) == frozenset({"a", "b", "c"})
+
+
+def test_substitute_string_and_numeric_values():
+    query = _query(
+        "SELECT ?x WHERE { ?x <http://ex/p> $v . ?x <http://ex/n> $k }"
+    )
+    concrete = substitute_parameters(
+        query, {"v": "<http://ex/o>", "k": 42}
+    )
+    assert concrete.atoms[0].terms[1] == Constant("<http://ex/o>")
+    assert concrete.atoms[1].terms[1] == Constant(NumericLiteral("42"))
+    assert query_parameters(concrete) == frozenset()
+
+
+def test_substitute_rejects_missing_and_unknown_values():
+    query = _query("SELECT ?x WHERE { ?x <http://ex/p> $v }")
+    with pytest.raises(PlanningError, match="missing: v"):
+        substitute_parameters(query, {})
+    with pytest.raises(PlanningError, match="unknown: w"):
+        substitute_parameters(query, {"v": "<http://ex/o>", "w": "x"})
+
+
+def test_substitute_rejects_non_term_values():
+    query = _query("SELECT ?x WHERE { ?x <http://ex/p> $v }")
+    with pytest.raises(PlanningError, match="values must be"):
+        substitute_parameters(query, {"v": ["not", "a", "term"]})
+
+
+def test_unsubstituted_parameter_cannot_normalize():
+    query = _query("SELECT ?x WHERE { ?x <http://ex/p> $v }")
+    with pytest.raises(PlanningError, match="unsubstituted"):
+        normalize(query)
+
+
+def test_parameter_cannot_be_projected():
+    with pytest.raises(ParseError):
+        parse_sparql("SELECT $x WHERE { ?y <http://ex/p> $x }")
+
+
+def test_substitution_is_pure():
+    """The template is reusable: substitution never mutates it."""
+    query = _query("SELECT ?x WHERE { ?x <http://ex/p> $v }")
+    first = substitute_parameters(query, {"v": "<http://ex/a>"})
+    second = substitute_parameters(query, {"v": "<http://ex/b>"})
+    assert first.atoms[0].terms[1] == Constant("<http://ex/a>")
+    assert second.atoms[0].terms[1] == Constant("<http://ex/b>")
+    assert query.atoms[0].terms[1] == Parameter("v")
+
+
+def test_atom_requires_terms_still_enforced():
+    with pytest.raises(PlanningError):
+        Atom("p", ())
