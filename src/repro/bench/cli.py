@@ -9,6 +9,7 @@ Subcommands::
     repro-lubm figures                                   # Figures 1-3
     repro-lubm smoke                                     # correctness gate
     repro-lubm service --out BENCH_service.json          # serving bench
+    repro-lubm updates --out BENCH_updates.json          # update-path bench
 
 ``smoke`` runs every engine over a tiny LUBM instance and exits
 non-zero on any cross-engine disagreement or golden-count regression —
@@ -19,8 +20,15 @@ a benchmark-shaped test with no timing assertions (see
 per-text ``execute_sparql`` on a parameterized template family and
 writes a machine-readable report (p50/p95 latency, cache hit rates,
 template-vs-reparse speedup, concurrent-vs-serial agreement, update
-safety); it exits non-zero if any correctness probe fails (see
+safety); ``--zipf S`` adds a Zipf-skewed traffic leg with its hit
+rates; it exits non-zero if any correctness probe fails (see
 :mod:`repro.bench.service_bench`).
+
+``updates`` benchmarks the main+delta update path against the
+wholesale-rebuild baseline on interleaved write/read traffic across
+every engine, cross-checking both legs' rows; ``--min-speedup X``
+additionally gates on the measured delta-vs-rebuild ratio (see
+:mod:`repro.bench.updates_bench`).
 """
 
 from __future__ import annotations
@@ -106,12 +114,37 @@ def _cmd_service(args) -> None:
         family=args.family,
         rounds=args.rounds,
         workers=args.workers,
+        zipf=args.zipf,
     )
     print(render(report))
     if args.out:
         write_report(report, args.out)
         print(f"wrote {args.out}")
     if not report["ok"]:
+        sys.exit(1)
+
+
+def _cmd_updates(args) -> None:
+    from repro.bench.updates_bench import render, run_updates_bench, write_report
+
+    report = run_updates_bench(
+        universities=args.universities,
+        seed=args.seed,
+        scale=args.scale,
+        batches=args.batches,
+        batch_size=args.batch_size,
+    )
+    print(render(report))
+    if args.out:
+        write_report(report, args.out)
+        print(f"wrote {args.out}")
+    if not report["ok"]:
+        sys.exit(1)
+    if args.min_speedup and report["update_query_speedup"] < args.min_speedup:
+        print(
+            f"update_query_speedup {report['update_query_speedup']} "
+            f"below --min-speedup {args.min_speedup}"
+        )
         sys.exit(1)
 
 
@@ -172,11 +205,48 @@ def main(argv: list[str] | None = None) -> None:
         "--workers", type=int, default=4, help="concurrent thread count"
     )
     service.add_argument(
+        "--zipf",
+        type=float,
+        default=0.0,
+        help="add a Zipf-skewed traffic leg with this exponent "
+        "(0 disables; ~1.1 models heavy web skew)",
+    )
+    service.add_argument(
         "--out",
         default="",
         help="write the machine-readable JSON report to this path",
     )
     service.set_defaults(func=_cmd_service)
+
+    updates = sub.add_parser("updates", parents=[common])
+    updates.add_argument(
+        "--scale",
+        type=int,
+        default=1,
+        help="multiply --universities (matches the smoke gate's knob)",
+    )
+    updates.add_argument(
+        "--batches", type=int, default=4, help="update batches per phase"
+    )
+    updates.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help="ghost students per batch (default ~0.25%% of the store)",
+    )
+    updates.add_argument(
+        "--min-speedup",
+        type=float,
+        default=0.0,
+        help="exit non-zero when delta-vs-rebuild speedup falls below "
+        "this (0 disables the timing gate)",
+    )
+    updates.add_argument(
+        "--out",
+        default="",
+        help="write the machine-readable JSON report to this path",
+    )
+    updates.set_defaults(func=_cmd_updates)
 
     args = parser.parse_args(argv)
     args.func(args)

@@ -16,6 +16,13 @@ repeatedly. Three measurements:
 * **concurrent** — the same prepared requests on a thread pool,
   verified row-identical to serial execution.
 
+With ``zipf > 0`` a fourth leg replays a **Zipf-skewed** request stream
+(rank-``r`` parameter drawn with probability ∝ ``1/r^s``) through the
+prepared statement — the realistic shape of web traffic, where a few
+hot parameters dominate — and reports the result-cache hit rate and
+latencies under that skew (hit rates climb well above the uniform
+rounds' because the head of the distribution stays resident).
+
 The benchmark also probes update safety (``add_triples`` must change
 the next answer) and emits a machine-readable JSON report
 (``BENCH_service.json`` in CI) with p50/p95 latencies, cache hit rates,
@@ -25,6 +32,7 @@ and the template-vs-reparse speedup.
 from __future__ import annotations
 
 import json
+import random
 import time
 from dataclasses import dataclass
 
@@ -119,12 +127,52 @@ def _professors(store, family: int) -> list[str]:
     return professors[:family]
 
 
+def _zipf_leg(
+    store, professors: list[str], requests: int, s: float, seed: int
+) -> dict:
+    """Replay a Zipf(s)-skewed request stream through a fresh statement.
+
+    Rank-``r`` of the (shuffled) family is drawn with probability
+    proportional to ``1 / r**s``; the report's hit rate shows how far
+    the statement's result cache converts skew into cache residency.
+    """
+    rng = random.Random(seed)
+    ranked = list(professors)
+    rng.shuffle(ranked)  # decouple popularity rank from lexical order
+    weights = [1.0 / (rank + 1) ** s for rank in range(len(ranked))]
+    stream = rng.choices(ranked, weights=weights, k=requests)
+
+    service = QueryService(EmptyHeadedEngine(store))
+    statement = service.prepare(TEMPLATE)
+    latencies: list[float] = []
+    start_total = time.perf_counter()
+    for professor in stream:
+        start = time.perf_counter()
+        statement.execute(prof=professor)
+        latencies.append((time.perf_counter() - start) * 1e3)
+    total_s = time.perf_counter() - start_total
+    distinct = len(set(stream))
+    return {
+        "s": s,
+        "requests": requests,
+        "distinct_values": distinct,
+        "total_s": round(total_s, 6),
+        "p50_ms": round(_percentile(latencies, 0.50), 4),
+        "p95_ms": round(_percentile(latencies, 0.95), 4),
+        "result_hit_rate": round(
+            statement.stats.result_hits / requests, 4
+        ),
+        "bind_misses": statement.stats.bind_misses,
+    }
+
+
 def run_service_bench(
     universities: int = 1,
     seed: int = 0,
     family: int = 100,
     rounds: int = 8,
     workers: int = 4,
+    zipf: float = 0.0,
 ) -> dict:
     """Run the benchmark and return the JSON-ready report dict.
 
@@ -206,6 +254,13 @@ def run_service_bench(
     restored = len(statement.execute(prof=probe_prof))
     update_safe = after == before + 1 and restored == before
 
+    # --- Zipf-skewed traffic (optional) ---------------------------------
+    zipf_report = (
+        _zipf_leg(store, professors, family * rounds, zipf, seed)
+        if zipf > 0
+        else None
+    )
+
     speedup = reparse.total_s / prepared.total_s if prepared.total_s else 0.0
     late_binding_speedup = (
         reparse.total_s / late_binding.total_s
@@ -248,6 +303,7 @@ def run_service_bench(
             "matches_serial": matches_serial,
         },
         "update": {"safe": update_safe},
+        "zipf": zipf_report,
         "agrees": agrees,
         "ok": agrees and matches_serial and update_safe,
     }
@@ -277,6 +333,17 @@ def render(report: dict) -> str:
         f"  update-safe: {report['update']['safe']}   "
         f"rows agree: {report['agrees']}",
     ]
+    zipf_report = report.get("zipf")
+    if zipf_report:
+        lines.insert(
+            -1,
+            f"  zipf(s={zipf_report['s']:g}): "
+            f"{zipf_report['requests']} requests over "
+            f"{zipf_report['distinct_values']} distinct values  "
+            f"p50 {zipf_report['p50_ms']:.2f}ms  "
+            f"result-cache hit rate "
+            f"{zipf_report['result_hit_rate']:.2f}",
+        )
     return "\n".join(lines)
 
 

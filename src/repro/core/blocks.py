@@ -35,7 +35,7 @@ import numpy as np
 from repro.core.modifiers import (
     apply_order,
     apply_slice,
-    comparison_mask,
+    evaluate_leaf,
     filter_mask,
 )
 from repro.core.query import (
@@ -176,19 +176,20 @@ def _pad_columns(n: int, count: int) -> list[np.ndarray]:
 
 
 def _absence_aware_leaf(
-    relation: Relation, comparison, dictionary
+    relation: Relation, leaf_expr, dictionary
 ) -> np.ndarray:
-    """A comparison referencing a variable the relation never binds (a
+    """A filter leaf referencing a variable the relation never binds (a
     sibling UNION branch's variable, or an OPTIONAL dropped at bind
-    time) is a SPARQL type error on every row — all-``False`` — but
-    only for that *leaf*: under ``||`` another arm can still keep the
-    row."""
+    time) is all-``False`` for that *leaf* — a SPARQL type error for
+    comparisons and ``regex``, and plain falsity for ``bound`` (the
+    variable is, indeed, unbound) — but under ``||`` another arm can
+    still keep the row."""
     if any(
         var.name not in relation.attributes
-        for var in comparison.variables()
+        for var in leaf_expr.variables()
     ):
         return np.zeros(relation.num_rows, dtype=bool)
-    return comparison_mask(relation, comparison, dictionary)
+    return evaluate_leaf(relation, leaf_expr, dictionary)
 
 
 def _filter_mask(

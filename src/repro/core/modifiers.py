@@ -41,12 +41,14 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.query import (
+    BoundTest,
     Comparison,
     Conjunction,
     Constant,
     Disjunction,
     OrderKey,
     Parameter,
+    RegexTest,
     Variable,
 )
 from repro.errors import ExecutionError
@@ -240,6 +242,46 @@ def comparison_mask(
     return mask
 
 
+def bound_mask(relation: Relation, test: BoundTest, dictionary) -> np.ndarray:
+    """Keep-mask of ``bound(?x)``: rows whose column is not NULL-padded."""
+    return relation.column(test.var.name) != np.uint32(NULL_KEY)
+
+
+def regex_mask(relation: Relation, test: RegexTest, dictionary) -> np.ndarray:
+    """Keep-mask of ``regex(?x, "pat" [, "i"])``.
+
+    The pattern partial-matches (``re.search``) the *content* of any
+    literal the row binds — language tags and datatype suffixes are
+    stripped, like the comparison operators above. IRIs and unbound
+    operands are SPARQL type errors: the leaf is ``False`` for them.
+    Each distinct key is decoded and matched once.
+    """
+    compiled = re.compile(
+        test.pattern, re.IGNORECASE if "i" in test.flags else 0
+    )
+    column = relation.column(test.operand.name)
+    uniq, inverse = np.unique(column, return_inverse=True)
+    hits = np.zeros(uniq.shape[0], dtype=bool)
+    for i, key in enumerate(uniq):
+        if int(key) == NULL_KEY:
+            continue
+        lexical = dictionary.decode(int(key))
+        match = _LITERAL_RE.match(lexical)
+        if match is None:
+            continue  # an IRI (or other non-literal term): type error
+        hits[i] = compiled.search(match.group("content")) is not None
+    return hits[inverse]
+
+
+def evaluate_leaf(relation: Relation, expression, dictionary) -> np.ndarray:
+    """Keep-mask of one FILTER leaf (comparison or built-in call)."""
+    if isinstance(expression, BoundTest):
+        return bound_mask(relation, expression, dictionary)
+    if isinstance(expression, RegexTest):
+        return regex_mask(relation, expression, dictionary)
+    return comparison_mask(relation, expression, dictionary)
+
+
 def filter_mask(
     relation: Relation, expression, dictionary, leaf=None
 ) -> np.ndarray:
@@ -250,12 +292,13 @@ def filter_mask(
     and under ``||`` a row survives when any arm is definitively true —
     both matching the spec's error-propagation table.
 
-    ``leaf`` evaluates one :class:`Comparison` (default
-    :func:`comparison_mask`); block-wise execution passes a variant
-    that treats *absent* variables as per-leaf type errors.
+    ``leaf`` evaluates one leaf — a :class:`Comparison`,
+    :class:`BoundTest`, or :class:`RegexTest` (default
+    :func:`evaluate_leaf`); block-wise execution passes a variant that
+    treats *absent* variables as per-leaf type errors.
     """
     if leaf is None:
-        leaf = comparison_mask
+        leaf = evaluate_leaf
     if isinstance(expression, Conjunction):
         mask = np.ones(relation.num_rows, dtype=bool)
         for part in expression.parts:
@@ -339,8 +382,11 @@ __all__ = [
     "apply_filters",
     "apply_order",
     "apply_slice",
+    "bound_mask",
     "comparison_mask",
+    "evaluate_leaf",
     "filter_mask",
     "finalize_result",
+    "regex_mask",
     "term_value",
 ]

@@ -31,8 +31,10 @@ ordinary dictionary-binding pipeline applies. One parse + translate
 therefore serves the whole template family
 (:class:`repro.service.PreparedStatement`).
 
-``FILTER`` predicates are trees: a :class:`Comparison` leaf, or the
-boolean connectives :class:`Conjunction` (``&&``) and
+``FILTER`` predicates are trees: a :class:`Comparison`,
+:class:`BoundTest` (``bound(?x)``), or :class:`RegexTest`
+(``regex(?x, "pat")``) leaf, or the boolean connectives
+:class:`Conjunction` (``&&``) and
 :class:`Disjunction` (``||``) over sub-expressions. The engine layer
 evaluates them as boolean keep-masks where a SPARQL type error is
 ``False`` — which makes ``error || true`` keep the row and
@@ -180,8 +182,55 @@ class Disjunction:
         return "(" + " || ".join(repr(p) for p in self.parts) + ")"
 
 
+@dataclass(frozen=True)
+class BoundTest:
+    """``bound(?x)`` — true exactly when the row binds the variable.
+
+    The one filter function that *observes* unbound state instead of
+    erroring on it: an OPTIONAL-padded NULL is simply ``false`` here
+    (and under ``||`` another arm can still keep the row).
+    """
+
+    var: Variable
+
+    def variables(self) -> tuple[Variable, ...]:
+        return (self.var,)
+
+    def parameters(self) -> tuple[Parameter, ...]:
+        return ()
+
+    def __repr__(self) -> str:
+        return f"BOUND({self.var!r})"
+
+
+@dataclass(frozen=True)
+class RegexTest:
+    """``regex(?x, "pattern" [, "i"])`` — partial match on literal content.
+
+    Matches the *content* of any literal the variable binds (language
+    tags and datatype suffixes stripped, like the comparison operators
+    here); an IRI or unbound operand is a SPARQL type error, i.e. the
+    leaf is ``false`` for that row. ``"i"`` is the one supported flag
+    (case-insensitive).
+    """
+
+    operand: Variable
+    pattern: str
+    flags: str = ""
+
+    def variables(self) -> tuple[Variable, ...]:
+        return (self.operand,)
+
+    def parameters(self) -> tuple[Parameter, ...]:
+        return ()
+
+    def __repr__(self) -> str:
+        suffix = f", {self.flags!r}" if self.flags else ""
+        return f"REGEX({self.operand!r}, {self.pattern!r}{suffix})"
+
+
 #: One node of a FILTER expression tree.
-FilterExpr = Union[Comparison, Conjunction, Disjunction]
+FilterExpr = Union[Comparison, Conjunction, Disjunction, BoundTest, RegexTest]
 
 
 @dataclass(frozen=True)
@@ -787,6 +836,8 @@ def _substitute_atoms(
 def _substitute_filter(
     expr: FilterExpr, values: Mapping[str, ParameterValue]
 ) -> FilterExpr:
+    if isinstance(expr, (BoundTest, RegexTest)):
+        return expr  # operands are variables, patterns are literals
     if isinstance(expr, Comparison):
         lhs, rhs = expr.lhs, expr.rhs
         if isinstance(lhs, Parameter):

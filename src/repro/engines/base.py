@@ -21,14 +21,23 @@ constant that never occurs in the data short-circuits to an empty result
 in *every* engine, keeping the comparison fair.
 
 Engines are **update-aware**: every public entry point compares the
-engine's recorded data-version epoch against
-``store.data_version`` and, on mismatch, calls the subclass's
-``_on_data_update`` hook to rebuild its data-dependent structures
-(indexes, catalogs, plan caches) before answering — so a store mutated
-through ``add_triples``/``remove_triples`` never serves a stale plan.
-They are also safe for concurrent read traffic: the parse cache and
-refresh path are lock-protected, and execution reads immutable numpy
-snapshots.
+engine's recorded data-version epoch against ``store.data_version``.
+On a mismatch the engine first asks the store for the *logical delta*
+since its epoch (:meth:`~repro.storage.vertical.VerticallyPartitionedStore.changes_since`)
+and hands each batch to the subclass's :meth:`Engine.apply_delta` hook,
+which patches indexes, catalogs, and statistics incrementally — update
+cost scales with the batch, not the store. Only when incremental
+catch-up is impossible (the delta log no longer reaches back, the
+combined delta exceeds ``delta_rebuild_fraction`` of the store, or the
+subclass declines the batch) does the engine fall back to the wholesale
+``_on_data_update`` rebuild. Either way a store mutated through
+``add_triples``/``remove_triples`` never serves a stale plan.
+
+Engines are also safe for concurrent read traffic: the parse cache and
+refresh path are lock-protected, execution reads immutable numpy
+snapshots, and refreshes swap whole structure bundles (they never
+mutate an index in place), so an execution racing an update observes
+one consistent epoch end to end.
 """
 
 from __future__ import annotations
@@ -69,6 +78,15 @@ class Engine(ABC):
     #: the serving layer's LRU relies on this staying bounded too.
     sparql_cache_size: int = 512
 
+    #: Incremental maintenance switch (benchmarks flip it off to measure
+    #: the wholesale-rebuild baseline).
+    incremental_updates: bool = True
+
+    #: Above this fraction of the store, an accumulated delta is cheaper
+    #: to absorb by rebuilding than by patching; ``changes_since`` then
+    #: returns ``None`` and ``_on_data_update`` runs instead.
+    delta_rebuild_fraction: float = 0.25
+
     def __init__(self, store: VerticallyPartitionedStore) -> None:
         self.store = store
         self.dictionary = store.dictionary
@@ -80,14 +98,22 @@ class Engine(ABC):
     # Data-version epoch
     # ------------------------------------------------------------------
     def check_data_version(self) -> None:
-        """Rebuild data-dependent caches if the store was mutated.
+        """Catch engine structures up with a mutated store.
 
         Cheap (one int compare) on the hot path; on an epoch mismatch
-        the refresh is serialized so concurrent readers rebuild once.
-        The rebuild runs under the *store's* write lock too, so an
-        update cannot mutate the tables mid-rebuild; the epoch recorded
-        is the one observed before rebuilding, so an update landing
-        right after simply triggers the next rebuild.
+        the refresh is serialized so concurrent readers catch up once.
+        The refresh runs under the *store's* write lock too, so an
+        update cannot mutate the tables mid-refresh; the epoch recorded
+        is the one observed before refreshing, so an update landing
+        right after simply triggers the next refresh.
+
+        The catch-up itself is **incremental by default**: the store
+        hands back the logical :class:`~repro.storage.vertical.DeltaBatch`
+        list since this engine's epoch and each batch flows through
+        :meth:`apply_delta`. The wholesale ``_on_data_update`` rebuild
+        runs only when the log is gone, the delta exceeds
+        ``delta_rebuild_fraction`` of the store, incremental updates are
+        switched off, or the subclass declines a batch.
         """
         if self._data_version == self.store.data_version:
             return
@@ -96,8 +122,36 @@ class Engine(ABC):
                 return
             with self.store._write_lock:
                 target = self.store.data_version
-                self._on_data_update()
+                batches = None
+                if self.incremental_updates:
+                    max_rows = int(
+                        self.delta_rebuild_fraction
+                        * max(self.store.num_triples, 1)
+                    )
+                    batches = self.store.changes_since(
+                        self._data_version, max_rows=max_rows
+                    )
+                if batches is None:
+                    self._on_data_update()
+                else:
+                    for batch in batches:
+                        if not self.apply_delta(batch):
+                            self._on_data_update()
+                            break
             self._data_version = target
+
+    def apply_delta(self, delta) -> bool:
+        """Hook: patch engine structures with one logical update batch.
+
+        ``delta`` is a :class:`~repro.storage.vertical.DeltaBatch` —
+        per-table added/removed rows plus created/dropped table names.
+        Return ``True`` when the batch was absorbed incrementally;
+        ``False`` falls back to the wholesale ``_on_data_update``
+        rebuild (which must leave the engine consistent with the
+        store's *current* state, making the fallback always safe). The
+        base implementation declines every batch.
+        """
+        return False
 
     def _on_data_update(self) -> None:
         """Hook: rebuild engine-specific indexes/caches after an update.

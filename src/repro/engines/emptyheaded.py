@@ -20,6 +20,18 @@ re-executing a template with new parameters re-binds constants without
 re-planning. (Cardinality estimates are computed for the first value
 seen and reused — the classic prepared-statement trade of per-value
 optimality for compilation cost.)
+
+Update handling is **incremental**: :meth:`EmptyHeadedEngine.apply_delta`
+absorbs a store update by swapping in a *patched copy* of the catalog —
+unaffected relations and their cached trie indexes are shared with the
+old catalog, affected relations are replaced, and their cached tries
+are spliced via :meth:`~repro.trie.trie.Trie.apply_delta`. Compiled
+plans survive (their cache key is structural and their execution reads
+whatever the current catalog holds; only their cardinality estimates go
+stale), so a small update costs work proportional to the *touched*
+tables instead of a full index rebuild. The catalog/planner/executor
+trio is bundled and swapped atomically, and every execution reads the
+bundle once — a query racing an update sees one consistent epoch.
 """
 
 from __future__ import annotations
@@ -27,6 +39,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import replace
+from typing import NamedTuple
 
 from repro.core.blocks import block_queries
 from repro.core.config import OptimizationConfig
@@ -40,14 +53,28 @@ from repro.core.query import (
     normalize,
 )
 from repro.engines.base import Engine
+from repro.storage.catalog import Catalog
 from repro.storage.relation import Relation
-from repro.storage.vertical import TRIPLES_RELATION, VerticallyPartitionedStore
+from repro.storage.vertical import (
+    TRIPLES_RELATION,
+    DeltaBatch,
+    VerticallyPartitionedStore,
+    build_triples_view,
+)
 
 #: A plan cache key: everything planning depends on except the concrete
 #: selection values (and the query name, which only labels results).
 PlanKey = tuple[
     tuple, tuple[Variable, ...], tuple[Variable, ...], int | None, int
 ]
+
+
+class _Structures(NamedTuple):
+    """The catalog and its dependents, swapped as one atomic bundle."""
+
+    catalog: Catalog
+    planner: Planner
+    executor: GHDExecutor
 
 
 class EmptyHeadedEngine(Engine):
@@ -72,33 +99,92 @@ class EmptyHeadedEngine(Engine):
         self._build_structures()
 
     def _build_structures(self) -> None:
-        self.catalog = self._build_catalog(self.store)
-        self.planner = Planner(self.catalog, self.config)
-        self.executor = GHDExecutor(self.catalog)
+        self._install(self._build_catalog(self.store))
+
+    def _install(self, catalog: Catalog) -> None:
+        """Swap in a catalog (with fresh planner/executor) atomically."""
+        self._structures = _Structures(
+            catalog, Planner(catalog, self.config), GHDExecutor(catalog)
+        )
+
+    # The bundle parts under their traditional names (read the bundle
+    # *once* when consistency across parts matters — executions do).
+    @property
+    def catalog(self) -> Catalog:
+        return self._structures.catalog
+
+    @property
+    def planner(self) -> Planner:
+        return self._structures.planner
+
+    @property
+    def executor(self) -> GHDExecutor:
+        return self._structures.executor
 
     def _on_data_update(self) -> None:
-        """Rebuild the catalog (and with it every trie index) and drop
-        compiled plans — their cardinality estimates and the tries their
-        execution probes reflect the old data."""
+        """Wholesale fallback: rebuild the catalog (and with it every
+        trie index) and drop compiled plans — used when the update delta
+        is too large or the delta log is gone."""
         with self._plan_lock:
             self._build_structures()
             self._plan_cache.clear()
 
-    @staticmethod
-    def _build_catalog(store: VerticallyPartitionedStore):
-        from repro.storage.catalog import Catalog
+    def apply_delta(self, delta: DeltaBatch) -> bool:
+        """Absorb one update batch by patching a catalog copy.
 
+        Unaffected relations and cached tries are shared; affected
+        cached tries are spliced in place of a rebuild; compiled plans
+        and the structural plan cache survive (their cardinality
+        estimates go stale — the prepared-statement trade again).
+
+        The ``__triples__`` union view is the one structure *dropped*
+        rather than patched: it is O(store) derived data whichever way
+        it is refreshed, so patching it eagerly would put store-sized
+        work on every small batch even when no variable-predicate query
+        follows. Like its construction, its refresh is lazy — the next
+        variable-predicate plan rebuilds the view (and the tries it
+        probes) from the then-current catalog snapshot.
+        """
+        with self._plan_lock:
+            catalog = self._structures.catalog
+            # Drop the union view unconditionally: a concurrent query
+            # may register the pre-update view between a membership
+            # check and the catalog copy (absent names are tolerated).
+            dropped = set(delta.dropped_tables) | {TRIPLES_RELATION}
+            # The catalog patches relations and tries from the delta
+            # rows alone, so applying batches one by one walks the
+            # committed epochs exactly — never a mixed snapshot.
+            self._install(
+                catalog.apply_delta(delta.added, delta.removed, dropped)
+            )
+        return True
+
+    @staticmethod
+    def _build_catalog(store: VerticallyPartitionedStore) -> Catalog:
         catalog = Catalog()
         catalog.register_all(store.relations())
         return catalog
 
-    def _ensure_triples_view(self, query: NormalizedQuery) -> None:
+    def _ensure_triples_view(
+        self, query: NormalizedQuery, catalog: Catalog
+    ) -> None:
         """Register the ``__triples__`` union view on first use (it is
-        built lazily: only variable-predicate queries pay for it)."""
-        if TRIPLES_RELATION in self.catalog:
+        built lazily: only variable-predicate queries pay for it).
+
+        The view is built from the *catalog's own* predicate tables,
+        not from the live store: a query executing against an older
+        catalog snapshot while an update commits must not join the new
+        epoch's union view with the old epoch's tables (a torn read).
+        Predicate keys are immutable, so the key lookup is safe.
+        """
+        if TRIPLES_RELATION in catalog:
             return
         if any(atom.relation == TRIPLES_RELATION for atom in query.atoms):
-            self.catalog.get_or_register(self.store.triples_relation())
+            catalog.get_or_register(
+                build_triples_view(
+                    catalog.two_column_tables(), self.store.predicate_key
+                )
+            )
 
     @staticmethod
     def _plan_key(normalized: NormalizedQuery) -> PlanKey:
@@ -110,24 +196,32 @@ class EmptyHeadedEngine(Engine):
             normalized.offset,
         )
 
-    def plan_for(self, query: ConjunctiveQuery | NormalizedQuery) -> Plan:
+    def plan_for(
+        self,
+        query: ConjunctiveQuery | NormalizedQuery,
+        structures: _Structures | None = None,
+    ) -> Plan:
         """The (LRU-cached) GHD plan for an encoded-constant query.
 
         Cache keys are structural (selection *positions*, not values):
         a prepared template's parameter family compiles once, and each
         execution only swaps the selection values into the plan.
         """
+        if structures is None:
+            structures = self._structures
         normalized = (
             normalize(query) if isinstance(query, ConjunctiveQuery) else query
         )
+        # Even on a plan-cache hit: an update may have lazily dropped
+        # the union view from the catalog since this plan was compiled.
+        self._ensure_triples_view(normalized, structures.catalog)
         key = self._plan_key(normalized)
         with self._plan_lock:
             plan = self._plan_cache.get(key)
             if plan is not None:
                 self._plan_cache.move_to_end(key)
         if plan is None:
-            self._ensure_triples_view(normalized)
-            plan = self.planner.plan(normalized)
+            plan = structures.planner.plan(normalized)
             with self._plan_lock:
                 plan = self._plan_cache.setdefault(key, plan)
                 if len(self._plan_cache) > self.plan_cache_size:
@@ -156,15 +250,19 @@ class EmptyHeadedEngine(Engine):
         """Plan a bound query and build every trie it will probe,
         without executing it (the QueryService warm-up path)."""
         self.check_data_version()
+        structures = self._structures
         if isinstance(query, BoundUnion):
             return sum(
-                self.executor.warm(self.plan_for(block_query))
+                structures.executor.warm(
+                    self.plan_for(block_query, structures)
+                )
                 for block_query in block_queries(query)
             )
         inner, _ = self.split_modifiers(query)
-        plan = self.plan_for(inner)
-        return self.executor.warm(plan)
+        plan = self.plan_for(inner, structures)
+        return structures.executor.warm(plan)
 
     def _execute_bound(self, query: ConjunctiveQuery) -> Relation:
-        plan = self.plan_for(query)
-        return self.executor.execute(plan)
+        structures = self._structures
+        plan = self.plan_for(query, structures)
+        return structures.executor.execute(plan)

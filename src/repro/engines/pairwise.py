@@ -36,7 +36,11 @@ from repro.relalg.kernels import cross_product, natural_join
 from repro.relalg.selinger import selinger_join_order
 from repro.storage.catalog import Catalog
 from repro.storage.relation import Relation
-from repro.storage.vertical import TRIPLES_RELATION, VerticallyPartitionedStore
+from repro.storage.vertical import (
+    TRIPLES_RELATION,
+    VerticallyPartitionedStore,
+    build_triples_view,
+)
 
 
 class ColumnStoreEngine(Engine):
@@ -49,32 +53,57 @@ class ColumnStoreEngine(Engine):
         self._build_structures()
 
     def _build_structures(self) -> None:
-        self.catalog = Catalog()
-        self.catalog.register_all(self.store.relations())
-        self._distinct_cache: dict[tuple[str, int], int] = {}
+        catalog = Catalog()
+        catalog.register_all(self.store.relations())
+        self.catalog = catalog
+        self._distinct_cache: dict[tuple[str, int], tuple[Relation, int]] = {}
 
     def _on_data_update(self) -> None:
         """Re-register the mutated tables and drop stale statistics."""
         self._build_structures()
 
+    def apply_delta(self, delta) -> bool:
+        """Swap in a catalog copy patched from the batch's delta rows —
+        a column store has no per-table indexes beyond the columns
+        themselves, so an incremental update is a per-table splice. The
+        distinct-count cache verifies relation identity on hit, so
+        patched tables recompute lazily while untouched tables keep
+        their statistics."""
+        # Drop the union view unconditionally — a concurrent query may
+        # register the pre-update view between a membership check and
+        # the catalog copy; the next variable-predicate query rebuilds
+        # it from the patched snapshot (absent names are tolerated).
+        dropped = set(delta.dropped_tables) | {TRIPLES_RELATION}
+        self.catalog = self.catalog.apply_delta(
+            delta.added, delta.removed, dropped
+        )
+        return True
+
     # ------------------------------------------------------------------
     def _column_distinct(self, relation: Relation, position: int) -> int:
-        """Distinct count of one column (cached per relation/position)."""
+        """Distinct count of one column (cached per relation/position).
+
+        The cached entry records the relation object it was computed
+        from; after an update the catalog serves a *different* (replaced)
+        relation under the same name, the identity check misses, and the
+        count recomputes — stale statistics never survive a mutation.
+        """
         key = (relation.name, position)
         cached = self._distinct_cache.get(key)
-        if cached is None:
-            column = relation.columns[position]
-            cached = int(np.unique(column).size) if column.size else 0
-            self._distinct_cache[key] = cached
-        return cached
+        if cached is not None and cached[0] is relation:
+            return cached[1]
+        column = relation.columns[position]
+        count = int(np.unique(column).size) if column.size else 0
+        self._distinct_cache[key] = (relation, count)
+        return count
 
     def _scan_atom(
-        self, query: NormalizedQuery, atom: Atom
+        self, catalog: Catalog, query: NormalizedQuery, atom: Atom
     ) -> tuple[Relation, EstimatedRelation]:
         """Leaf access path: full-column scan with selection filters."""
         from repro.core.statistics import atom_relation
 
-        base = atom_relation(self.catalog, atom)
+        base = atom_relation(catalog, atom)
         mask: np.ndarray | None = None
         keep: list[int] = []
         for i, name in enumerate(base.attributes):
@@ -113,18 +142,26 @@ class ColumnStoreEngine(Engine):
 
     # ------------------------------------------------------------------
     def _execute_bound(self, query: ConjunctiveQuery) -> Relation:
+        # One catalog snapshot per execution: an update racing this
+        # query swaps the engine's catalog, never mutates this one.
+        catalog = self.catalog
         # Variable-predicate patterns scan the (lazily built) union of
         # all predicate tables — in a column store that is just one more
-        # vertically partitioned table to scan.
-        if TRIPLES_RELATION not in self.catalog and any(
+        # vertically partitioned table to scan. It is built from the
+        # snapshot's own tables so a racing update cannot mix epochs.
+        if TRIPLES_RELATION not in catalog and any(
             atom.relation == TRIPLES_RELATION for atom in query.atoms
         ):
-            self.catalog.get_or_register(self.store.triples_relation())
+            catalog.get_or_register(
+                build_triples_view(
+                    catalog.two_column_tables(), self.store.predicate_key
+                )
+            )
         normalized = normalize(query)
         leaves: list[Relation] = []
         estimates: list[EstimatedRelation] = []
         for atom in normalized.atoms:
-            scanned, estimate = self._scan_atom(normalized, atom)
+            scanned, estimate = self._scan_atom(catalog, normalized, atom)
             leaves.append(scanned)
             estimates.append(estimate)
 

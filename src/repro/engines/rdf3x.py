@@ -7,15 +7,29 @@ that picks the best pairwise join order. Triple patterns resolve to
 contiguous index ranges (never full scans), which is why RDF-3X is fast
 on the selective acyclic LUBM queries — and still asymptotically
 suboptimal on the cyclic ones, where it executes pairwise plans.
+
+Updates are handled the way RDF-3X itself handles them (its
+"differential indexing" design): the six permutation indexes stay
+immutable and a small :class:`~repro.engines.delta.DeltaOverlay` of
+inserted/tombstoned pairs rides beside them. Every index-range scan
+subtracts the tombstones and appends the matching inserts, so applying
+an update costs work proportional to the batch; once the overlay
+outgrows ``delta_rebuild_fraction`` of the indexed triples the engine
+rebuilds its mains (the engine-side analog of compaction). The
+(indexes, key map, overlay) bundle is swapped atomically and read once
+per execution, so queries racing updates see one consistent epoch.
 """
 
 from __future__ import annotations
+
+from typing import NamedTuple
 
 import numpy as np
 
 from repro.core.modifiers import finalize_result
 from repro.core.query import Atom, ConjunctiveQuery, NormalizedQuery, normalize
 from repro.engines.base import Engine
+from repro.engines.delta import DeltaOverlay
 from repro.engines.leaves import existence_leaf, materialized_leaf
 from repro.engines.triple_index import ALL_PERMUTATIONS, TripleTable
 from repro.errors import ExecutionError, UnknownRelationError
@@ -25,9 +39,17 @@ from repro.relalg.selinger import selinger_join_order
 from repro.storage.relation import Relation
 from repro.storage.vertical import (
     TRIPLES_RELATION,
+    DeltaBatch,
     VerticallyPartitionedStore,
-    local_name,
 )
+
+
+class _State(NamedTuple):
+    """Immutable engine-structure bundle (swapped atomically)."""
+
+    triples: TripleTable
+    predicate_key: dict[str, int]
+    overlay: DeltaOverlay
 
 
 class RDF3XLikeEngine(Engine):
@@ -41,33 +63,69 @@ class RDF3XLikeEngine(Engine):
         self._build_structures()
 
     def _build_structures(self) -> None:
-        self.triples = TripleTable(self.store, self.permutations)
         # Predicate lookup: relation-name -> encoded predicate id. Only
         # predicates with a live table resolve (a predicate emptied by
         # remove_triples short-circuits at the engine layer anyway).
-        self._predicate_key = {
+        predicate_key = {
             name: self.store.dictionary.require(
                 self.store.predicate_iris[name]
             )
             for name in self.store.tables
         }
+        self._state = _State(
+            TripleTable(self.store, self.permutations),
+            predicate_key,
+            DeltaOverlay(),
+        )
+
+    @property
+    def triples(self) -> TripleTable:
+        return self._state.triples
 
     def _on_data_update(self) -> None:
-        """Rebuild the six permutation indexes and aggregate stats."""
+        """Wholesale fallback: rebuild the six permutation indexes and
+        aggregate stats (and drop the overlay with them)."""
         self._build_structures()
+
+    def apply_delta(self, delta: DeltaBatch) -> bool:
+        """Absorb one update batch into the differential overlay.
+
+        The permutation indexes stay untouched; scans merge on read.
+        Past ``delta_rebuild_fraction`` of the indexed triples the
+        batch is *declined* (state untouched): the caller's wholesale
+        rebuild folds everything into fresh mains. Rebuilding here
+        instead would be wrong — a rebuild reflects the store's current
+        state, so the caller's loop re-applying the remaining batches
+        would double-apply them into a fresh overlay.
+        """
+        state = self._state
+        overlay = state.overlay.applied(delta, self.store.predicate_key)
+        if overlay.rows > self.delta_rebuild_fraction * max(
+            state.triples.num_triples, 1
+        ):
+            return False
+        predicate_key = state.predicate_key
+        if delta.created_tables:
+            predicate_key = dict(predicate_key)
+            for name in delta.created_tables:
+                predicate_key[name] = self.store.predicate_key(name)
+        self._state = _State(state.triples, predicate_key, overlay)
+        return True
 
     # ------------------------------------------------------------------
     # Leaf access paths
     # ------------------------------------------------------------------
     def _triples_leaf(
-        self, query: NormalizedQuery, atom: Atom
+        self, state: _State, query: NormalizedQuery, atom: Atom
     ) -> tuple[Relation, EstimatedRelation]:
         """Resolve a variable-predicate pattern: a ``__triples__`` atom
         over (subject, predicate, object), any subset bound.
 
         This is where RDF-3X's design shines — the six permutation
         indexes cover every bound/free combination including a free
-        predicate, so no per-predicate union is materialized.
+        predicate, so no per-predicate union is materialized. With a
+        live overlay the range's rows are tombstone-filtered and the
+        matching inserted pairs appended per predicate.
         """
         if len(atom.terms) != 3:
             raise ExecutionError(
@@ -79,10 +137,10 @@ class RDF3XLikeEngine(Engine):
             value = query.selections.get(var)
             if value is not None:
                 bound_for[letter] = value
-        permutation = self.triples.best_permutation(
+        permutation = state.triples.best_permutation(
             "s" in bound_for, "p" in bound_for, "o" in bound_for
         )
-        index = self.triples.index(permutation)
+        index = state.triples.index(permutation)
         prefix: list[int] = []
         for letter in permutation:
             if letter not in bound_for:
@@ -95,26 +153,99 @@ class RDF3XLikeEngine(Engine):
             for letter, var in letter_vars
             if var not in query.selections
         ]
-        if not free:
-            return existence_leaf(f"{TRIPLES_RELATION}_exists", hi > lo)
-        columns = index.slice_columns(
-            lo, hi, "".join(letter for letter, _ in free)
+        if not state.overlay:
+            if not free:
+                return existence_leaf(f"{TRIPLES_RELATION}_exists", hi > lo)
+            columns = index.slice_columns(
+                lo, hi, "".join(letter for letter, _ in free)
+            )
+            return materialized_leaf(
+                f"{TRIPLES_RELATION}_scan",
+                [
+                    (var.name, column)
+                    for (_, var), column in zip(free, columns)
+                ],
+            )
+
+        s_col, p_col, o_col = index.slice_columns(lo, hi, "spo")
+        merged = self._merge_triples(
+            state,
+            s_col,
+            p_col,
+            o_col,
+            bound_for.get("s"),
+            bound_for.get("p"),
+            bound_for.get("o"),
         )
+        if not free:
+            return existence_leaf(
+                f"{TRIPLES_RELATION}_exists", merged["s"].size > 0
+            )
         return materialized_leaf(
             f"{TRIPLES_RELATION}_scan",
-            [(var.name, column) for (_, var), column in zip(free, columns)],
+            [(var.name, merged[letter]) for letter, var in free],
         )
 
+    def _merge_triples(
+        self,
+        state: _State,
+        s_col: np.ndarray,
+        p_col: np.ndarray,
+        o_col: np.ndarray,
+        bound_s: int | None,
+        bound_p: int | None,
+        bound_o: int | None,
+    ) -> dict[str, np.ndarray]:
+        """Overlay-merge a (subject, predicate, object) range scan."""
+        keep: np.ndarray | None = None
+        for _, entry in state.overlay.entries():
+            if not entry.tombstones.size or not p_col.size:
+                continue
+            if bound_p is not None and bound_p != entry.key:
+                continue
+            pmask = p_col == np.uint32(entry.key)
+            if not pmask.any():
+                continue
+            positions = np.flatnonzero(pmask)
+            survive = entry.keep_mask(s_col[positions], o_col[positions])
+            if survive is None:
+                continue
+            if keep is None:
+                keep = np.ones(p_col.shape[0], dtype=bool)
+            keep[positions[~survive]] = False
+        if keep is not None:
+            s_col, p_col, o_col = s_col[keep], p_col[keep], o_col[keep]
+
+        extra_s: list[np.ndarray] = []
+        extra_p: list[np.ndarray] = []
+        extra_o: list[np.ndarray] = []
+        for _, entry in state.overlay.entries():
+            if not entry.inserts.size:
+                continue
+            if bound_p is not None and bound_p != entry.key:
+                continue
+            add_s, add_o = entry.matching_inserts(bound_s, bound_o)
+            if not add_s.size:
+                continue
+            extra_s.append(add_s)
+            extra_p.append(np.full(add_s.shape[0], entry.key, dtype=np.uint32))
+            extra_o.append(add_o)
+        if extra_s:
+            s_col = np.concatenate([s_col, *extra_s])
+            p_col = np.concatenate([p_col, *extra_p])
+            o_col = np.concatenate([o_col, *extra_o])
+        return {"s": s_col, "p": p_col, "o": o_col}
+
     def _pattern_leaf(
-        self, query: NormalizedQuery, atom: Atom
+        self, state: _State, query: NormalizedQuery, atom: Atom
     ) -> tuple[Relation, EstimatedRelation]:
         """Resolve one triple pattern via the best permutation index."""
         if atom.relation == TRIPLES_RELATION:
-            return self._triples_leaf(query, atom)
-        predicate_key = self._predicate_key.get(atom.relation)
+            return self._triples_leaf(state, query, atom)
+        predicate_key = state.predicate_key.get(atom.relation)
         if predicate_key is None:
             raise UnknownRelationError(
-                atom.relation, sorted(self._predicate_key)
+                atom.relation, sorted(state.predicate_key)
             )
         if len(atom.terms) != 2:
             raise ExecutionError(
@@ -124,8 +255,8 @@ class RDF3XLikeEngine(Engine):
         bound_s = subject_var in query.selections
         bound_o = object_var in query.selections
 
-        permutation = self.triples.best_permutation(bound_s, True, bound_o)
-        index = self.triples.index(permutation)
+        permutation = state.triples.best_permutation(bound_s, True, bound_o)
+        index = state.triples.index(permutation)
         prefix: list[int] = []
         for letter in permutation:
             if letter == "p":
@@ -138,19 +269,29 @@ class RDF3XLikeEngine(Engine):
                 break
         lo, hi = index.range_for_prefix(*prefix)
 
-        free_letters = ""
-        names: list[str] = []
+        subjects, objects = index.slice_columns(lo, hi, "so")
+        entry = state.overlay.get(atom.relation)
+        if entry is not None:
+            subjects, objects = entry.merge_scan(
+                subjects,
+                objects,
+                query.selections[subject_var] if bound_s else None,
+                query.selections[object_var] if bound_o else None,
+            )
+
+        free_pairs: list[tuple[str, np.ndarray]] = []
         if not bound_s:
-            free_letters += "s"
-            names.append(subject_var.name)
+            free_pairs.append((subject_var.name, subjects))
         if not bound_o:
-            free_letters += "o"
-            names.append(object_var.name)
-        if not names:
+            free_pairs.append((object_var.name, objects))
+        if not free_pairs:
             # Fully bound pattern: an existence check. A one/zero-row
             # dummy relation keeps the pairwise pipeline uniform.
-            return existence_leaf(f"{atom.relation}_exists", hi > lo)
-        columns = index.slice_columns(lo, hi, free_letters)
+            return existence_leaf(
+                f"{atom.relation}_exists", subjects.size > 0
+            )
+        names = [name for name, _ in free_pairs]
+        columns = [column for _, column in free_pairs]
 
         # Repeated variable (?x p ?x): filter for equality, single column.
         if not bound_s and not bound_o and subject_var == object_var:
@@ -159,14 +300,18 @@ class RDF3XLikeEngine(Engine):
             names = [subject_var.name]
 
         relation = Relation(f"{atom.relation}_scan", names, columns)
-        # Selectivity from the aggregate indexes — no data touched.
-        _, distinct_s, distinct_o = self.triples.predicate_stats[
-            predicate_key
-        ]
+        # Selectivity from the aggregate indexes — no data touched. A
+        # predicate born after the last rebuild has no aggregate entry;
+        # its scan is already materialized, so exact bounds are free.
+        stats = state.triples.predicate_stats.get(predicate_key)
+        _, distinct_s, distinct_o = stats if stats else (0, 0, 0)
         base = {"s": distinct_s, "o": distinct_o}
+        free_letters = ("" if bound_s else "s") + ("" if bound_o else "o")
         distincts = {}
         for name, letter in zip(names, free_letters):
-            distincts[name] = float(min(base[letter], relation.num_rows))
+            distincts[name] = float(
+                min(base[letter] or relation.num_rows, relation.num_rows)
+            )
         estimate = EstimatedRelation(
             attributes=tuple(names),
             rows=float(relation.num_rows),
@@ -179,11 +324,14 @@ class RDF3XLikeEngine(Engine):
         return selinger_join_order(estimates).order
 
     def _execute_bound(self, query: ConjunctiveQuery) -> Relation:
+        # One bundle snapshot per execution: an update racing this query
+        # swaps self._state, never mutates the snapshot.
+        state = self._state
         normalized = normalize(query)
         leaves: list[Relation] = []
         estimates: list[EstimatedRelation] = []
         for atom in normalized.atoms:
-            leaf, estimate = self._pattern_leaf(normalized, atom)
+            leaf, estimate = self._pattern_leaf(state, normalized, atom)
             leaves.append(leaf)
             estimates.append(estimate)
 

@@ -10,22 +10,39 @@ We model this as per-predicate dual-order matrices: each predicate's
 two column orders of TripleBit's matrix), accessed by binary search, with
 a greedy selectivity-first pairwise join order. It therefore shares the
 pairwise asymptotics of RDF-3X while paying less for index construction.
+
+Updates leave the matrices immutable: a small
+:class:`~repro.engines.delta.DeltaOverlay` of inserted/tombstoned pairs
+per predicate is merged into every matrix scan at read time (a
+predicate born after the last rebuild scans the overlay alone), so
+applying a batch costs work proportional to the batch. Once the overlay
+outgrows ``delta_rebuild_fraction`` of the matrices' pairs the engine
+rebuilds them wholesale. The (matrices, key maps, overlay) bundle is
+swapped atomically and read once per execution, so queries racing
+updates see one consistent epoch.
 """
 
 from __future__ import annotations
+
+from typing import NamedTuple
 
 import numpy as np
 
 from repro.core.modifiers import finalize_result
 from repro.core.query import Atom, ConjunctiveQuery, NormalizedQuery, normalize
 from repro.engines.base import Engine
+from repro.engines.delta import DeltaOverlay
 from repro.engines.leaves import existence_leaf, materialized_leaf
 from repro.errors import ExecutionError, UnknownRelationError
 from repro.relalg.estimates import EstimatedRelation
 from repro.relalg.greedy import greedy_join_order
 from repro.relalg.kernels import cross_product, natural_join
 from repro.storage.relation import Relation
-from repro.storage.vertical import TRIPLES_RELATION, VerticallyPartitionedStore
+from repro.storage.vertical import (
+    TRIPLES_RELATION,
+    DeltaBatch,
+    VerticallyPartitionedStore,
+)
 
 
 class _PredicateMatrix:
@@ -77,6 +94,26 @@ class _PredicateMatrix:
         return self.so_subject, self.so_object
 
 
+class _State(NamedTuple):
+    """Immutable engine-structure bundle (swapped atomically).
+
+    ``cache`` is a per-bundle scratch dict (e.g. the concatenated
+    fully-free triples scan): the bundle's logical content never
+    changes, so concurrent fills race benignly — both compute the same
+    value and one wins.
+    """
+
+    matrices: dict[str, _PredicateMatrix]
+    predicate_key: dict[str, int]
+    matrix_name_for_key: dict[int, str]
+    overlay: DeltaOverlay
+    cache: dict
+
+    @property
+    def main_pairs(self) -> int:
+        return sum(m.num_pairs for m in self.matrices.values())
+
+
 class TripleBitLikeEngine(Engine):
     """Per-predicate matrix engine with greedy ordering ("TripleBit")."""
 
@@ -87,27 +124,88 @@ class TripleBitLikeEngine(Engine):
         self._build_structures()
 
     def _build_structures(self) -> None:
-        self.matrices = {
+        matrices = {
             name: _PredicateMatrix(relation)
             for name, relation in self.store.tables.items()
         }
         # Predicate dictionary keys, for variable-predicate patterns: a
         # free predicate scans every matrix, a bound one picks its matrix
         # directly (TripleBit's predicate-first organization).
-        self._predicate_key = {
+        predicate_key = {
             name: self.store.predicate_key(name) for name in self.store.tables
         }
-        self._matrix_name_for_key = {
-            key: name for name, key in self._predicate_key.items()
-        }
+        self._state = _State(
+            matrices,
+            predicate_key,
+            {key: name for name, key in predicate_key.items()},
+            DeltaOverlay(),
+            {},
+        )
+
+    @property
+    def matrices(self) -> dict[str, _PredicateMatrix]:
+        return self._state.matrices
 
     def _on_data_update(self) -> None:
-        """Rebuild the per-predicate dual-order matrices."""
+        """Wholesale fallback: rebuild the per-predicate dual-order
+        matrices (and drop the overlay with them)."""
         self._build_structures()
 
+    def apply_delta(self, delta: DeltaBatch) -> bool:
+        """Absorb one update batch into the differential overlay.
+
+        Matrices stay untouched (scans merge on read); a predicate that
+        gained its first triples becomes overlay-only until the next
+        rebuild. Past ``delta_rebuild_fraction`` of the matrices' pairs
+        the batch is *declined* (state untouched) and the caller's
+        wholesale rebuild folds everything into fresh matrices —
+        rebuilding here would make the caller's loop double-apply the
+        remaining batches on top of mains that already contain them.
+        """
+        state = self._state
+        overlay = state.overlay.applied(delta, self.store.predicate_key)
+        if overlay.rows > self.delta_rebuild_fraction * max(
+            state.main_pairs, 1
+        ):
+            return False
+        predicate_key = state.predicate_key
+        matrix_name_for_key = state.matrix_name_for_key
+        if delta.created_tables:
+            predicate_key = dict(predicate_key)
+            matrix_name_for_key = dict(matrix_name_for_key)
+            for name in delta.created_tables:
+                key = self.store.predicate_key(name)
+                predicate_key[name] = key
+                matrix_name_for_key[key] = name
+        self._state = _State(
+            state.matrices, predicate_key, matrix_name_for_key, overlay, {}
+        )
+        return True
+
     # ------------------------------------------------------------------
+    @staticmethod
+    def _scan_predicate(
+        state: _State,
+        name: str,
+        bound_subject: int | None,
+        bound_object: int | None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One predicate's matching pairs, overlay merged on read."""
+        matrix = state.matrices.get(name)
+        if matrix is not None:
+            subjects, objects = matrix.scan(bound_subject, bound_object)
+        else:  # a predicate born after the last rebuild: overlay-only
+            empty = np.empty(0, dtype=np.uint32)
+            subjects, objects = empty, empty
+        entry = state.overlay.get(name)
+        if entry is None:
+            return subjects, objects
+        return entry.merge_scan(
+            subjects, objects, bound_subject, bound_object
+        )
+
     def _triples_leaf(
-        self, query: NormalizedQuery, atom: Atom
+        self, state: _State, query: NormalizedQuery, atom: Atom
     ) -> tuple[Relation, EstimatedRelation]:
         """Resolve a ``__triples__`` atom: a bound predicate picks its
         matrix, a free predicate unions the scans of every matrix with
@@ -121,27 +219,30 @@ class TripleBitLikeEngine(Engine):
         bound_p = query.selections.get(p_var)
         bound_o = query.selections.get(o_var)
 
-        if bound_s is None and bound_p is None and bound_o is None:
-            # Everything free: reuse the store's cached union view
-            # instead of re-concatenating every matrix per execution.
-            view = self.store.triples_relation()
-            triple_columns = view.columns
-        else:
+        # Always scan the snapshot's own matrices+overlay — borrowing
+        # the store's cached union view here could mix a newer epoch's
+        # rows into this execution's older snapshot (a torn read). The
+        # fully-free scan is cached on the bundle, so repeated ?s ?p ?o
+        # traffic pays the concatenation once per epoch.
+        all_free = bound_s is None and bound_p is None and bound_o is None
+        triple_columns = (
+            state.cache.get("free_triples") if all_free else None
+        )
+        if triple_columns is None:
             if bound_p is not None:
-                name = self._matrix_name_for_key.get(bound_p)
-                scanned = (
-                    [] if name is None else [(bound_p, self.matrices[name])]
-                )
+                name = state.matrix_name_for_key.get(bound_p)
+                scanned = [] if name is None else [name]
             else:
-                scanned = [
-                    (self._predicate_key[name], self.matrices[name])
-                    for name in sorted(self.matrices)
-                ]
+                scanned = sorted(state.predicate_key)
             parts: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
-            for key, matrix in scanned:
-                subjects, objects = matrix.scan(bound_s, bound_o)
+            for name in scanned:
+                subjects, objects = self._scan_predicate(
+                    state, name, bound_s, bound_o
+                )
                 predicates = np.full(
-                    subjects.shape[0], key, dtype=np.uint32
+                    subjects.shape[0],
+                    state.predicate_key[name],
+                    dtype=np.uint32,
                 )
                 parts.append((subjects, predicates, objects))
             empty = np.empty(0, dtype=np.uint32)
@@ -150,6 +251,8 @@ class TripleBitLikeEngine(Engine):
                 np.concatenate([p[1] for p in parts]) if parts else empty,
                 np.concatenate([p[2] for p in parts]) if parts else empty,
             )
+            if all_free:
+                state.cache["free_triples"] = triple_columns
 
         free = [
             (var.name, column)
@@ -163,13 +266,14 @@ class TripleBitLikeEngine(Engine):
         return materialized_leaf(f"{TRIPLES_RELATION}_matrix", free)
 
     def _pattern_leaf(
-        self, query: NormalizedQuery, atom: Atom
+        self, state: _State, query: NormalizedQuery, atom: Atom
     ) -> tuple[Relation, EstimatedRelation]:
         if atom.relation == TRIPLES_RELATION:
-            return self._triples_leaf(query, atom)
-        matrix = self.matrices.get(atom.relation)
-        if matrix is None:
-            raise UnknownRelationError(atom.relation, sorted(self.matrices))
+            return self._triples_leaf(state, query, atom)
+        if atom.relation not in state.predicate_key:
+            raise UnknownRelationError(
+                atom.relation, sorted(state.predicate_key)
+            )
         if len(atom.terms) != 2:
             raise ExecutionError(
                 "RDF engines evaluate (subject, object) patterns only"
@@ -177,7 +281,9 @@ class TripleBitLikeEngine(Engine):
         subject_var, object_var = atom.variables
         bound_subject = query.selections.get(subject_var)
         bound_object = query.selections.get(object_var)
-        subjects, objects = matrix.scan(bound_subject, bound_object)
+        subjects, objects = self._scan_predicate(
+            state, atom.relation, bound_subject, bound_object
+        )
 
         names: list[str] = []
         columns: list[np.ndarray] = []
@@ -201,26 +307,34 @@ class TripleBitLikeEngine(Engine):
             names, columns = [subject_var.name], [columns[0][mask]]
 
         relation = Relation(f"{atom.relation}_matrix", names, columns)
+        matrix = state.matrices.get(atom.relation)
         base = {
-            subject_var.name: matrix.distinct_subjects,
-            object_var.name: matrix.distinct_objects,
+            subject_var.name: matrix.distinct_subjects
+            if matrix
+            else relation.num_rows,
+            object_var.name: matrix.distinct_objects
+            if matrix
+            else relation.num_rows,
         }
         estimate = EstimatedRelation(
             attributes=tuple(names),
             rows=float(relation.num_rows),
             distincts={
-                name: float(min(base[name], relation.num_rows))
+                name: float(min(base[name] or relation.num_rows, relation.num_rows))
                 for name in names
             },
         )
         return relation, estimate
 
     def _execute_bound(self, query: ConjunctiveQuery) -> Relation:
+        # One bundle snapshot per execution: an update racing this query
+        # swaps self._state, never mutates the snapshot.
+        state = self._state
         normalized = normalize(query)
         leaves: list[Relation] = []
         estimates: list[EstimatedRelation] = []
         for atom in normalized.atoms:
-            leaf, estimate = self._pattern_leaf(normalized, atom)
+            leaf, estimate = self._pattern_leaf(state, normalized, atom)
             leaves.append(leaf)
             estimates.append(estimate)
 

@@ -17,10 +17,19 @@ stages with a cache at every level:
 4. **results** (optional, LRU-cached): repeated executions with the
    same values return the cached relation without re-joining.
 
-Every cache records the store's data-version epoch and empties itself
-when :meth:`~repro.storage.vertical.VerticallyPartitionedStore.add_triples`
-/ ``remove_triples`` bump it, so a mutated store never serves a stale
-bound plan or result.
+Every cache records the store's data-version epoch. When
+:meth:`~repro.storage.vertical.VerticallyPartitionedStore.add_triples`
+/ ``remove_triples`` bump it, cached *results* drop (the data changed),
+but cached **bound plans survive** whenever they provably stay valid —
+a conjunctive, numeric-literal-free binding only depends on dictionary
+keys (which never change) and on its tables still existing, so the
+statement re-checks table existence and keeps those entries instead of
+re-warming the family from zero. Bindings that a mutation could
+invalidate — union trees (a block dropped at bind time might bind now),
+numeric-literal fan-outs (a new stored form widens the fan-out), and
+provably-empty ``None`` bindings (the constant may exist now) — are
+dropped. Either way a mutated store never serves a stale bound plan or
+result.
 
 Example::
 
@@ -43,6 +52,7 @@ from repro.core.query import (
     BoundUnion,
     ConjunctiveQuery,
     ParameterValue,
+    has_numeric_literals,
     parameter_binding_mismatch,
     query_parameters,
     substitute_parameters,
@@ -61,6 +71,8 @@ class StatementStats:
     bind_misses: int = 0
     result_hits: int = 0
     invalidations: int = 0
+    #: Bound plans kept across data-version bumps (update survival).
+    bound_retained: int = 0
 
 
 class PreparedStatement:
@@ -116,16 +128,40 @@ class PreparedStatement:
         return tuple(sorted(values.items()))
 
     def _check_data_version(self) -> None:
-        """Drop bound plans and results from a previous epoch."""
+        """Refresh epoch-dependent caches after a store mutation.
+
+        Results always drop (the data changed). Bound plans are
+        *pruned*, not cleared: an entry marked retainable at insert time
+        (conjunctive, no numeric-literal fan-out, successfully bound)
+        stays valid across any mutation as long as every table it binds
+        against still exists — dictionary keys are permanent and its
+        binding never depended on table *content*. Everything else
+        (union trees, numeric fan-outs, provably-empty bindings)
+        re-binds on next use.
+        """
         if self._data_version == self.engine.store.data_version:
             return
         with self._lock:
             if self._data_version == self.engine.store.data_version:
                 return
-            self._bound.clear()
+            # Capture the epoch BEFORE the table snapshot: an update
+            # landing in between then leaves a stale epoch recorded, so
+            # the next call simply prunes again. (Recording the epoch
+            # read *after* the snapshot could skip pruning for a
+            # table-dropping update that raced the two reads.)
+            epoch = self.engine.store.data_version
+            available = self.engine.store.table_names()
+            survivors: OrderedDict[tuple, tuple] = OrderedDict()
+            for key, (bound, retainable) in self._bound.items():
+                if retainable and all(
+                    atom.relation in available for atom in bound.atoms
+                ):
+                    survivors[key] = (bound, retainable)
+            self.stats.bound_retained += len(survivors)
+            self._bound = survivors
             self._results.clear()
             self.stats.invalidations += 1
-            self._data_version = self.engine.store.data_version
+            self._data_version = epoch
 
     # ------------------------------------------------------------------
     # Late binding
@@ -147,20 +183,30 @@ class PreparedStatement:
             if key in self._bound:
                 self.stats.bind_hits += 1
                 self._bound.move_to_end(key)
-                return self._bound[key]
+                return self._bound[key][0]
         # Bind against the epoch observed *now*; only cache the result
         # if no update (and no resulting invalidation) landed meanwhile,
         # else a stale plan could outlive the epoch that produced it.
         epoch = self.engine.store.data_version
         concrete = substitute_parameters(self.query, values)
         bound = self.engine.bind(concrete)
+        # Retainable across updates: the conjunctive bind path only
+        # encodes constants through the (append-only) dictionary — no
+        # numeric fan-out, no block dropping — so the entry survives
+        # epoch bumps while its tables exist (see _check_data_version).
+        retainable = (
+            bound is not None
+            and isinstance(concrete, ConjunctiveQuery)
+            and isinstance(bound, ConjunctiveQuery)
+            and not has_numeric_literals(concrete)
+        )
         with self._lock:
             self.stats.bind_misses += 1
             if (
                 self._data_version == epoch
                 and self.engine.store.data_version == epoch
             ):
-                self._bound[key] = bound
+                self._bound[key] = (bound, retainable)
                 if len(self._bound) > self._bound_cache_size:
                     self._bound.popitem(last=False)
         return bound

@@ -21,7 +21,12 @@ provides that tier for every engine in this library:
   :meth:`~repro.storage.vertical.VerticallyPartitionedStore.add_triples`
   / ``remove_triples`` bump a data-version epoch; statements, engine
   plan caches, trie caches, and the ``__triples__`` view all check it,
-  so a mutated store never serves a stale bound plan.
+  so a mutated store never serves a stale bound plan. Updates are
+  **incremental** end to end: engines patch their indexes from the
+  store's delta log (wholesale rebuilds only past a delta-fraction
+  threshold), and prepared statements keep their provably-still-valid
+  bound plans across epochs instead of re-warming from zero — only
+  cached results (whose rows the update may have changed) drop.
 * **Catalog warming** — :meth:`warm` prepares queries and pre-builds
   every trie index their plans will probe (without executing), so the
   first live request after a deploy does not pay index construction.

@@ -100,6 +100,26 @@ class FilterComparison:
 
 
 @dataclass(frozen=True)
+class FilterBound:
+    """``bound(?x)`` — the bound-variable test function."""
+
+    variable: str
+
+
+@dataclass(frozen=True)
+class FilterRegex:
+    """``regex(?x, "pattern" [, "flags"])`` — partial string match.
+
+    ``pattern`` is the unescaped regular expression; ``flags`` supports
+    ``"i"`` (case-insensitive).
+    """
+
+    variable: str
+    pattern: str
+    flags: str = ""
+
+
+@dataclass(frozen=True)
 class FilterAnd:
     """``a && b [&& c ...]`` inside a FILTER expression."""
 
@@ -113,8 +133,11 @@ class FilterOr:
     parts: tuple["FilterExpression", ...]
 
 
-#: One FILTER constraint: a comparison or a boolean combination.
-FilterExpression = FilterComparison | FilterAnd | FilterOr
+#: One FILTER constraint: a comparison, a built-in call, or a boolean
+#: combination.
+FilterExpression = (
+    FilterComparison | FilterBound | FilterRegex | FilterAnd | FilterOr
+)
 
 
 @dataclass(frozen=True)

@@ -13,10 +13,12 @@ Grammar::
     PropertyList := Verb ObjectList ( ';' Verb ObjectList )*
     ObjectList   := Term ( ',' Term )*
     Verb         := 'a' | Var | Param | Term    -- 'a' is rdf:type
-    Filter       := 'FILTER' '(' OrExpr ')'
+    Filter       := 'FILTER' ( '(' OrExpr ')' | BuiltIn )
     OrExpr       := AndExpr ( '||' AndExpr )*
     AndExpr      := Constraint ( '&&' Constraint )*
-    Constraint   := '(' OrExpr ')' | Operand CmpOp Operand
+    Constraint   := '(' OrExpr ')' | BuiltIn | Operand CmpOp Operand
+    BuiltIn      := 'BOUND' '(' Var ')'
+                  | 'REGEX' '(' Var ',' STRING ( ',' STRING )? ')'
     CmpOp        := '=' | '!=' | '<' | '<=' | '>' | '>='
     Modifiers    := ( 'ORDER' 'BY' OrderKey+ )?
                     ( 'LIMIT' INTEGER | 'OFFSET' INTEGER )*
@@ -28,7 +30,9 @@ A braced sub-group without ``UNION`` merges into its parent (join
 semantics); ``UNION`` chains keep their branches. Predicates may be
 variables (translated to a scan over the union of all predicate tables).
 Literals may carry a language tag (``"chat"@fr``) or a datatype
-(``"5"^^xsd:int``); numbers are bare integers or decimals.
+(``"5"^^xsd:int``); numbers are bare integers or decimals. The filter
+functions ``bound(?x)`` and ``regex(?x, "pat" [, "i"])`` parse both
+bare after ``FILTER`` (as SPARQL allows) and inside expressions.
 ``$name`` parameters are prepared-statement placeholders for constants
 supplied at execution time (any pattern position or FILTER operand).
 Errors raise :class:`~repro.errors.ParseError` with a character offset.
@@ -44,9 +48,11 @@ from repro.rdf.vocabulary import RDF_TYPE
 from repro.sparql.ast import (
     COMPARISON_OPS,
     FilterAnd,
+    FilterBound,
     FilterComparison,
     FilterExpression,
     FilterOr,
+    FilterRegex,
     GroupGraphPattern,
     OrderCondition,
     SelectQuery,
@@ -57,6 +63,9 @@ from repro.sparql.ast import (
     TriplePattern,
     UnionGraphPattern,
 )
+
+#: Filter built-in function names (keyword tokens inside FILTER).
+_BUILTIN_FUNCTIONS = ("BOUND", "REGEX")
 
 _TOKEN_RE = re.compile(
     r"""
@@ -325,10 +334,73 @@ class _Parser:
 
     def _parse_filter(self, prefixes: dict[str, str]) -> FilterExpression:
         self.next()  # FILTER
+        if self._at_builtin():
+            # SPARQL allows a bare built-in call: FILTER bound(?x)
+            return self._parse_builtin()
         self.next("(")
         expression = self._parse_or_expression(prefixes)
         self.next(")")
         return expression
+
+    def _at_builtin(self) -> bool:
+        token = self.peek()
+        return (
+            token is not None
+            and token.kind == "keyword"
+            and token.text.upper() in _BUILTIN_FUNCTIONS
+        )
+
+    def _parse_builtin(self) -> FilterExpression:
+        """One ``bound(?x)`` or ``regex(?x, "pat" [, "i"])`` call."""
+        name_token = self.next()
+        name = name_token.text.upper()
+        self.next("(")
+        var_token = self.next()
+        if var_token.kind != "var":
+            raise ParseError(
+                f"{name.lower()}() expects a variable, found "
+                f"{var_token.text!r}",
+                var_token.position,
+            )
+        if name == "BOUND":
+            self.next(")")
+            return FilterBound(var_token.text[1:])
+        self.next(",")
+        pattern_token = self.peek()
+        pattern = self._parse_plain_string("regex() pattern")
+        try:
+            re.compile(pattern)
+        except re.error as exc:
+            raise ParseError(
+                f"invalid regex() pattern {pattern!r}: {exc}",
+                pattern_token.position if pattern_token else None,
+            ) from None
+        flags = ""
+        token = self.peek()
+        if token is not None and token.text == ",":
+            self.next()
+            flags = self._parse_plain_string("regex() flags")
+            if flags not in ("", "i"):
+                raise ParseError(
+                    f'regex() flags support only "i", found {flags!r}',
+                    token.position,
+                )
+        self.next(")")
+        return FilterRegex(var_token.text[1:], pattern, flags)
+
+    def _parse_plain_string(self, context: str) -> str:
+        """A plain (untagged, untyped) quoted string, unescaped."""
+        token = self.next()
+        if token.kind != "literal" or not token.text.endswith('"'):
+            raise ParseError(
+                f"{context} must be a plain string literal, found "
+                f"{token.text!r}",
+                token.position,
+            )
+        body = token.text[1:-1]
+        # Single left-to-right pass: only quote/backslash escapes are
+        # SPARQL-level; anything else (e.g. a regex \d) stays verbatim.
+        return re.sub(r'\\(["\\])', r"\1", body)
 
     def _at_logic(self, symbol: str) -> bool:
         token = self.peek()
@@ -370,6 +442,8 @@ class _Parser:
             expression = self._parse_or_expression(prefixes)
             self.next(")")
             return expression
+        if self._at_builtin():
+            return self._parse_builtin()
         lhs = self._parse_operand(prefixes)
         op_token = self.next()
         if op_token.kind != "op" or op_token.text not in COMPARISON_OPS:

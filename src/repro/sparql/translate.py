@@ -47,6 +47,7 @@ from dataclasses import dataclass, field
 
 from repro.core.query import (
     Atom,
+    BoundTest,
     Comparison,
     Conjunction,
     ConjunctiveQuery,
@@ -58,6 +59,7 @@ from repro.core.query import (
     OrderKey,
     Parameter,
     QueryBlock,
+    RegexTest,
     UnionQuery,
     Variable,
     atom_variables,
@@ -65,9 +67,11 @@ from repro.core.query import (
 from repro.errors import ParseError
 from repro.sparql.ast import (
     FilterAnd,
+    FilterBound,
     FilterComparison,
     FilterExpression,
     FilterOr,
+    FilterRegex,
     GroupGraphPattern,
     SelectQuery,
     SparqlNumber,
@@ -145,6 +149,14 @@ def _translate_filter_expr(expression: FilterExpression) -> FilterExpr:
             _filter_operand(expression.lhs),
             expression.op,
             _filter_operand(expression.rhs),
+        )
+    if isinstance(expression, FilterBound):
+        return BoundTest(Variable(expression.variable))
+    if isinstance(expression, FilterRegex):
+        return RegexTest(
+            Variable(expression.variable),
+            expression.pattern,
+            expression.flags,
         )
     parts = tuple(_translate_filter_expr(p) for p in expression.parts)
     if isinstance(expression, FilterAnd):

@@ -17,10 +17,31 @@ from __future__ import annotations
 import threading
 from collections.abc import Iterable, Sequence
 
+import numpy as np
+
 from repro.errors import ArityMismatchError, StorageError, UnknownRelationError
+from repro.nputil import rows_isin
 from repro.sets.base import SetLayout
 from repro.storage.relation import Relation
 from repro.trie.trie import Trie
+
+
+def _patch_relation(
+    old: Relation, added: Relation | None, removed: Relation | None
+) -> Relation:
+    """``(old − removed) ∪ added`` (store batches keep these disjoint)."""
+    columns = list(old.columns)
+    if removed is not None and removed.num_rows and old.num_rows:
+        keep = ~rows_isin(
+            columns, [removed.column(a) for a in old.attributes]
+        )
+        columns = [c[keep] for c in columns]
+    if added is not None and added.num_rows:
+        columns = [
+            np.concatenate([column, added.column(attribute)])
+            for column, attribute in zip(columns, old.attributes)
+        ]
+    return Relation(old.name, old.attributes, columns)
 
 
 class Catalog:
@@ -48,6 +69,73 @@ class Catalog:
             stale = [k for k in self._trie_cache if k[0] == relation.name]
             for key in stale:
                 del self._trie_cache[key]
+
+    def apply_delta(
+        self,
+        added: dict[str, Relation],
+        removed: dict[str, Relation],
+        dropped: Iterable[str] = (),
+    ) -> "Catalog":
+        """A patched copy of this catalog for one logical update batch.
+
+        ``added``/``removed`` hold the batch's delta rows per name, with
+        the *stored* attribute names; a name not yet registered is a
+        created table (its relation is exactly its added rows). Both
+        the registered relations **and** their cached tries are patched
+        from the delta rows alone — never from the live store — so the
+        copy is exactly this catalog's epoch plus one batch, and
+        applying N batches in sequence walks the committed epochs one
+        by one (a concurrent reader can never observe a mixture that
+        matches no commit). The copy shares every unaffected relation
+        and cached trie with this catalog; cached tries of affected
+        relations are spliced via
+        :meth:`~repro.trie.trie.Trie.apply_delta` (nothing else is
+        discarded), so warm indexes survive updates. This catalog is
+        left untouched — an execution racing the update keeps one
+        consistent snapshot.
+        """
+        dropped = set(dropped)
+        affected = (set(added) | set(removed)) - dropped
+        with self._lock:
+            relations = {
+                name: relation
+                for name, relation in self._relations.items()
+                if name not in dropped
+            }
+            for name in affected:
+                old = relations.get(name)
+                if old is None:  # a created table: its rows are the adds
+                    created = added.get(name)
+                    if created is not None and created.num_rows:
+                        relations[name] = created
+                    continue
+                relations[name] = _patch_relation(
+                    old, added.get(name), removed.get(name)
+                )
+            trie_cache: dict[
+                tuple[str, tuple[str, ...], SetLayout | None], Trie
+            ] = {}
+            for key, trie in self._trie_cache.items():
+                name, order, _ = key
+                if name in dropped:
+                    continue
+                if name not in affected:
+                    trie_cache[key] = trie
+                    continue
+                added_rel = added.get(name)
+                removed_rel = removed.get(name)
+                trie_cache[key] = trie.apply_delta(
+                    None
+                    if added_rel is None
+                    else [added_rel.column(a) for a in order],
+                    None
+                    if removed_rel is None
+                    else [removed_rel.column(a) for a in order],
+                )
+        patched = Catalog()
+        patched._relations = relations
+        patched._trie_cache = trie_cache
+        return patched
 
     def get_or_register(self, relation: Relation) -> Relation:
         """Register ``relation`` unless its name is taken; return the
@@ -81,6 +169,16 @@ class Catalog:
 
     def names(self) -> list[str]:
         return sorted(self._relations)
+
+    def two_column_tables(self) -> dict[str, Relation]:
+        """The registered two-column predicate tables (the inputs a
+        snapshot-consistent ``__triples__`` view is built from)."""
+        with self._lock:
+            return {
+                name: relation
+                for name, relation in self._relations.items()
+                if len(relation.attributes) == 2
+            }
 
     def check_arity(self, name: str, arity: int) -> Relation:
         """Fetch a relation and validate the arity an atom expects."""

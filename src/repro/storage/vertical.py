@@ -8,15 +8,44 @@ EmptyHeaded; this module produces those per-predicate two-column tables
 from a stream of raw string triples, dictionary-encoding subjects and
 objects along the way.
 
-The store is also the system's unit of mutability: :meth:`add_triples`
-and :meth:`remove_triples` update the per-predicate tables in place and
-bump a **data-version epoch** (``data_version``). Everything derived
-from the tables — engine indexes, compiled plans, trie caches, the
-lazily built ``__triples__`` union view, and the serving layer's bound
-plans — records the epoch it was built at and rebuilds on mismatch, so
-a mutated store never serves a stale answer. Updates replace whole
-numpy columns (never mutate them), so an execution racing an update
-sees immutable snapshots.
+Update path: main + delta with merge-on-read
+--------------------------------------------
+The store is the system's unit of mutability, and it follows the
+classic production-RDF-store recipe (the "differential update" strategy
+of the RDF-store survey): each predicate table is an **immutable main
+segment** — the sorted, deduplicated relation built at load time or by
+the last compaction — plus two small **delta segments**: *inserts*
+(pairs added since the main was built) and *tombstones* (main pairs
+deleted since). Both deltas are kept as sorted packed ``uint64`` keys
+(``subject << 32 | object``), so applying a batch is a handful of
+vectorized ``searchsorted`` calls that scale with the **batch**, never
+with the store.
+
+* **Merge-on-read** — the public ``tables`` mapping always exposes the
+  logical content (``main − tombstones + inserts``). The merged
+  relation per table is cached and refreshed only for the tables a
+  batch touches; the mapping itself is *replaced wholesale* on every
+  commit so a concurrent reader that grabbed a reference sees one
+  consistent epoch, never a half-applied batch.
+* **Compaction** — when a table's delta grows past
+  ``DeltaConfig.compact_fraction`` of its main segment, the delta is
+  merged into a fresh main (a linear splice of sorted key arrays) and
+  the delta segments empty. Compaction changes the physical layout but
+  not the logical content, so it bumps **no** epoch and is invisible to
+  every derived cache.
+* **Delta log** — every committed batch is appended (bounded) to a log
+  of logical :class:`DeltaBatch`\\ es. Engines at epoch ``v`` call
+  :meth:`VerticallyPartitionedStore.changes_since` to fetch exactly the
+  rows added/removed since ``v`` and patch their indexes incrementally;
+  a truncated log or an oversized delta returns ``None``, which is the
+  signal to fall back to a wholesale rebuild.
+
+``data_version`` remains the update epoch: it starts at 0 and is bumped
+by every :meth:`add_triples` / :meth:`remove_triples` call **that
+changes logical content** — duplicate adds and removals of absent
+triples leave the epoch (and therefore every derived cache) alone.
+Updates replace whole numpy arrays and dicts (never mutate them), so an
+execution racing an update sees immutable snapshots.
 """
 
 from __future__ import annotations
@@ -28,6 +57,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.nputil import (
+    isin_sorted,
+    merge_sorted_unique,
+    pack_pairs,
+    remove_sorted,
+    unpack_pairs,
+)
 from repro.storage.dictionary import Dictionary
 from repro.storage.relation import Relation
 
@@ -65,14 +101,174 @@ def local_name(predicate_iri: str) -> str:
     return name or "predicate"
 
 
+@dataclass(frozen=True)
+class DeltaConfig:
+    """Tuning knobs of the main+delta update machinery."""
+
+    #: Compact a table once its delta rows exceed this fraction of its
+    #: main segment (compaction is a logical no-op; no epoch bump).
+    compact_fraction: float = 0.25
+    #: How many committed batches the delta log retains for
+    #: :meth:`VerticallyPartitionedStore.changes_since`.
+    log_limit: int = 64
+
+
+@dataclass(frozen=True)
+class DeltaBatch:
+    """The logical changes of one epoch bump (what engines patch with).
+
+    ``added``/``removed`` map table names to (subject, object) relations
+    holding exactly the pairs the batch inserted/deleted there.
+    ``created_tables`` lists predicates that gained their first triple;
+    ``dropped_tables`` predicates the batch emptied (their rows appear
+    in ``removed`` too).
+    """
+
+    version: int
+    added: dict[str, Relation]
+    removed: dict[str, Relation]
+    created_tables: frozenset[str] = frozenset()
+    dropped_tables: frozenset[str] = frozenset()
+
+    @property
+    def rows(self) -> int:
+        """Total changed rows (the size engines threshold against)."""
+        return sum(r.num_rows for r in self.added.values()) + sum(
+            r.num_rows for r in self.removed.values()
+        )
+
+
+class _TableSegments:
+    """One predicate table's main segment plus packed delta segments.
+
+    ``main`` is immutable and sorted-distinct, so its packed keys are a
+    sorted unique ``uint64`` array; ``inserts`` (pairs not in main) and
+    ``tombstones`` (a subset of main's keys) are sorted unique packed
+    arrays too. Every operation is a vectorized key-set operation.
+    """
+
+    __slots__ = ("main", "main_keys", "inserts", "tombstones")
+
+    def __init__(self, name: str, main: Relation | None) -> None:
+        if main is None:
+            main = Relation.empty(name, (SUBJECT, OBJECT))
+        self.main = main
+        # np.unique both sorts and dedups, so arbitrary initial tables
+        # satisfy the sorted-unique key invariant every set op relies on.
+        self.main_keys = np.unique(
+            pack_pairs(main.column(SUBJECT), main.column(OBJECT))
+        )
+        self.inserts = np.empty(0, dtype=np.uint64)
+        self.tombstones = np.empty(0, dtype=np.uint64)
+
+    @property
+    def delta_rows(self) -> int:
+        return int(self.inserts.size + self.tombstones.size)
+
+    @property
+    def live_rows(self) -> int:
+        return int(
+            self.main_keys.size - self.tombstones.size + self.inserts.size
+        )
+
+    def merged(self, name: str) -> Relation:
+        """The logical (main − tombstones + inserts) relation."""
+        keys = remove_sorted(self.main_keys, self.tombstones)
+        if self.inserts.size:
+            keys = np.concatenate([keys, self.inserts])
+        subjects, objects = unpack_pairs(keys)
+        return Relation(name, (SUBJECT, OBJECT), (subjects, objects))
+
+    def add(self, keys: np.ndarray) -> np.ndarray:
+        """Insert packed pair keys; returns the keys actually new.
+
+        Keys currently tombstoned are revived (their tombstone drops);
+        keys already live are ignored; the rest join ``inserts``.
+        """
+        keys = np.unique(keys)
+        revived = keys[isin_sorted(keys, self.tombstones)]
+        in_main = isin_sorted(keys, self.main_keys)
+        fresh = keys[~in_main & ~isin_sorted(keys, self.inserts)]
+        if revived.size:
+            self.tombstones = remove_sorted(self.tombstones, revived)
+        if fresh.size:
+            self.inserts = merge_sorted_unique(self.inserts, fresh)
+        if revived.size and fresh.size:
+            return np.sort(np.concatenate([revived, fresh]))
+        return revived if revived.size else fresh
+
+    def remove(self, keys: np.ndarray) -> np.ndarray:
+        """Delete packed pair keys; returns the keys actually removed."""
+        keys = np.unique(keys)
+        from_inserts = keys[isin_sorted(keys, self.inserts)]
+        in_main = isin_sorted(keys, self.main_keys)
+        doomed = keys[in_main & ~isin_sorted(keys, self.tombstones)]
+        if from_inserts.size:
+            self.inserts = remove_sorted(self.inserts, from_inserts)
+        if doomed.size:
+            self.tombstones = merge_sorted_unique(self.tombstones, doomed)
+        if from_inserts.size and doomed.size:
+            return np.sort(np.concatenate([from_inserts, doomed]))
+        return from_inserts if from_inserts.size else doomed
+
+    def compact(self, name: str) -> None:
+        """Merge the delta into a fresh main segment (logical no-op)."""
+        keys = remove_sorted(self.main_keys, self.tombstones)
+        keys = merge_sorted_unique(keys, self.inserts)
+        subjects, objects = unpack_pairs(keys)
+        self.main = Relation(name, (SUBJECT, OBJECT), (subjects, objects))
+        self.main_keys = keys
+        self.inserts = np.empty(0, dtype=np.uint64)
+        self.tombstones = np.empty(0, dtype=np.uint64)
+
+
+def _pair_relation(name: str, keys: np.ndarray) -> Relation:
+    subjects, objects = unpack_pairs(keys)
+    return Relation(name, (SUBJECT, OBJECT), (subjects, objects))
+
+
+def build_triples_view(
+    tables: "dict[str, Relation]", predicate_key
+) -> Relation:
+    """Union two-column predicate ``tables`` into a ``__triples__``
+    relation, binding ``predicate_key(name)`` into each row.
+
+    Shared by the store's cached view and by engines that must build
+    the view from *their own snapshot* of the tables (an engine mixing
+    the store's current view with older per-predicate structures would
+    serve a torn, mixed-epoch join)."""
+    subjects: list[np.ndarray] = []
+    predicates: list[np.ndarray] = []
+    objects: list[np.ndarray] = []
+    for name, relation in sorted(tables.items()):
+        key = predicate_key(name)
+        subjects.append(relation.column(SUBJECT))
+        predicates.append(
+            np.full(relation.num_rows, key, dtype=np.uint32)
+        )
+        objects.append(relation.column(OBJECT))
+    empty = np.empty(0, dtype=np.uint32)
+    return Relation(
+        TRIPLES_RELATION,
+        (SUBJECT, PREDICATE, OBJECT),
+        (
+            np.concatenate(subjects) if subjects else empty,
+            np.concatenate(predicates) if predicates else empty,
+            np.concatenate(objects) if objects else empty,
+        ),
+    )
+
+
 @dataclass
 class VerticallyPartitionedStore:
     """A dictionary-encoded, vertically partitioned triple store.
 
     ``data_version`` is the update epoch: it starts at 0 and is bumped
-    by every :meth:`add_triples` / :meth:`remove_triples` call. Derived
-    caches (engine indexes, plan caches, the serving layer) compare it
-    against the epoch they were built at and rebuild on mismatch.
+    by every content-changing :meth:`add_triples` /
+    :meth:`remove_triples` call. Derived caches (engine indexes, plan
+    caches, the serving layer) compare it against the epoch they were
+    built at and either patch themselves from
+    :meth:`changes_since` or rebuild on mismatch.
     """
 
     dictionary: Dictionary = field(default_factory=Dictionary)
@@ -80,10 +276,23 @@ class VerticallyPartitionedStore:
     predicate_iris: dict[str, str] = field(default_factory=dict)
     num_triples: int = 0
     data_version: int = 0
+    delta_config: DeltaConfig = field(default_factory=DeltaConfig)
+    compactions: int = 0
     _triples_view: Relation | None = field(default=None, repr=False)
+    _segments: dict[str, _TableSegments] = field(
+        default_factory=dict, repr=False
+    )
+    _delta_log: list[DeltaBatch] = field(default_factory=list, repr=False)
     _write_lock: threading.RLock = field(
         default_factory=threading.RLock, repr=False, compare=False
     )
+
+    def __post_init__(self) -> None:
+        # Adopt initially supplied tables as main segments (the load
+        # path constructs the store with fully compacted tables).
+        for name, relation in self.tables.items():
+            if name not in self._segments:
+                self._segments[name] = _TableSegments(name, relation)
 
     def relation_for_predicate(self, predicate_iri: str) -> Relation | None:
         """The table for a predicate IRI, or ``None`` if never seen."""
@@ -105,25 +314,8 @@ class VerticallyPartitionedStore:
         the snapshot nor be overwritten by a stale build."""
         with self._write_lock:
             if self._triples_view is None:
-                subjects: list[np.ndarray] = []
-                predicates: list[np.ndarray] = []
-                objects: list[np.ndarray] = []
-                for name, relation in sorted(self.tables.items()):
-                    key = self.predicate_key(name)
-                    subjects.append(relation.column(SUBJECT))
-                    predicates.append(
-                        np.full(relation.num_rows, key, dtype=np.uint32)
-                    )
-                    objects.append(relation.column(OBJECT))
-                empty = np.empty(0, dtype=np.uint32)
-                self._triples_view = Relation(
-                    TRIPLES_RELATION,
-                    (SUBJECT, PREDICATE, OBJECT),
-                    (
-                        np.concatenate(subjects) if subjects else empty,
-                        np.concatenate(predicates) if predicates else empty,
-                        np.concatenate(objects) if objects else empty,
-                    ),
+                self._triples_view = build_triples_view(
+                    self.tables, self.predicate_key
                 )
             return self._triples_view
 
@@ -165,86 +357,184 @@ class VerticallyPartitionedStore:
             bucket[1].append(o_key)
         return grouped
 
-    def _commit_update(self) -> None:
-        """Bump the epoch and drop derived in-store state."""
+    def _commit_update(
+        self,
+        added: dict[str, Relation],
+        removed: dict[str, Relation],
+        created: set[str],
+        dropped: set[str],
+    ) -> None:
+        """Refresh merged views, compact, bump the epoch, log the batch.
+
+        The ``tables`` dict is replaced wholesale (never mutated) so a
+        reader holding a reference sees one consistent epoch.
+        """
+        tables = dict(self.tables)
+        for name in set(added) | set(removed):
+            segments = self._segments.get(name)
+            if segments is None:
+                continue
+            if segments.live_rows == 0:
+                del self._segments[name]
+                tables.pop(name, None)
+                continue
+            if segments.delta_rows > (
+                self.delta_config.compact_fraction * segments.main_keys.size
+            ):
+                segments.compact(name)
+                self.compactions += 1
+            tables[name] = segments.merged(name)
+        self.tables = tables
         self._triples_view = None
-        self.num_triples = sum(r.num_rows for r in self.tables.values())
+        self.num_triples = sum(r.num_rows for r in tables.values())
         self.data_version += 1
+        self._delta_log.append(
+            DeltaBatch(
+                version=self.data_version,
+                added=added,
+                removed=removed,
+                created_tables=frozenset(created),
+                dropped_tables=frozenset(dropped),
+            )
+        )
+        if len(self._delta_log) > self.delta_config.log_limit:
+            del self._delta_log[: -self.delta_config.log_limit]
 
     def add_triples(self, triples: Iterable[tuple[str, str, str]]) -> int:
         """Insert string triples; returns the number of *new* triples.
 
         New predicates create new tables; duplicates of stored triples
-        are ignored (RDF graphs are sets). Bumps ``data_version`` so
-        every derived cache rebuilds before the next answer, and resets
-        ``num_triples`` to the deduplicated total.
+        are ignored (RDF graphs are sets). A batch that changes nothing
+        leaves ``data_version`` alone — no derived cache rebuilds for
+        unchanged data. Otherwise the pairs land in the per-table insert
+        deltas (cost scales with the batch), the epoch bumps, and the
+        batch is appended to the delta log.
         """
         with self._write_lock:
             grouped = self._group_pairs(triples, encode=True)
             if not grouped:
                 return 0
+            added_rows: dict[str, Relation] = {}
+            created: set[str] = set()
             added = 0
             for name, (subjects, objects, predicate_iri) in grouped.items():
-                fresh = Relation(
-                    name,
-                    (SUBJECT, OBJECT),
-                    (
-                        np.asarray(subjects, dtype=np.uint32),
-                        np.asarray(objects, dtype=np.uint32),
-                    ),
+                keys = pack_pairs(
+                    np.asarray(subjects, dtype=np.uint32),
+                    np.asarray(objects, dtype=np.uint32),
                 )
-                existing = self.tables.get(name)
-                if existing is not None:
-                    merged = existing.concat(fresh).distinct()
-                    if merged.num_rows == existing.num_rows:
-                        continue  # every pair was already stored
-                    added += merged.num_rows - existing.num_rows
-                else:
-                    merged = fresh.distinct()
-                    added += merged.num_rows
+                segments = self._segments.get(name)
+                if segments is None:
+                    segments = _TableSegments(name, None)
+                    self._segments[name] = segments
+                    created.add(name)
                     self.predicate_iris[name] = predicate_iri
                     self.dictionary.encode(predicate_iri)
-                self.tables[name] = merged
+                fresh = segments.add(keys)
+                if fresh.size:
+                    added += int(fresh.size)
+                    added_rows[name] = _pair_relation(name, fresh)
+                elif name in created:
+                    # Nothing actually landed (cannot happen for a new
+                    # table, defensively drop the empty segments).
+                    created.discard(name)
+                    del self._segments[name]
             if added:
-                # A pure-duplicate batch leaves the epoch alone: no
-                # derived cache needs rebuilding for unchanged data.
-                self._commit_update()
+                self._commit_update(added_rows, {}, created, set())
             return added
 
     def remove_triples(self, triples: Iterable[tuple[str, str, str]]) -> int:
         """Delete string triples; returns the number actually removed.
 
         Triples that are not stored (including ones whose terms were
-        never seen) are ignored. A table left empty is dropped, so
-        patterns over its predicate match nothing afterwards. Bumps
-        ``data_version`` like :meth:`add_triples`.
+        never seen) are ignored — a batch removing nothing leaves
+        ``data_version`` alone. Deletions of main-segment pairs become
+        tombstones (cost scales with the batch); a table left logically
+        empty is dropped, so patterns over its predicate match nothing
+        afterwards.
         """
         with self._write_lock:
             grouped = self._group_pairs(triples, encode=False)
+            removed_rows: dict[str, Relation] = {}
+            dropped: set[str] = set()
             removed = 0
             for name, (subjects, objects, _) in grouped.items():
-                existing = self.tables.get(name)
-                if existing is None:
+                segments = self._segments.get(name)
+                if segments is None:
                     continue
-                # Pack (subject, object) pairs into uint64 keys so the
-                # membership test is one vectorized isin().
-                stored = (
-                    existing.column(SUBJECT).astype(np.uint64) << np.uint64(32)
-                ) | existing.column(OBJECT).astype(np.uint64)
-                doomed = (
-                    np.asarray(subjects, dtype=np.uint64) << np.uint64(32)
-                ) | np.asarray(objects, dtype=np.uint64)
-                keep = ~np.isin(stored, doomed)
-                removed += existing.num_rows - int(keep.sum())
-                if keep.all():
-                    continue
-                if not keep.any():
-                    del self.tables[name]
-                else:
-                    self.tables[name] = existing.filter(keep)
+                keys = pack_pairs(
+                    np.asarray(subjects, dtype=np.uint32),
+                    np.asarray(objects, dtype=np.uint32),
+                )
+                doomed = segments.remove(keys)
+                if doomed.size:
+                    removed += int(doomed.size)
+                    removed_rows[name] = _pair_relation(name, doomed)
+                    if segments.live_rows == 0:
+                        dropped.add(name)
             if removed:
-                self._commit_update()
+                self._commit_update({}, removed_rows, set(), dropped)
             return removed
+
+    # ------------------------------------------------------------------
+    # Delta introspection (engines and benchmarks)
+    # ------------------------------------------------------------------
+    def changes_since(
+        self, version: int, max_rows: int | None = None
+    ) -> list[DeltaBatch] | None:
+        """The logical batches committed after ``version``, oldest first.
+
+        Returns ``[]`` when ``version`` is current, and ``None`` when
+        incremental catch-up is not possible — the log no longer reaches
+        back to ``version``, or the combined batches exceed ``max_rows``
+        (the caller's rebuild-is-cheaper threshold).
+        """
+        with self._write_lock:
+            if version == self.data_version:
+                return []
+            if version > self.data_version:
+                return None
+            batches = [b for b in self._delta_log if b.version > version]
+            if len(batches) != self.data_version - version:
+                return None  # the log was truncated past `version`
+            if max_rows is not None:
+                if sum(b.rows for b in batches) > max_rows:
+                    return None
+            return batches
+
+    def delta_stats(self) -> dict[str, object]:
+        """Delta-segment sizes per table plus compaction counters."""
+        with self._write_lock:
+            return {
+                "compactions": self.compactions,
+                "log_length": len(self._delta_log),
+                "tables": {
+                    name: {
+                        "main_rows": int(segments.main_keys.size),
+                        "insert_rows": int(segments.inserts.size),
+                        "tombstone_rows": int(segments.tombstones.size),
+                    }
+                    for name, segments in sorted(self._segments.items())
+                },
+            }
+
+    def compact(self) -> int:
+        """Force-compact every table; returns tables compacted.
+
+        A logical no-op: content, ``data_version``, and every derived
+        cache stay valid.
+        """
+        with self._write_lock:
+            count = 0
+            tables = dict(self.tables)
+            for name, segments in self._segments.items():
+                if segments.delta_rows:
+                    segments.compact(name)
+                    tables[name] = segments.main
+                    self.compactions += 1
+                    count += 1
+            if count:
+                self.tables = tables
+            return count
 
 
 def vertically_partition(

@@ -115,8 +115,30 @@ class Trie:
         if dup.any():
             keep = ~dup
             cols = [c[keep] for c in cols]
-            n = cols[0].shape[0]
+        return cls.from_sorted_distinct(
+            cols, attributes, force_layout=force_layout
+        )
 
+    @classmethod
+    def from_sorted_distinct(
+        cls,
+        cols: Sequence[np.ndarray],
+        attributes: Sequence[str],
+        *,
+        force_layout: SetLayout | None = None,
+    ) -> "Trie":
+        """Build from columns already lexicographically sorted and
+        deduplicated — the delta-patching fast path: a linear pass of
+        prefix-change scans with **no re-sort** of the data.
+        """
+        cols = [np.asarray(c, dtype=VALUE_DTYPE) for c in cols]
+        n = cols[0].shape[0]
+        if n == 0:
+            values = [np.empty(0, dtype=VALUE_DTYPE) for _ in cols]
+            offsets = [
+                np.zeros(1, dtype=np.int64) for _ in range(len(cols) - 1)
+            ]
+            return cls(attributes, values, offsets, force_layout, 0)
         # new[i][j] == True iff row j starts a new distinct prefix of
         # length i + 1. new[i] is monotone in i (longer prefixes split
         # groups further).
@@ -163,6 +185,55 @@ class Trie:
             )
         columns = [relation.column(a) for a in attribute_order]
         return cls.build(columns, attribute_order, force_layout=force_layout)
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance
+    # ------------------------------------------------------------------
+    def apply_delta(
+        self,
+        added: Sequence[np.ndarray] | None,
+        removed: Sequence[np.ndarray] | None,
+    ) -> "Trie":
+        """A new trie over ``(tuples − removed) ∪ added`` (this one is
+        untouched — probes racing the patch keep a consistent index).
+
+        ``added``/``removed`` are parallel columns in this trie's
+        attribute order; rows to remove that are absent and rows to add
+        that are present are ignored. The patch expands the trie back to
+        its sorted tuple columns, splices the (small, sorted) delta in
+        linearly, and re-derives the CSR level arrays with prefix scans —
+        no re-sort of the main data ever happens, so cost is linear in
+        the stored tuples and logarithmic work per delta row, not the
+        ``O(n log n)`` of a from-scratch build.
+        """
+        from repro.nputil import pack_rows, rows_isin
+
+        cols = self.to_columns()
+        if removed is not None and len(removed) and removed[0].size:
+            if cols[0].size:
+                keep = ~rows_isin(cols, removed)
+                if not keep.all():
+                    cols = [c[keep] for c in cols]
+        if added is not None and len(added) and added[0].size:
+            keys, first = np.unique(pack_rows(added), return_index=True)
+            add_cols = [np.asarray(c, dtype=VALUE_DTYPE)[first] for c in added]
+            main_keys = pack_rows(cols)
+            if main_keys.size:
+                positions = np.searchsorted(main_keys, keys)
+                clipped = np.minimum(positions, main_keys.shape[0] - 1)
+                fresh = main_keys[clipped] != keys
+                positions = positions[fresh]
+                add_cols = [c[fresh] for c in add_cols]
+            else:
+                positions = np.zeros(keys.shape[0], dtype=np.int64)
+            if add_cols[0].size:
+                cols = [
+                    np.insert(c, positions, a)
+                    for c, a in zip(cols, add_cols)
+                ]
+        return Trie.from_sorted_distinct(
+            cols, self.attributes, force_layout=self._force_layout
+        )
 
     # ------------------------------------------------------------------
     # Navigation

@@ -1,0 +1,18 @@
+"""Smoke test of the update-path benchmark (tiny instance, no timing
+assertions — wall-clock gates are exactly what the test suite avoids)."""
+
+from repro.bench.updates_bench import render, run_updates_bench
+
+
+def test_updates_bench_runs_and_gates_correctness():
+    report = run_updates_bench(universities=1, seed=0, batches=2, batch_size=20)
+    assert report["ok"]
+    assert report["agrees"]
+    assert report["touched_probe_grew"]
+    assert report["config"]["batch_triples"] == 40
+    assert report["delta"]["steps"] == report["rebuild"]["steps"] == 4
+    assert report["update_query_speedup"] > 0
+    assert "monetdb-like" not in report["config"]["timed_engines"]
+    assert "monetdb-like" in report["config"]["engines"]
+    text = render(report)
+    assert "updates bench" in text and "speedup" in text

@@ -2,8 +2,9 @@
 five engines plus an independent reference evaluator must all agree.
 
 Each seed deterministically generates a small RDF graph and a batch of
-queries mixing UNION, OPTIONAL, variable predicates, FILTER, ORDER BY,
-and LIMIT/OFFSET. The generator emits each query twice: as SPARQL text
+queries mixing UNION, OPTIONAL, variable predicates, FILTER (comparisons
+plus the ``bound()``/``regex()`` functions), ORDER BY, and
+LIMIT/OFFSET. The generator emits each query twice: as SPARQL text
 (fed to the engines' full parse->translate->bind->execute pipeline) and
 as a structured spec (fed to a naive bindings-based evaluator written
 directly against the subset's documented semantics — matching by
@@ -114,14 +115,32 @@ class _QueryGen:
             )
         return {"patterns": patterns, "optionals": optionals}
 
+    #: Safe regex patterns over the generated literal vocabulary
+    #: (alpha/beta/gamma/"x y"/numbers), with optional "i" flag.
+    _REGEX_PATTERNS = (
+        ("al", ""),
+        ("BET", "i"),
+        ("gam", ""),
+        ("^a", ""),
+        ("a$", ""),
+        ("3", ""),
+        ("x y", ""),
+    )
+
     def _comparison(self, variables: list[str]) -> tuple:
-        """One random ``(lhs, op, rhs)`` comparison over ``variables``."""
+        """One random filter leaf over ``variables``: a comparison, a
+        ``bound()`` test, or a ``regex()`` match."""
         rng = self.rng
         var = rng.choice(variables)
         kind = rng.random()
-        if kind < 0.4:
+        if kind < 0.15:
+            return ("bound", var)
+        if kind < 0.3:
+            pattern, flags = rng.choice(self._REGEX_PATTERNS)
+            return ("regex", var, pattern, flags)
+        if kind < 0.55:
             return (var, ">", str(rng.randint(1, 6)))
-        if kind < 0.7:
+        if kind < 0.8:
             return (var, "!=", rng.choice(self.subjects))
         if self.literals:
             return (var, "=", rng.choice(self.literals))
@@ -184,14 +203,28 @@ class _QueryGen:
         }
 
     @staticmethod
-    def filter_text(spec_filter: tuple) -> str:
+    def leaf_text(spec_filter: tuple) -> str:
+        """SPARQL surface syntax of one filter leaf."""
+        if spec_filter[0] == "bound":
+            return f"bound({spec_filter[1]})"
+        if spec_filter[0] == "regex":
+            _, var, pattern, flags = spec_filter
+            if flags:
+                return f'regex({var}, "{pattern}", "{flags}")'
+            return f'regex({var}, "{pattern}")'
+        lhs, op, rhs = spec_filter
+        return f"{lhs} {op} {rhs}"
+
+    @classmethod
+    def filter_text(cls, spec_filter: tuple) -> str:
         """SPARQL surface syntax of one (possibly connective) filter."""
         if spec_filter[0] in ("or", "and"):
             symbol = "||" if spec_filter[0] == "or" else "&&"
-            (l1, o1, r1), (l2, o2, r2) = spec_filter[1], spec_filter[2]
-            return f"{l1} {o1} {r1} {symbol} {l2} {o2} {r2}"
-        lhs, op, rhs = spec_filter
-        return f"{lhs} {op} {rhs}"
+            return (
+                f"{cls.leaf_text(spec_filter[1])} {symbol} "
+                f"{cls.leaf_text(spec_filter[2])}"
+            )
+        return cls.leaf_text(spec_filter)
 
     @classmethod
     def text(cls, spec: dict) -> str:
@@ -312,6 +345,22 @@ def _filter_holds(binding, spec_filter: tuple) -> bool:
     if spec_filter[0] == "and":
         return _filter_holds(binding, spec_filter[1]) and _filter_holds(
             binding, spec_filter[2]
+        )
+    if spec_filter[0] == "bound":
+        return binding.get(spec_filter[1]) is not None
+    if spec_filter[0] == "regex":
+        import re as _re
+
+        _, var, pattern, flags = spec_filter
+        value = binding.get(var)
+        if value is None or not value.startswith('"'):
+            return False  # unbound or non-literal: type error
+        content = value[1 : value.rfind('"')]
+        return (
+            _re.search(
+                pattern, content, _re.IGNORECASE if "i" in flags else 0
+            )
+            is not None
         )
     return _filter_true(binding, *spec_filter)
 
@@ -483,6 +532,8 @@ def test_generator_covers_all_constructs():
         "order": False,
         "number": False,
         "optional_filter": False,
+        "bound": False,
+        "regex": False,
     }
     for seed in range(16):
         rng = random.Random(seed)
@@ -511,4 +562,6 @@ def test_generator_covers_all_constructs():
                 for b in spec["branches"]
                 for o in b["optionals"]
             )
+            seen["bound"] |= "bound(" in text
+            seen["regex"] |= "regex(" in text
     assert all(seen.values()), seen

@@ -1,0 +1,152 @@
+"""Concurrent readers racing add/remove_triples and delta compaction.
+
+The guarantee under test: a query executing while updates (and
+threshold compactions) land observes exactly one committed epoch — its
+rows equal the store's content either before or after some batch, never
+a torn mixture — and after the writer quiesces every engine converges
+on the final content. The store is configured to compact on every
+batch, so the readers also race main-segment swaps.
+"""
+
+import random
+import threading
+
+import pytest
+
+from repro.engines import ALL_ENGINES
+from repro.service import QueryService
+from repro.storage.vertical import DeltaConfig, vertically_partition
+
+EX = "http://ex/"
+
+BASE = [
+    (f"<{EX}s{i}>", f"<{EX}knows>", f"<{EX}s{(i + 1) % 6}>")
+    for i in range(6)
+] + [
+    (f"<{EX}s{i}>", f"<{EX}likes>", f"<{EX}s{(i + 2) % 6}>")
+    for i in range(6)
+]
+
+EXTRA = [
+    (f"<{EX}g{i}>", f"<{EX}knows>", f"<{EX}g{i + 1}>") for i in range(4)
+]
+
+QUERY = (
+    "SELECT ?x ?y WHERE { ?x <http://ex/knows> ?y }"
+)
+JOIN_QUERY = (
+    "SELECT ?x WHERE { ?x <http://ex/knows> ?y . "
+    "?y <http://ex/likes> ?z }"
+)
+
+
+@pytest.mark.parametrize("engine_cls", ALL_ENGINES)
+def test_readers_race_updates_and_compaction(engine_cls):
+    store = vertically_partition(BASE)
+    # Compact on every batch: readers race main-segment swaps too.
+    store.delta_config = DeltaConfig(compact_fraction=0.0)
+    service = QueryService(engine_cls(store))
+
+    def rows_for(triples):
+        reference = vertically_partition(sorted(triples))
+        engine = engine_cls(reference)
+        return {
+            text: frozenset(engine.decode(engine.execute_sparql(text)))
+            for text in (QUERY, JOIN_QUERY)
+        }
+
+    without_extra = rows_for(BASE)
+    with_extra = rows_for(BASE + EXTRA)
+    allowed = {
+        QUERY: {without_extra[QUERY], with_extra[QUERY]},
+        JOIN_QUERY: {without_extra[JOIN_QUERY], with_extra[JOIN_QUERY]},
+    }
+    service.execute(QUERY), service.execute(JOIN_QUERY)  # warm
+
+    stop = threading.Event()
+    failures: list[str] = []
+
+    def writer():
+        rng = random.Random(0)
+        for _ in range(60):
+            store.add_triples(EXTRA)
+            if rng.random() < 0.5:
+                store.remove_triples(EXTRA[:2])
+            store.remove_triples(EXTRA)
+        stop.set()
+
+    def reader():
+        engine = service.engine
+        while not stop.is_set():
+            for text in (QUERY, JOIN_QUERY):
+                try:
+                    rows = frozenset(
+                        engine.decode(service.execute(text))
+                    )
+                except Exception as exc:  # noqa: BLE001 - recorded below
+                    failures.append(f"{text}: raised {exc!r}")
+                    stop.set()
+                    return
+                if text == QUERY and rows not in {
+                    without_extra[QUERY],
+                    with_extra[QUERY],
+                    # the partial state after removing EXTRA[:2]
+                    frozenset(with_extra[QUERY])
+                    - {
+                        (f"<{EX}g0>", f"<{EX}g1>"),
+                        (f"<{EX}g1>", f"<{EX}g2>"),
+                    },
+                }:
+                    failures.append(f"torn read: {sorted(rows)!r}")
+                    stop.set()
+                    return
+                if text == JOIN_QUERY and rows not in allowed[JOIN_QUERY]:
+                    failures.append(f"torn join read: {sorted(rows)!r}")
+                    stop.set()
+                    return
+
+    readers = [threading.Thread(target=reader) for _ in range(3)]
+    writer_thread = threading.Thread(target=writer)
+    for thread in readers:
+        thread.start()
+    writer_thread.start()
+    writer_thread.join(timeout=60)
+    for thread in readers:
+        thread.join(timeout=60)
+    assert not failures, failures[:3]
+    assert store.compactions > 0  # the race really included compactions
+
+    # Quiesced: every engine and the service converge on final content.
+    final = frozenset(
+        service.engine.decode(service.execute(QUERY))
+    )
+    assert final == without_extra[QUERY]
+
+
+def test_concurrent_batch_racing_updates_is_serial_identical():
+    """execute_concurrent while a writer mutates: each result matches a
+    committed state, and a post-quiescence batch is serial-identical."""
+    store = vertically_partition(BASE)
+    store.delta_config = DeltaConfig(compact_fraction=0.0)
+    service = QueryService(ALL_ENGINES[0](store))
+    requests = [QUERY, JOIN_QUERY] * 4
+
+    done = threading.Event()
+
+    def writer():
+        for _ in range(30):
+            store.add_triples(EXTRA)
+            store.remove_triples(EXTRA)
+        done.set()
+
+    thread = threading.Thread(target=writer)
+    thread.start()
+    while not done.is_set():
+        service.execute_concurrent(requests, max_workers=4)
+    thread.join(timeout=60)
+
+    serial = [r.to_set() for r in service.execute_concurrent(requests, 1)]
+    concurrent = [
+        r.to_set() for r in service.execute_concurrent(requests, 4)
+    ]
+    assert serial == concurrent

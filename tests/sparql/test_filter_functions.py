@@ -1,0 +1,161 @@
+"""FILTER functions bound() and regex(): parser, translation, semantics."""
+
+import pytest
+
+from repro.core.query import BoundTest, Conjunction, Disjunction, RegexTest, Variable
+from repro.engines import ALL_ENGINES
+from repro.errors import ParseError
+from repro.sparql.ast import FilterBound, FilterRegex
+from repro.sparql.parser import parse_sparql
+from repro.sparql.translate import sparql_to_query
+from repro.storage.vertical import vertically_partition
+
+EX = "http://ex/"
+
+GRAPH = [
+    (f"<{EX}a>", f"<{EX}name>", '"alpha"'),
+    (f"<{EX}b>", f"<{EX}name>", '"Beta"@en'),
+    (f"<{EX}c>", f"<{EX}name>", '"42"^^<http://www.w3.org/2001/XMLSchema#integer>'),
+    (f"<{EX}d>", f"<{EX}name>", f"<{EX}iri-object>"),
+    (f"<{EX}a>", f"<{EX}knows>", f"<{EX}b>"),
+    (f"<{EX}e>", f"<{EX}knows>", f"<{EX}a>"),
+]
+
+
+def _rows(text):
+    store = vertically_partition(GRAPH)
+    reference = None
+    for engine_cls in ALL_ENGINES:
+        engine = engine_cls(store)
+        decoded = sorted(engine.decode(engine.execute_sparql(text)))
+        if reference is None:
+            reference = decoded
+        assert decoded == reference, engine_cls.name
+    return reference
+
+
+# ---------------------------------------------------------------------------
+# Parsing and translation
+# ---------------------------------------------------------------------------
+def test_parse_bound_with_and_without_outer_parens():
+    for text in (
+        "SELECT ?x WHERE { ?x <p:n> ?n . FILTER bound(?n) }",
+        "SELECT ?x WHERE { ?x <p:n> ?n . FILTER(bound(?n)) }",
+        "SELECT ?x WHERE { ?x <p:n> ?n . FILTER BOUND(?n) }",
+    ):
+        parsed = parse_sparql(text)
+        assert parsed.filters == (FilterBound("n"),)
+
+
+def test_parse_regex_with_flags_and_escapes():
+    parsed = parse_sparql(
+        'SELECT ?x WHERE { ?x <p:n> ?n . FILTER regex(?n, "a\\"b", "i") }'
+    )
+    assert parsed.filters == (FilterRegex("n", 'a"b', "i"),)
+    parsed = parse_sparql(
+        'SELECT ?x WHERE { ?x <p:n> ?n . FILTER(regex(?n, "^al") && ?n != "q") }'
+    )
+    assert isinstance(parsed.filters[0].parts[0], FilterRegex)
+
+
+def test_parse_rejects_bad_builtin_arguments():
+    with pytest.raises(ParseError):
+        parse_sparql("SELECT ?x WHERE { ?x <p:n> ?n . FILTER bound(<p:n>) }")
+    with pytest.raises(ParseError):
+        parse_sparql(
+            "SELECT ?x WHERE { ?x <p:n> ?n . FILTER regex(?n, 42) }"
+        )
+    with pytest.raises(ParseError):
+        parse_sparql(
+            'SELECT ?x WHERE { ?x <p:n> ?n . FILTER regex(?n, "a", "x") }'
+        )
+    # An invalid pattern is a parse error, not a mid-execution re.error.
+    with pytest.raises(ParseError, match="invalid regex"):
+        parse_sparql(
+            'SELECT ?x WHERE { ?x <p:n> ?n . FILTER regex(?n, "[") }'
+        )
+
+
+def test_translate_builds_core_filter_leaves():
+    query = sparql_to_query(
+        parse_sparql(
+            "SELECT ?x WHERE { ?x <p:n> ?n . "
+            'FILTER(bound(?n) || regex(?n, "a", "i")) }'
+        )
+    )
+    (disjunction,) = query.filters
+    assert isinstance(disjunction, Disjunction)
+    assert disjunction.parts == (
+        BoundTest(Variable("n")),
+        RegexTest(Variable("n"), "a", "i"),
+    )
+
+
+def test_translate_rejects_unknown_filter_variable():
+    with pytest.raises(ParseError):
+        sparql_to_query(
+            parse_sparql("SELECT ?x WHERE { ?x <p:n> ?n . FILTER bound(?zz) }")
+        )
+
+
+# ---------------------------------------------------------------------------
+# Evaluation semantics (all five engines must agree)
+# ---------------------------------------------------------------------------
+def test_regex_matches_literal_content_only():
+    rows = _rows(
+        "SELECT ?x WHERE { ?x <http://ex/name> ?n . FILTER regex(?n, \"a\") }"
+    )
+    # "alpha" and "Beta"@en match; the IRI object is a type error; the
+    # typed literal "42" has no "a" in its content.
+    assert rows == [(f"<{EX}a>",), (f"<{EX}b>",)]
+
+
+def test_regex_case_insensitive_flag():
+    assert _rows(
+        'SELECT ?x WHERE { ?x <http://ex/name> ?n . FILTER regex(?n, "BETA", "i") }'
+    ) == [(f"<{EX}b>",)]
+    assert _rows(
+        'SELECT ?x WHERE { ?x <http://ex/name> ?n . FILTER regex(?n, "BETA") }'
+    ) == []
+
+
+def test_regex_applies_to_typed_literal_content():
+    assert _rows(
+        'SELECT ?x WHERE { ?x <http://ex/name> ?n . FILTER regex(?n, "^42$") }'
+    ) == [(f"<{EX}c>",)]
+
+
+def test_bound_filters_optional_padding():
+    rows = _rows(
+        "SELECT ?x ?n WHERE { ?x <http://ex/knows> ?y . "
+        "OPTIONAL { ?y <http://ex/name> ?n } FILTER bound(?n) }"
+    )
+    assert rows == [(f"<{EX}a>", '"Beta"@en'), (f"<{EX}e>", '"alpha"')]
+
+
+def test_bound_in_disjunction_keeps_rows_an_arm_saves():
+    rows = _rows(
+        "SELECT ?x WHERE { ?x <http://ex/knows> ?y . "
+        "OPTIONAL { ?y <http://ex/name> ?n } "
+        'FILTER(bound(?n) || ?x = "never") }'
+    )
+    assert rows == [(f"<{EX}a>",), (f"<{EX}e>",)]
+
+
+def test_regex_on_unbound_is_a_type_error():
+    rows = _rows(
+        "SELECT ?x WHERE { ?x <http://ex/knows> ?y . "
+        "OPTIONAL { ?y <http://ex/name> ?n } "
+        'FILTER regex(?n, ".") }'
+    )
+    # Only rows that bound ?n to a literal can match.
+    assert rows == [(f"<{EX}a>",), (f"<{EX}e>",)]
+
+
+def test_bound_conjunction_with_comparison():
+    rows = _rows(
+        "SELECT ?x WHERE { ?x <http://ex/knows> ?y . "
+        "OPTIONAL { ?y <http://ex/name> ?n } "
+        'FILTER(bound(?n) && regex(?n, "alph")) }'
+    )
+    assert rows == [(f"<{EX}e>",)]

@@ -1,0 +1,86 @@
+"""Catalog.apply_delta: patched copies share what updates don't touch,
+and both relations and tries are derived from the delta rows alone (so
+batch-by-batch application walks committed epochs exactly)."""
+
+import pytest
+
+from repro.storage.catalog import Catalog
+from repro.storage.relation import Relation
+from repro.storage.vertical import SUBJECT, OBJECT
+
+
+def _relation(name: str, rows: list[tuple[int, int]]) -> Relation:
+    return Relation.from_rows(name, (SUBJECT, OBJECT), rows)
+
+
+@pytest.fixture
+def catalog():
+    catalog = Catalog()
+    catalog.register(_relation("knows", [(1, 2), (3, 4)]))
+    catalog.register(_relation("likes", [(5, 6)]))
+    return catalog
+
+
+def test_apply_delta_shares_unaffected_entries(catalog):
+    knows_trie = catalog.trie("knows", (SUBJECT, OBJECT))
+    likes_trie = catalog.trie("likes", (SUBJECT, OBJECT))
+    patched = catalog.apply_delta({"knows": _relation("knows", [(9, 9)])}, {})
+    # The original catalog is untouched (readers keep their snapshot).
+    assert catalog.get("knows").to_set() == {(1, 2), (3, 4)}
+    assert catalog.trie("knows", (SUBJECT, OBJECT)) is knows_trie
+    # The copy shares the unaffected entries and patched the affected
+    # relation + trie from the delta rows.
+    assert patched.get("likes") is catalog.get("likes")
+    assert patched.trie("likes", (SUBJECT, OBJECT)) is likes_trie
+    assert patched.get("knows").to_set() == {(1, 2), (3, 4), (9, 9)}
+    assert list(patched.trie("knows", (SUBJECT, OBJECT)).iter_tuples()) == [
+        (1, 2),
+        (3, 4),
+        (9, 9),
+    ]
+
+
+def test_apply_delta_patches_every_cached_order(catalog):
+    catalog.trie("knows", (SUBJECT, OBJECT))
+    catalog.trie("knows", (OBJECT, SUBJECT))
+    patched = catalog.apply_delta({}, {"knows": _relation("knows", [(1, 2)])})
+    assert patched.get("knows").to_set() == {(3, 4)}
+    assert list(patched.trie("knows", (SUBJECT, OBJECT)).iter_tuples()) == [
+        (3, 4)
+    ]
+    assert list(patched.trie("knows", (OBJECT, SUBJECT)).iter_tuples()) == [
+        (4, 3)
+    ]
+
+
+def test_apply_delta_registers_new_and_drops_dead_tables(catalog):
+    catalog.trie("likes", (SUBJECT, OBJECT))
+    patched = catalog.apply_delta(
+        {"born": _relation("born", [(7, 8)])},
+        {},
+        dropped=("likes",),
+    )
+    assert "likes" not in patched
+    assert patched.get("born").num_rows == 1
+    # A never-cached trie for the new table builds on demand.
+    assert list(patched.trie("born", (SUBJECT, OBJECT)).iter_tuples()) == [
+        (7, 8)
+    ]
+    # The old catalog still serves its snapshot of the dropped table.
+    assert catalog.get("likes").num_rows == 1
+
+
+def test_batchwise_application_walks_epochs_exactly(catalog):
+    """Relations are patched from the delta, not taken from any live
+    store — so each intermediate catalog is one committed epoch."""
+    step1 = catalog.apply_delta({"knows": _relation("knows", [(9, 9)])}, {})
+    step2 = step1.apply_delta(
+        {"likes": _relation("likes", [(8, 8)])},
+        {"knows": _relation("knows", [(1, 2)])},
+    )
+    # step1 shows epoch 1 only: batch 2's changes are absent.
+    assert step1.get("knows").to_set() == {(1, 2), (3, 4), (9, 9)}
+    assert step1.get("likes").to_set() == {(5, 6)}
+    # step2 shows both batches.
+    assert step2.get("knows").to_set() == {(3, 4), (9, 9)}
+    assert step2.get("likes").to_set() == {(5, 6), (8, 8)}

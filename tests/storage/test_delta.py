@@ -1,0 +1,174 @@
+"""Main+delta segment semantics of VerticallyPartitionedStore.
+
+The public add/remove semantics are covered by test_updates.py; this
+module exercises the delta machinery underneath: insert/tombstone
+segments, threshold compaction (a logical no-op), the delta log behind
+``changes_since``, and the no-op-update epoch guarantees.
+"""
+
+import numpy as np
+
+from repro.storage.vertical import (
+    DeltaConfig,
+    vertically_partition,
+)
+
+EX = "http://ex/"
+
+
+def _triple(i: int, predicate: str = "knows") -> tuple[str, str, str]:
+    return (f"<{EX}s{i}>", f"<{EX}{predicate}>", f"<{EX}o{i}>")
+
+
+def _store(n: int = 20):
+    return vertically_partition([_triple(i) for i in range(n)])
+
+
+def test_add_lands_in_insert_delta_not_main():
+    store = _store()
+    store.add_triples([_triple(100)])
+    stats = store.delta_stats()["tables"]["knows"]
+    assert stats == {
+        "main_rows": 20,
+        "insert_rows": 1,
+        "tombstone_rows": 0,
+    }
+    assert store.tables["knows"].num_rows == 21
+
+
+def test_remove_of_main_row_becomes_tombstone():
+    store = _store()
+    store.remove_triples([_triple(3)])
+    stats = store.delta_stats()["tables"]["knows"]
+    assert stats["main_rows"] == 20  # main is immutable
+    assert stats["tombstone_rows"] == 1
+    assert store.tables["knows"].num_rows == 19
+
+
+def test_remove_of_delta_insert_cancels_it():
+    store = _store()
+    store.add_triples([_triple(100)])
+    store.remove_triples([_triple(100)])
+    stats = store.delta_stats()["tables"]["knows"]
+    assert stats["insert_rows"] == 0
+    assert stats["tombstone_rows"] == 0
+    assert store.tables["knows"].num_rows == 20
+
+
+def test_re_adding_tombstoned_row_revives_it():
+    store = _store()
+    store.remove_triples([_triple(3)])
+    store.add_triples([_triple(3)])
+    stats = store.delta_stats()["tables"]["knows"]
+    assert stats["insert_rows"] == 0  # revived, not re-inserted
+    assert stats["tombstone_rows"] == 0
+    assert store.tables["knows"].num_rows == 20
+
+
+def test_threshold_compaction_merges_delta_into_main():
+    store = _store()
+    store.delta_config = DeltaConfig(compact_fraction=0.1)
+    version_before = store.data_version
+    store.add_triples([_triple(100 + i) for i in range(5)])  # 25% > 10%
+    stats = store.delta_stats()["tables"]["knows"]
+    assert stats == {
+        "main_rows": 25,
+        "insert_rows": 0,
+        "tombstone_rows": 0,
+    }
+    assert store.compactions == 1
+    # Compaction is physical only: exactly the one update epoch passed.
+    assert store.data_version == version_before + 1
+    assert store.tables["knows"].num_rows == 25
+
+
+def test_forced_compaction_is_a_logical_noop():
+    store = _store()
+    store.add_triples([_triple(100)])
+    store.remove_triples([_triple(0)])
+    rows_before = store.tables["knows"].to_set()
+    version = store.data_version
+    assert store.compact() == 1
+    assert store.data_version == version
+    assert store.tables["knows"].to_set() == rows_before
+    stats = store.delta_stats()["tables"]["knows"]
+    assert stats["insert_rows"] == 0 and stats["tombstone_rows"] == 0
+
+
+def test_merged_view_is_replaced_not_mutated():
+    store = _store()
+    before = store.tables
+    before_knows = before["knows"]
+    store.add_triples([_triple(100)])
+    assert store.tables is not before  # wholesale dict swap
+    assert before["knows"] is before_knows  # old snapshot untouched
+    assert before_knows.num_rows == 20
+
+
+def test_changes_since_returns_batches_in_order():
+    store = _store()
+    store.add_triples([_triple(100)])
+    store.remove_triples([_triple(0), _triple(1)])
+    batches = store.changes_since(0)
+    assert [b.version for b in batches] == [1, 2]
+    assert batches[0].added["knows"].num_rows == 1
+    assert not batches[0].removed
+    assert batches[1].removed["knows"].num_rows == 2
+    assert store.changes_since(2) == []
+
+
+def test_changes_since_respects_max_rows():
+    store = _store()
+    store.add_triples([_triple(100 + i) for i in range(4)])
+    assert store.changes_since(0, max_rows=3) is None
+    assert store.changes_since(0, max_rows=4) is not None
+
+
+def test_changes_since_truncated_log_returns_none():
+    store = _store()
+    store.delta_config = DeltaConfig(log_limit=2)
+    for i in range(4):
+        store.add_triples([_triple(100 + i)])
+    assert store.changes_since(0) is None  # log no longer reaches back
+    assert store.changes_since(2) is not None
+    assert len(store.changes_since(2)) == 2
+
+
+def test_created_and_dropped_tables_are_recorded():
+    store = _store()
+    store.add_triples([_triple(0, "likes")])
+    batch = store.changes_since(store.data_version - 1)[0]
+    assert batch.created_tables == frozenset({"likes"})
+    store.remove_triples([_triple(0, "likes")])
+    batch = store.changes_since(store.data_version - 1)[0]
+    assert batch.dropped_tables == frozenset({"likes"})
+    assert "likes" not in store.tables
+
+
+def test_noop_add_and_remove_leave_epoch_and_log_alone():
+    store = _store()
+    log_before = len(store.changes_since(0) or [])
+    assert store.add_triples([_triple(3)]) == 0  # duplicate
+    assert store.remove_triples([_triple(999)]) == 0  # absent
+    assert store.remove_triples([]) == 0
+    assert store.data_version == 0
+    assert len(store.changes_since(0) or []) == log_before
+
+
+def test_merged_view_matches_naive_reconstruction():
+    rng = np.random.default_rng(0)
+    store = _store(30)
+    expected = {(f"<{EX}s{i}>", f"<{EX}knows>", f"<{EX}o{i}>") for i in range(30)}
+    for step in range(10):
+        adds = [_triple(int(i)) for i in rng.integers(0, 60, 3)]
+        removes = [_triple(int(i)) for i in rng.integers(0, 60, 2)]
+        store.add_triples(adds)
+        expected |= set(adds)
+        store.remove_triples(removes)
+        expected -= set(removes)
+        decode = store.dictionary.decode
+        got = {
+            (decode(s), f"<{EX}knows>", decode(o))
+            for s, o in store.tables["knows"].iter_rows()
+        }
+        assert got == expected, step

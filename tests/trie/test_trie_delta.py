@@ -1,0 +1,84 @@
+"""Trie.apply_delta: patched tries must equal from-scratch rebuilds."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.sets.base import SetLayout
+from repro.trie.trie import Trie
+
+
+def _columns(rows: list[tuple[int, ...]], arity: int) -> list[np.ndarray]:
+    if not rows:
+        return [np.empty(0, dtype=np.uint32) for _ in range(arity)]
+    return [
+        np.array([row[i] for row in rows], dtype=np.uint32)
+        for i in range(arity)
+    ]
+
+
+@pytest.mark.parametrize("arity", [1, 2, 3])
+@pytest.mark.parametrize("seed", range(4))
+def test_apply_delta_equals_rebuild(arity, seed):
+    rng = random.Random(100 * arity + seed)
+    # Values above 2**16 exercise multi-byte key packing (the void-row
+    # path for arity 3 must stay lexicographic across byte boundaries).
+    rows = sorted(
+        {
+            tuple(rng.randrange(1 << 18) for _ in range(arity))
+            for _ in range(rng.randint(0, 200))
+        }
+    )
+    trie = Trie.build(_columns(rows, arity), [f"a{i}" for i in range(arity)])
+    added = {
+        tuple(rng.randrange(1 << 18) for _ in range(arity))
+        for _ in range(rng.randint(0, 30))
+    } | set(rng.sample(rows, min(len(rows), 3)))  # some already present
+    removed = set(rng.sample(rows, min(len(rows), rng.randint(0, 20)))) | {
+        tuple(rng.randrange(1 << 18) for _ in range(arity))  # absent rows
+    }
+    patched = trie.apply_delta(
+        _columns(sorted(added), arity), _columns(sorted(removed), arity)
+    )
+    expected = sorted((set(rows) - removed) | added)
+    assert list(patched.iter_tuples()) == expected
+    assert patched.num_tuples == len(expected)
+    # The original is untouched (concurrent probes keep a consistent index).
+    assert list(trie.iter_tuples()) == rows
+
+
+def test_apply_delta_none_and_empty_are_noops():
+    rows = [(1, 2), (3, 4), (3, 7)]
+    trie = Trie.build(_columns(rows, 2), ["a", "b"])
+    empty = _columns([], 2)
+    assert list(trie.apply_delta(None, None).iter_tuples()) == rows
+    assert list(trie.apply_delta(empty, empty).iter_tuples()) == rows
+
+
+def test_apply_delta_can_empty_and_refill():
+    rows = [(1, 2), (3, 4)]
+    trie = Trie.build(_columns(rows, 2), ["a", "b"])
+    emptied = trie.apply_delta(None, _columns(rows, 2))
+    assert emptied.num_tuples == 0
+    refilled = emptied.apply_delta(_columns([(9, 9)], 2), None)
+    assert list(refilled.iter_tuples()) == [(9, 9)]
+
+
+def test_apply_delta_preserves_forced_layout():
+    rows = [(i, i + 1) for i in range(50)]
+    trie = Trie.build(
+        _columns(rows, 2), ["a", "b"], force_layout=SetLayout.BITSET
+    )
+    patched = trie.apply_delta(_columns([(200, 1)], 2), None)
+    assert patched._force_layout is SetLayout.BITSET
+    assert patched.child_set(patched.root).layout is SetLayout.BITSET
+
+
+def test_from_sorted_distinct_matches_build():
+    rows = sorted({(i % 7, i % 5, i % 3) for i in range(60)})
+    cols = _columns(rows, 3)
+    built = Trie.build(cols, ["a", "b", "c"])
+    direct = Trie.from_sorted_distinct(cols, ["a", "b", "c"])
+    assert list(built.iter_tuples()) == list(direct.iter_tuples())
+    assert built.num_tuples == direct.num_tuples
