@@ -15,7 +15,12 @@ The package provides:
 * :mod:`repro.service` — the serving layer: a plan-cached, warmable,
   update-aware :class:`~repro.service.QueryService` whose
   :class:`~repro.service.PreparedStatement`\\ s serve parameterized
-  query templates (``$name`` placeholders) and concurrent traffic;
+  query templates (``$name`` placeholders) and concurrent traffic,
+  fronted by a transport-ready protocol
+  (:class:`~repro.service.Session` / :class:`~repro.service.Cursor`:
+  open → prepare → execute → fetch in pages → close), streaming result
+  wire formats (:mod:`repro.service.formats`), and a stdlib
+  SPARQL-protocol HTTP endpoint (:mod:`repro.service.http`);
 * :mod:`repro.lubm` — the LUBM data generator and query workload;
 * :mod:`repro.sparql` / :mod:`repro.rdf` / :mod:`repro.storage` /
   :mod:`repro.sets` / :mod:`repro.trie` — the substrates;
@@ -56,7 +61,12 @@ from repro.lubm import (
     lubm_queries,
     lubm_query,
 )
-from repro.service import PreparedStatement, QueryService
+from repro.service import (
+    Cursor,
+    PreparedStatement,
+    QueryService,
+    Session,
+)
 from repro.storage.relation import Relation
 
 __version__ = "1.0.0"
@@ -67,6 +77,7 @@ __all__ = [
     "ColumnStoreEngine",
     "ConjunctiveQuery",
     "Constant",
+    "Cursor",
     "EmptyHeadedEngine",
     "Engine",
     "GeneratorConfig",
@@ -77,6 +88,7 @@ __all__ = [
     "QueryService",
     "RDF3XLikeEngine",
     "Relation",
+    "Session",
     "TripleBitLikeEngine",
     "UnionQuery",
     "Variable",

@@ -10,6 +10,7 @@ Subcommands::
     repro-lubm smoke                                     # correctness gate
     repro-lubm service --out BENCH_service.json          # serving bench
     repro-lubm updates --out BENCH_updates.json          # update-path bench
+    repro-lubm http --out BENCH_http.json                # live-server bench
 
 ``smoke`` runs every engine over a tiny LUBM instance and exits
 non-zero on any cross-engine disagreement or golden-count regression —
@@ -29,6 +30,15 @@ wholesale-rebuild baseline on interleaved write/read traffic across
 every engine, cross-checking both legs' rows; ``--min-speedup X``
 additionally gates on the measured delta-vs-rebuild ratio (see
 :mod:`repro.bench.updates_bench`).
+
+``http`` starts a live :class:`~repro.service.http.SparqlHttpServer`
+and measures end-to-end p50/p95 of streamed JSON/binary serving against
+in-process ``PreparedStatement.execute`` on the same template family,
+cross-checking every response row-for-row and probing protocol
+conformance (error codes, ``/stats``, ``/explain``, ``/update``); it
+exits non-zero when any check fails or either format exceeds
+``--max-overhead`` times the in-process p50 (see
+:mod:`repro.bench.http_bench`).
 """
 
 from __future__ import annotations
@@ -148,6 +158,25 @@ def _cmd_updates(args) -> None:
         sys.exit(1)
 
 
+def _cmd_http(args) -> None:
+    from repro.bench.http_bench import render, run_http_bench, write_report
+
+    report = run_http_bench(
+        universities=args.universities,
+        seed=args.seed,
+        family=args.family,
+        rounds=args.rounds,
+        workers=args.workers,
+        max_overhead=args.max_overhead,
+    )
+    print(render(report))
+    if args.out:
+        write_report(report, args.out)
+        print(f"wrote {args.out}")
+    if not report["ok"]:
+        sys.exit(1)
+
+
 def main(argv: list[str] | None = None) -> None:
     parser = argparse.ArgumentParser(
         prog="repro-lubm",
@@ -247,6 +276,39 @@ def main(argv: list[str] | None = None) -> None:
         help="write the machine-readable JSON report to this path",
     )
     updates.set_defaults(func=_cmd_updates)
+
+    http_cmd = sub.add_parser("http", parents=[common])
+    http_cmd.add_argument(
+        "--family",
+        type=int,
+        default=100,
+        help="number of distinct parameter values in the template family",
+    )
+    http_cmd.add_argument(
+        "--rounds",
+        type=int,
+        default=4,
+        help="passes over the family per leg (round 1 is cold)",
+    )
+    http_cmd.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="server pool size and concurrent-client thread count",
+    )
+    http_cmd.add_argument(
+        "--max-overhead",
+        type=float,
+        default=2.0,
+        help="gate: streamed JSON/binary p50 must stay within this "
+        "multiple of the in-process execute p50",
+    )
+    http_cmd.add_argument(
+        "--out",
+        default="",
+        help="write the machine-readable JSON report to this path",
+    )
+    http_cmd.set_defaults(func=_cmd_http)
 
     args = parser.parse_args(argv)
     args.func(args)

@@ -35,12 +35,13 @@ import numpy as np
 from repro.core.modifiers import (
     apply_order,
     apply_slice,
-    evaluate_leaf,
+    evaluate_leaf_masks,
     filter_mask,
 )
 from repro.core.query import (
     BoundBlock,
     BoundOptional,
+    BoundTest,
     BoundUnion,
     ConjunctiveQuery,
     FilterExpr,
@@ -177,19 +178,23 @@ def _pad_columns(n: int, count: int) -> list[np.ndarray]:
 
 def _absence_aware_leaf(
     relation: Relation, leaf_expr, dictionary
-) -> np.ndarray:
-    """A filter leaf referencing a variable the relation never binds (a
-    sibling UNION branch's variable, or an OPTIONAL dropped at bind
-    time) is all-``False`` for that *leaf* — a SPARQL type error for
-    comparisons and ``regex``, and plain falsity for ``bound`` (the
-    variable is, indeed, unbound) — but under ``||`` another arm can
-    still keep the row."""
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(true, error)`` masks for a leaf that may reference a variable
+    the relation never binds (a sibling UNION branch's variable, or an
+    OPTIONAL dropped at bind time): a SPARQL type error for comparisons
+    and ``regex`` (so ``!`` keeps the row excluded), and plain falsity
+    for ``bound`` (the variable is, indeed, unbound — and
+    ``!bound(?absent)`` is definitively true) — while under ``||``
+    another arm can still keep the row."""
     if any(
         var.name not in relation.attributes
         for var in leaf_expr.variables()
     ):
-        return np.zeros(relation.num_rows, dtype=bool)
-    return evaluate_leaf(relation, leaf_expr, dictionary)
+        false = np.zeros(relation.num_rows, dtype=bool)
+        if isinstance(leaf_expr, BoundTest):
+            return false, np.zeros(relation.num_rows, dtype=bool)
+        return false, np.ones(relation.num_rows, dtype=bool)
+    return evaluate_leaf_masks(relation, leaf_expr, dictionary)
 
 
 def _filter_mask(

@@ -22,6 +22,23 @@ content numerically, other terms as strings, mixed-kind rows excluded
 as type errors. Numbers sort before strings under ``ORDER BY``,
 mirroring SPARQL's ordering of numerics before other RDF terms.
 
+The term functions ``str(?x)`` and ``lang(?x)`` may wrap a comparison
+operand: ``str`` yields an IRI's string or a literal's content (tags
+and datatypes stripped), ``lang`` a literal's lowercased language tag
+(``""`` when untagged) and errors on IRIs. Either result then compares
+exactly like a literal with that content.
+
+Three-valued evaluation
+-----------------------
+SPARQL filters are three-valued: an expression over a row is *true*,
+*false*, or an *error* (type error / unbound operand). This module
+tracks truth and error as two parallel boolean masks
+(:func:`filter_masks`): under ``&&`` an erroring arm drops the row
+unless another arm is definitively false either way, under ``||`` a row
+survives when any arm is definitively true, and ``!`` swaps true and
+false while *preserving* error — which is why negation cannot be mask
+complement. A kept row is one whose expression is definitively true.
+
 Unbound variables (``OPTIONAL`` rows padded with
 :data:`~repro.storage.relation.NULL_KEY`) follow SPARQL's evaluation
 rules: any comparison touching an unbound operand is a type error that
@@ -46,9 +63,11 @@ from repro.core.query import (
     Conjunction,
     Constant,
     Disjunction,
+    Negation,
     OrderKey,
     Parameter,
     RegexTest,
+    TermFunc,
     Variable,
 )
 from repro.errors import ExecutionError
@@ -65,6 +84,10 @@ _OPS = {
 
 _LITERAL_RE = re.compile(
     r'^"(?P<content>(?:[^"\\]|\\.)*)"(?:@[A-Za-z0-9\-]+|\^\^.*)?$'
+)
+
+_LANG_RE = re.compile(
+    r'^"(?:[^"\\]|\\.)*"@(?P<tag>[A-Za-z0-9\-]+)$'
 )
 
 _NUM, _STR = 0, 1
@@ -94,6 +117,26 @@ def _constant_value(constant: Constant) -> tuple[int, float | str]:
     return (_NUM, float(constant.value))
 
 
+def apply_term_func(function: str, lexical: str) -> str | None:
+    """The simple-literal lexical form ``str()``/``lang()`` maps a bound
+    term to, or ``None`` for a SPARQL type error (``lang`` of an IRI).
+    """
+    if function == "str":
+        if lexical.startswith("<") and lexical.endswith(">"):
+            return f'"{lexical[1:-1]}"'
+        match = _LITERAL_RE.match(lexical)
+        if match is not None:
+            return f'"{match.group("content")}"'
+        return f'"{lexical}"'
+    if function == "lang":
+        if not lexical.startswith('"'):
+            return None  # lang() of an IRI (or other non-literal) errors
+        match = _LANG_RE.match(lexical)
+        tag = match.group("tag").lower() if match else ""
+        return f'"{tag}"'
+    raise ExecutionError(f"unsupported term function {function!r}")
+
+
 @dataclass
 class _OperandData:
     """Per-row decoded views of one comparison operand."""
@@ -104,45 +147,78 @@ class _OperandData:
     raw: np.ndarray  # str: full lexical form (identity comparisons)
     is_iri: np.ndarray  # bool: the term is an IRI
     is_null: np.ndarray  # bool: the variable is unbound (OPTIONAL pad)
+    is_error: np.ndarray  # bool: a term function erred on this row
+
+
+def _decoded_operand(
+    decoded: list[str | None],
+) -> tuple[np.ndarray, ...]:
+    """Columnar operand data from per-distinct decoded lexical forms.
+
+    ``None`` entries mark unbound rows; the empty string marks a
+    term-function error (no stored lexical form is ever empty — IRIs
+    are angle-bracketed and literals quoted).
+    """
+    size = len(decoded)
+    is_num = np.zeros(size, dtype=bool)
+    numbers = np.zeros(size, dtype=np.float64)
+    content: list[str] = []
+    raw: list[str] = []
+    is_iri = np.zeros(size, dtype=bool)
+    is_null = np.zeros(size, dtype=bool)
+    is_error = np.zeros(size, dtype=bool)
+    for i, lexical in enumerate(decoded):
+        if lexical is None:
+            is_null[i] = True
+            content.append("")
+            raw.append("")
+            continue
+        if lexical == "":
+            is_error[i] = True
+            content.append("")
+            raw.append("")
+            continue
+        kind, value = term_value(lexical)
+        if kind == _NUM:
+            is_num[i] = True
+            numbers[i] = value
+            content.append("")
+        else:
+            content.append(value)
+        raw.append(lexical)
+        is_iri[i] = lexical.startswith("<")
+    return (
+        is_num,
+        numbers,
+        np.asarray(content, dtype=str),
+        np.asarray(raw, dtype=str),
+        is_iri,
+        is_null,
+        is_error,
+    )
 
 
 def _operand_data(term, relation: Relation, dictionary, n: int) -> _OperandData:
-    if isinstance(term, Variable):
-        column = relation.column(term.name)
+    if isinstance(term, (Variable, TermFunc)):
+        function = term.function if isinstance(term, TermFunc) else None
+        variable = term.var if isinstance(term, TermFunc) else term
+        column = relation.column(variable.name)
         uniq, inverse = np.unique(column, return_inverse=True)
-        is_num = np.empty(uniq.shape[0], dtype=bool)
-        numbers = np.zeros(uniq.shape[0], dtype=np.float64)
-        content: list[str] = []
-        raw: list[str] = []
-        is_iri = np.empty(uniq.shape[0], dtype=bool)
-        is_null = np.empty(uniq.shape[0], dtype=bool)
-        for i, key in enumerate(uniq):
+        decoded: list[str | None] = []
+        for key in uniq:
             if int(key) == NULL_KEY:
-                is_null[i] = True
-                is_num[i] = False
-                is_iri[i] = False
-                content.append("")
-                raw.append("")
+                decoded.append(None)
                 continue
-            is_null[i] = False
             lexical = dictionary.decode(int(key))
-            kind, value = term_value(lexical)
-            is_num[i] = kind == _NUM
-            if kind == _NUM:
-                numbers[i] = value
-                content.append("")
+            if function is not None:
+                mapped = apply_term_func(function, lexical)
+                # "" encodes a term-function error for _decoded_operand
+                # (no stored lexical form is ever the empty string).
+                decoded.append("" if mapped is None else mapped)
             else:
-                content.append(value)
-            raw.append(lexical)
-            is_iri[i] = lexical.startswith("<")
-        return _OperandData(
-            is_num[inverse],
-            numbers[inverse],
-            np.asarray(content, dtype=str)[inverse],
-            np.asarray(raw, dtype=str)[inverse],
-            is_iri[inverse],
-            is_null[inverse],
-        )
+                decoded.append(lexical)
+        parts = _decoded_operand(decoded)
+        return _OperandData(*(part[inverse] for part in parts))
     assert isinstance(term, Constant)
     if isinstance(term.value, str):
         lexical = term.value
@@ -155,6 +231,7 @@ def _operand_data(term, relation: Relation, dictionary, n: int) -> _OperandData:
             np.full(n, lexical),
             np.full(n, lexical.startswith("<"), dtype=bool),
             np.full(n, False, dtype=bool),
+            np.full(n, False, dtype=bool),
         )
     return _OperandData(
         np.full(n, True, dtype=bool),
@@ -163,13 +240,20 @@ def _operand_data(term, relation: Relation, dictionary, n: int) -> _OperandData:
         np.full(n, "", dtype=str),
         np.full(n, False, dtype=bool),
         np.full(n, False, dtype=bool),
+        np.full(n, False, dtype=bool),
     )
 
 
-def comparison_mask(
+def comparison_masks(
     relation: Relation, comparison: Comparison, dictionary
-) -> np.ndarray:
-    """Boolean keep-mask of one comparison over a relation's rows."""
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(true, error)`` masks of one comparison over a relation's rows.
+
+    ``true`` marks rows where the comparison definitively holds;
+    ``error`` marks SPARQL type errors (unbound operands, mixed-kind
+    ordering, numeric-vs-literal equality, ``lang()`` of an IRI).
+    Remaining rows are definitively false.
+    """
     n = relation.num_rows
     lhs, op, rhs = comparison.lhs, comparison.op, comparison.rhs
     if isinstance(lhs, Parameter) or isinstance(rhs, Parameter):
@@ -181,15 +265,20 @@ def comparison_mask(
     if compare is None:
         raise ExecutionError(f"unsupported filter operator {op!r}")
 
+    no_error = np.zeros(n, dtype=bool)
+
     # Constant-only predicates evaluate statically.
     if isinstance(lhs, Constant) and isinstance(rhs, Constant):
         verdict = compare(_constant_value(lhs), _constant_value(rhs))
-        return np.full(n, bool(verdict), dtype=bool)
+        return np.full(n, bool(verdict), dtype=bool), no_error
 
     # Variable vs quoted IRI/literal constant (in)equality: lexical
     # identity, i.e. one dictionary lookup.
-    if op in ("=", "!=") and not (
-        isinstance(lhs, Variable) and isinstance(rhs, Variable)
+    if op in ("=", "!=") and (
+        isinstance(lhs, Variable)
+        and isinstance(rhs, Constant)
+        or isinstance(rhs, Variable)
+        and isinstance(lhs, Constant)
     ):
         variable, constant = (
             (lhs, rhs) if isinstance(lhs, Variable) else (rhs, lhs)
@@ -202,14 +291,17 @@ def comparison_mask(
             if key is None:
                 # Comparing an unbound variable is a type error even
                 # against a never-seen term: only bound rows survive !=.
-                return bound if op == "!=" else np.zeros(n, dtype=bool)
-            return compare(column, np.uint32(key)) & bound
+                true = bound if op == "!=" else np.zeros(n, dtype=bool)
+                return true, ~bound
+            return compare(column, np.uint32(key)) & bound, ~bound
         # Bare-number (in)equality falls through to value comparison so
         # that 42 matches "42" by value, whatever its lexical form.
 
     left = _operand_data(lhs, relation, dictionary, n)
     right = _operand_data(rhs, relation, dictionary, n)
-    both_bound = ~left.is_null & ~right.is_null
+    operand_error = (
+        left.is_null | right.is_null | left.is_error | right.is_error
+    )
 
     if op in ("=", "!="):
         # Value equality: numbers by value, non-numbers by full lexical
@@ -223,15 +315,22 @@ def comparison_mask(
             ~left.is_num & ~right.is_num & (left.raw == right.raw)
         )
         equal = numeric_eq | lexical_eq
-        if op == "=":
-            return equal & both_bound
         type_error = (
-            left.is_num & ~right.is_num & ~right.is_iri
-        ) | (right.is_num & ~left.is_num & ~left.is_iri)
-        return ~equal & ~type_error & both_bound
+            left.is_num & ~right.is_num & ~right.is_iri & ~right.is_null
+        ) | (
+            right.is_num & ~left.is_num & ~left.is_iri & ~left.is_null
+        )
+        error = operand_error | type_error
+        if op == "=":
+            return equal & ~error, error
+        return ~equal & ~error, error
 
     numeric = left.is_num & right.is_num
-    textual = ~left.is_num & ~right.is_num & both_bound
+    textual = (
+        ~left.is_num
+        & ~right.is_num
+        & ~operand_error
+    )
     mask = np.zeros(n, dtype=bool)
     if numeric.any():
         mask |= numeric & compare(left.numbers, right.numbers)
@@ -239,7 +338,14 @@ def comparison_mask(
         mask |= textual & compare(left.content, right.content)
     # Mixed-kind and unbound rows are SPARQL type errors under ordering
     # operators.
-    return mask
+    return mask, ~numeric & ~textual
+
+
+def comparison_mask(
+    relation: Relation, comparison: Comparison, dictionary
+) -> np.ndarray:
+    """Boolean keep-mask of one comparison (errors fold to ``False``)."""
+    return comparison_masks(relation, comparison, dictionary)[0]
 
 
 def bound_mask(relation: Relation, test: BoundTest, dictionary) -> np.ndarray:
@@ -247,14 +353,16 @@ def bound_mask(relation: Relation, test: BoundTest, dictionary) -> np.ndarray:
     return relation.column(test.var.name) != np.uint32(NULL_KEY)
 
 
-def regex_mask(relation: Relation, test: RegexTest, dictionary) -> np.ndarray:
-    """Keep-mask of ``regex(?x, "pat" [, "i"])``.
+def regex_masks(
+    relation: Relation, test: RegexTest, dictionary
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(true, error)`` masks of ``regex(?x, "pat" [, "i"])``.
 
     The pattern partial-matches (``re.search``) the *content* of any
     literal the row binds — language tags and datatype suffixes are
     stripped, like the comparison operators above. IRIs and unbound
-    operands are SPARQL type errors: the leaf is ``False`` for them.
-    Each distinct key is decoded and matched once.
+    operands are SPARQL type errors. Each distinct key is decoded and
+    matched once.
     """
     compiled = re.compile(
         test.pattern, re.IGNORECASE if "i" in test.flags else 0
@@ -262,58 +370,106 @@ def regex_mask(relation: Relation, test: RegexTest, dictionary) -> np.ndarray:
     column = relation.column(test.operand.name)
     uniq, inverse = np.unique(column, return_inverse=True)
     hits = np.zeros(uniq.shape[0], dtype=bool)
+    errors = np.zeros(uniq.shape[0], dtype=bool)
     for i, key in enumerate(uniq):
         if int(key) == NULL_KEY:
+            errors[i] = True
             continue
         lexical = dictionary.decode(int(key))
         match = _LITERAL_RE.match(lexical)
         if match is None:
-            continue  # an IRI (or other non-literal term): type error
+            errors[i] = True  # an IRI (or other non-literal): type error
+            continue
         hits[i] = compiled.search(match.group("content")) is not None
-    return hits[inverse]
+    return hits[inverse], errors[inverse]
+
+
+def regex_mask(relation: Relation, test: RegexTest, dictionary) -> np.ndarray:
+    """Keep-mask of ``regex()`` (errors fold to ``False``)."""
+    return regex_masks(relation, test, dictionary)[0]
+
+
+def evaluate_leaf_masks(
+    relation: Relation, expression, dictionary
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(true, error)`` masks of one FILTER leaf."""
+    if isinstance(expression, BoundTest):
+        # bound() observes unbound state instead of erroring on it.
+        true = bound_mask(relation, expression, dictionary)
+        return true, np.zeros(relation.num_rows, dtype=bool)
+    if isinstance(expression, RegexTest):
+        return regex_masks(relation, expression, dictionary)
+    return comparison_masks(relation, expression, dictionary)
 
 
 def evaluate_leaf(relation: Relation, expression, dictionary) -> np.ndarray:
-    """Keep-mask of one FILTER leaf (comparison or built-in call)."""
-    if isinstance(expression, BoundTest):
-        return bound_mask(relation, expression, dictionary)
-    if isinstance(expression, RegexTest):
-        return regex_mask(relation, expression, dictionary)
-    return comparison_mask(relation, expression, dictionary)
+    """Keep-mask of one FILTER leaf (errors fold to ``False``)."""
+    return evaluate_leaf_masks(relation, expression, dictionary)[0]
+
+
+def filter_masks(
+    relation: Relation, expression, dictionary, leaf=None
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(true, error)`` masks of one FILTER expression tree.
+
+    Implements SPARQL's three-valued logic exactly: ``&&`` is false when
+    any arm is false (even if another errors), true when all arms are
+    true, and an error otherwise; ``||`` dually; ``!`` swaps true and
+    false and preserves error. A row is *kept* by a filter exactly when
+    its ``true`` mask is set.
+
+    ``leaf`` evaluates one leaf — a :class:`Comparison`,
+    :class:`BoundTest`, or :class:`RegexTest` — to its ``(true, error)``
+    pair (default :func:`evaluate_leaf_masks`); block-wise execution
+    passes a variant that treats *absent* variables as per-leaf type
+    errors (and ``bound()`` of an absent variable as plain false).
+    """
+    if leaf is None:
+        leaf = evaluate_leaf_masks
+    if isinstance(expression, Conjunction):
+        true = np.ones(relation.num_rows, dtype=bool)
+        false = np.zeros(relation.num_rows, dtype=bool)
+        for part in expression.parts:
+            part_true, part_error = filter_masks(
+                relation, part, dictionary, leaf
+            )
+            true &= part_true
+            false |= ~part_true & ~part_error
+            if false.all():
+                # Every row already has a definitively-false arm, so
+                # the conjunction is false everywhere — remaining arms
+                # cannot change truth *or* error state.
+                break
+        return true, ~true & ~false
+    if isinstance(expression, Disjunction):
+        true = np.zeros(relation.num_rows, dtype=bool)
+        false = np.ones(relation.num_rows, dtype=bool)
+        for part in expression.parts:
+            part_true, part_error = filter_masks(
+                relation, part, dictionary, leaf
+            )
+            true |= part_true
+            false &= ~part_true & ~part_error
+            if true.all():
+                # Dually: every row already has a definitively-true
+                # arm; the disjunction is true (and error-free)
+                # everywhere regardless of the remaining arms.
+                break
+        return true, ~true & ~false
+    if isinstance(expression, Negation):
+        part_true, part_error = filter_masks(
+            relation, expression.part, dictionary, leaf
+        )
+        return ~part_true & ~part_error, part_error
+    return leaf(relation, expression, dictionary)
 
 
 def filter_mask(
     relation: Relation, expression, dictionary, leaf=None
 ) -> np.ndarray:
-    """Boolean keep-mask of one FILTER expression tree.
-
-    Masks encode SPARQL's three-valued logic with type errors as
-    ``False``: under ``&&`` an erroring arm drops the row either way,
-    and under ``||`` a row survives when any arm is definitively true —
-    both matching the spec's error-propagation table.
-
-    ``leaf`` evaluates one leaf — a :class:`Comparison`,
-    :class:`BoundTest`, or :class:`RegexTest` (default
-    :func:`evaluate_leaf`); block-wise execution passes a variant that
-    treats *absent* variables as per-leaf type errors.
-    """
-    if leaf is None:
-        leaf = evaluate_leaf
-    if isinstance(expression, Conjunction):
-        mask = np.ones(relation.num_rows, dtype=bool)
-        for part in expression.parts:
-            mask &= filter_mask(relation, part, dictionary, leaf)
-            if not mask.any():
-                break
-        return mask
-    if isinstance(expression, Disjunction):
-        mask = np.zeros(relation.num_rows, dtype=bool)
-        for part in expression.parts:
-            mask |= filter_mask(relation, part, dictionary, leaf)
-            if mask.all():
-                break
-        return mask
-    return leaf(relation, expression, dictionary)
+    """Boolean keep-mask of one FILTER expression tree (rows whose
+    expression is definitively true; false and error rows drop)."""
+    return filter_masks(relation, expression, dictionary, leaf)[0]
 
 
 def apply_filters(
@@ -382,11 +538,16 @@ __all__ = [
     "apply_filters",
     "apply_order",
     "apply_slice",
+    "apply_term_func",
     "bound_mask",
     "comparison_mask",
+    "comparison_masks",
     "evaluate_leaf",
+    "evaluate_leaf_masks",
     "filter_mask",
+    "filter_masks",
     "finalize_result",
     "regex_mask",
+    "regex_masks",
     "term_value",
 ]

@@ -31,14 +31,15 @@ ordinary dictionary-binding pipeline applies. One parse + translate
 therefore serves the whole template family
 (:class:`repro.service.PreparedStatement`).
 
-``FILTER`` predicates are trees: a :class:`Comparison`,
+``FILTER`` predicates are trees: a :class:`Comparison` (whose operands
+may be ``str(?x)``/``lang(?x)`` :class:`TermFunc` applications),
 :class:`BoundTest` (``bound(?x)``), or :class:`RegexTest`
-(``regex(?x, "pat")``) leaf, or the boolean connectives
-:class:`Conjunction` (``&&``) and
-:class:`Disjunction` (``||``) over sub-expressions. The engine layer
-evaluates them as boolean keep-masks where a SPARQL type error is
-``False`` — which makes ``error || true`` keep the row and
-``error && x`` drop it, matching SPARQL's three-valued rules.
+(``regex(?x, "pat")``) leaf, or the connectives :class:`Conjunction`
+(``&&``), :class:`Disjunction` (``||``), and :class:`Negation` (``!``)
+over sub-expressions. The engine layer evaluates them under SPARQL's
+three-valued logic, tracking per-row *error* state alongside truth —
+``error || true`` keeps the row, ``error && x`` drops it, and
+``!error`` stays an error (row dropped) rather than flipping to true.
 """
 
 from __future__ import annotations
@@ -48,7 +49,7 @@ from collections.abc import Mapping
 from dataclasses import dataclass, field, replace
 from typing import Union
 
-from repro.errors import PlanningError
+from repro.errors import ParameterError, PlanningError
 from repro.rdf.vocabulary import XSD_DECIMAL, XSD_INTEGER
 
 
@@ -121,25 +122,55 @@ Term = Union[Variable, Constant, Parameter]
 
 
 @dataclass(frozen=True)
+class TermFunc:
+    """``str(?x)`` / ``lang(?x)`` as a comparison operand.
+
+    ``str`` maps an IRI to its IRI string and a literal to its content
+    (language tag and datatype stripped); ``lang`` maps a literal to its
+    lowercased language tag (``""`` when untagged) and is a SPARQL type
+    error on IRIs. Both error on unbound operands. The produced value
+    participates in comparisons exactly like a literal with that
+    content (numeric content compares by value).
+    """
+
+    function: str  # "str" | "lang"
+    var: Variable
+
+    def __repr__(self) -> str:
+        return f"{self.function.upper()}({self.var!r})"
+
+
+#: A comparison operand: a term or a term-function application.
+Operand = Union[Variable, Constant, Parameter, TermFunc]
+
+
+def _operand_variables(operand: Operand) -> tuple[Variable, ...]:
+    if isinstance(operand, Variable):
+        return (operand,)
+    if isinstance(operand, TermFunc):
+        return (operand.var,)
+    return ()
+
+
+@dataclass(frozen=True)
 class Comparison:
     """One ``FILTER`` predicate ``lhs op rhs``.
 
-    Operands are :class:`Variable`, :class:`Constant`, or (in prepared
-    templates) :class:`Parameter`. Filter constants are *never*
+    Operands are :class:`Variable`, :class:`Constant`,
+    :class:`TermFunc` (``str()``/``lang()`` applications), or (in
+    prepared templates) :class:`Parameter`. Filter constants are *never*
     dictionary-bound: equality on IRI/literal constants is pushed into
     atom selections by the SPARQL translator when possible, and the
     remaining comparisons are evaluated post-join on decoded terms (see
     :mod:`repro.core.modifiers`).
     """
 
-    lhs: Term
+    lhs: Operand
     op: str  # one of =, !=, <, <=, >, >=
-    rhs: Term
+    rhs: Operand
 
     def variables(self) -> tuple[Variable, ...]:
-        return tuple(
-            t for t in (self.lhs, self.rhs) if isinstance(t, Variable)
-        )
+        return _operand_variables(self.lhs) + _operand_variables(self.rhs)
 
     def parameters(self) -> tuple[Parameter, ...]:
         return tuple(
@@ -180,6 +211,28 @@ class Disjunction:
 
     def __repr__(self) -> str:
         return "(" + " || ".join(repr(p) for p in self.parts) + ")"
+
+
+@dataclass(frozen=True)
+class Negation:
+    """``!expr`` — SPARQL logical-not over one filter sub-expression.
+
+    Follows the spec's three-valued table: ``!true`` is false, ``!false``
+    is true, and ``!error`` stays an error (the row is excluded) — so
+    negation is *not* mask complement; the engine layer tracks error
+    rows separately (see :func:`repro.core.modifiers.filter_masks`).
+    """
+
+    part: "FilterExpr"
+
+    def variables(self) -> tuple[Variable, ...]:
+        return self.part.variables()
+
+    def parameters(self) -> tuple[Parameter, ...]:
+        return self.part.parameters()
+
+    def __repr__(self) -> str:
+        return f"!({self.part!r})"
 
 
 @dataclass(frozen=True)
@@ -230,7 +283,9 @@ class RegexTest:
 
 
 #: One node of a FILTER expression tree.
-FilterExpr = Union[Comparison, Conjunction, Disjunction, BoundTest, RegexTest]
+FilterExpr = Union[
+    Comparison, Conjunction, Disjunction, Negation, BoundTest, RegexTest
+]
 
 
 @dataclass(frozen=True)
@@ -786,7 +841,7 @@ def parameter_binding_mismatch(
 
 def _checked_value(name: str, value: ParameterValue) -> ParameterValue:
     if isinstance(value, bool) or not isinstance(value, (int, float, str)):
-        raise PlanningError(
+        raise ParameterError(
             f"parameter ${name}: values must be lexical term strings or "
             f"numbers, got {value!r}"
         )
@@ -838,6 +893,9 @@ def _substitute_filter(
 ) -> FilterExpr:
     if isinstance(expr, (BoundTest, RegexTest)):
         return expr  # operands are variables, patterns are literals
+    if isinstance(expr, Negation):
+        part = _substitute_filter(expr.part, values)
+        return expr if part is expr.part else Negation(part)
     if isinstance(expr, Comparison):
         lhs, rhs = expr.lhs, expr.rhs
         if isinstance(lhs, Parameter):
@@ -867,7 +925,7 @@ def substitute_parameters(
     wanted = query_parameters(query)
     mismatch = parameter_binding_mismatch(wanted, frozenset(values))
     if mismatch is not None:
-        raise PlanningError(
+        raise ParameterError(
             f"parameter values do not match template ({mismatch})"
         )
     if not wanted:

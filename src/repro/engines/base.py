@@ -304,13 +304,31 @@ class Engine(ABC):
 
         Variables an ``OPTIONAL`` row never bound decode to ``None``.
         """
+        return self.decode_rows(relation)
+
+    def decode_rows(
+        self, relation: Relation, start: int = 0, stop: int | None = None
+    ) -> list[tuple[str | None, ...]]:
+        """Decode one row slice ``[start, stop)`` back to lexical terms.
+
+        The serving tier's page path: a streaming cursor decodes one
+        fixed-size page at a time instead of materializing the whole
+        decoded result (the encoded relation stays the single in-memory
+        representation). Out-of-range bounds clamp; variables an
+        ``OPTIONAL`` row never bound decode to ``None``.
+        """
+        stop = relation.num_rows if stop is None else min(stop, relation.num_rows)
+        start = max(start, 0)
+        if start >= stop:
+            return []
         decode = self.dictionary.decode
+        columns = relation.columns
         return [
             tuple(
-                None if value == NULL_KEY else decode(value)
-                for value in row
+                None if int(column[i]) == NULL_KEY else decode(int(column[i]))
+                for column in columns
             )
-            for row in relation.iter_rows()
+            for i in range(start, stop)
         ]
 
     def warm(self, text: str) -> None:

@@ -51,6 +51,7 @@ from repro.core.query import (
     NormalizedQuery,
     Variable,
     normalize,
+    substitute_parameters,
 )
 from repro.engines.base import Engine
 from repro.storage.catalog import Catalog
@@ -60,6 +61,7 @@ from repro.storage.vertical import (
     DeltaBatch,
     VerticallyPartitionedStore,
     build_triples_view,
+    catalog_view_delta,
 )
 
 #: A plan cache key: everything planning depends on except the concrete
@@ -135,29 +137,54 @@ class EmptyHeadedEngine(Engine):
         Unaffected relations and cached tries are shared; affected
         cached tries are spliced in place of a rebuild; compiled plans
         and the structural plan cache survive (their cardinality
-        estimates go stale — the prepared-statement trade again).
+        estimates go stale — the prepared-statement trade again) except
+        plans over just-**compacted** tables, which are evicted so the
+        next execution re-plans against freshly consolidated statistics
+        (see :meth:`_evict_plans_touching`).
 
-        The ``__triples__`` union view is the one structure *dropped*
-        rather than patched: it is O(store) derived data whichever way
-        it is refreshed, so patching it eagerly would put store-sized
-        work on every small batch even when no variable-predicate query
-        follows. Like its construction, its refresh is lazy — the next
-        variable-predicate plan rebuilds the view (and the tries it
-        probes) from the then-current catalog snapshot.
+        A registered ``__triples__`` union view is *patched* from the
+        same batch (its three-column delta rows carry each predicate's
+        dictionary key), so its relation and any cached tries over it
+        survive small updates too — hot variable-predicate traffic no
+        longer pays an O(store) view rebuild per epoch. A view that was
+        never registered stays lazy: only variable-predicate queries
+        ever pay for building it.
         """
         with self._plan_lock:
             catalog = self._structures.catalog
-            # Drop the union view unconditionally: a concurrent query
-            # may register the pre-update view between a membership
-            # check and the catalog copy (absent names are tolerated).
-            dropped = set(delta.dropped_tables) | {TRIPLES_RELATION}
+            added, removed, dropped = catalog_view_delta(
+                catalog, delta, self.store.predicate_key
+            )
             # The catalog patches relations and tries from the delta
             # rows alone, so applying batches one by one walks the
             # committed epochs exactly — never a mixed snapshot.
-            self._install(
-                catalog.apply_delta(delta.added, delta.removed, dropped)
-            )
+            self._install(catalog.apply_delta(added, removed, dropped))
+            if delta.compacted_tables:
+                self._evict_plans_touching(
+                    set(delta.compacted_tables) | {TRIPLES_RELATION}
+                )
         return True
+
+    def _evict_plans_touching(self, names: set[str]) -> None:
+        """Drop cached plans whose atoms read any of ``names``.
+
+        Called when the store compacts a table's delta into a fresh
+        main segment: the compaction is a physical no-op, but it marks
+        the point where enough delta accumulated that plans compiled
+        against pre-delta cardinality estimates have drifted. Evicting
+        them makes the next execution re-plan — and re-planning reads
+        the patched catalog's *current* columns, so the estimates are
+        recomputed rather than carried over. (The union view is always
+        included: its rows contain every compacted table's.)
+        """
+        with self._plan_lock:
+            stale = [
+                key
+                for key in self._plan_cache
+                if any(atom.relation in names for atom in key[0])
+            ]
+            for key in stale:
+                del self._plan_cache[key]
 
     @staticmethod
     def _build_catalog(store: VerticallyPartitionedStore) -> Catalog:
@@ -232,9 +259,15 @@ class EmptyHeadedEngine(Engine):
             plan = replace(plan, query=normalized)
         return plan
 
-    def explain_sparql(self, text: str) -> str:
-        """The plan description for a SPARQL query (see Plan.explain)."""
+    def explain_sparql(self, text: str, parameters=None) -> str:
+        """The plan description for a SPARQL query (see Plan.explain).
+
+        A ``$name`` template needs its ``parameters`` supplied — the
+        compiled plan is structural, but binding (and with it the
+        empty-result short-circuit) is per value.
+        """
         query = self.prepare_sparql(text)
+        query = substitute_parameters(query, parameters or {})
         bound = self.bind(query)
         if bound is None:
             return "empty result: some constant does not occur in the data"

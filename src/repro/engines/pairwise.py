@@ -40,6 +40,7 @@ from repro.storage.vertical import (
     TRIPLES_RELATION,
     VerticallyPartitionedStore,
     build_triples_view,
+    catalog_view_delta,
 )
 
 
@@ -68,15 +69,13 @@ class ColumnStoreEngine(Engine):
         themselves, so an incremental update is a per-table splice. The
         distinct-count cache verifies relation identity on hit, so
         patched tables recompute lazily while untouched tables keep
-        their statistics."""
-        # Drop the union view unconditionally — a concurrent query may
-        # register the pre-update view between a membership check and
-        # the catalog copy; the next variable-predicate query rebuilds
-        # it from the patched snapshot (absent names are tolerated).
-        dropped = set(delta.dropped_tables) | {TRIPLES_RELATION}
-        self.catalog = self.catalog.apply_delta(
-            delta.added, delta.removed, dropped
+        their statistics. A registered ``__triples__`` union view is
+        patched from the same batch's three-column delta rows instead
+        of being dropped and rebuilt O(store)."""
+        added, removed, dropped = catalog_view_delta(
+            self.catalog, delta, self.store.predicate_key
         )
+        self.catalog = self.catalog.apply_delta(added, removed, dropped)
         return True
 
     # ------------------------------------------------------------------

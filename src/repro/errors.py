@@ -1,9 +1,36 @@
-"""Exception hierarchy for the repro library.
+"""Exception hierarchy and error taxonomy for the repro library.
 
 Every error raised intentionally by this library derives from
 :class:`ReproError`, so callers can catch one type at an engine boundary.
 The hierarchy mirrors the major subsystems: storage, query language,
-planning, and execution.
+planning, execution, and serving.
+
+Error taxonomy
+--------------
+Each class carries a **stable machine-readable code** (``code``) and the
+HTTP status the network front-end maps it to (``http_status``). The
+codes are the wire contract of :mod:`repro.service.http` — clients
+dispatch on ``error.code`` in the JSON error body, never on message
+text, so messages can improve without breaking anyone. The full table
+lives in :data:`ERROR_CODES` (and is rendered in the README):
+
+=====================  ======  =============================================
+code                   status  raised when
+=====================  ======  =============================================
+``parse_error``        400     the SPARQL text is not in the subset grammar
+``translate_error``    400     parsed, but outside the supported semantics
+``parameter_error``    400     template parameter names/values mismatch
+``bind_error``         400     the query cannot be bound/planned as written
+``unsupported_format`` 406     an unknown result wire format was requested
+``timeout``            503     execution exceeded the request deadline
+``capacity``           503     the server's concurrent-request bound is hit
+``session_error``      409     a closed/unknown session or cursor was used
+``storage_error``      500     relation/catalog/dictionary invariant broken
+``planning_error``     500     the optimizer could not produce a plan
+``execution_error``    500     a plan failed mid-execution
+``config_error``       500     an invalid configuration was supplied
+``internal_error``     500     any other library failure
+=====================  ======  =============================================
 """
 
 from __future__ import annotations
@@ -12,9 +39,16 @@ from __future__ import annotations
 class ReproError(Exception):
     """Base class for all errors raised by this library."""
 
+    #: Stable machine-readable code (the serving layer's wire contract).
+    code: str = "internal_error"
+    #: HTTP status the network front-end responds with.
+    http_status: int = 500
+
 
 class StorageError(ReproError):
     """Errors from the storage layer (relations, catalogs, dictionaries)."""
+
+    code = "storage_error"
 
 
 class UnknownRelationError(StorageError):
@@ -46,19 +80,153 @@ class DictionaryError(StorageError):
 class ParseError(ReproError):
     """The SPARQL (subset) parser rejected a query string."""
 
+    code = "parse_error"
+    http_status = 400
+
     def __init__(self, message: str, position: int | None = None) -> None:
         self.position = position
         where = f" at offset {position}" if position is not None else ""
         super().__init__(f"{message}{where}")
 
 
+class TranslationError(ParseError):
+    """The query parsed but falls outside the supported semantics.
+
+    Subclasses :class:`ParseError` so front-end callers that catch the
+    parser boundary keep working; the distinct code lets protocol
+    clients tell "fix your syntax" from "this construct is unsupported".
+    """
+
+    code = "translate_error"
+
+
 class PlanningError(ReproError):
     """The optimizer could not produce a plan (e.g., no valid GHD)."""
+
+    code = "planning_error"
+
+
+class BindingError(PlanningError):
+    """A well-formed query could not be bound or planned as written.
+
+    The serving layer's 400-family wrapper for :class:`PlanningError`\\ s
+    caused by the *request* (as opposed to library bugs): the query text
+    and parameter values are the client's to fix. Subclasses
+    :class:`PlanningError` so pre-protocol ``except PlanningError``
+    callers of ``QueryService.execute*`` keep catching it.
+    """
+
+    code = "bind_error"
+    http_status = 400
 
 
 class ExecutionError(ReproError):
     """A plan failed during execution."""
 
+    code = "execution_error"
+
 
 class ConfigError(ReproError):
     """An invalid engine or optimizer configuration was supplied."""
+
+    code = "config_error"
+
+
+class ParameterError(ConfigError, PlanningError):
+    """Template parameter names or values do not match the statement.
+
+    Derives from both :class:`ConfigError` (the serving layer's
+    historical type for binding mismatches) and :class:`PlanningError`
+    (the query model's) so existing ``except`` clauses keep catching it.
+    """
+
+    code = "parameter_error"
+    http_status = 400
+
+
+class UnsupportedFormatError(ReproError):
+    """An unknown result wire format was requested."""
+
+    code = "unsupported_format"
+    http_status = 406
+
+    def __init__(self, requested: str, known: list[str]) -> None:
+        self.requested = requested
+        self.known = sorted(known)
+        super().__init__(
+            f"unknown result format {requested!r} "
+            f"(supported: {', '.join(self.known)})"
+        )
+
+
+class QueryTimeoutError(ReproError):
+    """Execution exceeded the request's deadline.
+
+    The worker thread keeps running to completion (Python cannot
+    preempt it), but the response is released immediately.
+    """
+
+    code = "timeout"
+    http_status = 503
+
+
+class CapacityError(ReproError):
+    """The server's bound on concurrent work was reached; retry later."""
+
+    code = "capacity"
+    http_status = 503
+
+
+class SessionError(ReproError):
+    """Misuse of the session/cursor protocol."""
+
+    code = "session_error"
+    http_status = 409
+
+
+class SessionClosedError(SessionError):
+    """An operation was attempted on a closed session."""
+
+
+class CursorClosedError(SessionError):
+    """A fetch was attempted on a closed cursor."""
+
+
+class UnknownCursorError(SessionError):
+    """A cursor id does not name an open cursor of this session."""
+
+
+#: Every stable error code with its HTTP status and the class that
+#: carries it (documentation + conformance tests + the README table).
+ERROR_CODES: dict[str, tuple[int, type[ReproError]]] = {
+    cls.code: (cls.http_status, cls)
+    for cls in (
+        ParseError,
+        TranslationError,
+        ParameterError,
+        BindingError,
+        UnsupportedFormatError,
+        QueryTimeoutError,
+        CapacityError,
+        SessionError,
+        StorageError,
+        PlanningError,
+        ExecutionError,
+        ConfigError,
+        ReproError,
+    )
+}
+
+
+def error_code(exc: BaseException) -> str:
+    """The stable code for any exception (``internal_error`` fallback)."""
+    if isinstance(exc, ReproError):
+        return exc.code
+    return "internal_error"
+
+
+def http_status(exc: BaseException) -> int:
+    """The HTTP status the network front-end answers ``exc`` with."""
+    if isinstance(exc, ReproError):
+        return exc.http_status
+    return 500

@@ -1,20 +1,50 @@
-"""Serving layer: prepared statements over any engine.
+"""Serving layer: prepared statements, sessions, and wire formats.
 
-See :mod:`repro.service.query_service` for the service tier and
-:mod:`repro.service.prepared` for :class:`PreparedStatement`. The
-subsystem exists so repeated query traffic — the dominant production
-pattern the RDF-store literature optimizes for — skips the SPARQL
-front-end and planner entirely after the first request, runs
+The subsystem exists so repeated query traffic — the dominant
+production pattern the RDF-store literature optimizes for — skips the
+SPARQL front-end and planner entirely after the first request, runs
 concurrently over read-only catalogs, and invalidates itself when the
 underlying store is updated.
+
+Layers, bottom up:
+
+* :mod:`repro.service.prepared` — :class:`PreparedStatement`, the unit
+  of repeated work (parse/translate once, late-bind values per request);
+* :mod:`repro.service.query_service` — :class:`QueryService`, the
+  statement cache + concurrency + warming tier;
+* :mod:`repro.service.protocol` — :class:`Session`/:class:`Cursor`,
+  the transport-ready protocol (open → prepare → execute → fetch in
+  pages → close) every ``QueryService.execute*`` entry point now shims
+  over;
+* :mod:`repro.service.formats` — streaming result serializers (SPARQL
+  JSON, CSV/TSV, length-prefixed binary rows);
+* :mod:`repro.service.http` — the stdlib SPARQL-protocol HTTP endpoint
+  (:class:`SparqlHttpServer`).
 """
 
+from repro.service.formats import SERIALIZERS, serializer_for
 from repro.service.prepared import PreparedStatement, StatementStats
+from repro.service.protocol import (
+    Cursor,
+    Page,
+    QueryRequest,
+    Session,
+    UpdateRequest,
+    UpdateResponse,
+)
 from repro.service.query_service import QueryService, ServiceStats
 
 __all__ = [
+    "Cursor",
+    "Page",
     "PreparedStatement",
+    "QueryRequest",
     "QueryService",
+    "SERIALIZERS",
     "ServiceStats",
+    "Session",
     "StatementStats",
+    "UpdateRequest",
+    "UpdateResponse",
+    "serializer_for",
 ]

@@ -58,7 +58,7 @@ from repro.core.query import (
     substitute_parameters,
 )
 from repro.engines.base import Engine
-from repro.errors import ConfigError
+from repro.errors import ConfigError, ParameterError
 from repro.storage.relation import Relation
 
 
@@ -121,7 +121,7 @@ class PreparedStatement:
             self.parameters, frozenset(values)
         )
         if mismatch is not None:
-            raise ConfigError(
+            raise ParameterError(
                 f"statement expects parameters "
                 f"{{{', '.join(sorted(self.parameters))}}} ({mismatch})"
             )

@@ -1,0 +1,516 @@
+"""Transport-ready query protocol: sessions, cursors, typed messages.
+
+This module is the serving tier's *protocol layer* — the API a network
+front-end (or an embedding application) drives, shaped like the wire
+protocols real RDF stores speak: **open → prepare → execute → fetch in
+pages → close**. It sits directly over :class:`~repro.service.QueryService`
+(which owns the statement/plan caches) and adds what a transport needs:
+
+* :class:`Session` — one client's context: prepares statements, opens
+  cursors, bounds how many may be open (:class:`~repro.errors.CapacityError`),
+  enforces per-request deadlines (:class:`~repro.errors.QueryTimeoutError`),
+  and applies update batches through the store's delta path. Sessions
+  are thread-safe; one session may serve many transport threads.
+* :class:`Cursor` — a streaming read of one executed query. The cursor
+  holds the *encoded* result relation (an immutable snapshot — a store
+  update mid-stream cannot tear pagination) and decodes rows one
+  fixed-size :class:`Page` at a time through
+  :meth:`~repro.engines.base.Engine.decode_rows`, so a client paging a
+  large result never materializes the whole decoded row list.
+* Typed request/response messages — :class:`QueryRequest`,
+  :class:`UpdateRequest`/:class:`UpdateResponse` — the structured form
+  the HTTP front-end parses into, with every failure mapped onto the
+  stable error taxonomy of :mod:`repro.errors`.
+
+Every legacy ``QueryService.execute*`` entry point is a thin shim over
+this layer (see :meth:`QueryService.session`), so in-process callers
+and network clients exercise the same path.
+
+Example::
+
+    service = QueryService(EmptyHeadedEngine(dataset.store))
+    with service.session() as session:
+        cursor = session.execute(
+            "SELECT ?x WHERE { ?x ub:advisor $prof }",
+            parameters={"prof": "<http://...Professor0>"},
+            page_size=100,
+        )
+        for page in cursor.pages():
+            handle(page.rows)
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections.abc import Iterator, Mapping
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as _FutureTimeout
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.query import ParameterValue
+from repro.errors import (
+    BindingError,
+    CapacityError,
+    ConfigError,
+    CursorClosedError,
+    ParameterError,
+    ParseError,
+    PlanningError,
+    QueryTimeoutError,
+    SessionClosedError,
+    UnknownCursorError,
+)
+from repro.service.prepared import PreparedStatement
+from repro.storage.relation import Relation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.service.query_service import QueryService
+
+#: Default rows per fetched page.
+DEFAULT_PAGE_SIZE = 256
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One query over the protocol: a template text plus its values."""
+
+    text: str
+    parameters: Mapping[str, ParameterValue] = field(default_factory=dict)
+    page_size: int = DEFAULT_PAGE_SIZE
+    timeout_s: float | None = None
+    name: str = "query"
+
+
+@dataclass(frozen=True)
+class UpdateRequest:
+    """One update batch: string triples to add and/or remove."""
+
+    add: tuple[tuple[str, str, str], ...] = ()
+    remove: tuple[tuple[str, str, str], ...] = ()
+
+
+@dataclass(frozen=True)
+class UpdateResponse:
+    """What an update changed (``data_version`` is the new epoch)."""
+
+    added: int
+    removed: int
+    data_version: int
+
+
+@dataclass(frozen=True)
+class Page:
+    """One fetched slice of a cursor's rows (decoded lexical terms)."""
+
+    columns: tuple[str, ...]
+    rows: tuple[tuple[str | None, ...], ...]
+    #: Index of ``rows[0]`` within the whole result.
+    offset: int
+    #: True when this page exhausts the cursor.
+    done: bool
+
+
+class Cursor:
+    """A streaming read over one executed query's result.
+
+    The cursor snapshots the dictionary-encoded result relation at
+    execution time; fetches decode successive fixed-size pages from it.
+    Store updates after execution do not disturb an open cursor — the
+    snapshot is immutable — they only affect the *next* execute.
+    """
+
+    def __init__(
+        self,
+        session: "Session",
+        cursor_id: int,
+        relation: Relation,
+        page_size: int,
+    ) -> None:
+        if page_size < 1:
+            raise ConfigError("cursor page_size must be >= 1")
+        self.session = session
+        self.cursor_id = cursor_id
+        self.relation = relation
+        self.page_size = page_size
+        self.position = 0
+        self.closed = False
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        """The projected variable names, in SELECT order."""
+        return self.relation.attributes
+
+    @property
+    def num_rows(self) -> int:
+        return self.relation.num_rows
+
+    def fetch(self, n: int | None = None) -> Page:
+        """Decode and return the next ``n`` rows (default: one page).
+
+        Fetching past the end returns an empty, ``done`` page; a closed
+        cursor raises :class:`~repro.errors.CursorClosedError`.
+        """
+        if self.closed:
+            raise CursorClosedError(
+                f"cursor {self.cursor_id} is closed"
+            )
+        count = self.page_size if n is None else n
+        if count < 0:
+            raise ConfigError("fetch count must be non-negative")
+        start = self.position
+        stop = min(start + count, self.num_rows)
+        rows = self.session.service.engine.decode_rows(
+            self.relation, start, stop
+        )
+        self.position = stop
+        return Page(
+            columns=self.columns,
+            rows=tuple(rows),
+            offset=start,
+            done=self.position >= self.num_rows,
+        )
+
+    def fetch_all(self) -> list[tuple[str | None, ...]]:
+        """Every remaining row, decoded (drains the cursor)."""
+        rows: list[tuple[str | None, ...]] = []
+        while True:
+            page = self.fetch()
+            rows.extend(page.rows)
+            if page.done:
+                return rows
+
+    def pages(self) -> Iterator[Page]:
+        """Iterate the remaining rows as fixed-size pages."""
+        while True:
+            page = self.fetch()
+            yield page
+            if page.done:
+                return
+
+    def __iter__(self) -> Iterator[tuple[str | None, ...]]:
+        for page in self.pages():
+            yield from page.rows
+
+    def close(self) -> None:
+        """Release the cursor's session slot (idempotent)."""
+        if not self.closed:
+            self.closed = True
+            self.session._release(self.cursor_id)
+
+    def __enter__(self) -> "Cursor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else f"at {self.position}"
+        return (
+            f"<Cursor {self.cursor_id} rows={self.num_rows} "
+            f"page={self.page_size} {state}>"
+        )
+
+
+class Session:
+    """One client's protocol context over a :class:`QueryService`.
+
+    Thread-safe: the HTTP front-end shares one session across all its
+    handler threads. ``max_open_cursors`` bounds unfetched results a
+    client may pin (:class:`~repro.errors.CapacityError` past it);
+    ``timeout_s`` (per request or session-wide) bounds execution wall
+    time (:class:`~repro.errors.QueryTimeoutError` — the worker thread
+    finishes in the background, Python cannot preempt it).
+    """
+
+    def __init__(
+        self,
+        service: "QueryService",
+        *,
+        max_open_cursors: int = 64,
+        default_page_size: int = DEFAULT_PAGE_SIZE,
+        timeout_s: float | None = None,
+        deadline_workers: int = 4,
+    ) -> None:
+        if max_open_cursors < 1:
+            raise ConfigError("Session max_open_cursors must be >= 1")
+        if default_page_size < 1:
+            raise ConfigError("Session default_page_size must be >= 1")
+        if deadline_workers < 1:
+            raise ConfigError("Session deadline_workers must be >= 1")
+        self.service = service
+        self.max_open_cursors = max_open_cursors
+        self.default_page_size = default_page_size
+        self.timeout_s = timeout_s
+        self.deadline_workers = deadline_workers
+        self.closed = False
+        self._cursors: dict[int, Cursor] = {}
+        self._reserved = 0  # in-flight executes holding a cursor slot
+        self._ids = itertools.count(1)
+        self._lock = threading.RLock()
+        self._timeout_pool: ThreadPoolExecutor | None = None
+
+    # ------------------------------------------------------------------
+    # Statement lifecycle
+    # ------------------------------------------------------------------
+    def _check_open(self) -> None:
+        if self.closed:
+            raise SessionClosedError("session is closed")
+
+    def prepare(self, text: str, name: str = "query") -> PreparedStatement:
+        """The (service-cached) prepared statement for a template text."""
+        self._check_open()
+        return self.service.prepare(text, name=name)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _run_with_deadline(
+        self, statement: PreparedStatement, values: Mapping, timeout_s
+    ) -> Relation:
+        """Execute, abandoning the wait at ``timeout_s``.
+
+        Python cannot preempt the worker — on a timeout it finishes in
+        the background and its (never-registered) result is discarded;
+        only the caller's wait is bounded.
+        """
+        if timeout_s is None:
+            return statement.execute(**values)
+        with self._lock:
+            if self._timeout_pool is None:
+                self._timeout_pool = ThreadPoolExecutor(
+                    max_workers=self.deadline_workers,
+                    thread_name_prefix="repro-deadline",
+                )
+            pool = self._timeout_pool
+        future = pool.submit(statement.execute, **values)
+        try:
+            return future.result(timeout=timeout_s)
+        except _FutureTimeout:
+            future.cancel()
+            raise QueryTimeoutError(
+                f"query exceeded its {timeout_s:g}s deadline"
+            ) from None
+
+    def execute(
+        self,
+        request: QueryRequest | str,
+        *,
+        parameters: Mapping[str, ParameterValue] | None = None,
+        page_size: int | None = None,
+        timeout_s: float | None = None,
+        name: str = "query",
+    ) -> Cursor:
+        """Prepare (cached), execute, and open a cursor over the rows.
+
+        Accepts either a :class:`QueryRequest` or a bare text plus
+        keyword options. Failures surface as taxonomy errors: bad
+        syntax → :class:`~repro.errors.ParseError` /
+        :class:`~repro.errors.TranslationError`; parameter mismatches →
+        :class:`~repro.errors.ParameterError`; a well-formed query the
+        planner rejects → :class:`~repro.errors.BindingError`.
+        """
+        if isinstance(request, str):
+            request = QueryRequest(
+                text=request,
+                parameters=dict(parameters or {}),
+                page_size=(
+                    page_size
+                    if page_size is not None
+                    else self.default_page_size
+                ),
+                timeout_s=(
+                    timeout_s if timeout_s is not None else self.timeout_s
+                ),
+                name=name,
+            )
+        self._check_open()
+        # Reserve the cursor slot *before* executing: at the bound the
+        # request fails fast instead of running the full query and then
+        # discarding the result (and two racing requests cannot both
+        # slip past a len() check).
+        with self._lock:
+            occupied = len(self._cursors) + self._reserved
+            if occupied >= self.max_open_cursors:
+                raise CapacityError(
+                    f"session has {occupied} open or in-flight cursors "
+                    f"(max {self.max_open_cursors}); close some first"
+                )
+            self._reserved += 1
+        # The session-wide default applies whichever way the request
+        # came in (bare text merged it above; a typed QueryRequest
+        # carries None unless the caller set its own deadline).
+        timeout_s = (
+            request.timeout_s
+            if request.timeout_s is not None
+            else self.timeout_s
+        )
+        try:
+            statement = self.prepare(request.text, name=request.name)
+            try:
+                relation = self._run_with_deadline(
+                    statement, request.parameters, timeout_s
+                )
+            except (ParseError, ParameterError):
+                raise
+            except PlanningError as exc:
+                # The text parsed and translated, so a planning
+                # rejection is the request's fault (not a library bug):
+                # report it in the 400 family.
+                raise BindingError(str(exc)) from exc
+            with self._lock:
+                self._check_open()
+                cursor_id = next(self._ids)
+                cursor = Cursor(
+                    self, cursor_id, relation, request.page_size
+                )
+                self._cursors[cursor_id] = cursor
+        finally:
+            with self._lock:
+                self._reserved -= 1
+        self.service._note_execution()
+        return cursor
+
+    def executemany(
+        self,
+        text: str,
+        param_rows,
+        name: str = "query",
+    ) -> list[Relation]:
+        """One template over a batch of parameter rows (in order)."""
+        self._check_open()
+        statement = self.prepare(text, name=name)
+        results = statement.executemany(param_rows)
+        for _ in results:
+            self.service._note_execution()
+        return results
+
+    # ------------------------------------------------------------------
+    # Cursor bookkeeping
+    # ------------------------------------------------------------------
+    def cursor(self, cursor_id: int) -> Cursor:
+        """Look an open cursor up by id."""
+        self._check_open()
+        with self._lock:
+            cursor = self._cursors.get(cursor_id)
+        if cursor is None:
+            raise UnknownCursorError(
+                f"no open cursor with id {cursor_id}"
+            )
+        return cursor
+
+    def open_cursors(self) -> int:
+        with self._lock:
+            return len(self._cursors)
+
+    def _release(self, cursor_id: int) -> None:
+        with self._lock:
+            self._cursors.pop(cursor_id, None)
+
+    # ------------------------------------------------------------------
+    # Introspection and updates
+    # ------------------------------------------------------------------
+    def explain(
+        self,
+        text: str,
+        parameters: Mapping[str, ParameterValue] | None = None,
+    ) -> str:
+        """The engine's plan description for a query text.
+
+        Engines with a GHD planner render the decomposition tree;
+        others answer with their name (they plan per execution). A
+        ``$name`` template needs its ``parameters`` supplied, exactly
+        like execution.
+        """
+        self._check_open()
+        explain = getattr(self.service.engine, "explain_sparql", None)
+        if explain is None:
+            return (
+                f"engine {self.service.engine.name!r} plans per "
+                "execution (no compiled plan to describe)"
+            )
+        return explain(text, parameters)
+
+    def stats(self) -> dict:
+        """Service/store counters (the ``/stats`` endpoint's body)."""
+        self._check_open()
+        service = self.service
+        store = service.engine.store
+        return {
+            "engine": service.engine.name,
+            "triples": store.num_triples,
+            "tables": len(store.tables),
+            "data_version": store.data_version,
+            "compactions": store.compactions,
+            "service": {
+                "hits": service.stats.hits,
+                "misses": service.stats.misses,
+                "evictions": service.stats.evictions,
+                "executions": service.stats.executions,
+                "invalidations": service.stats.invalidations,
+                "hit_rate": round(service.stats.hit_rate, 4),
+                "cached_statements": len(service.cached_texts()),
+            },
+            "session": {"open_cursors": self.open_cursors()},
+        }
+
+    def update(self, request: UpdateRequest) -> UpdateResponse:
+        """Apply one add/remove batch through the store's delta path.
+
+        Rides the same incremental machinery as direct
+        ``add_triples``/``remove_triples`` calls: engines patch their
+        indexes from the delta log and prepared statements keep their
+        still-valid bound plans.
+        """
+        self._check_open()
+        store = self.service.engine.store
+        added = store.add_triples(request.add) if request.add else 0
+        removed = (
+            store.remove_triples(request.remove) if request.remove else 0
+        )
+        return UpdateResponse(
+            added=added,
+            removed=removed,
+            data_version=store.data_version,
+        )
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close the session and every cursor it still holds."""
+        with self._lock:
+            if self.closed:
+                return
+            self.closed = True
+            cursors = list(self._cursors.values())
+            self._cursors.clear()
+            pool = self._timeout_pool
+            self._timeout_pool = None
+        for cursor in cursors:
+            cursor.closed = True
+        if pool is not None:
+            pool.shutdown(wait=False)
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else "open"
+        return (
+            f"<Session {state} engine={self.service.engine.name!r} "
+            f"cursors={self.open_cursors()}/{self.max_open_cursors}>"
+        )
+
+
+__all__ = [
+    "DEFAULT_PAGE_SIZE",
+    "Cursor",
+    "Page",
+    "QueryRequest",
+    "Session",
+    "UpdateRequest",
+    "UpdateResponse",
+]

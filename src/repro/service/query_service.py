@@ -60,11 +60,16 @@ from concurrent.futures import ThreadPoolExecutor
 from collections import OrderedDict
 from dataclasses import dataclass
 
+from typing import TYPE_CHECKING
+
 from repro.core.query import ParameterValue
 from repro.engines.base import Engine
 from repro.errors import ConfigError
 from repro.service.prepared import PreparedStatement
 from repro.storage.relation import Relation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.service.protocol import Session
 
 #: One request for :meth:`QueryService.execute_concurrent`: a bare query
 #: text, or ``(text, {param: value, ...})`` for a template.
@@ -99,6 +104,7 @@ class QueryService:
         self._cache: OrderedDict[str, PreparedStatement] = OrderedDict()
         self._lock = threading.RLock()
         self._data_version = engine.store.data_version
+        self._session: "Session | None" = None
 
     # ------------------------------------------------------------------
     # Preparation (the cached parse -> translate pipeline)
@@ -136,7 +142,53 @@ class QueryService:
             return statement
 
     # ------------------------------------------------------------------
-    # Execution
+    # Sessions (the protocol layer's entry point)
+    # ------------------------------------------------------------------
+    def session(
+        self,
+        *,
+        max_open_cursors: int = 64,
+        default_page_size: int | None = None,
+        timeout_s: float | None = None,
+        deadline_workers: int = 4,
+    ) -> "Session":
+        """Open a protocol :class:`~repro.service.protocol.Session`.
+
+        The session API — prepare, execute into a streaming cursor,
+        fetch in pages, close — is the primary public surface; the
+        ``execute*`` methods below are thin shims over a shared default
+        session, so in-process callers and the HTTP front-end exercise
+        one code path.
+        """
+        from repro.service.protocol import DEFAULT_PAGE_SIZE, Session
+
+        return Session(
+            self,
+            max_open_cursors=max_open_cursors,
+            default_page_size=default_page_size or DEFAULT_PAGE_SIZE,
+            timeout_s=timeout_s,
+            deadline_workers=deadline_workers,
+        )
+
+    def _default_session(self) -> "Session":
+        # The shared shim session: roomy cursor bound (shim calls close
+        # their cursor before returning, so only in-flight requests
+        # hold slots) and no deadline.
+        with self._lock:
+            session = self._session
+            if session is None or session.closed:
+                session = self._session = self.session(
+                    max_open_cursors=4096
+                )
+            return session
+
+    def _note_execution(self) -> None:
+        """Session callback: one request answered (stats accounting)."""
+        with self._lock:
+            self.stats.executions += 1
+
+    # ------------------------------------------------------------------
+    # Execution (shims over the session API)
     # ------------------------------------------------------------------
     def execute(
         self,
@@ -149,11 +201,13 @@ class QueryService:
         ``parameters`` supplies values for a ``$parameter`` template
         (exactly the template's placeholders; a plain query takes none).
         """
-        statement = self.prepare(text, name=name)
-        result = statement.execute(**(parameters or {}))
-        with self._lock:
-            self.stats.executions += 1
-        return result
+        cursor = self._default_session().execute(
+            text, parameters=parameters or {}, name=name
+        )
+        try:
+            return cursor.relation
+        finally:
+            cursor.close()
 
     def execute_decoded(
         self,
@@ -163,9 +217,13 @@ class QueryService:
     ) -> list[tuple[str | None, ...]]:
         """:meth:`execute`, decoded back to lexical terms (``None`` for
         variables an OPTIONAL row never bound)."""
-        return self.engine.decode(
-            self.execute(text, name=name, parameters=parameters)
+        cursor = self._default_session().execute(
+            text, parameters=parameters or {}, name=name
         )
+        try:
+            return cursor.fetch_all()
+        finally:
+            cursor.close()
 
     def executemany(
         self,
@@ -173,11 +231,7 @@ class QueryService:
         param_rows: Iterable[Mapping[str, ParameterValue]],
     ) -> list[Relation]:
         """Answer one template for a batch of parameter rows (in order)."""
-        statement = self.prepare(text)
-        results = statement.executemany(param_rows)
-        with self._lock:
-            self.stats.executions += len(results)
-        return results
+        return self._default_session().executemany(text, param_rows)
 
     def execute_many(self, texts: Sequence[str]) -> list[Relation]:
         """Answer a batch; each distinct text is executed exactly once.

@@ -41,16 +41,23 @@ Supported grammar
       }
 
 * ``FILTER`` expressions over comparisons ``= != < <= > >=`` combined
-  with the boolean connectives ``&&`` and ``||`` (parenthesized
-  nesting allowed); equality against IRIs/strings is pushed into
-  index-probe selections when possible, the rest run as post-join
-  predicates over decoded terms (:mod:`repro.core.modifiers`).
-  Comparing an unbound (OPTIONAL-padded) variable is a SPARQL type
-  error — the row is excluded for that comparison, but an ``||`` arm
-  that errors does not stop another arm from keeping the row. Example::
+  with the connectives ``&&``, ``||``, and ``!`` (parenthesized
+  nesting allowed), the built-in tests ``bound(?x)`` and
+  ``regex(?x, "pat" [, "i"])``, and the term functions ``str(?x)``
+  (IRI string / literal content) and ``lang(?x)`` (lowercased language
+  tag, ``""`` when untagged, a type error on IRIs) as comparison
+  operands. Equality against IRIs/strings is pushed into index-probe
+  selections when possible, the rest run as post-join predicates over
+  decoded terms (:mod:`repro.core.modifiers`). Evaluation is
+  three-valued per the SPARQL spec: comparing an unbound
+  (OPTIONAL-padded) variable is a type error — the row is excluded for
+  that comparison, an ``||`` arm that errors does not stop another arm
+  from keeping the row, a false ``&&`` arm wins over an erroring one,
+  and ``!error`` stays an error (``!`` is *not* mask complement).
+  Example::
 
       SELECT ?x WHERE { ?x ub:age ?a
-                        FILTER(?a < 20 || (?a > 30 && ?a != 42)) }
+                        FILTER(!(?a < 20) && lang(?a) = "") }
 
 * **Parameters**: ``$name`` is a prepared-statement placeholder for a
   constant supplied at execution time, allowed in any triple-pattern
@@ -69,7 +76,8 @@ Supported grammar
   most ``offset + limit`` rows to the merge).
 
 Known gaps (tracked in ROADMAP.md): ``GROUP BY``/aggregates, property
-paths, and ``FILTER`` functions (``regex``, ``bound``).
+paths, and further ``FILTER`` builtins (``datatype``, ``isIRI``,
+arithmetic).
 
 Queries translate onto the vertically partitioned relational schema:
 each predicate is a binary ``(subject, object)`` relation, so a triple

@@ -91,12 +91,30 @@ class TriplePattern:
 
 
 @dataclass(frozen=True)
+class SparqlFunctionCall:
+    """``str(?x)`` or ``lang(?x)`` used as a comparison operand."""
+
+    function: str  # "str" | "lang"
+    variable: str
+
+
+#: A FILTER comparison operand: a term or a ``str()``/``lang()`` call.
+SparqlOperand = (
+    SparqlVariable
+    | SparqlTerm
+    | SparqlNumber
+    | SparqlParameter
+    | SparqlFunctionCall
+)
+
+
+@dataclass(frozen=True)
 class FilterComparison:
     """``lhs op rhs`` with ``op`` one of :data:`COMPARISON_OPS`."""
 
-    lhs: SparqlTermLike
+    lhs: SparqlOperand
     op: str
-    rhs: SparqlTermLike
+    rhs: SparqlOperand
 
 
 @dataclass(frozen=True)
@@ -133,10 +151,22 @@ class FilterOr:
     parts: tuple["FilterExpression", ...]
 
 
+@dataclass(frozen=True)
+class FilterNegation:
+    """``!expr`` inside a FILTER expression (SPARQL logical-not)."""
+
+    part: "FilterExpression"
+
+
 #: One FILTER constraint: a comparison, a built-in call, or a boolean
 #: combination.
 FilterExpression = (
-    FilterComparison | FilterBound | FilterRegex | FilterAnd | FilterOr
+    FilterComparison
+    | FilterBound
+    | FilterRegex
+    | FilterAnd
+    | FilterOr
+    | FilterNegation
 )
 
 

@@ -16,9 +16,11 @@ Grammar::
     Filter       := 'FILTER' ( '(' OrExpr ')' | BuiltIn )
     OrExpr       := AndExpr ( '||' AndExpr )*
     AndExpr      := Constraint ( '&&' Constraint )*
-    Constraint   := '(' OrExpr ')' | BuiltIn | Operand CmpOp Operand
+    Constraint   := '!' Constraint | '(' OrExpr ')' | BuiltIn
+                  | Operand CmpOp Operand
     BuiltIn      := 'BOUND' '(' Var ')'
                   | 'REGEX' '(' Var ',' STRING ( ',' STRING )? ')'
+    Operand      := 'STR' '(' Var ')' | 'LANG' '(' Var ')' | Term
     CmpOp        := '=' | '!=' | '<' | '<=' | '>' | '>='
     Modifiers    := ( 'ORDER' 'BY' OrderKey+ )?
                     ( 'LIMIT' INTEGER | 'OFFSET' INTEGER )*
@@ -32,7 +34,9 @@ variables (translated to a scan over the union of all predicate tables).
 Literals may carry a language tag (``"chat"@fr``) or a datatype
 (``"5"^^xsd:int``); numbers are bare integers or decimals. The filter
 functions ``bound(?x)`` and ``regex(?x, "pat" [, "i"])`` parse both
-bare after ``FILTER`` (as SPARQL allows) and inside expressions.
+bare after ``FILTER`` (as SPARQL allows) and inside expressions;
+``str(?x)``/``lang(?x)`` are comparison operands and ``!`` negates any
+constraint (``FILTER(!bound(?x))``).
 ``$name`` parameters are prepared-statement placeholders for constants
 supplied at execution time (any pattern position or FILTER operand).
 Errors raise :class:`~repro.errors.ParseError` with a character offset.
@@ -51,11 +55,13 @@ from repro.sparql.ast import (
     FilterBound,
     FilterComparison,
     FilterExpression,
+    FilterNegation,
     FilterOr,
     FilterRegex,
     GroupGraphPattern,
     OrderCondition,
     SelectQuery,
+    SparqlFunctionCall,
     SparqlNumber,
     SparqlParameter,
     SparqlTerm,
@@ -66,6 +72,9 @@ from repro.sparql.ast import (
 
 #: Filter built-in function names (keyword tokens inside FILTER).
 _BUILTIN_FUNCTIONS = ("BOUND", "REGEX")
+
+#: Term functions usable as comparison operands.
+_TERM_FUNCTIONS = ("STR", "LANG")
 
 _TOKEN_RE = re.compile(
     r"""
@@ -85,6 +94,7 @@ _TOKEN_RE = re.compile(
   | (?P<keyword>[A-Za-z]+)
   | (?P<logic>&&|\|\|)
   | (?P<op>!=|<=|>=|=|<|>)
+  | (?P<not>!)
   | (?P<punct>[{}.*;,()])
     """,
     re.VERBOSE,
@@ -436,6 +446,9 @@ class _Parser:
         self, prefixes: dict[str, str]
     ) -> FilterExpression:
         token = self.peek()
+        if token is not None and token.kind == "not":
+            self.next()
+            return FilterNegation(self._parse_constraint(prefixes))
         if token is not None and token.text == "(":
             # Operands never start with '(' so this is a nested group.
             self.next()
@@ -455,6 +468,24 @@ class _Parser:
         return FilterComparison(lhs, op_token.text, rhs)
 
     def _parse_operand(self, prefixes: dict[str, str]):
+        token = self.peek()
+        if (
+            token is not None
+            and token.kind == "keyword"
+            and token.text.upper() in _TERM_FUNCTIONS
+        ):
+            function = token.text.lower()
+            self.next()
+            self.next("(")
+            var_token = self.next()
+            if var_token.kind != "var":
+                raise ParseError(
+                    f"{function}() expects a variable, found "
+                    f"{var_token.text!r}",
+                    var_token.position,
+                )
+            self.next(")")
+            return SparqlFunctionCall(function, var_token.text[1:])
         return self._parse_term(prefixes)
 
     # ------------------------------------------------------------------

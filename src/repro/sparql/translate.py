@@ -54,26 +54,30 @@ from repro.core.query import (
     Constant,
     Disjunction,
     FilterExpr,
+    Negation,
     NumericLiteral,
     OptionalBlock,
     OrderKey,
     Parameter,
     QueryBlock,
     RegexTest,
+    TermFunc,
     UnionQuery,
     Variable,
     atom_variables,
 )
-from repro.errors import ParseError
+from repro.errors import TranslationError
 from repro.sparql.ast import (
     FilterAnd,
     FilterBound,
     FilterComparison,
     FilterExpression,
+    FilterNegation,
     FilterOr,
     FilterRegex,
     GroupGraphPattern,
     SelectQuery,
+    SparqlFunctionCall,
     SparqlNumber,
     SparqlParameter,
     SparqlTerm,
@@ -94,13 +98,15 @@ def _pattern_term(part) -> Variable | Constant | Parameter:
     return Constant(part.lexical)
 
 
-def _filter_operand(part) -> Variable | Constant | Parameter:
+def _filter_operand(part) -> Variable | Constant | Parameter | TermFunc:
     if isinstance(part, SparqlVariable):
         return Variable(part.name)
     if isinstance(part, SparqlParameter):
         return Parameter(part.name)
     if isinstance(part, SparqlNumber):
         return Constant(part.value)
+    if isinstance(part, SparqlFunctionCall):
+        return TermFunc(part.function, Variable(part.variable))
     assert isinstance(part, SparqlTerm)
     return Constant(part.lexical)
 
@@ -134,7 +140,7 @@ def _translate_patterns(
             )
             continue
         if isinstance(pattern.predicate, SparqlNumber):
-            raise ParseError(
+            raise TranslationError(
                 f"a number ({pattern.predicate.lexical}) cannot be a "
                 "predicate"
             )
@@ -158,6 +164,8 @@ def _translate_filter_expr(expression: FilterExpression) -> FilterExpr:
             expression.pattern,
             expression.flags,
         )
+    if isinstance(expression, FilterNegation):
+        return Negation(_translate_filter_expr(expression.part))
     parts = tuple(_translate_filter_expr(p) for p in expression.parts)
     if isinstance(expression, FilterAnd):
         return Conjunction(parts)
@@ -208,12 +216,12 @@ class _FlatBlock:
 
 def _check_optional_group(group: GroupGraphPattern) -> None:
     if group.optionals or group.unions:
-        raise ParseError(
+        raise TranslationError(
             "OPTIONAL groups may contain only triple patterns and FILTERs "
             "(no nested OPTIONAL or UNION)"
         )
     if not group.patterns:
-        raise ParseError("OPTIONAL group has no triple patterns")
+        raise TranslationError("OPTIONAL group has no triple patterns")
 
 
 def _expand_group(group: GroupGraphPattern) -> list[_FlatBlock]:
@@ -244,11 +252,11 @@ def _expand_group(group: GroupGraphPattern) -> list[_FlatBlock]:
 # ---------------------------------------------------------------------------
 def _translate_block(flat: _FlatBlock) -> QueryBlock:
     if not flat.patterns:
-        raise ParseError("a union branch has no triple patterns")
+        raise TranslationError("a union branch has no triple patterns")
     atoms = _translate_patterns(tuple(flat.patterns))
     required_vars = atom_variables(atoms)
     if not required_vars:
-        raise ParseError(
+        raise TranslationError(
             "a graph pattern must contain at least one variable"
         )
     optionals: list[OptionalBlock] = []
@@ -256,7 +264,7 @@ def _translate_block(flat: _FlatBlock) -> QueryBlock:
         opt_atoms = _translate_patterns(group.patterns)
         opt_vars = atom_variables(opt_atoms)
         if not opt_vars:
-            raise ParseError(
+            raise TranslationError(
                 "an OPTIONAL pattern must contain at least one variable"
             )
         opt_filters = _translate_filters(group.filters)
@@ -264,7 +272,7 @@ def _translate_block(flat: _FlatBlock) -> QueryBlock:
         for comparison in opt_filters:
             for var in comparison.variables():
                 if var not in scope:
-                    raise ParseError(
+                    raise TranslationError(
                         f"filter variable ?{var.name} does not appear in "
                         "the OPTIONAL group or its required pattern"
                     )
@@ -276,7 +284,7 @@ def _translate_block(flat: _FlatBlock) -> QueryBlock:
         left_vars = left.variables()
         for right in optionals[i + 1 :]:
             for var in (left_vars & right.variables()) - required_vars:
-                raise ParseError(
+                raise TranslationError(
                     f"variable ?{var.name} is shared between OPTIONAL "
                     "patterns but not bound by the required pattern "
                     "(unsupported)"
@@ -392,7 +400,7 @@ def sparql_to_query(
         projection = tuple(Variable(v) for v in parsed.variables)
         for var in projection:
             if var not in known_vars:
-                raise ParseError(
+                raise TranslationError(
                     f"selected variable ?{var.name} does not appear in the "
                     "WHERE block"
                 )
@@ -402,7 +410,7 @@ def sparql_to_query(
         for comparison in block.filters:
             for var in comparison.variables():
                 if var not in known_vars:
-                    raise ParseError(
+                    raise TranslationError(
                         f"filter variable ?{var.name} does not appear in "
                         "the WHERE block"
                     )
@@ -410,7 +418,7 @@ def sparql_to_query(
                 # filter is then a type error that empties this branch),
                 # but only when a UNION makes that possible.
                 if len(blocks) == 1 and var not in block_vars:
-                    raise ParseError(
+                    raise TranslationError(
                         f"filter variable ?{var.name} does not appear in "
                         "the WHERE block"
                     )
@@ -422,7 +430,7 @@ def sparql_to_query(
     projected = set(projection)
     for key in order_by:
         if key.variable not in projected:
-            raise ParseError(
+            raise TranslationError(
                 f"ORDER BY variable ?{key.variable.name} must be in the "
                 "SELECT list"
             )

@@ -62,6 +62,7 @@ from repro.nputil import (
     merge_sorted_unique,
     pack_pairs,
     remove_sorted,
+    rows_isin,
     unpack_pairs,
 )
 from repro.storage.dictionary import Dictionary
@@ -121,7 +122,12 @@ class DeltaBatch:
     holding exactly the pairs the batch inserted/deleted there.
     ``created_tables`` lists predicates that gained their first triple;
     ``dropped_tables`` predicates the batch emptied (their rows appear
-    in ``removed`` too).
+    in ``removed`` too). ``compacted_tables`` names tables whose delta
+    segments this commit folded into fresh main segments — a physical
+    no-op, but the signal engines use to refresh statistics that have
+    been drifting as deltas accumulated (plan-caching engines evict
+    compiled plans over these tables so the next plan re-reads
+    cardinalities).
     """
 
     version: int
@@ -129,6 +135,7 @@ class DeltaBatch:
     removed: dict[str, Relation]
     created_tables: frozenset[str] = frozenset()
     dropped_tables: frozenset[str] = frozenset()
+    compacted_tables: frozenset[str] = frozenset()
 
     @property
     def rows(self) -> int:
@@ -259,6 +266,56 @@ def build_triples_view(
     )
 
 
+def triples_view_delta(
+    rows_by_table: "dict[str, Relation]", predicate_key
+) -> Relation | None:
+    """The three-column ``__triples__`` rows of one batch's per-table
+    delta rows, the predicate's dictionary key bound into each row.
+
+    ``None`` when the batch touches nothing. Shared by the store's view
+    patching and by engines that keep the union view registered in
+    their catalogs: the view (and any trie built over it) is patched
+    from exactly these rows instead of being dropped and rebuilt
+    O(store), so hot variable-predicate queries survive small updates.
+    """
+    tables = {
+        name: rows
+        for name, rows in rows_by_table.items()
+        if rows.num_rows
+    }
+    if not tables:
+        return None
+    return build_triples_view(tables, predicate_key)
+
+
+def catalog_view_delta(
+    catalog, batch: DeltaBatch, predicate_key
+) -> tuple[dict[str, Relation], dict[str, Relation], set[str]]:
+    """The ``(added, removed, dropped)`` a catalog-backed engine passes
+    to ``Catalog.apply_delta`` so a registered ``__triples__`` view is
+    *patched* (relation and cached tries spliced) instead of dropped.
+
+    When the view is not registered in ``catalog`` it is added to
+    ``dropped`` instead: a concurrent query may register the pre-update
+    view between the membership check and the catalog copy, and
+    dropping such a registration is always safe (absent names are
+    tolerated; the next variable-predicate query rebuilds lazily).
+    """
+    added: dict[str, Relation] = batch.added
+    removed: dict[str, Relation] = batch.removed
+    dropped = set(batch.dropped_tables)
+    if TRIPLES_RELATION in catalog:
+        added_view = triples_view_delta(batch.added, predicate_key)
+        removed_view = triples_view_delta(batch.removed, predicate_key)
+        if added_view is not None:
+            added = {**added, TRIPLES_RELATION: added_view}
+        if removed_view is not None:
+            removed = {**removed, TRIPLES_RELATION: removed_view}
+    else:
+        dropped.add(TRIPLES_RELATION)
+    return added, removed, dropped
+
+
 @dataclass
 class VerticallyPartitionedStore:
     """A dictionary-encoded, vertically partitioned triple store.
@@ -309,9 +366,11 @@ class VerticallyPartitionedStore:
         """The ``__triples__`` view: all predicate tables unioned into one
         three-column relation, the predicate dictionary key bound into
         each row. Built lazily, cached, shared by every engine over this
-        store (variable-predicate patterns resolve against it). Built
-        under the write lock so an interleaved update can neither tear
-        the snapshot nor be overwritten by a stale build."""
+        store (variable-predicate patterns resolve against it); once
+        built it is *patched* per update batch (cost scales with the
+        batch), never dropped and rebuilt. Built under the write lock so
+        an interleaved update can neither tear the snapshot nor be
+        overwritten by a stale build."""
         with self._write_lock:
             if self._triples_view is None:
                 self._triples_view = build_triples_view(
@@ -370,6 +429,7 @@ class VerticallyPartitionedStore:
         reader holding a reference sees one consistent epoch.
         """
         tables = dict(self.tables)
+        compacted: set[str] = set()
         for name in set(added) | set(removed):
             segments = self._segments.get(name)
             if segments is None:
@@ -383,9 +443,10 @@ class VerticallyPartitionedStore:
             ):
                 segments.compact(name)
                 self.compactions += 1
+                compacted.add(name)
             tables[name] = segments.merged(name)
         self.tables = tables
-        self._triples_view = None
+        self._patch_triples_view(added, removed)
         self.num_triples = sum(r.num_rows for r in tables.values())
         self.data_version += 1
         self._delta_log.append(
@@ -395,10 +456,41 @@ class VerticallyPartitionedStore:
                 removed=removed,
                 created_tables=frozenset(created),
                 dropped_tables=frozenset(dropped),
+                compacted_tables=frozenset(compacted),
             )
         )
         if len(self._delta_log) > self.delta_config.log_limit:
             del self._delta_log[: -self.delta_config.log_limit]
+
+    def _patch_triples_view(
+        self,
+        added: dict[str, Relation],
+        removed: dict[str, Relation],
+    ) -> None:
+        """Patch the cached ``__triples__`` view with one batch's rows.
+
+        The view used to be dropped and lazily rebuilt O(store) on every
+        epoch; patching it from the delta keeps hot variable-predicate
+        traffic warm across small updates. A view that was never built
+        stays unbuilt — only variable-predicate queries ever pay for it.
+        """
+        view = self._triples_view
+        if view is None:
+            return
+        columns = list(view.columns)
+        removed_view = triples_view_delta(removed, self.predicate_key)
+        if removed_view is not None and view.num_rows:
+            keep = ~rows_isin(columns, list(removed_view.columns))
+            columns = [column[keep] for column in columns]
+        added_view = triples_view_delta(added, self.predicate_key)
+        if added_view is not None:
+            columns = [
+                np.concatenate([column, extra])
+                for column, extra in zip(columns, added_view.columns)
+            ]
+        self._triples_view = Relation(
+            TRIPLES_RELATION, view.attributes, columns
+        )
 
     def add_triples(self, triples: Iterable[tuple[str, str, str]]) -> int:
         """Insert string triples; returns the number of *new* triples.

@@ -1,0 +1,70 @@
+"""Cardinality-statistics refresh: compaction evicts drifted plans."""
+
+from repro.engines.emptyheaded import EmptyHeadedEngine
+from repro.storage.vertical import DeltaConfig, vertically_partition
+
+EX = "http://ex/"
+
+
+def _store(compact_fraction):
+    triples = [
+        (f"<{EX}s{i}>", f"<{EX}p{i % 2}>", f"<{EX}o{i % 4}>")
+        for i in range(40)
+    ]
+    store = vertically_partition(triples)
+    store.delta_config = DeltaConfig(compact_fraction=compact_fraction)
+    return store
+
+
+def _plan_relations(engine):
+    return [
+        sorted({atom.relation for atom in key[0]})
+        for key in engine._plan_cache
+    ]
+
+
+def test_compaction_evicts_plans_over_compacted_tables():
+    # A tiny compact_fraction makes every batch compact its table.
+    store = _store(compact_fraction=0.001)
+    engine = EmptyHeadedEngine(store)
+    q_p0 = f"SELECT ?s WHERE {{ ?s <{EX}p0> ?o }}"
+    q_p1 = f"SELECT ?s WHERE {{ ?s <{EX}p1> ?o }}"
+    engine.execute_sparql(q_p0)
+    engine.execute_sparql(q_p1)
+    assert len(engine._plan_cache) == 2
+
+    store.add_triples([(f"<{EX}x>", f"<{EX}p0>", f"<{EX}y>")])
+    engine.check_data_version()
+    # p0's plan evicted (its table compacted); p1's untouched plan kept.
+    relations = _plan_relations(engine)
+    assert ["p0"] not in relations
+    assert ["p1"] in relations
+
+    # Re-execution replans p0 against the compacted catalog — and the
+    # result reflects the update.
+    rows = engine.decode(engine.execute_sparql(q_p0))
+    assert (f"<{EX}x>",) in rows
+    assert ["p0"] in _plan_relations(engine)
+
+
+def test_no_compaction_keeps_plans():
+    # A huge compact_fraction: deltas accumulate, nothing compacts, and
+    # retained plans keep serving (the prepared-statement trade).
+    store = _store(compact_fraction=100.0)
+    engine = EmptyHeadedEngine(store)
+    q_p0 = f"SELECT ?s WHERE {{ ?s <{EX}p0> ?o }}"
+    engine.execute_sparql(q_p0)
+    store.add_triples([(f"<{EX}x>", f"<{EX}p0>", f"<{EX}y>")])
+    rows = engine.decode(engine.execute_sparql(q_p0))
+    assert (f"<{EX}x>",) in rows
+    assert store.compactions == 0
+    assert ["p0"] in _plan_relations(engine)
+
+
+def test_compacted_tables_recorded_in_delta_batch():
+    store = _store(compact_fraction=0.001)
+    store.add_triples([(f"<{EX}x>", f"<{EX}p0>", f"<{EX}y>")])
+    batches = store.changes_since(0)
+    assert batches is not None and len(batches) == 1
+    assert "p0" in batches[0].compacted_tables
+    assert store.compactions == 1

@@ -129,18 +129,26 @@ class _QueryGen:
 
     def _comparison(self, variables: list[str]) -> tuple:
         """One random filter leaf over ``variables``: a comparison, a
-        ``bound()`` test, or a ``regex()`` match."""
+        ``bound()`` test, a ``regex()`` match, a ``str()``/``lang()``
+        operand comparison, or a ``!``-negated leaf."""
         rng = self.rng
         var = rng.choice(variables)
         kind = rng.random()
-        if kind < 0.15:
+        if kind < 0.12:
             return ("bound", var)
-        if kind < 0.3:
+        if kind < 0.24:
             pattern, flags = rng.choice(self._REGEX_PATTERNS)
             return ("regex", var, pattern, flags)
-        if kind < 0.55:
+        if kind < 0.32:
+            content = rng.choice(["alpha", "3", "http://ex/s0", "x y"])
+            return ("str", var, rng.choice(("=", "!=")), content)
+        if kind < 0.4:
+            return ("lang", var, "=", rng.choice(["en", ""]))
+        if kind < 0.48:
+            return ("not", self._comparison(variables))
+        if kind < 0.65:
             return (var, ">", str(rng.randint(1, 6)))
-        if kind < 0.8:
+        if kind < 0.85:
             return (var, "!=", rng.choice(self.subjects))
         if self.literals:
             return (var, "=", rng.choice(self.literals))
@@ -202,8 +210,8 @@ class _QueryGen:
             "offset": offset,
         }
 
-    @staticmethod
-    def leaf_text(spec_filter: tuple) -> str:
+    @classmethod
+    def leaf_text(cls, spec_filter: tuple) -> str:
         """SPARQL surface syntax of one filter leaf."""
         if spec_filter[0] == "bound":
             return f"bound({spec_filter[1]})"
@@ -212,6 +220,11 @@ class _QueryGen:
             if flags:
                 return f'regex({var}, "{pattern}", "{flags}")'
             return f'regex({var}, "{pattern}")'
+        if spec_filter[0] in ("str", "lang"):
+            fn, var, op, content = spec_filter
+            return f'{fn}({var}) {op} "{content}"'
+        if spec_filter[0] == "not":
+            return f"!({cls.leaf_text(spec_filter[1])})"
         lhs, op, rhs = spec_filter
         return f"{lhs} {op} {rhs}"
 
@@ -299,19 +312,28 @@ def _match(pattern, triple, binding):
     return out
 
 
-def _filter_true(binding, lhs, op, rhs) -> bool:
-    """One comparison under the subset's semantics; unbound => False."""
+#: Tri-state filter results: True, False, or _ERROR (SPARQL type error).
+_ERROR = object()
+
+
+def _filter_true(binding, lhs, op, rhs):
+    """One comparison under the subset's semantics (tri-state)."""
     value = binding.get(lhs)
     if value is None:
-        return False
+        return _ERROR
     if rhs.startswith("?"):
         other = binding.get(rhs)
         if other is None:
-            return False
+            return _ERROR
         lnum, rnum = _numeric_content(value), _numeric_content(other)
         if op == "=":
             if lnum is not None and rnum is not None:
                 return lnum == rnum
+            one_numeric = (lnum is None) != (rnum is None)
+            if one_numeric:
+                non_numeric = value if lnum is None else other
+                if not non_numeric.startswith("<"):
+                    return _ERROR  # number vs non-numeric literal
             return value == other
         # op == "!=": a numeric literal against a non-numeric *literal*
         # is a type error (excluded); against an IRI, definitively
@@ -319,7 +341,7 @@ def _filter_true(binding, lhs, op, rhs) -> bool:
         one_numeric = (lnum is None) != (rnum is None)
         if one_numeric:
             non_numeric = value if lnum is None else other
-            return non_numeric.startswith("<")
+            return True if non_numeric.startswith("<") else _ERROR
         if lnum is not None:
             return lnum != rnum
         return value != other
@@ -328,24 +350,49 @@ def _filter_true(binding, lhs, op, rhs) -> bool:
     number = float(rhs)
     num = _numeric_content(value)
     if op == ">":
-        return num is not None and num > number
+        return num > number if num is not None else _ERROR
     if op == "=":
-        return num is not None and num == number
+        return num == number if num is not None else _ERROR
     if num is not None:
         return num != number
-    return value.startswith("<")  # IRI != number: kept; literal: error
+    # IRI != number: kept; non-numeric literal vs number: type error.
+    return True if value.startswith("<") else _ERROR
 
 
-def _filter_holds(binding, spec_filter: tuple) -> bool:
-    """One (possibly connective) filter; arms error independently."""
+def _str_lang_value(fn: str, value: str):
+    """The content ``str()``/``lang()`` maps a bound term to."""
+    if fn == "str":
+        if value.startswith("<"):
+            return value[1:-1]
+        return value[1 : value.rfind('"')]
+    if not value.startswith('"'):
+        return _ERROR  # lang() of an IRI: type error
+    rest = value[value.rfind('"') + 1 :]
+    return rest[1:].lower() if rest.startswith("@") else ""
+
+
+def _filter_holds(binding, spec_filter: tuple):
+    """One (possibly connective) filter, under SPARQL's three-valued
+    logic: returns True, False, or _ERROR."""
     if spec_filter[0] == "or":
-        return _filter_holds(binding, spec_filter[1]) or _filter_holds(
-            binding, spec_filter[2]
-        )
+        arms = [
+            _filter_holds(binding, spec_filter[1]),
+            _filter_holds(binding, spec_filter[2]),
+        ]
+        if True in arms:
+            return True
+        return False if arms == [False, False] else _ERROR
     if spec_filter[0] == "and":
-        return _filter_holds(binding, spec_filter[1]) and _filter_holds(
-            binding, spec_filter[2]
-        )
+        arms = [
+            _filter_holds(binding, spec_filter[1]),
+            _filter_holds(binding, spec_filter[2]),
+        ]
+        if False in arms:
+            return False
+        return True if arms == [True, True] else _ERROR
+    if spec_filter[0] == "not":
+        inner = _filter_holds(binding, spec_filter[1])
+        return _ERROR if inner is _ERROR else not inner
     if spec_filter[0] == "bound":
         return binding.get(spec_filter[1]) is not None
     if spec_filter[0] == "regex":
@@ -354,7 +401,7 @@ def _filter_holds(binding, spec_filter: tuple) -> bool:
         _, var, pattern, flags = spec_filter
         value = binding.get(var)
         if value is None or not value.startswith('"'):
-            return False  # unbound or non-literal: type error
+            return _ERROR  # unbound or non-literal: type error
         content = value[1 : value.rfind('"')]
         return (
             _re.search(
@@ -362,6 +409,26 @@ def _filter_holds(binding, spec_filter: tuple) -> bool:
             )
             is not None
         )
+    if spec_filter[0] in ("str", "lang"):
+        fn, var, op, expected = spec_filter
+        value = binding.get(var)
+        if value is None:
+            return _ERROR
+        mapped = _str_lang_value(fn, value)
+        if mapped is _ERROR:
+            return _ERROR
+        # The mapped content compares like a literal with that content:
+        # numeric content by value, otherwise by string identity.
+        mnum, enum = _numeric_content(f'"{mapped}"'), _numeric_content(
+            f'"{expected}"'
+        )
+        if mnum is not None and enum is not None:
+            equal = mnum == enum
+        elif (mnum is None) != (enum is None):
+            return _ERROR  # number vs non-numeric literal: type error
+        else:
+            equal = mapped == expected
+        return equal if op == "=" else not equal
     return _filter_true(binding, *spec_filter)
 
 
@@ -381,7 +448,7 @@ def _eval_branch(graph, branch: dict):
             for triple in graph:
                 extended = _match(optional["pattern"], triple, binding)
                 if extended is not None and all(
-                    _filter_true(extended, *f)
+                    _filter_true(extended, *f) is True
                     for f in optional["filters"]
                 ):
                     matches.append(extended)
@@ -394,7 +461,10 @@ def _reference_rows(graph, spec: dict) -> set[tuple]:
     rows = set()
     for branch in spec["branches"]:
         for binding in _eval_branch(graph, branch):
-            if all(_filter_holds(binding, f) for f in spec["filters"]):
+            if all(
+                _filter_holds(binding, f) is True
+                for f in spec["filters"]
+            ):
                 rows.add(
                     tuple(binding.get(v) for v in spec["projection"])
                 )
@@ -534,6 +604,9 @@ def test_generator_covers_all_constructs():
         "optional_filter": False,
         "bound": False,
         "regex": False,
+        "str": False,
+        "lang": False,
+        "negation": False,
     }
     for seed in range(16):
         rng = random.Random(seed)
@@ -564,4 +637,7 @@ def test_generator_covers_all_constructs():
             )
             seen["bound"] |= "bound(" in text
             seen["regex"] |= "regex(" in text
+            seen["str"] |= "str(" in text
+            seen["lang"] |= "lang(" in text
+            seen["negation"] |= "!(" in text
     assert all(seen.values()), seen

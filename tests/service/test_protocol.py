@@ -1,0 +1,213 @@
+"""Session/cursor protocol: lifecycle, paging, deadlines, capacity."""
+
+import pytest
+
+from repro.engines.emptyheaded import EmptyHeadedEngine
+from repro.errors import (
+    CapacityError,
+    ConfigError,
+    CursorClosedError,
+    ParameterError,
+    ParseError,
+    QueryTimeoutError,
+    SessionClosedError,
+    UnknownCursorError,
+)
+from repro.service import QueryService
+from repro.service.protocol import QueryRequest, UpdateRequest
+from repro.storage.vertical import vertically_partition
+
+EX = "http://ex/"
+
+
+def _store(n=10):
+    return vertically_partition(
+        [(f"<{EX}s{i}>", f"<{EX}p>", f"<{EX}o{i % 3}>") for i in range(n)]
+    )
+
+
+def _service(n=10):
+    return QueryService(EmptyHeadedEngine(_store(n)))
+
+
+QUERY = f"SELECT ?s ?o WHERE {{ ?s <{EX}p> ?o }}"
+
+
+# ---------------------------------------------------------------------------
+# Cursor paging
+# ---------------------------------------------------------------------------
+def test_cursor_pages_cover_rows_in_order():
+    service = _service(10)
+    session = service.session()
+    cursor = session.execute(QUERY, page_size=3)
+    assert cursor.columns == ("s", "o")
+    assert cursor.num_rows == 10
+    pages = list(cursor.pages())
+    assert [len(page.rows) for page in pages] == [3, 3, 3, 1]
+    assert [page.offset for page in pages] == [0, 3, 6, 9]
+    assert [page.done for page in pages] == [False, False, False, True]
+    rows = [row for page in pages for row in page.rows]
+    assert rows == service.engine.decode(service.execute(QUERY))
+
+
+def test_fetch_past_end_returns_empty_done_page():
+    session = _service(2).session()
+    cursor = session.execute(QUERY, page_size=10)
+    first = cursor.fetch()
+    assert first.done and len(first.rows) == 2
+    again = cursor.fetch()
+    assert again.done and again.rows == () and again.offset == 2
+
+
+def test_fetch_all_and_iteration_match():
+    service = _service(7)
+    session = service.session()
+    rows = session.execute(QUERY, page_size=2).fetch_all()
+    iterated = list(session.execute(QUERY, page_size=3))
+    assert rows == iterated
+
+
+def test_cursor_pagination_interacts_with_limit_offset():
+    service = _service(10)
+    session = service.session()
+    full = session.execute(QUERY).fetch_all()
+    sliced = session.execute(QUERY + " LIMIT 5 OFFSET 2", page_size=2)
+    rows = sliced.fetch_all()
+    # The query-level slice happens in the engine; the cursor then pages
+    # over exactly those 5 rows.
+    assert rows == full[2:7]
+    assert sliced.num_rows == 5
+
+
+def test_cursor_survives_mid_stream_update():
+    service = _service(10)
+    store = service.engine.store
+    session = service.session()
+    cursor = session.execute(QUERY, page_size=4)
+    first = cursor.fetch()
+    store.add_triples([(f"<{EX}new>", f"<{EX}p>", f"<{EX}o0>")])
+    store.remove_triples([(f"<{EX}s1>", f"<{EX}p>", f"<{EX}o1>")])
+    rest = cursor.fetch_all()
+    # The cursor pages the snapshot taken at execute time: exactly the
+    # original 10 rows, no torn mixture.
+    assert len(first.rows) + len(rest) == 10
+    # A fresh execute sees the mutated store.
+    assert session.execute(QUERY).num_rows == 10  # one added, one removed
+
+
+def test_closed_cursor_raises_and_releases_slot():
+    session = _service().session(max_open_cursors=1)
+    cursor = session.execute(QUERY)
+    with pytest.raises(CapacityError):
+        session.execute(QUERY)
+    cursor.close()
+    replacement = session.execute(QUERY)  # slot free again
+    with pytest.raises(CursorClosedError):
+        cursor.fetch()
+    replacement.close()
+
+
+def test_cursor_lookup_by_id():
+    session = _service().session()
+    cursor = session.execute(QUERY)
+    assert session.cursor(cursor.cursor_id) is cursor
+    cursor.close()
+    with pytest.raises(UnknownCursorError):
+        session.cursor(cursor.cursor_id)
+
+
+def test_invalid_page_size_rejected():
+    session = _service().session()
+    with pytest.raises(ConfigError):
+        session.execute(QUERY, page_size=0)
+
+
+# ---------------------------------------------------------------------------
+# Session lifecycle and errors
+# ---------------------------------------------------------------------------
+def test_closed_session_rejects_everything():
+    session = _service().session()
+    session.close()
+    with pytest.raises(SessionClosedError):
+        session.execute(QUERY)
+    with pytest.raises(SessionClosedError):
+        session.stats()
+    session.close()  # idempotent
+
+
+def test_session_context_manager_closes_cursors():
+    service = _service()
+    with service.session() as session:
+        cursor = session.execute(QUERY)
+    assert session.closed
+    with pytest.raises(CursorClosedError):
+        cursor.fetch()
+
+
+def test_parse_and_parameter_errors_pass_through():
+    session = _service().session()
+    with pytest.raises(ParseError):
+        session.execute("SELEC nope")
+    template = f"SELECT ?o WHERE {{ $who <{EX}p> ?o }}"
+    with pytest.raises(ParameterError):
+        session.execute(template)  # missing value
+    with pytest.raises(ParameterError):
+        session.execute(template, parameters={"who": "<x>", "oops": "y"})
+
+
+def test_timeout_raises_query_timeout(monkeypatch):
+    import time
+
+    service = _service()
+    session = service.session()
+    statement = service.prepare(QUERY)
+    original = statement.execute
+
+    def slow(**values):
+        time.sleep(0.3)
+        return original(**values)
+
+    monkeypatch.setattr(statement, "execute", slow)
+    with pytest.raises(QueryTimeoutError):
+        session.execute(QueryRequest(text=QUERY, timeout_s=0.05))
+    # Without a deadline the slow execution still completes.
+    cursor = session.execute(QUERY)
+    assert cursor.num_rows == 10
+
+
+# ---------------------------------------------------------------------------
+# Updates and shims
+# ---------------------------------------------------------------------------
+def test_update_request_roundtrip():
+    service = _service()
+    session = service.session()
+    before = session.execute(QUERY).num_rows
+    triple = (f"<{EX}ghost>", f"<{EX}p>", f"<{EX}o0>")
+    response = session.update(UpdateRequest(add=(triple,)))
+    assert response.added == 1 and response.removed == 0
+    assert response.data_version == service.engine.store.data_version
+    assert session.execute(QUERY).num_rows == before + 1
+    response = session.update(UpdateRequest(remove=(triple,)))
+    assert response.removed == 1
+    assert session.execute(QUERY).num_rows == before
+
+
+def test_query_service_entry_points_ride_the_session():
+    service = _service()
+    relation = service.execute(QUERY)
+    decoded = service.execute_decoded(QUERY)
+    assert decoded == service.engine.decode(relation)
+    assert service.stats.executions == 2
+    # The shim session closes its cursor per call — nothing leaks.
+    assert service._default_session().open_cursors() == 0
+
+
+def test_session_stats_shape():
+    service = _service()
+    session = service.session()
+    session.execute(QUERY).close()
+    stats = session.stats()
+    assert stats["engine"] == "emptyheaded"
+    assert stats["triples"] == 10
+    assert stats["service"]["executions"] == 1
+    assert stats["session"]["open_cursors"] == 0

@@ -1,0 +1,281 @@
+"""FILTER builtins ``str()``, ``lang()``, and ``!`` negation.
+
+Parser → AST → translate → three-valued evaluation, end to end on every
+engine. SPARQL's error semantics are the interesting part: ``!error``
+stays an error (the row is excluded), ``lang()`` of an IRI errors,
+``str()`` never errors on bound terms, and negation over connectives
+follows the spec's truth table.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.modifiers import apply_term_func, filter_masks
+from repro.core.query import (
+    BoundTest,
+    Comparison,
+    Conjunction,
+    Constant,
+    Disjunction,
+    Negation,
+    TermFunc,
+    Variable,
+)
+from repro.engines import ALL_ENGINES
+from repro.errors import ParseError
+from repro.sparql.ast import FilterNegation, SparqlFunctionCall
+from repro.sparql.parser import parse_sparql
+from repro.sparql.translate import sparql_to_query
+from repro.storage.relation import NULL_KEY, Relation
+from repro.storage.vertical import vertically_partition
+
+EX = "http://ex/"
+
+TRIPLES = [
+    (f"<{EX}s1>", f"<{EX}p>", '"chat"@fr'),
+    (f"<{EX}s2>", f"<{EX}p>", '"cat"@en-GB'),
+    (f"<{EX}s3>", f"<{EX}p>", '"42"'),
+    (f"<{EX}s4>", f"<{EX}p>", f"<{EX}o1>"),
+    (f"<{EX}s5>", f"<{EX}p>", '"plain"'),
+    (f"<{EX}s1>", f"<{EX}q>", '"extra"'),
+]
+
+
+def _rows(engine, text):
+    return sorted(engine.decode(engine.execute_sparql(text)))
+
+
+def _all_engines_agree(store, text):
+    rows = None
+    for cls in ALL_ENGINES:
+        engine = cls(store)
+        got = _rows(engine, text)
+        if rows is None:
+            rows = got
+        assert got == rows, (cls.name, text)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Parser and AST
+# ---------------------------------------------------------------------------
+def test_parse_str_and_lang_operands():
+    parsed = parse_sparql(
+        'SELECT ?x WHERE { ?x <http://p> ?y . '
+        'FILTER(str(?y) = "a" && lang(?y) != "en") }'
+    )
+    conj = parsed.filters[0]
+    left, right = conj.parts
+    assert left.lhs == SparqlFunctionCall("str", "y")
+    assert right.lhs == SparqlFunctionCall("lang", "y")
+
+
+def test_parse_negation_nesting():
+    parsed = parse_sparql(
+        "SELECT ?x WHERE { ?x <http://p> ?y . FILTER(!!bound(?y)) }"
+    )
+    outer = parsed.filters[0]
+    assert isinstance(outer, FilterNegation)
+    assert isinstance(outer.part, FilterNegation)
+
+
+def test_parse_rejects_function_on_constant():
+    with pytest.raises(ParseError):
+        parse_sparql(
+            'SELECT ?x WHERE { ?x <http://p> ?y . FILTER(str("a") = "a") }'
+        )
+
+
+def test_translate_builds_termfunc_and_negation():
+    parsed = parse_sparql(
+        "SELECT ?x WHERE { ?x <http://p> ?y . "
+        'FILTER(!(lang(?y) = "en")) }'
+    )
+    query = sparql_to_query(parsed)
+    negation = query.filters[0]
+    assert isinstance(negation, Negation)
+    comparison = negation.part
+    assert comparison.lhs == TermFunc("lang", Variable("y"))
+    assert comparison.variables() == (Variable("y"),)
+
+
+def test_filter_variable_validation_sees_through_functions():
+    parsed = parse_sparql(
+        'SELECT ?x WHERE { ?x <http://p> ?y . FILTER(str(?z) = "a") }'
+    )
+    with pytest.raises(ParseError):
+        sparql_to_query(parsed)
+
+
+# ---------------------------------------------------------------------------
+# Term-function semantics
+# ---------------------------------------------------------------------------
+def test_apply_term_func_str():
+    assert apply_term_func("str", "<http://ex/a>") == '"http://ex/a"'
+    assert apply_term_func("str", '"chat"@fr') == '"chat"'
+    assert apply_term_func("str", '"5"^^<http://int>') == '"5"'
+
+
+def test_apply_term_func_lang():
+    assert apply_term_func("lang", '"chat"@fr') == '"fr"'
+    assert apply_term_func("lang", '"cat"@en-GB') == '"en-gb"'
+    assert apply_term_func("lang", '"plain"') == '""'
+    assert apply_term_func("lang", "<http://ex/a>") is None  # type error
+
+
+# ---------------------------------------------------------------------------
+# Three-valued masks
+# ---------------------------------------------------------------------------
+class _Dict:
+    def __init__(self, terms):
+        self.terms = terms
+
+    def decode(self, key):
+        return self.terms[key]
+
+    def lookup(self, lexical):
+        try:
+            return self.terms.index(lexical)
+        except ValueError:
+            return None
+
+
+def _relation(keys):
+    return Relation("r", ["x"], [np.asarray(keys, dtype=np.uint32)])
+
+
+def test_negation_preserves_error():
+    # x binds: a number, a non-numeric literal (type error vs number),
+    # and an unbound row.
+    dictionary = _Dict(['"5"', '"word"'])
+    relation = _relation([0, 1, NULL_KEY])
+    comparison = Comparison(Variable("x"), ">", Constant(3.0))
+    true, error = filter_masks(relation, comparison, dictionary)
+    assert true.tolist() == [True, False, False]
+    assert error.tolist() == [False, True, True]
+    negated_true, negated_error = filter_masks(
+        relation, Negation(comparison), dictionary
+    )
+    # !true = false; !error = error (row still excluded); never "kept
+    # because the inner comparison errored".
+    assert negated_true.tolist() == [False, False, False]
+    assert negated_error.tolist() == [False, True, True]
+
+
+def test_not_bound_is_true_on_unbound():
+    dictionary = _Dict(['"5"'])
+    relation = _relation([0, NULL_KEY])
+    expr = Negation(BoundTest(Variable("x")))
+    true, error = filter_masks(relation, expr, dictionary)
+    assert true.tolist() == [False, True]
+    assert error.tolist() == [False, False]
+
+
+def test_connective_error_propagation():
+    # A && B: false wins over error; A || B: true wins over error.
+    dictionary = _Dict(['"word"'])
+    relation = _relation([0])
+    erroring = Comparison(Variable("x"), ">", Constant(3.0))  # type error
+    false = Comparison(Variable("x"), "=", Constant('"other"'))
+    true = Comparison(Variable("x"), "=", Constant('"word"'))
+
+    t, e = filter_masks(relation, Conjunction((erroring, false)), dictionary)
+    assert (t.tolist(), e.tolist()) == ([False], [False])  # definite false
+    t, e = filter_masks(relation, Conjunction((erroring, true)), dictionary)
+    assert (t.tolist(), e.tolist()) == ([False], [True])  # error
+    t, e = filter_masks(relation, Disjunction((erroring, true)), dictionary)
+    assert (t.tolist(), e.tolist()) == ([True], [False])  # definite true
+    t, e = filter_masks(relation, Disjunction((erroring, false)), dictionary)
+    assert (t.tolist(), e.tolist()) == ([False], [True])  # error
+
+    # De-Morgan-style spot check: !(error && false) is !false = true.
+    t, e = filter_masks(
+        relation, Negation(Conjunction((erroring, false))), dictionary
+    )
+    assert (t.tolist(), e.tolist()) == ([True], [False])
+
+
+# ---------------------------------------------------------------------------
+# End to end, all engines
+# ---------------------------------------------------------------------------
+def test_lang_filter_selects_tagged_literals():
+    store = vertically_partition(TRIPLES)
+    rows = _all_engines_agree(
+        store,
+        f'SELECT ?s WHERE {{ ?s <{EX}p> ?o . FILTER(lang(?o) = "fr") }}',
+    )
+    assert rows == [(f"<{EX}s1>",)]
+
+
+def test_lang_of_untagged_literal_is_empty_string():
+    store = vertically_partition(TRIPLES)
+    rows = _all_engines_agree(
+        store,
+        f'SELECT ?s WHERE {{ ?s <{EX}p> ?o . FILTER(lang(?o) = "") }}',
+    )
+    assert rows == [(f"<{EX}s3>",), (f"<{EX}s5>",)]
+
+
+def test_str_matches_iri_content():
+    store = vertically_partition(TRIPLES)
+    rows = _all_engines_agree(
+        store,
+        f"SELECT ?s WHERE {{ ?s <{EX}p> ?o . "
+        f'FILTER(str(?o) = "{EX}o1") }}',
+    )
+    assert rows == [(f"<{EX}s4>",)]
+
+
+def test_str_numeric_content_compares_by_value():
+    store = vertically_partition(TRIPLES + [(f"<{EX}s6>", f"<{EX}p>", '"42.0"')])
+    rows = _all_engines_agree(
+        store,
+        f'SELECT ?s WHERE {{ ?s <{EX}p> ?o . FILTER(str(?o) = "42") }}',
+    )
+    assert rows == [(f"<{EX}s3>",), (f"<{EX}s6>",)]
+
+
+def test_negated_lang_excludes_iri_rows():
+    # lang(<iri>) errors; !error stays an error, so the IRI row is
+    # excluded from the negation too.
+    store = vertically_partition(TRIPLES)
+    rows = _all_engines_agree(
+        store,
+        f"SELECT ?s WHERE {{ ?s <{EX}p> ?o . "
+        f'FILTER(!(lang(?o) = "fr")) }}',
+    )
+    assert rows == [(f"<{EX}s2>",), (f"<{EX}s3>",), (f"<{EX}s5>",)]
+
+
+def test_not_bound_over_optional():
+    store = vertically_partition(TRIPLES)
+    rows = _all_engines_agree(
+        store,
+        f"SELECT ?s WHERE {{ ?s <{EX}p> ?o . "
+        f"OPTIONAL {{ ?s <{EX}q> ?x }} FILTER(!bound(?x)) }}",
+    )
+    assert rows == [
+        (f"<{EX}s2>",),
+        (f"<{EX}s3>",),
+        (f"<{EX}s4>",),
+        (f"<{EX}s5>",),
+    ]
+
+
+def test_negation_inside_union_branch_with_absent_variable():
+    # ?x is bound only in the second branch; in the first branch
+    # bound(?x) is plain false, so !bound(?x) keeps those rows.
+    store = vertically_partition(TRIPLES)
+    rows = _all_engines_agree(
+        store,
+        f"SELECT ?s WHERE {{ "
+        f"{{ ?s <{EX}p> ?o }} UNION {{ ?s <{EX}q> ?x }} "
+        f"FILTER(!bound(?x)) }}",
+    )
+    assert rows == [
+        (f"<{EX}s1>",),
+        (f"<{EX}s2>",),
+        (f"<{EX}s3>",),
+        (f"<{EX}s4>",),
+        (f"<{EX}s5>",),
+    ]

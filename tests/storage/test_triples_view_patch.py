@@ -1,0 +1,137 @@
+"""The ``__triples__`` union view is patched per batch, never rebuilt."""
+
+import numpy as np
+
+from repro.engines.emptyheaded import EmptyHeadedEngine
+from repro.engines.pairwise import ColumnStoreEngine
+from repro.storage.vertical import (
+    TRIPLES_RELATION,
+    build_triples_view,
+    triples_view_delta,
+    vertically_partition,
+)
+
+EX = "http://ex/"
+
+
+def _triples(n=24):
+    return [
+        (f"<{EX}s{i}>", f"<{EX}p{i % 3}>", f"<{EX}o{i % 5}>")
+        for i in range(n)
+    ]
+
+
+def _view_rows(view):
+    if view.num_rows == 0:
+        return []
+    return sorted(map(tuple, np.stack(view.columns, axis=1).tolist()))
+
+
+def test_store_view_is_patched_not_dropped():
+    store = vertically_partition(_triples())
+    store.triples_relation()  # build + cache
+    assert store._triples_view is not None
+
+    store.add_triples([(f"<{EX}new>", f"<{EX}p1>", f"<{EX}o9>")])
+    assert store._triples_view is not None, "view was dropped"
+    assert _view_rows(store.triples_relation()) == _view_rows(
+        build_triples_view(store.tables, store.predicate_key)
+    )
+
+    store.remove_triples(
+        [(f"<{EX}new>", f"<{EX}p1>", f"<{EX}o9>"), _triples()[0]]
+    )
+    assert store._triples_view is not None
+    assert _view_rows(store.triples_relation()) == _view_rows(
+        build_triples_view(store.tables, store.predicate_key)
+    )
+
+
+def test_unbuilt_view_stays_unbuilt():
+    store = vertically_partition(_triples())
+    assert store._triples_view is None
+    store.add_triples([(f"<{EX}new>", f"<{EX}p1>", f"<{EX}o9>")])
+    assert store._triples_view is None  # nobody asked for it yet
+
+
+def test_view_patch_handles_created_and_dropped_tables():
+    store = vertically_partition(_triples(6))
+    store.triples_relation()
+    # A brand-new predicate (created table).
+    store.add_triples([(f"<{EX}a>", f"<{EX}brandnew>", f"<{EX}b>")])
+    assert _view_rows(store.triples_relation()) == _view_rows(
+        build_triples_view(store.tables, store.predicate_key)
+    )
+    # Empty that predicate again (dropped table).
+    store.remove_triples([(f"<{EX}a>", f"<{EX}brandnew>", f"<{EX}b>")])
+    assert _view_rows(store.triples_relation()) == _view_rows(
+        build_triples_view(store.tables, store.predicate_key)
+    )
+
+
+def test_triples_view_delta_helper():
+    store = vertically_partition(_triples(6))
+    assert triples_view_delta({}, store.predicate_key) is None
+    batch = store.tables
+    delta = triples_view_delta(batch, store.predicate_key)
+    assert delta is not None
+    assert delta.attributes == ("subject", "predicate", "object")
+    assert delta.num_rows == sum(r.num_rows for r in batch.values())
+
+
+def _query_all(engine):
+    return sorted(
+        engine.decode(
+            engine.execute_sparql("SELECT ?s ?p ?o WHERE { ?s ?p ?o }")
+        )
+    )
+
+
+def test_engine_catalogs_keep_registered_view_across_updates():
+    store = vertically_partition(_triples())
+    engines = [EmptyHeadedEngine(store), ColumnStoreEngine(store)]
+    for engine in engines:
+        _query_all(engine)  # registers the view in the catalog
+        assert TRIPLES_RELATION in engine.catalog
+
+    store.add_triples([(f"<{EX}new>", f"<{EX}p0>", f"<{EX}o0>")])
+    for engine in engines:
+        rows = _query_all(engine)  # applies the delta incrementally
+        assert (f"<{EX}new>", f"<{EX}p0>", f"<{EX}o0>") in rows
+        assert TRIPLES_RELATION in engine.catalog, (
+            f"{engine.name}: view was dropped instead of patched"
+        )
+
+    store.remove_triples([_triples()[3]])
+    for engine in engines:
+        rows = _query_all(engine)
+        assert len(rows) == 24  # 24 + 1 - 1
+        assert TRIPLES_RELATION in engine.catalog
+
+
+def test_emptyheaded_view_tries_survive_updates():
+    store = vertically_partition(_triples())
+    engine = EmptyHeadedEngine(store)
+    # A selective variable-predicate query probes a trie over the view.
+    text = f"SELECT ?p ?o WHERE {{ <{EX}s1> ?p ?o }}"
+    before = sorted(engine.decode(engine.execute_sparql(text)))
+    trie_keys_before = {
+        key
+        for key in engine.catalog._trie_cache
+        if key[0] == TRIPLES_RELATION
+    }
+    assert trie_keys_before, "expected a cached trie over the view"
+
+    store.add_triples([(f"<{EX}s1>", f"<{EX}p2>", f"<{EX}fresh>")])
+    after = sorted(engine.decode(engine.execute_sparql(text)))
+    assert after != before
+    assert (f"<{EX}p2>", f"<{EX}fresh>") in {
+        (p, o) for p, o in after
+    }
+    # The spliced tries are still registered (no wholesale rebuild).
+    trie_keys_after = {
+        key
+        for key in engine.catalog._trie_cache
+        if key[0] == TRIPLES_RELATION
+    }
+    assert trie_keys_before <= trie_keys_after

@@ -34,3 +34,56 @@ def test_parse_error_position():
 def test_catchable_at_boundary():
     with pytest.raises(errors.ReproError):
         raise errors.PlanningError("nope")
+
+
+# ---------------------------------------------------------------------------
+# The stable error taxonomy (the network front-end's wire contract)
+# ---------------------------------------------------------------------------
+def test_every_error_carries_code_and_status():
+    for name in dir(errors):
+        obj = getattr(errors, name)
+        if isinstance(obj, type) and issubclass(obj, errors.ReproError):
+            assert isinstance(obj.code, str) and obj.code
+            assert isinstance(obj.http_status, int)
+
+
+def test_error_codes_table_matches_classes():
+    for code, (status, cls) in errors.ERROR_CODES.items():
+        assert cls.code == code
+        assert cls.http_status == status
+    # The 400-family requests clients can fix:
+    for code in ("parse_error", "translate_error", "parameter_error",
+                 "bind_error"):
+        assert errors.ERROR_CODES[code][0] == 400
+    assert errors.ERROR_CODES["unsupported_format"][0] == 406
+    assert errors.ERROR_CODES["timeout"][0] == 503
+    assert errors.ERROR_CODES["capacity"][0] == 503
+
+
+def test_translation_error_is_a_parse_error_with_its_own_code():
+    err = errors.TranslationError("unsupported construct")
+    assert isinstance(err, errors.ParseError)
+    assert err.code == "translate_error"
+    assert errors.ParseError("x").code == "parse_error"
+
+
+def test_parameter_error_catchable_under_both_historical_types():
+    err = errors.ParameterError("missing: prof")
+    assert isinstance(err, errors.ConfigError)
+    assert isinstance(err, errors.PlanningError)
+    assert err.code == "parameter_error"
+    assert err.http_status == 400
+
+
+def test_error_code_and_http_status_helpers():
+    assert errors.error_code(errors.ParseError("x")) == "parse_error"
+    assert errors.http_status(errors.ParseError("x")) == 400
+    assert errors.error_code(ValueError("x")) == "internal_error"
+    assert errors.http_status(ValueError("x")) == 500
+
+
+def test_session_errors_are_409():
+    for cls in (errors.SessionClosedError, errors.CursorClosedError,
+                errors.UnknownCursorError):
+        assert issubclass(cls, errors.SessionError)
+        assert cls.http_status == 409
