@@ -1,0 +1,82 @@
+"""Project-native static analysis for the serving-era codebase.
+
+The differential harness checks *behavior*; this package checks the
+*structural* invariants the concurrent serving tier rests on — the
+conventions PRs 3–5 established by hand and an AST pass can enforce for
+every future change.  Run it as ``python -m repro.analysis`` (see the
+README's "Static analysis" section for the CLI and baseline workflow).
+
+The invariant catalog
+=====================
+
+``lock-discipline``
+    Every attribute that is ever mutated while holding one of a class's
+    ``threading.Lock``/``RLock`` attributes is *lock-guarded*: mutating
+    it anywhere else (outside ``__init__``/``__post_init__`` and
+    helpers reachable only from them) is a data race waiting for a
+    scheduler to expose it.  Additionally, nested acquisitions across
+    ``service/``, ``engines/`` and ``storage/`` must form an acyclic
+    lock-order graph; today's order is
+    ``Engine._cache_lock -> VerticallyPartitionedStore._write_lock ->
+    EmptyHeadedEngine._plan_lock -> Catalog._lock``, and any edge that
+    closes a cycle is a potential deadlock.
+
+``epoch-safety``
+    Engine state bundles (``_state``/``_structures``) and the store's
+    ``tables`` are immutable snapshots swapped under ``data_version``.
+    A generator that reads that state after a ``yield`` must re-check
+    ``data_version`` (it may resume in a later epoch); a new ``Engine``
+    subclass must expose the incremental ``apply_delta`` /
+    ``decode_rows`` protocol surface; and ``apply_delta`` must not
+    serve *statistics* (``predicate_stats``, ``distinct_subjects``,
+    ``distinct_objects``) read through structures it carries across
+    epochs unchanged — estimates must be refreshed per batch.
+
+``error-taxonomy``
+    Every ``raise`` on a ``service/``/``sparql/`` path is a
+    :class:`repro.errors.ReproError` subclass whose ``code`` is
+    registered in ``ERROR_CODES`` — the HTTP front-end's wire contract
+    maps anything else to an opaque ``internal_error``/500.
+
+``numpy-hygiene``
+    In ``storage/``, ``sets/`` and ``nputil.py``, no dtype-less
+    ``np.stack``/``np.frombuffer`` and no string dtype without an
+    explicit ``<``/``>``/``=`` byte-order prefix: packed ``uint64``
+    keys and bitset words must have one platform-independent layout
+    (the PR 4 big-endian row-packing bug class).
+
+Suppressions and baseline
+=========================
+
+``# repro: allow[<checker-id>]`` on the flagged line or the line above
+suppresses one finding (use for deliberate, commented exceptions).
+``ANALYSIS_BASELINE.json`` at the repo root grandfathers findings by
+``(checker, file, symbol, message)``; the CLI exits non-zero only on
+findings not in the baseline, so CI gates new violations without
+blocking on history.
+
+The runtime sanitizer (:mod:`repro.analysis.runtime`) complements the
+static lock-order graph: the test suite swaps ``threading.Lock``/
+``RLock`` for :class:`~repro.analysis.runtime.OrderedLock`, which
+records acquisition stacks and flags any order inversion the tests
+actually execute.
+"""
+
+from repro.analysis.core import (
+    Checker,
+    Finding,
+    Project,
+    all_checkers,
+    run_analysis,
+)
+from repro.analysis.runtime import LockOrderViolation, OrderedLock
+
+__all__ = [
+    "Checker",
+    "Finding",
+    "LockOrderViolation",
+    "OrderedLock",
+    "Project",
+    "all_checkers",
+    "run_analysis",
+]

@@ -1,0 +1,138 @@
+"""CLI: ``python -m repro.analysis [--check NAME] [--format ...] [paths]``.
+
+Exit status is 0 when every finding is suppressed or baselined, 1 when
+new findings exist, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.core import (
+    all_checkers,
+    baseline_entry,
+    load_baseline,
+    run_analysis,
+    split_by_baseline,
+)
+
+DEFAULT_BASELINE = "ANALYSIS_BASELINE.json"
+
+
+def _default_paths() -> list[Path]:
+    """``src/`` next to the repo root, else the installed package."""
+    for candidate in (Path("src"), Path(__file__).resolve().parents[2]):
+        if candidate.is_dir():
+            return [candidate]
+    return [Path(".")]  # pragma: no cover - parents[2] always exists
+
+
+def _default_root(paths: list[Path]) -> Path:
+    """Repo root guess: makes finding paths stable for the baseline."""
+    first = paths[0].resolve()
+    if first.name == "src":
+        return first.parent
+    return Path.cwd()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Run the project's static-analysis checkers.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to analyze (default: src/)",
+    )
+    parser.add_argument(
+        "--check",
+        action="append",
+        dest="checks",
+        metavar="NAME",
+        help="run only this checker (repeatable)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help=f"baseline file (default: {DEFAULT_BASELINE} if present)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="also write the JSON report to FILE",
+    )
+    args = parser.parse_args(argv)
+
+    known = {checker.id: checker for checker in all_checkers()}
+    if args.checks:
+        missing = [name for name in args.checks if name not in known]
+        if missing:
+            parser.error(
+                f"unknown checker(s) {missing}; known: {sorted(known)}"
+            )
+        checkers = [known[name] for name in args.checks]
+    else:
+        checkers = list(known.values())
+
+    paths = args.paths or _default_paths()
+    root = _default_root(paths)
+    findings, suppressed = run_analysis(paths, checkers=checkers, root=root)
+
+    baseline_path = args.baseline or (root / DEFAULT_BASELINE)
+    if args.write_baseline:
+        entries = [baseline_entry(f) for f in findings]
+        baseline_path.write_text(
+            json.dumps(entries, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"wrote {len(entries)} baseline entries to {baseline_path}")
+        return 0
+
+    entries = load_baseline(baseline_path)
+    new, grandfathered = split_by_baseline(findings, entries)
+
+    report = {
+        "checkers": sorted(checker.id for checker in checkers),
+        "new": [f.__dict__ for f in new],
+        "baselined": [f.__dict__ for f in grandfathered],
+        "suppressed": suppressed,
+    }
+    if args.out is not None:
+        args.out.write_text(
+            json.dumps(report, indent=2) + "\n", encoding="utf-8"
+        )
+
+    if args.format == "json":
+        print(json.dumps(report, indent=2))
+    else:
+        for finding in new:
+            print(finding.render())
+        print(
+            f"{len(new)} new finding(s), {len(grandfathered)} baselined, "
+            f"{suppressed} suppressed "
+            f"({', '.join(sorted(checker.id for checker in checkers))})"
+        )
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,331 @@
+"""Framework plumbing for the project-native static analysis pass.
+
+The model is deliberately small: a *checker* is an object with an ``id``
+and a ``run(project)`` method yielding :class:`Finding` records; a
+*project* is the parsed form of every ``.py`` file under the analyzed
+paths (source text, line table, and ``ast`` tree), plus a pre-built
+index of every class definition so cross-module checkers (lock-order,
+``Engine`` subclass closure) can resolve base classes by name.
+
+Suppression and baselining both operate on findings, not on checkers:
+
+* ``# repro: allow[<checker-id>]`` on the flagged line (or the line
+  directly above it) suppresses that one finding.  ``allow[*]``
+  suppresses every checker for the line.
+* A checked-in JSON baseline grandfathers known findings.  Baseline
+  entries match on ``(checker, file, symbol, message)`` — *not* on line
+  number, so unrelated edits that shift code around do not resurrect a
+  baselined finding.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([^\]]*)\]")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    checker: str
+    path: str  # repo-relative, forward slashes
+    line: int
+    symbol: str  # dotted context, e.g. "Engine.check_data_version"
+    message: str
+
+    def fingerprint(self) -> tuple[str, str, str, str]:
+        """Identity for baseline matching (line-number free)."""
+        return (self.checker, self.path, self.symbol, self.message)
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}: [{self.checker}] "
+            f"{self.message} ({self.symbol})"
+        )
+
+
+@dataclass
+class ModuleSource:
+    """One parsed source file."""
+
+    path: Path
+    relpath: str
+    text: str
+    lines: list[str]
+    tree: ast.Module
+
+
+@dataclass
+class ClassInfo:
+    """A class definition plus where it lives."""
+
+    module: ModuleSource
+    node: ast.ClassDef
+    base_names: tuple[str, ...]
+
+
+@dataclass
+class Project:
+    """Every analyzed module plus a cross-module class index."""
+
+    modules: list[ModuleSource]
+    classes: dict[str, list[ClassInfo]] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, paths: Sequence[Path], *, root: Path | None = None) -> "Project":
+        modules: list[ModuleSource] = []
+        for path in iter_source_files(paths):
+            try:
+                text = path.read_text(encoding="utf-8")
+                tree = ast.parse(text, filename=str(path))
+            except (SyntaxError, UnicodeDecodeError, OSError):
+                continue  # non-parsable files are out of scope, not errors
+            rel = _relative(path, root)
+            modules.append(
+                ModuleSource(
+                    path=path,
+                    relpath=rel,
+                    text=text,
+                    lines=text.splitlines(),
+                    tree=tree,
+                )
+            )
+        project = cls(modules=modules)
+        for module in modules:
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.ClassDef):
+                    bases = tuple(
+                        base_name
+                        for base in node.bases
+                        if (base_name := _name_of(base)) is not None
+                    )
+                    project.classes.setdefault(node.name, []).append(
+                        ClassInfo(module=module, node=node, base_names=bases)
+                    )
+        return project
+
+    def subclass_closure(self, root_name: str) -> list[ClassInfo]:
+        """Every class transitively inheriting from ``root_name``
+        (resolved by simple name), excluding the root itself."""
+        out: list[ClassInfo] = []
+        names = {root_name}
+        changed = True
+        seen: set[int] = set()
+        while changed:
+            changed = False
+            for infos in self.classes.values():
+                for info in infos:
+                    if id(info.node) in seen:
+                        continue
+                    if any(base in names for base in info.base_names):
+                        seen.add(id(info.node))
+                        out.append(info)
+                        if info.node.name not in names:
+                            names.add(info.node.name)
+                        changed = True
+        return out
+
+    def ancestors(self, info: ClassInfo) -> list[ClassInfo]:
+        """Project-local ancestor classes of ``info`` (nearest first)."""
+        out: list[ClassInfo] = []
+        queue = list(info.base_names)
+        seen: set[str] = set()
+        while queue:
+            name = queue.pop(0)
+            if name in seen:
+                continue
+            seen.add(name)
+            for ancestor in self.classes.get(name, ()):
+                out.append(ancestor)
+                queue.extend(ancestor.base_names)
+        return out
+
+
+def _relative(path: Path, root: Path | None) -> str:
+    if root is not None:
+        try:
+            return path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            pass
+    return path.as_posix()
+
+
+def _name_of(node: ast.expr) -> str | None:
+    """The trailing simple name of a Name/Attribute expression."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def iter_source_files(paths: Iterable[Path]) -> Iterator[Path]:
+    seen: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            candidates = [path]
+        else:
+            continue
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+def attr_chain(node: ast.expr) -> list[str] | None:
+    """``self.store._write_lock`` -> ["self", "store", "_write_lock"]."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return None
+
+
+# ----------------------------------------------------------------------
+# Checker registry
+# ----------------------------------------------------------------------
+class Checker:
+    """Base class: subclasses set ``id`` and implement :meth:`run`."""
+
+    id: str = ""
+    description: str = ""
+
+    def run(self, project: Project) -> Iterator[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+    def scoped_modules(self, project: Project) -> list[ModuleSource]:
+        """Modules this checker applies to (override ``in_scope``)."""
+        return [m for m in project.modules if self.in_scope(m.relpath)]
+
+    def in_scope(self, relpath: str) -> bool:
+        return True
+
+
+def all_checkers() -> list[Checker]:
+    """The registered project checkers, in stable order."""
+    from repro.analysis.epoch_safety import EpochSafetyChecker
+    from repro.analysis.error_taxonomy import ErrorTaxonomyChecker
+    from repro.analysis.lock_discipline import LockDisciplineChecker
+    from repro.analysis.numpy_hygiene import NumpyHygieneChecker
+
+    return [
+        LockDisciplineChecker(),
+        EpochSafetyChecker(),
+        ErrorTaxonomyChecker(),
+        NumpyHygieneChecker(),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Suppressions
+# ----------------------------------------------------------------------
+def suppressed(finding: Finding, module: ModuleSource) -> bool:
+    """True when the flagged line (or the line above) carries a
+    ``# repro: allow[<id>]`` comment naming this checker (or ``*``)."""
+    for lineno in (finding.line, finding.line - 1):
+        if 1 <= lineno <= len(module.lines):
+            match = _ALLOW_RE.search(module.lines[lineno - 1])
+            if match is None:
+                continue
+            ids = {part.strip() for part in match.group(1).split(",")}
+            if "*" in ids or finding.checker in ids:
+                return True
+    return False
+
+
+def apply_suppressions(
+    findings: Iterable[Finding], project: Project
+) -> tuple[list[Finding], int]:
+    """Partition findings into (kept, suppressed-count)."""
+    by_path = {m.relpath: m for m in project.modules}
+    kept: list[Finding] = []
+    hidden = 0
+    for finding in findings:
+        module = by_path.get(finding.path)
+        if module is not None and suppressed(finding, module):
+            hidden += 1
+        else:
+            kept.append(finding)
+    return kept, hidden
+
+
+# ----------------------------------------------------------------------
+# Baseline
+# ----------------------------------------------------------------------
+def load_baseline(path: Path) -> list[dict]:
+    if not path.exists():
+        return []
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if isinstance(data, dict):
+        data = data.get("findings", [])
+    return [entry for entry in data if isinstance(entry, dict)]
+
+
+def baseline_fingerprints(entries: Iterable[dict]) -> set[tuple]:
+    return {
+        (
+            entry.get("checker", ""),
+            entry.get("file", ""),
+            entry.get("symbol", ""),
+            entry.get("message", ""),
+        )
+        for entry in entries
+    }
+
+
+def split_by_baseline(
+    findings: Iterable[Finding], entries: Iterable[dict]
+) -> tuple[list[Finding], list[Finding]]:
+    """(new, grandfathered) relative to the baseline entries."""
+    known = baseline_fingerprints(entries)
+    new: list[Finding] = []
+    old: list[Finding] = []
+    for finding in findings:
+        (old if finding.fingerprint() in known else new).append(finding)
+    return new, old
+
+
+def baseline_entry(finding: Finding, justification: str = "TODO") -> dict:
+    entry = asdict(finding)
+    entry["file"] = entry.pop("path")
+    del entry["line"]
+    entry["justification"] = justification
+    return entry
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+def run_analysis(
+    paths: Sequence[Path],
+    *,
+    checkers: Sequence[Checker] | None = None,
+    root: Path | None = None,
+) -> tuple[list[Finding], int]:
+    """Run checkers over ``paths``; returns (findings, suppressed_count).
+
+    Findings are sorted by (path, line, checker) and have suppression
+    comments already applied.
+    """
+    project = Project.load(paths, root=root)
+    selected = list(checkers) if checkers is not None else all_checkers()
+    raw: list[Finding] = []
+    for checker in selected:
+        raw.extend(checker.run(project))
+    kept, hidden = apply_suppressions(raw, project)
+    kept.sort(key=lambda f: (f.path, f.line, f.checker, f.message))
+    return kept, hidden

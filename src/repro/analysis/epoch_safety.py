@@ -1,0 +1,301 @@
+"""Epoch-safety checks for the delta-maintained engine/store state.
+
+Engines snapshot an immutable state bundle (``self._state`` /
+``self._structures``) once per operation and the store swaps epochs
+under ``data_version``.  Three rules police the conventions that keep
+that sound:
+
+* ``yield-recheck`` — a generator method that reads epoch state
+  (``tables``, ``_state``, ``_structures``, ``_segments``, catalog)
+  after a ``yield`` resumes in a *later* epoch than the one it
+  suspended in; it must re-check ``data_version`` (or call
+  ``check_data_version``) before touching that state again.
+* ``protocol-surface`` — an ``Engine`` subclass that implements the
+  wholesale-rebuild hook ``_on_data_update`` without the incremental
+  ``apply_delta``, or overrides ``decode`` without ``decode_rows``,
+  silently opts out of the delta-maintenance / streaming-decode
+  surface every serving path assumes.
+* ``stale-stats`` — inside a class whose ``apply_delta`` carries a
+  field of the old state bundle into the new one unchanged (e.g.
+  ``_State(state.triples, ...)``), reading *statistics* attributes
+  (``predicate_stats`` / ``distinct_subjects`` / ``distinct_objects``)
+  through that carried field serves estimates frozen at the last
+  rebuild; statistics must be refreshed per batch or read from a
+  per-epoch field.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.core import (
+    Checker,
+    ClassInfo,
+    Finding,
+    ModuleSource,
+    Project,
+    attr_chain,
+)
+
+EPOCH_ATTRS = {
+    "tables",
+    "table_names",
+    "_state",
+    "_structures",
+    "_segments",
+    "catalog",
+}
+RECHECK_NAMES = {"check_data_version", "data_version", "_data_version"}
+STAT_ATTRS = {"predicate_stats", "distinct_subjects", "distinct_objects"}
+STATE_CONTAINERS = {"_state", "_structures"}
+
+
+def _function_nodes(func: ast.FunctionDef) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested defs."""
+    stack: list[ast.AST] = list(func.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class EpochSafetyChecker(Checker):
+    id = "epoch-safety"
+    description = (
+        "epoch state read across yields without a data_version re-check; "
+        "Engine protocol surface; statistics carried across epochs"
+    )
+
+    def in_scope(self, relpath: str) -> bool:
+        return (
+            "/engines/" in relpath
+            or "/storage/" in relpath
+            or relpath.startswith(("engines/", "storage/"))
+        )
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        modules = self.scoped_modules(project)
+        scoped = {id(m) for m in modules}
+        for module in modules:
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.ClassDef):
+                    yield from self._yield_recheck(module, node)
+                    yield from self._stale_stats(module, node)
+        for info in project.subclass_closure("Engine"):
+            if id(info.module) in scoped:
+                yield from self._protocol_surface(project, info)
+
+    # ------------------------------------------------------------------
+    # Rule 1: yield-recheck
+    # ------------------------------------------------------------------
+    def _yield_recheck(
+        self, module: ModuleSource, cls: ast.ClassDef
+    ) -> Iterator[Finding]:
+        for stmt in cls.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            yields: list[int] = []
+            rechecks: list[int] = []
+            reads: list[tuple[int, str]] = []
+            for node in _function_nodes(stmt):
+                if isinstance(node, (ast.Yield, ast.YieldFrom)):
+                    yields.append(node.lineno)
+                elif isinstance(node, ast.Attribute):
+                    chain = attr_chain(node)
+                    if chain is None or chain[0] != "self":
+                        continue
+                    if node.attr in RECHECK_NAMES:
+                        rechecks.append(node.lineno)
+                    elif node.attr in EPOCH_ATTRS:
+                        reads.append((node.lineno, ".".join(chain)))
+            if not yields:
+                continue
+            yields.sort()
+            rechecks.sort()
+            flagged: set[str] = set()
+            for lineno, expr in sorted(reads):
+                prior = [y for y in yields if y < lineno]
+                if not prior:
+                    continue
+                last_yield = prior[-1]
+                if any(last_yield < r <= lineno for r in rechecks):
+                    continue
+                if expr in flagged:
+                    continue
+                flagged.add(expr)
+                yield Finding(
+                    checker=self.id,
+                    path=module.relpath,
+                    line=lineno,
+                    symbol=f"{cls.name}.{stmt.name}",
+                    message=(
+                        f"'{expr}' is read after a yield without "
+                        f"re-checking data_version; the generator may "
+                        f"resume in a later epoch"
+                    ),
+                )
+
+    # ------------------------------------------------------------------
+    # Rule 2: protocol-surface
+    # ------------------------------------------------------------------
+    def _protocol_surface(
+        self, project: Project, info: ClassInfo
+    ) -> Iterator[Finding]:
+        defined: set[str] = {
+            stmt.name
+            for stmt in info.node.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        inherited: set[str] = set()
+        for ancestor in project.ancestors(info):
+            if ancestor.node.name == "Engine":
+                continue  # the root's defaults are the decline/shim paths
+            for stmt in ancestor.node.body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    inherited.add(stmt.name)
+        surface = defined | inherited
+        if "_on_data_update" in defined and "apply_delta" not in surface:
+            yield Finding(
+                checker=self.id,
+                path=info.module.relpath,
+                line=info.node.lineno,
+                symbol=info.node.name,
+                message=(
+                    "engine defines the wholesale-rebuild hook "
+                    "'_on_data_update' but not the incremental "
+                    "'apply_delta'; every update forces a full rebuild"
+                ),
+            )
+        if "decode" in defined and "decode_rows" not in surface:
+            yield Finding(
+                checker=self.id,
+                path=info.module.relpath,
+                line=info.node.lineno,
+                symbol=info.node.name,
+                message=(
+                    "engine overrides 'decode' without 'decode_rows'; "
+                    "the streaming cursor path decodes pages via "
+                    "decode_rows"
+                ),
+            )
+
+    # ------------------------------------------------------------------
+    # Rule 3: stale-stats
+    # ------------------------------------------------------------------
+    def _stale_stats(
+        self, module: ModuleSource, cls: ast.ClassDef
+    ) -> Iterator[Finding]:
+        apply_delta = next(
+            (
+                stmt
+                for stmt in cls.body
+                if isinstance(stmt, ast.FunctionDef)
+                and stmt.name == "apply_delta"
+            ),
+            None,
+        )
+        if apply_delta is None:
+            return
+        carried = self._carried_attrs(apply_delta)
+        if not carried:
+            return
+        for stmt in cls.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            aliases = self._state_aliases(stmt)
+            tainted: set[str] = set()
+            for node in _function_nodes(stmt):
+                if isinstance(node, ast.Assign):
+                    if self._touches_carried(node.value, carried, aliases):
+                        for target in node.targets:
+                            if isinstance(target, ast.Name):
+                                tainted.add(target.id)
+            for node in _function_nodes(stmt):
+                if not isinstance(node, ast.Attribute):
+                    continue
+                if node.attr not in STAT_ATTRS:
+                    continue
+                base = node.value
+                hit = self._touches_carried(base, carried, aliases) or (
+                    isinstance(base, ast.Name) and base.id in tainted
+                )
+                if hit:
+                    yield Finding(
+                        checker=self.id,
+                        path=module.relpath,
+                        line=node.lineno,
+                        symbol=f"{cls.name}.{stmt.name}",
+                        message=(
+                            f"statistics attribute '{node.attr}' is read "
+                            f"through a structure apply_delta carries "
+                            f"across epochs unchanged; refresh it per "
+                            f"batch or store per-epoch statistics"
+                        ),
+                    )
+
+    @staticmethod
+    def _state_aliases(func: ast.FunctionDef) -> set[str]:
+        """Names bound to the state bundle inside ``func``."""
+        aliases = {
+            arg.arg
+            for arg in (
+                list(func.args.posonlyargs)
+                + list(func.args.args)
+                + list(func.args.kwonlyargs)
+            )
+            if arg.arg == "state"
+            or (
+                isinstance(arg.annotation, ast.Name)
+                and "State" in arg.annotation.id
+            )
+        }
+        for node in _function_nodes(func):
+            if isinstance(node, ast.Assign):
+                chain = attr_chain(node.value)
+                if (
+                    chain
+                    and chain[0] == "self"
+                    and len(chain) == 2
+                    and chain[1] in STATE_CONTAINERS
+                ):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            aliases.add(target.id)
+        return aliases
+
+    @staticmethod
+    def _touches_carried(
+        expr: ast.expr, carried: set[str], aliases: set[str]
+    ) -> bool:
+        """Does ``expr`` dereference a carried field of a state alias?"""
+        for node in ast.walk(expr):
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr in carried
+                and isinstance(node.value, ast.Name)
+                and node.value.id in aliases
+            ):
+                return True
+        return False
+
+    def _carried_attrs(self, apply_delta: ast.FunctionDef) -> set[str]:
+        """State-bundle fields passed verbatim into a new bundle."""
+        aliases = self._state_aliases(apply_delta)
+        carried: set[str] = set()
+        for node in _function_nodes(apply_delta):
+            if not isinstance(node, ast.Call):
+                continue
+            args: list[ast.expr] = list(node.args) + [
+                kw.value for kw in node.keywords
+            ]
+            for arg in args:
+                if (
+                    isinstance(arg, ast.Attribute)
+                    and isinstance(arg.value, ast.Name)
+                    and arg.value.id in aliases
+                ):
+                    carried.add(arg.attr)
+        return carried

@@ -1,0 +1,239 @@
+"""Error-taxonomy conformance for the serving surface.
+
+Every ``raise`` in ``service/`` and ``sparql/`` must raise a
+:class:`repro.errors.ReproError` subclass whose effective ``code`` is
+registered in ``ERROR_CODES`` — the serving layer maps anything else to
+an opaque ``internal_error`` / HTTP 500, which breaks the wire contract
+PR 5 established.  Allowed: bare re-raises, re-raising a caught
+exception alias, and classes locally derived from a taxonomy class.
+
+The taxonomy is resolved *statically* from ``repro/errors.py`` (the
+scanned copy when the analyzed tree contains one, else the installed
+module's source): per-class effective ``code`` via the class hierarchy,
+and the registered set from the literal class tuple inside the
+``ERROR_CODES`` comprehension.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from pathlib import Path
+
+from repro.analysis.core import Checker, Finding, ModuleSource, Project
+
+
+def _load_taxonomy_tree(project: Project) -> ast.Module | None:
+    for module in project.modules:
+        if module.relpath.endswith("errors.py") and "ERROR_CODES" in module.text:
+            return module.tree
+    try:  # fall back to the installed taxonomy module's source
+        import repro.errors as errors_module
+
+        source = Path(errors_module.__file__).read_text(encoding="utf-8")
+        return ast.parse(source)
+    except (ImportError, OSError, SyntaxError):  # pragma: no cover
+        return None
+
+
+class _Taxonomy:
+    """Class-name -> effective code, plus the registered code set."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.bases: dict[str, list[str]] = {}
+        self.own_code: dict[str, str | None] = {}
+        registered_names: list[str] = []
+        for node in tree.body:
+            if isinstance(node, ast.ClassDef):
+                self.bases[node.name] = [
+                    base.id for base in node.bases if isinstance(base, ast.Name)
+                ]
+                self.own_code[node.name] = self._literal_code(node)
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                if any(
+                    isinstance(t, ast.Name) and t.id == "ERROR_CODES"
+                    for t in targets
+                ):
+                    registered_names = self._registered(node.value)
+        self.class_names = {
+            name for name in self.bases if self._derives_from_repro(name)
+        }
+        self.registered_codes = {
+            code
+            for name in registered_names
+            if (code := self.effective_code(name)) is not None
+        }
+
+    @staticmethod
+    def _literal_code(node: ast.ClassDef) -> str | None:
+        for stmt in node.body:
+            if isinstance(stmt, ast.Assign):
+                targets = stmt.targets
+                value = stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets = [stmt.target]
+                value = stmt.value
+            else:
+                continue
+            if any(
+                isinstance(t, ast.Name) and t.id == "code" for t in targets
+            ) and isinstance(value, ast.Constant) and isinstance(
+                value.value, str
+            ):
+                return value.value
+        return None
+
+    @staticmethod
+    def _registered(value: ast.expr | None) -> list[str]:
+        if not isinstance(value, ast.DictComp):
+            return []
+        names: list[str] = []
+        for generator in value.generators:
+            if isinstance(generator.iter, (ast.Tuple, ast.List)):
+                names.extend(
+                    el.id
+                    for el in generator.iter.elts
+                    if isinstance(el, ast.Name)
+                )
+        return names
+
+    def _derives_from_repro(self, name: str) -> bool:
+        queue, seen = [name], set()
+        while queue:
+            current = queue.pop()
+            if current == "ReproError":
+                return True
+            if current in seen:
+                continue
+            seen.add(current)
+            queue.extend(self.bases.get(current, ()))
+        return False
+
+    def effective_code(self, name: str) -> str | None:
+        queue, seen = [name], set()
+        while queue:
+            current = queue.pop(0)  # BFS: nearest definition wins
+            if current in seen:
+                continue
+            seen.add(current)
+            code = self.own_code.get(current)
+            if code is not None:
+                return code
+            queue.extend(self.bases.get(current, ()))
+        return "internal_error" if name in self.class_names else None
+
+
+class ErrorTaxonomyChecker(Checker):
+    id = "error-taxonomy"
+    description = (
+        "raises on serving paths must be registered ReproError subclasses"
+    )
+
+    def in_scope(self, relpath: str) -> bool:
+        return (
+            "/service/" in relpath
+            or "/sparql/" in relpath
+            or relpath.startswith(("service/", "sparql/"))
+        )
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        tree = _load_taxonomy_tree(project)
+        if tree is None:  # pragma: no cover - repro.errors always importable
+            return
+        taxonomy = _Taxonomy(tree)
+        for module in self.scoped_modules(project):
+            yield from self._check_module(module, taxonomy)
+
+    def _check_module(
+        self, module: ModuleSource, taxonomy: _Taxonomy
+    ) -> Iterator[Finding]:
+        # Locally defined subclasses of taxonomy classes conform too.
+        local_classes = set(taxonomy.class_names)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef) and any(
+                isinstance(base, ast.Name) and base.id in local_classes
+                for base in node.bases
+            ):
+                local_classes.add(node.name)
+                taxonomy.bases.setdefault(node.name, []).extend(
+                    base.id
+                    for base in node.bases
+                    if isinstance(base, ast.Name)
+                )
+                code = taxonomy._literal_code(node)
+                if code is not None:
+                    taxonomy.own_code[node.name] = code
+
+        context: list[str] = []
+
+        def visit(node: ast.AST, handler_aliases: frozenset[str]) -> Iterator[Finding]:
+            for child in ast.iter_child_nodes(node):
+                aliases = handler_aliases
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                    context.append(child.name)
+                    yield from visit(child, frozenset())
+                    context.pop()
+                    continue
+                if isinstance(child, ast.ExceptHandler) and child.name:
+                    aliases = aliases | {child.name}
+                if isinstance(child, ast.Raise):
+                    yield from self._check_raise(
+                        module, child, taxonomy, local_classes, aliases, context
+                    )
+                yield from visit(child, aliases)
+
+        yield from visit(module.tree, frozenset())
+
+    def _check_raise(
+        self,
+        module: ModuleSource,
+        node: ast.Raise,
+        taxonomy: _Taxonomy,
+        local_classes: set[str],
+        handler_aliases: frozenset[str],
+        context: list[str],
+    ) -> Iterator[Finding]:
+        symbol = ".".join(context) if context else "<module>"
+        exc = node.exc
+        if exc is None:
+            return  # bare re-raise
+        if isinstance(exc, ast.Name) and exc.id in handler_aliases:
+            return  # re-raising a caught exception
+        target = exc.func if isinstance(exc, ast.Call) else exc
+        if isinstance(target, ast.Name):
+            name = target.id
+        elif isinstance(target, ast.Attribute):
+            name = target.attr
+        else:
+            name = None
+        if name is None or name not in local_classes:
+            shown = name or ast.unparse(exc)
+            yield Finding(
+                checker=self.id,
+                path=module.relpath,
+                line=node.lineno,
+                symbol=symbol,
+                message=(
+                    f"raises '{shown}', which is not a ReproError "
+                    f"subclass; serving paths map it to an opaque "
+                    f"internal_error/500"
+                ),
+            )
+            return
+        code = taxonomy.effective_code(name)
+        if code not in taxonomy.registered_codes:
+            yield Finding(
+                checker=self.id,
+                path=module.relpath,
+                line=node.lineno,
+                symbol=symbol,
+                message=(
+                    f"raises '{name}' whose code {code!r} is not "
+                    f"registered in ERROR_CODES"
+                ),
+            )

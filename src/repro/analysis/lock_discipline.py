@@ -1,0 +1,477 @@
+"""Lock-set and lock-order analysis (the Eraser recipe, statically).
+
+Two rules, both driven by the same per-class walk:
+
+* **Guarded-attribute consistency.**  For every class that owns a
+  ``threading.Lock()``/``RLock()`` attribute, infer which ``self``
+  attributes are mutated while holding which locks.  An attribute that
+  is mutated under a lock somewhere and without any lock elsewhere is
+  flagged at the unlocked site.  ``__init__``/``__post_init__`` (and
+  helpers reachable *only* from them) are excluded — objects under
+  construction are thread-confined.
+* **Lock-order cycles.**  Every nested acquisition contributes an edge
+  ``outer -> inner`` to a global lock-order graph; a cycle in that graph
+  is a potential deadlock and every edge on it is flagged.
+
+Helper methods are handled by propagating lock context through the
+intra-class call graph to a fixpoint: a private helper whose every
+non-``__init__`` call site holds lock L is analyzed as if L were held on
+entry (``VerticallyPartitionedStore._commit_update`` is the canonical
+case).  Base-class methods are analyzed once per concrete subclass with
+``self.method()`` dispatching to the subclass override, so
+``Engine.check_data_version`` -> ``apply_delta`` lock chains are seen.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from repro.analysis.core import (
+    Checker,
+    ClassInfo,
+    Finding,
+    ModuleSource,
+    Project,
+    attr_chain,
+)
+
+INIT_NAMES = {"__init__", "__post_init__"}
+
+# Method names on a container attribute that mutate it in place.
+MUTATORS = {
+    "append",
+    "appendleft",
+    "add",
+    "clear",
+    "discard",
+    "extend",
+    "insert",
+    "move_to_end",
+    "pop",
+    "popitem",
+    "popleft",
+    "remove",
+    "setdefault",
+    "sort",
+    "update",
+}
+
+
+def _is_threading_lock_call(node: ast.expr) -> bool:
+    """``threading.Lock()`` / ``threading.RLock()`` / ``Lock()``."""
+    if not isinstance(node, ast.Call):
+        return False
+    name = node.func.attr if isinstance(node.func, ast.Attribute) else (
+        node.func.id if isinstance(node.func, ast.Name) else None
+    )
+    return name in {"Lock", "RLock"}
+
+
+def _is_lock_factory(node: ast.expr) -> bool:
+    """A ``field(default_factory=...)`` producing a lock (dataclasses)."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    name = func.attr if isinstance(func, ast.Attribute) else (
+        func.id if isinstance(func, ast.Name) else None
+    )
+    if name != "field":
+        return False
+    for kw in node.keywords:
+        if kw.arg != "default_factory":
+            continue
+        value = kw.value
+        if isinstance(value, ast.Lambda):
+            return _is_threading_lock_call(value.body)
+        if isinstance(value, ast.Attribute) and value.attr in {"Lock", "RLock"}:
+            return True
+        if isinstance(value, ast.Name) and value.id in {"Lock", "RLock"}:
+            return True
+    return False
+
+
+def _class_lock_attrs(node: ast.ClassDef) -> set[str]:
+    """Attribute names this class initializes to a threading lock."""
+    locks: set[str] = set()
+    for stmt in node.body:  # dataclass fields / class attrs
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            if stmt.value is not None and (
+                _is_threading_lock_call(stmt.value) or _is_lock_factory(stmt.value)
+            ):
+                locks.add(stmt.target.id)
+        elif isinstance(stmt, ast.Assign) and stmt.value is not None:
+            if _is_threading_lock_call(stmt.value) or _is_lock_factory(stmt.value):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        locks.add(target.id)
+    for sub in ast.walk(node):  # self.X = threading.Lock() in any method
+        if isinstance(sub, ast.Assign) and _is_threading_lock_call(sub.value):
+            for target in sub.targets:
+                chain = attr_chain(target)
+                if chain and len(chain) == 2 and chain[0] == "self":
+                    locks.add(chain[1])
+    return locks
+
+
+@dataclass
+class _MutationSite:
+    attr: str
+    method: str
+    locks: frozenset[str]
+    lineno: int
+    module: ModuleSource
+
+
+@dataclass
+class _CallSite:
+    caller: str
+    callee: str
+    locks: frozenset[str]
+
+
+@dataclass
+class _MethodWalk:
+    """Per-method facts from one lexical walk."""
+
+    mutations: list[tuple[str, frozenset[str], int]] = field(default_factory=list)
+    calls: list[tuple[str, frozenset[str]]] = field(default_factory=list)
+    acquisitions: list[tuple[frozenset[str], str, int]] = field(default_factory=list)
+
+
+class _FamilyAnalysis:
+    """Analysis of one class plus its project-local ancestors."""
+
+    def __init__(
+        self,
+        project: Project,
+        info: ClassInfo,
+        lock_owners: dict[str, set[str]],
+    ) -> None:
+        self.project = project
+        self.info = info
+        self.lock_owners = lock_owners
+        self.lineage = [info] + project.ancestors(info)
+        self.lock_attrs: set[str] = set()
+        for member in self.lineage:
+            self.lock_attrs |= _class_lock_attrs(member.node)
+        # Effective method map: nearest definition wins.
+        self.methods: dict[str, tuple[ast.FunctionDef, ModuleSource]] = {}
+        for member in reversed(self.lineage):
+            for stmt in member.node.body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    self.methods[stmt.name] = (stmt, member.module)
+
+    # -- lock naming ---------------------------------------------------
+    def _canonical(self, attr: str, self_access: bool) -> str:
+        owners = self.lock_owners.get(attr, set())
+        if len(owners) == 1:
+            return f"{next(iter(owners))}.{attr}"
+        if self_access:
+            for member in self.lineage:
+                if attr in _class_lock_attrs(member.node):
+                    return f"{member.node.name}.{attr}"
+            return f"{self.info.node.name}.{attr}"
+        return f"?.{attr}"
+
+    def _resolve_lock(self, expr: ast.expr) -> str | None:
+        chain = attr_chain(expr)
+        if not chain or len(chain) < 2:
+            return None
+        attr = chain[-1]
+        if chain[0] == "self" and len(chain) == 2:
+            if attr in self.lock_attrs:
+                return self._canonical(attr, self_access=True)
+            return None
+        if attr in self.lock_owners:
+            return self._canonical(attr, self_access=False)
+        return None
+
+    # -- lexical walk --------------------------------------------------
+    def walk_method(self, func: ast.FunctionDef) -> _MethodWalk:
+        out = _MethodWalk()
+        self._walk_stmts(func.body, frozenset(), out)
+        return out
+
+    def _walk_stmts(
+        self, stmts: list[ast.stmt], held: frozenset[str], out: _MethodWalk
+    ) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                inner = held
+                for item in stmt.items:
+                    lock = self._resolve_lock(item.context_expr)
+                    if lock is not None:
+                        out.acquisitions.append((inner, lock, stmt.lineno))
+                        inner = inner | {lock}
+                    else:
+                        self._scan_exprs([item.context_expr], held, out)
+                self._walk_stmts(stmt.body, inner, out)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue  # nested scopes run later, outside this lock region
+            else:
+                self._record_stmt(stmt, held, out)
+                for fname, value in ast.iter_fields(stmt):
+                    if isinstance(value, list) and value and isinstance(
+                        value[0], ast.stmt
+                    ):
+                        self._walk_stmts(value, held, out)
+                    elif isinstance(value, list):
+                        for entry in value:
+                            if isinstance(entry, ast.excepthandler):
+                                self._walk_stmts(entry.body, held, out)
+
+    def _record_stmt(
+        self, stmt: ast.stmt, held: frozenset[str], out: _MethodWalk
+    ) -> None:
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = list(stmt.targets)
+        elif isinstance(stmt, ast.AugAssign):
+            targets = [stmt.target]
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets = [stmt.target]
+        elif isinstance(stmt, ast.Delete):
+            targets = list(stmt.targets)
+        for target in targets:
+            attr = self._self_attr_root(target)
+            if attr is not None:
+                out.mutations.append((attr, held, stmt.lineno))
+        self._scan_exprs(self._expr_fields(stmt), held, out)
+
+    @staticmethod
+    def _expr_fields(stmt: ast.stmt) -> list[ast.expr]:
+        exprs: list[ast.expr] = []
+        for _, value in ast.iter_fields(stmt):
+            if isinstance(value, ast.expr):
+                exprs.append(value)
+            elif isinstance(value, list):
+                exprs.extend(v for v in value if isinstance(v, ast.expr))
+        return exprs
+
+    def _scan_exprs(
+        self, exprs: list[ast.expr], held: frozenset[str], out: _MethodWalk
+    ) -> None:
+        for expr in exprs:
+            for node in ast.walk(expr):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if not isinstance(func, ast.Attribute):
+                    continue
+                if (
+                    isinstance(func.value, ast.Name)
+                    and func.value.id == "self"
+                    and func.attr in self.methods
+                ):
+                    out.calls.append((func.attr, held))
+                elif func.attr in MUTATORS:
+                    attr = self._self_attr_root(func.value)
+                    if attr is not None:
+                        out.mutations.append((attr, held, node.lineno))
+
+    @staticmethod
+    def _self_attr_root(node: ast.expr) -> str | None:
+        """The root ``self`` attribute a mutation target touches."""
+        while isinstance(node, (ast.Subscript, ast.Starred)):
+            node = node.value
+        chain = attr_chain(node)
+        if chain and len(chain) >= 2 and chain[0] == "self":
+            return chain[1]
+        return None
+
+    # -- fixpoint over the intra-class call graph ----------------------
+    def analyze(self) -> tuple[list[_MutationSite], list[tuple[str, str, str, int]]]:
+        walks = {name: self.walk_method(func) for name, (func, _) in self.methods.items()}
+        sites: dict[str, list[_CallSite]] = {}
+        for caller, walk in walks.items():
+            for callee, locks in walk.calls:
+                sites.setdefault(callee, []).append(
+                    _CallSite(caller=caller, callee=callee, locks=locks)
+                )
+
+        inherited: dict[str, frozenset[str] | None] = {}
+        init_only: dict[str, bool] = {}
+        for name in walks:
+            if name in INIT_NAMES:
+                inherited[name] = frozenset()
+                init_only[name] = True
+            elif name in sites:
+                inherited[name] = None  # unconstrained, refined below
+                init_only[name] = True  # optimistic, refined below
+            else:
+                inherited[name] = frozenset()
+                init_only[name] = False
+
+        for _ in range(len(walks) + 2):
+            changed = False
+            for name in walks:
+                if name in INIT_NAMES or name not in sites:
+                    continue
+                effective: frozenset[str] | None = None
+                any_live = False
+                for site in sites[name]:
+                    if init_only.get(site.caller, False):
+                        continue
+                    any_live = True
+                    caller_locks = inherited.get(site.caller) or frozenset()
+                    locks = site.locks | caller_locks
+                    effective = locks if effective is None else (effective & locks)
+                new_init_only = not any_live
+                new_inherited = effective if any_live else inherited[name]
+                if (new_init_only, new_inherited) != (
+                    init_only[name],
+                    inherited[name],
+                ):
+                    init_only[name] = new_init_only
+                    inherited[name] = new_inherited
+                    changed = True
+            if not changed:
+                break
+
+        mutations: list[_MutationSite] = []
+        edges: list[tuple[str, str, str, int]] = []
+        for name, walk in walks.items():
+            if name in INIT_NAMES or init_only.get(name, False):
+                continue
+            module = self.methods[name][1]
+            base = inherited.get(name) or frozenset()
+            for attr, held, lineno in walk.mutations:
+                mutations.append(
+                    _MutationSite(
+                        attr=attr,
+                        method=f"{self.info.node.name}.{name}",
+                        locks=held | base,
+                        lineno=lineno,
+                        module=module,
+                    )
+                )
+            for held, lock, lineno in walk.acquisitions:
+                for outer in held | base:
+                    if outer != lock:
+                        edges.append((outer, lock, module.relpath, lineno))
+        return mutations, edges
+
+
+class LockDisciplineChecker(Checker):
+    id = "lock-discipline"
+    description = (
+        "guarded attributes mutated outside their lock; lock-order cycles"
+    )
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        lock_owners: dict[str, set[str]] = {}
+        for name, infos in project.classes.items():
+            for info in infos:
+                for attr in _class_lock_attrs(info.node):
+                    lock_owners.setdefault(attr, set()).add(name)
+
+        edge_sites: dict[tuple[str, str], tuple[str, int]] = {}
+        seen: set[tuple] = set()
+        findings: list[Finding] = []
+        for infos in project.classes.values():
+            for info in infos:
+                family = _FamilyAnalysis(project, info, lock_owners)
+                if not family.lock_attrs:
+                    continue
+                mutations, edges = family.analyze()
+                for outer, inner, path, lineno in edges:
+                    edge_sites.setdefault((outer, inner), (path, lineno))
+                findings.extend(self._attr_findings(info, mutations, seen))
+        findings.extend(self._cycle_findings(edge_sites))
+        return iter(findings)
+
+    def _attr_findings(
+        self,
+        info: ClassInfo,
+        mutations: list[_MutationSite],
+        seen: set[tuple],
+    ) -> list[Finding]:
+        by_attr: dict[str, list[_MutationSite]] = {}
+        for site in mutations:
+            by_attr.setdefault(site.attr, []).append(site)
+        out: list[Finding] = []
+        for attr, sites in sorted(by_attr.items()):
+            locked = [s for s in sites if s.locks]
+            unlocked = [s for s in sites if not s.locks]
+            if not locked:
+                continue
+            guards = sorted(set().union(*(s.locks for s in locked)))
+            for site in unlocked:
+                key = (site.module.relpath, site.lineno, attr)
+                if key in seen:
+                    continue
+                seen.add(key)
+                out.append(
+                    Finding(
+                        checker=self.id,
+                        path=site.module.relpath,
+                        line=site.lineno,
+                        symbol=site.method,
+                        message=(
+                            f"attribute '{attr}' is mutated under "
+                            f"{'/'.join(guards)} elsewhere but without a "
+                            f"lock here"
+                        ),
+                    )
+                )
+            if not unlocked:
+                common = frozenset.intersection(*(s.locks for s in locked))
+                if not common and len(locked) > 1:
+                    site = min(locked, key=lambda s: s.lineno)
+                    key = (site.module.relpath, site.lineno, attr, "mixed")
+                    if key not in seen:
+                        seen.add(key)
+                        out.append(
+                            Finding(
+                                checker=self.id,
+                                path=site.module.relpath,
+                                line=site.lineno,
+                                symbol=site.method,
+                                message=(
+                                    f"attribute '{attr}' is mutated under "
+                                    f"inconsistent lock sets "
+                                    f"({'/'.join(guards)}); no common lock "
+                                    f"guards every mutation"
+                                ),
+                            )
+                        )
+        return out
+
+    def _cycle_findings(
+        self, edge_sites: dict[tuple[str, str], tuple[str, int]]
+    ) -> list[Finding]:
+        graph: dict[str, set[str]] = {}
+        for outer, inner in edge_sites:
+            graph.setdefault(outer, set()).add(inner)
+
+        def reaches(src: str, dst: str) -> bool:
+            stack, visited = [src], set()
+            while stack:
+                node = stack.pop()
+                if node == dst:
+                    return True
+                if node in visited:
+                    continue
+                visited.add(node)
+                stack.extend(graph.get(node, ()))
+            return False
+
+        out: list[Finding] = []
+        for (outer, inner), (path, lineno) in sorted(edge_sites.items()):
+            if reaches(inner, outer):
+                out.append(
+                    Finding(
+                        checker=self.id,
+                        path=path,
+                        line=lineno,
+                        symbol=f"{outer}->{inner}",
+                        message=(
+                            f"lock-order cycle: '{outer}' is acquired "
+                            f"before '{inner}' here, but the reverse "
+                            f"order also exists"
+                        ),
+                    )
+                )
+        return out

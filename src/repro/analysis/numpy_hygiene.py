@@ -1,0 +1,124 @@
+"""Dtype/endianness hygiene for the packed-array storage layer.
+
+PR 4's latent bug class: ``np.stack`` silently converts big-endian
+inputs back to native byte order, and dtype-less ``np.frombuffer`` /
+string dtypes without an explicit byte-order prefix make the on-wire
+layout of packed keys platform-dependent.  In ``storage/``, ``sets/``
+and ``nputil.py`` (where packed ``uint64`` keys and bitset words live):
+
+* ``np.stack(...)`` must pass an explicit ``dtype=``;
+* ``np.frombuffer(...)`` must pass an explicit ``dtype=``;
+* string-literal dtypes for multi-byte types (``astype``/``view``/
+  ``np.dtype``/``dtype=`` arguments) must carry a ``<``/``>``/``=``
+  byte-order prefix (``">u4"``, not ``"u4"``).
+
+Attribute dtypes (``np.uint64``) are fine — they are unambiguous
+native-order requests the reader can see.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+
+from repro.analysis.core import Checker, Finding, ModuleSource, Project
+
+# Multi-byte dtype spelled as a string without an explicit byte order.
+_AMBIGUOUS_DTYPE = re.compile(
+    r"^(?:(?:u?int|float|complex)(?:16|32|64|128)|[uifc](?:2|4|8|16))$"
+)
+_DTYPE_METHODS = {"astype", "view"}
+
+
+def _has_kwarg(node: ast.Call, name: str) -> bool:
+    return any(kw.arg == name for kw in node.keywords)
+
+
+def _call_name(node: ast.Call) -> str | None:
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+class NumpyHygieneChecker(Checker):
+    id = "numpy-hygiene"
+    description = "dtype-less stacking/unpacking and ambiguous byte order"
+
+    def in_scope(self, relpath: str) -> bool:
+        return (
+            "/storage/" in relpath
+            or "/sets/" in relpath
+            or relpath.startswith(("storage/", "sets/"))
+            or relpath.endswith("nputil.py")
+        )
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        for module in self.scoped_modules(project):
+            yield from self._check_module(module)
+
+    def _check_module(self, module: ModuleSource) -> Iterator[Finding]:
+        context: list[str] = []
+
+        def visit(node: ast.AST) -> Iterator[Finding]:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                ):
+                    context.append(child.name)
+                    yield from visit(child)
+                    context.pop()
+                    continue
+                if isinstance(child, ast.Call):
+                    yield from self._check_call(module, child, context)
+                yield from visit(child)
+
+        yield from visit(module.tree)
+
+    def _check_call(
+        self, module: ModuleSource, node: ast.Call, context: list[str]
+    ) -> Iterator[Finding]:
+        symbol = ".".join(context) if context else "<module>"
+        name = _call_name(node)
+        if name in {"stack", "frombuffer"} and not _has_kwarg(node, "dtype"):
+            yield Finding(
+                checker=self.id,
+                path=module.relpath,
+                line=node.lineno,
+                symbol=symbol,
+                message=(
+                    f"np.{name} without an explicit dtype= silently "
+                    f"picks a platform/input-dependent layout"
+                ),
+            )
+            return
+        # String dtypes anywhere in the call: positional arg of
+        # astype/view/dtype, or a dtype= keyword.
+        candidates: list[ast.expr] = []
+        if name in _DTYPE_METHODS or name == "dtype":
+            candidates.extend(node.args[:1])
+        candidates.extend(
+            kw.value for kw in node.keywords if kw.arg == "dtype"
+        )
+        for arg in candidates:
+            if not (
+                isinstance(arg, ast.Constant) and isinstance(arg.value, str)
+            ):
+                continue
+            spec = arg.value
+            if spec[:1] in {"<", ">", "="}:
+                continue
+            if _AMBIGUOUS_DTYPE.match(spec):
+                yield Finding(
+                    checker=self.id,
+                    path=module.relpath,
+                    line=node.lineno,
+                    symbol=symbol,
+                    message=(
+                        f"string dtype {spec!r} has no explicit byte "
+                        f"order; spell it with a </>/= prefix"
+                    ),
+                )

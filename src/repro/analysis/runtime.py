@@ -1,0 +1,233 @@
+"""Runtime lock-order sanitizer.
+
+:class:`OrderedLock` is a drop-in ``threading.Lock``/``RLock``
+replacement that records, per thread, the stack of locks currently held
+and maintains a *global* order graph: every first acquisition of lock B
+while holding lock A adds the edge ``A -> B`` (with the acquisition
+stacks that produced it).  An acquisition that would close a cycle in
+that graph is a potential deadlock; it is recorded as a
+:class:`LockOrderViolation` carrying both conflicting stacks.
+
+Violations are **recorded, not raised**: acquisition proceeds normally
+so product code keeps its semantics, and the test-suite fixture (see
+``tests/conftest.py``) fails the test at teardown if any were recorded.
+That turns every existing concurrency test into a lock-order regression
+harness without changing its behavior.
+
+Locks are named by their creation site (``file:line`` under
+``src/repro``), so every instance of ``Engine._cache_lock`` maps to one
+graph node regardless of how many engines exist.  Locks created outside
+the project tree (thread pools, logging, pytest internals) pass through
+untracked with zero bookkeeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from dataclasses import dataclass
+
+# Bind the real factories at import time: the test fixture monkeypatches
+# threading.Lock/RLock to OrderedLock, and the wrapper must keep
+# constructing real primitives underneath.
+_REAL_LOCK = threading.Lock
+_REAL_RLOCK = threading.RLock
+
+_tls = threading.local()
+
+
+@dataclass
+class LockOrderViolation:
+    """One inverted acquisition: ``holding`` was held while acquiring
+    ``acquiring``, but the order graph already requires the reverse."""
+
+    holding: str
+    acquiring: str
+    cycle: list[str]
+    held_stack: str
+    acquire_stack: str
+
+    def render(self) -> str:
+        return (
+            f"lock-order violation: acquired {self.acquiring!r} while "
+            f"holding {self.holding!r}, but the recorded order requires "
+            f"{' -> '.join(self.cycle)}\n"
+            f"--- prior acquisition of {self.acquiring!r} "
+            f"before {self.holding!r} ---\n{self.held_stack}"
+            f"--- this acquisition ---\n{self.acquire_stack}"
+        )
+
+
+class _OrderRegistry:
+    """Global lock-order graph shared by every tracked OrderedLock."""
+
+    def __init__(self) -> None:
+        self._mutex = _REAL_LOCK()
+        # edges[a][b] = stack that first acquired b while holding a
+        self.edges: dict[str, dict[str, str]] = {}
+        self.violations: list[LockOrderViolation] = []
+        self._reported: set[tuple[str, str]] = set()
+
+    def _path(self, src: str, dst: str) -> list[str] | None:
+        stack = [(src, [src])]
+        visited: set[str] = set()
+        while stack:
+            node, path = stack.pop()
+            if node == dst:
+                return path
+            if node in visited:
+                continue
+            visited.add(node)
+            for nxt in self.edges.get(node, {}):
+                stack.append((nxt, path + [nxt]))
+        return None
+
+    def record(self, held: list[str], name: str, stack: str) -> None:
+        with self._mutex:
+            for holder in held:
+                if holder == name:
+                    continue
+                reverse = self._path(name, holder)
+                if reverse is not None and (
+                    (holder, name) not in self._reported
+                ):
+                    self._reported.add((holder, name))
+                    prior = self.edges.get(reverse[0], {}).get(
+                        reverse[1], "<stack unavailable>"
+                    )
+                    self.violations.append(
+                        LockOrderViolation(
+                            holding=holder,
+                            acquiring=name,
+                            cycle=reverse + [name],
+                            held_stack=prior,
+                            acquire_stack=stack,
+                        )
+                    )
+                self.edges.setdefault(holder, {}).setdefault(name, stack)
+
+    def reset(self) -> None:
+        with self._mutex:
+            self.edges.clear()
+            self.violations.clear()
+            self._reported.clear()
+
+    def snapshot(self) -> list[LockOrderViolation]:
+        with self._mutex:
+            return list(self.violations)
+
+
+_registry = _OrderRegistry()
+
+
+def reset() -> None:
+    """Clear the global order graph and recorded violations."""
+    _registry.reset()
+
+
+def violations() -> list[LockOrderViolation]:
+    """Violations recorded since the last :func:`reset`."""
+    return _registry.snapshot()
+
+
+def order_edges() -> dict[str, list[str]]:
+    """The recorded order graph (for diagnostics and tests)."""
+    with _registry._mutex:
+        return {a: sorted(bs) for a, bs in _registry.edges.items()}
+
+
+def _held() -> list:
+    held = getattr(_tls, "held", None)
+    if held is None:
+        held = _tls.held = []
+    return held
+
+
+def _creation_site() -> tuple[str, bool]:
+    """(lock name, tracked?) from the creating frame."""
+    for frame in reversed(traceback.extract_stack(limit=12)[:-2]):
+        filename = frame.filename.replace("\\", "/")
+        if filename.endswith("analysis/runtime.py"):
+            continue
+        if "repro/" in filename:
+            parts = filename.rsplit("repro/", 1)
+            return f"repro/{parts[-1]}:{frame.lineno}", True
+        return f"{filename}:{frame.lineno}", False
+    return "<unknown>", False
+
+
+class OrderedLock:
+    """Lock/RLock wrapper that feeds the global order registry."""
+
+    def __init__(
+        self, *, reentrant: bool = True, name: str | None = None
+    ) -> None:
+        self._inner = _REAL_RLOCK() if reentrant else _REAL_LOCK()
+        if name is not None:
+            self.name, self._tracked = name, True
+        else:
+            self.name, self._tracked = _creation_site()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1):
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired and self._tracked:
+            held = _held()
+            if not any(entry is self for entry in held):
+                stack = "".join(traceback.format_stack(limit=8)[:-1])
+                _registry.record(
+                    [lock.name for lock in held], self.name, stack
+                )
+            held.append(self)
+        return acquired
+
+    def release(self) -> None:
+        self._inner.release()
+        if self._tracked:
+            held = _held()
+            for index in range(len(held) - 1, -1, -1):
+                if held[index] is self:
+                    del held[index]
+                    break
+
+    def __enter__(self):
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    def locked(self) -> bool:
+        locked = getattr(self._inner, "locked", None)
+        if locked is not None:
+            return locked()
+        if self._inner.acquire(False):  # pragma: no cover - RLock fallback
+            self._inner.release()
+            return False
+        return True
+
+    def __getattr__(self, item):  # delegate _is_owned etc. (Condition)
+        return getattr(self._inner, item)
+
+    def __repr__(self) -> str:
+        return f"OrderedLock({self.name!r}, tracked={self._tracked})"
+
+
+def make_lock() -> OrderedLock:
+    """Factory matching ``threading.Lock`` (for monkeypatching)."""
+    return OrderedLock(reentrant=False)
+
+
+def make_rlock() -> OrderedLock:
+    """Factory matching ``threading.RLock`` (for monkeypatching)."""
+    return OrderedLock(reentrant=True)
+
+
+__all__ = [
+    "LockOrderViolation",
+    "OrderedLock",
+    "make_lock",
+    "make_rlock",
+    "order_edges",
+    "reset",
+    "violations",
+]

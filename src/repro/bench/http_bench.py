@@ -226,7 +226,19 @@ def _smoke_probes(client: _Client, professors: list[str]) -> dict:
     )
 
     status, body = client.get("/stats")
-    probes["stats_ok"] = status == 200 and "triples" in json.loads(body)
+    stats = json.loads(body)
+    probes["stats_ok"] = status == 200 and "triples" in stats
+    # The bench client drives one keep-alive connection, so by the
+    # time this probe runs the server must report connection reuse and
+    # its admission-pool configuration under the "http" section.
+    http_stats = stats.get("http", {})
+    probes["stats_http_keepalive"] = (
+        http_stats.get("requests", {}).get("served", 0) > 0
+        and http_stats.get("requests", {}).get("keepalive_reuses", 0) > 0
+        and http_stats.get("connections", {}).get("opened", 0) >= 1
+        and http_stats.get("pool", {}).get("max_workers", 0) > 0
+        and http_stats.get("pool", {}).get("max_pending", 0) > 0
+    )
 
     status, body = client.get(
         "/explain?"

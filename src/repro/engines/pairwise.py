@@ -51,13 +51,18 @@ class ColumnStoreEngine(Engine):
 
     def __init__(self, store: VerticallyPartitionedStore) -> None:
         super().__init__(store)
+        # Created once and never reassigned: entries verify relation
+        # identity on hit (see _column_distinct), so entries stranded by
+        # a catalog swap simply miss and recompute — reassigning the
+        # dict under the update locks while executions insert into it
+        # unlocked would be a guarded/unguarded mutation mix.
+        self._distinct_cache: dict[tuple[str, int], tuple[Relation, int]] = {}
         self._build_structures()
 
     def _build_structures(self) -> None:
         catalog = Catalog()
         catalog.register_all(self.store.relations())
         self.catalog = catalog
-        self._distinct_cache: dict[tuple[str, int], tuple[Relation, int]] = {}
 
     def _on_data_update(self) -> None:
         """Re-register the mutated tables and drop stale statistics."""

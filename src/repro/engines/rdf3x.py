@@ -45,11 +45,19 @@ from repro.storage.vertical import (
 
 
 class _State(NamedTuple):
-    """Immutable engine-structure bundle (swapped atomically)."""
+    """Immutable engine-structure bundle (swapped atomically).
+
+    ``predicate_stats`` is *per-epoch*: rebuilt with the mains and
+    re-derived for every predicate an update batch touches, so the
+    aggregate indexes the planner consults never drift from the
+    overlay-merged content (they would if read off ``triples``, whose
+    stats are frozen at the last rebuild).
+    """
 
     triples: TripleTable
     predicate_key: dict[str, int]
     overlay: DeltaOverlay
+    predicate_stats: dict[int, tuple[int, int, int]]
 
 
 class RDF3XLikeEngine(Engine):
@@ -72,10 +80,12 @@ class RDF3XLikeEngine(Engine):
             )
             for name in self.store.tables
         }
+        triples = TripleTable(self.store, self.permutations)
         self._state = _State(
-            TripleTable(self.store, self.permutations),
+            triples,
             predicate_key,
             DeltaOverlay(),
+            dict(triples.predicate_stats),
         )
 
     @property
@@ -109,8 +119,53 @@ class RDF3XLikeEngine(Engine):
             predicate_key = dict(predicate_key)
             for name in delta.created_tables:
                 predicate_key[name] = self.store.predicate_key(name)
-        self._state = _State(state.triples, predicate_key, overlay)
+        predicate_stats = self._refreshed_stats(
+            state, overlay, predicate_key, delta
+        )
+        self._state = _State(
+            state.triples, predicate_key, overlay, predicate_stats
+        )
         return True
+
+    def _refreshed_stats(
+        self,
+        state: _State,
+        overlay: DeltaOverlay,
+        predicate_key: dict[str, int],
+        delta: DeltaBatch,
+    ) -> dict[int, tuple[int, int, int]]:
+        """Per-epoch aggregate stats: exact counts for every predicate
+        the batch touched, from one overlay-merged range scan each
+        (cost proportional to the touched predicates, not the store)."""
+        stats = dict(state.predicate_stats)
+        touched = set(delta.added) | set(delta.removed) | set(
+            delta.created_tables
+        )
+        pso = state.triples.index("pso")
+        for name in touched:
+            key = predicate_key.get(name)
+            if key is None:
+                continue
+            lo, hi = pso.range_for_prefix(key)
+            subjects, objects = pso.slice_columns(lo, hi, "so")
+            entry = overlay.get(name)
+            if entry is not None:
+                subjects, objects = entry.merge_scan(
+                    subjects, objects, None, None
+                )
+            if subjects.size:
+                stats[key] = (
+                    int(subjects.size),
+                    int(np.unique(subjects).size),
+                    int(np.unique(objects).size),
+                )
+            else:
+                stats.pop(key, None)
+        for name in delta.dropped_tables:
+            key = state.predicate_key.get(name)
+            if key is not None:
+                stats.pop(key, None)
+        return stats
 
     # ------------------------------------------------------------------
     # Leaf access paths
@@ -300,10 +355,10 @@ class RDF3XLikeEngine(Engine):
             names = [subject_var.name]
 
         relation = Relation(f"{atom.relation}_scan", names, columns)
-        # Selectivity from the aggregate indexes — no data touched. A
-        # predicate born after the last rebuild has no aggregate entry;
-        # its scan is already materialized, so exact bounds are free.
-        stats = state.triples.predicate_stats.get(predicate_key)
+        # Selectivity from the per-epoch aggregate stats — no data
+        # touched, and refreshed per batch so overlay churn never
+        # serves estimates frozen at the last rebuild.
+        stats = state.predicate_stats.get(predicate_key)
         _, distinct_s, distinct_o = stats if stats else (0, 0, 0)
         base = {"s": distinct_s, "o": distinct_o}
         free_letters = ("" if bound_s else "s") + ("" if bound_o else "o")

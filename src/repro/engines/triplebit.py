@@ -101,6 +101,12 @@ class _State(NamedTuple):
     fully-free triples scan): the bundle's logical content never
     changes, so concurrent fills race benignly — both compute the same
     value and one wins.
+
+    ``predicate_stats`` maps predicate name to per-epoch
+    ``(distinct_subjects, distinct_objects)``: re-derived for every
+    predicate an update batch touches, so the planner's selectivity
+    input tracks the overlay-merged content instead of the load-time
+    statistics frozen into the carried matrices.
     """
 
     matrices: dict[str, _PredicateMatrix]
@@ -108,6 +114,7 @@ class _State(NamedTuple):
     matrix_name_for_key: dict[int, str]
     overlay: DeltaOverlay
     cache: dict
+    predicate_stats: dict[str, tuple[int, int]]
 
     @property
     def main_pairs(self) -> int:
@@ -140,6 +147,10 @@ class TripleBitLikeEngine(Engine):
             {key: name for name, key in predicate_key.items()},
             DeltaOverlay(),
             {},
+            {
+                name: (matrix.distinct_subjects, matrix.distinct_objects)
+                for name, matrix in matrices.items()
+            },
         )
 
     @property
@@ -177,10 +188,49 @@ class TripleBitLikeEngine(Engine):
                 key = self.store.predicate_key(name)
                 predicate_key[name] = key
                 matrix_name_for_key[key] = name
+        predicate_stats = self._refreshed_stats(state, overlay, delta)
         self._state = _State(
-            state.matrices, predicate_key, matrix_name_for_key, overlay, {}
+            state.matrices,
+            predicate_key,
+            matrix_name_for_key,
+            overlay,
+            {},
+            predicate_stats,
         )
         return True
+
+    @staticmethod
+    def _refreshed_stats(
+        state: _State, overlay: DeltaOverlay, delta: DeltaBatch
+    ) -> dict[str, tuple[int, int]]:
+        """Per-epoch distinct counts: exact for every predicate the
+        batch touched, from one overlay-merged matrix scan each (cost
+        proportional to the touched predicates, not the store)."""
+        stats = dict(state.predicate_stats)
+        touched = set(delta.added) | set(delta.removed) | set(
+            delta.created_tables
+        )
+        for name in touched:
+            matrix = state.matrices.get(name)
+            if matrix is not None:
+                subjects, objects = matrix.scan(None, None)
+            else:  # born after the last rebuild: overlay-only
+                subjects = objects = np.empty(0, dtype=np.uint32)
+            entry = overlay.get(name)
+            if entry is not None:
+                subjects, objects = entry.merge_scan(
+                    subjects, objects, None, None
+                )
+            if subjects.size:
+                stats[name] = (
+                    int(np.unique(subjects).size),
+                    int(np.unique(objects).size),
+                )
+            else:
+                stats.pop(name, None)
+        for name in delta.dropped_tables:
+            stats.pop(name, None)
+        return stats
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -307,14 +357,16 @@ class TripleBitLikeEngine(Engine):
             names, columns = [subject_var.name], [columns[0][mask]]
 
         relation = Relation(f"{atom.relation}_matrix", names, columns)
-        matrix = state.matrices.get(atom.relation)
+        # Per-epoch statistics (refreshed per batch) — never the
+        # load-time counts frozen into the carried matrices.
+        stats = state.predicate_stats.get(atom.relation)
+        distinct_s, distinct_o = stats if stats else (
+            relation.num_rows,
+            relation.num_rows,
+        )
         base = {
-            subject_var.name: matrix.distinct_subjects
-            if matrix
-            else relation.num_rows,
-            object_var.name: matrix.distinct_objects
-            if matrix
-            else relation.num_rows,
+            subject_var.name: distinct_s,
+            object_var.name: distinct_o,
         }
         estimate = EstimatedRelation(
             attributes=tuple(names),

@@ -48,6 +48,9 @@ def pack_rows(columns: Sequence[np.ndarray]) -> np.ndarray:
         return np.asarray(columns[0], dtype=np.uint32)
     if len(columns) == 2:
         return pack_pairs(columns[0], columns[1])
+    # Byte order is normalized on the stacked copy just below — the
+    # only place it can stick (np.stack reverts inputs to native).
+    # repro: allow[numpy-hygiene]
     stacked = np.stack(
         [np.asarray(c, dtype=np.uint32) for c in columns], axis=1
     )

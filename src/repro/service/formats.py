@@ -44,7 +44,7 @@ import struct
 from collections.abc import Iterator
 from typing import TYPE_CHECKING
 
-from repro.errors import UnsupportedFormatError
+from repro.errors import ParseError, UnsupportedFormatError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.service.protocol import Cursor
@@ -98,6 +98,9 @@ class Serializer:
     def stream(self, cursor: "Cursor") -> Iterator[bytes]:
         """Byte chunks of the serialized result (one per page or
         head/tail framing piece), draining ``cursor``."""
+        # Abstract stub: the registry only hands out concrete
+        # serializers, so this never reaches a serving path.
+        # repro: allow[error-taxonomy]
         raise NotImplementedError
 
     def serialize(self, cursor: "Cursor") -> bytes:
@@ -236,7 +239,7 @@ def read_binary(
 ) -> tuple[tuple[str, ...], list[tuple[str | None, ...]]]:
     """Decode a :class:`BinarySerializer` payload to columns + rows."""
     if data[:4] != BINARY_MAGIC:
-        raise ValueError("not an SPB1 binary result payload")
+        raise ParseError("not an SPB1 binary result payload")
     offset = 4
     (ncols,) = struct.unpack_from("<H", data, offset)
     offset += 2

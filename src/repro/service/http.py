@@ -229,19 +229,40 @@ class _Handler(BaseHTTPRequestHandler):
         self.wfile.write(b"0\r\n\r\n")
 
     # ------------------------------------------------------------------
+    # Connection lifecycle (keep-alive metrics)
+    # ------------------------------------------------------------------
+    def setup(self) -> None:
+        super().setup()
+        # One handler instance per TCP connection; requests beyond the
+        # first on this instance are keep-alive reuses.
+        self._conn_requests = 0
+        self.server._note_connection_opened()
+
+    def finish(self) -> None:
+        try:
+            super().finish()
+        finally:
+            self.server._note_connection_closed()
+
+    def _note_request(self) -> None:
+        self._conn_requests += 1
+        self.server._note_request(reused=self._conn_requests > 1)
+
+    # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (stdlib handler API)
         split = urlsplit(self.path)
         params = parse_qs(split.query, keep_blank_values=True)
         self._response_started = False
+        self._note_request()
         try:
             if split.path == "/sparql":
                 self._handle_sparql(params)
             elif split.path == "/explain":
                 self._handle_explain(params)
             elif split.path == "/stats":
-                self._send_json(200, self.server.session.stats())
+                self._send_json(200, self.server.stats_payload())
             else:
                 self._send_json(
                     404,
@@ -265,6 +286,7 @@ class _Handler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 (stdlib handler API)
         split = urlsplit(self.path)
         self._response_started = False
+        self._note_request()
         try:
             if split.path == "/sparql":
                 params = parse_qs(split.query, keep_blank_values=True)
@@ -431,6 +453,14 @@ class SparqlHttpServer(ThreadingHTTPServer):
         self._admitted = threading.BoundedSemaphore(max_pending)
         self._exec_slots = threading.Semaphore(max_workers)
         self._serve_thread: threading.Thread | None = None
+        # Connection / keep-alive counters (served under /stats).
+        self._http_lock = threading.Lock()
+        self._connections_opened = 0
+        self._connections_closed = 0
+        self._requests_served = 0
+        self._keepalive_reuses = 0
+        self._in_flight = 0
+        self._in_flight_peak = 0
 
     # ------------------------------------------------------------------
     @contextmanager
@@ -447,9 +477,14 @@ class SparqlHttpServer(ThreadingHTTPServer):
                 f"server is at its {self.max_pending} in-flight "
                 "request bound; retry later"
             )
+        with self._http_lock:
+            self._in_flight += 1
+            self._in_flight_peak = max(self._in_flight_peak, self._in_flight)
         try:
             yield
         finally:
+            with self._http_lock:
+                self._in_flight -= 1
             self._admitted.release()
 
     def execute(self, request: QueryRequest):
@@ -465,6 +500,52 @@ class SparqlHttpServer(ThreadingHTTPServer):
         """
         with self._exec_slots:
             return self.session.execute(request)
+
+    # ------------------------------------------------------------------
+    # Connection-pool metrics
+    # ------------------------------------------------------------------
+    def _note_connection_opened(self) -> None:
+        with self._http_lock:
+            self._connections_opened += 1
+
+    def _note_connection_closed(self) -> None:
+        with self._http_lock:
+            self._connections_closed += 1
+
+    def _note_request(self, *, reused: bool) -> None:
+        with self._http_lock:
+            self._requests_served += 1
+            if reused:
+                self._keepalive_reuses += 1
+
+    def http_stats(self) -> dict:
+        """Connection, keep-alive and admission-pool counters."""
+        with self._http_lock:
+            return {
+                "connections": {
+                    "opened": self._connections_opened,
+                    "closed": self._connections_closed,
+                    "active": (
+                        self._connections_opened - self._connections_closed
+                    ),
+                },
+                "requests": {
+                    "served": self._requests_served,
+                    "keepalive_reuses": self._keepalive_reuses,
+                },
+                "pool": {
+                    "max_workers": self.max_workers,
+                    "max_pending": self.max_pending,
+                    "in_flight": self._in_flight,
+                    "in_flight_peak": self._in_flight_peak,
+                },
+            }
+
+    def stats_payload(self) -> dict:
+        """The ``/stats`` body: session/store counters plus ``http``."""
+        payload = dict(self.session.stats())
+        payload["http"] = self.http_stats()
+        return payload
 
     # ------------------------------------------------------------------
     @property

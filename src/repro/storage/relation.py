@@ -115,7 +115,7 @@ class Relation:
         """Iterate rows as Python int tuples (test/debug helper)."""
         if self.num_rows == 0:
             return iter(())
-        stacked = np.stack(self.columns, axis=1)
+        stacked = np.stack(self.columns, axis=1, dtype=np.int64)
         return (tuple(int(v) for v in row) for row in stacked)
 
     def to_set(self) -> frozenset[tuple[int, ...]]:

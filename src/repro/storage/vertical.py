@@ -341,7 +341,12 @@ class VerticallyPartitionedStore:
     )
     _delta_log: list[DeltaBatch] = field(default_factory=list, repr=False)
     _write_lock: threading.RLock = field(
-        default_factory=threading.RLock, repr=False, compare=False
+        # A lambda (not a bound ``threading.RLock``) so lock creation
+        # resolves at call time and honors test-suite instrumentation
+        # that monkeypatches the threading factories.
+        default_factory=lambda: threading.RLock(),
+        repr=False,
+        compare=False,
     )
 
     def __post_init__(self) -> None:

@@ -1,0 +1,149 @@
+"""Epoch-safety checker: yield/re-check, Engine protocol surface, and
+stale statistics carried across epochs."""
+
+from repro.analysis.core import run_analysis
+from repro.analysis.epoch_safety import EpochSafetyChecker
+
+
+def _analyze(tmp_path, source, relpath="engines/mod.py"):
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source, encoding="utf-8")
+    findings, _ = run_analysis(
+        [tmp_path], checkers=[EpochSafetyChecker()], root=tmp_path
+    )
+    return findings
+
+
+def _lines(source, fragment):
+    return [
+        lineno
+        for lineno, line in enumerate(source.splitlines(), 1)
+        if fragment in line
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Rule 1: epoch-state reads across yields
+# ---------------------------------------------------------------------------
+YIELD_BAD = (
+    "class Scanner:\n"
+    "    def stream(self):\n"
+    "        for name in list(self.tables):\n"
+    "            yield name\n"
+    "            rows = self.tables[name]\n"
+    "            yield len(rows)\n"
+)
+
+
+def test_read_after_yield_without_recheck_is_flagged(tmp_path):
+    findings = _analyze(tmp_path, YIELD_BAD)
+    assert [f.checker for f in findings] == ["epoch-safety"]
+    finding = findings[0]
+    assert finding.line == _lines(YIELD_BAD, "rows = self.tables")[0]
+    assert finding.symbol == "Scanner.stream"
+    assert "self.tables" in finding.message
+    assert "data_version" in finding.message
+
+
+YIELD_CLEAN = (
+    "class Scanner:\n"
+    "    def stream(self):\n"
+    "        for name in list(self.tables):\n"
+    "            yield name\n"
+    "            self.check_data_version()\n"
+    "            rows = self.tables[name]\n"
+    "            yield len(rows)\n"
+)
+
+
+def test_recheck_between_yield_and_read_is_clean(tmp_path):
+    assert _analyze(tmp_path, YIELD_CLEAN) == []
+
+
+# ---------------------------------------------------------------------------
+# Rule 2: Engine protocol surface
+# ---------------------------------------------------------------------------
+PROTOCOL = (
+    "class Engine:\n"
+    "    def decode(self, result):\n"
+    "        return result\n"
+    "\n"
+    "    def decode_rows(self, rows):\n"
+    "        return rows\n"
+    "\n"
+    "\n"
+    "class RebuildOnly(Engine):\n"
+    "    def _on_data_update(self):\n"
+    "        self._build()\n"
+    "\n"
+    "\n"
+    "class Incremental(Engine):\n"
+    "    def _on_data_update(self):\n"
+    "        self._build()\n"
+    "\n"
+    "    def apply_delta(self, delta):\n"
+    "        return True\n"
+    "\n"
+    "\n"
+    "class PartialDecoder(Engine):\n"
+    "    def decode(self, result):\n"
+    "        return []\n"
+)
+
+
+def test_protocol_surface_gaps_are_flagged(tmp_path):
+    findings = _analyze(tmp_path, PROTOCOL)
+    by_symbol = {f.symbol: f for f in findings}
+    # Incremental pairs both hooks and stays clean.
+    assert set(by_symbol) == {"RebuildOnly", "PartialDecoder"}
+    rebuild = by_symbol["RebuildOnly"]
+    assert rebuild.line == _lines(PROTOCOL, "class RebuildOnly")[0]
+    assert "apply_delta" in rebuild.message
+    decoder = by_symbol["PartialDecoder"]
+    assert decoder.line == _lines(PROTOCOL, "class PartialDecoder")[0]
+    assert "decode_rows" in decoder.message
+
+
+# ---------------------------------------------------------------------------
+# Rule 3: statistics carried across epochs
+# ---------------------------------------------------------------------------
+STALE = (
+    "class Tracker:\n"
+    "    def apply_delta(self, delta):\n"
+    "        state = self._state\n"
+    "        self._state = _State(state.triples, state.predicate_stats)\n"
+    "\n"
+    "    def estimate(self, key):\n"
+    "        state = self._state\n"
+    "        return state.triples.predicate_stats[key]\n"
+)
+
+
+def test_stats_read_through_carried_structure_is_flagged(tmp_path):
+    findings = _analyze(tmp_path, STALE)
+    assert [f.checker for f in findings] == ["epoch-safety"]
+    finding = findings[0]
+    assert finding.line == _lines(STALE, "state.triples.predicate_stats")[0]
+    assert finding.symbol == "Tracker.estimate"
+    assert "predicate_stats" in finding.message
+    assert "apply_delta" in finding.message
+
+
+FRESH = (
+    "class Tracker:\n"
+    "    def apply_delta(self, delta):\n"
+    "        self._state = self._rebuild(delta)\n"
+    "\n"
+    "    def estimate(self, key):\n"
+    "        state = self._state\n"
+    "        return state.predicate_stats.get(key)\n"
+)
+
+
+def test_rebuilt_stats_are_clean(tmp_path):
+    assert _analyze(tmp_path, FRESH) == []
+
+
+def test_out_of_scope_paths_are_ignored(tmp_path):
+    assert _analyze(tmp_path, YIELD_BAD, relpath="service/mod.py") == []

@@ -1,0 +1,108 @@
+"""Error-taxonomy checker: raises on serving paths must be registered
+ReproError subclasses (taxonomy resolved from the installed
+``repro.errors`` when the analyzed tree has no errors.py)."""
+
+from repro.analysis.core import run_analysis
+from repro.analysis.error_taxonomy import ErrorTaxonomyChecker
+
+
+def _analyze(tmp_path, source, relpath="service/mod.py"):
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source, encoding="utf-8")
+    findings, _ = run_analysis(
+        [tmp_path], checkers=[ErrorTaxonomyChecker()], root=tmp_path
+    )
+    return findings
+
+
+def _lines(source, fragment):
+    return [
+        lineno
+        for lineno, line in enumerate(source.splitlines(), 1)
+        if fragment in line
+    ]
+
+
+FOREIGN = (
+    "class LocalError(Exception):\n"
+    "    pass\n"
+    "\n"
+    "\n"
+    "def parse(text):\n"
+    "    if not text:\n"
+    "        raise ValueError('empty query')\n"
+    "    return text\n"
+    "\n"
+    "\n"
+    "def wrap(text):\n"
+    "    raise LocalError(text)\n"
+)
+
+
+def test_non_taxonomy_raises_are_flagged(tmp_path):
+    findings = _analyze(tmp_path, FOREIGN)
+    assert [(f.line, f.symbol) for f in findings] == [
+        (_lines(FOREIGN, "raise ValueError")[0], "parse"),
+        (_lines(FOREIGN, "raise LocalError")[0], "wrap"),
+    ]
+    assert all(f.checker == "error-taxonomy" for f in findings)
+    assert "'ValueError'" in findings[0].message
+    assert "not a ReproError subclass" in findings[0].message
+    assert "'LocalError'" in findings[1].message
+
+
+UNREGISTERED = (
+    "from repro.errors import ReproError\n"
+    "\n"
+    "\n"
+    "class VendorError(ReproError):\n"
+    "    code = 'vendor_specific'\n"
+    "\n"
+    "\n"
+    "def fail():\n"
+    "    raise VendorError('nope')\n"
+)
+
+
+def test_unregistered_code_is_flagged(tmp_path):
+    findings = _analyze(tmp_path, UNREGISTERED)
+    assert [f.line for f in findings] == [
+        _lines(UNREGISTERED, "raise VendorError")[0]
+    ]
+    assert "'vendor_specific'" in findings[0].message
+    assert "not\nregistered" not in findings[0].message  # single line msg
+    assert "registered in ERROR_CODES" in findings[0].message
+
+
+CLEAN = (
+    "from repro.errors import ParseError\n"
+    "\n"
+    "\n"
+    "def parse(text):\n"
+    "    if not text:\n"
+    "        raise ParseError('empty query')\n"
+    "    return text\n"
+    "\n"
+    "\n"
+    "def passthrough(fn):\n"
+    "    try:\n"
+    "        return fn()\n"
+    "    except ParseError as exc:\n"
+    "        raise exc\n"
+    "\n"
+    "\n"
+    "def reraise(fn):\n"
+    "    try:\n"
+    "        return fn()\n"
+    "    except ParseError:\n"
+    "        raise\n"
+)
+
+
+def test_taxonomy_raises_and_reraises_are_clean(tmp_path):
+    assert _analyze(tmp_path, CLEAN) == []
+
+
+def test_out_of_scope_paths_are_ignored(tmp_path):
+    assert _analyze(tmp_path, FOREIGN, relpath="engines/mod.py") == []

@@ -1,0 +1,230 @@
+"""Analysis framework: suppressions, baseline, CLI exit-code contract."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.__main__ import main
+from repro.analysis.core import (
+    Finding,
+    all_checkers,
+    baseline_entry,
+    run_analysis,
+    split_by_baseline,
+)
+
+#: One minimal violation per checker, placed under a path its checker
+#: scopes to.  The CLI must exit non-zero on each when run with
+#: ``--check <id>`` (the acceptance gate for seeded violations).
+SEEDED = {
+    "lock-discipline": (
+        "service/cache.py",
+        "import threading\n"
+        "\n"
+        "\n"
+        "class Cache:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self._entries = {}\n"
+        "\n"
+        "    def put(self, key, value):\n"
+        "        with self._lock:\n"
+        "            self._entries.update({key: value})\n"
+        "\n"
+        "    def drop(self, key):\n"
+        "        self._entries.pop(key, None)\n",
+    ),
+    "epoch-safety": (
+        "engines/scan.py",
+        "class Scanner:\n"
+        "    def stream(self):\n"
+        "        for name in list(self.tables):\n"
+        "            yield name\n"
+        "            yield self.tables[name]\n",
+    ),
+    "error-taxonomy": (
+        "service/handlers.py",
+        "def parse(text):\n"
+        "    if not text:\n"
+        "        raise ValueError('empty query')\n"
+        "    return text\n",
+    ),
+    "numpy-hygiene": (
+        "storage/pack.py",
+        "import numpy as np\n"
+        "\n"
+        "\n"
+        "def pack(columns):\n"
+        "    return np.stack(columns)\n",
+    ),
+}
+
+BAD_STORAGE = SEEDED["numpy-hygiene"][1]
+
+
+def _write(tmp_path, relpath, source):
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source, encoding="utf-8")
+    return path
+
+
+def test_checker_registry_ids():
+    assert [checker.id for checker in all_checkers()] == [
+        "lock-discipline",
+        "epoch-safety",
+        "error-taxonomy",
+        "numpy-hygiene",
+    ]
+
+
+def test_finding_render_and_fingerprint():
+    finding = Finding("numpy-hygiene", "storage/p.py", 5, "pack", "msg")
+    assert finding.render() == "storage/p.py:5: [numpy-hygiene] msg (pack)"
+    assert finding.fingerprint() == (
+        "numpy-hygiene",
+        "storage/p.py",
+        "pack",
+        "msg",
+    )
+
+
+def test_suppression_on_line_and_line_above(tmp_path):
+    _write(
+        tmp_path,
+        "storage/p.py",
+        "import numpy as np\n"
+        "\n"
+        "def f(c):\n"
+        "    return np.stack(c)  # repro: allow[numpy-hygiene]\n"
+        "\n"
+        "def g(c):\n"
+        "    # repro: allow[numpy-hygiene]\n"
+        "    return np.stack(c)\n"
+        "\n"
+        "def h(c):\n"
+        "    # repro: allow[lock-discipline]\n"
+        "    return np.stack(c)\n",
+    )
+    findings, hidden = run_analysis([tmp_path], root=tmp_path)
+    # f and g are suppressed; h names the wrong checker and stays.
+    assert hidden == 2
+    assert [(f.line, f.checker) for f in findings] == [(12, "numpy-hygiene")]
+
+
+def test_wildcard_suppression(tmp_path):
+    _write(
+        tmp_path,
+        "storage/p.py",
+        "import numpy as np\n"
+        "\n"
+        "def f(c):\n"
+        "    return np.stack(c)  # repro: allow[*]\n",
+    )
+    findings, hidden = run_analysis([tmp_path], root=tmp_path)
+    assert findings == [] and hidden == 1
+
+
+def test_baseline_matches_without_line_numbers(tmp_path):
+    _write(tmp_path, "storage/p.py", BAD_STORAGE)
+    findings, _ = run_analysis([tmp_path], root=tmp_path)
+    assert len(findings) == 1
+    entries = [baseline_entry(findings[0], "known")]
+    assert entries[0]["justification"] == "known"
+    assert "line" not in entries[0]
+    # Shift the code down: the line moves, the fingerprint does not.
+    _write(tmp_path, "storage/p.py", "\n\n" + BAD_STORAGE)
+    moved, _ = run_analysis([tmp_path], root=tmp_path)
+    new, grandfathered = split_by_baseline(moved, entries)
+    assert new == []
+    assert len(grandfathered) == 1
+    assert grandfathered[0].line != findings[0].line
+
+
+@pytest.mark.parametrize("checker_id", sorted(SEEDED))
+def test_cli_exits_nonzero_on_each_seeded_checker(
+    tmp_path, capsys, checker_id
+):
+    relpath, source = SEEDED[checker_id]
+    _write(tmp_path, relpath, source)
+    rc = main(
+        [
+            str(tmp_path),
+            "--check",
+            checker_id,
+            "--baseline",
+            str(tmp_path / "baseline.json"),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert f"[{checker_id}]" in out
+
+
+def test_cli_json_report_shape(tmp_path, capsys):
+    _write(tmp_path, *SEEDED["numpy-hygiene"])
+    rc = main(
+        [
+            str(tmp_path),
+            "--format",
+            "json",
+            "--baseline",
+            str(tmp_path / "baseline.json"),
+        ]
+    )
+    report = json.loads(capsys.readouterr().out)
+    assert rc == 1
+    assert report["checkers"] == [
+        "epoch-safety",
+        "error-taxonomy",
+        "lock-discipline",
+        "numpy-hygiene",
+    ]
+    assert len(report["new"]) == 1
+    assert report["new"][0]["checker"] == "numpy-hygiene"
+    assert report["baselined"] == [] and report["suppressed"] == 0
+
+
+def test_cli_write_baseline_then_clean(tmp_path, capsys):
+    _write(tmp_path, *SEEDED["numpy-hygiene"])
+    baseline = tmp_path / "baseline.json"
+    assert (
+        main([str(tmp_path), "--baseline", str(baseline), "--write-baseline"])
+        == 0
+    )
+    assert main([str(tmp_path), "--baseline", str(baseline)]) == 0
+    out = capsys.readouterr().out
+    assert "0 new finding(s), 1 baselined" in out
+
+
+def test_cli_out_writes_report_file(tmp_path, capsys):
+    _write(tmp_path, *SEEDED["numpy-hygiene"])
+    out_file = tmp_path / "report.json"
+    rc = main(
+        [
+            str(tmp_path),
+            "--baseline",
+            str(tmp_path / "baseline.json"),
+            "--out",
+            str(out_file),
+        ]
+    )
+    capsys.readouterr()
+    assert rc == 1
+    report = json.loads(out_file.read_text(encoding="utf-8"))
+    assert len(report["new"]) == 1
+
+
+def test_cli_unknown_checker_is_usage_error(tmp_path, capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main([str(tmp_path), "--check", "nope"])
+    capsys.readouterr()
+    assert excinfo.value.code == 2
+
+
+def test_real_tree_is_clean():
+    """Dogfood gate: all four checkers over the actual src/ tree."""
+    root = Path(__file__).resolve().parents[2]
+    findings, _ = run_analysis([root / "src"], root=root)
+    assert findings == [], "\n".join(f.render() for f in findings)

@@ -1,0 +1,169 @@
+"""Lock-discipline checker: guarded/unguarded mixes, helper inference,
+and lock-order cycles — on known-bad and known-clean snippets."""
+
+from repro.analysis.core import run_analysis
+from repro.analysis.lock_discipline import LockDisciplineChecker
+
+
+def _analyze(tmp_path, source):
+    path = tmp_path / "service" / "mod.py"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source, encoding="utf-8")
+    findings, _ = run_analysis(
+        [tmp_path], checkers=[LockDisciplineChecker()], root=tmp_path
+    )
+    return findings
+
+
+def _lines(source, fragment):
+    return [
+        lineno
+        for lineno, line in enumerate(source.splitlines(), 1)
+        if fragment in line
+    ]
+
+
+MIXED = (
+    "import threading\n"
+    "\n"
+    "\n"
+    "class Cache:\n"
+    "    def __init__(self):\n"
+    "        self._lock = threading.Lock()\n"
+    "        self._entries = {}\n"
+    "\n"
+    "    def put(self, key, value):\n"
+    "        with self._lock:\n"
+    "            self._entries.update({key: value})\n"
+    "\n"
+    "    def drop(self, key):\n"
+    "        self._entries.pop(key, None)\n"
+)
+
+
+def test_unguarded_mutation_is_flagged(tmp_path):
+    findings = _analyze(tmp_path, MIXED)
+    assert [f.checker for f in findings] == ["lock-discipline"]
+    finding = findings[0]
+    assert finding.line == _lines(MIXED, "self._entries.pop")[0]
+    assert finding.symbol == "Cache.drop"
+    assert "_entries" in finding.message
+    assert "without a lock" in finding.message
+
+
+CLEAN = (
+    "import threading\n"
+    "\n"
+    "\n"
+    "class Cache:\n"
+    "    def __init__(self):\n"
+    "        self._lock = threading.Lock()\n"
+    "        self._entries = {}\n"
+    "\n"
+    "    def put(self, key, value):\n"
+    "        with self._lock:\n"
+    "            self._entries.update({key: value})\n"
+    "\n"
+    "    def drop(self, key):\n"
+    "        with self._lock:\n"
+    "            self._entries.pop(key, None)\n"
+)
+
+
+def test_consistently_guarded_class_is_clean(tmp_path):
+    assert _analyze(tmp_path, CLEAN) == []
+
+
+#: The helper mutates without taking the lock itself, but every caller
+#: holds it — the intra-class fixpoint must infer that, not flag it.
+HELPER = (
+    "import threading\n"
+    "\n"
+    "\n"
+    "class Cache:\n"
+    "    def __init__(self):\n"
+    "        self._lock = threading.Lock()\n"
+    "        self._entries = {}\n"
+    "\n"
+    "    def put(self, key, value):\n"
+    "        with self._lock:\n"
+    "            self._store(key, value)\n"
+    "\n"
+    "    def replace(self, items):\n"
+    "        with self._lock:\n"
+    "            self._entries.clear()\n"
+    "            for key, value in items.items():\n"
+    "                self._store(key, value)\n"
+    "\n"
+    "    def _store(self, key, value):\n"
+    "        self._entries.update({key: value})\n"
+)
+
+
+def test_helper_called_only_under_lock_is_clean(tmp_path):
+    assert _analyze(tmp_path, HELPER) == []
+
+
+CYCLE = (
+    "import threading\n"
+    "\n"
+    "\n"
+    "class Pair:\n"
+    "    def __init__(self):\n"
+    "        self._first = threading.Lock()\n"
+    "        self._second = threading.Lock()\n"
+    "\n"
+    "    def forward(self):\n"
+    "        with self._first:\n"
+    "            with self._second:\n"
+    "                return 1\n"
+    "\n"
+    "    def backward(self):\n"
+    "        with self._second:\n"
+    "            with self._first:\n"
+    "                return 2\n"
+)
+
+
+def test_lock_order_cycle_is_flagged_on_both_edges(tmp_path):
+    findings = _analyze(tmp_path, CYCLE)
+    lines_by_symbol = {f.symbol: f.line for f in findings}
+    assert set(lines_by_symbol) == {
+        "Pair._first->Pair._second",
+        "Pair._second->Pair._first",
+    }
+    assert all("lock-order cycle" in f.message for f in findings)
+    # Each edge is reported at its inner acquisition.
+    assert (
+        lines_by_symbol["Pair._first->Pair._second"]
+        == _lines(CYCLE, "with self._second:")[0]
+    )
+    assert (
+        lines_by_symbol["Pair._second->Pair._first"]
+        == _lines(CYCLE, "with self._first:")[1]
+    )
+
+
+NESTED_OK = (
+    "import threading\n"
+    "\n"
+    "\n"
+    "class Pair:\n"
+    "    def __init__(self):\n"
+    "        self._first = threading.Lock()\n"
+    "        self._second = threading.Lock()\n"
+    "\n"
+    "    def forward(self):\n"
+    "        with self._first:\n"
+    "            with self._second:\n"
+    "                return 1\n"
+    "\n"
+    "    def also_forward(self):\n"
+    "        with self._first:\n"
+    "            with self._second:\n"
+    "                return 2\n"
+)
+
+
+def test_consistent_nesting_order_is_clean(tmp_path):
+    assert _analyze(tmp_path, NESTED_OK) == []

@@ -1,0 +1,85 @@
+"""Numpy-hygiene checker: dtype-less stack/frombuffer and ambiguous
+string dtypes in the packed-array storage scope."""
+
+from repro.analysis.core import run_analysis
+from repro.analysis.numpy_hygiene import NumpyHygieneChecker
+
+
+def _analyze(tmp_path, source, relpath="storage/pack.py"):
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source, encoding="utf-8")
+    findings, _ = run_analysis(
+        [tmp_path], checkers=[NumpyHygieneChecker()], root=tmp_path
+    )
+    return findings
+
+
+def _lines(source, fragment):
+    return [
+        lineno
+        for lineno, line in enumerate(source.splitlines(), 1)
+        if fragment in line
+    ]
+
+
+BAD = (
+    "import numpy as np\n"
+    "\n"
+    "\n"
+    "def pack(columns, buffer):\n"
+    "    stacked = np.stack(columns)\n"
+    "    words = np.frombuffer(buffer)\n"
+    "    return stacked.astype('u4'), words\n"
+    "\n"
+    "\n"
+    "def retag(values):\n"
+    "    return values.view('uint64')\n"
+)
+
+
+def test_dtype_and_endianness_violations_are_flagged(tmp_path):
+    findings = _analyze(tmp_path, BAD)
+    assert [(f.line, f.checker) for f in findings] == [
+        (_lines(BAD, "np.stack")[0], "numpy-hygiene"),
+        (_lines(BAD, "np.frombuffer")[0], "numpy-hygiene"),
+        (_lines(BAD, "astype('u4')")[0], "numpy-hygiene"),
+        (_lines(BAD, "view('uint64')")[0], "numpy-hygiene"),
+    ]
+    assert "np.stack without an explicit dtype=" in findings[0].message
+    assert "np.frombuffer without an explicit dtype=" in findings[1].message
+    assert "'u4'" in findings[2].message
+    assert "byte\norder" not in findings[2].message  # single line msg
+    assert "'uint64'" in findings[3].message
+    assert findings[0].symbol == "pack"
+    assert findings[3].symbol == "retag"
+
+
+CLEAN = (
+    "import numpy as np\n"
+    "\n"
+    "\n"
+    "def pack(columns, buffer):\n"
+    "    stacked = np.stack(columns, dtype=np.int64)\n"
+    "    words = np.frombuffer(buffer, dtype='<u8')\n"
+    "    return stacked.astype('>u4'), words\n"
+    "\n"
+    "\n"
+    "def native(values):\n"
+    "    return values.astype(np.uint32).view('=u8')\n"
+)
+
+
+def test_explicit_dtypes_and_byte_orders_are_clean(tmp_path):
+    assert _analyze(tmp_path, CLEAN) == []
+
+
+def test_out_of_scope_paths_are_ignored(tmp_path):
+    assert _analyze(tmp_path, BAD, relpath="service/mod.py") == []
+
+
+def test_sets_and_nputil_are_in_scope(tmp_path):
+    # Both files accumulate in tmp_path; count findings per file.
+    for relpath in ("sets/layout.py", "nputil.py"):
+        findings = _analyze(tmp_path, BAD, relpath=relpath)
+        assert len([f for f in findings if f.path == relpath]) == 4

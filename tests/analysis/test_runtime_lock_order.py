@@ -1,0 +1,118 @@
+"""Runtime lock-order sanitizer: order-graph recording, inversion
+detection, dedup, and the test-suite instrumentation wiring."""
+
+import threading
+
+from repro.analysis import runtime
+
+
+def test_threading_factories_are_instrumented_in_tests():
+    # The autouse conftest fixture monkeypatches threading.Lock/RLock.
+    assert isinstance(threading.Lock(), runtime.OrderedLock)
+    assert isinstance(threading.RLock(), runtime.OrderedLock)
+
+
+def test_consistent_order_records_edges_without_violations():
+    runtime.reset()
+    outer = runtime.OrderedLock(name="repro/test:outer")
+    inner = runtime.OrderedLock(name="repro/test:inner")
+    for _ in range(3):
+        with outer:
+            with inner:
+                pass
+    assert runtime.violations() == []
+    assert runtime.order_edges()["repro/test:outer"] == ["repro/test:inner"]
+    runtime.reset()
+
+
+def test_inverted_order_is_recorded_once():
+    runtime.reset()
+    first = runtime.OrderedLock(name="repro/test:first")
+    second = runtime.OrderedLock(name="repro/test:second")
+    try:
+        with first:
+            with second:
+                pass
+        with second:
+            with first:  # inversion
+                pass
+        with second:
+            with first:  # same inversion again: deduplicated
+                pass
+        found = runtime.violations()
+        assert len(found) == 1
+        violation = found[0]
+        assert violation.holding == "repro/test:second"
+        assert violation.acquiring == "repro/test:first"
+        assert violation.cycle == [
+            "repro/test:first",
+            "repro/test:second",
+            "repro/test:first",
+        ]
+        rendered = violation.render()
+        assert "lock-order violation" in rendered
+        assert "repro/test:first" in rendered
+    finally:
+        runtime.reset()
+
+
+def test_cross_thread_inversion_is_detected():
+    runtime.reset()
+    a = runtime.OrderedLock(name="repro/test:a")
+    b = runtime.OrderedLock(name="repro/test:b")
+    try:
+        with a:
+            with b:
+                pass
+
+        def invert():
+            with b:
+                with a:
+                    pass
+
+        thread = threading.Thread(target=invert)
+        thread.start()
+        thread.join()
+        assert len(runtime.violations()) == 1
+    finally:
+        runtime.reset()
+
+
+def test_reentrant_acquisition_is_not_an_edge():
+    runtime.reset()
+    lock = runtime.OrderedLock(name="repro/test:re")
+    with lock:
+        with lock:
+            pass
+    assert runtime.violations() == []
+    assert runtime.order_edges() == {}
+    runtime.reset()
+
+
+def test_locks_created_outside_the_project_are_untracked():
+    runtime.reset()
+    anonymous = runtime.OrderedLock()  # created in tests/, not src/repro
+    named = runtime.OrderedLock(name="repro/test:n")
+    with anonymous:
+        with named:
+            pass
+    assert runtime.order_edges() == {}
+    runtime.reset()
+
+
+def test_factories_and_lock_protocol():
+    lock = runtime.make_lock()
+    rlock = runtime.make_rlock()
+    assert isinstance(lock, runtime.OrderedLock)
+    assert isinstance(rlock, runtime.OrderedLock)
+    assert lock.acquire(False) is True
+    assert lock.locked()
+    lock.release()
+    assert not lock.locked()
+    with rlock:
+        with rlock:  # reentrant
+            pass
+    # Condition interop: the wrapper delegates the private lock API.
+    condition = threading.Condition(runtime.make_rlock())
+    with condition:
+        condition.notify_all()

@@ -49,6 +49,7 @@ def test_http_bench_smoke_probe_inventory(report):
         "unknown_format_406",
         "missing_parameter_400",
         "stats_ok",
+        "stats_http_keepalive",
         "explain_ok",
         "explain_missing_parameter_400",
         "update_applied",

@@ -1,8 +1,13 @@
-"""Shared fixtures: one generated LUBM dataset per test session."""
+"""Shared fixtures: one generated LUBM dataset per test session, plus
+the runtime lock-order sanitizer threaded under every test."""
 
 from __future__ import annotations
 
+import threading
+
 import pytest
+
+from repro.analysis import runtime
 
 from repro import (
     ColumnStoreEngine,
@@ -13,6 +18,29 @@ from repro import (
     generate_dataset,
     lubm_queries,
 )
+
+
+@pytest.fixture(autouse=True)
+def lock_order_sanitizer(monkeypatch):
+    """Route every project lock through :class:`runtime.OrderedLock`.
+
+    Locks created while a test runs (engines, stores, HTTP servers)
+    record their acquisition order into a global graph; an acquisition
+    that inverts a previously seen order is recorded — not raised — and
+    fails the test here at teardown.  This turns the whole suite into a
+    lock-order regression harness for free.
+    """
+    monkeypatch.setattr(threading, "Lock", runtime.make_lock)
+    monkeypatch.setattr(threading, "RLock", runtime.make_rlock)
+    runtime.reset()
+    yield
+    found = runtime.violations()
+    if found:
+        pytest.fail(
+            "runtime lock-order sanitizer recorded violation(s):\n\n"
+            + "\n\n".join(violation.render() for violation in found),
+            pytrace=False,
+        )
 
 
 @pytest.fixture(scope="session")

@@ -1,6 +1,10 @@
-"""Cardinality-statistics refresh: compaction evicts drifted plans."""
+"""Cardinality-statistics refresh: compaction evicts drifted plans, and
+the delta-overlay engines recompute per-predicate statistics per epoch
+instead of carrying them across ``apply_delta``."""
 
 from repro.engines.emptyheaded import EmptyHeadedEngine
+from repro.engines.rdf3x import RDF3XLikeEngine
+from repro.engines.triplebit import TripleBitLikeEngine
 from repro.storage.vertical import DeltaConfig, vertically_partition
 
 EX = "http://ex/"
@@ -68,3 +72,58 @@ def test_compacted_tables_recorded_in_delta_batch():
     assert batches is not None and len(batches) == 1
     assert "p0" in batches[0].compacted_tables
     assert store.compactions == 1
+
+
+# ---------------------------------------------------------------------------
+# Overlay engines: per-epoch predicate statistics
+# ---------------------------------------------------------------------------
+# The base dataset: p0 and p1 each hold 20 rows (even/odd i), with 20
+# distinct subjects and 2 distinct objects (o0/o2 resp. o1/o3).
+def test_rdf3x_delta_refreshes_predicate_stats():
+    store = _store(compact_fraction=100.0)
+    engine = RDF3XLikeEngine(store)
+    state = engine._state
+    p0 = state.predicate_key["p0"]
+    p1 = state.predicate_key["p1"]
+    assert state.predicate_stats[p0] == (20, 20, 2)
+
+    store.add_triples(
+        [
+            (f"<{EX}x>", f"<{EX}p0>", f"<{EX}onew>"),
+            (f"<{EX}x>", f"<{EX}p9>", f"<{EX}y>"),
+        ]
+    )
+    engine.check_data_version()
+    state = engine._state
+    # The touched table recounts through the overlay; the untouched one
+    # keeps its (still correct) entry; the new table gains one.
+    assert state.predicate_stats[p0] == (21, 21, 3)
+    assert state.predicate_stats[p1] == (20, 20, 2)
+    assert state.predicate_stats[state.predicate_key["p9"]] == (1, 1, 1)
+
+
+def test_triplebit_delta_refreshes_predicate_stats():
+    store = _store(compact_fraction=100.0)
+    engine = TripleBitLikeEngine(store)
+    assert engine._state.predicate_stats["p0"] == (20, 2)
+
+    store.add_triples([(f"<{EX}x>", f"<{EX}p0>", f"<{EX}onew>")])
+    engine.check_data_version()
+    state = engine._state
+    assert state.predicate_stats["p0"] == (21, 3)
+    assert state.predicate_stats["p1"] == (20, 2)
+
+
+def test_rdf3x_stats_dropped_when_table_empties():
+    triples = [
+        (f"<{EX}a>", f"<{EX}p0>", f"<{EX}b>"),
+        (f"<{EX}c>", f"<{EX}p1>", f"<{EX}d>"),
+    ]
+    store = vertically_partition(triples)
+    store.delta_config = DeltaConfig(compact_fraction=100.0)
+    engine = RDF3XLikeEngine(store)
+    store.remove_triples([triples[0]])
+    engine.check_data_version()
+    state = engine._state
+    assert "p0" not in state.predicate_key
+    assert set(state.predicate_stats) == {state.predicate_key["p1"]}

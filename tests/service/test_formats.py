@@ -5,7 +5,7 @@ import json
 import pytest
 
 from repro.engines.emptyheaded import EmptyHeadedEngine
-from repro.errors import UnsupportedFormatError
+from repro.errors import ParseError, UnsupportedFormatError
 from repro.service import QueryService
 from repro.service.formats import (
     SERIALIZERS,
@@ -157,7 +157,9 @@ def test_binary_roundtrip_including_nulls():
 
 
 def test_binary_rejects_other_payloads():
-    with pytest.raises(ValueError):
+    # A taxonomy error (registered code), not a bare ValueError — the
+    # serving layer maps unregistered exceptions to internal_error/500.
+    with pytest.raises(ParseError):
         read_binary(b"nope")
 
 

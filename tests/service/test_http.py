@@ -358,6 +358,49 @@ def test_stats_and_explain_endpoints(server):
     assert b"plan" in body
 
 
+def test_stats_reports_keepalive_and_pool_metrics(server):
+    query = f"SELECT ?s WHERE {{ ?s <{EX}p0> ?o }}"
+    host, port = server.server_address[:2]
+    connection = http.client.HTTPConnection(host, port)
+    try:
+        # Three requests down one keep-alive connection: the second and
+        # third are reuses.
+        for _ in range(2):
+            connection.request("GET", _sparql({"query": query}))
+            connection.getresponse().read()
+        connection.request("GET", "/stats")
+        payload = json.loads(connection.getresponse().read())
+    finally:
+        connection.close()
+
+    assert payload["triples"] == 30  # session stats still present
+    http_stats = payload["http"]
+    assert http_stats["connections"]["opened"] >= 1
+    assert http_stats["requests"]["served"] >= 3
+    assert http_stats["requests"]["keepalive_reuses"] >= 2
+    assert http_stats["pool"]["max_workers"] == 4
+    assert http_stats["pool"]["max_pending"] == 64
+    assert http_stats["pool"]["in_flight"] == 0
+    assert http_stats["pool"]["in_flight_peak"] >= 1
+
+    # A fresh connection is a new open, not a reuse.
+    before = http_stats["connections"]["opened"]
+    _, _, body = _get(server, "/stats")
+    after = json.loads(body)["http"]["connections"]
+    assert after["opened"] == before + 1
+    # Closes are counted when the handler thread notices EOF, which may
+    # lag the client's close() — poll rather than assert a snapshot.
+    import time
+
+    deadline = time.time() + 2.0
+    while (
+        server.http_stats()["connections"]["closed"] < before
+        and time.time() < deadline
+    ):
+        time.sleep(0.02)
+    assert server.http_stats()["connections"]["closed"] >= before
+
+
 def test_capacity_error_when_admission_bound_hit():
     service = QueryService(EmptyHeadedEngine(vertically_partition(_triples())))
     with SparqlHttpServer(service, port=0, max_pending=1) as srv:
