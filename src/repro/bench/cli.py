@@ -11,6 +11,7 @@ Subcommands::
     repro-lubm service --out BENCH_service.json          # serving bench
     repro-lubm updates --out BENCH_updates.json          # update-path bench
     repro-lubm http --out BENCH_http.json                # live-server bench
+    repro-lubm topk --out BENCH_topk.json                # streaming bench
 
 ``smoke`` runs every engine over a tiny LUBM instance and exits
 non-zero on any cross-engine disagreement or golden-count regression —
@@ -30,6 +31,12 @@ wholesale-rebuild baseline on interleaved write/read traffic across
 every engine, cross-checking both legs' rows; ``--min-speedup X``
 additionally gates on the measured delta-vs-rebuild ratio (see
 :mod:`repro.bench.updates_bench`).
+
+``topk`` benchmarks the streaming top-k executor on deep-``LIMIT``
+queries at two store scales, gating on streamed-vs-materialized row
+identity, the enumerated-tuples counter staying bounded by the
+requested slice (independent of store scale), and a wall-clock win
+over full materialization (see :mod:`repro.bench.topk_bench`).
 
 ``http`` starts a live :class:`~repro.service.http.SparqlHttpServer`
 and measures end-to-end p50/p95 of streamed JSON/binary serving against
@@ -155,6 +162,25 @@ def _cmd_updates(args) -> None:
             f"update_query_speedup {report['update_query_speedup']} "
             f"below --min-speedup {args.min_speedup}"
         )
+        sys.exit(1)
+
+
+def _cmd_topk(args) -> None:
+    from repro.bench.topk_bench import render, run_topk_bench, write_report
+
+    report = run_topk_bench(
+        universities=args.universities,
+        seed=args.seed,
+        scale=args.scale,
+        repeats=args.repeats,
+        max_scale_ratio=args.max_scale_ratio,
+        bound_factor=args.bound_factor,
+    )
+    print(render(report))
+    if args.out:
+        write_report(report, args.out)
+        print(f"wrote {args.out}")
+    if not report["ok"]:
         sys.exit(1)
 
 
@@ -309,6 +335,41 @@ def main(argv: list[str] | None = None) -> None:
         help="write the machine-readable JSON report to this path",
     )
     http_cmd.set_defaults(func=_cmd_http)
+
+    topk = sub.add_parser("topk", parents=[common])
+    topk.add_argument(
+        "--scale",
+        type=int,
+        default=2,
+        help="multiply --universities for the large-store comparison "
+        "(streamed enumeration must not grow with it)",
+    )
+    topk.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="timing repetitions per leg (best-of)",
+    )
+    topk.add_argument(
+        "--max-scale-ratio",
+        type=float,
+        default=1.5,
+        help="gate: streamed enumerated tuples at the large scale must "
+        "stay within this multiple of the small scale's",
+    )
+    topk.add_argument(
+        "--bound-factor",
+        type=float,
+        default=12.0,
+        help="gate: streamed enumerated tuples must stay under this "
+        "multiple of max(offset + limit, minimum chunk)",
+    )
+    topk.add_argument(
+        "--out",
+        default="",
+        help="write the machine-readable JSON report to this path",
+    )
+    topk.set_defaults(func=_cmd_topk)
 
     args = parser.parse_args(argv)
     args.func(args)

@@ -28,7 +28,8 @@ deterministic so warmed plans are the ones execution later looks up.
 
 from __future__ import annotations
 
-from collections.abc import Callable, Iterable
+import heapq
+from collections.abc import Callable, Iterable, Iterator
 
 import numpy as np
 
@@ -140,6 +141,11 @@ def optional_queries(
     needed |= opt_vars & req_vars  # left-outer join keys
     needed |= opt_vars & _filter_variables(optional.filters)
     needed |= opt_vars & _filter_variables(block.filters)
+    for other in block.optionals:
+        # Compatibility-join keys: a variable two OPTIONALs share must
+        # be materialized even when nothing downstream projects it.
+        if other is not optional:
+            needed |= opt_vars & other.variables()
     if not needed:
         needed = {min(opt_vars)}
     queries: list[ConjunctiveQuery] = []
@@ -219,23 +225,39 @@ def left_outer_extend(
 ) -> Relation:
     """Left-outer join ``left`` with the union of ``parts``.
 
+    Implements SPARQL's *compatibility* join: two solutions are
+    compatible when every variable bound in both agrees, and a shared
+    variable the left row leaves *unbound* (NULL padding from an earlier
+    OPTIONAL that did not match) is compatible with anything — the
+    merged row adopts the right side's binding. Left rows are therefore
+    grouped by which shared keys they leave NULL, and each group joins
+    on its actually-bound keys only. (The right side never carries NULL:
+    extension parts are conjunctive results. A genuine data key can
+    never collide with :data:`NULL_KEY` — the dictionary allocates keys
+    densely from zero.)
+
     ``filters`` are the OPTIONAL group's own FILTERs: evaluated on the
     *extended* rows (they may reference left variables, per SPARQL);
-    rows whose every extension fails them fall back to NULL padding. A
-    NULL join key on the left (from an earlier extension) matches
-    nothing, so such rows stay padded.
+    rows whose every extension fails them fall back to NULL padding.
     """
     right = parts[0]
     for part in parts[1:]:
         right = right.concat(part)
     if len(parts) > 1:
         right = right.distinct()
+    shared = [a for a in left.attributes if a in right.attributes]
+    nullable = (
+        [a for a in shared if bool((left.column(a) == NULL_KEY).any())]
+        if left.num_rows
+        else []
+    )
     right_only = [
         a for a in right.attributes if a not in left.attributes
     ]
-    if not right_only:
-        # The extension binds no new variable: it can never remove rows
-        # (left joins only extend), so the block rows are unchanged.
+    if not right_only and not nullable:
+        # The extension binds nothing new for any row: it can never
+        # remove rows (left joins only extend), so the block rows are
+        # unchanged.
         return left
     out_attrs = list(left.attributes) + right_only
     if left.num_rows == 0 or right.num_rows == 0:
@@ -244,7 +266,51 @@ def left_outer_extend(
             out_attrs,
             list(left.columns) + _pad_columns(left.num_rows, len(right_only)),
         )
-    keys = [a for a in left.attributes if a in right.attributes]
+    if not nullable:
+        return _extend_group(
+            left, right, shared, right_only, frozenset(), filters, dictionary
+        )
+    # Group rows by their NULL pattern over the nullable shared keys.
+    null_bits = np.zeros(left.num_rows, dtype=np.int64)
+    for bit, attr in enumerate(nullable):
+        null_bits |= (left.column(attr) == NULL_KEY).astype(np.int64) << bit
+    pieces: list[Relation] = []
+    for pattern in np.unique(null_bits):
+        group = left.filter(null_bits == pattern)
+        unbound = frozenset(
+            attr
+            for bit, attr in enumerate(nullable)
+            if (int(pattern) >> bit) & 1
+        )
+        keys = [a for a in shared if a not in unbound]
+        pieces.append(
+            _extend_group(
+                group, right, keys, right_only, unbound, filters, dictionary
+            )
+        )
+    result = pieces[0]
+    for piece in pieces[1:]:
+        result = result.concat(piece)
+    return result
+
+
+def _extend_group(
+    left: Relation,
+    right: Relation,
+    keys: list[str],
+    right_only: list[str],
+    unbound: frozenset[str],
+    filters: tuple[FilterExpr, ...],
+    dictionary,
+) -> Relation:
+    """Left-outer extend one NULL-pattern group of rows.
+
+    ``keys`` are the shared attributes this group actually binds;
+    ``unbound`` are the shared attributes it leaves NULL, whose merged
+    values come from the right side (every right match extends the row
+    once, per compatibility semantics). Unmatched rows keep their NULL.
+    """
+    out_attrs = list(left.attributes) + right_only
     if keys:
         left_idx, right_idx = join_indices(left, right, keys)
     else:
@@ -257,7 +323,12 @@ def left_outer_extend(
     joined = Relation(
         left.name,
         out_attrs,
-        [left.column(a)[left_idx] for a in left.attributes]
+        [
+            right.column(a)[right_idx]
+            if a in unbound
+            else left.column(a)[left_idx]
+            for a in left.attributes
+        ]
         + [right.column(a)[right_idx] for a in right_only],
     )
     if filters:
@@ -339,11 +410,120 @@ def execute_union(
     return result.rename(name=bound.name)
 
 
+# ---------------------------------------------------------------------------
+# Streaming union assembly
+# ---------------------------------------------------------------------------
+def _branch_chunk_stream(
+    stream: Iterator[Relation], names: list[str], name: str, cap: int
+) -> Iterator[Relation]:
+    """Align a branch's streamed chunks onto the union projection and
+    stop the producer after ``cap`` rows (closing it on early exit)."""
+
+    def run() -> Iterator[Relation]:
+        taken = 0
+        try:
+            for chunk in stream:
+                if chunk.num_rows == 0:
+                    continue
+                aligned = _align(chunk, names, name)
+                if taken + aligned.num_rows > cap:
+                    aligned = aligned.head(cap - taken)
+                taken += aligned.num_rows
+                yield aligned
+                if taken >= cap:
+                    break
+        finally:
+            close = getattr(stream, "close", None)
+            if close is not None:
+                close()
+
+    return run()
+
+
+def _chunk_rows(chunks: Iterator[Relation]) -> Iterator[tuple[int, ...]]:
+    """Flatten aligned chunks into int row tuples for the heap merge."""
+    for chunk in chunks:
+        columns = chunk.columns
+        for i in range(chunk.num_rows):
+            yield tuple(int(column[i]) for column in columns)
+
+
+def execute_union_iter(
+    bound: BoundUnion,
+    execute: ExecuteFn,
+    execute_iter: Callable[[ConjunctiveQuery], Iterator[Relation] | None],
+    dictionary,
+    page_rows: int = 1024,
+) -> Iterator[Relation] | None:
+    """Stream a bound multi-block query as sliced result pages, or
+    return ``None`` when only the materializing path applies.
+
+    Streaming requires a LIMIT and no ORDER BY — then the merged result
+    is a prefix in canonical lexicographic order (:func:`branch_row_cap`)
+    and a k-way heap merge over canonically-sorted branch streams can
+    deduplicate across branches and stop at ``offset + limit`` distinct
+    rows. Branches whose rows nothing can drop or reorder (no filters,
+    no optionals) are consumed through the engine's streaming hook
+    (``execute_iter``, which may decline with ``None``); other branches
+    materialize eagerly at call time, which both preserves the
+    materialized path's snapshot semantics and costs no more than it.
+    """
+    if bound.limit is None or bound.order_by:
+        return None
+    names = [v.name for v in bound.projection]
+    cap = bound.offset + bound.limit
+    sources: list[Iterator[Relation]] = []
+    for index, block in enumerate(bound.blocks):
+        stream = None
+        if not block.filters and not block.optionals:
+            stream = execute_iter(required_query(bound, block, index))
+        if stream is not None:
+            sources.append(_branch_chunk_stream(stream, names, bound.name, cap))
+        else:
+            branch = execute_block(bound, block, index, execute, dictionary)
+            branch = branch.distinct().head(cap)
+            sources.append(iter([branch]))
+
+    def run() -> Iterator[Relation]:
+        merged = heapq.merge(*(_chunk_rows(source) for source in sources))
+        rows: list[tuple[int, ...]] = []
+        previous: tuple[int, ...] | None = None
+        seen = 0
+        emitted = 0
+        yielded = False
+        try:
+            for row in merged:
+                if row == previous:
+                    continue  # cross-branch duplicate
+                previous = row
+                seen += 1
+                if seen <= bound.offset:
+                    continue
+                rows.append(row)
+                emitted += 1
+                if len(rows) >= page_rows:
+                    yield Relation.from_rows(bound.name, names, rows)
+                    yielded = True
+                    rows = []
+                if emitted >= bound.limit:
+                    break
+        finally:
+            for source in sources:
+                close = getattr(source, "close", None)
+                if close is not None:
+                    close()
+        if rows or not yielded:
+            yield Relation.from_rows(bound.name, names, rows)
+
+    return run()
+
+
 __all__ = [
     "block_queries",
     "branch_row_cap",
     "execute_block",
     "execute_union",
+    "execute_union_iter",
     "left_outer_extend",
     "optional_queries",
     "required_query",

@@ -19,7 +19,16 @@ result is never materialized.
 
 from __future__ import annotations
 
-from repro.core.generic_join import Participant, generic_join
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.generic_join import (
+    Participant,
+    generic_join,
+    generic_join_stream,
+)
 from repro.core.modifiers import finalize_result
 from repro.core.planner import Plan
 from repro.core.query import Variable
@@ -31,11 +40,28 @@ from repro.storage.relation import Relation
 from repro.trie.trie import Trie
 
 
+@dataclass
+class ExecutorStats:
+    """Cumulative work counters for one executor.
+
+    ``enumerated_tuples`` counts partial join tuples carried through the
+    frontier at join-attribute bindings (both execution paths charge the
+    same way, so materialized and streamed runs are comparable). The
+    top-k bench gate asserts that under streaming it grows with
+    ``offset + limit``, not with store size.
+    """
+
+    enumerated_tuples: int = 0
+
+
 class GHDExecutor:
     """Executes :class:`~repro.core.planner.Plan`s against a catalog."""
 
-    def __init__(self, catalog: Catalog) -> None:
+    def __init__(
+        self, catalog: Catalog, stats: ExecutorStats | None = None
+    ) -> None:
         self.catalog = catalog
+        self.stats = stats if stats is not None else ExecutorStats()
 
     # ------------------------------------------------------------------
     # Entry point
@@ -64,6 +90,94 @@ class GHDExecutor:
                 return Relation.empty(plan.query.name, names)
 
         return finalize_result(self._materialize(plan, results), plan.query)
+
+    # ------------------------------------------------------------------
+    # Streaming entry point
+    # ------------------------------------------------------------------
+    def execute_iter(
+        self, plan: Plan, *, chunk_rows: int = 1024
+    ) -> Iterator[Relation] | None:
+        """Run the plan lazily, or return ``None`` when it cannot stream.
+
+        Yields chunks of *distinct* projected rows in exactly the order
+        :meth:`execute` would return them (``finalize_result``'s
+        canonical sort-by-projection order), without the final
+        offset/limit slice — the consumer stops pulling once it has
+        enough rows, which is the whole point.
+
+        Streaming requires the projection to be answerable from the
+        (fused) root node alone with a reordered binding sequence
+        ``[selections..., projection..., rest...]``; plans that need the
+        top-down Yannakakis pass, project nothing, select a projected
+        variable, or repeat one, fall back (``None``) to the
+        materializing path. Child nodes below the root still materialize
+        bottom-up — they are semijoin reducers, typically far smaller
+        than the root's output.
+        """
+        query = plan.query
+        projection = list(query.projection)
+        if not projection or len(set(projection)) != len(projection):
+            return None
+        ghd = plan.ghd
+        fused = plan.pipelined_child
+        attrs, atom_indices, child_ids = self._node_members(
+            plan, ghd.root, fused
+        )
+        chi = set(attrs)
+        if any(v not in chi for v in projection):
+            return None  # needs the top-down pass: materialize
+        selections = {
+            v: query.selections[v] for v in attrs if v in query.selections
+        }
+        if any(v in selections for v in projection):
+            return None
+        projected = set(projection)
+        stream_attrs = (
+            [v for v in attrs if v in selections]
+            + projection
+            + [v for v in attrs if v not in selections and v not in projected]
+        )
+
+        def run() -> Iterator[Relation]:
+            results: dict[int, Relation] = {}
+            for node in ghd.postorder():
+                node_id = node.node_id
+                if node_id == ghd.root or node_id == fused:
+                    continue
+                # Child nodes are semijoin reducers: like Phase B of the
+                # root's streamed join, their construction is index
+                # preparation, not result enumeration — uncounted so the
+                # stat reflects only the work the LIMIT can bound.
+                results[node_id] = self._execute_node(
+                    plan, node_id, results, fused=None, count_stats=False
+                )
+                if results[node_id].num_rows == 0:
+                    return
+            participants = [
+                self._atom_participant(plan, i, stream_attrs)
+                for i in atom_indices
+            ]
+            for child_id in child_ids:
+                participant = self._child_participant(
+                    plan, child_id, stream_attrs, results[child_id]
+                )
+                if participant is not None:
+                    participants.append(participant)
+            last_row: tuple[int, ...] | None = None
+            for chunk in generic_join_stream(
+                stream_attrs,
+                participants,
+                selections,
+                projection,
+                name=query.name,
+                chunk_rows=chunk_rows,
+                stats=self.stats,
+            ):
+                chunk, last_row = _drop_adjacent_duplicates(chunk, last_row)
+                if chunk.num_rows:
+                    yield chunk
+
+        return run()
 
     # ------------------------------------------------------------------
     # Index warming
@@ -100,6 +214,7 @@ class GHDExecutor:
         node_id: int,
         results: dict[int, Relation],
         fused: int | None,
+        count_stats: bool = True,
     ) -> Relation:
         attrs, atom_indices, child_ids = self._node_members(
             plan, node_id, fused
@@ -129,6 +244,7 @@ class GHDExecutor:
             selections,
             output_attrs,
             name=f"node{node_id}",
+            stats=self.stats if count_stats else None,
         )
 
     def _node_members(
@@ -253,3 +369,30 @@ class GHDExecutor:
                 "materialized by the plan"
             )
         return acc
+
+
+def _drop_adjacent_duplicates(
+    chunk: Relation, last_row: tuple[int, ...] | None
+) -> tuple[Relation, tuple[int, ...] | None]:
+    """Deduplicate a chunk of a stream sorted by all its columns.
+
+    Equal rows are adjacent in such a stream, so dedup is dropping rows
+    equal to their predecessor — including the first row when it equals
+    the previous chunk's last row (threaded through ``last_row``).
+    """
+    n = chunk.num_rows
+    if n == 0:
+        return chunk, last_row
+    keep = np.zeros(n, dtype=bool)
+    keep[0] = True
+    for column in chunk.columns:
+        keep[1:] |= column[1:] != column[:-1]
+    if last_row is not None and all(
+        int(column[0]) == prev
+        for column, prev in zip(chunk.columns, last_row)
+    ):
+        keep[0] = False
+    new_last = tuple(int(column[-1]) for column in chunk.columns)
+    if keep.all():
+        return chunk, new_last
+    return chunk.filter(keep), new_last

@@ -34,6 +34,7 @@ truncated because a trie node guarantees at least one extension.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator
 
 import numpy as np
 
@@ -123,12 +124,26 @@ def _empty_result(output_attrs: list[Variable], name: str) -> Relation:
     return Relation.empty(name, [v.name for v in output_attrs])
 
 
+def _active_for(
+    attr: Variable,
+    participants: list[Participant],
+    bound_count: list[int],
+) -> list[int]:
+    """Participants whose next unbound level is ``attr``."""
+    return [
+        i
+        for i, p in enumerate(participants)
+        if bound_count[i] < len(p.attrs) and p.attrs[bound_count[i]] == attr
+    ]
+
+
 def generic_join(
     attrs: list[Variable],
     participants: list[Participant],
     selections: dict[Variable, int],
     output_attrs: list[Variable],
     name: str = "join",
+    stats: "object | None" = None,
 ) -> Relation:
     """Run the worst-case optimal join, materializing ``output_attrs``.
 
@@ -139,6 +154,11 @@ def generic_join(
     can be produced — callers project-and-distinct in that case (the GHD
     executor always materializes every unselected attribute, so node
     results are duplicate-free).
+
+    ``stats``, when given, must expose an integer ``enumerated_tuples``
+    attribute; it is incremented by the frontier size after every join-
+    attribute binding — the count of partial tuples the algorithm
+    actually carried, the executor's work measure for the top-k gate.
     """
     kept = plan_attribute_list(attrs, participants, selections, output_attrs)
     out_in_order = [a for a in kept if a in set(output_attrs)]
@@ -157,16 +177,10 @@ def generic_join(
     cursor: list[np.ndarray | None] = [None] * len(participants)
 
     for attr in kept:
-        active = [
-            i
-            for i, p in enumerate(participants)
-            if bound_count[i] < len(p.attrs)
-            and p.attrs[bound_count[i]] == attr
-        ]
-        selected_value = selections.get(attr)
-        if selected_value is not None:
+        active = _active_for(attr, participants, bound_count)
+        if attr in selections:
             if not _bind_selection(
-                attr, selected_value, active, participants,
+                attr, selections[attr], active, participants,
                 bound_count, cursor, frontier,
             ):
                 return _empty_result(out_in_order, name)
@@ -176,6 +190,8 @@ def generic_join(
                 emit=attr in set(out_in_order),
             ):
                 return _empty_result(out_in_order, name)
+            if stats is not None:
+                stats.enumerated_tuples += frontier.size
         if frontier.size == 0:
             return _empty_result(out_in_order, name)
 
@@ -185,6 +201,123 @@ def generic_join(
         return _exists_relation(name, satisfied=frontier.size > 0)
     columns = [frontier.columns[a] for a in out_in_order]
     return Relation(name, [v.name for v in out_in_order], columns)
+
+
+def generic_join_stream(
+    attrs: list[Variable],
+    participants: list[Participant],
+    selections: dict[Variable, int],
+    output_attrs: list[Variable],
+    name: str = "join",
+    chunk_rows: int = 1024,
+    stats: "object | None" = None,
+) -> Iterator[Relation]:
+    """Run the worst-case optimal join lazily, yielding sorted chunks.
+
+    The contract that makes streaming useful for top-k: the frontier of
+    :func:`generic_join` stays lexicographically sorted in binding order
+    (sorted trie children, row-major expansion), so if the caller orders
+    ``attrs`` as ``[selections..., output_attrs in output order,
+    rest...]`` the concatenated chunks are exactly the materialized
+    result's rows sorted by the output columns — i.e. ``distinct()``
+    order — with duplicate output rows adjacent. A consumer can then
+    deduplicate by comparing neighbours and stop pulling once
+    ``offset + limit`` distinct rows exist, without enumerating the rest.
+
+    Laziness is chunked, not tuple-at-a-time: leading selections bind
+    first (the frontier stays a single row), the first join attribute is
+    bound in full (one vectorized index intersection — its cost is index
+    work, not output enumeration), and the resulting frontier is then
+    completed through the remaining attributes ``chunk_rows`` rows at a
+    time. Contiguous slices of a sorted frontier preserve global order.
+
+    ``stats.enumerated_tuples`` (when given) counts the rows a chunk
+    enters with plus the frontier size after each join binding inside
+    the chunk — the partial tuples actually carried. An abandoned stream
+    therefore never charges for work it did not do.
+    """
+    kept = plan_attribute_list(attrs, participants, selections, output_attrs)
+    out_set = set(output_attrs)
+    out_in_order = [a for a in kept if a in out_set]
+    names = [v.name for v in out_in_order]
+
+    kept_set = set(kept)
+    for participant in participants:
+        if not any(a in kept_set for a in participant.attrs):
+            if participant.trie.num_tuples == 0:
+                return
+
+    frontier = _Frontier()
+    bound_count = [0] * len(participants)
+    cursor: list[np.ndarray | None] = [None] * len(participants)
+
+    # Phase A: leading equality selections (the frontier stays one row).
+    index = 0
+    while index < len(kept) and kept[index] in selections:
+        attr = kept[index]
+        alive = _bind_selection(
+            attr, selections[attr],
+            _active_for(attr, participants, bound_count),
+            participants, bound_count, cursor, frontier,
+        )
+        if not alive or frontier.size == 0:
+            return
+        index += 1
+    if index == len(kept):
+        # Fully selected (boolean) query: nothing to stream.
+        if out_in_order:
+            return
+        yield _exists_relation(name, satisfied=frontier.size > 0)
+        return
+
+    # Phase B: bind the first join attribute completely. Its candidates
+    # come straight from one vectorized index intersection, so this is
+    # charged as chunks are actually processed, not here.
+    attr = kept[index]
+    alive = _bind_join_attribute(
+        attr, _active_for(attr, participants, bound_count),
+        participants, bound_count, cursor, frontier,
+        emit=attr in out_set,
+    )
+    if not alive or frontier.size == 0:
+        return
+    index += 1
+    remaining = kept[index:]
+
+    # Phase C: complete contiguous slices of the sorted frontier.
+    total = frontier.size
+    for lo in range(0, total, chunk_rows):
+        hi = min(lo + chunk_rows, total)
+        chunk = _Frontier()
+        chunk.size = hi - lo
+        chunk.columns = {a: c[lo:hi] for a, c in frontier.columns.items()}
+        chunk_cursor = [
+            None if c is None else c[lo:hi] for c in cursor
+        ]
+        chunk_bound = list(bound_count)
+        if stats is not None:
+            stats.enumerated_tuples += chunk.size
+        alive = True
+        for attr in remaining:
+            active = _active_for(attr, participants, chunk_bound)
+            if attr in selections:
+                alive = _bind_selection(
+                    attr, selections[attr], active, participants,
+                    chunk_bound, chunk_cursor, chunk,
+                )
+            else:
+                alive = _bind_join_attribute(
+                    attr, active, participants, chunk_bound, chunk_cursor,
+                    chunk, emit=attr in out_set,
+                )
+                if alive and stats is not None:
+                    stats.enumerated_tuples += chunk.size
+            if not alive or chunk.size == 0:
+                alive = False
+                break
+        if not alive:
+            continue
+        yield Relation(name, names, [chunk.columns[a] for a in out_in_order])
 
 
 def _exists_relation(name: str, satisfied: bool) -> Relation:
@@ -441,6 +574,7 @@ def generic_join_recursive(
 __all__ = [
     "Participant",
     "generic_join",
+    "generic_join_stream",
     "generic_join_recursive",
     "plan_attribute_list",
     "intersect_arrays",

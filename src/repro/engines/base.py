@@ -46,8 +46,9 @@ import threading
 from abc import ABC, abstractmethod
 from collections import OrderedDict
 from dataclasses import replace
+from typing import Iterator
 
-from repro.core.blocks import execute_union
+from repro.core.blocks import execute_union, execute_union_iter
 from repro.core.modifiers import apply_filters, apply_order, apply_slice
 from repro.core.query import (
     BoundUnion,
@@ -268,6 +269,94 @@ class Engine(ABC):
             return self.execute_bound(simple)
         return execute_union(bound, self._execute_bound, self.dictionary)
 
+    # ------------------------------------------------------------------
+    # Streaming execution
+    # ------------------------------------------------------------------
+    def execute_iter(self, query: PreparedSparql) -> Iterator[Relation]:
+        """Execute, returning the result as an iterator of row pages.
+
+        The concatenated pages are row-for-row identical to
+        :meth:`execute`'s relation (same canonical order, offset/limit
+        already applied). Engines with a streaming executor
+        (:meth:`_execute_bound_iter`) short-circuit enumeration once
+        ``offset + limit`` distinct projected rows exist; other engines
+        are shimmed — the fallback materializes the full result *at call
+        time* (pinning the data snapshot exactly like :meth:`execute`)
+        and serves it as one page. At least one page is always yielded,
+        so consumers can read the result schema off an empty result.
+        """
+        self.check_data_version()
+        names = [v.name for v in query.projection]
+        if isinstance(query, ConjunctiveQuery) and not has_numeric_literals(
+            query
+        ):
+            available = self.store.table_names()
+            if any(atom.relation not in available for atom in query.atoms):
+                return iter([Relation.empty(query.name, names)])
+            bound = bind_constants(query, self.dictionary)
+            if bound is None:
+                return iter([Relation.empty(query.name, names)])
+            return self.execute_bound_iter(bound)
+        tree_bound = bind_union(
+            as_union(query), self.dictionary, self.store.table_names()
+        )
+        if tree_bound is None:
+            return iter([Relation.empty(query.name, names)])
+        return self.execute_bound_union_iter(tree_bound)
+
+    def execute_bound_iter(
+        self, bound: ConjunctiveQuery
+    ) -> Iterator[Relation]:
+        """Streaming :meth:`execute_bound`: an iterator of row pages.
+
+        Not a generator — binding, validation, and snapshot capture all
+        happen eagerly in this call, so an open stream keeps paging one
+        consistent epoch even if the store is mutated before it is
+        drained. A FILTER or ORDER BY genuinely needs the whole result
+        (rows below the cap can still be dropped or reordered), so those
+        queries materialize.
+        """
+        self.check_data_version()
+        inner, has_modifiers = self.split_modifiers(bound)
+        if not has_modifiers:
+            stream = self._execute_bound_iter(inner)
+            if stream is not None:
+                names = [v.name for v in bound.projection]
+                return _sliced_pages(
+                    stream, bound.offset, bound.limit, names, bound.name
+                )
+        return iter([self.execute_bound(bound)])
+
+    def execute_bound_union_iter(self, bound: BoundUnion) -> Iterator[Relation]:
+        """Streaming :meth:`execute_bound_union` (heap-merged branches)."""
+        self.check_data_version()
+        simple = bound.as_conjunctive()
+        if simple is not None:
+            return self.execute_bound_iter(simple)
+        stream = execute_union_iter(
+            bound, self._execute_bound, self._execute_bound_iter,
+            self.dictionary,
+        )
+        if stream is None:
+            return iter([self.execute_bound_union(bound)])
+        return stream
+
+    def _execute_bound_iter(
+        self, query: ConjunctiveQuery
+    ) -> Iterator[Relation] | None:
+        """Hook: stream a filter-free bound query's projected result.
+
+        Returns an iterator of chunks that are globally deduplicated and
+        in canonical (sorted-by-projection) order — their concatenation
+        must equal the materialized result *before* the final
+        offset/limit slice — or ``None`` when the engine cannot stream
+        this query, in which case the caller falls back to the
+        materializing path. The base implementation declines every
+        query: materializing engines (RDF-3X, TripleBit, ...) are shimmed
+        by the fallback, which executes eagerly and pages the snapshot.
+        """
+        return None
+
     @staticmethod
     def split_modifiers(
         bound: ConjunctiveQuery,
@@ -348,3 +437,50 @@ class Engine(ABC):
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} over {self.store.num_triples} triples>"
+
+
+def _sliced_pages(
+    stream: Iterator[Relation],
+    offset: int,
+    limit: int | None,
+    names: list[str],
+    name: str,
+) -> Iterator[Relation]:
+    """Slice a deduplicated canonical-order chunk stream to
+    ``[offset, offset + limit)``, stopping the producer at the cap.
+
+    Abandoning the returned iterator (or hitting the cap) closes the
+    underlying stream so the executor does not keep enumerating. Always
+    yields at least one (possibly empty) page.
+    """
+
+    def run() -> Iterator[Relation]:
+        skip = offset
+        taken = 0
+        yielded = False
+        try:
+            for chunk in stream:
+                rows = chunk.num_rows
+                if rows == 0:
+                    continue
+                if skip >= rows:
+                    skip -= rows
+                    continue
+                if skip:
+                    chunk = chunk.slice_rows(skip)
+                    skip = 0
+                if limit is not None and chunk.num_rows > limit - taken:
+                    chunk = chunk.head(limit - taken)
+                taken += chunk.num_rows
+                yield chunk.rename(name=name)
+                yielded = True
+                if limit is not None and taken >= limit:
+                    break
+        finally:
+            close = getattr(stream, "close", None)
+            if close is not None:
+                close()
+        if not yielded:
+            yield Relation.empty(name, names)
+
+    return run()

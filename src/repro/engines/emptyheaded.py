@@ -39,11 +39,11 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import replace
-from typing import NamedTuple
+from typing import Iterator, NamedTuple
 
 from repro.core.blocks import block_queries
 from repro.core.config import OptimizationConfig
-from repro.core.executor import GHDExecutor
+from repro.core.executor import ExecutorStats, GHDExecutor
 from repro.core.planner import Plan, Planner
 from repro.core.query import (
     BoundUnion,
@@ -104,9 +104,17 @@ class EmptyHeadedEngine(Engine):
         self._install(self._build_catalog(self.store))
 
     def _install(self, catalog: Catalog) -> None:
-        """Swap in a catalog (with fresh planner/executor) atomically."""
+        """Swap in a catalog (with fresh planner/executor) atomically.
+
+        The executor's stats object is carried across swaps so the
+        enumerated-tuples counter is cumulative per engine, not per
+        epoch."""
+        previous = getattr(self, "_structures", None)
+        stats = previous.executor.stats if previous is not None else None
         self._structures = _Structures(
-            catalog, Planner(catalog, self.config), GHDExecutor(catalog)
+            catalog,
+            Planner(catalog, self.config),
+            GHDExecutor(catalog, stats=stats),
         )
 
     # The bundle parts under their traditional names (read the bundle
@@ -299,3 +307,37 @@ class EmptyHeadedEngine(Engine):
         structures = self._structures
         plan = self.plan_for(query, structures)
         return structures.executor.execute(plan)
+
+    #: Frontier chunk size bounds for the streaming executor: small
+    #: requests still amortize the per-chunk numpy dispatch overhead,
+    #: huge ones stay cache-friendly.
+    _STREAM_CHUNK_MIN = 64
+    _STREAM_CHUNK_MAX = 4096
+
+    @property
+    def executor_stats(self) -> ExecutorStats:
+        """Cumulative executor work counters (survive epoch swaps)."""
+        return self._structures.executor.stats
+
+    def _execute_bound_iter(
+        self, query: ConjunctiveQuery
+    ) -> Iterator[Relation] | None:
+        """Stream via the GHD executor when the plan allows it.
+
+        The structures bundle is captured *here*, eagerly, so the
+        returned generator keeps reading one pinned epoch however long
+        the consumer holds it across store updates. The chunk size is
+        sized to the query's own cap: a deep-LIMIT query enumerates
+        O(offset + limit) frontier rows per chunk, independent of store
+        scale.
+        """
+        structures = self._structures
+        plan = self.plan_for(query, structures)
+        if query.limit is None:
+            chunk_rows = self._STREAM_CHUNK_MAX
+        else:
+            chunk_rows = min(
+                max(query.offset + query.limit, self._STREAM_CHUNK_MIN),
+                self._STREAM_CHUNK_MAX,
+            )
+        return structures.executor.execute_iter(plan, chunk_rows=chunk_rows)

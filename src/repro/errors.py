@@ -196,6 +196,10 @@ class UnknownCursorError(SessionError):
     """A cursor id does not name an open cursor of this session."""
 
 
+class CursorExhaustedError(SessionError):
+    """A fetch was attempted after a cursor's final page was served."""
+
+
 #: Every stable error code with its HTTP status and the class that
 #: carries it (documentation + conformance tests + the README table).
 ERROR_CODES: dict[str, tuple[int, type[ReproError]]] = {

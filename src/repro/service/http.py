@@ -63,6 +63,7 @@ from urllib.parse import parse_qs, urlsplit
 
 from repro.errors import (
     CapacityError,
+    ParameterError,
     ParseError,
     error_code,
     http_status,
@@ -80,7 +81,7 @@ MAX_PAGE_SIZE = 100_000
 
 #: Reserved request parameters (everything ``$``-prefixed is a template
 #: parameter; anything else is rejected so typos fail loudly).
-_RESERVED_PARAMS = {"query", "format", "page_size", "timeout"}
+_RESERVED_PARAMS = {"query", "format", "page_size", "timeout", "stream"}
 
 
 def _single(params: dict[str, list[str]], name: str) -> str | None:
@@ -153,8 +154,12 @@ def _parse_query_request(
             page_size = int(raw)
         except ValueError:
             raise ParseError(f"page_size must be an integer, got {raw!r}")
-        if not 1 <= page_size <= MAX_PAGE_SIZE:
-            raise ParseError(
+        if page_size < 1:
+            # Well-formed but out of domain: a parameter error (400,
+            # code "parameter_error"), matching the in-process cursor.
+            raise ParameterError(f"page_size must be >= 1, got {page_size}")
+        if page_size > MAX_PAGE_SIZE:
+            raise ParameterError(
                 f"page_size must be in [1, {MAX_PAGE_SIZE}], got {page_size}"
             )
     timeout_s = None
@@ -166,12 +171,22 @@ def _parse_query_request(
             raise ParseError(f"timeout must be a number, got {raw!r}")
         if timeout_s <= 0:
             raise ParseError(f"timeout must be positive, got {timeout_s}")
+    stream = False
+    raw = _single(params, "stream")
+    if raw is not None:
+        lowered = raw.lower()
+        if lowered not in ("true", "false", "1", "0"):
+            raise ParseError(
+                f"stream must be true or false, got {raw!r}"
+            )
+        stream = lowered in ("true", "1")
     return (
         QueryRequest(
             text=text,
             parameters=parameters,
             page_size=page_size,
             timeout_s=timeout_s,
+            stream=stream,
         ),
         _single(params, "format"),
     )

@@ -254,6 +254,35 @@ class PreparedStatement:
                     self._results.popitem(last=False)
         return result
 
+    def execute_iter(self, /, **values: ParameterValue):
+        """Answer the template as an iterator of encoded result pages.
+
+        The streaming analogue of :meth:`execute`: the concatenated
+        pages are row-for-row the relation :meth:`execute` returns, but
+        a streaming-capable engine stops enumerating once the consumer
+        stops pulling (the top-k short-circuit). Binding rides the same
+        bound-plan cache; results are *not* cached — a stream is
+        consumed, not shared.
+        """
+        self._check_data_version()
+        self._values_key(values)  # parameter validation
+        bound = self.bind(**values)
+        if bound is None:
+            stream = iter(
+                [
+                    Relation.empty(
+                        self.name, [v.name for v in self.query.projection]
+                    )
+                ]
+            )
+        elif isinstance(bound, BoundUnion):
+            stream = self.engine.execute_bound_union_iter(bound)
+        else:
+            stream = self.engine.execute_bound_iter(bound)
+        with self._lock:
+            self.stats.executions += 1
+        return stream
+
     def execute_decoded(
         self, /, **values: ParameterValue
     ) -> list[tuple[str | None, ...]]:

@@ -12,9 +12,14 @@ pages → close**. It sits directly over :class:`~repro.service.QueryService`
   and applies update batches through the store's delta path. Sessions
   are thread-safe; one session may serve many transport threads.
 * :class:`Cursor` — a streaming read of one executed query. The cursor
-  holds the *encoded* result relation (an immutable snapshot — a store
-  update mid-stream cannot tear pagination) and decodes rows one
-  fixed-size :class:`Page` at a time through
+  pages the *encoded* result — either a materialized relation or, with
+  ``QueryRequest(stream=True)``, the engine's live result iterator
+  (:meth:`~repro.engines.base.Engine.execute_bound_iter`), which for a
+  streaming-capable engine stops enumerating once the client stops
+  fetching. Both feeds are pinned to the epoch observed at execute time
+  (engines capture their structure snapshot eagerly), so a store update
+  mid-stream cannot tear pagination. Rows decode one fixed-size
+  :class:`Page` at a time through
   :meth:`~repro.engines.base.Engine.decode_rows`, so a client paging a
   large result never materializes the whole decoded row list.
 * Typed request/response messages — :class:`QueryRequest`,
@@ -55,11 +60,13 @@ from repro.errors import (
     CapacityError,
     ConfigError,
     CursorClosedError,
+    CursorExhaustedError,
     ParameterError,
     ParseError,
     PlanningError,
     QueryTimeoutError,
     SessionClosedError,
+    SessionError,
     UnknownCursorError,
 )
 from repro.service.prepared import PreparedStatement
@@ -81,6 +88,12 @@ class QueryRequest:
     page_size: int = DEFAULT_PAGE_SIZE
     timeout_s: float | None = None
     name: str = "query"
+    #: Feed the cursor from the engine's live result iterator instead of
+    #: a materialized snapshot: a streaming-capable engine then stops
+    #: enumerating when the client stops fetching (top-k short-circuit).
+    #: Deadlines bound only the streaming *setup* — the join work is
+    #: deferred into fetches, which a deadline cannot observe.
+    stream: bool = False
 
 
 @dataclass(frozen=True)
@@ -115,61 +128,148 @@ class Page:
 class Cursor:
     """A streaming read over one executed query's result.
 
-    The cursor snapshots the dictionary-encoded result relation at
-    execution time; fetches decode successive fixed-size pages from it.
-    Store updates after execution do not disturb an open cursor — the
-    snapshot is immutable — they only affect the *next* execute.
+    A materialized cursor snapshots the dictionary-encoded result
+    relation at execution time; fetches decode successive fixed-size
+    pages from it. A *streaming* cursor (``QueryRequest(stream=True)``)
+    instead pulls encoded chunks from the engine's live result iterator
+    on demand — the engine pinned its structure snapshot when the
+    iterator was created, so both kinds page one consistent epoch.
+    Store updates after execution do not disturb an open cursor; they
+    only affect the *next* execute.
+
+    Parameter misuse raises typed taxonomy errors: a non-positive
+    ``page_size`` or negative fetch count is a
+    :class:`~repro.errors.ParameterError` (HTTP 400), fetching again
+    after the final ``done`` page was served is a
+    :class:`~repro.errors.CursorExhaustedError` (HTTP 409).
     """
 
     def __init__(
         self,
         session: "Session",
         cursor_id: int,
-        relation: Relation,
+        relation: Relation | None,
         page_size: int,
+        *,
+        stream: Iterator[Relation] | None = None,
+        columns: tuple[str, ...] | None = None,
     ) -> None:
         if page_size < 1:
-            raise ConfigError("cursor page_size must be >= 1")
+            raise ParameterError("cursor page_size must be >= 1")
+        if (relation is None) == (stream is None):
+            raise ConfigError(
+                "a cursor needs exactly one of relation or stream"
+            )
         self.session = session
         self.cursor_id = cursor_id
         self.relation = relation
         self.page_size = page_size
         self.position = 0
         self.closed = False
+        self._stream = stream
+        self._chunk: Relation | None = None
+        self._chunk_pos = 0
+        self._stream_done = stream is None
+        self._done_served = False
+        self._columns = (
+            relation.attributes if relation is not None else tuple(columns)
+        )
+
+    @property
+    def streaming(self) -> bool:
+        """Whether rows are pulled lazily from the engine iterator."""
+        return self._stream is not None
 
     @property
     def columns(self) -> tuple[str, ...]:
         """The projected variable names, in SELECT order."""
-        return self.relation.attributes
+        return self._columns
 
     @property
     def num_rows(self) -> int:
-        return self.relation.num_rows
+        """Total result rows.
+
+        A streaming cursor does not know its total until drained (not
+        counting it is the point); asking early raises
+        :class:`~repro.errors.SessionError`. Once the final page was
+        served the count of streamed rows is returned.
+        """
+        if self.relation is not None:
+            return self.relation.num_rows
+        if not self._done_served:
+            raise SessionError(
+                f"cursor {self.cursor_id} is streaming: its row count "
+                "is unknown until it is drained"
+            )
+        return self.position
+
+    def _current_chunk(self) -> Relation | None:
+        """The chunk holding the next undecoded row (pulls as needed)."""
+        while True:
+            if (
+                self._chunk is not None
+                and self._chunk_pos < self._chunk.num_rows
+            ):
+                return self._chunk
+            self._chunk = None
+            self._chunk_pos = 0
+            if self._stream_done:
+                return None
+            try:
+                self._chunk = next(self._stream)
+            except StopIteration:
+                self._stream_done = True
+                return None
 
     def fetch(self, n: int | None = None) -> Page:
         """Decode and return the next ``n`` rows (default: one page).
 
-        Fetching past the end returns an empty, ``done`` page; a closed
-        cursor raises :class:`~repro.errors.CursorClosedError`.
+        The page that exhausts the result is marked ``done``; fetching
+        *again* after it raises
+        :class:`~repro.errors.CursorExhaustedError`, and a closed cursor
+        raises :class:`~repro.errors.CursorClosedError`.
         """
         if self.closed:
             raise CursorClosedError(
                 f"cursor {self.cursor_id} is closed"
             )
+        if self._done_served:
+            raise CursorExhaustedError(
+                f"cursor {self.cursor_id} is exhausted (its final page "
+                "was already served)"
+            )
         count = self.page_size if n is None else n
         if count < 0:
-            raise ConfigError("fetch count must be non-negative")
+            raise ParameterError("fetch count must be non-negative")
+        engine = self.session.service.engine
         start = self.position
-        stop = min(start + count, self.num_rows)
-        rows = self.session.service.engine.decode_rows(
-            self.relation, start, stop
-        )
-        self.position = stop
+        if self.relation is not None:
+            stop = min(start + count, self.relation.num_rows)
+            rows = engine.decode_rows(self.relation, start, stop)
+            self.position = stop
+            done = self.position >= self.relation.num_rows
+        else:
+            rows = []
+            while len(rows) < count:
+                chunk = self._current_chunk()
+                if chunk is None:
+                    break
+                take = min(count - len(rows), chunk.num_rows - self._chunk_pos)
+                rows.extend(
+                    engine.decode_rows(
+                        chunk, self._chunk_pos, self._chunk_pos + take
+                    )
+                )
+                self._chunk_pos += take
+            self.position = start + len(rows)
+            done = self._current_chunk() is None
+        if done:
+            self._done_served = True
         return Page(
             columns=self.columns,
             rows=tuple(rows),
             offset=start,
-            done=self.position >= self.num_rows,
+            done=done,
         )
 
     def fetch_all(self) -> list[tuple[str | None, ...]]:
@@ -193,10 +293,22 @@ class Cursor:
         for page in self.pages():
             yield from page.rows
 
+    def _drop_stream(self) -> None:
+        """Close the underlying engine iterator (stops its enumeration)."""
+        stream = self._stream
+        self._stream = None
+        self._chunk = None
+        self._stream_done = True
+        if stream is not None:
+            close = getattr(stream, "close", None)
+            if close is not None:
+                close()
+
     def close(self) -> None:
         """Release the cursor's session slot (idempotent)."""
         if not self.closed:
             self.closed = True
+            self._drop_stream()
             self.session._release(self.cursor_id)
 
     def __enter__(self) -> "Cursor":
@@ -207,8 +319,11 @@ class Cursor:
 
     def __repr__(self) -> str:
         state = "closed" if self.closed else f"at {self.position}"
+        rows = (
+            self.relation.num_rows if self.relation is not None else "?"
+        )
         return (
-            f"<Cursor {self.cursor_id} rows={self.num_rows} "
+            f"<Cursor {self.cursor_id} rows={rows} "
             f"page={self.page_size} {state}>"
         )
 
@@ -301,11 +416,15 @@ class Session:
         page_size: int | None = None,
         timeout_s: float | None = None,
         name: str = "query",
+        stream: bool = False,
     ) -> Cursor:
         """Prepare (cached), execute, and open a cursor over the rows.
 
         Accepts either a :class:`QueryRequest` or a bare text plus
-        keyword options. Failures surface as taxonomy errors: bad
+        keyword options. With ``stream=True`` the cursor pulls pages
+        from the engine's live result iterator (top-k short-circuit;
+        see :class:`QueryRequest.stream` for the deadline caveat).
+        Failures surface as taxonomy errors: bad
         syntax → :class:`~repro.errors.ParseError` /
         :class:`~repro.errors.TranslationError`; parameter mismatches →
         :class:`~repro.errors.ParameterError`; a well-formed query the
@@ -324,6 +443,7 @@ class Session:
                     timeout_s if timeout_s is not None else self.timeout_s
                 ),
                 name=name,
+                stream=stream,
             )
         self._check_open()
         # Reserve the cursor slot *before* executing: at the bound the
@@ -348,10 +468,20 @@ class Session:
         )
         try:
             statement = self.prepare(request.text, name=request.name)
+            relation: Relation | None = None
+            result_stream = None
             try:
-                relation = self._run_with_deadline(
-                    statement, request.parameters, timeout_s
-                )
+                if request.stream:
+                    # Streaming setup is eager (binding, validation,
+                    # epoch capture) but cheap; the join work it defers
+                    # into fetches is outside the deadline's reach.
+                    result_stream = statement.execute_iter(
+                        **request.parameters
+                    )
+                else:
+                    relation = self._run_with_deadline(
+                        statement, request.parameters, timeout_s
+                    )
             except (ParseError, ParameterError):
                 raise
             except PlanningError as exc:
@@ -359,13 +489,28 @@ class Session:
                 # rejection is the request's fault (not a library bug):
                 # report it in the 400 family.
                 raise BindingError(str(exc)) from exc
-            with self._lock:
-                self._check_open()
-                cursor_id = next(self._ids)
-                cursor = Cursor(
-                    self, cursor_id, relation, request.page_size
-                )
-                self._cursors[cursor_id] = cursor
+            try:
+                with self._lock:
+                    self._check_open()
+                    cursor_id = next(self._ids)
+                    cursor = Cursor(
+                        self,
+                        cursor_id,
+                        relation,
+                        request.page_size,
+                        stream=result_stream,
+                        columns=tuple(
+                            v.name for v in statement.query.projection
+                        ),
+                    )
+                    self._cursors[cursor_id] = cursor
+            except BaseException:
+                # Don't leave a rejected request's engine iterator
+                # enumerating in limbo.
+                close = getattr(result_stream, "close", None)
+                if close is not None:
+                    close()
+                raise
         finally:
             with self._lock:
                 self._reserved -= 1
@@ -488,6 +633,7 @@ class Session:
             self._timeout_pool = None
         for cursor in cursors:
             cursor.closed = True
+            cursor._drop_stream()
         if pool is not None:
             pool.shutdown(wait=False)
 

@@ -16,14 +16,14 @@ union blocks at dictionary-binding time.
 of conjunctive blocks (the cartesian product of branch choices across
 chains, merged with the enclosing group); ``OPTIONAL`` groups become
 :class:`~repro.core.query.OptionalBlock` left-outer extensions of their
-block. Two restrictions keep the subset's semantics crisp and are
-rejected at translation:
-
-* an ``OPTIONAL`` group may contain only triple patterns and ``FILTER``
-  s (no nested ``OPTIONAL``/``UNION``), and
-* a variable shared between two ``OPTIONAL`` groups must also occur in
-  the block's required pattern (so left-outer join keys are never
-  unbound).
+block. One restriction keeps the subset's semantics crisp and is
+rejected at translation: an ``OPTIONAL`` group may contain only triple
+patterns and ``FILTER``s (no nested ``OPTIONAL``/``UNION``). A variable
+shared between two ``OPTIONAL`` groups *without* a required binding is
+supported with SPARQL's full compatibility-join semantics: a row whose
+earlier extension left the variable unbound is compatible with any
+later extension and adopts its binding (see
+:func:`repro.core.blocks.left_outer_extend`).
 
 ``FILTER`` comparisons translate to :class:`~repro.core.query.Comparison`
 predicates; an equality filter against an IRI or string literal whose
@@ -277,18 +277,11 @@ def _translate_block(flat: _FlatBlock) -> QueryBlock:
                         "the OPTIONAL group or its required pattern"
                     )
         optionals.append(OptionalBlock(opt_atoms, opt_filters))
-    # Left-outer join keys must be bound by the required pattern: a
-    # variable two OPTIONALs share without the required pattern binding
-    # it would need SPARQL's full compatibility-join semantics.
-    for i, left in enumerate(optionals):
-        left_vars = left.variables()
-        for right in optionals[i + 1 :]:
-            for var in (left_vars & right.variables()) - required_vars:
-                raise TranslationError(
-                    f"variable ?{var.name} is shared between OPTIONAL "
-                    "patterns but not bound by the required pattern "
-                    "(unsupported)"
-                )
+    # A variable shared between OPTIONAL groups without a required
+    # binding is fine: the block assembler implements SPARQL's full
+    # compatibility join (an unbound shared variable matches anything
+    # and adopts the later extension's binding) — see
+    # repro.core.blocks.left_outer_extend.
     return QueryBlock(
         atoms=atoms,
         optionals=tuple(optionals),

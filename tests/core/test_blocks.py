@@ -76,16 +76,35 @@ def test_left_outer_filter_failing_rows_fall_back_to_null(dictionary):
     assert out.to_set() == {(0, NULL_KEY), (1, 4)}
 
 
-def test_left_outer_null_join_key_matches_nothing(dictionary):
-    # A NULL key (from an earlier optional) never matches a real value.
-    left = rel(["x", "y"], [(0, 1), (2, NULL_KEY)])
-    right = rel(["y", "n"], [(1, 3), (NULL_KEY, 4)])
+def test_left_outer_unbound_key_adopts_right_binding(dictionary):
+    # SPARQL compatibility join: a NULL key (an earlier OPTIONAL that
+    # did not match) is compatible with any extension and adopts its
+    # binding; a *bound* key still joins by equality.
+    left = rel(["x", "y"], [(0, 1), (2, NULL_KEY), (6, 7)])
+    right = rel(["y", "n"], [(1, 3), (5, 4)])
     out = left_outer_extend(left, [right], (), dictionary)
-    assert (0, 1, 3) in out.to_set()
-    # The NULL row is padded even though right holds a NULL_KEY row too:
-    # engines never produce NULL_KEY, this guards the sentinel contract.
-    rows = {row for row in out.to_set() if row[0] == 2}
-    assert rows == {(2, NULL_KEY, 4)} or rows == {(2, NULL_KEY, NULL_KEY)}
+    assert out.to_set() == {
+        (0, 1, 3),  # bound key, equality match
+        (2, 1, 3),  # unbound key adopts y=1
+        (2, 5, 4),  # ... and y=5 (one row per compatible extension)
+        (6, 7, NULL_KEY),  # bound key, no match: padded
+    }
+
+
+def test_left_outer_unbound_key_without_match_stays_padded(dictionary):
+    left = rel(["x", "y"], [(2, NULL_KEY)])
+    right = Relation.empty("o", ["y", "n"])
+    out = left_outer_extend(left, [right], (), dictionary)
+    assert out.to_set() == {(2, NULL_KEY, NULL_KEY)}
+
+
+def test_left_outer_unbound_key_with_no_new_columns_still_extends(dictionary):
+    # The extension binds no *new* variable, but it can still bind a
+    # shared variable an earlier OPTIONAL left NULL.
+    left = rel(["x", "y"], [(0, 1), (2, NULL_KEY)])
+    right = rel(["y"], [(1,), (5,)])
+    out = left_outer_extend(left, [right], (), dictionary)
+    assert out.to_set() == {(0, 1), (2, 1), (2, 5)}
 
 
 def test_left_outer_no_new_columns_keeps_rows(dictionary):

@@ -113,6 +113,21 @@ class _QueryGen:
                     "filters": filters,
                 }
             )
+            if rng.random() < 0.4:
+                # A second OPTIONAL sharing ?oN without a required
+                # binding: SPARQL compatibility-join semantics (a row
+                # where the first OPTIONAL left ?oN unbound is
+                # compatible with, and adopts, any binding here).
+                optionals.append(
+                    {
+                        "pattern": (
+                            opt_var,
+                            rng.choice(self.predicates),
+                            "?o2",
+                        ),
+                        "filters": [],
+                    }
+                )
         return {"patterns": patterns, "optionals": optionals}
 
     #: Safe regex patterns over the generated literal vocabulary
@@ -580,6 +595,106 @@ def test_updates_interleaved_with_cached_execution(seed):
         check(f"remove{step}")
 
 
+@pytest.mark.parametrize("seed", range(8))
+def test_streamed_limit_offset_matches_materialized(seed):
+    """Streamed execution must be row-for-row identical to materialized
+    execution — same rows, same canonical order — on every engine, for
+    random LIMIT/OFFSET queries (forced onto every spec)."""
+    rng = random.Random(2000 + seed)
+    graph = _make_graph(rng)
+    store = vertically_partition(graph)
+    engines = {cls.name: cls(store) for cls in ALL_ENGINES}
+    gen = _QueryGen(rng, graph)
+    for _ in range(QUERIES_PER_SEED):
+        spec = gen.spec()
+        if spec["limit"] is None:
+            spec["limit"] = rng.randint(1, 6)
+            spec["offset"] = rng.randint(0, 2)
+        text = gen.text(spec)
+        context = f"seed={seed} query={text!r}"
+        for name, engine in engines.items():
+            materialized = engine.decode(engine.execute_sparql(text))
+            pages = list(engine.execute_iter(engine.prepare_sparql(text)))
+            streamed = [
+                row for page in pages for row in engine.decode(page)
+            ]
+            assert streamed == materialized, (
+                f"{context}: engine {name} streamed {streamed!r}, "
+                f"materialized {materialized!r}"
+            )
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_open_streaming_cursors_survive_interleaved_updates(seed):
+    """add/remove_triples against an *open* streaming cursor: the cursor
+    keeps serving the epoch pinned at execute time on every engine, and
+    a fresh streamed execute sees the mutated graph."""
+    from repro.service import QueryService
+
+    rng = random.Random(3000 + seed)
+    graph = list(_make_graph(rng))
+    store = vertically_partition(graph)
+    services = {
+        cls.name: QueryService(cls(store)) for cls in ALL_ENGINES
+    }
+    gen = _QueryGen(rng, graph)
+    specs = [gen.spec() for _ in range(3)]
+    for spec in specs:  # exact-comparison queries: no final slice
+        spec["limit"] = None
+        spec["offset"] = 0
+    texts = [gen.text(spec) for spec in specs]
+    subjects = sorted({s for s, _, _ in graph})
+    predicates = sorted({p for _, p, _ in graph})
+
+    for step, text in enumerate(texts):
+        snapshots = {
+            name: service.engine.decode(service.execute(text))
+            for name, service in services.items()
+        }
+        cursors = {
+            name: service.session().execute(
+                text, page_size=2, stream=True
+            )
+            for name, service in services.items()
+        }
+        first = {name: cursor.fetch() for name, cursor in cursors.items()}
+        additions = [
+            (
+                rng.choice(subjects),
+                rng.choice(predicates),
+                rng.choice(subjects),
+            )
+            for _ in range(rng.randint(1, 3))
+        ]
+        store.add_triples(additions)
+        graph = sorted(set(graph) | set(additions))
+        removals = [graph[rng.randrange(len(graph))]]
+        store.remove_triples(removals)
+        graph = sorted(set(graph) - set(removals))
+        for name, cursor in cursors.items():
+            rest = [] if first[name].done else cursor.fetch_all()
+            rows = list(first[name].rows) + rest
+            assert rows == snapshots[name], (
+                f"seed={seed} step={step} engine={name} "
+                f"query={text!r}: open cursor returned {rows!r}, "
+                f"pre-update snapshot {snapshots[name]!r}"
+            )
+        # Fresh streamed executions see the mutated graph and agree
+        # across engines.
+        fresh = {
+            name: service.session()
+            .execute(text, stream=True)
+            .fetch_all()
+            for name, service in services.items()
+        }
+        reference = fresh["emptyheaded"]
+        for name, rows in fresh.items():
+            assert rows == reference, (
+                f"seed={seed} step={step} engine={name}: post-update "
+                f"stream returned {rows!r}, emptyheaded {reference!r}"
+            )
+
+
 def test_harness_is_deterministic():
     """Same seed => same graph and same query batch (reproducibility)."""
     rng1, rng2 = random.Random(3), random.Random(3)
@@ -602,6 +717,7 @@ def test_generator_covers_all_constructs():
         "order": False,
         "number": False,
         "optional_filter": False,
+        "shared_optional": False,
         "bound": False,
         "regex": False,
         "str": False,
@@ -634,6 +750,9 @@ def test_generator_covers_all_constructs():
                 o["filters"]
                 for b in spec["branches"]
                 for o in b["optionals"]
+            )
+            seen["shared_optional"] |= any(
+                len(b["optionals"]) == 2 for b in spec["branches"]
             )
             seen["bound"] |= "bound(" in text
             seen["regex"] |= "regex(" in text

@@ -214,11 +214,37 @@ def test_unknown_format_is_406(server):
 
 def test_bad_page_size_is_400(server):
     query = f"SELECT ?s WHERE {{ ?s <{EX}p0> ?o }}"
+    # Not an integer at all: a parse error.
     assert _error(
         server, _sparql({"query": query, "page_size": "zero"})
     ) == (400, "parse_error")
+    # Well-formed but out of domain: a parameter error, like the
+    # in-process cursor raises.
     assert _error(
         server, _sparql({"query": query, "page_size": "0"})
+    ) == (400, "parameter_error")
+    assert _error(
+        server, _sparql({"query": query, "page_size": "-3"})
+    ) == (400, "parameter_error")
+
+
+def test_streamed_response_is_byte_identical(server):
+    query = (
+        f"SELECT ?s ?o WHERE {{ ?s <{EX}p0> ?o }} LIMIT 5 OFFSET 2"
+    )
+    plain = _get(server, _sparql({"query": query, "format": "json"}))
+    streamed = _get(
+        server,
+        _sparql({"query": query, "format": "json", "stream": "true"}),
+    )
+    assert plain[0] == streamed[0] == 200
+    assert plain[2] == streamed[2]
+
+
+def test_bad_stream_flag_is_400(server):
+    query = f"SELECT ?s WHERE {{ ?s <{EX}p0> ?o }}"
+    assert _error(
+        server, _sparql({"query": query, "stream": "maybe"})
     ) == (400, "parse_error")
 
 

@@ -7,10 +7,12 @@ from repro.errors import (
     CapacityError,
     ConfigError,
     CursorClosedError,
+    CursorExhaustedError,
     ParameterError,
     ParseError,
     QueryTimeoutError,
     SessionClosedError,
+    SessionError,
     UnknownCursorError,
 )
 from repro.service import QueryService
@@ -50,13 +52,27 @@ def test_cursor_pages_cover_rows_in_order():
     assert rows == service.engine.decode(service.execute(QUERY))
 
 
-def test_fetch_past_end_returns_empty_done_page():
+def test_fetch_after_final_page_raises_typed_error():
     session = _service(2).session()
     cursor = session.execute(QUERY, page_size=10)
     first = cursor.fetch()
     assert first.done and len(first.rows) == 2
-    again = cursor.fetch()
-    assert again.done and again.rows == () and again.offset == 2
+    with pytest.raises(CursorExhaustedError) as excinfo:
+        cursor.fetch()
+    # Session-protocol misuse: code "session_error", HTTP 409.
+    assert excinfo.value.code == "session_error"
+    assert excinfo.value.http_status == 409
+
+
+def test_first_fetch_on_empty_result_is_a_done_page_not_an_error():
+    session = _service(2).session()
+    cursor = session.execute(
+        f"SELECT ?s WHERE {{ ?s <{EX}p> <{EX}nothing> }}"
+    )
+    page = cursor.fetch()
+    assert page.done and page.rows == ()
+    with pytest.raises(CursorExhaustedError):
+        cursor.fetch()
 
 
 def test_fetch_all_and_iteration_match():
@@ -118,8 +134,64 @@ def test_cursor_lookup_by_id():
 
 def test_invalid_page_size_rejected():
     session = _service().session()
-    with pytest.raises(ConfigError):
+    with pytest.raises(ParameterError) as excinfo:
         session.execute(QUERY, page_size=0)
+    # Request-shaped misuse: code "parameter_error", HTTP 400 (and still
+    # a ConfigError subclass for callers catching broadly).
+    assert excinfo.value.code == "parameter_error"
+    assert excinfo.value.http_status == 400
+    assert isinstance(excinfo.value, ConfigError)
+    with pytest.raises(ParameterError):
+        session.execute(QUERY).fetch(-1)
+
+
+# ---------------------------------------------------------------------------
+# Streaming cursors
+# ---------------------------------------------------------------------------
+def test_streaming_cursor_matches_materialized_rows():
+    service = _service(10)
+    session = service.session()
+    for text in (QUERY, QUERY + " LIMIT 5 OFFSET 2"):
+        materialized = session.execute(text).fetch_all()
+        streamed = session.execute(text, page_size=3, stream=True)
+        assert streamed.streaming
+        assert streamed.columns == ("s", "o")
+        assert streamed.fetch_all() == materialized
+
+
+def test_streaming_cursor_row_count_unknown_until_drained():
+    session = _service(10).session()
+    cursor = session.execute(QUERY, stream=True)
+    with pytest.raises(SessionError):
+        cursor.num_rows
+    rows = cursor.fetch_all()
+    assert cursor.num_rows == len(rows) == 10
+
+
+def test_streaming_cursor_survives_mid_stream_update():
+    service = _service(10)
+    store = service.engine.store
+    session = service.session()
+    cursor = session.execute(QUERY, page_size=4, stream=True)
+    first = cursor.fetch()
+    store.add_triples([(f"<{EX}new>", f"<{EX}p>", f"<{EX}o0>")])
+    store.remove_triples([(f"<{EX}s1>", f"<{EX}p>", f"<{EX}o1>")])
+    rest = cursor.fetch_all()
+    # The stream reads the epoch pinned at execute time: exactly the
+    # original 10 rows, no torn mixture.
+    assert len(first.rows) + len(rest) == 10
+    # A fresh streamed execute sees the mutated store.
+    assert len(session.execute(QUERY, stream=True).fetch_all()) == 10
+
+
+def test_streaming_cursor_close_stops_the_engine_iterator():
+    session = _service(10).session()
+    cursor = session.execute(QUERY, page_size=2, stream=True)
+    cursor.fetch()
+    cursor.close()
+    with pytest.raises(CursorClosedError):
+        cursor.fetch()
+    assert session.open_cursors() == 0
 
 
 # ---------------------------------------------------------------------------

@@ -180,12 +180,16 @@ def test_union_inside_optional_rejected():
         )
 
 
-def test_optionals_sharing_unrequired_variable_rejected():
-    with pytest.raises(ParseError):
-        _translate(
-            "SELECT ?x WHERE { ?x <p:a> ?y . "
-            "OPTIONAL { ?x <p:n> ?n } OPTIONAL { ?n <p:m> ?z } }"
-        )
+def test_optionals_sharing_unrequired_variable_accepted():
+    # A variable two OPTIONALs share without a required binding gets
+    # SPARQL's full compatibility-join semantics at execution time (see
+    # repro.core.blocks.left_outer_extend); translation accepts it.
+    q = _translate(
+        "SELECT ?x WHERE { ?x <p:a> ?y . "
+        "OPTIONAL { ?x <p:n> ?n } OPTIONAL { ?n <p:m> ?z } }"
+    )
+    (block,) = q.blocks
+    assert len(block.optionals) == 2
 
 
 def test_optional_filter_variable_must_be_in_scope():
