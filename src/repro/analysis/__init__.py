@@ -45,6 +45,15 @@ The invariant catalog
     keys and bitset words must have one platform-independent layout
     (the PR 4 big-endian row-packing bug class).
 
+``shm-lifecycle``
+    Shared-memory segments (the PR 8 cluster tier) are paired with
+    their cleanup: a module that creates must unlink, a module that
+    attaches must close, a function-local handle must be closed,
+    returned, or stored — and in ``service/cluster/`` every mutation
+    of a ``refs``/``refcount`` attribute sits inside a
+    ``with ...lock:`` block, because epoch retirement unlinks exactly
+    at ``retired and refs == 0``.
+
 Suppressions and baseline
 =========================
 

@@ -221,12 +221,14 @@ def all_checkers() -> list[Checker]:
     from repro.analysis.error_taxonomy import ErrorTaxonomyChecker
     from repro.analysis.lock_discipline import LockDisciplineChecker
     from repro.analysis.numpy_hygiene import NumpyHygieneChecker
+    from repro.analysis.shm_lifecycle import ShmLifecycleChecker
 
     return [
         LockDisciplineChecker(),
         EpochSafetyChecker(),
         ErrorTaxonomyChecker(),
         NumpyHygieneChecker(),
+        ShmLifecycleChecker(),
     ]
 
 

@@ -1,0 +1,276 @@
+"""Shared-memory lifecycle hygiene for the multi-process serving tier.
+
+POSIX shared memory is not reclaimed on process death: a segment whose
+creator forgets ``unlink()`` leaks in ``/dev/shm`` until reboot, and an
+attacher that skips ``close()`` pins the mapping (and, via Python's
+``resource_tracker``, can unlink a segment its siblings still read).
+The cluster tier (PR 8) concentrates that risk, so two structural rules
+keep every path honest:
+
+* **Pairing** — a module that creates segments
+  (``SharedMemory(create=True)`` / ``create_shared_memory``) must also
+  unlink somewhere (``.unlink()`` / ``unlink_segment``); a module that
+  attaches (``SharedMemory(name=...)`` / ``attach_shared_memory`` /
+  ``attach_snapshot``) must also close (``.close()`` / ``detach``).
+  Additionally, a function-local segment handle must be closed,
+  returned, or escape into longer-lived state — a handle that is bound
+  and then dropped can never be cleaned up deliberately.
+* **Refcount discipline** — in ``service/cluster/`` modules, any
+  assignment or augmented assignment to a ``refs``/``refcount``-like
+  attribute must sit lexically inside a ``with <...lock...>:`` block.
+  Epoch retirement unlinks exactly when ``retired and refs == 0``; a
+  refcount mutated outside the publisher's lock can lose an increment
+  and unlink a segment a worker is mid-attach on.
+
+Suppress deliberate exceptions with ``# repro: allow[shm-lifecycle]``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+
+from repro.analysis.core import Checker, Finding, ModuleSource, Project
+
+#: Calls that produce a segment handle the binder must manage.
+_PRODUCERS = {
+    "SharedMemory",
+    "attach_shared_memory",
+    "create_shared_memory",
+}
+_ATTACH_WRAPPERS = {"attach_shared_memory", "attach_snapshot"}
+_CLOSE_CALLS = {"detach"}
+_UNLINK_CALLS = {"unlink_segment", "reclaim_stale"}
+
+#: Attribute names that are segment refcounts.
+_REFCOUNT_ATTR = re.compile(r"^(_?refs|_?refcounts?)$")
+
+
+def _call_name(node: ast.Call) -> str | None:
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+def _kwarg(node: ast.Call, name: str) -> ast.expr | None:
+    for kw in node.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def _is_create_call(node: ast.Call) -> bool:
+    name = _call_name(node)
+    if name == "create_shared_memory":
+        return True
+    if name != "SharedMemory":
+        return False
+    create = _kwarg(node, "create")
+    return isinstance(create, ast.Constant) and create.value is True
+
+
+def _is_attach_call(node: ast.Call) -> bool:
+    name = _call_name(node)
+    if name in _ATTACH_WRAPPERS:
+        return True
+    return name == "SharedMemory" and not _is_create_call(node)
+
+
+def _mentions_lock(expr: ast.expr) -> bool:
+    """Whether a with-item's context expression names a lock."""
+    return "lock" in ast.unparse(expr).lower()
+
+
+class ShmLifecycleChecker(Checker):
+    id = "shm-lifecycle"
+    description = (
+        "SharedMemory create/attach paired with unlink/close; "
+        "segment refcounts mutated only under a lock"
+    )
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        for module in project.modules:
+            yield from self._check_pairing(module)
+            if "service/cluster/" in module.relpath:
+                yield from self._check_refcounts(module)
+
+    # ------------------------------------------------------------------
+    # Rule 1: module-level create/unlink and attach/close pairing
+    # ------------------------------------------------------------------
+    def _check_pairing(self, module: ModuleSource) -> Iterator[Finding]:
+        creates: list[ast.Call] = []
+        attaches: list[ast.Call] = []
+        has_unlink = False
+        has_close = False
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node)
+            if _is_create_call(node):
+                creates.append(node)
+            elif _is_attach_call(node):
+                attaches.append(node)
+            if name == "unlink" or name in _UNLINK_CALLS:
+                has_unlink = True
+            if name == "close" or name in _CLOSE_CALLS:
+                has_close = True
+        if creates and not has_unlink:
+            node = creates[0]
+            yield Finding(
+                checker=self.id,
+                path=module.relpath,
+                line=node.lineno,
+                symbol="<module>",
+                message=(
+                    "module creates shared memory but never unlinks; "
+                    "segments leak in /dev/shm past process death"
+                ),
+            )
+        if attaches and not has_close:
+            node = attaches[0]
+            yield Finding(
+                checker=self.id,
+                path=module.relpath,
+                line=node.lineno,
+                symbol="<module>",
+                message=(
+                    "module attaches shared memory but never closes; "
+                    "pair every attach with close()/detach()"
+                ),
+            )
+        yield from self._check_local_handles(module)
+
+    def _check_local_handles(
+        self, module: ModuleSource
+    ) -> Iterator[Finding]:
+        """A function-local segment binding must be closed or escape."""
+        for func in ast.walk(module.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for stmt in ast.walk(func):
+                if not (
+                    isinstance(stmt, ast.Assign)
+                    and len(stmt.targets) == 1
+                    and isinstance(stmt.targets[0], ast.Name)
+                    and isinstance(stmt.value, ast.Call)
+                    and _call_name(stmt.value) in _PRODUCERS
+                ):
+                    continue
+                name = stmt.targets[0].id
+                if not self._handle_managed(func, stmt, name):
+                    yield Finding(
+                        checker=self.id,
+                        path=module.relpath,
+                        line=stmt.lineno,
+                        symbol=func.name,
+                        message=(
+                            f"shared segment bound to {name!r} is never "
+                            "closed, returned, or stored — it cannot be "
+                            "cleaned up deliberately"
+                        ),
+                    )
+
+    @staticmethod
+    def _handle_managed(
+        func: ast.AST, binding: ast.Assign, name: str
+    ) -> bool:
+        for node in ast.walk(func):
+            if node is binding:
+                continue
+            # segment.close() / segment.unlink()
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("close", "unlink")
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == name
+            ):
+                return True
+            # detach(segment) / unlink_segment(segment) / any call the
+            # handle is passed into (constructor adoption counts).
+            if isinstance(node, ast.Call) and any(
+                isinstance(arg, ast.Name) and arg.id == name
+                for arg in [*node.args, *(kw.value for kw in node.keywords)]
+            ):
+                return True
+            # return segment / yield segment (possibly inside a tuple)
+            if isinstance(node, (ast.Return, ast.Yield)) and node.value:
+                if any(
+                    isinstance(n, ast.Name) and n.id == name
+                    for n in ast.walk(node.value)
+                ):
+                    return True
+            # stored into longer-lived state: self.x = segment, d[k] = segment
+            if isinstance(node, ast.Assign) and any(
+                isinstance(n, ast.Name) and n.id == name
+                for n in ast.walk(node.value)
+            ):
+                if any(
+                    isinstance(target, (ast.Attribute, ast.Subscript))
+                    for target in node.targets
+                ):
+                    return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Rule 2: refcounts only mutated under a lock
+    # ------------------------------------------------------------------
+    def _check_refcounts(self, module: ModuleSource) -> Iterator[Finding]:
+        context: list[str] = []
+
+        def visit(node: ast.AST, in_lock: bool) -> Iterator[Finding]:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(
+                    child,
+                    (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+                ):
+                    context.append(child.name)
+                    # A lock held at the definition site does not cover
+                    # the body's later executions.
+                    yield from visit(child, False)
+                    context.pop()
+                    continue
+                if isinstance(child, (ast.With, ast.AsyncWith)):
+                    locked = in_lock or any(
+                        _mentions_lock(item.context_expr)
+                        for item in child.items
+                    )
+                    yield from visit(child, locked)
+                    continue
+                if isinstance(child, (ast.Assign, ast.AugAssign)):
+                    targets = (
+                        child.targets
+                        if isinstance(child, ast.Assign)
+                        else [child.target]
+                    )
+                    for target in targets:
+                        if (
+                            isinstance(target, ast.Attribute)
+                            and _REFCOUNT_ATTR.match(target.attr)
+                            and not in_lock
+                        ):
+                            yield Finding(
+                                checker=self.id,
+                                path=module.relpath,
+                                line=child.lineno,
+                                symbol=(
+                                    ".".join(context)
+                                    if context
+                                    else "<module>"
+                                ),
+                                message=(
+                                    f"refcount attribute {target.attr!r} "
+                                    "mutated outside a 'with ...lock:' "
+                                    "block — epoch retirement races "
+                                    "attach"
+                                ),
+                            )
+                yield from visit(child, in_lock)
+
+        yield from visit(module.tree, False)
+
+
+__all__ = ["ShmLifecycleChecker"]

@@ -12,6 +12,7 @@ Subcommands::
     repro-lubm updates --out BENCH_updates.json          # update-path bench
     repro-lubm http --out BENCH_http.json                # live-server bench
     repro-lubm topk --out BENCH_topk.json                # streaming bench
+    repro-lubm cluster --out BENCH_cluster.json          # multi-process bench
 
 ``smoke`` runs every engine over a tiny LUBM instance and exits
 non-zero on any cross-engine disagreement or golden-count regression —
@@ -46,6 +47,14 @@ conformance (error codes, ``/stats``, ``/explain``, ``/update``); it
 exits non-zero when any check fails or either format exceeds
 ``--max-overhead`` times the in-process p50 (see
 :mod:`repro.bench.http_bench`).
+
+``cluster`` starts the multi-process serving tier (shared-memory
+segment store + pre-fork worker pool + asyncio front door) and drives
+a 1→N worker scaling curve, gating on byte-identical responses versus
+the single-process server, cluster-wide update visibility, zero
+leftover shared-memory segments after shutdown, and an adaptive
+throughput-scaling / p99 target (relaxed on machines with fewer cores
+than workers; see :mod:`repro.bench.cluster_bench`).
 """
 
 from __future__ import annotations
@@ -203,6 +212,35 @@ def _cmd_http(args) -> None:
         sys.exit(1)
 
 
+def _cmd_cluster(args) -> None:
+    from repro.bench.cluster_bench import (
+        render,
+        run_cluster_bench,
+        write_report,
+    )
+    from repro.service.cluster.shm import shm_supported
+
+    if not shm_supported():
+        print("cluster bench skipped: shared memory unavailable here")
+        return
+    report = run_cluster_bench(
+        universities=args.universities,
+        seed=args.seed,
+        family=args.family,
+        rounds=args.rounds,
+        workers=args.workers,
+        clients=args.clients,
+        p99_target_ms=args.p99_target,
+        min_scaling=args.min_scaling,
+    )
+    print(render(report))
+    if args.out:
+        write_report(report, args.out)
+        print(f"wrote {args.out}")
+    if not report["ok"]:
+        sys.exit(1)
+
+
 def main(argv: list[str] | None = None) -> None:
     parser = argparse.ArgumentParser(
         prog="repro-lubm",
@@ -335,6 +373,52 @@ def main(argv: list[str] | None = None) -> None:
         help="write the machine-readable JSON report to this path",
     )
     http_cmd.set_defaults(func=_cmd_http)
+
+    cluster = sub.add_parser("cluster", parents=[common])
+    cluster.add_argument(
+        "--family",
+        type=int,
+        default=30,
+        help="number of distinct parameter values in the template family",
+    )
+    cluster.add_argument(
+        "--rounds",
+        type=int,
+        default=2,
+        help="family replays per client in each closed-loop leg",
+    )
+    cluster.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker processes in the scaled leg (the curve runs 1 and N)",
+    )
+    cluster.add_argument(
+        "--clients",
+        type=int,
+        default=4,
+        help="concurrent closed-loop HTTP clients per leg",
+    )
+    cluster.add_argument(
+        "--p99-target",
+        type=float,
+        default=750.0,
+        help="p99 latency target in ms for the scaled leg (enforced "
+        "only with >= 2 effective workers)",
+    )
+    cluster.add_argument(
+        "--min-scaling",
+        type=float,
+        default=2.5,
+        help="required N-worker/1-worker throughput ratio with >= 4 "
+        "effective workers (adapted down on smaller machines)",
+    )
+    cluster.add_argument(
+        "--out",
+        default="",
+        help="write the machine-readable JSON report to this path",
+    )
+    cluster.set_defaults(func=_cmd_cluster)
 
     topk = sub.add_parser("topk", parents=[common])
     topk.add_argument(

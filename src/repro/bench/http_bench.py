@@ -196,6 +196,68 @@ def _concurrent_leg(
     }
 
 
+def _saturation_leg(
+    server: SparqlHttpServer,
+    professors: list[str],
+    client_counts: list[int],
+    serial_rows: dict[str, list],
+) -> dict:
+    """Closed-loop multi-client saturation: throughput vs client count.
+
+    Each level runs ``clients`` keep-alive connections, every client
+    issuing one request per family member (so offered load scales with
+    the client count), and reports aggregate throughput plus latency
+    percentiles. Every response is decoded and checked against the
+    serial rows — saturation must never trade correctness for rate.
+    """
+    host, port = server.server_address[:2]
+    levels: list[dict] = []
+    all_match = True
+    for clients in client_counts:
+        latencies: list[float] = []
+        mismatches: list[str] = []
+        lock = threading.Lock()
+
+        def run() -> None:
+            client = _Client(host, port)
+            local_lat: list[float] = []
+            local_bad: list[str] = []
+            for professor in professors:
+                start = time.perf_counter()
+                status, body = client.get(_sparql_path(professor, "json"))
+                local_lat.append((time.perf_counter() - start) * 1e3)
+                if status != 200 or _json_rows(body) != serial_rows[professor]:
+                    local_bad.append(professor)
+            client.close()
+            with lock:
+                latencies.extend(local_lat)
+                mismatches.extend(local_bad)
+
+        threads = [threading.Thread(target=run) for _ in range(clients)]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall_s = time.perf_counter() - start
+        requests = clients * len(professors)
+        all_match = all_match and not mismatches
+        levels.append(
+            {
+                "clients": clients,
+                "requests": requests,
+                "wall_s": round(wall_s, 6),
+                "throughput_rps": round(requests / wall_s, 2)
+                if wall_s
+                else 0.0,
+                "p50_ms": round(_percentile(latencies, 0.50), 4),
+                "p99_ms": round(_percentile(latencies, 0.99), 4),
+                "matches_serial": not mismatches,
+            }
+        )
+    return {"levels": levels, "matches_serial": all_match}
+
+
 def _smoke_probes(client: _Client, professors: list[str]) -> dict:
     """Protocol conformance: error codes, stats, explain, update."""
     probes: dict[str, bool] = {}
@@ -356,6 +418,12 @@ def run_http_bench(
         concurrent = _concurrent_leg(
             server, professors, workers, json_rows
         )
+        saturation = _saturation_leg(
+            server,
+            professors,
+            sorted({1, 2, workers}),
+            json_rows,
+        )
         smoke = _smoke_probes(client, professors)
         client.close()
 
@@ -397,12 +465,14 @@ def run_http_bench(
             "binary": binary_agrees,
         },
         "concurrent": concurrent,
+        "saturation": saturation,
         "smoke": smoke,
         "agrees": agrees,
         "within_overhead_gate": within_gate,
         "ok": agrees
         and within_gate
         and concurrent["matches_serial"]
+        and saturation["matches_serial"]
         and smoke["ok"],
     }
 
@@ -434,8 +504,15 @@ def render(report: dict) -> str:
         f"  concurrent[{report['concurrent']['workers']}]: "
         f"{report['concurrent']['total_s']:.3f}s  matches serial: "
         f"{report['concurrent']['matches_serial']}",
-        f"  smoke probes ok: {report['smoke']['ok']}",
     ]
+    for level in report["saturation"]["levels"]:
+        lines.append(
+            f"  saturation[{level['clients']} clients]: "
+            f"{level['throughput_rps']:.1f} req/s  "
+            f"p50 {level['p50_ms']:.2f}ms  p99 {level['p99_ms']:.2f}ms  "
+            f"matches: {level['matches_serial']}"
+        )
+    lines.append(f"  smoke probes ok: {report['smoke']['ok']}")
     return "\n".join(lines)
 
 

@@ -32,12 +32,37 @@ ALL_ENGINES = (
     TripleBitLikeEngine,
 )
 
+#: Stable engine-name -> class registry (the serving tier's config
+#: vocabulary: worker processes are told which engine to build by name).
+ENGINE_NAMES = {cls.name: cls for cls in ALL_ENGINES}
+
+
+def create_engine(name: str, store) -> Engine:
+    """Instantiate the engine registered under ``name`` over ``store``.
+
+    Raises :class:`~repro.errors.ConfigError` for unknown names so
+    remote configuration mistakes surface as the taxonomy's 500-family
+    ``config_error``, not a bare ``KeyError``.
+    """
+    cls = ENGINE_NAMES.get(name)
+    if cls is None:
+        from repro.errors import ConfigError
+
+        raise ConfigError(
+            f"unknown engine {name!r} "
+            f"(known: {', '.join(sorted(ENGINE_NAMES))})"
+        )
+    return cls(store)
+
+
 __all__ = [
     "ALL_ENGINES",
+    "ENGINE_NAMES",
     "ColumnStoreEngine",
     "EmptyHeadedEngine",
     "Engine",
     "LogicBloxLikeEngine",
     "RDF3XLikeEngine",
     "TripleBitLikeEngine",
+    "create_engine",
 ]

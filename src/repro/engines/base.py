@@ -95,6 +95,21 @@ class Engine(ABC):
         self._cache_lock = threading.RLock()
         self._data_version = store.data_version
 
+    @classmethod
+    def from_snapshot(cls, snapshot) -> "Engine":
+        """Build this engine over a store attached from a
+        :class:`~repro.storage.vertical.StoreSnapshot`.
+
+        The multi-process worker path: the snapshot's relations may wrap
+        read-only shared-memory views — the reconstructed store adopts
+        them zero-copy and the engine builds its indexes locally, so N
+        workers share one physical copy of the segment data while each
+        owns its (mutable) tries/catalogs. The engine starts at the
+        snapshot's epoch and catches up through the ordinary
+        :meth:`check_data_version` machinery if the local store moves.
+        """
+        return cls(VerticallyPartitionedStore.from_snapshot(snapshot))
+
     # ------------------------------------------------------------------
     # Data-version epoch
     # ------------------------------------------------------------------

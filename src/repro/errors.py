@@ -25,6 +25,10 @@ code                   status  raised when
 ``timeout``            503     execution exceeded the request deadline
 ``capacity``           503     the server's concurrent-request bound is hit
 ``session_error``      409     a closed/unknown session or cursor was used
+``worker_crash``       503     a cluster request ran out of live workers
+``cluster_error``      500     the multi-process serving tier misbehaved
+``segment_attach``     500     a shared-memory segment could not be attached
+``segment_retired``    500     the target epoch was retired before attach
 ``storage_error``      500     relation/catalog/dictionary invariant broken
 ``planning_error``     500     the optimizer could not produce a plan
 ``execution_error``    500     a plan failed mid-execution
@@ -177,6 +181,41 @@ class CapacityError(ReproError):
     http_status = 503
 
 
+class ClusterError(ReproError):
+    """The multi-process serving tier failed (publisher, pool, worker)."""
+
+    code = "cluster_error"
+
+
+class WorkerCrashError(ClusterError):
+    """A request could not be answered by any live worker.
+
+    Raised only after the dispatcher's retry budget is exhausted —
+    a single worker crash is retried on a sibling transparently. A 503:
+    the pool respawns workers in the background, so the client should
+    retry.
+    """
+
+    code = "worker_crash"
+    http_status = 503
+
+
+class SegmentAttachError(ClusterError):
+    """A shared-memory segment could not be attached or validated."""
+
+    code = "segment_attach"
+
+
+class SegmentRetiredError(SegmentAttachError):
+    """The target epoch was retired (unlinked) before the attach.
+
+    Workers treat this as a signal to re-request the publisher's
+    current epoch, not as a fatal error.
+    """
+
+    code = "segment_retired"
+
+
 class SessionError(ReproError):
     """Misuse of the session/cursor protocol."""
 
@@ -213,6 +252,10 @@ ERROR_CODES: dict[str, tuple[int, type[ReproError]]] = {
         QueryTimeoutError,
         CapacityError,
         SessionError,
+        WorkerCrashError,
+        ClusterError,
+        SegmentAttachError,
+        SegmentRetiredError,
         StorageError,
         PlanningError,
         ExecutionError,

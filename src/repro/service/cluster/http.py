@@ -1,0 +1,545 @@
+"""Async HTTP front door for the multi-process serving tier.
+
+A :class:`ClusterHttpServer` is the cluster counterpart of
+:class:`~repro.service.http.SparqlHttpServer`: the same endpoints
+(``/sparql``, ``/explain``, ``/stats``, ``/update``), the same wire
+parameters (it reuses :func:`~repro.service.http.parse_query_request`
+and :func:`~repro.service.http.parse_update_payload` verbatim), the
+same result serializers, and the same
+``{"error": {"code", "message"}}`` taxonomy bodies — so a client
+cannot tell the tiers apart except by throughput and by the ``http``
+stats section reporting the real worker count.
+
+The architecture differs where it matters:
+
+* **One asyncio accept loop** (in a background thread) admits and
+  parses requests — thousands of idle keep-alive connections cost one
+  task each, not one thread each.
+* **Execution happens in the worker pool.** The accept loop hands the
+  typed request to :class:`ClusterQueryService` via the default
+  executor; a worker process executes it and ships ``SPB1`` binary
+  rows back over its pipe. The loop only serializes pages onto
+  sockets — it never runs a join.
+* **Admission is a loop-confined counter**: past ``max_pending``
+  in-flight requests the server answers ``503 capacity`` immediately
+  instead of queueing unboundedly, mirroring the single-process tier.
+
+Responses stream as chunked transfer encoding, one chunk per result
+page, with the same page geometry as the single-process server — the
+benchmark gate diffs the two tiers' bodies byte for byte.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+
+from repro.errors import (
+    CapacityError,
+    ParseError,
+    error_code,
+    http_status,
+)
+from repro.service.formats import serializer_for
+from repro.service.http import (
+    parse_query_request,
+    parse_update_payload,
+    single_param,
+    template_parameters,
+)
+from repro.service.protocol import DEFAULT_PAGE_SIZE
+from urllib.parse import parse_qs, urlsplit
+
+#: Bound on one request head (request line + headers), matching the
+#: stdlib ``http.server`` default so oversized heads fail the same way.
+_MAX_HEAD_BYTES = 65536
+
+#: Largest accepted request body (updates; query texts are small).
+_MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class _BadRequest(Exception):
+    """Malformed HTTP framing (connection is dropped after answering)."""
+
+
+class ClusterHttpServer:
+    """Serve the cluster over HTTP from one asyncio accept loop.
+
+    Use as a context manager or call :meth:`start` / :meth:`stop`::
+
+        with ClusterQueryService(store, workers=4) as cluster:
+            with ClusterHttpServer(cluster, port=0) as server:
+                print(server.url)  # http://127.0.0.1:<ephemeral>
+
+    ``max_pending`` bounds admitted requests over their whole life
+    (worker execution and response streaming), exactly like the
+    single-process server's admission semaphore.
+    """
+
+    def __init__(
+        self,
+        cluster,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_pending: int = 64,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        timeout_s: float | None = None,
+        verbose: bool = False,
+    ) -> None:
+        self.cluster = cluster
+        self.host = host
+        self.port = port
+        self.page_size = page_size
+        self.verbose = verbose
+        self.max_pending = max_pending
+        self.timeout_s = timeout_s
+        self.session = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self._startup_error: BaseException | None = None
+        # Counters mirror SparqlHttpServer.http_stats(); mutated from
+        # both the loop thread and stats() callers, hence the lock.
+        self._http_lock = threading.Lock()
+        self._connections_opened = 0
+        self._connections_closed = 0
+        self._requests_served = 0
+        self._keepalive_reuses = 0
+        self._in_flight = 0
+        self._in_flight_peak = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ClusterHttpServer":
+        """Bind and serve from a background event-loop thread."""
+        if self._thread is not None:
+            return self
+        self.session = self.cluster.session(
+            max_open_cursors=max(self.max_pending * 2, 16),
+            timeout_s=self.timeout_s,
+        )
+        self._thread = threading.Thread(
+            target=self._run_loop, name="repro-cluster-http", daemon=True
+        )
+        self._thread.start()
+        self._started.wait(timeout=30)
+        if self._startup_error is not None:
+            error = self._startup_error
+            self._thread.join(timeout=5)
+            self._thread = None
+            self.session.close()
+            # The bind failure is re-raised verbatim (often OSError).
+            raise error  # repro: allow[error-taxonomy]
+        return self
+
+    def _run_loop(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            try:
+                self._server = loop.run_until_complete(
+                    asyncio.start_server(
+                        self._handle_connection, self.host, self.port
+                    )
+                )
+                self.port = self._server.sockets[0].getsockname()[1]
+            except BaseException as exc:  # bind failure -> caller
+                self._startup_error = exc
+                return
+            finally:
+                self._started.set()
+            loop.run_forever()
+            # stop() requested: close the listener and drain callbacks.
+            self._server.close()
+            loop.run_until_complete(self._server.wait_closed())
+        finally:
+            try:
+                loop.run_until_complete(loop.shutdown_asyncgens())
+            finally:
+                loop.close()
+
+    def stop(self) -> None:
+        """Stop accepting, drain the loop, release the session."""
+        if self._thread is None:
+            return
+        loop = self._loop
+        if loop is not None and loop.is_running():
+            loop.call_soon_threadsafe(loop.stop)
+        self._thread.join(timeout=10)
+        self._thread = None
+        self._loop = None
+        self._server = None
+        if self.session is not None:
+            self.session.close()
+
+    def __enter__(self) -> "ClusterHttpServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+    def http_stats(self) -> dict:
+        """Same shape as the single-process tier's ``http`` section."""
+        with self._http_lock:
+            return {
+                "connections": {
+                    "opened": self._connections_opened,
+                    "closed": self._connections_closed,
+                    "active": (
+                        self._connections_opened - self._connections_closed
+                    ),
+                },
+                "requests": {
+                    "served": self._requests_served,
+                    "keepalive_reuses": self._keepalive_reuses,
+                },
+                "pool": {
+                    "max_workers": self.cluster.pool.workers,
+                    "max_pending": self.max_pending,
+                    "in_flight": self._in_flight,
+                    "in_flight_peak": self._in_flight_peak,
+                    "worker_count": self.cluster.pool.worker_count(),
+                },
+            }
+
+    def stats_payload(self) -> dict:
+        """``/stats`` body: store + aggregated cluster + http sections."""
+        payload = dict(self.cluster.stats())
+        payload["http"] = self.http_stats()
+        return payload
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _read_head(self, reader) -> tuple[str, str, str, dict]:
+        """Parse one request head into (method, target, version, headers)."""
+        line = await reader.readline()
+        if not line:
+            # Clean close between keep-alive requests; caught in
+            # _handle_connection, never serialized onto the wire.
+            raise EOFError  # repro: allow[error-taxonomy]
+        request_line = line.decode("latin-1").rstrip("\r\n")
+        parts = request_line.split()
+        if len(parts) != 3:
+            # repro: allow[error-taxonomy] - local framing control flow
+            raise _BadRequest(f"malformed request line {request_line!r}")
+        method, target, version = parts
+        headers: dict[str, str] = {}
+        size = len(line)
+        while True:
+            line = await reader.readline()
+            size += len(line)
+            if size > _MAX_HEAD_BYTES:
+                # repro: allow[error-taxonomy] - local framing control flow
+                raise _BadRequest("request head too large")
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        return method, target, version, headers
+
+    async def _read_body(self, reader, headers: dict) -> bytes:
+        length = int(headers.get("content-length") or 0)
+        if length > _MAX_BODY_BYTES:
+            # repro: allow[error-taxonomy] - local framing control flow
+            raise _BadRequest(f"request body too large ({length} bytes)")
+        return await reader.readexactly(length) if length else b""
+
+    @staticmethod
+    def _render(
+        status: int,
+        body: bytes,
+        content_type: str,
+        *,
+        keep_alive: bool,
+    ) -> bytes:
+        reason = {200: "OK", 400: "Bad Request", 404: "Not Found"}.get(
+            status, "Error"
+        )
+        connection = "keep-alive" if keep_alive else "close"
+        return (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {connection}\r\n\r\n"
+        ).encode("latin-1") + body
+
+    def _json_body(self, payload: dict) -> bytes:
+        return (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+
+    def _error_body(self, exc: BaseException) -> tuple[int, bytes]:
+        return http_status(exc), self._json_body(
+            {"error": {"code": error_code(exc), "message": str(exc)}}
+        )
+
+    async def _send(
+        self, writer, status, body, content_type, *, keep_alive
+    ) -> None:
+        writer.write(
+            self._render(status, body, content_type, keep_alive=keep_alive)
+        )
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Connection handler
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        with self._http_lock:
+            self._connections_opened += 1
+        requests_on_conn = 0
+        try:
+            while True:
+                try:
+                    method, target, version, headers = await self._read_head(
+                        reader
+                    )
+                except (
+                    EOFError,
+                    asyncio.IncompleteReadError,
+                    ConnectionError,
+                ):
+                    return
+                except _BadRequest as exc:
+                    status, body = 400, self._json_body(
+                        {"error": {"code": "parse_error", "message": str(exc)}}
+                    )
+                    await self._send(
+                        writer,
+                        status,
+                        body,
+                        "application/json",
+                        keep_alive=False,
+                    )
+                    return
+                requests_on_conn += 1
+                with self._http_lock:
+                    self._requests_served += 1
+                    if requests_on_conn > 1:
+                        self._keepalive_reuses += 1
+                keep_alive = (
+                    version == "HTTP/1.1"
+                    and headers.get("connection", "").lower() != "close"
+                )
+                try:
+                    body = await self._read_body(reader, headers)
+                except (
+                    _BadRequest,
+                    asyncio.IncompleteReadError,
+                    ConnectionError,
+                ):
+                    return
+                done = await self._dispatch(
+                    writer, method, target, headers, body, keep_alive
+                )
+                if not done or not keep_alive:
+                    return
+        finally:
+            with self._http_lock:
+                self._connections_closed += 1
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch(
+        self, writer, method, target, headers, body, keep_alive
+    ) -> bool:
+        """Route one request; returns False when the connection must die
+        (headers already streamed when the failure hit)."""
+        split = urlsplit(target)
+        params = parse_qs(split.query, keep_blank_values=True)
+        try:
+            if split.path == "/sparql" and method in ("GET", "POST"):
+                if method == "POST":
+                    self._merge_post_params(params, headers, body)
+                return await self._handle_sparql(
+                    writer, params, headers, keep_alive
+                )
+            if split.path == "/stats" and method == "GET":
+                payload = await self._in_executor(self.stats_payload)
+                await self._send(
+                    writer,
+                    200,
+                    self._json_body(payload),
+                    "application/json",
+                    keep_alive=keep_alive,
+                )
+                return True
+            if split.path == "/explain" and method == "GET":
+                await self._handle_explain(writer, params, keep_alive)
+                return True
+            if split.path == "/update" and method == "POST":
+                await self._handle_update(writer, body, keep_alive)
+                return True
+            await self._send(
+                writer,
+                404,
+                self._json_body(
+                    {
+                        "error": {
+                            "code": "not_found",
+                            "message": f"no endpoint {split.path!r}",
+                        }
+                    }
+                ),
+                "application/json",
+                keep_alive=keep_alive,
+            )
+            return True
+        except (ConnectionError, asyncio.IncompleteReadError):
+            return False
+        except Exception as exc:  # noqa: BLE001 - boundary translation
+            status, error_body = self._error_body(exc)
+            try:
+                await self._send(
+                    writer,
+                    status,
+                    error_body,
+                    "application/json",
+                    keep_alive=keep_alive,
+                )
+            except (ConnectionError, OSError):
+                return False
+            return True
+
+    @staticmethod
+    def _merge_post_params(
+        params: dict[str, list[str]], headers: dict, body: bytes
+    ) -> None:
+        if not body:
+            return
+        content_type = (
+            (headers.get("content-type") or "").split(";")[0].strip().lower()
+        )
+        if content_type == "application/sparql-query":
+            params.setdefault("query", []).append(body.decode("utf-8"))
+            return
+        for name, values in parse_qs(
+            body.decode("utf-8"), keep_blank_values=True
+        ).items():
+            params.setdefault(name, []).extend(values)
+
+    async def _in_executor(self, func, *args):
+        return await asyncio.get_running_loop().run_in_executor(
+            None, func, *args
+        )
+
+    def _admit(self):
+        with self._http_lock:
+            if self._in_flight >= self.max_pending:
+                raise CapacityError(
+                    f"server is at its {self.max_pending} in-flight "
+                    "request bound; retry later"
+                )
+            self._in_flight += 1
+            self._in_flight_peak = max(self._in_flight_peak, self._in_flight)
+
+    def _release(self):
+        with self._http_lock:
+            self._in_flight -= 1
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    async def _handle_sparql(
+        self, writer, params, headers, keep_alive
+    ) -> bool:
+        request, format_name = parse_query_request(params, self.page_size)
+        serializer = serializer_for(format_name, headers.get("accept"))
+        # Admission covers the whole request — worker execution and
+        # response streaming — mirroring the single-process tier.
+        self._admit()
+        try:
+            cursor = await self._in_executor(self.session.execute, request)
+        except BaseException:
+            self._release()
+            raise
+        streamed = False
+        try:
+            head = (
+                "HTTP/1.1 200 OK\r\n"
+                f"Content-Type: {serializer.content_type}\r\n"
+                "Transfer-Encoding: chunked\r\n"
+                f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+                "\r\n"
+            ).encode("latin-1")
+            writer.write(head)
+            streamed = True
+            for chunk in serializer.stream(cursor):
+                if not chunk:
+                    continue
+                writer.write(
+                    f"{len(chunk):X}\r\n".encode("ascii") + chunk + b"\r\n"
+                )
+                await writer.drain()
+            writer.write(b"0\r\n\r\n")
+            await writer.drain()
+            return True
+        except (ConnectionError, OSError):
+            return False
+        except Exception as exc:  # noqa: BLE001 - boundary translation
+            if streamed:
+                # Headers are on the wire: a second status line would
+                # corrupt the stream — drop the connection instead.
+                return False
+            status, error_body = self._error_body(exc)
+            await self._send(
+                writer,
+                status,
+                error_body,
+                "application/json",
+                keep_alive=keep_alive,
+            )
+            return True
+        finally:
+            cursor.close()
+            self._release()
+
+    async def _handle_explain(self, writer, params, keep_alive) -> None:
+        text = single_param(params, "query")
+        if text is None:
+            raise ParseError("missing required parameter 'query'")
+        parameters = template_parameters(params, {"query"})
+        plan = await self._in_executor(
+            self.session.explain, text, parameters
+        )
+        await self._send(
+            writer,
+            200,
+            plan.encode("utf-8") + b"\n",
+            "text/plain; charset=utf-8",
+            keep_alive=keep_alive,
+        )
+
+    async def _handle_update(self, writer, body, keep_alive) -> None:
+        request = parse_update_payload(body)
+        response = await self._in_executor(self.session.update, request)
+        await self._send(
+            writer,
+            200,
+            self._json_body(
+                {
+                    "added": response.added,
+                    "removed": response.removed,
+                    "data_version": response.data_version,
+                }
+            ),
+            "application/json",
+            keep_alive=keep_alive,
+        )
+
+
+__all__ = ["ClusterHttpServer"]

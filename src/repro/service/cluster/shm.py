@@ -1,0 +1,586 @@
+"""Shared-memory segment publication with refcounted epoch retirement.
+
+One :class:`~repro.storage.vertical.StoreSnapshot` — the merged
+immutable tables of one epoch plus the dictionary's flat blocks — is
+serialized into a single ``multiprocessing.shared_memory`` segment:
+
+.. code-block:: text
+
+    MAGIC "RSHM1\\0\\0\\0" | uint64 header_len | header JSON | pad to 8
+    | column arrays ... | dictionary offsets | dictionary blob
+
+The header lists every table's column offsets and the dictionary block
+offsets, all relative to the 8-aligned payload base, so attaching costs
+one JSON parse plus ``np.frombuffer`` views — no copies of segment
+data. Attached column views are marked read-only: a worker can never
+scribble on another worker's (or the publisher's) data.
+
+:class:`SegmentPublisher` owns the segment lifecycle. Each
+:meth:`~SegmentPublisher.publish` captures the store under its write
+lock, writes a fresh segment, and *retires* the previous epoch.
+Retirement is refcounted: the segment is unlinked only when it is both
+retired and unreferenced, so a worker mid-attach on an acquired epoch
+never races an unlink. Names embed the publisher's pid
+(``repro-shm-<pid hex>-e<n>``) so :func:`reclaim_stale` can sweep
+segments leaked by a killed publisher on restart.
+
+Python 3.11's ``resource_tracker`` registers *attached* segments too
+(fixed by ``track=False`` in 3.13) — left alone, a worker exiting would
+unlink segments its siblings still read. :func:`attach_shared_memory`
+unregisters the attach-side handle, restoring create-side-owns
+semantics: the publisher's explicit :meth:`~SegmentPublisher.close`
+(or :func:`reclaim_stale`) is the single unlink path.
+"""
+
+from __future__ import annotations
+
+import inspect
+import json
+import os
+import threading
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ClusterError, SegmentAttachError, SegmentRetiredError
+from repro.storage.relation import Relation
+from repro.storage.vertical import StoreSnapshot
+
+MAGIC = b"RSHM1\x00\x00\x00"
+_ALIGN = 8
+
+
+def _aligned(n: int) -> int:
+    return (n + _ALIGN - 1) & ~(_ALIGN - 1)
+
+
+def shm_dir() -> Path | None:
+    """Where POSIX shared memory lives, or ``None`` off-Linux."""
+    path = Path("/dev/shm")
+    return path if path.is_dir() else None
+
+
+def shm_supported() -> bool:
+    """Whether ``multiprocessing.shared_memory`` works here.
+
+    CI sandboxes sometimes mount ``/dev/shm`` read-only or not at all;
+    shm-dependent tests skip cleanly on this probe.
+    """
+    try:
+        segment = shared_memory.SharedMemory(create=True, size=16)
+    except (OSError, ValueError):
+        return False
+    try:
+        segment.close()
+    finally:
+        segment.unlink()
+    return True
+
+
+#: Whether ``SharedMemory`` takes ``track=`` (Python >= 3.13). Without
+#: it, tracker bookkeeping is balanced by hand (see the helpers below).
+_HAS_TRACK = "track" in inspect.signature(
+    shared_memory.SharedMemory.__init__
+).parameters
+
+
+def _untrack(name: str) -> None:
+    """Drop a segment from this process's resource tracker.
+
+    Cluster segments are *never* tracker-owned: the publisher's
+    explicit unlink (or :func:`reclaim_stale` after a crash) is the
+    single cleanup path. Forked workers share the parent's tracker, so
+    letting any side stay registered would either double-unregister
+    (noisy KeyError in the tracker) or unlink a sibling's mapping.
+    """
+    try:
+        resource_tracker.unregister(name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals
+        pass
+
+
+def _track(name: str) -> None:
+    try:
+        resource_tracker.register(name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals
+        pass
+
+
+def create_shared_memory(
+    name: str, size: int
+) -> shared_memory.SharedMemory:
+    """Create an untracked segment (lifecycle owned by the caller)."""
+    if _HAS_TRACK:
+        return shared_memory.SharedMemory(
+            create=True, size=size, name=name, track=False
+        )
+    segment = shared_memory.SharedMemory(create=True, size=size, name=name)
+    _untrack(segment._name)
+    return segment
+
+
+def unlink_segment(segment: shared_memory.SharedMemory) -> None:
+    """Unlink with balanced tracker bookkeeping.
+
+    The stdlib's ``unlink`` unconditionally unregisters on < 3.13, so
+    the name is re-registered just beforehand — the pair cancels out
+    and the tracker never sees an unknown-name unregister.
+    """
+    if not _HAS_TRACK:
+        _track(segment._name)
+    try:
+        segment.unlink()
+    except FileNotFoundError:
+        if not _HAS_TRACK:
+            _untrack(segment._name)
+        raise
+
+
+def attach_shared_memory(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without adopting its lifetime.
+
+    Unregisters the attach-side ``resource_tracker`` handle (see module
+    docstring) so only the creator ever unlinks. A vanished name raises
+    :class:`~repro.errors.SegmentRetiredError` — the signal to re-fetch
+    the current epoch and retry.
+    """
+    try:
+        if _HAS_TRACK:
+            segment = shared_memory.SharedMemory(name=name, track=False)
+        else:
+            segment = shared_memory.SharedMemory(name=name)
+            _untrack(segment._name)
+    except FileNotFoundError:
+        raise SegmentRetiredError(
+            f"shared segment {name!r} was retired before attach"
+        ) from None
+    except (OSError, ValueError) as exc:
+        raise SegmentAttachError(
+            f"cannot attach shared segment {name!r}: {exc}"
+        ) from exc
+    return segment
+
+
+def detach(segment: shared_memory.SharedMemory) -> None:
+    """Close an attached segment, tolerating live buffer exports.
+
+    Closing while numpy views still reference the buffer raises
+    ``BufferError``; a worker tearing down on its way to ``_exit`` can
+    not always drop every view first (engines hold relations hold
+    columns), and the mapping is reclaimed at process exit regardless.
+    The handle is neutralized so ``__del__`` does not noisily retry the
+    close at interpreter shutdown.
+    """
+    try:
+        segment.close()
+    except BufferError:
+        segment._mmap = None
+        fd = getattr(segment, "_fd", -1)
+        if fd >= 0:
+            try:
+                os.close(fd)
+            except OSError:  # pragma: no cover - already closed
+                pass
+            segment._fd = -1
+
+
+def serialize_snapshot(snapshot: StoreSnapshot) -> tuple[bytes, list]:
+    """The header zone plus the ordered payload buffers of a snapshot.
+
+    Returns ``(header_zone, buffers)`` where ``header_zone`` already
+    ends at the 8-aligned payload base and ``buffers`` is a list of
+    ``(payload_offset, bytes-like)`` pieces to copy in after it.
+    """
+    buffers: list[tuple[int, object]] = []
+    offset = 0
+
+    def place(data) -> tuple[int, int]:
+        nonlocal offset
+        start = offset
+        size = memoryview(data).nbytes
+        buffers.append((start, data))
+        offset = _aligned(start + size)
+        return start, size
+
+    tables = []
+    for name, relation in sorted(snapshot.tables.items()):
+        columns = []
+        for attribute in relation.attributes:
+            column = np.ascontiguousarray(
+                relation.column(attribute), dtype="<u4"
+            )
+            start, size = place(column)
+            columns.append([attribute, start, size])
+        tables.append(
+            {"name": name, "rows": int(relation.num_rows), "columns": columns}
+        )
+    offsets = np.ascontiguousarray(snapshot.dict_offsets, dtype="<u8")
+    dict_offsets = place(offsets)
+    dict_blob = place(snapshot.dict_blob)
+    header = {
+        "data_version": snapshot.data_version,
+        "num_triples": snapshot.num_triples,
+        "predicate_iris": snapshot.predicate_iris,
+        "tables": tables,
+        "dict": {
+            "count": int(offsets.size) - 1,
+            "offsets": list(dict_offsets),
+            "blob": list(dict_blob),
+        },
+    }
+    header_bytes = json.dumps(header).encode("utf-8")
+    zone = len(MAGIC) + 8 + len(header_bytes)
+    header_zone = (
+        MAGIC
+        + int(len(header_bytes)).to_bytes(8, "little")
+        + header_bytes
+        + b"\x00" * (_aligned(zone) - zone)
+    )
+    return header_zone, buffers
+
+
+def publish_snapshot(
+    snapshot: StoreSnapshot, name: str
+) -> shared_memory.SharedMemory:
+    """Write a snapshot into a fresh shared segment called ``name``.
+
+    The caller owns the returned handle (close + unlink); the
+    publisher's epoch table is the one caller in the serving tier.
+    """
+    header_zone, buffers = serialize_snapshot(snapshot)
+    payload = max(
+        (start + memoryview(data).nbytes for start, data in buffers),
+        default=0,
+    )
+    total = max(len(header_zone) + payload, 1)
+    try:
+        segment = create_shared_memory(name, total)
+    except (OSError, ValueError) as exc:
+        raise ClusterError(
+            f"cannot create shared segment {name!r} ({total} bytes): {exc}"
+        ) from exc
+    try:
+        view = segment.buf
+        base = len(header_zone)
+        view[:base] = header_zone
+        for start, data in buffers:
+            raw = memoryview(data).cast("B")
+            view[base + start : base + start + raw.nbytes] = raw
+    except BaseException:
+        segment.close()
+        unlink_segment(segment)
+        raise
+    return segment
+
+
+def attach_snapshot(
+    name: str,
+) -> tuple[StoreSnapshot, shared_memory.SharedMemory]:
+    """Attach a published segment as a zero-copy `StoreSnapshot`.
+
+    Table columns are read-only ``np.ndarray`` views over the shared
+    buffer — the snapshot is valid exactly as long as the returned
+    segment handle stays open (close with :func:`detach`). Corrupt or
+    foreign segments raise :class:`~repro.errors.SegmentAttachError`.
+    """
+    segment = attach_shared_memory(name)
+    try:
+        buf = segment.buf
+        if bytes(buf[: len(MAGIC)]) != MAGIC:
+            raise SegmentAttachError(
+                f"segment {name!r} is not an RSHM1 snapshot"
+            )
+        header_len = int.from_bytes(
+            bytes(buf[len(MAGIC) : len(MAGIC) + 8]), "little"
+        )
+        zone = len(MAGIC) + 8 + header_len
+        try:
+            header = json.loads(
+                bytes(buf[len(MAGIC) + 8 : zone]).decode("utf-8")
+            )
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise SegmentAttachError(
+                f"segment {name!r} has a corrupt header: {exc}"
+            ) from exc
+        base = _aligned(zone)
+
+        def view(start: int, size: int, dtype: str) -> np.ndarray:
+            array = np.frombuffer(
+                buf, dtype=dtype, count=size // np.dtype(dtype).itemsize,
+                offset=base + start,
+            )
+            array.flags.writeable = False
+            return array
+
+        tables: dict[str, Relation] = {}
+        for table in header["tables"]:
+            attributes = tuple(c[0] for c in table["columns"])
+            columns = tuple(
+                view(start, size, "<u4")
+                for _, start, size in table["columns"]
+            )
+            tables[table["name"]] = Relation(
+                table["name"], attributes, columns
+            )
+        dict_header = header["dict"]
+        offsets = view(*dict_header["offsets"], "<u8")
+        blob_start, blob_size = dict_header["blob"]
+        blob = buf[base + blob_start : base + blob_start + blob_size]
+        snapshot = StoreSnapshot(
+            tables=tables,
+            predicate_iris=dict(header["predicate_iris"]),
+            dict_offsets=offsets,
+            dict_blob=bytes(blob),
+            num_triples=int(header["num_triples"]),
+            data_version=int(header["data_version"]),
+        )
+        return snapshot, segment
+    except BaseException:
+        detach(segment)
+        raise
+
+
+@dataclass
+class _Epoch:
+    """One published segment's lifecycle record (publisher-internal)."""
+
+    epoch: int
+    name: str
+    segment: shared_memory.SharedMemory
+    data_version: int
+    size: int
+    refs: int = 0
+    retired: bool = False
+
+
+def _segment_name(prefix: str, pid: int, epoch: int) -> str:
+    return f"{prefix}-{pid:x}-e{epoch}"
+
+
+class SegmentPublisher:
+    """Publishes store epochs into shared memory, refcounted.
+
+    The serving tier's contract:
+
+    * :meth:`publish` snapshots the store (under its write lock) into a
+      fresh segment and retires the previous epoch.
+    * :meth:`acquire` pins an epoch for a reader about to attach;
+      :meth:`release` unpins it. A retired epoch is physically unlinked
+      only when its refcount reaches zero, so readers never lose the
+      mapping mid-attach; acquiring an already-retired epoch raises
+      :class:`~repro.errors.SegmentRetiredError` (re-fetch the current
+      one).
+    * :meth:`close` retires everything and unlinks unconditionally —
+      after it, :func:`stale_segments` must find nothing.
+
+    All refcount mutation happens under ``self._lock`` (the
+    ``shm-lifecycle`` checker enforces this structurally).
+    """
+
+    def __init__(self, store, prefix: str = "repro-shm") -> None:
+        self.store = store
+        self.prefix = prefix
+        self.pid = os.getpid()
+        self._lock = threading.Lock()
+        self._epochs: dict[int, _Epoch] = {}
+        self._counter = 0
+        self._current: int | None = None
+        self.published = 0
+
+    # ------------------------------------------------------------------
+    def publish(self) -> tuple[int, str]:
+        """Publish the store's current epoch; returns ``(epoch, name)``.
+
+        The previous epoch is retired (unlinked once unreferenced).
+        """
+        snapshot = self.store.export_snapshot()
+        with self._lock:
+            current = (
+                self._epochs.get(self._current)
+                if self._current is not None
+                else None
+            )
+            if (
+                current is not None
+                and current.data_version == snapshot.data_version
+            ):
+                # Nothing changed since the last publish; reuse it.
+                return current.epoch, current.name
+            self._counter += 1
+            epoch = self._counter
+            name = _segment_name(self.prefix, self.pid, epoch)
+        segment = publish_snapshot(snapshot, name)
+        with self._lock:
+            self._epochs[epoch] = _Epoch(
+                epoch=epoch,
+                name=name,
+                segment=segment,
+                data_version=snapshot.data_version,
+                size=segment.size,
+            )
+            previous, self._current = self._current, epoch
+            self.published += 1
+            if previous is not None:
+                self._retire_locked(previous)
+        return epoch, name
+
+    def _retire_locked(self, epoch: int) -> None:
+        entry = self._epochs.get(epoch)
+        if entry is None or entry.retired:
+            return
+        entry.retired = True
+        if entry.refs == 0:
+            self._unlink_locked(entry)
+
+    def _unlink_locked(self, entry: _Epoch) -> None:
+        del self._epochs[entry.epoch]
+        entry.segment.close()
+        try:
+            unlink_segment(entry.segment)
+        except FileNotFoundError:  # already swept (e.g. reclaim_stale)
+            pass
+
+    # ------------------------------------------------------------------
+    @property
+    def current_epoch(self) -> int:
+        """The live epoch id (publishing lazily on first use)."""
+        with self._lock:
+            if self._current is not None:
+                return self._current
+        epoch, _ = self.publish()
+        return epoch
+
+    def current_data_version(self) -> int | None:
+        with self._lock:
+            if self._current is None:
+                return None
+            return self._epochs[self._current].data_version
+
+    def segment_bytes(self) -> int:
+        """Total bytes of live (unretired, referenced) segments."""
+        with self._lock:
+            return sum(entry.size for entry in self._epochs.values())
+
+    def acquire(self, epoch: int) -> str:
+        """Pin an epoch for attach; returns its segment name."""
+        with self._lock:
+            entry = self._epochs.get(epoch)
+            if entry is None or entry.retired:
+                raise SegmentRetiredError(
+                    f"epoch {epoch} is retired; re-acquire the current "
+                    "epoch and retry"
+                )
+            entry.refs += 1
+            return entry.name
+
+    def release(self, epoch: int) -> None:
+        """Unpin an epoch (unlinks it if retired and unreferenced)."""
+        with self._lock:
+            entry = self._epochs.get(epoch)
+            if entry is None:
+                return
+            entry.refs -= 1
+            if entry.retired and entry.refs <= 0:
+                self._unlink_locked(entry)
+
+    def retire(self, epoch: int) -> None:
+        """Explicitly retire one epoch (tests and manual rollover)."""
+        with self._lock:
+            self._retire_locked(epoch)
+            if self._current == epoch:
+                self._current = None
+
+    def close(self) -> None:
+        """Unlink every segment unconditionally (pool shutdown path)."""
+        with self._lock:
+            for entry in list(self._epochs.values()):
+                self._unlink_locked(entry)
+            self._current = None
+
+    def __enter__(self) -> "SegmentPublisher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"<SegmentPublisher {self.prefix!r} epochs="
+                f"{sorted(self._epochs)} current={self._current}>"
+            )
+
+
+# ----------------------------------------------------------------------
+# Stale-segment reclamation (publisher restart after a crash)
+# ----------------------------------------------------------------------
+def _parse_segment_name(prefix: str, name: str) -> int | None:
+    """The owner pid embedded in a segment name, or ``None``."""
+    if not name.startswith(prefix + "-"):
+        return None
+    rest = name[len(prefix) + 1 :]
+    pid_hex, _, epoch = rest.partition("-")
+    if not epoch.startswith("e"):
+        return None
+    try:
+        return int(pid_hex, 16)
+    except ValueError:
+        return None
+
+
+def stale_segments(prefix: str = "repro-shm") -> list[str]:
+    """Names under ``prefix`` whose owning process is dead."""
+    directory = shm_dir()
+    if directory is None:
+        return []
+    stale = []
+    for path in directory.iterdir():
+        pid = _parse_segment_name(prefix, path.name)
+        if pid is None:
+            continue
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            stale.append(path.name)
+        except PermissionError:  # alive, different user
+            continue
+    return stale
+
+
+def reclaim_stale(prefix: str = "repro-shm") -> list[str]:
+    """Unlink segments leaked by dead publishers; returns their names.
+
+    Run at publisher start-up: a publisher killed ``-9`` cannot unlink
+    its segments, and ``/dev/shm`` is not reclaimed on process death.
+    Only names embedding a dead pid are touched, so concurrent live
+    publishers on the same host are never disturbed.
+    """
+    reclaimed = []
+    for name in stale_segments(prefix):
+        segment = attach_shared_memory(name)
+        segment.close()
+        try:
+            unlink_segment(segment)
+        except FileNotFoundError:  # pragma: no cover - lost a race
+            continue
+        reclaimed.append(name)
+    return reclaimed
+
+
+__all__ = [
+    "MAGIC",
+    "SegmentPublisher",
+    "attach_shared_memory",
+    "attach_snapshot",
+    "create_shared_memory",
+    "detach",
+    "publish_snapshot",
+    "reclaim_stale",
+    "serialize_snapshot",
+    "shm_dir",
+    "shm_supported",
+    "stale_segments",
+    "unlink_segment",
+]

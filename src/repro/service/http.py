@@ -192,6 +192,50 @@ def _parse_query_request(
     )
 
 
+def parse_update_payload(body: bytes) -> UpdateRequest:
+    """Validate a ``POST /update`` JSON body into an ``UpdateRequest``.
+
+    Shared by both HTTP tiers so a malformed body gets the same 400
+    from the single-process server and the cluster front door.
+    """
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ParseError(f"update body is not valid JSON: {exc}")
+    if not isinstance(payload, dict) or not (
+        set(payload) <= {"add", "remove"}
+    ):
+        raise ParseError(
+            'update body must be {"add": [[s,p,o],...], '
+            '"remove": [[s,p,o],...]}'
+        )
+
+    def triples(key: str) -> tuple[tuple[str, str, str], ...]:
+        rows = payload.get(key, [])
+        if not isinstance(rows, list) or any(
+            not isinstance(row, (list, tuple))
+            or len(row) != 3
+            or not all(isinstance(term, str) for term in row)
+            for row in rows
+        ):
+            raise ParseError(
+                f'update "{key}" must be a list of [s, p, o] '
+                "string triples"
+            )
+        return tuple(tuple(row) for row in rows)
+
+    return UpdateRequest(add=triples("add"), remove=triples("remove"))
+
+
+#: Public names for the request parsers — the cluster front door
+#: (:mod:`repro.service.cluster.http`) reuses them so both tiers accept
+#: the exact same wire parameters.
+parse_query_request = _parse_query_request
+template_parameters = _template_parameters
+single_param = _single
+RESERVED_PARAMS = _RESERVED_PARAMS
+
+
 class _Handler(BaseHTTPRequestHandler):
     """One HTTP request (ThreadingHTTPServer gives it its own thread)."""
 
@@ -382,35 +426,8 @@ class _Handler(BaseHTTPRequestHandler):
         self._send_body(200, body + b"\n", "text/plain; charset=utf-8")
 
     def _handle_update(self) -> None:
-        body = self._read_body()
-        try:
-            payload = json.loads(body.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise ParseError(f"update body is not valid JSON: {exc}")
-        if not isinstance(payload, dict) or not (
-            set(payload) <= {"add", "remove"}
-        ):
-            raise ParseError(
-                'update body must be {"add": [[s,p,o],...], '
-                '"remove": [[s,p,o],...]}'
-            )
-
-        def triples(key: str) -> tuple[tuple[str, str, str], ...]:
-            rows = payload.get(key, [])
-            if not isinstance(rows, list) or any(
-                not isinstance(row, (list, tuple))
-                or len(row) != 3
-                or not all(isinstance(term, str) for term in row)
-                for row in rows
-            ):
-                raise ParseError(
-                    f'update "{key}" must be a list of [s, p, o] '
-                    "string triples"
-                )
-            return tuple(tuple(row) for row in rows)
-
         response = self.server.session.update(
-            UpdateRequest(add=triples("add"), remove=triples("remove"))
+            parse_update_payload(self._read_body())
         )
         self._send_json(
             200,
@@ -553,6 +570,9 @@ class SparqlHttpServer(ThreadingHTTPServer):
                     "max_pending": self.max_pending,
                     "in_flight": self._in_flight,
                     "in_flight_peak": self._in_flight_peak,
+                    # Single-process tier: all work happens in this one
+                    # process (the cluster tier reports its real count).
+                    "worker_count": 1,
                 },
             }
 
@@ -639,4 +659,13 @@ if __name__ == "__main__":
     main()
 
 
-__all__ = ["MAX_PAGE_SIZE", "SparqlHttpServer", "main"]
+__all__ = [
+    "MAX_PAGE_SIZE",
+    "RESERVED_PARAMS",
+    "SparqlHttpServer",
+    "main",
+    "parse_query_request",
+    "parse_update_payload",
+    "single_param",
+    "template_parameters",
+]

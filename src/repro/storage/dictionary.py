@@ -86,3 +86,43 @@ class Dictionary:
     def items(self) -> Iterable[tuple[str, int]]:
         """Iterate (term, key) pairs in key order."""
         return ((term, key) for key, term in enumerate(self._term_for))
+
+    def export_blocks(self) -> tuple[np.ndarray, bytes]:
+        """Serialize all terms into ``(offsets, utf8 blob)`` blocks.
+
+        ``offsets`` is a little-endian ``uint64`` array of length
+        ``len(self) + 1``; term ``i`` occupies
+        ``blob[offsets[i]:offsets[i + 1]]``. The flat layout is what the
+        multi-process serving tier places into shared memory: attaching
+        costs two array views, not a per-term pickle.
+        """
+        encoded = [term.encode("utf-8") for term in self._term_for]
+        offsets = np.zeros(len(encoded) + 1, dtype="<u8")
+        if encoded:
+            np.cumsum(
+                np.fromiter(
+                    (len(b) for b in encoded),
+                    dtype="<u8",
+                    count=len(encoded),
+                ),
+                out=offsets[1:],
+            )
+        return offsets, b"".join(encoded)
+
+    @classmethod
+    def from_blocks(cls, offsets: np.ndarray, blob: bytes) -> "Dictionary":
+        """Rebuild a dictionary from :meth:`export_blocks` output.
+
+        ``blob`` may be any buffer (``bytes``, ``memoryview``, a
+        shared-memory view); terms are decoded into process-local
+        strings, so the source buffer may be released afterwards.
+        """
+        view = memoryview(blob)
+        terms = [
+            str(view[int(start):int(end)], "utf-8")
+            for start, end in zip(offsets[:-1], offsets[1:])
+        ]
+        dictionary = cls()
+        dictionary._term_for = terms
+        dictionary._key_for = {term: key for key, term in enumerate(terms)}
+        return dictionary

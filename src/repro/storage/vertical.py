@@ -145,6 +145,26 @@ class DeltaBatch:
         )
 
 
+@dataclass(frozen=True)
+class StoreSnapshot:
+    """A frozen, self-consistent image of one store epoch.
+
+    Everything another process needs to reconstruct an equivalent
+    read-only store: the merged logical tables, the dictionary's flat
+    blocks (:meth:`Dictionary.export_blocks`), the predicate IRIs, and
+    the epoch. Captured under the write lock so every piece belongs to
+    the *same* epoch; the segment publisher serializes exactly these
+    fields into shared memory.
+    """
+
+    tables: dict[str, Relation]
+    predicate_iris: dict[str, str]
+    dict_offsets: np.ndarray
+    dict_blob: bytes
+    num_triples: int
+    data_version: int
+
+
 class _TableSegments:
     """One predicate table's main segment plus packed delta segments.
 
@@ -154,19 +174,35 @@ class _TableSegments:
     arrays too. Every operation is a vectorized key-set operation.
     """
 
-    __slots__ = ("main", "main_keys", "inserts", "tombstones")
+    __slots__ = ("main", "_main_keys", "inserts", "tombstones")
 
     def __init__(self, name: str, main: Relation | None) -> None:
         if main is None:
             main = Relation.empty(name, (SUBJECT, OBJECT))
         self.main = main
-        # np.unique both sorts and dedups, so arbitrary initial tables
-        # satisfy the sorted-unique key invariant every set op relies on.
-        self.main_keys = np.unique(
-            pack_pairs(main.column(SUBJECT), main.column(OBJECT))
-        )
+        self._main_keys: np.ndarray | None = None
         self.inserts = np.empty(0, dtype=np.uint64)
         self.tombstones = np.empty(0, dtype=np.uint64)
+
+    @property
+    def main_keys(self) -> np.ndarray:
+        """Sorted unique packed keys of the main segment, built lazily.
+
+        np.unique both sorts and dedups, so arbitrary initial tables
+        satisfy the sorted-unique key invariant every set op relies on.
+        Laziness matters for read-only consumers — shared-memory worker
+        processes adopt whole epochs of tables and never mutate them, so
+        they must not pay an O(main) pack+sort per table on attach.
+        """
+        if self._main_keys is None:
+            self._main_keys = np.unique(
+                pack_pairs(self.main.column(SUBJECT), self.main.column(OBJECT))
+            )
+        return self._main_keys
+
+    @main_keys.setter
+    def main_keys(self, keys: np.ndarray) -> None:
+        self._main_keys = keys
 
     @property
     def delta_rows(self) -> int:
@@ -180,6 +216,8 @@ class _TableSegments:
 
     def merged(self, name: str) -> Relation:
         """The logical (main − tombstones + inserts) relation."""
+        if not self.delta_rows:
+            return self.main
         keys = remove_sorted(self.main_keys, self.tombstones)
         if self.inserts.size:
             keys = np.concatenate([keys, self.inserts])
@@ -606,7 +644,7 @@ class VerticallyPartitionedStore:
                 "log_length": len(self._delta_log),
                 "tables": {
                     name: {
-                        "main_rows": int(segments.main_keys.size),
+                        "main_rows": int(segments.main.num_rows),
                         "insert_rows": int(segments.inserts.size),
                         "tombstone_rows": int(segments.tombstones.size),
                     }
@@ -632,6 +670,52 @@ class VerticallyPartitionedStore:
             if count:
                 self.tables = tables
             return count
+
+    # ------------------------------------------------------------------
+    # Snapshots (the multi-process serving tier's unit of publication)
+    # ------------------------------------------------------------------
+    def export_snapshot(self) -> StoreSnapshot:
+        """Capture the current epoch as a :class:`StoreSnapshot`.
+
+        Taken under the write lock so the tables, dictionary blocks,
+        and epoch are mutually consistent. The table relations are the
+        live immutable objects (no copy); the dictionary is flattened
+        into offset/blob blocks.
+        """
+        with self._write_lock:
+            offsets, blob = self.dictionary.export_blocks()
+            return StoreSnapshot(
+                tables=dict(self.tables),
+                predicate_iris=dict(self.predicate_iris),
+                dict_offsets=offsets,
+                dict_blob=blob,
+                num_triples=self.num_triples,
+                data_version=self.data_version,
+            )
+
+    @classmethod
+    def from_snapshot(
+        cls, snapshot: StoreSnapshot
+    ) -> "VerticallyPartitionedStore":
+        """Reconstruct a store from a :class:`StoreSnapshot`.
+
+        Zero-copy with respect to the snapshot's column buffers: the
+        adopted relations keep whatever arrays they arrived with (e.g.
+        read-only shared-memory views), and the per-table packed-key
+        caches are built lazily, so attaching costs O(dictionary) string
+        decoding, not O(store). The result is a fully functional store —
+        updates applied to it copy-on-write as usual and never touch the
+        attached buffers.
+        """
+        return cls(
+            dictionary=Dictionary.from_blocks(
+                snapshot.dict_offsets, snapshot.dict_blob
+            ),
+            tables=dict(snapshot.tables),
+            predicate_iris=dict(snapshot.predicate_iris),
+            num_triples=snapshot.num_triples,
+            data_version=snapshot.data_version,
+        )
 
 
 def vertically_partition(

@@ -76,6 +76,7 @@ def test_checker_registry_ids():
         "epoch-safety",
         "error-taxonomy",
         "numpy-hygiene",
+        "shm-lifecycle",
     ]
 
 
@@ -180,6 +181,7 @@ def test_cli_json_report_shape(tmp_path, capsys):
         "error-taxonomy",
         "lock-discipline",
         "numpy-hygiene",
+        "shm-lifecycle",
     ]
     assert len(report["new"]) == 1
     assert report["new"][0]["checker"] == "numpy-hygiene"

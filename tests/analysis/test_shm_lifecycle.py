@@ -1,0 +1,211 @@
+"""Shm-lifecycle checker: create/unlink + attach/close pairing, local
+handle escape analysis, and refcounts-under-lock in cluster modules."""
+
+from repro.analysis.core import run_analysis
+from repro.analysis.shm_lifecycle import ShmLifecycleChecker
+
+
+def _analyze(tmp_path, source, relpath="service/cluster/mod.py"):
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source, encoding="utf-8")
+    findings, _ = run_analysis(
+        [tmp_path], checkers=[ShmLifecycleChecker()], root=tmp_path
+    )
+    return findings
+
+
+def _lines(source, fragment):
+    return [
+        lineno
+        for lineno, line in enumerate(source.splitlines(), 1)
+        if fragment in line
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Rule 1: module-level pairing
+# ---------------------------------------------------------------------------
+CREATE_NO_UNLINK = (
+    "from multiprocessing.shared_memory import SharedMemory\n"
+    "\n"
+    "\n"
+    "def publish(size):\n"
+    "    segment = SharedMemory(create=True, size=size)\n"
+    "    return segment\n"
+)
+
+
+def test_create_without_unlink_is_flagged(tmp_path):
+    findings = _analyze(tmp_path, CREATE_NO_UNLINK)
+    assert [f.checker for f in findings] == ["shm-lifecycle"]
+    assert "never unlinks" in findings[0].message
+    assert findings[0].line == _lines(CREATE_NO_UNLINK, "create=True")[0]
+
+
+CREATE_WITH_UNLINK = (
+    "from multiprocessing.shared_memory import SharedMemory\n"
+    "\n"
+    "\n"
+    "def publish(size):\n"
+    "    segment = SharedMemory(create=True, size=size)\n"
+    "    return segment\n"
+    "\n"
+    "\n"
+    "def retire(segment):\n"
+    "    segment.close()\n"
+    "    segment.unlink()\n"
+)
+
+
+def test_create_with_unlink_is_clean(tmp_path):
+    assert _analyze(tmp_path, CREATE_WITH_UNLINK) == []
+
+
+ATTACH_NO_CLOSE = (
+    "from repro.service.cluster.shm import attach_shared_memory\n"
+    "\n"
+    "\n"
+    "def reader(name):\n"
+    "    segment = attach_shared_memory(name)\n"
+    "    return segment\n"
+)
+
+
+def test_attach_without_close_is_flagged(tmp_path):
+    findings = _analyze(tmp_path, ATTACH_NO_CLOSE)
+    assert [f.checker for f in findings] == ["shm-lifecycle"]
+    assert "never closes" in findings[0].message
+
+
+ATTACH_WITH_DETACH = (
+    "from repro.service.cluster.shm import attach_snapshot, detach\n"
+    "\n"
+    "\n"
+    "def reader(name):\n"
+    "    snapshot, segment = attach_snapshot(name)\n"
+    "    try:\n"
+    "        return snapshot.num_triples\n"
+    "    finally:\n"
+    "        detach(segment)\n"
+)
+
+
+def test_attach_with_detach_is_clean(tmp_path):
+    assert _analyze(tmp_path, ATTACH_WITH_DETACH) == []
+
+
+# ---------------------------------------------------------------------------
+# Rule 1b: function-local handle escape analysis
+# ---------------------------------------------------------------------------
+DROPPED_HANDLE = (
+    "from repro.service.cluster.shm import (\n"
+    "    attach_shared_memory,\n"
+    "    detach,\n"
+    ")\n"
+    "\n"
+    "\n"
+    "def peek(name):\n"
+    "    segment = attach_shared_memory(name)\n"
+    "    return name\n"
+    "\n"
+    "\n"
+    "def proper(name):\n"
+    "    segment = attach_shared_memory(name)\n"
+    "    detach(segment)\n"
+)
+
+
+def test_dropped_local_handle_is_flagged(tmp_path):
+    findings = _analyze(tmp_path, DROPPED_HANDLE)
+    assert [f.checker for f in findings] == ["shm-lifecycle"]
+    finding = findings[0]
+    assert finding.symbol == "peek"
+    assert "'segment'" in finding.message
+    assert finding.line == _lines(DROPPED_HANDLE, "def peek")[0] + 1
+
+
+STORED_HANDLE = (
+    "from repro.service.cluster.shm import attach_shared_memory, detach\n"
+    "\n"
+    "\n"
+    "class Cache:\n"
+    "    def adopt(self, name):\n"
+    "        segment = attach_shared_memory(name)\n"
+    "        self.segment = segment\n"
+    "\n"
+    "    def drop(self):\n"
+    "        detach(self.segment)\n"
+)
+
+
+def test_handle_stored_on_self_is_clean(tmp_path):
+    assert _analyze(tmp_path, STORED_HANDLE) == []
+
+
+# ---------------------------------------------------------------------------
+# Rule 2: refcounts only under a lock (cluster modules only)
+# ---------------------------------------------------------------------------
+REFCOUNT_UNLOCKED = (
+    "class Epoch:\n"
+    "    def acquire(self):\n"
+    "        self.refs += 1\n"
+)
+
+
+def test_refcount_outside_lock_is_flagged(tmp_path):
+    findings = _analyze(tmp_path, REFCOUNT_UNLOCKED)
+    assert [f.checker for f in findings] == ["shm-lifecycle"]
+    finding = findings[0]
+    assert finding.symbol == "Epoch.acquire"
+    assert "outside" in finding.message
+    assert finding.line == _lines(REFCOUNT_UNLOCKED, "self.refs")[0]
+
+
+REFCOUNT_LOCKED = (
+    "class Epoch:\n"
+    "    def acquire(self):\n"
+    "        with self._lock:\n"
+    "            self.refs += 1\n"
+)
+
+
+def test_refcount_under_lock_is_clean(tmp_path):
+    assert _analyze(tmp_path, REFCOUNT_LOCKED) == []
+
+
+def test_refcount_rule_scoped_to_cluster_paths(tmp_path):
+    # The same mutation outside service/cluster/ is not this checker's
+    # business (generic lock discipline covers those).
+    assert (
+        _analyze(tmp_path, REFCOUNT_UNLOCKED, relpath="storage/mod.py")
+        == []
+    )
+
+
+SUPPRESSED = (
+    "class Epoch:\n"
+    "    def acquire(self):\n"
+    "        self.refs += 1  # repro: allow[shm-lifecycle]\n"
+)
+
+
+def test_allow_comment_suppresses(tmp_path):
+    assert _analyze(tmp_path, SUPPRESSED) == []
+
+
+# ---------------------------------------------------------------------------
+# The installed tree passes its own checker
+# ---------------------------------------------------------------------------
+def test_repo_cluster_tier_is_clean():
+    import pathlib
+
+    import repro
+
+    package_root = pathlib.Path(repro.__file__).parent
+    findings, _ = run_analysis(
+        [package_root],
+        checkers=[ShmLifecycleChecker()],
+        root=package_root.parent,
+    )
+    assert findings == []

@@ -1,0 +1,209 @@
+"""Shared-memory segment store: publish/attach, refcounts, reclaim."""
+
+import multiprocessing
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import SegmentAttachError, SegmentRetiredError
+from repro.service.cluster.shm import (
+    SegmentPublisher,
+    attach_shared_memory,
+    attach_snapshot,
+    create_shared_memory,
+    detach,
+    publish_snapshot,
+    reclaim_stale,
+    shm_dir,
+    shm_supported,
+    stale_segments,
+    unlink_segment,
+)
+from repro.storage.vertical import VerticallyPartitionedStore, vertically_partition
+
+pytestmark = pytest.mark.skipif(
+    not shm_supported(), reason="shared memory unavailable in this sandbox"
+)
+
+EX = "http://ex/"
+PREFIX = "repro-testshm"
+
+
+def _triples(n=40):
+    return [
+        (
+            f"<{EX}s{i}>",
+            f"<{EX}p{i % 4}>",
+            f"<{EX}o{i % 7}>" if i % 3 else f'"lit{i}"',
+        )
+        for i in range(n)
+    ]
+
+
+def _store():
+    return vertically_partition(_triples())
+
+
+def _segment_names():
+    directory = shm_dir()
+    if directory is None:
+        return []
+    return sorted(
+        p.name for p in directory.iterdir() if p.name.startswith(PREFIX)
+    )
+
+
+# ----------------------------------------------------------------------
+# Snapshot round-trip through a segment
+# ----------------------------------------------------------------------
+class TestSnapshotRoundtrip:
+    def test_attach_reproduces_store(self):
+        store = _store()
+        snapshot = store.export_snapshot()
+        segment = publish_snapshot(snapshot, f"{PREFIX}-rt")
+        try:
+            attached, handle = attach_snapshot(f"{PREFIX}-rt")
+            try:
+                clone = VerticallyPartitionedStore.from_snapshot(attached)
+                assert clone.num_triples == store.num_triples
+                assert clone.data_version == store.data_version
+                assert sorted(clone.tables) == sorted(store.tables)
+                for name, relation in store.tables.items():
+                    other = clone.tables[name]
+                    for attribute in relation.attributes:
+                        np.testing.assert_array_equal(
+                            relation.column(attribute),
+                            other.column(attribute),
+                        )
+            finally:
+                detach(handle)
+        finally:
+            segment.close()
+            unlink_segment(segment)
+
+    def test_attached_columns_are_readonly_views(self):
+        store = _store()
+        segment = publish_snapshot(store.export_snapshot(), f"{PREFIX}-ro")
+        try:
+            attached, handle = attach_snapshot(f"{PREFIX}-ro")
+            try:
+                table = next(iter(attached.tables.values()))
+                column = table.column(table.attributes[0])
+                assert not column.flags.writeable
+                with pytest.raises(ValueError):
+                    column[0] = 1
+            finally:
+                detach(handle)
+        finally:
+            segment.close()
+            unlink_segment(segment)
+
+    def test_attach_missing_name_is_retired_error(self):
+        with pytest.raises(SegmentRetiredError):
+            attach_shared_memory(f"{PREFIX}-never-existed")
+
+    def test_attach_garbage_is_attach_error(self):
+        segment = create_shared_memory(f"{PREFIX}-garbage", 64)
+        try:
+            segment.buf[:7] = b"garbage"
+            with pytest.raises(SegmentAttachError):
+                attach_snapshot(f"{PREFIX}-garbage")
+        finally:
+            segment.close()
+            unlink_segment(segment)
+
+
+# ----------------------------------------------------------------------
+# Publisher lifecycle
+# ----------------------------------------------------------------------
+class TestSegmentPublisher:
+    def test_publish_dedups_unchanged_data_version(self):
+        store = _store()
+        with SegmentPublisher(store, prefix=PREFIX) as publisher:
+            first = publisher.publish()
+            second = publisher.publish()
+            assert first == second
+            assert publisher.published == 1
+
+    def test_new_epoch_retires_previous(self):
+        store = _store()
+        with SegmentPublisher(store, prefix=PREFIX) as publisher:
+            epoch1, name1 = publisher.publish()
+            store.add_triples([(f"<{EX}new>", f"<{EX}p0>", f"<{EX}o0>")])
+            epoch2, name2 = publisher.publish()
+            assert epoch2 != epoch1 and name2 != name1
+            # epoch1 had no pins: its segment is already unlinked.
+            with pytest.raises(SegmentRetiredError):
+                attach_shared_memory(name1)
+            with pytest.raises(SegmentRetiredError):
+                publisher.acquire(epoch1)
+
+    def test_pinned_epoch_survives_retirement_until_release(self):
+        store = _store()
+        with SegmentPublisher(store, prefix=PREFIX) as publisher:
+            epoch1, name1 = publisher.publish()
+            acquired = publisher.acquire(epoch1)
+            assert acquired == name1
+            store.add_triples([(f"<{EX}new>", f"<{EX}p0>", f"<{EX}o0>")])
+            publisher.publish()  # retires epoch1, but it is pinned
+            snapshot, handle = attach_snapshot(name1)  # still attachable
+            assert snapshot.num_triples == store.num_triples - 1
+            detach(handle)
+            publisher.release(epoch1)  # last pin gone -> unlinked
+            with pytest.raises(SegmentRetiredError):
+                attach_shared_memory(name1)
+
+    def test_close_unlinks_everything(self):
+        store = _store()
+        publisher = SegmentPublisher(store, prefix=PREFIX)
+        _, name = publisher.publish()
+        publisher.acquire(publisher.current_epoch)  # even pinned epochs
+        publisher.close()
+        assert _segment_names() == []
+        with pytest.raises(SegmentRetiredError):
+            attach_shared_memory(name)
+
+
+# ----------------------------------------------------------------------
+# Stale reclamation (publisher killed -9)
+# ----------------------------------------------------------------------
+def _dead_pid() -> int:
+    process = multiprocessing.get_context("fork").Process(target=lambda: None)
+    process.start()
+    process.join()
+    return process.pid
+
+
+class TestReclaimStale:
+    def test_reclaims_only_dead_owners(self):
+        dead = _dead_pid()
+        stale_name = f"{PREFIX}-{dead:x}-e1"
+        live_name = f"{PREFIX}-{os.getpid():x}-e1"
+        stale = create_shared_memory(stale_name, 32)
+        stale.close()
+        live = create_shared_memory(live_name, 32)
+        try:
+            assert stale_segments(PREFIX) == [stale_name]
+            reclaimed = reclaim_stale(PREFIX)
+            assert reclaimed == [stale_name]
+            assert stale_segments(PREFIX) == []
+            # The live publisher's segment is untouched.
+            assert live_name in _segment_names()
+        finally:
+            live.close()
+            unlink_segment(live)
+
+    def test_publisher_restart_reclaims(self):
+        dead = _dead_pid()
+        leaked = create_shared_memory(f"{PREFIX}-{dead:x}-e7", 32)
+        leaked.close()
+        from repro.service.cluster.pool import WorkerPool
+
+        pool = WorkerPool(_store(), workers=1, prefix=PREFIX)
+        try:
+            pool.start()
+            assert f"{PREFIX}-{dead:x}-e7" in pool.reclaimed
+        finally:
+            pool.close()
+        assert _segment_names() == []
