@@ -22,6 +22,12 @@ that sound:
   through that carried field serves estimates frozen at the last
   rebuild; statistics must be refreshed per batch or read from a
   per-epoch field.
+* ``stale-sketches`` — an ``apply_delta`` that passes the old bundle's
+  frequency-sketch registry (``sketches`` / ``_sketches``) verbatim —
+  or merely ``dict()``-copied — into the new state bundle installs an
+  epoch whose planner statistics never saw the batch; the registry
+  must go through a merge (``sketches_apply_delta`` /
+  ``merge_table_sketches``) or be dropped so it rebuilds lazily.
 """
 
 from __future__ import annotations
@@ -48,6 +54,7 @@ EPOCH_ATTRS = {
 }
 RECHECK_NAMES = {"check_data_version", "data_version", "_data_version"}
 STAT_ATTRS = {"predicate_stats", "distinct_subjects", "distinct_objects"}
+SKETCH_ATTRS = {"sketches", "_sketches"}
 STATE_CONTAINERS = {"_state", "_structures"}
 
 
@@ -66,7 +73,8 @@ class EpochSafetyChecker(Checker):
     id = "epoch-safety"
     description = (
         "epoch state read across yields without a data_version re-check; "
-        "Engine protocol surface; statistics carried across epochs"
+        "Engine protocol surface; statistics or sketch registries "
+        "carried across epochs"
     )
 
     def in_scope(self, relpath: str) -> bool:
@@ -84,6 +92,7 @@ class EpochSafetyChecker(Checker):
                 if isinstance(node, ast.ClassDef):
                     yield from self._yield_recheck(module, node)
                     yield from self._stale_stats(module, node)
+                    yield from self._stale_sketches(module, node)
         for info in project.subclass_closure("Engine"):
             if id(info.module) in scoped:
                 yield from self._protocol_surface(project, info)
@@ -299,3 +308,108 @@ class EpochSafetyChecker(Checker):
                 ):
                     carried.add(arg.attr)
         return carried
+
+    # ------------------------------------------------------------------
+    # Rule 4: stale-sketches
+    # ------------------------------------------------------------------
+    def _stale_sketches(
+        self, module: ModuleSource, cls: ast.ClassDef
+    ) -> Iterator[Finding]:
+        apply_delta = next(
+            (
+                stmt
+                for stmt in cls.body
+                if isinstance(stmt, ast.FunctionDef)
+                and stmt.name == "apply_delta"
+            ),
+            None,
+        )
+        if apply_delta is None:
+            return
+        aliases = self._state_aliases(apply_delta)
+        for node in _function_nodes(apply_delta):
+            if not isinstance(node, ast.Call):
+                continue
+            if not self._is_bundle_ctor(apply_delta, node):
+                continue
+            args: list[ast.expr] = list(node.args) + [
+                kw.value for kw in node.keywords
+            ]
+            for arg in args:
+                attr = self._sketch_registry(arg, aliases)
+                if attr is None:
+                    continue
+                yield Finding(
+                    checker=self.id,
+                    path=module.relpath,
+                    line=arg.lineno,
+                    symbol=f"{cls.name}.apply_delta",
+                    message=(
+                        f"sketch registry '{attr}' is carried into the "
+                        f"new state bundle without merging the batch; "
+                        f"merge it (sketches_apply_delta / "
+                        f"merge_table_sketches) or drop it so it "
+                        f"rebuilds lazily"
+                    ),
+                )
+
+    @staticmethod
+    def _is_bundle_ctor(func: ast.FunctionDef, call: ast.Call) -> bool:
+        """Is ``call`` constructing the next epoch's state bundle?
+
+        Either its name says so (``_State(...)`` / ``_Structures(...)``)
+        or its result is assigned to ``self._state`` /
+        ``self._structures`` somewhere in ``func``.
+        """
+        name = None
+        if isinstance(call.func, ast.Name):
+            name = call.func.id
+        elif isinstance(call.func, ast.Attribute):
+            name = call.func.attr
+        if name is not None and ("State" in name or "Structures" in name):
+            return True
+        for node in _function_nodes(func):
+            if not isinstance(node, ast.Assign) or node.value is not call:
+                continue
+            for target in node.targets:
+                chain = attr_chain(target)
+                if (
+                    chain
+                    and chain[0] == "self"
+                    and len(chain) == 2
+                    and chain[1] in STATE_CONTAINERS
+                ):
+                    return True
+        return False
+
+    @staticmethod
+    def _sketch_registry(expr: ast.expr, aliases: set[str]) -> str | None:
+        """The sketch attribute carried verbatim by ``expr``, if any.
+
+        Matches ``<alias>.sketches`` and ``self._state.sketches`` forms,
+        including a bare ``dict(...)`` shallow copy (copying the mapping
+        does not refresh the sketches inside it). A merge call wrapping
+        the registry is clean.
+        """
+        if (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Name)
+            and expr.func.id == "dict"
+            and len(expr.args) == 1
+            and not expr.keywords
+        ):
+            expr = expr.args[0]
+        if not isinstance(expr, ast.Attribute) or expr.attr not in SKETCH_ATTRS:
+            return None
+        base = expr.value
+        if isinstance(base, ast.Name) and base.id in aliases:
+            return expr.attr
+        chain = attr_chain(base)
+        if (
+            chain
+            and chain[0] == "self"
+            and len(chain) == 2
+            and chain[1] in STATE_CONTAINERS
+        ):
+            return expr.attr
+        return None

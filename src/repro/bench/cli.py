@@ -13,6 +13,7 @@ Subcommands::
     repro-lubm http --out BENCH_http.json                # live-server bench
     repro-lubm topk --out BENCH_topk.json                # streaming bench
     repro-lubm cluster --out BENCH_cluster.json          # multi-process bench
+    repro-lubm skew --out BENCH_skew.json                # re-optimization bench
 
 ``smoke`` runs every engine over a tiny LUBM instance and exits
 non-zero on any cross-engine disagreement or golden-count regression —
@@ -55,6 +56,14 @@ the single-process server, cluster-wide update visibility, zero
 leftover shared-memory segments after shutdown, and an adaptive
 throughput-scaling / p99 target (relaxed on machines with fewer cores
 than workers; see :mod:`repro.bench.cluster_bench`).
+
+``skew`` replays one Zipf-skewed parameter stream through two prepared
+statements — per-value re-optimization on vs. the structural-cache-only
+baseline (``reoptimize=off``) — over a store with one hot value and a
+tail of cold singletons; it gates on the hot-value p50 speedup
+(``--min-speedup``, 2x in CI), value-for-value row agreement between
+the legs, and both plan dispositions (retained/reoptimized) firing
+(see :mod:`repro.bench.skew_bench`).
 """
 
 from __future__ import annotations
@@ -232,6 +241,26 @@ def _cmd_cluster(args) -> None:
         clients=args.clients,
         p99_target_ms=args.p99_target,
         min_scaling=args.min_scaling,
+    )
+    print(render(report))
+    if args.out:
+        write_report(report, args.out)
+        print(f"wrote {args.out}")
+    if not report["ok"]:
+        sys.exit(1)
+
+
+def _cmd_skew(args) -> None:
+    from repro.bench.skew_bench import render, run_skew_bench, write_report
+
+    report = run_skew_bench(
+        hot_rows=args.hot_rows,
+        cold_values=args.cold_values,
+        fanout=args.fanout,
+        requests=args.requests,
+        zipf=args.zipf,
+        seed=args.seed,
+        min_speedup=args.min_speedup,
     )
     print(render(report))
     if args.out:
@@ -419,6 +448,55 @@ def main(argv: list[str] | None = None) -> None:
         help="write the machine-readable JSON report to this path",
     )
     cluster.set_defaults(func=_cmd_cluster)
+
+    skew = sub.add_parser("skew")
+    skew.add_argument("--seed", type=int, default=0)
+    skew.add_argument(
+        "--hot-rows",
+        type=int,
+        default=60000,
+        help="subjects matching the hot parameter value (the cold tail "
+        "is one subject per value)",
+    )
+    skew.add_argument(
+        "--cold-values",
+        type=int,
+        default=24,
+        help="cold singleton values in the Zipf family",
+    )
+    skew.add_argument(
+        "--fanout",
+        type=int,
+        default=6,
+        help="dead-end edges per hot subject (the x-first plan's "
+        "per-subject intersection work)",
+    )
+    skew.add_argument(
+        "--requests",
+        type=int,
+        default=300,
+        help="Zipf-sampled requests replayed through each leg",
+    )
+    skew.add_argument(
+        "--zipf",
+        type=float,
+        default=1.2,
+        help="Zipf exponent of the request stream (rank 0 is the hot "
+        "value)",
+    )
+    skew.add_argument(
+        "--min-speedup",
+        type=float,
+        default=2.0,
+        help="gate: required hot-value p50 speedup of re-optimization "
+        "over the structural-cache-only leg",
+    )
+    skew.add_argument(
+        "--out",
+        default="",
+        help="write the machine-readable JSON report to this path",
+    )
+    skew.set_defaults(func=_cmd_skew)
 
     topk = sub.add_parser("topk", parents=[common])
     topk.add_argument(

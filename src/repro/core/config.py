@@ -32,6 +32,23 @@ class OptimizationConfig:
     """Decompose queries into GHDs at all. LogicBlox-style engines run the
     generic join over a single node containing every atom."""
 
+    bound_orders: bool = True
+    """Skew-aware attach orders: when the store's frequency sketches are
+    available, score candidate orders by pessimistic frontier bounds and
+    pick the minimum instead of the small-cardinality promotion. Only
+    active together with ``reorder_selections`` (it is that
+    optimization's cost model)."""
+
+    reoptimize: bool = True
+    """Per-value re-optimization of cached plans: when a bound
+    parameter's sketched selectivity diverges from the cached plan's
+    assumption by more than ``reoptimize_factor``, re-plan for that
+    value class instead of reusing the structural plan."""
+
+    reoptimize_factor: float = 8.0
+    """Divergence factor (and selectivity-class bucket base) for
+    ``reoptimize``."""
+
     @property
     def force_layout(self) -> SetLayout | None:
         """Trie set layout override implied by ``mixed_layouts``."""
@@ -51,6 +68,8 @@ class OptimizationConfig:
             ghd_selection_pushdown=False,
             pipelining=False,
             use_ghd=False,
+            bound_orders=False,
+            reoptimize=False,
         )
 
     @classmethod
@@ -62,6 +81,8 @@ class OptimizationConfig:
             ghd_selection_pushdown=False,
             pipelining=False,
             use_ghd=True,
+            bound_orders=False,
+            reoptimize=False,
         )
 
     def but(self, **changes) -> "OptimizationConfig":

@@ -49,9 +49,24 @@ class ExecutorStats:
     same way, so materialized and streamed runs are comparable). The
     top-k bench gate asserts that under streaming it grows with
     ``offset + limit``, not with store size.
+
+    ``last_order``/``last_bounds`` record the attach order (and, when
+    the bound-driven search ran, its per-variable frontier bounds) of
+    the most recently executed plan, so serving-layer introspection can
+    report what the cost model actually chose.
     """
 
     enumerated_tuples: int = 0
+    last_order: tuple[str, ...] = ()
+    last_bounds: dict[str, int] | None = None
+
+    def record_plan(self, plan: Plan) -> None:
+        self.last_order = tuple(v.name for v in plan.global_order)
+        self.last_bounds = (
+            {v.name: bound for v, bound in plan.bounds.items()}
+            if plan.bounds
+            else None
+        )
 
 
 class GHDExecutor:
@@ -68,6 +83,7 @@ class GHDExecutor:
     # ------------------------------------------------------------------
     def execute(self, plan: Plan) -> Relation:
         """Run the plan; returns the projected, distinct result."""
+        self.stats.record_plan(plan)
         ghd = plan.ghd
         results: dict[int, Relation] = {}
         fused_child = plan.pipelined_child
@@ -137,6 +153,8 @@ class GHDExecutor:
             + projection
             + [v for v in attrs if v not in selections and v not in projected]
         )
+
+        self.stats.record_plan(plan)
 
         def run() -> Iterator[Relation]:
             results: dict[int, Relation] = {}

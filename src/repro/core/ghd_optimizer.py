@@ -165,8 +165,18 @@ class GHDOptimizer:
         query: NormalizedQuery,
         atom_indices: list[int],
         cover_restriction: frozenset[Variable] | None,
+        must_cover: tuple[frozenset[Variable], ...] = (),
     ) -> tuple[float, list[GHD]]:
-        """All min-width rooted GHDs whose nodes partition ``atom_indices``."""
+        """All min-width rooted GHDs whose nodes partition ``atom_indices``.
+
+        ``must_cover`` constrains the admissible partitions: each group
+        must be a subset of some block's variables (the pushdown retry
+        uses this to force a single node to cover every unselected
+        variable of a selected atom that otherwise breaks the running
+        intersection property). The all-atoms-in-one-block partition
+        covers any group drawn from the atoms' variables, so the
+        constraint never empties the candidate set.
+        """
         if not atom_indices:
             raise PlanningError("cannot decompose zero atoms")
         if len(atom_indices) > MAX_ENUMERATED_BLOCKS:
@@ -181,6 +191,18 @@ class GHDOptimizer:
         by_width: dict[float, list[list[tuple[int, ...]]]] = {}
         for partition in set_partitions(atom_indices):
             blocks = [tuple(sorted(block)) for block in partition]
+            if must_cover:
+                block_vars = [
+                    frozenset(
+                        v for i in block for v in query.atoms[i].variables
+                    )
+                    for block in blocks
+                ]
+                if not all(
+                    any(group <= vars_ for vars_ in block_vars)
+                    for group in must_cover
+                ):
+                    continue
             width = round(
                 max(
                     self._node_width(query, block, cover_restriction)
@@ -338,11 +360,19 @@ class GHDOptimizer:
         # Attaching can break the running-intersection property when a
         # selected atom's unselected variables (two of them for ternary
         # __triples__ atoms) are covered only across *different* nodes.
-        # Keep the valid candidates; with none, pushdown is impossible
-        # for this shape and the baseline decomposition applies.
         augmented = [
             ghd for ghd in augmented if self._is_valid(ghd, hypergraph)
         ]
+        if not augmented:
+            # Retry with merged variables: re-decompose the unselected
+            # atoms under a must-cover constraint so some single node
+            # covers each such atom's unselected variables, then attach
+            # below it. This keeps the pushdown (and its selections-
+            # first execution) at the cost of a possibly wider base
+            # node, instead of abandoning it outright.
+            augmented = self._pushdown_with_merging(
+                query, hypergraph, selected, unselected, cover_restriction
+            )
         if not augmented:
             return self._best_over(
                 query, list(range(len(query.atoms))), cover_restriction=None
@@ -356,6 +386,42 @@ class GHDOptimizer:
                 _canonical_key(g),
             ),
         )
+
+    def _pushdown_with_merging(
+        self,
+        query: NormalizedQuery,
+        hypergraph: Hypergraph,
+        selected: list[int],
+        unselected: list[int],
+        cover_restriction: frozenset[Variable] | None,
+    ) -> list[GHD]:
+        """Valid pushdown GHDs over bases forced to cover each selected
+        atom's unselected variables inside one node (empty if even the
+        merged bases fail validation, e.g. selected atoms sharing a
+        variable held by no unselected atom)."""
+        base_vars = frozenset(
+            v for i in unselected for v in query.atoms[i].variables
+        )
+        must_cover = []
+        for atom_index in selected:
+            atom = query.atoms[atom_index]
+            group = frozenset(
+                v for v in atom.variables if v not in query.selections
+            ) & base_vars
+            if len(group) >= 2:
+                must_cover.append(group)
+        if not must_cover:
+            return []
+        _, bases = self._candidates_over(
+            query,
+            unselected,
+            cover_restriction,
+            must_cover=tuple(must_cover),
+        )
+        augmented = [
+            self._attach_selected(query, base, selected) for base in bases
+        ]
+        return [ghd for ghd in augmented if self._is_valid(ghd, hypergraph)]
 
     @staticmethod
     def _is_valid(ghd: GHD, hypergraph: Hypergraph) -> bool:

@@ -14,6 +14,7 @@ from repro.core.attribute_order import (
     global_attribute_order,
     node_attribute_order,
 )
+from repro.core.bounds import bound_attribute_order, selection_counts
 from repro.core.config import OptimizationConfig
 from repro.core.ghd import GHD
 from repro.core.ghd_optimizer import GHDOptimizer
@@ -24,7 +25,10 @@ from repro.core.query import (
     Variable,
     normalize,
 )
-from repro.core.statistics import estimate_variable_cardinalities
+from repro.core.statistics import (
+    TableSketches,
+    estimate_variable_cardinalities,
+)
 from repro.storage.catalog import Catalog
 
 
@@ -40,6 +44,12 @@ class Plan:
     width: float = 0.0
     cardinalities: dict[Variable, int] = field(default_factory=dict)
     config: OptimizationConfig = field(default_factory=OptimizationConfig)
+    #: Per-variable pessimistic extension bounds under ``global_order``
+    #: (empty when the bound-driven order search did not run).
+    bounds: dict[Variable, int] = field(default_factory=dict)
+    #: Sketched frequency of each selection value at plan time — the
+    #: selectivity assumption per-value re-optimization checks against.
+    assumed_counts: dict[Variable, int] = field(default_factory=dict)
 
     def unselected_node_order(self, node_id: int) -> list[Variable]:
         """A node's attribute order without its selection variables."""
@@ -58,6 +68,18 @@ class Plan:
             + "]"
         )
         lines.append(f"width: {self.width:.2f}")
+        if self.bounds:
+            lines.append(
+                "bounds: "
+                + "  ".join(
+                    f"{v.name}<={'?' if bound >= 1 << 62 else bound}"
+                    for v, bound in (
+                        (v, self.bounds[v])
+                        for v in self.global_order
+                        if v in self.bounds
+                    )
+                )
+            )
         if self.query.limit is not None or self.query.offset:
             limit = "-" if self.query.limit is None else self.query.limit
             lines.append(f"limit: {limit} offset: {self.query.offset}")
@@ -82,10 +104,14 @@ class Planner:
     """Produces :class:`Plan`s according to an optimization config."""
 
     def __init__(
-        self, catalog: Catalog, config: OptimizationConfig | None = None
+        self,
+        catalog: Catalog,
+        config: OptimizationConfig | None = None,
+        sketches: TableSketches | None = None,
     ) -> None:
         self.catalog = catalog
         self.config = config if config is not None else OptimizationConfig()
+        self.sketches = sketches
         self._ghd_optimizer = GHDOptimizer(self.config)
 
     def plan(self, query: ConjunctiveQuery | NormalizedQuery) -> Plan:
@@ -101,12 +127,24 @@ class Planner:
             cardinalities = estimate_variable_cardinalities(
                 normalized, self.catalog
             )
-        order = global_attribute_order(
-            normalized,
-            ghd,
-            reorder_selections=self.config.reorder_selections,
-            cardinalities=cardinalities or None,
-        )
+        bounds: dict[Variable, int] = {}
+        assumed: dict[Variable, int] = {}
+        if (
+            self.config.reorder_selections
+            and self.config.bound_orders
+            and self.sketches
+        ):
+            order, bounds = bound_attribute_order(
+                normalized, ghd, self.sketches
+            )
+            assumed = selection_counts(normalized, self.sketches)
+        else:
+            order = global_attribute_order(
+                normalized,
+                ghd,
+                reorder_selections=self.config.reorder_selections,
+                cardinalities=cardinalities or None,
+            )
         node_orders = {
             node.node_id: node_attribute_order(node.chi, order)
             for node in ghd.nodes
@@ -119,6 +157,8 @@ class Planner:
             width=ghd.width(hypergraph),
             cardinalities=cardinalities,
             config=self.config,
+            bounds=bounds,
+            assumed_counts=assumed,
         )
         if self.config.pipelining:
             plan.pipelined_child = self._choose_pipelined_child(plan)

@@ -1,4 +1,4 @@
-"""Plan-time statistics: post-selection variable cardinality estimates.
+"""Plan-time statistics: frequency sketches and cardinality estimates.
 
 Section III-B1 of the paper orders "attributes with selections or small
 initial cardinalities" first. The *initial cardinality* of a variable is
@@ -7,6 +7,17 @@ taking that atom's own equality selections into account — e.g. in LUBM
 query 7 the variable ``y`` is bound by ``teacherOf(<AssociateProfessor0>,
 y)`` to only a couple of courses, so it should be enumerated before ``x``
 (all undergraduates).
+
+Distinct counts alone are wrong under skew (a celebrity value binds
+100k rows, the median value 5), so the store additionally maintains a
+:class:`FrequencySketch` per stored column: the exact value→count
+histogram, exposed as the usual "top-k hot values + residual
+distinct/total" summary. Keeping the histogram exact (it is two sorted
+arrays no larger than the column it summarizes) is what lets delta
+batches *merge* into it — add counts for inserted rows, subtract for
+tombstoned ones — with the invariant that incremental maintenance is
+byte-identical to a from-scratch rebuild, which the cluster tier relies
+on so replicated workers plan identically after replay catch-up.
 """
 
 from __future__ import annotations
@@ -14,6 +25,14 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.query import Atom, NormalizedQuery, Variable
+from repro.core.sketch import (  # noqa: F401  (re-exported: the sketch
+    DEFAULT_TOP_K,  # layer lives below storage; planners import it from
+    FrequencySketch,  # here alongside the estimators)
+    TableSketches,
+    build_table_sketches,
+    combine_sketches,
+    merge_table_sketches,
+)
 from repro.errors import ArityMismatchError
 from repro.storage.catalog import Catalog
 from repro.storage.relation import Relation

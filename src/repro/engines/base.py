@@ -372,6 +372,18 @@ class Engine(ABC):
         """
         return None
 
+    def take_plan_disposition(self) -> str | None:
+        """Hook: pop how the last plan lookup on this thread resolved.
+
+        ``"retained"`` (structural cache reused), ``"reoptimized"``
+        (re-planned for the bound values' selectivity class), or
+        ``None`` when the engine does not track it — the base
+        implementation for engines without a plan cache. Consumed by
+        :class:`~repro.service.prepared.PreparedStatement` after each
+        execution to maintain its statement counters.
+        """
+        return None
+
     @staticmethod
     def split_modifiers(
         bound: ConjunctiveQuery,

@@ -42,6 +42,7 @@ from dataclasses import replace
 from typing import Iterator, NamedTuple
 
 from repro.core.blocks import block_queries
+from repro.core.bounds import counts_diverge, selection_counts, value_class
 from repro.core.config import OptimizationConfig
 from repro.core.executor import ExecutorStats, GHDExecutor
 from repro.core.planner import Plan, Planner
@@ -53,15 +54,19 @@ from repro.core.query import (
     normalize,
     substitute_parameters,
 )
+from repro.core.statistics import TableSketches
 from repro.engines.base import Engine
 from repro.storage.catalog import Catalog
 from repro.storage.relation import Relation
 from repro.storage.vertical import (
+    SUBJECT,
     TRIPLES_RELATION,
     DeltaBatch,
     VerticallyPartitionedStore,
     build_triples_view,
     catalog_view_delta,
+    sketches_apply_delta,
+    triples_sketches,
 )
 
 #: A plan cache key: everything planning depends on except the concrete
@@ -77,6 +82,10 @@ class _Structures(NamedTuple):
     catalog: Catalog
     planner: Planner
     executor: GHDExecutor
+    #: The epoch's frequency sketches (shared dict; extended in place
+    #: only with the derived ``__triples__`` entry, which is computed
+    #: deterministically from the per-table entries — a benign race).
+    sketches: TableSketches
 
 
 class EmptyHeadedEngine(Engine):
@@ -98,12 +107,18 @@ class EmptyHeadedEngine(Engine):
         self.config = config if config is not None else OptimizationConfig.all_on()
         self._plan_cache: OrderedDict[PlanKey, Plan] = OrderedDict()
         self._plan_lock = threading.RLock()
+        self._disposition = threading.local()
         self._build_structures()
 
     def _build_structures(self) -> None:
-        self._install(self._build_catalog(self.store))
+        self._install(
+            self._build_catalog(self.store),
+            dict(self.store.column_sketches()),
+        )
 
-    def _install(self, catalog: Catalog) -> None:
+    def _install(
+        self, catalog: Catalog, sketches: TableSketches
+    ) -> None:
         """Swap in a catalog (with fresh planner/executor) atomically.
 
         The executor's stats object is carried across swaps so the
@@ -113,8 +128,9 @@ class EmptyHeadedEngine(Engine):
         stats = previous.executor.stats if previous is not None else None
         self._structures = _Structures(
             catalog,
-            Planner(catalog, self.config),
+            Planner(catalog, self.config, sketches=sketches),
             GHDExecutor(catalog, stats=stats),
+            sketches,
         )
 
     # The bundle parts under their traditional names (read the bundle
@@ -165,8 +181,15 @@ class EmptyHeadedEngine(Engine):
             )
             # The catalog patches relations and tries from the delta
             # rows alone, so applying batches one by one walks the
-            # committed epochs exactly — never a mixed snapshot.
-            self._install(catalog.apply_delta(added, removed, dropped))
+            # committed epochs exactly — never a mixed snapshot. The
+            # sketch registry merges the same rows (exactly), including
+            # the derived ``__triples__`` entry when present.
+            self._install(
+                catalog.apply_delta(added, removed, dropped),
+                sketches_apply_delta(
+                    self._structures.sketches, added, removed, dropped
+                ),
+            )
             if delta.compacted_tables:
                 self._evict_plans_touching(
                     set(delta.compacted_tables) | {TRIPLES_RELATION}
@@ -201,7 +224,7 @@ class EmptyHeadedEngine(Engine):
         return catalog
 
     def _ensure_triples_view(
-        self, query: NormalizedQuery, catalog: Catalog
+        self, query: NormalizedQuery, structures: _Structures
     ) -> None:
         """Register the ``__triples__`` union view on first use (it is
         built lazily: only variable-predicate queries pay for it).
@@ -210,15 +233,35 @@ class EmptyHeadedEngine(Engine):
         not from the live store: a query executing against an older
         catalog snapshot while an update commits must not join the new
         epoch's union view with the old epoch's tables (a torn read).
-        Predicate keys are immutable, so the key lookup is safe.
+        Predicate keys are immutable, so the key lookup is safe. The
+        view's column sketches are derived from the same epoch's
+        per-table sketches (no scan) so bound-driven orders cover
+        variable-predicate atoms too.
         """
-        if TRIPLES_RELATION in catalog:
+        catalog = structures.catalog
+        if not any(
+            atom.relation == TRIPLES_RELATION for atom in query.atoms
+        ):
             return
-        if any(atom.relation == TRIPLES_RELATION for atom in query.atoms):
+        if TRIPLES_RELATION not in catalog:
             catalog.get_or_register(
                 build_triples_view(
                     catalog.two_column_tables(), self.store.predicate_key
                 )
+            )
+        if TRIPLES_RELATION not in structures.sketches:
+            tables = {
+                name: sketch
+                for name, sketch in structures.sketches.items()
+                if name != TRIPLES_RELATION
+            }
+            structures.sketches[TRIPLES_RELATION] = triples_sketches(
+                tables,
+                {
+                    name: sketch[SUBJECT].total
+                    for name, sketch in tables.items()
+                },
+                self.store.predicate_key,
             )
 
     @staticmethod
@@ -240,7 +283,14 @@ class EmptyHeadedEngine(Engine):
 
         Cache keys are structural (selection *positions*, not values):
         a prepared template's parameter family compiles once, and each
-        execution only swaps the selection values into the plan.
+        execution only swaps the selection values into the plan. With
+        ``config.reoptimize``, a structural hit additionally checks the
+        current values' sketched frequencies against the cached plan's
+        assumption: values within ``reoptimize_factor`` *retain* the
+        plan (the fast path — two sketch probes), divergent values
+        *re-optimize* into a plan cached under a
+        ``(structure, selectivity-class)`` key, so each value class
+        compiles once and hot values stop running cold-value orders.
         """
         if structures is None:
             structures = self._structures
@@ -249,23 +299,58 @@ class EmptyHeadedEngine(Engine):
         )
         # Even on a plan-cache hit: an update may have lazily dropped
         # the union view from the catalog since this plan was compiled.
-        self._ensure_triples_view(normalized, structures.catalog)
+        self._ensure_triples_view(normalized, structures)
         key = self._plan_key(normalized)
         with self._plan_lock:
             plan = self._plan_cache.get(key)
             if plan is not None:
                 self._plan_cache.move_to_end(key)
+        disposition = "retained" if plan is not None else None
+        if (
+            plan is not None
+            and self.config.reoptimize
+            and normalized.selections
+            and structures.sketches
+        ):
+            factor = self.config.reoptimize_factor
+            current = selection_counts(normalized, structures.sketches)
+            if counts_diverge(plan.assumed_counts, current, factor):
+                value_key = key + (value_class(current, factor),)
+                with self._plan_lock:
+                    specialized = self._plan_cache.get(value_key)
+                    if specialized is not None:
+                        self._plan_cache.move_to_end(value_key)
+                if specialized is None:
+                    specialized = structures.planner.plan(normalized)
+                    with self._plan_lock:
+                        specialized = self._plan_cache.setdefault(
+                            value_key, specialized
+                        )
+                        if len(self._plan_cache) > self.plan_cache_size:
+                            self._plan_cache.popitem(last=False)
+                plan = specialized
+                disposition = "reoptimized"
         if plan is None:
             plan = structures.planner.plan(normalized)
             with self._plan_lock:
                 plan = self._plan_cache.setdefault(key, plan)
                 if len(self._plan_cache) > self.plan_cache_size:
                     self._plan_cache.popitem(last=False)
+        if disposition is not None:
+            self._disposition.value = disposition
         if plan.query is not normalized:
             # Late binding: reuse the compiled structure, carry the
             # current selection values (and result name).
             plan = replace(plan, query=normalized)
         return plan
+
+    def take_plan_disposition(self) -> str | None:
+        """Pop this thread's last plan-cache disposition (see
+        :meth:`plan_for`); the serving layer turns it into the
+        ``plans_retained``/``plans_reoptimized`` statement counters."""
+        value = getattr(self._disposition, "value", None)
+        self._disposition.value = None
+        return value
 
     def explain_sparql(self, text: str, parameters=None) -> str:
         """The plan description for a SPARQL query (see Plan.explain).
@@ -283,9 +368,18 @@ class EmptyHeadedEngine(Engine):
             parts = [f"union of {len(bound.blocks)} block(s)"]
             for block_query in block_queries(bound):
                 parts.append(self.plan_for(block_query).explain())
+                parts.append(self._plan_source_line())
             return "\n".join(parts)
         inner, _ = self.split_modifiers(bound)
-        return self.plan_for(inner).explain()
+        return self.plan_for(inner).explain() + "\n" + self._plan_source_line()
+
+    def _plan_source_line(self) -> str:
+        """How the last :meth:`plan_for` call satisfied its lookup."""
+        source = {
+            "retained": "structural-cached",
+            "reoptimized": "value-reoptimized",
+        }.get(self.take_plan_disposition(), "freshly planned")
+        return f"plan source: {source}"
 
     def warm_indexes(self, query: ConjunctiveQuery | BoundUnion) -> int:
         """Plan a bound query and build every trie it will probe,

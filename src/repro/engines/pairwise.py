@@ -91,15 +91,31 @@ class ColumnStoreEngine(Engine):
         from; after an update the catalog serves a *different* (replaced)
         relation under the same name, the identity check misses, and the
         count recomputes — stale statistics never survive a mutation.
+        A base table covered by the store's frequency sketches answers
+        from the sketch (no column scan); the total-row guard skips the
+        sketch whenever its epoch diverges from this catalog snapshot.
         """
         key = (relation.name, position)
         cached = self._distinct_cache.get(key)
         if cached is not None and cached[0] is relation:
             return cached[1]
-        column = relation.columns[position]
-        count = int(np.unique(column).size) if column.size else 0
+        count = self._sketched_distinct(relation, position)
+        if count is None:
+            column = relation.columns[position]
+            count = int(np.unique(column).size) if column.size else 0
         self._distinct_cache[key] = (relation, count)
         return count
+
+    def _sketched_distinct(
+        self, relation: Relation, position: int
+    ) -> int | None:
+        table = self.store.column_sketches().get(relation.name)
+        if table is None or position >= len(relation.attributes):
+            return None
+        sketch = table.get(relation.attributes[position])
+        if sketch is None or sketch.total != relation.num_rows:
+            return None
+        return sketch.distinct
 
     def _scan_atom(
         self, catalog: Catalog, query: NormalizedQuery, atom: Atom

@@ -38,6 +38,8 @@ from repro.relalg.kernels import cross_product, natural_join
 from repro.relalg.selinger import selinger_join_order
 from repro.storage.relation import Relation
 from repro.storage.vertical import (
+    OBJECT,
+    SUBJECT,
     TRIPLES_RELATION,
     DeltaBatch,
     VerticallyPartitionedStore,
@@ -80,12 +82,36 @@ class RDF3XLikeEngine(Engine):
             )
             for name in self.store.tables
         }
-        triples = TripleTable(self.store, self.permutations)
+        # Seed the aggregate indexes from the store's shared frequency
+        # sketches (exact histograms, one build amortized across every
+        # engine) instead of re-scanning each predicate's range.
+        sketches = self.store.column_sketches()
+        predicate_stats: dict[int, tuple[int, int, int]] = {}
+        missing: list[str] = []
+        for name, key in predicate_key.items():
+            table = sketches.get(name)
+            if table is None or SUBJECT not in table or OBJECT not in table:
+                missing.append(name)
+                continue
+            subject, obj = table[SUBJECT], table[OBJECT]
+            if subject.total:
+                predicate_stats[key] = (
+                    subject.total,
+                    subject.distinct,
+                    obj.distinct,
+                )
+        triples = TripleTable(
+            self.store, self.permutations, compute_stats=bool(missing)
+        )
+        for name in missing:  # pragma: no cover - registry covers tables
+            key = predicate_key[name]
+            if key in triples.predicate_stats:
+                predicate_stats[key] = triples.predicate_stats[key]
         self._state = _State(
             triples,
             predicate_key,
             DeltaOverlay(),
-            dict(triples.predicate_stats),
+            predicate_stats,
         )
 
     @property

@@ -86,6 +86,8 @@ class TripleTable:
         self,
         store: VerticallyPartitionedStore,
         permutations: tuple[str, ...] = ALL_PERMUTATIONS,
+        *,
+        compute_stats: bool = True,
     ) -> None:
         subjects: list[np.ndarray] = []
         predicates: list[np.ndarray] = []
@@ -115,8 +117,13 @@ class TripleTable:
         }
         # Aggregate indexes (RDF-3X keeps nine; we keep the per-predicate
         # binary projections the planner consults): for each predicate,
-        # the triple count and the distinct subject/object counts.
+        # the triple count and the distinct subject/object counts. A
+        # caller that seeds these from the store's frequency sketches
+        # passes ``compute_stats=False`` to skip the per-predicate
+        # unique scans.
         self.predicate_stats: dict[int, tuple[int, int, int]] = {}
+        if not compute_stats:
+            return
         pso = self.indexes.get("pso") or TripleIndex("pso", self.columns)
         predicates = pso.columns[0]
         boundaries = np.flatnonzero(

@@ -39,6 +39,8 @@ from repro.relalg.greedy import greedy_join_order
 from repro.relalg.kernels import cross_product, natural_join
 from repro.storage.relation import Relation
 from repro.storage.vertical import (
+    OBJECT,
+    SUBJECT,
     TRIPLES_RELATION,
     DeltaBatch,
     VerticallyPartitionedStore,
@@ -53,8 +55,8 @@ class _PredicateMatrix:
         "so_object",
         "os_object",
         "os_subject",
-        "distinct_subjects",
-        "distinct_objects",
+        "_distinct_subjects",
+        "_distinct_objects",
     )
 
     def __init__(self, relation: Relation) -> None:
@@ -66,9 +68,23 @@ class _PredicateMatrix:
         os_order = np.lexsort((subjects, objects))
         self.os_object = objects[os_order]
         self.os_subject = subjects[os_order]
-        # Load-time statistics (TripleBit's auxiliary structures).
-        self.distinct_subjects = int(np.unique(subjects).size)
-        self.distinct_objects = int(np.unique(objects).size)
+        # Load-time statistics (TripleBit's auxiliary structures) —
+        # computed lazily: the engine normally seeds them from the
+        # store's shared frequency sketches instead.
+        self._distinct_subjects: int | None = None
+        self._distinct_objects: int | None = None
+
+    @property
+    def distinct_subjects(self) -> int:
+        if self._distinct_subjects is None:
+            self._distinct_subjects = int(np.unique(self.so_subject).size)
+        return self._distinct_subjects
+
+    @property
+    def distinct_objects(self) -> int:
+        if self._distinct_objects is None:
+            self._distinct_objects = int(np.unique(self.os_object).size)
+        return self._distinct_objects
 
     @property
     def num_pairs(self) -> int:
@@ -141,16 +157,31 @@ class TripleBitLikeEngine(Engine):
         predicate_key = {
             name: self.store.predicate_key(name) for name in self.store.tables
         }
+        # Seed the per-predicate distinct counts from the store's shared
+        # frequency sketches (exact histograms, one build amortized
+        # across every engine); a table the registry misses falls back
+        # to the matrix's own unique scan.
+        sketches = self.store.column_sketches()
+        predicate_stats: dict[str, tuple[int, int]] = {}
+        for name, matrix in matrices.items():
+            table = sketches.get(name)
+            if table is not None and SUBJECT in table and OBJECT in table:
+                predicate_stats[name] = (
+                    table[SUBJECT].distinct,
+                    table[OBJECT].distinct,
+                )
+            else:  # pragma: no cover - registry covers stored tables
+                predicate_stats[name] = (
+                    matrix.distinct_subjects,
+                    matrix.distinct_objects,
+                )
         self._state = _State(
             matrices,
             predicate_key,
             {key: name for name, key in predicate_key.items()},
             DeltaOverlay(),
             {},
-            {
-                name: (matrix.distinct_subjects, matrix.distinct_objects)
-                for name, matrix in matrices.items()
-            },
+            predicate_stats,
         )
 
     @property

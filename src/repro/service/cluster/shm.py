@@ -8,11 +8,15 @@ serialized into a single ``multiprocessing.shared_memory`` segment:
 
     MAGIC "RSHM1\\0\\0\\0" | uint64 header_len | header JSON | pad to 8
     | column arrays ... | dictionary offsets | dictionary blob
+    | sketch arrays ... (optional)
 
-The header lists every table's column offsets and the dictionary block
-offsets, all relative to the 8-aligned payload base, so attaching costs
-one JSON parse plus ``np.frombuffer`` views — no copies of segment
-data. Attached column views are marked read-only: a worker can never
+The header lists every table's column offsets, the dictionary block
+offsets, and (when the snapshot carries them) the per-column frequency
+sketch arrays, all relative to the 8-aligned payload base, so attaching
+costs one JSON parse plus ``np.frombuffer`` views — no copies of
+segment data. Shipping the sketches means every pre-forked worker plans
+from the publisher's statistics — identical attach orders and
+re-optimization decisions across the pool. Attached column views are marked read-only: a worker can never
 scribble on another worker's (or the publisher's) data.
 
 :class:`SegmentPublisher` owns the segment lifecycle. Each
@@ -44,6 +48,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.core.sketch import FrequencySketch, TableSketches
 from repro.errors import ClusterError, SegmentAttachError, SegmentRetiredError
 from repro.storage.relation import Relation
 from repro.storage.vertical import StoreSnapshot
@@ -230,6 +235,23 @@ def serialize_snapshot(snapshot: StoreSnapshot) -> tuple[bytes, list]:
             "blob": list(dict_blob),
         },
     }
+    if snapshot.sketches is not None:
+        # Frequency sketches ride the segment so every worker plans from
+        # the publisher's statistics (identical attach orders and
+        # re-optimization decisions across the pool). Column order
+        # inside each table is preserved: the planner's bound model
+        # resolves sketches positionally.
+        sketch_tables = []
+        for name, columns in sorted(snapshot.sketches.items()):
+            entries = []
+            for attribute, sketch in columns.items():
+                values = np.ascontiguousarray(sketch.values, dtype="<u4")
+                counts = np.ascontiguousarray(sketch.counts, dtype="<i8")
+                entries.append(
+                    [attribute, list(place(values)), list(place(counts))]
+                )
+            sketch_tables.append({"name": name, "columns": entries})
+        header["sketches"] = sketch_tables
     header_bytes = json.dumps(header).encode("utf-8")
     zone = len(MAGIC) + 8 + len(header_bytes)
     header_zone = (
@@ -328,6 +350,20 @@ def attach_snapshot(
         offsets = view(*dict_header["offsets"], "<u8")
         blob_start, blob_size = dict_header["blob"]
         blob = buf[base + blob_start : base + blob_start + blob_size]
+        sketches: TableSketches | None = None
+        if "sketches" in header:
+            # Zero-copy sketch views; absent in segments published by
+            # older builds, in which case the attaching store rebuilds
+            # its registry lazily from the attached columns.
+            sketches = {}
+            for table in header["sketches"]:
+                entries: dict[str, FrequencySketch] = {}
+                for attribute, values_span, counts_span in table["columns"]:
+                    entries[attribute] = FrequencySketch(
+                        view(*values_span, "<u4"),
+                        view(*counts_span, "<i8"),
+                    )
+                sketches[table["name"]] = entries
         snapshot = StoreSnapshot(
             tables=tables,
             predicate_iris=dict(header["predicate_iris"]),
@@ -335,6 +371,7 @@ def attach_snapshot(
             dict_blob=bytes(blob),
             num_triples=int(header["num_triples"]),
             data_version=int(header["data_version"]),
+            sketches=sketches,
         )
         return snapshot, segment
     except BaseException:

@@ -73,6 +73,11 @@ class StatementStats:
     invalidations: int = 0
     #: Bound plans kept across data-version bumps (update survival).
     bound_retained: int = 0
+    #: Engine-reported plan dispositions: executions that reused the
+    #: structural plan (values within the re-optimization factor) vs.
+    #: executions re-planned for the bound values' selectivity class.
+    plans_retained: int = 0
+    plans_reoptimized: int = 0
 
 
 class PreparedStatement:
@@ -240,8 +245,13 @@ class PreparedStatement:
             result = self.engine.execute_bound_union(bound)
         else:
             result = self.engine.execute_bound(bound)
+        disposition = self.engine.take_plan_disposition()
         with self._lock:
             self.stats.executions += 1
+            if disposition == "retained":
+                self.stats.plans_retained += 1
+            elif disposition == "reoptimized":
+                self.stats.plans_reoptimized += 1
             # Cache only results whose whole computation happened inside
             # one epoch (no update and no invalidation raced it).
             if (

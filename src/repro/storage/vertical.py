@@ -57,6 +57,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.sketch import (
+    FrequencySketch,
+    TableSketches,
+    build_table_sketches,
+    combine_sketches,
+    merge_table_sketches,
+)
 from repro.nputil import (
     isin_sorted,
     merge_sorted_unique,
@@ -163,6 +170,9 @@ class StoreSnapshot:
     dict_blob: bytes
     num_triples: int
     data_version: int
+    #: Per-table column frequency sketches of the same epoch (``None``
+    #: in snapshots from before the cost model; consumers rebuild).
+    sketches: TableSketches | None = None
 
 
 class _TableSegments:
@@ -304,6 +314,42 @@ def build_triples_view(
     )
 
 
+def triples_sketches(
+    sketches: TableSketches,
+    row_counts: "dict[str, int]",
+    predicate_key,
+) -> dict[str, FrequencySketch]:
+    """Column sketches of the ``__triples__`` view, derived from the
+    per-table sketches (no scan of the view itself).
+
+    The view is the disjoint union of the predicate tables, so its
+    subject/object histograms are the sums of the per-table histograms
+    and its predicate histogram has one entry per table — the
+    predicate's dictionary key with the table's row count.
+    """
+    names = sorted(sketches)
+    predicate_values = []
+    predicate_counts = []
+    for name in names:
+        rows = row_counts.get(name, 0)
+        if rows:
+            predicate_values.append(predicate_key(name))
+            predicate_counts.append(rows)
+    order = np.argsort(np.asarray(predicate_values, dtype=np.uint32))
+    return {
+        SUBJECT: combine_sketches(
+            [sketches[name][SUBJECT] for name in names]
+        ),
+        PREDICATE: FrequencySketch(
+            np.asarray(predicate_values, dtype=np.uint32)[order],
+            np.asarray(predicate_counts, dtype=np.int64)[order],
+        ),
+        OBJECT: combine_sketches(
+            [sketches[name][OBJECT] for name in names]
+        ),
+    }
+
+
 def triples_view_delta(
     rows_by_table: "dict[str, Relation]", predicate_key
 ) -> Relation | None:
@@ -324,6 +370,53 @@ def triples_view_delta(
     if not tables:
         return None
     return build_triples_view(tables, predicate_key)
+
+
+def sketches_apply_delta(
+    sketches: TableSketches,
+    added: "dict[str, Relation]",
+    removed: "dict[str, Relation]",
+    dropped: Iterable[str] = (),
+) -> TableSketches:
+    """A sketch registry patched by one batch's delta rows alone.
+
+    The engine-side twin of the store's internal maintenance: applying
+    committed batches one by one walks the same epochs the store walked,
+    and because merging is exact the result is byte-identical to the
+    store's registry at the same epoch (the cluster tier's replay
+    catch-up depends on this). Tables the batch emptied drop out;
+    created tables sketch up from their first rows.
+    """
+    out = dict(sketches)
+    dropped = set(dropped)
+    for name in dropped:
+        out.pop(name, None)
+    for name in (set(added) | set(removed)) - dropped:
+        if name == TRIPLES_RELATION and name not in out:
+            # The union view's sketches are *derived*; a batch's view
+            # rows can only patch an existing entry, never seed one.
+            continue
+        added_rel = added.get(name)
+        removed_rel = removed.get(name)
+        sample = added_rel if added_rel is not None else removed_rel
+        if sample is None:
+            continue
+        attributes = list(sample.attributes)
+        merged = merge_table_sketches(
+            out.get(name, {}),
+            attributes,
+            None
+            if added_rel is None
+            else [added_rel.column(a) for a in attributes],
+            None
+            if removed_rel is None
+            else [removed_rel.column(a) for a in attributes],
+        )
+        if all(sketch.total == 0 for sketch in merged.values()):
+            out.pop(name, None)
+        else:
+            out[name] = merged
+    return out
 
 
 def catalog_view_delta(
@@ -374,6 +467,7 @@ class VerticallyPartitionedStore:
     delta_config: DeltaConfig = field(default_factory=DeltaConfig)
     compactions: int = 0
     _triples_view: Relation | None = field(default=None, repr=False)
+    _sketches: TableSketches | None = field(default=None, repr=False)
     _segments: dict[str, _TableSegments] = field(
         default_factory=dict, repr=False
     )
@@ -427,6 +521,26 @@ class VerticallyPartitionedStore:
         if names:
             names.add(TRIPLES_RELATION)
         return names
+
+    def column_sketches(self) -> TableSketches:
+        """Per-table column frequency sketches of the current epoch.
+
+        Built lazily by one full scan of the merged tables; afterwards
+        every committed batch *merges* its delta rows into the touched
+        tables' sketches (cost scales with the batch) and compaction
+        rebuilds from the fresh main segment. The returned dict is
+        immutable by convention and replaced wholesale per commit, so a
+        reader holding a reference keeps one consistent epoch.
+        """
+        with self._write_lock:
+            if self._sketches is None:
+                self._sketches = {
+                    name: build_table_sketches(
+                        list(relation.attributes), list(relation.columns)
+                    )
+                    for name, relation in self.tables.items()
+                }
+            return self._sketches
 
     # ------------------------------------------------------------------
     # Updates (the data-version epoch)
@@ -489,6 +603,7 @@ class VerticallyPartitionedStore:
                 compacted.add(name)
             tables[name] = segments.merged(name)
         self.tables = tables
+        self._patch_sketches(added, removed, compacted)
         self._patch_triples_view(added, removed)
         self.num_triples = sum(r.num_rows for r in tables.values())
         self.data_version += 1
@@ -504,6 +619,49 @@ class VerticallyPartitionedStore:
         )
         if len(self._delta_log) > self.delta_config.log_limit:
             del self._delta_log[: -self.delta_config.log_limit]
+
+    def _patch_sketches(
+        self,
+        added: dict[str, Relation],
+        removed: dict[str, Relation],
+        compacted: set[str],
+    ) -> None:
+        """Maintain the sketch registry through one committed batch.
+
+        Never-built sketches stay unbuilt (only planners pay for them).
+        Touched tables merge the batch's delta rows; compacted tables
+        rebuild from the fresh main segment (identical content, but it
+        re-anchors the histogram to the physical truth the same way
+        engines refresh their statistics on compaction); tables the
+        batch emptied drop out. The dict is replaced wholesale.
+        """
+        if self._sketches is None:
+            return
+        sketches = dict(self._sketches)
+        for name in set(added) | set(removed):
+            relation = self.tables.get(name)
+            if relation is None:
+                sketches.pop(name, None)
+                continue
+            if name in compacted:
+                sketches[name] = build_table_sketches(
+                    list(relation.attributes), list(relation.columns)
+                )
+                continue
+            added_rel = added.get(name)
+            removed_rel = removed.get(name)
+            attributes = list(relation.attributes)
+            sketches[name] = merge_table_sketches(
+                sketches.get(name, {}),
+                attributes,
+                None
+                if added_rel is None
+                else [added_rel.column(a) for a in attributes],
+                None
+                if removed_rel is None
+                else [removed_rel.column(a) for a in attributes],
+            )
+        self._sketches = sketches
 
     def _patch_triples_view(
         self,
@@ -661,14 +819,25 @@ class VerticallyPartitionedStore:
         with self._write_lock:
             count = 0
             tables = dict(self.tables)
+            rebuilt: set[str] = set()
             for name, segments in self._segments.items():
                 if segments.delta_rows:
                     segments.compact(name)
                     tables[name] = segments.main
                     self.compactions += 1
                     count += 1
+                    rebuilt.add(name)
             if count:
                 self.tables = tables
+                if self._sketches is not None:
+                    sketches = dict(self._sketches)
+                    for name in rebuilt:
+                        relation = tables[name]
+                        sketches[name] = build_table_sketches(
+                            list(relation.attributes),
+                            list(relation.columns),
+                        )
+                    self._sketches = sketches
             return count
 
     # ------------------------------------------------------------------
@@ -691,6 +860,7 @@ class VerticallyPartitionedStore:
                 dict_blob=blob,
                 num_triples=self.num_triples,
                 data_version=self.data_version,
+                sketches=self.column_sketches(),
             )
 
     @classmethod
@@ -715,6 +885,11 @@ class VerticallyPartitionedStore:
             predicate_iris=dict(snapshot.predicate_iris),
             num_triples=snapshot.num_triples,
             data_version=snapshot.data_version,
+            _sketches=(
+                None
+                if snapshot.sketches is None
+                else dict(snapshot.sketches)
+            ),
         )
 
 

@@ -147,3 +147,71 @@ def test_rebuilt_stats_are_clean(tmp_path):
 
 def test_out_of_scope_paths_are_ignored(tmp_path):
     assert _analyze(tmp_path, YIELD_BAD, relpath="service/mod.py") == []
+
+
+# ---------------------------------------------------------------------------
+# Rule 4: sketch registries carried across epochs
+# ---------------------------------------------------------------------------
+STALE_SKETCH = (
+    "class Engine:\n"
+    "    def apply_delta(self, delta):\n"
+    "        state = self._structures\n"
+    "        self._structures = _Structures(\n"
+    "            state.catalog.apply_delta(delta),\n"
+    "            state.sketches,\n"
+    "        )\n"
+)
+
+
+def test_sketches_carried_into_new_bundle_are_flagged(tmp_path):
+    findings = _analyze(tmp_path, STALE_SKETCH)
+    assert [f.checker for f in findings] == ["epoch-safety"]
+    finding = findings[0]
+    assert finding.line == _lines(STALE_SKETCH, "state.sketches")[0]
+    assert finding.symbol == "Engine.apply_delta"
+    assert "sketch registry 'sketches'" in finding.message
+    assert "merge" in finding.message
+
+
+def test_dict_copied_sketches_are_still_flagged(tmp_path):
+    source = STALE_SKETCH.replace(
+        "state.sketches", "dict(state.sketches)"
+    )
+    findings = _analyze(tmp_path, source)
+    assert [f.symbol for f in findings] == ["Engine.apply_delta"]
+
+
+def test_self_state_sketches_without_alias_are_flagged(tmp_path):
+    source = (
+        "class Engine:\n"
+        "    def apply_delta(self, delta):\n"
+        "        self._state = _State(self._state.sketches)\n"
+    )
+    findings = _analyze(tmp_path, source)
+    assert [f.symbol for f in findings] == ["Engine.apply_delta"]
+
+
+MERGED_SKETCH = (
+    "class Engine:\n"
+    "    def apply_delta(self, delta):\n"
+    "        state = self._structures\n"
+    "        self._structures = _Structures(\n"
+    "            state.catalog.apply_delta(delta),\n"
+    "            sketches_apply_delta(state.sketches, delta),\n"
+    "        )\n"
+)
+
+
+def test_merged_sketches_are_clean(tmp_path):
+    assert _analyze(tmp_path, MERGED_SKETCH) == []
+
+
+def test_non_bundle_calls_do_not_trip_the_sketch_rule(tmp_path):
+    source = (
+        "class Engine:\n"
+        "    def apply_delta(self, delta):\n"
+        "        state = self._structures\n"
+        "        self._log(state.sketches)\n"
+        "        self._structures = self._rebuild(delta)\n"
+    )
+    assert _analyze(tmp_path, source) == []

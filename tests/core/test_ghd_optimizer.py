@@ -135,3 +135,60 @@ def test_selection_pushdown_places_selected_atoms_deepest():
     ).decompose(query)
     sel_vars = set(query.selections)
     assert on.selection_depth(sel_vars) > off.selection_depth(sel_vars)
+
+
+def test_pushdown_retries_with_merged_base_when_rip_breaks():
+    """A selected ternary atom whose two unselected variables live in
+    *different* nodes of the min-width base used to abandon pushdown;
+    the optimizer now re-decomposes with a must-cover constraint so one
+    (wider) base node hosts the selected atom."""
+    from repro.core.query import Constant
+
+    query = _query(
+        Atom("r", (X, Z)),
+        Atom("q", (Y, Z)),
+        Atom("t", (X, Y, Constant(5))),
+    )
+    ghd = GHDOptimizer(OptimizationConfig.all_on()).decompose(query)
+    sel_vars = set(query.selections)
+    # The selected atom is pushed strictly below a base node covering
+    # both of its unselected variables.
+    assert ghd.selection_depth(sel_vars) >= 1
+    selected_nodes = [n for n in ghd.nodes if sel_vars & n.chi]
+    assert len(selected_nodes) == 1
+    (node,) = selected_nodes
+    assert node.parent is not None
+    host = ghd.nodes[node.parent]
+    assert {X, Y} <= host.chi
+
+
+def test_pushdown_merged_base_still_beaten_by_plain_attach():
+    """Shapes where plain attach already satisfies running intersection
+    never take the merged-base retry (the base keeps min width)."""
+    from repro.core.query import Constant
+
+    query = _query(
+        Atom("r", (X, Y)),
+        Atom("s", (Y, Z)),
+        Atom("t", (Y, Constant(3))),
+    )
+    ghd = GHDOptimizer(OptimizationConfig.all_on()).decompose(query)
+    hypergraph = Hypergraph.from_query(query)
+    assert ghd.width(hypergraph) == pytest.approx(1.0)
+    assert ghd.selection_depth(set(query.selections)) >= 1
+
+
+def test_pushdown_falls_back_when_merging_cannot_help():
+    """Selected atoms sharing a variable no unselected atom holds still
+    fall back to the baseline decomposition (and stay valid)."""
+    from repro.core.query import Constant
+
+    w = Variable("w")
+    query = _query(
+        Atom("r", (X, Z)),
+        Atom("q", (Y, Z)),
+        Atom("t", (X, Y, Constant(5))),
+        Atom("u", (X, Y, w, Constant(6))),
+    )
+    ghd = GHDOptimizer(OptimizationConfig.all_on()).decompose(query)
+    ghd.check_valid(Hypergraph.from_query(query))

@@ -127,3 +127,35 @@ def test_rdf3x_stats_dropped_when_table_empties():
     state = engine._state
     assert "p0" not in state.predicate_key
     assert set(state.predicate_stats) == {state.predicate_key["p1"]}
+
+
+def test_overlay_stats_equal_rebuild_stats():
+    """Regression pin: after any run of overlay-absorbed batches the
+    per-epoch statistics equal a freshly built engine's (no drift until
+    rebuild — the old roadmap's carried-over concern)."""
+    store = _store(compact_fraction=100.0)
+    rdf3x = RDF3XLikeEngine(store)
+    triplebit = TripleBitLikeEngine(store)
+    indexed = rdf3x._state.triples
+    matrices = triplebit._state.matrices
+
+    store.add_triples(
+        [
+            (f"<{EX}x>", f"<{EX}p0>", f"<{EX}onew>"),
+            (f"<{EX}x>", f"<{EX}p9>", f"<{EX}y>"),
+        ]
+    )
+    store.remove_triples([(f"<{EX}s1>", f"<{EX}p1>", f"<{EX}o1>")])
+    rdf3x.check_data_version()
+    triplebit.check_data_version()
+    # Both engines absorbed the batches differentially (mains untouched).
+    assert rdf3x._state.triples is indexed
+    assert triplebit._state.matrices is matrices
+
+    fresh_rdf3x = RDF3XLikeEngine(store)
+    fresh_triplebit = TripleBitLikeEngine(store)
+    assert rdf3x._state.predicate_stats == fresh_rdf3x._state.predicate_stats
+    assert (
+        triplebit._state.predicate_stats
+        == fresh_triplebit._state.predicate_stats
+    )

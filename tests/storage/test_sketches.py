@@ -1,0 +1,265 @@
+"""Frequency-sketch lifecycle: incremental maintenance through
+``apply_delta`` must equal a from-scratch rebuild byte-for-byte, on the
+store, in the engines, and across cluster workers after replay catch-up
+(the planner's statistics are part of the replicated state)."""
+
+import numpy as np
+import pytest
+
+from repro.core.sketch import (
+    FrequencySketch,
+    build_table_sketches,
+)
+from repro.engines.emptyheaded import EmptyHeadedEngine
+from repro.storage.vertical import (
+    TRIPLES_RELATION,
+    DeltaConfig,
+    VerticallyPartitionedStore,
+    vertically_partition,
+)
+
+EX = "http://ex/"
+
+
+def _triples(n=40):
+    return [
+        (
+            f"<{EX}s{i % 9}>",
+            f"<{EX}p{i % 3}>",
+            f"<{EX}o{i % 5}>" if i % 4 else f'"lit{i}"',
+        )
+        for i in range(n)
+    ]
+
+
+def _store(compact_fraction=100.0):
+    store = vertically_partition(_triples())
+    store.delta_config = DeltaConfig(compact_fraction=compact_fraction)
+    return store
+
+
+def _sketch_bytes(sketches):
+    return {
+        name: {attr: sk.to_bytes() for attr, sk in columns.items()}
+        for name, columns in sketches.items()
+    }
+
+
+def _rebuilt(store):
+    """From-scratch registry over the store's current merged tables."""
+    return {
+        name: build_table_sketches(
+            relation.attributes,
+            [relation.column(a) for a in relation.attributes],
+        )
+        for name, relation in store.tables.items()
+    }
+
+
+# ----------------------------------------------------------------------
+# FrequencySketch unit behavior
+# ----------------------------------------------------------------------
+class TestFrequencySketch:
+    def test_from_column_counts(self):
+        column = np.array([5, 3, 5, 5, 7, 3], dtype=np.uint32)
+        sketch = FrequencySketch.from_column(column)
+        assert sketch.total == 6
+        assert sketch.distinct == 3
+        assert sketch.count(5) == 3
+        assert sketch.count(3) == 2
+        assert sketch.count(99) == 0
+        assert sketch.max_count == 3
+
+    def test_top_and_residual(self):
+        column = np.array([1] * 5 + [2] * 3 + [3, 4], dtype=np.uint32)
+        sketch = FrequencySketch.from_column(column)
+        assert sketch.top(2) == [(1, 5), (2, 3)]
+        assert sketch.residual(2) == (2, 2)  # values {3,4}, 2 rows
+
+    def test_merge_equals_rebuild(self):
+        base = np.array([1, 1, 2, 3], dtype=np.uint32)
+        sketch = FrequencySketch.from_column(base)
+        merged = sketch.merge(
+            np.array([2, 4], dtype=np.uint32),
+            np.array([1], dtype=np.uint32),
+        )
+        rebuilt = FrequencySketch.from_column(
+            np.array([1, 2, 3, 2, 4], dtype=np.uint32)
+        )
+        assert merged.to_bytes() == rebuilt.to_bytes()
+
+    def test_bytes_roundtrip(self):
+        sketch = FrequencySketch.from_column(
+            np.array([9, 9, 1], dtype=np.uint32)
+        )
+        assert FrequencySketch.from_bytes(sketch.to_bytes()) == sketch
+
+
+# ----------------------------------------------------------------------
+# Store registry lifecycle
+# ----------------------------------------------------------------------
+class TestStoreRegistry:
+    def test_lazy_build_matches_rebuild(self):
+        store = _store()
+        assert _sketch_bytes(store.column_sketches()) == _sketch_bytes(
+            _rebuilt(store)
+        )
+
+    def test_incremental_add_remove_equals_rebuild(self):
+        store = _store()
+        store.column_sketches()  # materialize the registry
+        store.add_triples(
+            [
+                (f"<{EX}s0>", f"<{EX}p0>", f"<{EX}onew>"),
+                (f"<{EX}x>", f"<{EX}pnew>", f"<{EX}y>"),
+            ]
+        )
+        store.remove_triples([(f"<{EX}s0>", f"<{EX}p0>", f"<{EX}o0>")])
+        assert store.compactions == 1  # the delta-born pnew table
+        assert _sketch_bytes(store.column_sketches()) == _sketch_bytes(
+            _rebuilt(store)
+        )
+
+    def test_compaction_rebuild_equals_rebuild(self):
+        store = _store(compact_fraction=0.001)
+        store.column_sketches()
+        store.add_triples([(f"<{EX}s0>", f"<{EX}p0>", f"<{EX}onew>")])
+        assert store.compactions >= 1
+        assert _sketch_bytes(store.column_sketches()) == _sketch_bytes(
+            _rebuilt(store)
+        )
+
+    def test_table_emptied_drops_from_registry(self):
+        triples = [
+            (f"<{EX}a>", f"<{EX}p0>", f"<{EX}b>"),
+            (f"<{EX}c>", f"<{EX}p1>", f"<{EX}d>"),
+        ]
+        store = vertically_partition(triples)
+        store.column_sketches()
+        store.remove_triples([triples[0]])
+        assert "p0" not in store.column_sketches()
+        assert "p1" in store.column_sketches()
+
+    def test_snapshot_roundtrip_is_byte_identical(self):
+        store = _store()
+        snapshot = store.export_snapshot()
+        assert snapshot.sketches is not None
+        clone = VerticallyPartitionedStore.from_snapshot(snapshot)
+        assert _sketch_bytes(clone.column_sketches()) == _sketch_bytes(
+            store.column_sketches()
+        )
+
+
+# ----------------------------------------------------------------------
+# Engine-side maintenance
+# ----------------------------------------------------------------------
+class TestEngineSketches:
+    def test_engine_delta_merge_tracks_store_registry(self):
+        store = _store()
+        engine = EmptyHeadedEngine(store)
+        store.add_triples(
+            [
+                (f"<{EX}s0>", f"<{EX}p0>", f"<{EX}onew>"),
+                (f"<{EX}x>", f"<{EX}pnew>", f"<{EX}y>"),
+            ]
+        )
+        store.remove_triples([(f"<{EX}s0>", f"<{EX}p0>", f"<{EX}o0>")])
+        engine.check_data_version()
+        engine_sketches = {
+            name: columns
+            for name, columns in engine._structures.sketches.items()
+            if name != TRIPLES_RELATION
+        }
+        assert _sketch_bytes(engine_sketches) == _sketch_bytes(
+            store.column_sketches()
+        )
+
+    def test_derived_triples_sketches_follow_updates(self):
+        store = _store()
+        engine = EmptyHeadedEngine(store)
+        query = f"SELECT ?p WHERE {{ <{EX}s0> ?p <{EX}o0> }}"
+        engine.execute_sparql(query)  # registers the view + its sketches
+        before = engine._structures.sketches[TRIPLES_RELATION]
+        assert before["predicate"].total == store.num_triples
+
+        store.add_triples([(f"<{EX}s0>", f"<{EX}p0>", f"<{EX}onew>")])
+        engine.check_data_version()
+        after = engine._structures.sketches[TRIPLES_RELATION]
+        assert after["predicate"].total == store.num_triples
+        assert after["object"].count(
+            store.dictionary.require(f"<{EX}onew>")
+        ) == 1
+
+
+# ----------------------------------------------------------------------
+# Cluster workers: replay catch-up determinism
+# ----------------------------------------------------------------------
+class TestWorkerReplayDeterminism:
+    def test_workers_identical_after_replay(self):
+        """Two workers cloned from the published snapshot and caught up
+        through the replay log hold byte-identical sketch registries —
+        and both match the publisher's (identical planning fleet-wide)."""
+        parent = _store()
+        snapshot = parent.export_snapshot()
+        replay = [
+            (
+                [
+                    (f"<{EX}s0>", f"<{EX}p0>", f"<{EX}onew>"),
+                    (f"<{EX}x>", f"<{EX}pnew>", f"<{EX}y>"),
+                ],
+                [],
+            ),
+            ([], [(f"<{EX}s0>", f"<{EX}p0>", f"<{EX}o0>")]),
+        ]
+        workers = [
+            VerticallyPartitionedStore.from_snapshot(snapshot)
+            for _ in range(2)
+        ]
+        for add, remove in replay:
+            if add:
+                parent.add_triples(add)
+            if remove:
+                parent.remove_triples(remove)
+            for worker in workers:
+                if add:
+                    worker.add_triples(add)
+                if remove:
+                    worker.remove_triples(remove)
+
+        reference = _sketch_bytes(parent.column_sketches())
+        for worker in workers:
+            assert _sketch_bytes(worker.column_sketches()) == reference
+
+
+try:  # shm coverage only where the sandbox allows it
+    from repro.service.cluster.shm import shm_supported
+except Exception:  # pragma: no cover - cluster tier always importable
+    shm_supported = lambda: False  # noqa: E731
+
+
+@pytest.mark.skipif(
+    not shm_supported(), reason="shared memory unavailable in this sandbox"
+)
+def test_sketches_ride_shared_segment():
+    from repro.service.cluster.shm import (
+        attach_snapshot,
+        detach,
+        publish_snapshot,
+        unlink_segment,
+    )
+
+    store = _store()
+    segment = publish_snapshot(store.export_snapshot(), "repro-testsk-ride")
+    try:
+        attached, handle = attach_snapshot("repro-testsk-ride")
+        try:
+            assert attached.sketches is not None
+            clone = VerticallyPartitionedStore.from_snapshot(attached)
+            assert _sketch_bytes(clone.column_sketches()) == _sketch_bytes(
+                store.column_sketches()
+            )
+        finally:
+            detach(handle)
+    finally:
+        segment.close()
+        unlink_segment(segment)
