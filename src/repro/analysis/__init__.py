@@ -54,6 +54,14 @@ The invariant catalog
     ``with ...lock:`` block, because epoch retirement unlinks exactly
     at ``retired and refs == 0``.
 
+``shard-epoch``
+    In ``distributed/`` modules, iterating a cross-shard collection
+    (``stores``/``pools``/``engines``/...) must happen under the
+    unified epoch — inside a ``with ...read_epoch()/write_epoch()/
+    _epoch...`` block or a ``*_locked`` helper.  Otherwise two shards
+    can be observed in different epochs and a scatter-gather merge can
+    tear across an update.
+
 Suppressions and baseline
 =========================
 

@@ -221,6 +221,7 @@ def all_checkers() -> list[Checker]:
     from repro.analysis.error_taxonomy import ErrorTaxonomyChecker
     from repro.analysis.lock_discipline import LockDisciplineChecker
     from repro.analysis.numpy_hygiene import NumpyHygieneChecker
+    from repro.analysis.shard_epoch import ShardEpochChecker
     from repro.analysis.shm_lifecycle import ShmLifecycleChecker
 
     return [
@@ -229,6 +230,7 @@ def all_checkers() -> list[Checker]:
         ErrorTaxonomyChecker(),
         NumpyHygieneChecker(),
         ShmLifecycleChecker(),
+        ShardEpochChecker(),
     ]
 
 

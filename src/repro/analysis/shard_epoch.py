@@ -1,0 +1,164 @@
+"""Shard-epoch discipline for the distributed tier.
+
+A :class:`~repro.distributed.store.ShardedStore` keeps N shards
+consistent under one readers-writer *epoch lock*: scatters hold the
+shared side, updates the exclusive side, and ``data_version`` is a
+single cross-shard counter. Any code that walks the shard collections
+(``self.stores``, ``self.pools``, per-shard ``engines``) outside that
+lock can observe shard A in one epoch and shard B in another — exactly
+the torn cross-shard read the unified epoch exists to rule out.
+
+One rule:
+
+* ``shard-epoch`` — inside ``distributed/`` modules, a ``for`` loop or
+  comprehension that iterates a shard collection attribute must sit
+  lexically inside a ``with`` whose context expression goes through the
+  epoch lock (``read_epoch`` / ``write_epoch`` / ``_epoch``), or live
+  in a function whose name ends in ``_locked`` (the repo convention
+  for "caller already holds the epoch lock"). Sites that are safe for
+  a structural reason the checker cannot see (construction before the
+  store is shared, hooks fired under the write epoch) carry a
+  ``# repro: allow[shard-epoch]`` suppression.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.core import Checker, Finding, ModuleSource, Project
+
+#: Attribute names that hold per-shard collections. Iterating one of
+#: these reads state from *every* shard, so the epochs must be pinned.
+SHARD_COLLECTIONS = {
+    "stores",
+    "pools",
+    "engines",
+    "shard_stores",
+    "shard_engines",
+}
+
+#: Identifiers whose presence in a ``with`` context expression marks
+#: the block as holding the unified epoch (``store.read_epoch()``,
+#: ``self._epoch.write()``, ...).
+GUARD_MARKERS = {"read_epoch", "write_epoch", "_epoch"}
+
+_COMPREHENSIONS = (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+
+
+def _shard_attrs(expr: ast.AST) -> list[str]:
+    """Shard-collection attributes referenced anywhere in ``expr``."""
+    return [
+        node.attr
+        for node in ast.walk(expr)
+        if isinstance(node, ast.Attribute) and node.attr in SHARD_COLLECTIONS
+    ]
+
+
+def _is_guard(expr: ast.AST) -> bool:
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Attribute) and node.attr in GUARD_MARKERS:
+            return True
+        if isinstance(node, ast.Name) and node.id in GUARD_MARKERS:
+            return True
+    return False
+
+
+class ShardEpochChecker(Checker):
+    id = "shard-epoch"
+    description = (
+        "cross-shard collection iterated outside a unified-epoch guard "
+        "(read_epoch/write_epoch) in distributed modules"
+    )
+
+    def in_scope(self, relpath: str) -> bool:
+        return "/distributed/" in relpath or relpath.startswith(
+            "distributed/"
+        )
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        for module in self.scoped_modules(project):
+            for stmt in module.tree.body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield from self._scan_function(module, None, stmt)
+                elif isinstance(stmt, ast.ClassDef):
+                    for inner in stmt.body:
+                        if isinstance(
+                            inner, (ast.FunctionDef, ast.AsyncFunctionDef)
+                        ):
+                            yield from self._scan_function(
+                                module, stmt.name, inner
+                            )
+
+    # ------------------------------------------------------------------
+    # Per-function scan
+    # ------------------------------------------------------------------
+    def _scan_function(
+        self,
+        module: ModuleSource,
+        cls_name: str | None,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> Iterator[Finding]:
+        if func.name.endswith("_locked"):
+            # Convention: the caller holds the epoch lock already.
+            return
+        symbol = f"{cls_name}.{func.name}" if cls_name else func.name
+        for node in func.body:
+            yield from self._scan(module, symbol, node, guarded=False)
+
+    def _scan(
+        self,
+        module: ModuleSource,
+        symbol: str,
+        node: ast.AST,
+        guarded: bool,
+    ) -> Iterator[Finding]:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # A nested def runs later, possibly without the enclosing
+            # lock: scan it as its own (initially unguarded) scope.
+            yield from self._scan_function(module, None, node)
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            inner = guarded or any(
+                _is_guard(item.context_expr) for item in node.items
+            )
+            for item in node.items:
+                yield from self._scan(
+                    module, symbol, item.context_expr, guarded
+                )
+            for stmt in node.body:
+                yield from self._scan(module, symbol, stmt, inner)
+            return
+        if isinstance(node, (ast.For, ast.AsyncFor)) and not guarded:
+            for attr in _shard_attrs(node.iter):
+                yield self._finding(module, symbol, node.lineno, attr)
+                break
+        elif isinstance(node, _COMPREHENSIONS) and not guarded:
+            for generator in node.generators:
+                attrs = _shard_attrs(generator.iter)
+                if attrs:
+                    yield self._finding(
+                        module, symbol, node.lineno, attrs[0]
+                    )
+                    break
+        for child in ast.iter_child_nodes(node):
+            yield from self._scan(module, symbol, child, guarded)
+
+    def _finding(
+        self, module: ModuleSource, symbol: str, lineno: int, attr: str
+    ) -> Finding:
+        return Finding(
+            checker=self.id,
+            path=module.relpath,
+            line=lineno,
+            symbol=symbol,
+            message=(
+                f"iterates cross-shard collection '{attr}' outside a "
+                "unified-epoch guard; wrap in read_epoch()/write_epoch() "
+                "or move into a *_locked helper so shards cannot be "
+                "observed in different epochs"
+            ),
+        )
+
+
+__all__ = ["ShardEpochChecker", "GUARD_MARKERS", "SHARD_COLLECTIONS"]

@@ -14,6 +14,7 @@ Subcommands::
     repro-lubm topk --out BENCH_topk.json                # streaming bench
     repro-lubm cluster --out BENCH_cluster.json          # multi-process bench
     repro-lubm skew --out BENCH_skew.json                # re-optimization bench
+    repro-lubm shards --out BENCH_shards.json            # sharded-execution bench
 
 ``smoke`` runs every engine over a tiny LUBM instance and exits
 non-zero on any cross-engine disagreement or golden-count regression —
@@ -64,6 +65,14 @@ tail of cold singletons; it gates on the hot-value p50 speedup
 (``--min-speedup``, 2x in CI), value-for-value row agreement between
 the legs, and both plan dispositions (retained/reoptimized) firing
 (see :mod:`repro.bench.skew_bench`).
+
+``shards`` gates the distributed tier: every engine's binary response
+bodies over a subject-hash :class:`~repro.distributed.store.ShardedStore`
+must match the single store byte for byte at every shard count on the
+curve (before *and* after a cross-shard update round), and the pooled
+scatter-gather transport must beat the 1-shard leg's wall clock on a
+scatter-heavy query family by ``--min-speedup`` when the machine has
+>= 2 effective cores (see :mod:`repro.bench.shards_bench`).
 """
 
 from __future__ import annotations
@@ -241,6 +250,37 @@ def _cmd_cluster(args) -> None:
         clients=args.clients,
         p99_target_ms=args.p99_target,
         min_scaling=args.min_scaling,
+    )
+    print(render(report))
+    if args.out:
+        write_report(report, args.out)
+        print(f"wrote {args.out}")
+    if not report["ok"]:
+        sys.exit(1)
+
+
+def _cmd_shards(args) -> None:
+    from repro.bench.shards_bench import (
+        render,
+        run_shards_bench,
+        write_report,
+    )
+    from repro.service.cluster.shm import shm_supported
+
+    skip_scaling = not shm_supported()
+    if skip_scaling:
+        print(
+            "shards scaling leg skipped: shared memory unavailable here "
+            "(identity leg still gates)"
+        )
+    report = run_shards_bench(
+        universities=args.universities,
+        seed=args.seed,
+        shards=args.shards,
+        rounds=args.rounds,
+        clients=args.clients,
+        min_speedup=args.min_speedup,
+        skip_scaling=skip_scaling,
     )
     print(render(report))
     if args.out:
@@ -448,6 +488,40 @@ def main(argv: list[str] | None = None) -> None:
         help="write the machine-readable JSON report to this path",
     )
     cluster.set_defaults(func=_cmd_cluster)
+
+    shards = sub.add_parser("shards", parents=[common])
+    shards.add_argument(
+        "--shards",
+        type=int,
+        default=3,
+        help="shard count for the scaled leg (the curve runs 1 and N; "
+        "the identity leg compares shard counts {2, N})",
+    )
+    shards.add_argument(
+        "--rounds",
+        type=int,
+        default=2,
+        help="scatter-family replays per client in each scaling leg",
+    )
+    shards.add_argument(
+        "--clients",
+        type=int,
+        default=4,
+        help="concurrent closed-loop clients per scaling leg",
+    )
+    shards.add_argument(
+        "--min-speedup",
+        type=float,
+        default=1.1,
+        help="required 1-shard/N-shard wall-clock ratio with >= 2 "
+        "effective shards (no timing gate on single-core machines)",
+    )
+    shards.add_argument(
+        "--out",
+        default="",
+        help="write the machine-readable JSON report to this path",
+    )
+    shards.set_defaults(func=_cmd_shards)
 
     skew = sub.add_parser("skew")
     skew.add_argument("--seed", type=int, default=0)

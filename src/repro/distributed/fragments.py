@@ -1,0 +1,328 @@
+"""Compile a bound conjunctive query into per-shard fragments + merge.
+
+Subject partitioning gives one structural guarantee: every atom whose
+subject is the *same term* matches triples living on the *same shard*
+(for a constant subject, the one shard its hash names; for a variable
+subject, whichever shard each binding's subject hashes to). So the
+compiler groups atoms by subject term:
+
+* **one group** — the whole query is *partitioned*: each shard runs it
+  verbatim over its slice and the merge is ``concat + distinct`` (the
+  canonical order makes per-shard ``LIMIT offset+limit`` pushdown
+  sound: the global top-k is contained in the union of per-shard
+  top-ks).
+* **several groups** — each group becomes a fragment projecting onto
+  its join/output variables; fragments scatter independently and the
+  coordinator merges with pairwise natural joins, smallest estimated
+  fragment first. The estimates come from the PR 9 frequency sketches;
+  a fragment at or under ``broadcast_rows`` is labelled *broadcast*
+  (its result is shipped whole to the coordinator's hash build), the
+  largest fragment stays *partitioned*, anything bigger than the
+  threshold is a *gather*. A constant-subject group is *targeted* at
+  its owning shard only, and a variable-free group degenerates to a
+  coordinator-side membership probe.
+
+The compiler is pure (query + sketches in, plan out) — epoch discipline
+is the executor's job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.query import Atom, ConjunctiveQuery, Constant, Variable
+from repro.core.sketch import TableSketches
+
+#: Fragments estimated at or below this many rows are broadcast to the
+#: coordinator's hash build first; bigger ones are gathered after.
+DEFAULT_BROADCAST_ROWS = 1024
+
+PARTITIONED = "partitioned"
+BROADCAST = "broadcast"
+GATHER = "gather"
+TARGETED = "targeted"
+
+
+@dataclass(frozen=True)
+class Fragment:
+    """One scatter unit: a subquery every (or one) shard executes."""
+
+    index: int
+    subject: Variable | Constant
+    query: ConjunctiveQuery
+    disposition: str
+    estimate: int
+    #: Result only gates non-emptiness; it joins nothing and projects
+    #: into nothing (its variables are private to the group).
+    existential: bool = False
+
+    @property
+    def targeted(self) -> bool:
+        return self.disposition == TARGETED
+
+
+@dataclass(frozen=True)
+class MembershipProbe:
+    """A variable-free atom group: a coordinator-side existence check."""
+
+    atoms: tuple[Atom, ...]
+
+
+@dataclass(frozen=True)
+class FragmentPlan:
+    """Per-shard fragments plus the deterministic merge recipe."""
+
+    name: str
+    shard_count: int
+    broadcast_rows: int
+    projection: tuple[Variable, ...]
+    fragments: tuple[Fragment, ...]
+    probes: tuple[MembershipProbe, ...]
+    #: True when one fragment covers the whole query — merge is pure
+    #: concat + distinct and the streaming path can k-way merge.
+    single: bool
+
+    def explain(self) -> str:
+        """Human-readable fragment plan (the ``/explain`` payload)."""
+        lines = [
+            f"scatter-gather plan for {self.name!r} "
+            f"over {self.shard_count} shard(s)"
+        ]
+        for fragment in self.fragments:
+            atoms = ", ".join(
+                atom.relation for atom in fragment.query.atoms
+            )
+            note = f"est ~{fragment.estimate} rows"
+            if fragment.disposition == BROADCAST:
+                note += f" <= broadcast threshold {self.broadcast_rows}"
+            if fragment.existential:
+                note += ", existence only"
+            lines.append(
+                f"  fragment {fragment.index} [{_term(fragment.subject)}]:"
+                f" atoms({atoms}) -> {fragment.disposition} ({note})"
+            )
+        for probe in self.probes:
+            atoms = ", ".join(atom.relation for atom in probe.atoms)
+            lines.append(
+                f"  membership probe: atoms({atoms}) on the owning shard"
+            )
+        if self.single:
+            fragment = self.fragments[0]
+            pushed = fragment.query.limit
+            suffix = (
+                f" (limit {pushed} pushed per shard)"
+                if pushed is not None
+                else ""
+            )
+            lines.append(f"  merge: concat + distinct{suffix}")
+        elif self.fragments:
+            names = ", ".join(
+                variable.name for variable in self.projection
+            )
+            lines.append(
+                "  merge: natural join, smallest fragment first; "
+                f"project ({names}); distinct"
+            )
+        return "\n".join(lines)
+
+
+def _term(term: Variable | Constant) -> str:
+    if isinstance(term, Variable):
+        return f"?{term.name}"
+    return f"={term.value}"
+
+
+def _atom_estimate(atom: Atom, sketches: TableSketches) -> int:
+    """Sketch-based row estimate for one atom (0 = provably empty)."""
+    table = sketches.get(atom.relation)
+    if table is None:
+        return 0
+    attrs = (
+        ("subject", "object")
+        if len(atom.terms) == 2
+        else ("subject", "predicate", "object")
+    )
+    first = next(iter(table.values()), None)
+    estimate = first.total if first is not None else 0
+    for attr, term in zip(attrs, atom.terms):
+        sketch = table.get(attr)
+        if isinstance(term, Constant) and sketch is not None:
+            estimate = min(estimate, sketch.count(int(term.value)))
+    return int(estimate)
+
+
+def _group_projection(
+    atoms: tuple[Atom, ...],
+    others: set[Variable],
+    projection: tuple[Variable, ...],
+) -> tuple[tuple[Variable, ...], bool]:
+    """(fragment projection, existential?) for one atom group.
+
+    Keeps the variables the merge needs — join keys shared with other
+    groups plus final output variables — in first-appearance order. A
+    group sharing and outputting nothing is existential: it still
+    scatters (on one variable) but only its non-emptiness matters.
+    """
+    wanted = others | set(projection)
+    kept: list[Variable] = []
+    all_vars: list[Variable] = []
+    for atom in atoms:
+        for term in atom.terms:
+            if not isinstance(term, Variable):
+                continue
+            if term not in all_vars:
+                all_vars.append(term)
+            if term in wanted and term not in kept:
+                kept.append(term)
+    if kept:
+        return tuple(kept), False
+    return (all_vars[0],), True
+
+
+def compile_fragment_plan(
+    query: ConjunctiveQuery,
+    shard_count: int,
+    sketches: TableSketches,
+    broadcast_rows: int = DEFAULT_BROADCAST_ROWS,
+) -> FragmentPlan:
+    """Compile a bound, modifier-free conjunctive query.
+
+    ``query`` is what :meth:`Engine.split_modifiers` hands to
+    ``_execute_bound``: filters and ORDER BY already stripped (or the
+    bare query with only limit/offset attached).
+    """
+    groups: dict[Variable | Constant, list[Atom]] = {}
+    for atom in query.atoms:
+        groups.setdefault(atom.terms[0], []).append(atom)
+
+    if len(groups) == 1:
+        subject, atoms = next(iter(groups.items()))
+        if any(
+            isinstance(term, Variable)
+            for atom in atoms
+            for term in atom.terms
+        ):
+            shard_query = query
+            if query.limit is not None:
+                # Canonical order makes per-shard top-(offset+limit)
+                # a superset of the global slice.
+                shard_query = replace(
+                    query, limit=query.offset + query.limit, offset=0
+                )
+            disposition = (
+                TARGETED if isinstance(subject, Constant) else PARTITIONED
+            )
+            fragment = Fragment(
+                index=0,
+                subject=subject,
+                query=shard_query,
+                disposition=disposition,
+                estimate=min(
+                    _atom_estimate(atom, sketches) for atom in atoms
+                ),
+            )
+            return FragmentPlan(
+                name=query.name,
+                shard_count=shard_count,
+                broadcast_rows=broadcast_rows,
+                projection=query.projection,
+                fragments=(fragment,),
+                probes=(),
+                single=True,
+            )
+        # Entirely variable-free: one membership probe, no fragments.
+        return FragmentPlan(
+            name=query.name,
+            shard_count=shard_count,
+            broadcast_rows=broadcast_rows,
+            projection=query.projection,
+            fragments=(),
+            probes=(MembershipProbe(tuple(atoms)),),
+            single=False,
+        )
+
+    fragments: list[Fragment] = []
+    probes: list[MembershipProbe] = []
+    estimates: list[int] = []
+    entries: list[tuple[Variable | Constant, tuple[Atom, ...]]] = []
+    for subject, atoms in groups.items():
+        if not any(
+            isinstance(term, Variable)
+            for atom in atoms
+            for term in atom.terms
+        ):
+            probes.append(MembershipProbe(tuple(atoms)))
+            continue
+        entries.append((subject, tuple(atoms)))
+        estimates.append(
+            min(_atom_estimate(atom, sketches) for atom in atoms)
+        )
+
+    # The biggest variable-subject fragment anchors as partitioned;
+    # smaller ones broadcast (under the threshold) or gather.
+    anchor = -1
+    for position, (subject, _) in enumerate(entries):
+        if isinstance(subject, Constant):
+            continue
+        if anchor < 0 or estimates[position] > estimates[anchor]:
+            anchor = position
+
+    for position, (subject, atoms) in enumerate(entries):
+        other_vars: set[Variable] = set()
+        for other_position, (_, other_atoms) in enumerate(entries):
+            if other_position == position:
+                continue
+            for atom in other_atoms:
+                other_vars.update(
+                    term
+                    for term in atom.terms
+                    if isinstance(term, Variable)
+                )
+        projection, existential = _group_projection(
+            atoms, other_vars, query.projection
+        )
+        if isinstance(subject, Constant):
+            disposition = TARGETED
+        elif position == anchor:
+            disposition = PARTITIONED
+        elif estimates[position] <= broadcast_rows:
+            disposition = BROADCAST
+        else:
+            disposition = GATHER
+        fragments.append(
+            Fragment(
+                index=position,
+                subject=subject,
+                query=ConjunctiveQuery(
+                    atoms=atoms,
+                    projection=projection,
+                    name=f"{query.name}#f{position}",
+                ),
+                disposition=disposition,
+                estimate=estimates[position],
+                existential=existential,
+            )
+        )
+
+    return FragmentPlan(
+        name=query.name,
+        shard_count=shard_count,
+        broadcast_rows=broadcast_rows,
+        projection=query.projection,
+        fragments=tuple(fragments),
+        probes=tuple(probes),
+        single=False,
+    )
+
+
+__all__ = [
+    "DEFAULT_BROADCAST_ROWS",
+    "PARTITIONED",
+    "BROADCAST",
+    "GATHER",
+    "TARGETED",
+    "Fragment",
+    "MembershipProbe",
+    "FragmentPlan",
+    "compile_fragment_plan",
+]

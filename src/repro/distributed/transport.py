@@ -1,0 +1,231 @@
+"""Scatter transports: in-process shard engines or per-shard pools.
+
+Both transports answer the same three calls the
+:class:`~repro.distributed.engine.ShardedEngine` makes:
+
+* ``execute(shard, query)`` — run one bound fragment on one shard and
+  return its :class:`~repro.storage.relation.Relation`.
+* ``scatter(tasks)`` — fan a list of ``(shard, query)`` fragments out
+  concurrently and gather the relations in task order.
+* ``stream(shard, query)`` — an *unsliced* canonical chunk stream for
+  one shard (the k-way merge feedstock), or a one-page materialized
+  fallback.
+
+:class:`LocalShardTransport` drives per-shard engine instances on a
+thread pool (numpy kernels release the GIL for parts of the work, and
+correctness never depends on parallelism). :class:`PooledShardTransport`
+gives every shard its own PR 8 :class:`~repro.service.cluster.pool.WorkerPool`
+— separate processes over shared-memory segments — and ships fragments
+as FRAGMENT frames; it registers itself as the sharded store's update
+hook so worker replicas follow the unified epoch. Worker crashes
+surface exactly like the cluster tier: transparent retry on a respawned
+sibling, or a typed ``worker_crash`` / ``capacity`` / ``timeout`` error
+— never a torn merge, because the scatter holds the store's read epoch
+for its whole lifetime.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.core.query import ConjunctiveQuery
+from repro.distributed.store import ShardedStore, UpdateBatch
+from repro.engines import create_engine
+from repro.service.cluster import frames
+from repro.service.cluster.pool import WorkerPool
+from repro.storage.relation import Relation
+
+
+def _empty_result(query: ConjunctiveQuery) -> Relation:
+    return Relation.empty(
+        query.name, [variable.name for variable in query.projection]
+    )
+
+
+class LocalShardTransport:
+    """Per-shard engines in this process, scattered on threads."""
+
+    kind = "local"
+
+    def __init__(
+        self, store: ShardedStore, engine: str = "emptyheaded"
+    ) -> None:
+        self.store = store
+        self.engine_name = engine
+        # Spawned per shard at construction; queries touch exactly one
+        # entry per task.
+        # repro: allow[shard-epoch]
+        self.engines = [
+            create_engine(engine, shard) for shard in store.stores
+        ]
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(2, store.shard_count),
+            thread_name_prefix="repro-shard",
+        )
+
+    def execute(
+        self,
+        shard: int,
+        query: ConjunctiveQuery,
+        *,
+        test_delay_s: float | None = None,
+    ) -> Relation:
+        engine = self.engines[shard]
+        available = engine.store.table_names()
+        if any(atom.relation not in available for atom in query.atoms):
+            return _empty_result(query)
+        return engine.execute_bound(query)
+
+    def scatter(
+        self, tasks: Sequence[tuple[int, ConjunctiveQuery]]
+    ) -> list[Relation]:
+        if len(tasks) == 1:
+            shard, query = tasks[0]
+            return [self.execute(shard, query)]
+        futures = [
+            self._executor.submit(self.execute, shard, query)
+            for shard, query in tasks
+        ]
+        return [future.result() for future in futures]
+
+    def stream(
+        self, shard: int, query: ConjunctiveQuery
+    ) -> Iterator[Relation]:
+        """One shard's canonical chunk stream, captured eagerly.
+
+        Falls back to a one-page materialized stream when the shard
+        engine cannot stream this query — either way the snapshot is
+        pinned before this call returns.
+        """
+        engine = self.engines[shard]
+        available = engine.store.table_names()
+        if any(atom.relation not in available for atom in query.atoms):
+            return iter(())
+        engine.check_data_version()
+        stream = engine._execute_bound_iter(query)
+        if stream is None:
+            return iter([engine.execute_bound(query)])
+        return stream
+
+    def close(self) -> None:
+        self._executor.shutdown(wait=False, cancel_futures=True)
+
+
+class PooledShardTransport:
+    """One PR 8 worker pool per shard; fragments ride FRAGMENT frames."""
+
+    kind = "pooled"
+
+    def __init__(
+        self,
+        store: ShardedStore,
+        engine: str = "emptyheaded",
+        *,
+        workers_per_shard: int = 1,
+        start_method: str | None = None,
+        prefix: str = "repro-shard",
+        request_timeout_s: float = 120.0,
+        checkout_timeout_s: float = 30.0,
+        allow_test_hooks: bool = False,
+    ) -> None:
+        self.store = store
+        self.engine_name = engine
+        #: Fault-injection knob: forwarded as ``test_delay_s`` on every
+        #: fragment when set (tests freeze a worker mid-scatter).
+        self.test_delay_s: float | None = None
+        self.pools: list[WorkerPool] = []
+        try:
+            # One pool per shard, started before the hook registration
+            # so no update can slip between a started pool and its
+            # replication feed.
+            # repro: allow[shard-epoch]
+            for index, shard_store in enumerate(store.stores):
+                pool = WorkerPool(
+                    shard_store,
+                    engine,
+                    workers=workers_per_shard,
+                    start_method=start_method,
+                    prefix=f"{prefix}{index}",
+                    request_timeout_s=request_timeout_s,
+                    checkout_timeout_s=checkout_timeout_s,
+                    allow_test_hooks=allow_test_hooks,
+                    shard=(index, store.shard_count),
+                )
+                self.pools.append(pool.start())
+        except BaseException:
+            self.close()
+            raise
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(2, store.shard_count * workers_per_shard),
+            thread_name_prefix="repro-scatter",
+        )
+        store.add_update_hook(self._on_update)
+        self._hooked = True
+
+    def _on_update(self, batch: UpdateBatch) -> None:
+        """Sharded-store update hook (fires under the write epoch)."""
+        add, remove, known_tables = batch
+        # Fired under the store's write epoch: every pool sees the
+        # batch before any scatter can observe the new data_version.
+        # repro: allow[shard-epoch]
+        for pool in self.pools:
+            pool.replicate(add, remove, known_tables)
+
+    def execute(
+        self,
+        shard: int,
+        query: ConjunctiveQuery,
+        *,
+        test_delay_s: float | None = None,
+    ) -> Relation:
+        payload: dict = {"query": query}
+        delay = test_delay_s if test_delay_s is not None else self.test_delay_s
+        if delay:
+            payload["test_delay_s"] = delay
+        response = self.pools[shard].request(frames.FRAGMENT, payload)
+        data = frames.unpack(response)
+        return Relation(data["name"], data["attributes"], data["columns"])
+
+    def scatter(
+        self, tasks: Sequence[tuple[int, ConjunctiveQuery]]
+    ) -> list[Relation]:
+        if len(tasks) == 1:
+            shard, query = tasks[0]
+            return [self.execute(shard, query)]
+        futures = [
+            self._executor.submit(self.execute, shard, query)
+            for shard, query in tasks
+        ]
+        return [future.result() for future in futures]
+
+    def stream(
+        self, shard: int, query: ConjunctiveQuery
+    ) -> Iterator[Relation]:
+        """Materialized one-page stream (frames carry whole results)."""
+        return iter([self.execute(shard, query)])
+
+    def stats(self) -> dict:
+        # repro: allow[shard-epoch] — read-only counters, no row data.
+        pools = [pool.stats() for pool in self.pools]
+        return {"shards": self.store.shard_count, "pools": pools}
+
+    def close(self) -> None:
+        if getattr(self, "_hooked", False):
+            self.store.remove_update_hook(self._on_update)
+            self._hooked = False
+        executor = getattr(self, "_executor", None)
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+        # repro: allow[shard-epoch]
+        for pool in self.pools:
+            pool.close()
+
+    def __enter__(self) -> "PooledShardTransport":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+__all__ = ["LocalShardTransport", "PooledShardTransport"]

@@ -39,6 +39,7 @@ STATS = 4  # {} -> per-worker counters
 PING = 5  # {} -> {pid, data_version}
 EXPLAIN = 6  # {text, parameters} -> {text}
 SHUTDOWN = 7  # {} -> {} then the worker exits
+FRAGMENT = 8  # {query: bound ConjunctiveQuery} -> {name, attributes, columns}
 
 # Frame statuses.
 OK = 0
@@ -131,6 +132,7 @@ def error_payload(exc: BaseException) -> bytes:
 __all__ = [
     "ERR",
     "EXPLAIN",
+    "FRAGMENT",
     "HELLO",
     "OK",
     "PING",

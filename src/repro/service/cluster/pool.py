@@ -114,12 +114,17 @@ class WorkerPool:
         health_interval_s: float = 0.5,
         allow_test_hooks: bool = False,
         max_open_cursors: int = 64,
+        shard: tuple[int, int] | None = None,
     ) -> None:
         if workers < 1:
             raise ClusterError("WorkerPool needs at least 1 worker")
         self.store = store
         self.engine = engine
         self.workers = workers
+        #: ``(shard_index, shard_count)`` when this pool serves one
+        #: shard of a sharded store — workers then apply replayed and
+        #: broadcast batches *routed* (see :class:`WorkerConfig.shard`).
+        self.shard = shard
         self.request_timeout_s = request_timeout_s
         self.checkout_timeout_s = checkout_timeout_s
         self.timeout_grace_s = timeout_grace_s
@@ -212,6 +217,7 @@ class WorkerPool:
                 replay=tuple(self._replay_log),
                 max_open_cursors=self.max_open_cursors,
                 allow_test_hooks=self.allow_test_hooks,
+                shard=self.shard,
             )
             self._next_id += 1
             worker_id = self._next_id
@@ -442,36 +448,64 @@ class WorkerPool:
             added = self.store.add_triples(add) if add else 0
             removed = self.store.remove_triples(remove) if remove else 0
             if added or removed:
-                self._replay_log.append((add, remove))
-                self._replay_rows += len(add) + len(remove)
-                payload = frames.pack({"add": add, "remove": remove})
-                for handle in list(self._handles.values()):
-                    try:
-                        with handle.lock:
-                            frames.send_frame(
-                                handle.conn, frames.UPDATE, payload
-                            )
-                            frames.recv_frame(
-                                handle.conn,
-                                timeout_s=self.request_timeout_s,
-                                is_alive=handle.process.is_alive,
-                            )
-                            handle.data_version = self.store.data_version
-                    except (WorkerCrashError, ClusterError):
-                        # The replacement replays the full log, this
-                        # batch included, so it cannot miss the update.
-                        self._mark_dead(handle)
-                if self._replay_rows > self.republish_fraction * max(
-                    self.store.num_triples, 1
-                ):
-                    self._publisher.publish()
-                    self._replay_log.clear()
-                    self._replay_rows = 0
+                self._replicate_locked(
+                    (add, remove), {"add": add, "remove": remove}
+                )
             return {
                 "added": added,
                 "removed": removed,
                 "data_version": self.store.data_version,
             }
+
+    def replicate(self, add=(), remove=(), known_tables=()) -> None:
+        """Broadcast a batch already applied to this pool's store.
+
+        The sharded-store update hook: the coordinator applied the
+        routed slice to the (shard) store under its write epoch, and
+        this pool only has to log the *full* batch for respawn replay
+        and fan it out to its workers, which route it themselves.
+        ``known_tables`` is the coordinator's union table-name set from
+        just before the batch — what routed workers need to keep
+        dictionary key assignment byte-identical.
+        """
+        add = tuple(tuple(t) for t in add)
+        remove = tuple(tuple(t) for t in remove)
+        known = tuple(sorted(known_tables))
+        with self._update_lock:
+            self._replicate_locked(
+                (add, remove, frozenset(known)),
+                {"add": add, "remove": remove, "known_tables": known},
+            )
+
+    def _replicate_locked(self, batch: tuple, payload_dict: dict) -> None:
+        """Log a batch, broadcast it, republish when the log is heavy.
+
+        Caller holds ``_update_lock``.
+        """
+        add, remove = batch[0], batch[1]
+        self._replay_log.append(batch)
+        self._replay_rows += len(add) + len(remove)
+        payload = frames.pack(payload_dict)
+        for handle in list(self._handles.values()):
+            try:
+                with handle.lock:
+                    frames.send_frame(handle.conn, frames.UPDATE, payload)
+                    frames.recv_frame(
+                        handle.conn,
+                        timeout_s=self.request_timeout_s,
+                        is_alive=handle.process.is_alive,
+                    )
+                    handle.data_version = self.store.data_version
+            except (WorkerCrashError, ClusterError):
+                # The replacement replays the full log, this batch
+                # included, so it cannot miss the update.
+                self._mark_dead(handle)
+        if self._replay_rows > self.republish_fraction * max(
+            self.store.num_triples, 1
+        ):
+            self._publisher.publish()
+            self._replay_log.clear()
+            self._replay_rows = 0
 
     # ------------------------------------------------------------------
     # Introspection

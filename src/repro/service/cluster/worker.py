@@ -32,6 +32,8 @@ import os
 import time
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.engines import create_engine
 from repro.errors import ClusterError
 from repro.service.cluster import frames
@@ -39,9 +41,13 @@ from repro.service.cluster.shm import attach_snapshot, detach
 from repro.service.formats import SERIALIZERS
 from repro.service.protocol import QueryRequest, UpdateRequest
 from repro.service.query_service import QueryService
+from repro.storage.relation import Relation
 from repro.storage.vertical import VerticallyPartitionedStore
 
 #: One replayed update batch: string triples to add and to remove.
+#: Shard workers carry a third element — the coordinator's union table
+#: names captured before the batch was applied — so the routed replay
+#: assigns dictionary keys identically to the coordinator.
 ReplayBatch = tuple[tuple[tuple[str, str, str], ...], tuple[tuple[str, str, str], ...]]
 
 
@@ -59,6 +65,12 @@ class WorkerConfig:
     #: freeze a worker mid-query to exercise crash retry; never enabled
     #: by production configuration).
     allow_test_hooks: bool = False
+    #: ``(shard_index, shard_count)`` when this worker serves one shard
+    #: of a :class:`~repro.distributed.store.ShardedStore`: replayed and
+    #: broadcast update batches arrive *unrouted* and the worker applies
+    #: only its own subject-hash slice (after pre-encoding the full
+    #: batch, keeping its dictionary byte-identical to the coordinator).
+    shard: tuple[int, int] | None = None
 
 
 @dataclass
@@ -69,18 +81,28 @@ class _WorkerState:
     session: object
     epoch: int
     allow_test_hooks: bool
+    shard: tuple[int, int] | None = None
     requests: int = 0
     started_at: float = field(default_factory=time.monotonic)
 
 
 def _apply_replay(
-    store: VerticallyPartitionedStore, replay: tuple[ReplayBatch, ...]
+    store: VerticallyPartitionedStore,
+    replay: tuple[ReplayBatch, ...],
+    shard: tuple[int, int] | None,
 ) -> None:
-    for add, remove in replay:
-        if add:
-            store.add_triples(add)
-        if remove:
-            store.remove_triples(remove)
+    if shard is None:
+        for add, remove in replay:
+            if add:
+                store.add_triples(add)
+            if remove:
+                store.remove_triples(remove)
+        return
+    from repro.distributed.partition import apply_routed_update
+
+    index, count = shard
+    for add, remove, known_tables in replay:
+        apply_routed_update(store, index, count, add, remove, known_tables)
 
 
 def _handle_query(state: _WorkerState, payload: dict) -> bytes:
@@ -104,16 +126,60 @@ def _handle_query(state: _WorkerState, payload: dict) -> bytes:
 
 
 def _handle_update(state: _WorkerState, payload: dict) -> dict:
-    response = state.session.update(
-        UpdateRequest(
-            add=tuple(map(tuple, payload.get("add") or ())),
-            remove=tuple(map(tuple, payload.get("remove") or ())),
+    add = tuple(map(tuple, payload.get("add") or ()))
+    remove = tuple(map(tuple, payload.get("remove") or ()))
+    if state.shard is not None:
+        from repro.distributed.partition import apply_routed_update
+
+        index, count = state.shard
+        store = state.service.engine.store
+        added, removed = apply_routed_update(
+            store,
+            index,
+            count,
+            add,
+            remove,
+            frozenset(payload.get("known_tables") or ()),
         )
-    )
+        return {
+            "added": added,
+            "removed": removed,
+            "data_version": store.data_version,
+        }
+    response = state.session.update(UpdateRequest(add=add, remove=remove))
     return {
         "added": response.added,
         "removed": response.removed,
         "data_version": response.data_version,
+    }
+
+
+def _handle_fragment(state: _WorkerState, payload: dict) -> dict:
+    """Execute one scatter fragment, returning encoded columns.
+
+    The bound query's constants are dictionary keys — valid here
+    because the replica dictionary is byte-identical to the
+    coordinator's. The reply carries raw ``uint32`` columns (no decode
+    round-trip); the coordinator merges them through its own relation
+    machinery.
+    """
+    if state.allow_test_hooks and payload.get("test_delay_s"):
+        # Same fault-injection window as _handle_query: the parent
+        # kills this process here to exercise mid-scatter crash retry.
+        time.sleep(float(payload["test_delay_s"]))
+    query = payload["query"]
+    engine = state.service.engine
+    available = engine.store.table_names()
+    if any(atom.relation not in available for atom in query.atoms):
+        result = Relation.empty(
+            query.name, [v.name for v in query.projection]
+        )
+    else:
+        result = engine.execute_bound(query)
+    return {
+        "name": result.name,
+        "attributes": list(result.attributes),
+        "columns": [np.ascontiguousarray(c) for c in result.columns],
     }
 
 
@@ -150,7 +216,7 @@ def worker_main(conn, config: WorkerConfig) -> None:
         try:
             snapshot, segment = attach_snapshot(config.shm_name)
             store = VerticallyPartitionedStore.from_snapshot(snapshot)
-            _apply_replay(store, config.replay)
+            _apply_replay(store, config.replay, config.shard)
             engine = create_engine(config.engine, store)
             service = QueryService(engine)
             session = service.session(
@@ -166,6 +232,7 @@ def worker_main(conn, config: WorkerConfig) -> None:
             session=session,
             epoch=config.epoch,
             allow_test_hooks=config.allow_test_hooks,
+            shard=config.shard,
         )
         frames.send_frame(
             conn,
@@ -194,6 +261,7 @@ def _serve(conn, state: _WorkerState) -> None:
         frames.UPDATE: _handle_update,
         frames.STATS: _handle_stats,
         frames.EXPLAIN: _handle_explain,
+        frames.FRAGMENT: _handle_fragment,
         frames.PING: lambda s, p: {
             "pid": os.getpid(),
             "data_version": s.service.engine.store.data_version,

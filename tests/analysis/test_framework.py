@@ -77,6 +77,7 @@ def test_checker_registry_ids():
         "error-taxonomy",
         "numpy-hygiene",
         "shm-lifecycle",
+        "shard-epoch",
     ]
 
 
@@ -181,6 +182,7 @@ def test_cli_json_report_shape(tmp_path, capsys):
         "error-taxonomy",
         "lock-discipline",
         "numpy-hygiene",
+        "shard-epoch",
         "shm-lifecycle",
     ]
     assert len(report["new"]) == 1

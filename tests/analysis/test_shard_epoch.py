@@ -1,0 +1,188 @@
+"""Shard-epoch checker: cross-shard iteration must hold the epoch."""
+
+from repro.analysis.core import run_analysis
+from repro.analysis.shard_epoch import ShardEpochChecker
+
+
+def _analyze(tmp_path, source, relpath="distributed/mod.py"):
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source, encoding="utf-8")
+    findings, suppressed = run_analysis(
+        [tmp_path], checkers=[ShardEpochChecker()], root=tmp_path
+    )
+    return findings, suppressed
+
+
+def _lines(source, fragment):
+    return [
+        lineno
+        for lineno, line in enumerate(source.splitlines(), 1)
+        if fragment in line
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Unguarded iteration is flagged
+# ---------------------------------------------------------------------------
+BAD_FOR = (
+    "class Facade:\n"
+    "    def num_triples(self):\n"
+    "        total = 0\n"
+    "        for store in self.stores:\n"
+    "            total += store.num_triples\n"
+    "        return total\n"
+)
+
+
+def test_unguarded_for_over_shards_is_flagged(tmp_path):
+    findings, _ = _analyze(tmp_path, BAD_FOR)
+    assert [f.checker for f in findings] == ["shard-epoch"]
+    finding = findings[0]
+    assert finding.line == _lines(BAD_FOR, "for store in self.stores")[0]
+    assert finding.symbol == "Facade.num_triples"
+    assert "'stores'" in finding.message
+    assert "read_epoch" in finding.message
+
+
+BAD_COMPREHENSION = (
+    "class Transport:\n"
+    "    def stats(self):\n"
+    "        return [pool.stats() for pool in self.pools]\n"
+)
+
+
+def test_unguarded_comprehension_over_pools_is_flagged(tmp_path):
+    findings, _ = _analyze(tmp_path, BAD_COMPREHENSION)
+    assert [f.checker for f in findings] == ["shard-epoch"]
+    assert findings[0].symbol == "Transport.stats"
+    assert "'pools'" in findings[0].message
+
+
+BAD_CALL_WRAPPED = (
+    "class Facade:\n"
+    "    def route(self, batch):\n"
+    "        for index, routed in enumerate(split(batch, self.stores)):\n"
+    "            self.stores[index].add(routed)\n"
+)
+
+
+def test_shard_attr_inside_iter_call_is_flagged(tmp_path):
+    findings, _ = _analyze(tmp_path, BAD_CALL_WRAPPED)
+    assert [f.checker for f in findings] == ["shard-epoch"]
+    assert findings[0].line == _lines(BAD_CALL_WRAPPED, "enumerate")[0]
+
+
+# ---------------------------------------------------------------------------
+# Guarded iteration, *_locked helpers, and suppressions are clean
+# ---------------------------------------------------------------------------
+GUARDED_READ = (
+    "class Facade:\n"
+    "    def num_triples(self):\n"
+    "        with self._epoch.read():\n"
+    "            return sum(s.num_triples for s in self.stores)\n"
+)
+
+
+def test_iteration_under_epoch_read_is_clean(tmp_path):
+    findings, _ = _analyze(tmp_path, GUARDED_READ)
+    assert findings == []
+
+
+GUARDED_FACADE = (
+    "class Engine:\n"
+    "    def scatter(self):\n"
+    "        with self.store.read_epoch():\n"
+    "            for engine in self.engines:\n"
+    "                engine.run()\n"
+)
+
+
+def test_iteration_under_read_epoch_facade_is_clean(tmp_path):
+    findings, _ = _analyze(tmp_path, GUARDED_FACADE)
+    assert findings == []
+
+
+GUARDED_WRITE = (
+    "class Facade:\n"
+    "    def add(self, batch):\n"
+    "        with self._epoch.write():\n"
+    "            for store in self.stores:\n"
+    "                store.add(batch)\n"
+)
+
+
+def test_iteration_under_epoch_write_is_clean(tmp_path):
+    findings, _ = _analyze(tmp_path, GUARDED_WRITE)
+    assert findings == []
+
+
+LOCKED_HELPER = (
+    "class Facade:\n"
+    "    def _table_names_locked(self):\n"
+    "        names = set()\n"
+    "        for store in self.stores:\n"
+    "            names.update(store.tables)\n"
+    "        return names\n"
+)
+
+
+def test_locked_suffix_helper_is_exempt(tmp_path):
+    findings, _ = _analyze(tmp_path, LOCKED_HELPER)
+    assert findings == []
+
+
+SUPPRESSED = (
+    "class Transport:\n"
+    "    def close(self):\n"
+    "        # repro: allow[shard-epoch]\n"
+    "        for pool in self.pools:\n"
+    "            pool.close()\n"
+)
+
+
+def test_allow_comment_suppresses_finding(tmp_path):
+    findings, suppressed = _analyze(tmp_path, SUPPRESSED)
+    assert findings == []
+    assert suppressed == 1
+
+
+# ---------------------------------------------------------------------------
+# Scope and non-shard iteration
+# ---------------------------------------------------------------------------
+def test_modules_outside_distributed_are_out_of_scope(tmp_path):
+    findings, _ = _analyze(
+        tmp_path, BAD_FOR, relpath="service/cluster/mod.py"
+    )
+    assert findings == []
+
+
+PLAIN_ITERATION = (
+    "class Facade:\n"
+    "    def tally(self, rows):\n"
+    "        for row in rows:\n"
+    "            self.count += 1\n"
+    "        return [r for r in self.items]\n"
+)
+
+
+def test_non_shard_iteration_is_clean(tmp_path):
+    findings, _ = _analyze(tmp_path, PLAIN_ITERATION)
+    assert findings == []
+
+
+NESTED_DEF = (
+    "class Engine:\n"
+    "    def build(self):\n"
+    "        with self.store.read_epoch():\n"
+    "            def later():\n"
+    "                for store in self.stores:\n"
+    "                    store.touch()\n"
+    "            return later\n"
+)
+
+
+def test_nested_def_does_not_inherit_guard(tmp_path):
+    findings, _ = _analyze(tmp_path, NESTED_DEF)
+    assert [f.checker for f in findings] == ["shard-epoch"]
+    assert findings[0].symbol == "later"

@@ -1,0 +1,135 @@
+"""Fragment compilation: grouping, dispositions, pushdown, explain."""
+
+import pytest
+
+from repro.distributed import ShardedEngine, ShardedStore
+from repro.distributed.fragments import (
+    BROADCAST,
+    GATHER,
+    PARTITIONED,
+    TARGETED,
+)
+
+EX = "http://ex/"
+
+
+def _graph():
+    triples = []
+    for i in range(24):
+        s = f"<{EX}s{i}>"
+        triples.append((s, f"<{EX}advisor>", f"<{EX}s{(i * 7) % 24}>"))
+        if i % 2 == 0:
+            triples.append((s, f"<{EX}memberOf>", f"<{EX}org{i % 3}>"))
+    for j in range(3):
+        triples.append(
+            (f"<{EX}org{j}>", f"<{EX}worksFor>", f"<{EX}dept{j % 2}>")
+        )
+    return sorted(set(triples))
+
+
+@pytest.fixture()
+def engine():
+    store = ShardedStore.partition(_graph(), 3)
+    return ShardedEngine(store)
+
+
+def _plan(engine, text, **overrides):
+    if overrides:
+        engine = ShardedEngine(
+            engine.store, engine.engine_name, **overrides
+        )
+    query = engine.prepare_sparql(text)
+    bound = engine.bind(query)
+    assert bound is not None, text
+    inner, _ = engine.split_modifiers(bound)
+    return engine.plan_for(inner)
+
+
+def test_single_subject_group_compiles_to_one_partitioned_fragment(
+    engine,
+):
+    plan = _plan(
+        engine,
+        f"SELECT ?x ?y WHERE {{ ?x <{EX}advisor> ?y . "
+        f"?x <{EX}memberOf> <{EX}org0> }}",
+    )
+    assert plan.single
+    assert len(plan.fragments) == 1
+    assert plan.fragments[0].disposition == PARTITIONED
+    assert plan.shard_count == 3
+    assert plan.probes == ()
+    assert "partitioned" in plan.explain()
+    assert "concat + distinct" in plan.explain()
+
+
+def test_limit_pushdown_on_single_fragment_plans(engine):
+    plan = _plan(
+        engine,
+        f"SELECT ?y WHERE {{ ?x <{EX}advisor> ?y }} LIMIT 5 OFFSET 2",
+    )
+    assert plan.single
+    fragment = plan.fragments[0].query
+    # Per-shard LIMIT offset+limit, OFFSET applied at the coordinator:
+    # the global top-k is a subset of the union of per-shard top-ks.
+    assert fragment.limit == 7
+    assert fragment.offset == 0
+
+
+def test_constant_subject_targets_one_shard(engine):
+    plan = _plan(
+        engine, f"SELECT ?y WHERE {{ <{EX}s3> <{EX}advisor> ?y }}"
+    )
+    fragment = plan.fragments[0]
+    assert fragment.disposition == TARGETED
+    assert fragment.targeted
+    assert "targeted" in plan.explain()
+
+
+def test_multi_group_plans_anchor_and_broadcast_by_estimate(engine):
+    text = (
+        f"SELECT ?x ?z WHERE {{ ?x <{EX}memberOf> ?y . "
+        f"?y <{EX}worksFor> ?z }}"
+    )
+    plan = _plan(engine, text)
+    assert not plan.single
+    assert len(plan.fragments) == 2
+    dispositions = {f.disposition for f in plan.fragments}
+    # The bigger (memberOf) group anchors as partitioned; the tiny
+    # worksFor group fits under the default broadcast threshold.
+    assert dispositions == {PARTITIONED, BROADCAST}
+    explain = plan.explain()
+    assert "scatter-gather plan" in explain
+    assert "natural join" in explain
+
+    # Threshold 0 forces the small group to gather instead.
+    gathered = _plan(engine, text, broadcast_rows=0)
+    assert {f.disposition for f in gathered.fragments} == {
+        PARTITIONED,
+        GATHER,
+    }
+
+
+def test_variable_free_group_becomes_membership_probe(engine):
+    plan = _plan(
+        engine,
+        f"SELECT ?x ?y WHERE {{ ?x <{EX}advisor> ?y . "
+        f"<{EX}org0> <{EX}worksFor> <{EX}dept0> }}",
+    )
+    assert len(plan.probes) == 1
+    assert len(plan.fragments) == 1
+    assert plan.fragments[0].disposition == PARTITIONED
+
+
+def test_fragment_queries_project_join_and_output_vars(engine):
+    plan = _plan(
+        engine,
+        f"SELECT ?x WHERE {{ ?x <{EX}memberOf> ?y . "
+        f"?y <{EX}worksFor> ?z }}",
+    )
+    by_subject = {
+        fragment.subject.name: fragment for fragment in plan.fragments
+    }
+    x_names = [v.name for v in by_subject["x"].query.projection]
+    y_names = [v.name for v in by_subject["y"].query.projection]
+    assert "x" in x_names and "y" in x_names  # output + join var
+    assert "y" in y_names  # join var kept; ?z existential-or-kept

@@ -1,0 +1,196 @@
+"""PooledShardTransport fault injection: real ``kill -9`` on real
+worker processes mid-scatter. The unified read epoch plus the pool's
+crash-retry must yield exactly one of two outcomes — the full, correct
+merged rows (retried on a respawned/sibling worker) or a *typed*
+``worker_crash`` / ``capacity`` / ``timeout`` error. A torn partial
+merge (wrong rows, no error) is never acceptable.
+"""
+
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.distributed import (
+    PooledShardTransport,
+    ShardedEngine,
+    ShardedStore,
+)
+from repro.engines import ENGINE_NAMES
+from repro.errors import (
+    CapacityError,
+    ClusterError,
+    QueryTimeoutError,
+    WorkerCrashError,
+)
+from repro.service.cluster.shm import shm_supported
+from repro.storage.vertical import vertically_partition
+
+pytestmark = pytest.mark.skipif(
+    not shm_supported(), reason="shared memory unavailable in this sandbox"
+)
+
+EX = "http://ex/"
+PREFIX = "repro-shardfault"
+
+QUERY = (
+    f"SELECT ?x ?y WHERE {{ ?x <{EX}advisor> ?y . "
+    f"?x <{EX}memberOf> <{EX}org0> }}"
+)
+
+
+def _graph():
+    triples = []
+    for i in range(40):
+        s = f"<{EX}s{i}>"
+        triples.append((s, f"<{EX}advisor>", f"<{EX}s{(i * 7) % 40}>"))
+        if i % 2 == 0:
+            triples.append((s, f"<{EX}memberOf>", f"<{EX}org{i % 3}>"))
+    return sorted(set(triples))
+
+
+def _wait_for(predicate, timeout_s=20.0, interval_s=0.05):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval_s)
+    return False
+
+
+def _expected_rows():
+    store = vertically_partition(_graph())
+    engine = ENGINE_NAMES["emptyheaded"](store)
+    return engine.decode(engine.execute_sparql(QUERY))
+
+
+@pytest.fixture()
+def rig():
+    store = ShardedStore.partition(_graph(), 2)
+    transport = PooledShardTransport(
+        store,
+        workers_per_shard=2,
+        prefix=PREFIX,
+        allow_test_hooks=True,
+    )
+    engine = ShardedEngine(store, transport=transport)
+    try:
+        yield store, transport, engine
+    finally:
+        transport.close()
+
+
+def test_pooled_rows_match_in_process(rig):
+    _, transport, engine = rig
+    assert engine.decode(engine.execute_sparql(QUERY)) == _expected_rows()
+    stats = transport.stats()
+    assert stats["shards"] == 2
+    assert len(stats["pools"]) == 2
+
+
+def test_updates_replicate_to_every_shard_worker(rig):
+    store, _, engine = rig
+    probe = f"SELECT ?o WHERE {{ <{EX}ghost> <{EX}advisor> ?o }}"
+    assert engine.execute_sparql(probe).num_rows == 0
+    store.add_triples([(f"<{EX}ghost>", f"<{EX}advisor>", f"<{EX}s1>")])
+    # More requests than workers per shard: every replica must answer.
+    for _ in range(5):
+        assert engine.decode(engine.execute_sparql(probe)) == [
+            (f"<{EX}s1>",)
+        ]
+    store.remove_triples(
+        [(f"<{EX}ghost>", f"<{EX}advisor>", f"<{EX}s1>")]
+    )
+    for _ in range(5):
+        assert engine.execute_sparql(probe).num_rows == 0
+
+
+def test_kill9_mid_scatter_retries_never_tears_the_merge(rig):
+    _, transport, engine = rig
+    transport.test_delay_s = 1.2
+    outcome: dict = {}
+
+    def run():
+        try:
+            outcome["rows"] = engine.decode(engine.execute_sparql(QUERY))
+        except (
+            WorkerCrashError,
+            CapacityError,
+            QueryTimeoutError,
+        ) as exc:
+            outcome["error"] = exc
+        except ClusterError as exc:
+            outcome["error"] = exc
+
+    thread = threading.Thread(target=run)
+    thread.start()
+    # Wait until the scatter is in flight (a worker checked out), then
+    # kill one busy worker on each pool's shard.
+    def busy_pids():
+        pids = []
+        for pool in transport.pools:
+            with pool._update_lock:
+                handles = list(pool._handles.values())
+            free = {h.worker_id for h in list(pool._free.queue)}
+            pids.extend(
+                h.pid for h in handles if h.worker_id not in free
+            )
+        return pids
+
+    assert _wait_for(lambda: len(busy_pids()) >= 1, timeout_s=10)
+    os.kill(busy_pids()[0], signal.SIGKILL)
+    thread.join(timeout=60)
+    assert not thread.is_alive()
+
+    if "rows" in outcome:
+        # Retried on a sibling/respawned worker: complete, correct rows.
+        assert outcome["rows"] == _expected_rows()
+    else:
+        # Or a typed taxonomy error — never a torn partial merge.
+        assert isinstance(
+            outcome["error"],
+            (WorkerCrashError, CapacityError, QueryTimeoutError,
+             ClusterError),
+        )
+    assert any(
+        pool.retries >= 1 or pool.respawns >= 1
+        for pool in transport.pools
+    )
+
+
+def test_fleet_heals_and_serves_after_kill(rig):
+    _, transport, engine = rig
+    victim_pool = transport.pools[0]
+    victim = next(iter(victim_pool._handles.values()))
+    os.kill(victim.pid, signal.SIGKILL)
+    assert _wait_for(
+        lambda: victim_pool.respawns >= 1
+        and victim_pool.worker_count() == 2
+    )
+    for _ in range(4):
+        assert (
+            engine.decode(engine.execute_sparql(QUERY))
+            == _expected_rows()
+        )
+
+
+def test_wedged_worker_surfaces_typed_timeout():
+    store = ShardedStore.partition(_graph(), 2)
+    transport = PooledShardTransport(
+        store,
+        workers_per_shard=1,
+        prefix=f"{PREFIX}-to",
+        request_timeout_s=0.3,
+        allow_test_hooks=True,
+    )
+    engine = ShardedEngine(store, transport=transport)
+    try:
+        transport.test_delay_s = 2.0
+        with pytest.raises(
+            (QueryTimeoutError, WorkerCrashError, ClusterError)
+        ):
+            engine.execute_sparql(QUERY)
+    finally:
+        transport.close()

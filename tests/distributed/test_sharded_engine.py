@@ -1,0 +1,122 @@
+"""ShardedEngine over LocalShardTransport: parity, explain, streaming."""
+
+import pytest
+
+from repro.distributed import ShardedEngine, ShardedStore
+from repro.engines import ALL_ENGINES
+from repro.errors import ConfigError
+from repro.service import QueryService
+from repro.storage.vertical import vertically_partition
+
+EX = "http://ex/"
+
+
+def _graph():
+    triples = []
+    for i in range(30):
+        s = f"<{EX}s{i}>"
+        triples.append((s, f"<{EX}advisor>", f"<{EX}s{(i * 7) % 30}>"))
+        if i % 2 == 0:
+            triples.append((s, f"<{EX}memberOf>", f"<{EX}org{i % 4}>"))
+        if i % 5 == 0:
+            triples.append((s, f"<{EX}rank>", f'"{i % 6}"'))
+    for j in range(4):
+        triples.append(
+            (f"<{EX}org{j}>", f"<{EX}worksFor>", f"<{EX}dept{j % 2}>")
+        )
+    return sorted(set(triples))
+
+
+QUERIES = [
+    f"SELECT ?x ?y WHERE {{ ?x <{EX}advisor> ?y }}",
+    f"SELECT ?x ?y WHERE {{ ?x <{EX}advisor> ?y . "
+    f"?x <{EX}memberOf> <{EX}org0> }}",
+    f"SELECT ?x ?z WHERE {{ ?x <{EX}memberOf> ?y . "
+    f"?y <{EX}worksFor> ?z }}",
+    f"SELECT ?y WHERE {{ <{EX}s3> <{EX}advisor> ?y }}",
+    f"SELECT ?x ?y ?z WHERE {{ ?x <{EX}advisor> ?y . "
+    f"?x <{EX}memberOf> ?z }} ORDER BY ?y LIMIT 7 OFFSET 1",
+    f"SELECT ?x WHERE {{ {{ ?x <{EX}rank> ?r }} UNION "
+    f"{{ ?x <{EX}memberOf> <{EX}org1> }} }}",
+    f"SELECT ?x ?r WHERE {{ ?x <{EX}memberOf> ?m . "
+    f"OPTIONAL {{ ?x <{EX}rank> ?r }} }}",
+]
+
+
+@pytest.fixture(scope="module")
+def stores():
+    graph = _graph()
+    return vertically_partition(list(graph)), ShardedStore.partition(
+        list(graph), 3
+    )
+
+
+def test_requires_a_sharded_store():
+    single = vertically_partition(_graph())
+    with pytest.raises(ConfigError):
+        ShardedEngine(single)
+
+
+@pytest.mark.parametrize("engine_cls", ALL_ENGINES)
+def test_rows_match_single_store_engine(stores, engine_cls):
+    single_store, sharded_store = stores
+    single = engine_cls(single_store)
+    sharded = ShardedEngine(sharded_store, engine_cls.name)
+    for text in QUERIES:
+        expected = single.decode(single.execute_sparql(text))
+        rows = sharded.decode(sharded.execute_sparql(text))
+        assert rows == expected, (engine_cls.name, text)
+
+
+def test_explain_reports_the_fragment_plan(stores):
+    _, sharded_store = stores
+    engine = ShardedEngine(sharded_store)
+    explain = engine.explain_sparql(QUERIES[2])
+    assert "scatter-gather plan" in explain
+    assert "3 shard(s)" in explain
+    assert "fragment 0" in explain
+    union_explain = engine.explain_sparql(QUERIES[5])
+    assert "union of 2 block(s)" in union_explain
+    missing = engine.explain_sparql(
+        f"SELECT ?x WHERE {{ ?x <{EX}advisor> <{EX}absent> }}"
+    )
+    assert "empty result" in missing
+
+
+def test_streaming_pages_match_materialized(stores):
+    single_store, sharded_store = stores
+    single = QueryService(ALL_ENGINES[0](single_store))
+    service = QueryService(ShardedEngine(sharded_store))
+    for text in QUERIES[:3]:
+        expected = single.engine.decode(single.execute(text))
+        cursor = service.session().execute(
+            text, page_size=3, stream=True
+        )
+        rows = []
+        while True:
+            page = cursor.fetch()
+            rows.extend(page.rows)
+            if page.done:
+                break
+        assert rows == expected, text
+
+
+def test_queries_over_absent_predicates_are_empty(stores):
+    _, sharded_store = stores
+    engine = ShardedEngine(sharded_store)
+    result = engine.execute_sparql(
+        f"SELECT ?x WHERE {{ ?x <{EX}noSuchPred> ?y }}"
+    )
+    assert result.num_rows == 0
+
+
+def test_service_surface_over_sharded_store(stores):
+    _, sharded_store = stores
+    service = QueryService(ShardedEngine(sharded_store))
+    session = service.session()
+    stats = session.stats()
+    assert stats["triples"] == sharded_store.num_triples
+    assert stats["tables"] == len(sharded_store.tables)
+    assert stats["engine"] == "sharded"
+    explain = session.explain(QUERIES[1])
+    assert "partitioned" in explain

@@ -1,0 +1,170 @@
+"""ShardedStore: dictionary identity, facade parity, unified epoch."""
+
+import threading
+
+import pytest
+
+from repro.distributed.store import EpochLock, ShardedStore
+from repro.errors import ConfigError
+from repro.storage.dictionary import Dictionary
+from repro.storage.vertical import vertically_partition
+
+EX = "http://ex/"
+
+
+def _graph(n=60):
+    return [
+        (
+            f"<{EX}s{i % 13}>",
+            f"<{EX}p{i % 4}>",
+            f"<{EX}o{i % 6}>" if i % 3 else f'"lit{i}"',
+        )
+        for i in range(n)
+    ]
+
+
+def _rows(relation):
+    return sorted(relation.iter_rows())
+
+
+@pytest.fixture()
+def pair():
+    graph = _graph()
+    return (
+        vertically_partition(list(graph)),
+        ShardedStore.partition(list(graph), 3),
+    )
+
+
+def test_partition_requires_positive_shard_count():
+    with pytest.raises(ConfigError):
+        ShardedStore.partition(_graph(), 0)
+
+
+def test_shards_must_share_the_dictionary():
+    single = vertically_partition(_graph())
+    with pytest.raises(ConfigError):
+        ShardedStore([single], Dictionary())
+    with pytest.raises(ConfigError):
+        ShardedStore([], Dictionary())
+
+
+def test_dictionary_identical_to_single_store(pair):
+    single, sharded = pair
+    assert list(sharded.dictionary.items()) == list(
+        single.dictionary.items()
+    )
+
+
+def test_facade_parity_with_single_store(pair):
+    single, sharded = pair
+    assert sharded.num_triples == single.num_triples
+    assert sharded.table_names() == single.table_names()
+    assert sharded.predicate_iris == single.predicate_iris
+    for name, table in single.tables.items():
+        assert _rows(sharded.tables[name]) == _rows(table), name
+
+
+def test_column_sketches_merge_is_exact(pair):
+    single, sharded = pair
+    mine = sharded.column_sketches()
+    theirs = single.column_sketches()
+    assert set(mine) == set(theirs)
+    for table in theirs:
+        for attr in theirs[table]:
+            combined = mine[table][attr]
+            reference = theirs[table][attr]
+            assert combined.total == reference.total, (table, attr)
+
+
+def test_update_routing_matches_single_store(pair):
+    single, sharded = pair
+    add = [
+        (f"<{EX}s1>", f"<{EX}p0>", '"fresh"'),
+        (f"<{EX}ghost>", f"<{EX}brandNew>", f"<{EX}s2>"),
+        (f"<{EX}s5>", f"<{EX}brandNew>", f"<{EX}ghost>"),
+    ]
+    remove = [add[0], _graph()[0]]
+    assert sharded.add_triples(add) == single.add_triples(add)
+    assert list(sharded.dictionary.items()) == list(
+        single.dictionary.items()
+    )
+    assert sharded.remove_triples(remove) == single.remove_triples(remove)
+    assert sharded.num_triples == single.num_triples
+    for name, table in single.tables.items():
+        assert _rows(sharded.tables[name]) == _rows(table), name
+
+
+def test_noop_batches_do_not_bump_the_epoch(pair):
+    _, sharded = pair
+    before = sharded.data_version
+    assert sharded.add_triples([_graph()[0]]) == 0  # already present
+    assert sharded.remove_triples(
+        [(f"<{EX}nope>", f"<{EX}p0>", f"<{EX}nada>")]
+    ) == 0
+    assert sharded.add_triples([]) == 0
+    assert sharded.data_version == before
+
+
+def test_update_hooks_fire_with_union_known_tables(pair):
+    _, sharded = pair
+    seen = []
+    hook = seen.append
+    sharded.add_update_hook(hook)
+    known_before = frozenset(sharded.table_names())
+    batch = [(f"<{EX}hooked>", f"<{EX}hookPred>", f"<{EX}s0>")]
+    sharded.add_triples(batch)
+    assert len(seen) == 1
+    add, remove, known = seen[0]
+    assert add == tuple(batch) and remove == ()
+    assert known == known_before  # captured *before* the batch applied
+    sharded.remove_update_hook(hook)
+    sharded.remove_triples(batch)
+    assert len(seen) == 1
+
+
+def test_epoch_write_excludes_readers():
+    lock = EpochLock()
+    order: list[str] = []
+    ready = threading.Event()
+    release = threading.Event()
+
+    def reader():
+        with lock.read():
+            order.append("read-start")
+            ready.set()
+            release.wait(timeout=10)
+            order.append("read-end")
+
+    thread = threading.Thread(target=reader)
+    thread.start()
+    assert ready.wait(timeout=10)
+
+    def writer():
+        with lock.write():
+            order.append("write")
+
+    wthread = threading.Thread(target=writer)
+    wthread.start()
+    # The writer must queue behind the open reader.
+    wthread.join(timeout=0.3)
+    assert wthread.is_alive()
+    release.set()
+    wthread.join(timeout=10)
+    thread.join(timeout=10)
+    assert order == ["read-start", "read-end", "write"]
+
+
+def test_coordinator_membership_probes(pair):
+    single, sharded = pair
+    s, p, o = _graph()[0]
+    s_key = sharded.dictionary.encode(s)
+    p_key = sharded.dictionary.encode(p)
+    o_key = sharded.dictionary.encode(o)
+    with sharded.read_epoch():
+        name = p.strip("<>").rsplit("/", 1)[-1]
+        assert sharded.contains_pair_locked(name, s_key, o_key)
+        assert not sharded.contains_pair_locked(name, o_key, s_key) or (
+            (o, p, s) in _graph()
+        )
+        assert sharded.contains_triple_locked(s_key, p_key, o_key)
